@@ -1,0 +1,127 @@
+"""Ablation — security deposits (§IV's compensation extension).
+
+The paper: "if reveal() is a heavy function, it should be mandatory for
+each participant to pay security deposit so that the honest participant
+paying for dispute resolution can receive compensation from dishonest
+participants."  This benchmark quantifies the honest challenger's net
+position with and without deposits, across reveal() weights — the
+deposit size needed to make disputing *profitable* rather than merely
+possible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.betting import BETTING_SOURCE, reference_reveal
+from repro.chain import ETHER, EthereumSimulator
+from repro.core import OnOffChainProtocol, Participant, SplitSpec, Strategy
+
+SEED = 42
+
+
+def _run_disputed_game(rounds: int, deposit: int):
+    """Liar submits; honest bob challenges. Returns bob's net wei."""
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice",
+                        strategy=Strategy.LIES_ABOUT_RESULT)
+    bob = Participant(account=sim.accounts[1], name="bob")
+    spec = SplitSpec(
+        participants_var="participant", result_function="reveal",
+        settle_function="reassign", challenge_period=3_600,
+        security_deposit=deposit,
+    )
+    protocol = OnOffChainProtocol(
+        simulator=sim, whole_source=BETTING_SOURCE,
+        contract_name="Betting", spec=spec, participants=[alice, bob],
+    )
+    protocol.split_generate()
+    base = sim.current_timestamp
+    protocol.deploy(
+        alice,
+        constructor_args={
+            "a": alice.address, "b": bob.address,
+            "t1": base + 7_200, "t2": base + 14_400, "t3": base + 21_600,
+            "stakeAmount": 1 * ETHER, "seed": SEED, "rounds": rounds,
+        },
+        offchain_state={"secretSeed": SEED, "secretRounds": rounds},
+    )
+    protocol.collect_signatures()
+    protocol.call_onchain(alice, "deposit", value=1 * ETHER)
+    protocol.call_onchain(bob, "deposit", value=1 * ETHER)
+    # Measure before the security deposit so bob's own escrow
+    # round-trips to zero and only gas + compensation remain.
+    bob_before = sim.get_balance(bob.account)
+    if deposit > 0:
+        protocol.pay_security_deposits()
+    sim.advance_time_to(base + 14_401)
+    protocol.submit_result(alice)
+    dispute = protocol.run_challenge_window()
+    assert dispute is not None
+    if deposit > 0:
+        protocol.withdraw_security_deposits()
+
+    truth = reference_reveal(SEED, rounds)
+    pot_won = 2 * ETHER if truth else 0
+    net = sim.get_balance(bob.account) - bob_before
+    # Net excluding the pot = pure cost/compensation of policing.
+    return net - pot_won, dispute.total_gas
+
+
+def test_deposit_makes_challenging_profitable(benchmark, report):
+    rounds = 200
+
+    def both():
+        without = _run_disputed_game(rounds, deposit=0)
+        with_dep = _run_disputed_game(rounds, deposit=1 * ETHER)
+        return without, with_dep
+
+    (net_without, gas_without), (net_with, __) = benchmark.pedantic(
+        both, iterations=1)
+    report.add(
+        "Ablation: security deposit",
+        "challenger net (excl. pot), no deposit [wei]",
+        "negative", f"{net_without:,}",
+        f"honest party pays {gas_without:,} gas to police",
+    )
+    report.add(
+        "Ablation: security deposit",
+        "challenger net (excl. pot), 1-ETH deposit [wei]",
+        "positive", f"{net_with:,}",
+        "liar's forfeited deposit covers the dispute gas",
+    )
+    assert net_without < 0          # policing costs gas
+    assert net_with > 0             # ...unless the liar pays for it
+    assert net_with - net_without == pytest.approx(1 * ETHER,
+                                                   rel=0.05)
+
+
+def test_breakeven_deposit_scales_with_reveal_weight(timed, report):
+    """The heavier reveal(), the larger the deposit must be to keep
+    the challenger whole — the quantitative version of the paper's
+    'if reveal() is a heavy function...' advice."""
+    timed(lambda: None)
+    costs = {}
+    for rounds in (10, 400, 1_200):
+        net, gas = _run_disputed_game(rounds, deposit=0)
+        costs[rounds] = -net  # wei the challenger is out of pocket
+        report.add(
+            "Ablation: security deposit",
+            f"breakeven deposit @ rounds={rounds} [wei]",
+            "grows", f"{-net:,}", f"dispute gas {gas:,}",
+        )
+    assert costs[1_200] > costs[10]
+
+
+def test_amount_met_gate_cost(timed, report):
+    """Gas overhead of the deposit machinery on the dispute path."""
+    __, gas_plain = timed(_run_disputed_game, 50, 0)
+    __, gas_deposit = _run_disputed_game(50, 1 * ETHER)
+    overhead = gas_deposit - gas_plain
+    report.add(
+        "Ablation: security deposit",
+        "dispute-path overhead of deposits [gas]",
+        "small", f"{overhead:,}",
+        "__amountMet checks + compensation transfer",
+    )
+    assert overhead < 60_000

@@ -1,0 +1,95 @@
+"""Substrate benchmark — interpreter and crypto throughput.
+
+Not a paper artefact, but the reproduction's measurements are only as
+trustworthy as the substrate's determinism and performance.  This file
+benchmarks the EVM interpreter (ops/s), Keccak-256 hashing, ECDSA
+sign/recover, and the Solis compiler so regressions in the substrate
+are visible in the same benchmark run as the paper's experiments.
+"""
+
+from __future__ import annotations
+
+
+from repro.crypto.ecdsa import sign
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import PrivateKey, recover_address
+from repro.evm.assembler import Program
+from repro.evm.vm import Message
+from repro.lang import compile_contract
+from tests.conftest import COUNTER_SOURCE
+from tests.evm.vm_harness import CALLER, CONTRACT, make_env
+
+
+def _loop_program(iterations: int) -> bytes:
+    """counter loop: ~8 ops per iteration."""
+    program = Program()
+    program.push(iterations, width=4)          # [n]
+    program.label("top")                       # [n]
+    program.push(1).op("SWAP1").op("SUB")      # [n-1]
+    program.op("DUP1")
+    program.jumpi_to("top")
+    program.op("STOP")
+    return program.assemble()
+
+
+def test_interpreter_throughput(benchmark, report):
+    iterations = 20_000
+    code = _loop_program(iterations)
+    state, evm = make_env()
+    state.set_code(CONTRACT, code)
+
+    def run():
+        return evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                   data=b"", gas=10_000_000,
+                                   origin=CALLER))
+
+    result = benchmark(run)
+    assert result.success
+    ops = iterations * 6
+    ops_per_second = ops / benchmark.stats.stats.mean
+    report.add("Substrate performance",
+               "EVM interpreter [ops/s]", "n/a",
+               f"{ops_per_second:,.0f}",
+               "pure-Python dispatch loop")
+    assert ops_per_second > 50_000
+
+
+def test_keccak_throughput(benchmark, report):
+    blob = b"\xab" * 1_024
+
+    digest = benchmark(lambda: keccak256(blob))
+    assert len(digest) == 32
+    bytes_per_second = len(blob) / benchmark.stats.stats.mean
+    report.add("Substrate performance",
+               "Keccak-256 [KiB/s]", "n/a",
+               f"{bytes_per_second / 1024:,.0f}",
+               "pure-Python sponge")
+
+
+def test_ecdsa_sign_recover_latency(benchmark, report):
+    key = PrivateKey.from_seed("bench-signer")
+    digest = keccak256(b"benchmark message")
+
+    def sign_and_recover():
+        signature = sign(digest, key.secret)
+        return recover_address(digest, signature)
+
+    address = benchmark(sign_and_recover)
+    assert address == key.address
+    latency_ms = benchmark.stats.stats.mean * 1_000
+    report.add("Substrate performance",
+               "ECDSA sign+recover [ms]", "n/a",
+               f"{latency_ms:,.1f}",
+               "Jacobian double-and-add, RFC-6979 nonces")
+    assert latency_ms < 500
+
+
+def test_compiler_latency(benchmark, report):
+    compiled = benchmark(lambda: compile_contract(COUNTER_SOURCE))
+    assert compiled.runtime_code
+    latency_ms = benchmark.stats.stats.mean * 1_000
+    report.add("Substrate performance",
+               "Solis compile (Counter) [ms]", "n/a",
+               f"{latency_ms:,.1f}",
+               "lex+parse+sema+codegen, deterministic output")
+    assert latency_ms < 500

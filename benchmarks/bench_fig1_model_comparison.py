@@ -1,0 +1,279 @@
+"""Fig. 1 — all-on-chain vs hybrid-on/off-chain execution model.
+
+The figure's contract has six functions: f1/f3/f5 light-public and
+f2/f4 heavy-private; the state advances S1 → S5 through f2..f5.  Under
+the all-on-chain model miners execute f2, f3, f4, f5.  Under the hybrid
+model miners execute only f3, f5 and the two (cheap) result
+submissions, while participants run f2, f4 privately.
+
+The reproduction measures miner gas per transition under both models
+and sweeps the weight of the heavy functions: the hybrid model's miner
+cost must stay flat while the all-on-chain cost grows linearly, and
+the heavy functions' code must never appear on-chain in the hybrid run.
+"""
+
+from __future__ import annotations
+
+
+from repro.chain import EthereumSimulator
+from repro.core.analytics import (
+    ModelComparison,
+    privacy_report_all_on_chain,
+    privacy_report_hybrid,
+)
+from repro.lang import compile_contract
+from repro.offchain.executor import OffchainExecutor
+
+# The whole contract of Fig. 1: heavy f2/f4 with tunable weight.
+WHOLE_TEMPLATE = """
+contract Pipeline {{
+    uint public stateId;
+    uint public data;
+
+    constructor(uint seed) public {{ stateId = 1; data = seed; }}
+
+    // f2 (heavy/private): iterative transform S1 -> S2
+    function f2() public {{
+        require(stateId == 1);
+        uint acc = data;
+        for (uint i = 0; i < {weight}; i++) {{
+            acc = (acc * 6364136223846793005 + 1442695040888963407)
+                  % 18446744073709551616;
+        }}
+        data = acc;
+        stateId = 2;
+    }}
+
+    // f3 (light/public): bookkeeping S2 -> S3
+    function f3() public {{
+        require(stateId == 2);
+        data = data + 1;
+        stateId = 3;
+    }}
+
+    // f4 (heavy/private): second transform S3 -> S4
+    function f4() public {{
+        require(stateId == 3);
+        uint acc = data;
+        for (uint i = 0; i < {weight}; i++) {{
+            acc = (acc * 2862933555777941757 + 3037000493)
+                  % 18446744073709551616;
+        }}
+        data = acc;
+        stateId = 4;
+    }}
+
+    // f5 (light/public): finalisation S4 -> S5
+    function f5() public {{
+        require(stateId == 4);
+        data = data % 1000000007;
+        stateId = 5;
+    }}
+}}
+"""
+
+# The hybrid on-chain half: f3/f5 plus thin result acceptors for the
+# off-chain f2/f4 outputs (the unanimous-agreement submissions).
+HYBRID_ONCHAIN = """
+contract PipelineOnChain {
+    uint public stateId;
+    uint public data;
+
+    constructor(uint seed) public { stateId = 1; data = seed; }
+
+    function submitF2(uint result) public {
+        require(stateId == 1);
+        data = result;
+        stateId = 2;
+    }
+
+    function f3() public {
+        require(stateId == 2);
+        data = data + 1;
+        stateId = 3;
+    }
+
+    function submitF4(uint result) public {
+        require(stateId == 3);
+        data = result;
+        stateId = 4;
+    }
+
+    function f5() public {
+        require(stateId == 4);
+        data = data % 1000000007;
+        stateId = 5;
+    }
+}
+"""
+
+# The hybrid off-chain half: f2/f4 only, executed by participants.
+HYBRID_OFFCHAIN_TEMPLATE = """
+contract PipelineOffChain {{
+    uint public input;
+    uint public phase;
+
+    constructor(uint inputValue, uint phaseId) public {{
+        input = inputValue;
+        phase = phaseId;
+    }}
+
+    function run() private view returns (uint) {{
+        uint acc = input;
+        if (phase == 2) {{
+            for (uint i = 0; i < {weight}; i++) {{
+                acc = (acc * 6364136223846793005 + 1442695040888963407)
+                      % 18446744073709551616;
+            }}
+        }} else {{
+            for (uint j = 0; j < {weight}; j++) {{
+                acc = (acc * 2862933555777941757 + 3037000493)
+                      % 18446744073709551616;
+            }}
+        }}
+        return acc;
+    }}
+
+    function computeResult() public view returns (uint) {{
+        return run();
+    }}
+}}
+"""
+
+SEED = 12_345
+
+
+def run_all_on_chain(weight: int):
+    """Deploy the whole contract; miners run f2..f5."""
+    sim = EthereumSimulator()
+    user = sim.accounts[0]
+    compiled = compile_contract(WHOLE_TEMPLATE.format(weight=weight))
+    contract = sim.deploy(user, compiled.init_code, compiled.abi,
+                          constructor_args=[SEED])
+    gas = 0
+    for fn in ("f2", "f3", "f4", "f5"):
+        receipt = contract.transact(fn, sender=user, gas_limit=7_900_000)
+        gas += receipt.gas_used
+    assert contract.call("stateId") == 5
+    return gas, contract.call("data"), compiled
+
+
+def run_hybrid(weight: int):
+    """Deploy only the on-chain half; f2/f4 run on the executor."""
+    sim = EthereumSimulator()
+    user = sim.accounts[0]
+    onchain = compile_contract(HYBRID_ONCHAIN)
+    contract = sim.deploy(user, onchain.init_code, onchain.abi,
+                          constructor_args=[SEED])
+    offchain = compile_contract(
+        HYBRID_OFFCHAIN_TEMPLATE.format(weight=weight))
+    executor = OffchainExecutor()
+
+    miner_gas = 0
+    participant_gas = 0
+
+    def run_offchain(input_value: int, phase: int) -> tuple[int, int]:
+        args = offchain.abi.encode_constructor_args([input_value, phase])
+        run = executor.execute(offchain.init_code + args, offchain.abi)
+        return run.result, run.gas_equivalent
+
+    result2, gas2 = run_offchain(SEED, 2)
+    participant_gas += gas2
+    miner_gas += contract.transact("submitF2", result2,
+                                   sender=user).gas_used
+    miner_gas += contract.transact("f3", sender=user).gas_used
+    result4, gas4 = run_offchain(contract.call("data"), 4)
+    participant_gas += gas4
+    miner_gas += contract.transact("submitF4", result4,
+                                   sender=user).gas_used
+    miner_gas += contract.transact("f5", sender=user).gas_used
+    assert contract.call("stateId") == 5
+    return miner_gas, participant_gas, contract.call("data"), onchain, \
+        offchain
+
+
+def test_fig1_models_agree_on_final_state(timed):
+    """Both execution models must reach the same S5 state."""
+    for weight in (10, 100):
+        __, final_all, __c = timed(run_all_on_chain, weight) \
+            if weight == 10 else run_all_on_chain(weight)
+        __, __, final_hybrid, __o, __f = run_hybrid(weight)
+        assert final_all == final_hybrid
+
+
+def test_fig1_miner_gas_comparison(benchmark, report):
+    weight = 1_500
+    all_gas, __, whole = benchmark.pedantic(
+        run_all_on_chain, args=(weight,), iterations=1)
+    hybrid_gas, participant_gas, __, onchain, offchain = \
+        run_hybrid(weight)
+    comparison = ModelComparison(all_on_chain_gas=all_gas,
+                                 hybrid_gas=hybrid_gas)
+    report.add(
+        "Fig. 1 (execution models)",
+        f"miner gas, all-on-chain (w={weight})",
+        "baseline", f"{all_gas:,}", "f2+f3+f4+f5 by miners",
+    )
+    report.add(
+        "Fig. 1 (execution models)",
+        f"miner gas, hybrid (w={weight})",
+        "lower", f"{hybrid_gas:,}",
+        f"saves {comparison.savings_ratio:.0%}; participants spent "
+        f"{participant_gas:,} gas-equivalents privately",
+    )
+    assert comparison.gas_saved > 0
+    assert comparison.savings_ratio > 0.3
+
+
+def test_fig1_savings_grow_with_heavy_weight(timed, report):
+    """The heavier f2/f4, the larger the hybrid advantage (shape)."""
+    rows = []
+    timed(lambda: None)
+    for weight in (10, 400, 1_600):
+        all_gas, __, __c = run_all_on_chain(weight)
+        hybrid_gas, __, __, __o, __f = run_hybrid(weight)
+        rows.append((weight, all_gas, hybrid_gas))
+    # All-on-chain grows roughly linearly in weight...
+    assert rows[2][1] > rows[1][1] > rows[0][1]
+    growth = (rows[2][1] - rows[0][1]) / rows[0][1]
+    assert growth > 1.0
+    # ...while the hybrid miner cost is flat (within noise).
+    hybrid_spread = max(r[2] for r in rows) - min(r[2] for r in rows)
+    assert hybrid_spread < 0.02 * rows[0][2] + 1_000
+    for weight, all_gas, hybrid_gas in rows:
+        report.add(
+            "Fig. 1 (execution models)",
+            f"sweep w={weight}: all vs hybrid [gas]",
+            "diverge", f"{all_gas:,}/{hybrid_gas:,}",
+            "hybrid flat, all-on-chain grows with heavy weight",
+        )
+
+
+def test_fig1_privacy_exposure(timed, report):
+    weight = 100
+    __, __, whole = timed(run_all_on_chain, weight)
+    __, __, __, onchain, offchain = run_hybrid(weight)
+    heavy_bytes = len(offchain.runtime_code)
+    all_report = privacy_report_all_on_chain(
+        whole_runtime=whole.runtime_code,
+        all_signatures=[fn.signature for fn in whole.abi.functions],
+        heavy_signatures=["f2()", "f4()"],
+        heavy_code_bytes=heavy_bytes,
+    )
+    hybrid_report = privacy_report_hybrid(
+        onchain_runtime=onchain.runtime_code,
+        onchain_signatures=[fn.signature for fn in onchain.abi.functions],
+        dispute_happened=False,
+        offchain_runtime=offchain.runtime_code,
+        heavy_signatures=["computeResult()"],
+    )
+    assert not all_report.heavy_logic_hidden
+    assert hybrid_report.heavy_logic_hidden
+    report.add(
+        "Fig. 1 (execution models)",
+        "heavy/private code bytes exposed on-chain",
+        "all vs none",
+        f"{all_report.heavy_code_bytes_on_chain}/"
+        f"{hybrid_report.heavy_code_bytes_on_chain}",
+        "hybrid reveals nothing while participants stay honest",
+    )

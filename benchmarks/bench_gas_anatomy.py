@@ -1,0 +1,127 @@
+"""Gas anatomy — decomposing Table II's deployVerifiedInstance cost.
+
+The paper attributes `deployVerifiedInstance()`'s 225k gas to signature
+verification (ecrecover), keccak hashing of the bytecode, and creating
+the verified instance from bytecode via inline assembly.  With the
+opcode-level gas profiler this reproduction can *show* that anatomy:
+an exclusive decomposition of the dispute transaction by category, and
+the intrinsic calldata share on top.
+"""
+
+from __future__ import annotations
+
+
+from repro.apps.betting import deploy_betting, make_betting_protocol
+from repro.chain import EthereumSimulator
+from repro.core import Participant
+from repro.evm import gas as gas_schedule
+
+
+def _dispute_ready():
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(sim, alice, bob, seed=42, rounds=25,
+                                     challenge_period=0)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+    return sim, protocol, bob
+
+
+def test_deploy_verified_instance_anatomy(benchmark, report):
+    sim, protocol, bob = benchmark.pedantic(_dispute_ready, iterations=1)
+    copy = protocol.signed_copies["bob"]
+    fn = protocol.compiled_onchain.abi.function("deployVerifiedInstance")
+    calldata = fn.encode_call([copy.bytecode] + copy.vrs_arguments())
+
+    profile = sim.profile(bob.account, protocol.onchain.address,
+                          calldata, depth_limit=0)
+    intrinsic = gas_schedule.intrinsic_gas(calldata, is_create=False)
+    shares = profile.category_shares()
+
+    create_gas = profile.by_category.get("create", 0)
+    call_gas = profile.by_category.get("call", 0)  # 2× ecrecover
+    storage_gas = profile.by_category.get("storage", 0)
+    hashing_gas = profile.by_category.get("hashing", 0)
+
+    report.add("Gas anatomy (Table II)",
+               "intrinsic calldata (signed bytecode) [gas]",
+               "large", f"{intrinsic:,}",
+               f"{len(calldata):,} bytes of calldata")
+    report.add("Gas anatomy (Table II)",
+               "CREATE incl. code deposit [gas]",
+               "dominant", f"{create_gas:,}",
+               f"{shares.get('create', 0):.0%} of execution gas")
+    report.add("Gas anatomy (Table II)",
+               "signature verification (2×ecrecover) [gas]",
+               "~7.4k", f"{call_gas:,}", "STATICCALLs to precompile 0x1")
+    report.add("Gas anatomy (Table II)",
+               "keccak256(bytecode) [gas]",
+               "small", f"{hashing_gas:,}", "")
+    report.add("Gas anatomy (Table II)",
+               "storage writes (deployedAddr, ...) [gas]",
+               "~20k+", f"{storage_gas:,}", "")
+
+    # The paper's cost anatomy: CREATE (incl. 200/byte code deposit)
+    # dominates execution; calldata is the next biggest block; the two
+    # ecrecovers cost ~3.7k each.
+    assert create_gas > 0.4 * profile.total_gas
+    assert 2 * 3_000 <= call_gas <= 2 * 6_000
+    assert hashing_gas < 2_000
+    assert storage_gas >= 20_000
+    assert intrinsic > 40_000
+
+
+def test_anatomy_sums_to_receipt(timed, report):
+    """Exclusive profile + intrinsic == the receipt's gas (up to the
+    SSTORE refund applied at transaction settlement)."""
+    sim, protocol, bob = timed(_dispute_ready)
+    copy = protocol.signed_copies["bob"]
+    fn = protocol.compiled_onchain.abi.function("deployVerifiedInstance")
+    calldata = fn.encode_call([copy.bytecode] + copy.vrs_arguments())
+    profile = sim.profile(bob.account, protocol.onchain.address,
+                          calldata, depth_limit=0)
+    intrinsic = gas_schedule.intrinsic_gas(calldata, is_create=False)
+
+    receipt = protocol.onchain.transact(
+        "deployVerifiedInstance", copy.bytecode, *copy.vrs_arguments(),
+        sender=bob.account, gas_limit=6_000_000)
+    reconstructed = intrinsic + profile.total_gas
+    report.add("Gas anatomy (Table II)",
+               "profile+intrinsic vs receipt [gas]",
+               "equal", f"{reconstructed:,}/{receipt.gas_used:,}",
+               "opcode-level accounting is exact")
+    assert reconstructed == receipt.gas_used
+
+
+def test_return_dispute_resolution_anatomy(timed, report):
+    sim, protocol, bob = timed(_dispute_ready)
+    dispute = protocol.dispute(bob)
+    # Profile the second leg against the pre-resolution state is no
+    # longer possible (state moved); instead decompose the receipt via
+    # a rerun on a fresh scenario.
+    sim2, protocol2, bob2 = _dispute_ready()
+    copy = protocol2.signed_copies["bob"]
+    protocol2.onchain.transact(
+        "deployVerifiedInstance", copy.bytecode, *copy.vrs_arguments(),
+        sender=bob2.account, gas_limit=6_000_000)
+    from repro.crypto.keys import Address
+
+    instance = Address(protocol2.onchain.call("deployedAddr"))
+    fn = protocol2.compiled_offchain.abi.function(
+        "returnDisputeResolution")
+    calldata = fn.encode_call([protocol2.onchain.address])
+    profile = sim2.profile(bob2.account, instance, calldata,
+                           depth_limit=0)
+    shares = profile.category_shares()
+    report.add("Gas anatomy (Table II)",
+               "returnDisputeResolution: call share",
+               "dominant", f"{shares.get('call', 0):.0%}",
+               "the enforceDisputeResolution callback + settlement")
+    # The cross-contract callback dominates this leg.
+    assert shares.get("call", 0) > 0.5
+    assert dispute.resolve_receipt.gas_used > 0

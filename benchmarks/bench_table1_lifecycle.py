@@ -1,0 +1,146 @@
+"""Table I — gas cost of every rule in the betting timeline.
+
+Table I lists the five betting rules; this benchmark prices each
+on-chain action a rule requires, giving the complete cost picture of
+one game under the hybrid model (the paper reports only the dispute
+rows — Table II — so the other rows are this reproduction's
+quantification of the same experiment).
+"""
+
+from __future__ import annotations
+
+
+from repro.apps.betting import (
+    deploy_betting,
+    make_betting_protocol,
+    reference_reveal,
+)
+from repro.chain import EthereumSimulator
+from repro.core import Participant
+
+
+def _fresh():
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(sim, alice, bob, seed=42, rounds=25)
+    return sim, alice, bob, protocol
+
+
+def test_table1_rule1_deploy(benchmark, report):
+    sim, alice, bob, protocol = _fresh()
+    receipt = benchmark.pedantic(
+        lambda: deploy_betting(protocol, alice).deploy_receipt,
+        iterations=1)
+    report.add("Table I (betting rules)", "rule 1: deploy onChain [gas]",
+               "n/a", f"{receipt.gas_used:,}",
+               "one-time; includes padded dispute machinery")
+    assert receipt.gas_used < 2_000_000
+
+
+def test_table1_rule1_signing_is_free_on_chain(timed, report):
+    sim, alice, bob, protocol = _fresh()
+    deploy_betting(protocol, alice)
+    gas_before = protocol.ledger.total()
+    timed(protocol.collect_signatures)
+    assert protocol.ledger.total() == gas_before
+    report.add("Table I (betting rules)",
+               "rule 1: signed copies [gas]", "0", "0",
+               f"{protocol.bus.bytes_transferred:,}B over Whisper instead")
+
+
+def test_table1_rule2_deposit(benchmark, report):
+    sim, alice, bob, protocol = _fresh()
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    receipt = benchmark.pedantic(
+        lambda: protocol.call_onchain(alice, "deposit",
+                                      value=plan["stake"]),
+        iterations=1)
+    report.add("Table I (betting rules)", "rule 2: deposit() [gas]",
+               "n/a", f"{receipt.gas_used:,}", "1-ether stake locked")
+    assert receipt.gas_used < 100_000
+
+
+def test_table1_rule2_refund_round_one(timed, report):
+    sim, alice, bob, protocol = _fresh()
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    receipt = timed(protocol.call_onchain, alice, "refundRoundOne")
+    report.add("Table I (betting rules)",
+               "rule 2: refundRoundOne() [gas]",
+               "n/a", f"{receipt.gas_used:,}", "")
+    assert receipt.gas_used < 60_000
+
+
+def test_table1_rule3_refund_round_two(timed, report):
+    sim, alice, bob, protocol = _fresh()
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t1 + 1)
+    receipt = timed(protocol.call_onchain, alice, "refundRoundTwo")
+    report.add("Table I (betting rules)",
+               "rule 3: refundRoundTwo() [gas]",
+               "n/a", f"{receipt.gas_used:,}", "partner never funded")
+    assert receipt.gas_used < 60_000
+
+
+def test_table1_rule4_reassign(benchmark, report):
+    sim, alice, bob, protocol = _fresh()
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t2 + 1)
+    result = reference_reveal(42, 25)
+    loser = alice if result else bob
+    receipt = benchmark.pedantic(
+        lambda: protocol.call_onchain(loser, "reassign", result),
+        iterations=1)
+    report.add("Table I (betting rules)", "rule 4: reassign() [gas]",
+               "n/a", f"{receipt.gas_used:,}",
+               "voluntary settlement by the loser")
+    assert receipt.gas_used < 100_000
+
+
+def test_table1_rule5_dispute(timed, report):
+    sim, alice, bob, protocol = _fresh()
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+    dispute = timed(protocol.dispute, bob)
+    report.add("Table I (betting rules)",
+               "rule 5: dispute path [gas]",
+               "Table II", f"{dispute.total_gas:,}",
+               "deployVerifiedInstance + returnDisputeResolution")
+    assert dispute.total_gas > 200_000  # the deterrent is real
+
+
+def test_table1_honest_game_total(timed, report):
+    """Whole honest game: every rule-covered action, summed."""
+    sim, alice, bob, protocol = _fresh()
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t2 + 1)
+    result = reference_reveal(42, 25)
+    loser = alice if result else bob
+    timed(protocol.call_onchain, loser, "reassign", result)
+    total = protocol.ledger.total()
+    report.add("Table I (betting rules)",
+               "honest game total (excl. deploy) [gas]",
+               "n/a",
+               f"{total - protocol.ledger.by_label()['deploy onChain']:,}",
+               "2×deposit + reassign; reveal() never on-chain")
+    assert protocol.onchain.balance == 0

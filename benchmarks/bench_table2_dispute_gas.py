@@ -1,0 +1,117 @@
+"""Table II — gas cost of the padded dispute functions.
+
+The paper reports, on Kovan with Solidity 0.4.24:
+
+    deployVerifiedInstance()   225 082 + cost of reveal()
+    returnDisputeResolution()   37 745
+
+We regenerate both rows on the simulated chain.  Absolute numbers
+differ (different compiler, slightly larger padded contract), but they
+must land in the same order of magnitude, and the structural claims
+must hold: deployVerifiedInstance dominates (bytecode calldata +
+2×ecrecover + CREATE + code deposit), and the overall dispute cost is
+bounded and independent of how often the honest path ran before.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.betting import deploy_betting, make_betting_protocol
+from repro.chain import EthereumSimulator
+from repro.core import Participant
+
+PAPER_DEPLOY_VERIFIED_INSTANCE = 225_082
+PAPER_RETURN_DISPUTE_RESOLUTION = 37_745
+
+
+def _dispute_ready_protocol(rounds: int = 0, challenge_period: int = 0):
+    """A betting game funded and past T3 with a dispute pending."""
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(
+        sim, alice, bob, seed=42, rounds=rounds,
+        challenge_period=challenge_period,
+    )
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+    return protocol, bob
+
+
+def _measure_dispute(rounds: int = 0):
+    protocol, challenger = _dispute_ready_protocol(rounds=rounds)
+    outcome = protocol.dispute(challenger)
+    return outcome
+
+
+def test_table2_deploy_verified_instance(benchmark, report):
+    outcome = benchmark.pedantic(
+        _measure_dispute, rounds=1, iterations=1)
+    gas = outcome.deploy_receipt.gas_used
+    report.add(
+        "Table II (dispute gas)",
+        "deployVerifiedInstance() [gas]",
+        f"{PAPER_DEPLOY_VERIFIED_INSTANCE:,}+rev",
+        f"{gas:,}",
+        "same order; includes sig verify + CREATE + code deposit",
+    )
+    # Structural expectations: same order of magnitude as the paper.
+    assert 100_000 < gas < 1_000_000
+    assert gas == pytest.approx(PAPER_DEPLOY_VERIFIED_INSTANCE, rel=1.0)
+
+
+def test_table2_return_dispute_resolution(benchmark, report):
+    outcome = benchmark.pedantic(
+        _measure_dispute, rounds=1, iterations=1)
+    gas = outcome.resolve_receipt.gas_used
+    report.add(
+        "Table II (dispute gas)",
+        "returnDisputeResolution() [gas]",
+        f"{PAPER_RETURN_DISPUTE_RESOLUTION:,}",
+        f"{gas:,}",
+        "same order; reveal() + callback + settlement transfer",
+    )
+    assert 20_000 < gas < 200_000
+    # deployVerifiedInstance must dominate, as in the paper.
+    assert outcome.deploy_receipt.gas_used > gas
+
+
+def test_table2_reveal_cost_is_additive(timed, report):
+    """The paper writes the cost as '225082 + reveal()': the deploy
+    cost must grow with reveal()'s weight only through the
+    returnDisputeResolution leg, while the deployVerifiedInstance base
+    stays constant for fixed bytecode size."""
+    cheap = timed(_measure_dispute, rounds=1)
+    heavy = _measure_dispute(rounds=500)
+    # Same bytecode size => near-identical deployVerifiedInstance cost
+    # (only the rounds constant in the calldata tail differs).
+    deploy_delta = abs(cheap.deploy_receipt.gas_used
+                       - heavy.deploy_receipt.gas_used)
+    assert deploy_delta < 500
+    # reveal() executes inside returnDisputeResolution: cost grows.
+    delta = heavy.resolve_receipt.gas_used - cheap.resolve_receipt.gas_used
+    assert delta > 10_000
+    report.add(
+        "Table II (dispute gas)",
+        "reveal() additivity [gas per 499 rounds]",
+        "additive",
+        f"+{delta:,}",
+        "heavy reveal() charged only when a dispute actually runs it",
+    )
+
+
+def test_table2_dispute_total(benchmark, report):
+    outcome = benchmark.pedantic(_measure_dispute, iterations=1)
+    report.add(
+        "Table II (dispute gas)",
+        "total dispute path [gas]",
+        f"~{PAPER_DEPLOY_VERIFIED_INSTANCE + PAPER_RETURN_DISPUTE_RESOLUTION:,}",
+        f"{outcome.total_gas:,}",
+        "deployVerifiedInstance + returnDisputeResolution",
+    )
+    assert outcome.total_gas < 1_200_000

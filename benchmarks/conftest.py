@@ -1,0 +1,60 @@
+"""Benchmark-suite plumbing: a report collector printed at the end.
+
+Each benchmark registers the rows it reproduces (paper value vs
+measured value); the terminal summary prints them grouped by
+table/figure so a single ``pytest benchmarks/ --benchmark-only`` run
+regenerates the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+_ROWS: dict[str, list[tuple]] = defaultdict(list)
+
+
+class PaperReport:
+    """Accumulates paper-vs-measured rows across benchmarks."""
+
+    def add(self, artefact: str, metric: str, paper: str,
+            measured: str, note: str = "") -> None:
+        _ROWS[artefact].append((metric, paper, measured, note))
+
+
+@pytest.fixture(scope="session")
+def report() -> PaperReport:
+    return PaperReport()
+
+
+@pytest.fixture
+def timed(benchmark):
+    """Run a callable once under pytest-benchmark timing.
+
+    Keeps every benchmark collectable under ``--benchmark-only`` while
+    the real measurements (gas) flow into the paper report.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return run
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _ROWS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("PAPER REPRODUCTION REPORT (paper value vs this reproduction)")
+    write("=" * 78)
+    for artefact in sorted(_ROWS):
+        write("")
+        write(f"--- {artefact} ---")
+        write(f"{'metric':<42}{'paper':>12}{'measured':>14}  note")
+        for metric, paper, measured, note in _ROWS[artefact]:
+            write(f"{metric:<42}{paper:>12}{measured:>14}  {note}")
+    write("=" * 78)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Escrow with a private acceptance policy — both outcomes.
+
+A buyer escrows payment; acceptance of the delivered artefact is
+decided by a private fingerprint-matching policy that runs off-chain.
+The script shows an accepting delivery (seller paid) and a rejected
+one (buyer refunded), both settled through the Submit/Challenge path
+without ever exposing the acceptance policy on-chain.
+
+Run:  python examples/escrow_settlement.py
+"""
+
+from repro.apps.escrow import (
+    deploy_escrow,
+    make_escrow_protocol,
+    reference_accepts,
+)
+from repro.chain import ETHER, EthereumSimulator
+from repro.core import Participant
+
+
+def settle(delivered: int, expected: int) -> None:
+    sim = EthereumSimulator()
+    buyer = Participant(account=sim.accounts[0], name="buyer")
+    seller = Participant(account=sim.accounts[1], name="seller")
+    protocol = make_escrow_protocol(
+        sim, buyer, seller, delivered=delivered, expected=expected,
+        tolerance=4_096,
+    )
+    deploy_escrow(protocol, buyer)
+    protocol.collect_signatures()
+    price = protocol.escrow_plan["price"]
+    protocol.call_onchain(buyer, "fund", value=price)
+
+    truth = reference_accepts(delivered, expected, 4_096)
+    run = protocol.execute_off_chain(buyer)
+    print(f"  fingerprints {delivered} vs {expected}: "
+          f"accepts={run.result} (reference={truth})")
+    assert run.result == truth
+
+    seller_before = sim.get_balance(seller.account)
+    buyer_before = sim.get_balance(buyer.account)
+
+    protocol.submit_result(seller)
+    assert protocol.run_challenge_window() is None
+    protocol.finalize(buyer)
+
+    if truth:
+        gained = sim.get_balance(seller.account) - seller_before
+        print(f"  -> delivery ACCEPTED: seller received "
+              f"{gained / ETHER:+.4f} ETH")
+    else:
+        refunded = sim.get_balance(buyer.account) - buyer_before
+        print(f"  -> delivery REJECTED: buyer refunded "
+              f"{refunded / ETHER:+.4f} ETH")
+    print(f"  escrow empty: {protocol.onchain.balance == 0}")
+    print(f"  acceptance policy on-chain: "
+          f"{'accepts' in protocol.split.onchain_source}")
+
+
+def main() -> None:
+    print("Case 1 — matching delivery:")
+    settle(delivered=123_456, expected=123_456)
+    print("\nCase 2 — wrong delivery:")
+    settle(delivered=999, expected=123_456)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Private tender: three parties, secret quotes, a lying buyer.
+
+The buyer escrows a budget; two contractors' quotes and the scoring
+formula are private (they live only in the signed off-chain contract).
+The buyer submits a *false* winner on-chain; the honest contractor
+challenges within the window and the verified instance enforces the
+true scoring result.
+
+Run:  python examples/sealed_tender.py
+"""
+
+from repro.apps.tender import (
+    deploy_tender,
+    make_tender_protocol,
+    reference_select_winner,
+)
+from repro.chain import ETHER, EthereumSimulator
+from repro.core import Participant, Strategy
+
+
+def main() -> None:
+    sim = EthereumSimulator()
+    buyer = Participant(account=sim.accounts[0], name="buyer",
+                        strategy=Strategy.LIES_ABOUT_RESULT)
+    contractor_a = Participant(account=sim.accounts[1], name="alpha")
+    contractor_b = Participant(account=sim.accounts[2], name="beta")
+
+    quote_a, quote_b = 9 * ETHER, 8 * ETHER
+    quality_a, quality_b, weight = 80, 60, 10 ** 16
+
+    protocol = make_tender_protocol(
+        sim, buyer, contractor_a, contractor_b,
+        quote_a=quote_a, quote_b=quote_b,
+        quality_a=quality_a, quality_b=quality_b,
+        quality_weight=weight,
+    )
+    print("on-chain functions :", protocol.split.onchain_functions)
+    print("off-chain functions:", protocol.split.offchain_functions)
+    assert "selectWinner" not in protocol.split.onchain_source
+    print("quotes appear on-chain:",
+          str(quote_a) in protocol.split.onchain_source)
+
+    deploy_tender(protocol, buyer)
+    protocol.collect_signatures()
+    budget = protocol.tender_plan["budget"]
+    protocol.call_onchain(buyer, "fund", value=budget)
+    print(f"\nbudget escrowed: {budget / ETHER} ETH")
+
+    truth = reference_select_winner(quote_a, quote_b, quality_a,
+                                    quality_b, weight)
+    winner = contractor_a if truth == 1 else contractor_b
+    print(f"private scoring says contractor #{truth} ({winner.name}) wins")
+
+    print("\nbuyer submits a falsified winner on-chain…")
+    protocol.submit_result(buyer)
+    print("on-chain proposal:", protocol.onchain.call("proposedResult"))
+
+    print("honest contractors police the challenge window…")
+    dispute = protocol.run_challenge_window()
+    assert dispute is not None
+    print(f"dispute fired: instance at "
+          f"{dispute.instance_address.checksum}")
+    print(f"dispute gas: {dispute.total_gas:,}")
+
+    outcome = protocol.outcome()
+    print(f"\nenforced winner: contractor #{outcome.outcome} "
+          f"(truth: #{truth}) via {outcome.via}")
+    paid = sim.get_balance(winner.account) - 1_000 * ETHER
+    print(f"{winner.name} received ≈ {paid / ETHER:+.2f} ETH")
+    assert outcome.outcome == truth
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim — lets `pip install -e .` work without the wheel package.
+
+The offline environment lacks `wheel`, so modern PEP-660 editable
+installs fail with `invalid command 'bdist_wheel'`.  Keeping a setup.py
+enables the legacy `setup.py develop` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — Scalable and Privacy-preserving On/Off-chain Smart Contracts.
+
+A from-scratch Python reproduction of Li, Palanisamy & Xu (ICDE 2019):
+an Ethereum-compatible substrate (Keccak-256, secp256k1 ECDSA with
+recovery, RLP/ABI codecs, a Constantinople-gas EVM, a deterministic
+blockchain simulator, and the Solis Solidity-subset compiler) plus the
+paper's contribution on top — contract splitting, dispute padding, and
+the four-stage Split/Generate → Deploy/Sign → Submit/Challenge →
+Dispute/Resolve protocol.
+
+Quickstart::
+
+    from repro.chain import EthereumSimulator
+    from repro.core import Participant
+    from repro.apps.betting import make_betting_protocol, deploy_betting
+
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+"""
+
+from repro.core import (
+    OnOffChainProtocol,
+    Participant,
+    SplitSpec,
+    Stage,
+    Strategy,
+    split_contract,
+)
+from repro.chain import ETHER, EthereumSimulator
+from repro.lang import compile_contract, compile_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OnOffChainProtocol",
+    "Participant",
+    "SplitSpec",
+    "Stage",
+    "Strategy",
+    "split_contract",
+    "ETHER",
+    "EthereumSimulator",
+    "compile_contract",
+    "compile_source",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Example applications built on the on/off-chain protocol."""
+
+from repro.apps.betting import (
+    BETTING_SOURCE,
+    BETTING_SPEC,
+    BettingTimeline,
+    deploy_betting,
+    make_betting_protocol,
+    reference_reveal,
+)
+from repro.apps.escrow import (
+    ESCROW_SOURCE,
+    ESCROW_SPEC,
+    deploy_escrow,
+    make_escrow_protocol,
+    reference_accepts,
+)
+from repro.apps.tender import (
+    TENDER_SOURCE,
+    TENDER_SPEC,
+    deploy_tender,
+    make_tender_protocol,
+    reference_select_winner,
+)
+
+__all__ = [
+    "BETTING_SOURCE",
+    "BETTING_SPEC",
+    "BettingTimeline",
+    "deploy_betting",
+    "make_betting_protocol",
+    "reference_reveal",
+    "ESCROW_SOURCE",
+    "ESCROW_SPEC",
+    "deploy_escrow",
+    "make_escrow_protocol",
+    "reference_accepts",
+    "TENDER_SOURCE",
+    "TENDER_SPEC",
+    "deploy_tender",
+    "make_tender_protocol",
+    "reference_select_winner",
+]

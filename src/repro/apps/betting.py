@@ -1,0 +1,209 @@
+"""The paper's betting example (Table I, Algorithms 1-6).
+
+Alice and Bob bet on a private topic.  The whole contract below is what
+a developer would write *before* applying the paper's technique: four
+light cryptocurrency-transfer functions (``deposit``,
+``refundRoundOne``, ``refundRoundTwo``, ``reassign``) and one
+heavy/private function (``reveal``) holding the customised betting
+rules.  ``reveal`` runs a tunable iteration loop over constructor-set
+secret parameters, standing in for "details of the customized betting
+rules that are private to the participants and may involve an arbitrary
+amount of computational cost" (§II-B).
+
+``reveal() == true`` means participant[1] (Bob) wins the pot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.simulator import ETHER, EthereumSimulator
+from repro.core.annotations import SplitSpec
+from repro.core.participants import Participant
+from repro.core.protocol import OnOffChainProtocol
+
+BETTING_SOURCE = """
+pragma solis ^0.1.0;
+
+contract Betting {
+    address[2] public participant;
+    mapping(address => uint) public accountBalance;
+    uint public T1;
+    uint public T2;
+    uint public T3;
+    uint public stake;
+    uint public secretSeed;
+    uint public secretRounds;
+
+    event Deposited(address who, uint amount);
+    event Refunded(address who, uint amount);
+    event Reassigned(bool winner, uint amount);
+
+    modifier beforeT1 { require(block.timestamp < T1); _; }
+    modifier T1toT2 {
+        require(block.timestamp >= T1 && block.timestamp < T2);
+        _;
+    }
+    modifier T2toT3 {
+        require(block.timestamp >= T2 && block.timestamp < T3);
+        _;
+    }
+    modifier participantOnly {
+        require(msg.sender == participant[0] ||
+                msg.sender == participant[1]);
+        _;
+    }
+    modifier amountNotMet {
+        require(accountBalance[participant[0]] != stake ||
+                accountBalance[participant[1]] != stake);
+        _;
+    }
+
+    constructor(address a, address b, uint t1, uint t2, uint t3,
+                uint stakeAmount, uint seed, uint rounds) public {
+        participant[0] = a;
+        participant[1] = b;
+        T1 = t1;
+        T2 = t2;
+        T3 = t3;
+        stake = stakeAmount;
+        secretSeed = seed;
+        secretRounds = rounds;
+    }
+
+    function deposit() payable public beforeT1 participantOnly {
+        require(msg.value == stake);
+        require(accountBalance[msg.sender] == 0);
+        accountBalance[msg.sender] = msg.value;
+        emit Deposited(msg.sender, msg.value);
+    }
+
+    function refundRoundOne() public beforeT1 participantOnly {
+        uint amount = accountBalance[msg.sender];
+        require(amount > 0);
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amount);
+        emit Refunded(msg.sender, amount);
+    }
+
+    function refundRoundTwo() public T1toT2 participantOnly amountNotMet {
+        uint amount = accountBalance[msg.sender];
+        require(amount > 0);
+        accountBalance[msg.sender] = 0;
+        msg.sender.transfer(amount);
+        emit Refunded(msg.sender, amount);
+    }
+
+    function reveal() private view returns (bool) {
+        uint acc = secretSeed;
+        for (uint i = 0; i < secretRounds; i = i + 1) {
+            acc = (acc * 1103515245 + 12345) % 2147483648;
+        }
+        return acc % 2 == 1;
+    }
+
+    function reassign(bool winner) public T2toT3 participantOnly {
+        uint total = accountBalance[participant[0]] +
+                     accountBalance[participant[1]];
+        require(total > 0);
+        accountBalance[participant[0]] = 0;
+        accountBalance[participant[1]] = 0;
+        if (winner) {
+            participant[1].transfer(total);
+        } else {
+            participant[0].transfer(total);
+        }
+        emit Reassigned(winner, total);
+    }
+}
+"""
+
+BETTING_SPEC = SplitSpec(
+    participants_var="participant",
+    result_function="reveal",
+    settle_function="reassign",
+    challenge_period=3_600,
+)
+
+DEFAULT_STAKE = 1 * ETHER
+
+
+def reference_reveal(seed: int, rounds: int) -> bool:
+    """Python reference implementation of the private betting rule."""
+    acc = seed
+    for __ in range(rounds):
+        acc = (acc * 1103515245 + 12345) % 2147483648
+    return acc % 2 == 1
+
+
+@dataclass
+class BettingTimeline:
+    """The T0..T3 deadlines of Table I (absolute timestamps)."""
+
+    t1: int
+    t2: int
+    t3: int
+
+    @classmethod
+    def starting_now(cls, simulator: EthereumSimulator,
+                     round_seconds: int = 7_200) -> "BettingTimeline":
+        base = simulator.current_timestamp
+        return cls(
+            t1=base + round_seconds,
+            t2=base + 2 * round_seconds,
+            t3=base + 3 * round_seconds,
+        )
+
+
+def make_betting_protocol(simulator: EthereumSimulator,
+                          alice: Participant, bob: Participant,
+                          timeline: BettingTimeline | None = None,
+                          stake: int = DEFAULT_STAKE,
+                          seed: int = 42, rounds: int = 25,
+                          challenge_period: int = 3_600
+                          ) -> OnOffChainProtocol:
+    """Build and generate the betting protocol for Alice and Bob.
+
+    Returns the protocol already past Split/Generate, ready to deploy
+    (rule 1 of Table I).
+    """
+    timeline = timeline or BettingTimeline.starting_now(simulator)
+    spec = SplitSpec(
+        participants_var=BETTING_SPEC.participants_var,
+        result_function=BETTING_SPEC.result_function,
+        settle_function=BETTING_SPEC.settle_function,
+        challenge_period=challenge_period,
+    )
+    protocol = OnOffChainProtocol(
+        simulator=simulator,
+        whole_source=BETTING_SOURCE,
+        contract_name="Betting",
+        spec=spec,
+        participants=[alice, bob],
+    )
+    protocol.split_generate()
+    # Stash the deployment plan on the protocol for convenience.
+    protocol.betting_plan = {
+        "constructor_args": {
+            "a": alice.address, "b": bob.address,
+            "t1": timeline.t1, "t2": timeline.t2, "t3": timeline.t3,
+            "stakeAmount": stake, "seed": seed, "rounds": rounds,
+        },
+        "offchain_state": {"secretSeed": seed, "secretRounds": rounds},
+        "timeline": timeline,
+        "stake": stake,
+        "seed": seed,
+        "rounds": rounds,
+    }
+    return protocol
+
+
+def deploy_betting(protocol: OnOffChainProtocol,
+                   deployer: Participant):
+    """Deploy using the plan created by :func:`make_betting_protocol`."""
+    plan = protocol.betting_plan
+    return protocol.deploy(
+        deployer,
+        constructor_args=plan["constructor_args"],
+        offchain_state=plan["offchain_state"],
+    )

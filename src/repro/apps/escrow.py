@@ -1,0 +1,150 @@
+"""Escrow-with-private-acceptance application (2-party).
+
+A buyer escrows payment for a digital deliverable; acceptance is
+decided by a *private* checksum policy over the delivered artefact
+(e.g. fingerprints of the agreed specification).  Publishing the
+acceptance policy on-chain would reveal the commercial terms, so it
+runs off-chain; the ``release`` settle function moves the escrow.
+
+Exercises the protocol with a bool result and a keccak-based heavy
+function (hashing inside the off-chain contract).
+"""
+
+from __future__ import annotations
+
+from repro.chain.simulator import ETHER, EthereumSimulator
+from repro.core.annotations import SplitSpec
+from repro.core.classify import FunctionCategory
+from repro.core.participants import Participant
+from repro.core.protocol import OnOffChainProtocol
+from repro.crypto.keccak import keccak256
+
+ESCROW_SOURCE = """
+pragma solis ^0.1.0;
+
+contract Escrow {
+    address[2] public participant;
+    uint public price;
+    bool public funded;
+    uint public deliveredFingerprint;
+    uint public expectedFingerprint;
+    uint public tolerance;
+
+    event Funded(uint amount);
+    event Released(bool accepted, uint amount);
+
+    modifier buyerOnly { require(msg.sender == participant[0]); _; }
+    modifier participantOnly {
+        require(msg.sender == participant[0] ||
+                msg.sender == participant[1]);
+        _;
+    }
+
+    constructor(address buyer, address seller, uint amount,
+                uint delivered, uint expected, uint tol) public {
+        participant[0] = buyer;
+        participant[1] = seller;
+        price = amount;
+        deliveredFingerprint = delivered;
+        expectedFingerprint = expected;
+        tolerance = tol;
+    }
+
+    function fund() payable public buyerOnly {
+        require(!funded);
+        require(msg.value == price);
+        funded = true;
+        emit Funded(msg.value);
+    }
+
+    function accepts() private view returns (bool) {
+        // Private acceptance policy: iterated keccak chaining of the
+        // two fingerprints must converge within the agreed tolerance.
+        uint a = deliveredFingerprint;
+        uint b = expectedFingerprint;
+        uint distance = 0;
+        for (uint i = 0; i < 16; i = i + 1) {
+            a = uint(keccak256(bytes32(a)));
+            b = uint(keccak256(bytes32(b)));
+            if (a % 1024 > b % 1024) {
+                distance = distance + (a % 1024 - b % 1024);
+            } else {
+                distance = distance + (b % 1024 - a % 1024);
+            }
+        }
+        return distance <= tolerance;
+    }
+
+    function release(bool accepted) public participantOnly {
+        require(funded);
+        funded = false;
+        if (accepted) {
+            participant[1].transfer(price);
+        } else {
+            participant[0].transfer(price);
+        }
+        emit Released(accepted, price);
+    }
+}
+"""
+
+ESCROW_SPEC = SplitSpec(
+    participants_var="participant",
+    result_function="accepts",
+    settle_function="release",
+    challenge_period=3_600,
+    annotations={"accepts": FunctionCategory.HEAVY_PRIVATE},
+)
+
+DEFAULT_PRICE = 5 * ETHER
+
+
+def reference_accepts(delivered: int, expected: int, tolerance: int) -> bool:
+    """Python reference of the private acceptance policy."""
+    a, b = delivered, expected
+    distance = 0
+    for __ in range(16):
+        a = int.from_bytes(keccak256(a.to_bytes(32, "big")), "big")
+        b = int.from_bytes(keccak256(b.to_bytes(32, "big")), "big")
+        distance += abs(a % 1024 - b % 1024)
+    return distance <= tolerance
+
+
+def make_escrow_protocol(simulator: EthereumSimulator, buyer: Participant,
+                         seller: Participant,
+                         price: int = DEFAULT_PRICE,
+                         delivered: int = 123_456, expected: int = 123_456,
+                         tolerance: int = 4_096) -> OnOffChainProtocol:
+    """Build the escrow protocol, already split and compiled."""
+    protocol = OnOffChainProtocol(
+        simulator=simulator,
+        whole_source=ESCROW_SOURCE,
+        contract_name="Escrow",
+        spec=ESCROW_SPEC,
+        participants=[buyer, seller],
+    )
+    protocol.split_generate()
+    protocol.escrow_plan = {
+        "constructor_args": {
+            "buyer": buyer.address, "seller": seller.address,
+            "amount": price, "delivered": delivered,
+            "expected": expected, "tol": tolerance,
+        },
+        "offchain_state": {
+            "deliveredFingerprint": delivered,
+            "expectedFingerprint": expected,
+            "tolerance": tolerance,
+        },
+        "price": price,
+    }
+    return protocol
+
+
+def deploy_escrow(protocol: OnOffChainProtocol, deployer: Participant):
+    """Deploy using the plan from :func:`make_escrow_protocol`."""
+    plan = protocol.escrow_plan
+    return protocol.deploy(
+        deployer,
+        constructor_args=plan["constructor_args"],
+        offchain_state=plan["offchain_state"],
+    )

@@ -1,0 +1,164 @@
+"""Private-tender application (a 3-party scenario).
+
+A buyer escrows a budget; two contractors hold *secret quotes* and a
+private scoring formula decides the winner.  Publishing quotes or the
+scoring weights on-chain would leak competitive information — exactly
+the "distinguishable logic that may reveal private information" the
+paper's hybrid model moves off-chain.  The result type here is ``uint``
+(the winning contractor's participant index), exercising a non-boolean
+result through the whole protocol.
+"""
+
+from __future__ import annotations
+
+from repro.chain.simulator import ETHER, EthereumSimulator
+from repro.core.annotations import SplitSpec
+from repro.core.classify import FunctionCategory
+from repro.core.participants import Participant
+from repro.core.protocol import OnOffChainProtocol
+
+TENDER_SOURCE = """
+pragma solis ^0.1.0;
+
+contract Tender {
+    address[3] public participant;
+    uint public budget;
+    uint public quoteA;
+    uint public quoteB;
+    uint public qualityA;
+    uint public qualityB;
+    uint public qualityWeight;
+    bool public funded;
+
+    event Funded(uint amount);
+    event Awarded(uint winner, uint amount);
+
+    modifier buyerOnly { require(msg.sender == participant[0]); _; }
+    modifier participantOnly {
+        require(msg.sender == participant[0] ||
+                msg.sender == participant[1] ||
+                msg.sender == participant[2]);
+        _;
+    }
+
+    constructor(address buyer, address contractorA, address contractorB,
+                uint amount, uint qa, uint qb, uint wq, uint quoA,
+                uint quoB) public {
+        participant[0] = buyer;
+        participant[1] = contractorA;
+        participant[2] = contractorB;
+        budget = amount;
+        qualityA = qa;
+        qualityB = qb;
+        qualityWeight = wq;
+        quoteA = quoA;
+        quoteB = quoB;
+    }
+
+    function fund() payable public buyerOnly {
+        require(!funded);
+        require(msg.value == budget);
+        funded = true;
+        emit Funded(msg.value);
+    }
+
+    function selectWinner() private view returns (uint) {
+        // Private scoring: lower effective cost wins; quality discounts
+        // the quote.  Iterative smoothing makes the computation heavy.
+        uint scoreA = quoteA;
+        uint scoreB = quoteB;
+        for (uint i = 0; i < 40; i = i + 1) {
+            scoreA = (scoreA * 99 + quoteA) / 100;
+            scoreB = (scoreB * 99 + quoteB) / 100;
+        }
+        scoreA = scoreA - (qualityA * qualityWeight);
+        scoreB = scoreB - (qualityB * qualityWeight);
+        if (scoreA <= scoreB) {
+            return 1;
+        }
+        return 2;
+    }
+
+    function award(uint winner) public participantOnly {
+        require(funded);
+        require(winner == 1 || winner == 2);
+        funded = false;
+        if (winner == 1) {
+            participant[1].transfer(budget);
+        } else {
+            participant[2].transfer(budget);
+        }
+        emit Awarded(winner, budget);
+    }
+}
+"""
+
+TENDER_SPEC = SplitSpec(
+    participants_var="participant",
+    result_function="selectWinner",
+    settle_function="award",
+    challenge_period=3_600,
+    annotations={"selectWinner": FunctionCategory.HEAVY_PRIVATE},
+)
+
+DEFAULT_BUDGET = 10 * ETHER
+
+
+def reference_select_winner(quote_a: int, quote_b: int, quality_a: int,
+                            quality_b: int, weight: int) -> int:
+    """Python reference of the private scoring formula."""
+    score_a, score_b = quote_a, quote_b
+    for __ in range(40):
+        score_a = (score_a * 99 + quote_a) // 100
+        score_b = (score_b * 99 + quote_b) // 100
+    score_a -= quality_a * weight
+    score_b -= quality_b * weight
+    return 1 if score_a <= score_b else 2
+
+
+def make_tender_protocol(simulator: EthereumSimulator, buyer: Participant,
+                         contractor_a: Participant,
+                         contractor_b: Participant,
+                         budget: int = DEFAULT_BUDGET,
+                         quote_a: int = 9 * ETHER,
+                         quote_b: int = 8 * ETHER,
+                         quality_a: int = 80, quality_b: int = 60,
+                         quality_weight: int = 10 ** 16
+                         ) -> OnOffChainProtocol:
+    """Build the tender protocol, already split and compiled."""
+    protocol = OnOffChainProtocol(
+        simulator=simulator,
+        whole_source=TENDER_SOURCE,
+        contract_name="Tender",
+        spec=TENDER_SPEC,
+        participants=[buyer, contractor_a, contractor_b],
+    )
+    protocol.split_generate()
+    protocol.tender_plan = {
+        "constructor_args": {
+            "buyer": buyer.address,
+            "contractorA": contractor_a.address,
+            "contractorB": contractor_b.address,
+            "amount": budget,
+            "qa": quality_a, "qb": quality_b, "wq": quality_weight,
+            "quoA": quote_a, "quoB": quote_b,
+        },
+        "offchain_state": {
+            "budget": budget,
+            "quoteA": quote_a, "quoteB": quote_b,
+            "qualityA": quality_a, "qualityB": quality_b,
+            "qualityWeight": quality_weight,
+        },
+        "budget": budget,
+    }
+    return protocol
+
+
+def deploy_tender(protocol: OnOffChainProtocol, deployer: Participant):
+    """Deploy using the plan from :func:`make_tender_protocol`."""
+    plan = protocol.tender_plan
+    return protocol.deploy(
+        deployer,
+        constructor_args=plan["constructor_args"],
+        offchain_state=plan["offchain_state"],
+    )

@@ -1,0 +1,59 @@
+"""Blockchain substrate: accounts, state, transactions, blocks, mining.
+
+A deterministic single-node Ethereum stand-in (the role Kovan plays in
+the paper) with a ganache-like :class:`EthereumSimulator` facade.
+"""
+
+from repro.chain.account import Account
+from repro.chain.block import Block, BlockHeader
+from repro.chain.blockchain import Blockchain, ChainError
+from repro.chain.contract import (
+    ContractABI,
+    DeployedContract,
+    EventABI,
+    FunctionABI,
+)
+from repro.chain.mempool import Mempool, MempoolError
+from repro.chain.processor import (
+    InvalidTransaction,
+    apply_transaction,
+    decode_revert_reason,
+)
+from repro.chain.receipt import Receipt
+from repro.chain.simulator import (
+    ETHER,
+    GWEI,
+    CallFailed,
+    EthereumSimulator,
+    SimAccount,
+    TransactionFailed,
+)
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction, TransactionError
+
+__all__ = [
+    "Account",
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "ChainError",
+    "ContractABI",
+    "DeployedContract",
+    "EventABI",
+    "FunctionABI",
+    "Mempool",
+    "MempoolError",
+    "InvalidTransaction",
+    "apply_transaction",
+    "decode_revert_reason",
+    "Receipt",
+    "ETHER",
+    "GWEI",
+    "CallFailed",
+    "EthereumSimulator",
+    "SimAccount",
+    "TransactionFailed",
+    "WorldState",
+    "Transaction",
+    "TransactionError",
+]

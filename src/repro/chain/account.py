@@ -1,0 +1,40 @@
+"""Account model: EOAs and contract accounts.
+
+Mirrors Ethereum's account state (§4.1 of the yellow paper): nonce,
+balance, code and storage.  An account with code is a Contract Account
+(CA); one without is an Externally Owned Account (EOA) — the two account
+types §II-A of the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Account:
+    """Mutable state of one Ethereum account."""
+
+    nonce: int = 0
+    balance: int = 0
+    code: bytes = b""
+    storage: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_contract(self) -> bool:
+        """True for Contract Accounts (code-bearing)."""
+        return bool(self.code)
+
+    @property
+    def is_empty(self) -> bool:
+        """EIP-161 emptiness: no nonce, balance, or code."""
+        return self.nonce == 0 and self.balance == 0 and not self.code
+
+    def copy(self) -> "Account":
+        """Deep copy (storage included)."""
+        return Account(
+            nonce=self.nonce,
+            balance=self.balance,
+            code=self.code,
+            storage=dict(self.storage),
+        )

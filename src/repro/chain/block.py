@@ -1,0 +1,72 @@
+"""Blocks and block headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.crypto import rlp
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import Address
+from repro.chain.receipt import Receipt
+from repro.chain.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """The consensus-relevant block fields."""
+
+    number: int
+    parent_hash: bytes
+    state_root: bytes
+    timestamp: int
+    miner: Address
+    gas_limit: int
+    gas_used: int
+    transactions_root: bytes
+
+    def encode(self) -> bytes:
+        return rlp.encode([
+            self.number,
+            self.parent_hash,
+            self.state_root,
+            self.timestamp,
+            self.miner.value,
+            self.gas_limit,
+            self.gas_used,
+            self.transactions_root,
+        ])
+
+    @cached_property
+    def hash(self) -> bytes:
+        return keccak256(self.encode())
+
+
+@dataclass(frozen=True)
+class Block:
+    """A mined block: header + ordered transactions + receipts."""
+
+    header: BlockHeader
+    transactions: tuple[Transaction, ...] = field(default_factory=tuple)
+    receipts: tuple[Receipt, ...] = field(default_factory=tuple)
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    @property
+    def timestamp(self) -> int:
+        return self.header.timestamp
+
+    @property
+    def hash(self) -> bytes:
+        return self.header.hash
+
+    @property
+    def gas_used(self) -> int:
+        return self.header.gas_used
+
+
+def transactions_root(transactions: list[Transaction]) -> bytes:
+    """Commitment over the ordered transaction list."""
+    return keccak256(rlp.encode([tx.encode() for tx in transactions]))

@@ -1,0 +1,171 @@
+"""The blockchain: genesis, mining, receipts, chain queries.
+
+A deterministic single-node chain.  Blocks are produced on demand
+(``mine_block``), which is how test networks like ganache behave and is
+exactly what the paper's protocol needs: transaction ordering, block
+timestamps for the T0..T3 deadlines, and per-transaction gas receipts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.keys import Address
+from repro.chain.block import Block, BlockHeader, transactions_root
+from repro.chain.mempool import Mempool
+from repro.chain.processor import InvalidTransaction, apply_transaction
+from repro.chain.receipt import Receipt
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.evm.vm import BlockContext
+
+_GENESIS_PARENT = b"\x00" * 32
+DEFAULT_BLOCK_GAS_LIMIT = 8_000_000
+DEFAULT_BLOCK_INTERVAL = 15  # seconds, mainnet-like
+
+
+class ChainError(ValueError):
+    """Raised for chain-level failures (unknown blocks, bad queries)."""
+
+
+class Blockchain:
+    """An append-only chain of blocks over a journaled world state."""
+
+    def __init__(self, coinbase: Optional[Address] = None,
+                 genesis_timestamp: int = 1_550_000_000,
+                 block_gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT,
+                 block_interval: int = DEFAULT_BLOCK_INTERVAL) -> None:
+        self.state = WorldState()
+        self.mempool = Mempool()
+        self.coinbase = coinbase or Address.from_int(0xC0FFEE)
+        self.block_gas_limit = block_gas_limit
+        self.block_interval = block_interval
+        self._receipts: dict[bytes, Receipt] = {}
+        self._dropped: dict[bytes, str] = {}
+        genesis_header = BlockHeader(
+            number=0,
+            parent_hash=_GENESIS_PARENT,
+            state_root=self.state.state_root(),
+            timestamp=genesis_timestamp,
+            miner=self.coinbase,
+            gas_limit=block_gas_limit,
+            gas_used=0,
+            transactions_root=transactions_root([]),
+        )
+        self.blocks: list[Block] = [Block(header=genesis_header)]
+        self._time_offset = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def latest_block(self) -> Block:
+        return self.blocks[-1]
+
+    def next_timestamp(self) -> int:
+        """Timestamp the next mined block will carry."""
+        return (self.latest_block.timestamp + self.block_interval
+                + self._time_offset)
+
+    def increase_time(self, seconds: int) -> None:
+        """Warp the clock forward (ganache ``evm_increaseTime``)."""
+        if seconds < 0:
+            raise ChainError("time can only move forward")
+        self._time_offset += seconds
+
+    # -- transactions ----------------------------------------------------------
+
+    def send_transaction(self, transaction: Transaction) -> bytes:
+        """Queue a signed transaction; returns its hash."""
+        self.mempool.add(transaction)
+        return transaction.hash
+
+    def block_context(self, timestamp: Optional[int] = None,
+                      number: Optional[int] = None) -> BlockContext:
+        """Environment for executing against the (pending) next block."""
+        return BlockContext(
+            coinbase=self.coinbase,
+            timestamp=timestamp if timestamp is not None else self.next_timestamp(),
+            number=number if number is not None else self.latest_block.number + 1,
+            gas_limit=self.block_gas_limit,
+            block_hash_fn=self._block_hash,
+        )
+
+    def _block_hash(self, number: int) -> bytes:
+        if 0 <= number < len(self.blocks):
+            return self.blocks[number].hash
+        return b"\x00" * 32
+
+    def mine_block(self) -> Block:
+        """Pack pending transactions into a new block and execute them."""
+        timestamp = self.next_timestamp()
+        self._time_offset = 0
+        number = self.latest_block.number + 1
+        context = self.block_context(timestamp=timestamp, number=number)
+
+        transactions = self.mempool.pop_batch(self.block_gas_limit)
+        receipts: list[Receipt] = []
+        included: list[Transaction] = []
+        cumulative_gas = 0
+        for index, tx in enumerate(transactions):
+            try:
+                outcome = apply_transaction(self.state, context, tx)
+            except InvalidTransaction as exc:
+                # Invalid at execution time (e.g. nonce gap): drop, record.
+                self._dropped[tx.hash] = str(exc)
+                continue
+            cumulative_gas += outcome.gas_used
+            receipt = Receipt(
+                transaction_hash=tx.hash,
+                transaction_index=index,
+                block_number=number,
+                sender=tx.sender,
+                to=tx.to,
+                status=outcome.status,
+                gas_used=outcome.gas_used,
+                cumulative_gas_used=cumulative_gas,
+                contract_address=outcome.contract_address,
+                logs=outcome.logs,
+                error=outcome.error,
+            )
+            receipts.append(receipt)
+            included.append(tx)
+            self._receipts[tx.hash] = receipt
+
+        header = BlockHeader(
+            number=number,
+            parent_hash=self.latest_block.hash,
+            state_root=self.state.state_root(),
+            timestamp=timestamp,
+            miner=self.coinbase,
+            gas_limit=self.block_gas_limit,
+            gas_used=cumulative_gas,
+            transactions_root=transactions_root(included),
+        )
+        block = Block(
+            header=header,
+            transactions=tuple(included),
+            receipts=tuple(receipts),
+        )
+        self.blocks.append(block)
+        return block
+
+    # -- queries ----------------------------------------------------------------
+
+    def get_receipt(self, tx_hash: bytes) -> Receipt:
+        """Receipt of a mined transaction (raises if unknown/dropped)."""
+        receipt = self._receipts.get(tx_hash)
+        if receipt is None:
+            reason = self._dropped.get(tx_hash)
+            if reason is not None:
+                raise ChainError(f"transaction was dropped: {reason}")
+            raise ChainError("unknown transaction hash")
+        return receipt
+
+    def get_block(self, number: int) -> Block:
+        if not 0 <= number < len(self.blocks):
+            raise ChainError(f"no block number {number}")
+        return self.blocks[number]
+
+    def total_gas_used(self) -> int:
+        """Sum of gas used by every mined transaction (miner workload)."""
+        return sum(block.gas_used for block in self.blocks)

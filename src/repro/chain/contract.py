@@ -1,0 +1,147 @@
+"""Contract ABI descriptions and a web3-style contract handle.
+
+`ContractABI` is what the Solis compiler emits next to bytecode; the
+`DeployedContract` handle binds an ABI to an on-chain address and a
+simulator so application code reads like web3.py:
+
+    betting.transact("deposit", sender=alice, value=1 * ETHER)
+    winner = betting.call("getWinner")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.crypto import abi as abi_codec
+from repro.crypto.keys import Address
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chain.receipt import Receipt
+    from repro.chain.simulator import EthereumSimulator, SimAccount
+
+
+class AbiLookupError(KeyError):
+    """Raised when a function or event is missing from an ABI."""
+
+
+@dataclass(frozen=True)
+class FunctionABI:
+    """Description of one externally callable function."""
+
+    name: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    payable: bool = False
+    constant: bool = False
+
+    @property
+    def selector(self) -> bytes:
+        return abi_codec.function_selector(self.name, self.inputs)
+
+    @property
+    def signature(self) -> str:
+        return abi_codec.function_signature(self.name, self.inputs)
+
+    def encode_call(self, args: Sequence[Any]) -> bytes:
+        return abi_codec.encode_call(self.name, self.inputs, args)
+
+    def decode_output(self, data: bytes) -> Any:
+        if not self.outputs:
+            return None
+        values = abi_codec.decode_arguments(self.outputs, data)
+        return values[0] if len(values) == 1 else tuple(values)
+
+
+@dataclass(frozen=True)
+class EventABI:
+    """Description of one event type."""
+
+    name: str
+    inputs: tuple[str, ...] = ()
+
+    @property
+    def topic(self) -> bytes:
+        return abi_codec.event_topic(self.name, self.inputs)
+
+    def decode(self, data: bytes) -> list[Any]:
+        return abi_codec.decode_arguments(self.inputs, data)
+
+
+@dataclass(frozen=True)
+class ContractABI:
+    """The full external interface of a contract."""
+
+    contract_name: str
+    functions: tuple[FunctionABI, ...] = ()
+    events: tuple[EventABI, ...] = ()
+    constructor_inputs: tuple[str, ...] = ()
+
+    def function(self, name: str) -> FunctionABI:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise AbiLookupError(
+            f"{self.contract_name} has no function {name!r}; "
+            f"has: {[fn.name for fn in self.functions]}"
+        )
+
+    def event(self, name: str) -> EventABI:
+        for ev in self.events:
+            if ev.name == name:
+                return ev
+        raise AbiLookupError(f"{self.contract_name} has no event {name!r}")
+
+    def encode_constructor_args(self, args: Sequence[Any]) -> bytes:
+        return abi_codec.encode_arguments(self.constructor_inputs, args)
+
+
+@dataclass
+class DeployedContract:
+    """A contract address bound to an ABI and a simulator."""
+
+    address: Address
+    abi: ContractABI
+    simulator: "EthereumSimulator"
+    deploy_receipt: Optional["Receipt"] = field(default=None, repr=False)
+
+    def transact(self, function_name: str, *args: Any,
+                 sender: "SimAccount", value: int = 0,
+                 gas_limit: int = 3_000_000, gas_price: int = 1,
+                 require_success: bool = True) -> "Receipt":
+        """Send a state-changing transaction and mine it."""
+        fn = self.abi.function(function_name)
+        data = fn.encode_call(args)
+        return self.simulator.transact(
+            sender=sender, to=self.address, data=data,
+            value=value, gas_limit=gas_limit, gas_price=gas_price,
+            require_success=require_success,
+        )
+
+    def call(self, function_name: str, *args: Any,
+             sender: Optional["SimAccount"] = None, value: int = 0) -> Any:
+        """Execute read-only (no state change, no gas spent on-chain)."""
+        fn = self.abi.function(function_name)
+        data = fn.encode_call(args)
+        output = self.simulator.call(
+            to=self.address, data=data, sender=sender, value=value,
+        )
+        return fn.decode_output(output)
+
+    def decode_events(self, receipt: "Receipt", event_name: str) -> list[list[Any]]:
+        """Decode all logs in a receipt matching one of this ABI's events."""
+        event = self.abi.event(event_name)
+        topic = int.from_bytes(event.topic, "big")
+        return [
+            event.decode(log.data)
+            for log in receipt.logs_for(self.address)
+            if log.topics and log.topics[0] == topic
+        ]
+
+    @property
+    def balance(self) -> int:
+        return self.simulator.get_balance(self.address)
+
+    @property
+    def code(self) -> bytes:
+        return self.simulator.chain.state.get_code(self.address)

@@ -1,0 +1,94 @@
+"""Transaction pool.
+
+Orders pending transactions the way miners do: by gas price
+(descending), then arrival order; per-sender transactions are kept in
+nonce order so account nonces always apply sequentially.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.chain.transaction import Transaction, TransactionError
+
+
+class MempoolError(ValueError):
+    """Raised when a transaction cannot be admitted to the pool."""
+
+
+@dataclass(order=True)
+class _PoolEntry:
+    sort_key: tuple[int, int] = field(compare=True)
+    transaction: Transaction = field(compare=False)
+
+
+class Mempool:
+    """Pending transactions awaiting inclusion in a block."""
+
+    def __init__(self) -> None:
+        self._entries: list[_PoolEntry] = []
+        self._hashes: set[bytes] = set()
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, transaction: Transaction) -> None:
+        """Admit a transaction (deduplicated by hash, sender checked)."""
+        if transaction.hash in self._hashes:
+            raise MempoolError("transaction already in pool")
+        try:
+            transaction.sender  # force signature recovery
+        except TransactionError as exc:
+            raise MempoolError(f"rejecting unsignable transaction: {exc}")
+        self._entries.append(_PoolEntry(
+            sort_key=(-transaction.gas_price, next(self._counter)),
+            transaction=transaction,
+        ))
+        self._hashes.add(transaction.hash)
+
+    def pop_batch(self, gas_limit: int) -> list[Transaction]:
+        """Take the best transactions fitting under ``gas_limit``.
+
+        Per-sender nonce order is preserved: a later-nonce transaction
+        never jumps ahead of an earlier one from the same sender.
+        """
+        self._entries.sort()
+        chosen: list[Transaction] = []
+        gas_budget = gas_limit
+
+        # Lowest pending nonce per sender — a transaction is only
+        # eligible once every lower-nonce sibling has been taken.
+        min_nonce: dict[bytes, int] = {}
+        for entry in self._entries:
+            tx = entry.transaction
+            key = tx.sender.value
+            min_nonce[key] = min(min_nonce.get(key, tx.nonce), tx.nonce)
+
+        progress = True
+        while progress:
+            progress = False
+            for index, entry in enumerate(self._entries):
+                tx = entry.transaction
+                key = tx.sender.value
+                if tx.gas_limit > gas_budget:
+                    continue
+                if tx.nonce != min_nonce[key]:
+                    continue
+                chosen.append(tx)
+                gas_budget -= tx.gas_limit
+                min_nonce[key] = tx.nonce + 1
+                self._hashes.discard(tx.hash)
+                del self._entries[index]
+                progress = True
+                break
+        return chosen
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._hashes.clear()
+
+    def pending(self) -> list[Transaction]:
+        """Snapshot of pending transactions (pool order)."""
+        return [entry.transaction for entry in sorted(self._entries)]

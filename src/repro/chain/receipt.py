@@ -1,0 +1,40 @@
+"""Transaction receipts and log matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.keys import Address
+from repro.evm.vm import Log
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """Outcome of one mined transaction."""
+
+    transaction_hash: bytes
+    transaction_index: int
+    block_number: int
+    sender: Address
+    to: Optional[Address]
+    status: bool
+    gas_used: int
+    cumulative_gas_used: int
+    contract_address: Optional[Address] = None
+    logs: tuple[Log, ...] = field(default_factory=tuple)
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status
+
+    def logs_for(self, address: Address) -> list[Log]:
+        """Logs emitted by a specific contract."""
+        return [log for log in self.logs if log.address == address]
+
+    def logs_with_topic(self, topic: int | bytes) -> list[Log]:
+        """Logs whose first topic matches (event filtering)."""
+        if isinstance(topic, bytes):
+            topic = int.from_bytes(topic, "big")
+        return [log for log in self.logs if log.topics and log.topics[0] == topic]

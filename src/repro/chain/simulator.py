@@ -1,0 +1,318 @@
+"""A ganache-like Ethereum simulator facade.
+
+Bundles the blockchain, a set of pre-funded deterministic accounts, and
+web3-style helpers (deploy / transact / call / time-warp) — the same
+developer surface the paper's authors had against Kovan, minus the
+network.  Auto-mining is on by default: every transaction lands in its
+own block, which keeps receipts immediate and tests deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.crypto.keys import Address, PrivateKey
+from repro.chain.blockchain import Blockchain, ChainError
+from repro.chain.contract import ContractABI, DeployedContract
+from repro.chain.processor import apply_transaction
+from repro.chain.receipt import Receipt
+from repro.chain.transaction import Transaction
+
+ETHER = 10 ** 18
+GWEI = 10 ** 9
+DEFAULT_FUNDING = 1_000 * ETHER
+
+
+class TransactionFailed(RuntimeError):
+    """A transaction was mined but reverted (carries the receipt)."""
+
+    def __init__(self, receipt: Receipt) -> None:
+        super().__init__(
+            f"transaction reverted in block {receipt.block_number}: "
+            f"{receipt.error or 'no reason'}"
+        )
+        self.receipt = receipt
+
+
+class CallFailed(RuntimeError):
+    """A read-only call reverted."""
+
+
+@dataclass
+class SimAccount:
+    """A pre-funded externally owned account."""
+
+    key: PrivateKey
+    name: str = ""
+
+    @property
+    def address(self) -> Address:
+        return self.key.address
+
+    def __str__(self) -> str:
+        return self.name or self.address.checksum
+
+
+class EthereumSimulator:
+    """Single-node test chain with funded accounts and auto-mining."""
+
+    def __init__(self, num_accounts: int = 10,
+                 funding: int = DEFAULT_FUNDING,
+                 auto_mine: bool = True,
+                 genesis_timestamp: int = 1_550_000_000) -> None:
+        self.chain = Blockchain(genesis_timestamp=genesis_timestamp)
+        self.auto_mine = auto_mine
+        self.accounts: list[SimAccount] = []
+        for index in range(num_accounts):
+            account = SimAccount(
+                key=PrivateKey.from_seed(f"simulator-account-{index}"),
+                name=f"account{index}",
+            )
+            self.chain.state.add_balance(account.address, funding)
+            self.accounts.append(account)
+        self.chain.state.clear_journal()
+
+    # -- accounts ---------------------------------------------------------
+
+    def create_account(self, seed: str, funding: int = DEFAULT_FUNDING,
+                       name: str = "") -> SimAccount:
+        """Create and fund an additional deterministic account."""
+        account = SimAccount(key=PrivateKey.from_seed(seed), name=name or seed)
+        self.chain.state.add_balance(account.address, funding)
+        self.chain.state.clear_journal()
+        return account
+
+    def get_balance(self, who: Address | SimAccount) -> int:
+        address = who.address if isinstance(who, SimAccount) else who
+        return self.chain.state.get_balance(address)
+
+    def get_nonce(self, who: Address | SimAccount) -> int:
+        address = who.address if isinstance(who, SimAccount) else who
+        return self.chain.state.get_nonce(address)
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def current_timestamp(self) -> int:
+        return self.chain.latest_block.timestamp
+
+    def increase_time(self, seconds: int) -> None:
+        """Warp the next block's timestamp forward."""
+        self.chain.increase_time(seconds)
+
+    def advance_time_to(self, timestamp: int) -> None:
+        """Warp so the *next* block is at or after ``timestamp``."""
+        target_delta = timestamp - (
+            self.chain.latest_block.timestamp + self.chain.block_interval
+        )
+        if target_delta > 0:
+            self.chain.increase_time(target_delta)
+
+    def mine(self, blocks: int = 1) -> None:
+        """Mine empty (or pending-transaction) blocks."""
+        for __ in range(blocks):
+            self.chain.mine_block()
+
+    # -- snapshots (ganache evm_snapshot / evm_revert) -----------------------
+
+    def snapshot(self) -> int:
+        """Capture the full chain state; returns a snapshot id.
+
+        Reverting restores world state, blocks, receipts and the clock
+        — the ganache ``evm_snapshot`` idiom tests use to explore
+        alternative futures from a common setup.
+        """
+        if not hasattr(self, "_snapshots"):
+            self._snapshots: dict[int, tuple] = {}
+            self._snapshot_counter = 0
+        self._snapshot_counter += 1
+        chain = self.chain
+        self._snapshots[self._snapshot_counter] = (
+            chain.state.copy(),
+            list(chain.blocks),
+            dict(chain._receipts),
+            dict(chain._dropped),
+            chain._time_offset,
+        )
+        return self._snapshot_counter
+
+    def revert(self, snapshot_id: int) -> None:
+        """Restore a snapshot taken by :meth:`snapshot`."""
+        snapshots = getattr(self, "_snapshots", {})
+        if snapshot_id not in snapshots:
+            raise ChainError(f"unknown snapshot id {snapshot_id}")
+        state, blocks, receipts, dropped, offset = \
+            snapshots.pop(snapshot_id)
+        chain = self.chain
+        chain.state = state
+        chain.blocks = blocks
+        chain._receipts = receipts
+        chain._dropped = dropped
+        chain._time_offset = offset
+        chain.mempool.clear()
+        # Later snapshots reference futures that no longer exist.
+        for later in [sid for sid in snapshots if sid > snapshot_id]:
+            snapshots.pop(later)
+
+    # -- transactions ------------------------------------------------------------
+
+    def send_transaction(self, sender: SimAccount, to: Optional[Address],
+                         data: bytes = b"", value: int = 0,
+                         gas_limit: int = 3_000_000,
+                         gas_price: int = 1) -> bytes:
+        """Sign and queue a transaction without mining; returns its hash.
+
+        Manual-mining workflow: queue several transactions, then call
+        :meth:`mine` once to pack them into a single block, and fetch
+        receipts via :meth:`get_receipt`.  Nonces are allocated from
+        pending state (pool-aware), so one sender can queue many.
+        """
+        pending_same_sender = sum(
+            1 for tx in self.chain.mempool.pending()
+            if tx.sender == sender.address
+        )
+        tx = Transaction.create_signed(
+            private_key=sender.key,
+            nonce=self.get_nonce(sender) + pending_same_sender,
+            to=to,
+            value=value,
+            data=data,
+            gas_limit=gas_limit,
+            gas_price=gas_price,
+        )
+        return self.chain.send_transaction(tx)
+
+    def get_receipt(self, tx_hash: bytes) -> Receipt:
+        """Receipt of a mined transaction (raises if unknown/pending)."""
+        return self.chain.get_receipt(tx_hash)
+
+    def transact(self, sender: SimAccount, to: Optional[Address],
+                 data: bytes = b"", value: int = 0,
+                 gas_limit: int = 3_000_000, gas_price: int = 1,
+                 require_success: bool = True) -> Receipt:
+        """Sign, send and (auto-)mine a transaction; return its receipt."""
+        if not self.auto_mine:
+            raise ChainError(
+                "auto_mine is off: use send_transaction() + mine() and "
+                "fetch the receipt manually"
+            )
+        tx_hash = self.send_transaction(
+            sender, to, data=data, value=value,
+            gas_limit=gas_limit, gas_price=gas_price,
+        )
+        self.chain.mine_block()
+        receipt = self.chain.get_receipt(tx_hash)
+        if require_success and not receipt.status:
+            raise TransactionFailed(receipt)
+        return receipt
+
+    def transfer(self, sender: SimAccount, to: Address | SimAccount,
+                 value: int) -> Receipt:
+        """Plain value transfer."""
+        address = to.address if isinstance(to, SimAccount) else to
+        return self.transact(sender, address, value=value, gas_limit=50_000)
+
+    def deploy_bytecode(self, sender: SimAccount, init_code: bytes,
+                        value: int = 0,
+                        gas_limit: int = 6_000_000) -> Receipt:
+        """Deploy raw init bytecode; receipt carries the new address."""
+        return self.transact(
+            sender, to=None, data=init_code, value=value, gas_limit=gas_limit
+        )
+
+    def deploy(self, sender: SimAccount, init_code: bytes, abi: ContractABI,
+               constructor_args: Sequence[Any] = (), value: int = 0,
+               gas_limit: int = 6_000_000) -> DeployedContract:
+        """Deploy a compiled contract and return a bound handle."""
+        data = init_code + abi.encode_constructor_args(constructor_args)
+        receipt = self.deploy_bytecode(sender, data, value=value,
+                                       gas_limit=gas_limit)
+        assert receipt.contract_address is not None
+        return DeployedContract(
+            address=receipt.contract_address,
+            abi=abi,
+            simulator=self,
+            deploy_receipt=receipt,
+        )
+
+    def contract_at(self, address: Address, abi: ContractABI) -> DeployedContract:
+        """Bind an ABI to an already-deployed address."""
+        return DeployedContract(address=address, abi=abi, simulator=self)
+
+    # -- read-only execution ---------------------------------------------------------
+
+    def call(self, to: Address, data: bytes = b"",
+             sender: Optional[SimAccount] = None, value: int = 0,
+             gas_limit: int = 8_000_000) -> bytes:
+        """eth_call: execute against a copy of state, discard changes."""
+        from repro.evm.vm import EVM, Message
+
+        state_copy = self.chain.state.copy()
+        caller = (sender or self.accounts[0]).address
+        if value:
+            state_copy.add_balance(caller, value)
+        message = Message(
+            sender=caller, to=to, value=value, data=data,
+            gas=gas_limit, origin=caller,
+        )
+        evm = EVM(state_copy, self.chain.block_context())
+        result = evm.execute(message)
+        if not result.success:
+            from repro.chain.processor import decode_revert_reason
+
+            reason = decode_revert_reason(result.return_data)
+            raise CallFailed(
+                f"call reverted: {reason or result.error or 'no reason'}"
+            )
+        return result.return_data
+
+    def profile(self, sender: SimAccount, to: Optional[Address],
+                data: bytes = b"", value: int = 0,
+                gas_limit: int = 8_000_000, depth_limit: int | None = 0):
+        """Gas-profile a message on a state copy (nothing committed).
+
+        Returns a :class:`repro.evm.tracer.GasProfile` decomposing the
+        execution gas by opcode and category.  ``depth_limit=0`` gives
+        an exclusive decomposition of the outermost frame.
+        """
+        from repro.evm.tracer import GasProfiler
+        from repro.evm.vm import EVM, Message
+
+        state_copy = self.chain.state.copy()
+        if to is not None:
+            state_copy.increment_nonce(sender.address)
+        profiler = GasProfiler(depth_limit=depth_limit)
+        message = Message(
+            sender=sender.address, to=to, value=value, data=data,
+            gas=gas_limit, origin=sender.address,
+        )
+        evm = EVM(state_copy, self.chain.block_context(), tracer=profiler)
+        result = evm.execute(message)
+        if not result.success:
+            raise CallFailed(
+                f"profiled execution reverted: {result.error}"
+            )
+        return profiler.profile
+
+    def estimate_gas(self, sender: SimAccount, to: Optional[Address],
+                     data: bytes = b"", value: int = 0) -> int:
+        """Gas a transaction would use, without committing anything."""
+        from repro.evm import gas as gas_schedule
+        from repro.evm.vm import EVM, Message
+
+        state_copy = self.chain.state.copy()
+        intrinsic = gas_schedule.intrinsic_gas(data, to is None)
+        if to is not None:
+            state_copy.increment_nonce(sender.address)
+        message = Message(
+            sender=sender.address, to=to, value=value, data=data,
+            gas=self.chain.block_gas_limit - intrinsic,
+            origin=sender.address,
+        )
+        evm = EVM(state_copy, self.chain.block_context())
+        result = evm.execute(message)
+        if not result.success:
+            raise CallFailed(f"estimate reverted: {result.error or 'no reason'}")
+        refund = min(result.gas_refund, (intrinsic + result.gas_used) // 2)
+        return intrinsic + result.gas_used - refund

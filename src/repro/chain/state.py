@@ -1,0 +1,175 @@
+"""Journaled world state.
+
+Implements the :class:`repro.evm.vm.StateBackend` protocol with a
+change journal so nested message frames can snapshot and revert in
+O(changes) — the semantics the EVM's CALL/CREATE/REVERT machinery
+depends on.  A state-root commitment (hash over the sorted account
+contents) stands in for Ethereum's Merkle-Patricia trie root.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.crypto import rlp
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import Address
+from repro.chain.account import Account
+
+# Journal entry tags.
+_BALANCE = "balance"
+_NONCE = "nonce"
+_CODE = "code"
+_STORAGE = "storage"
+_CREATE = "create"
+
+
+class WorldState:
+    """All accounts, with snapshot/revert via an undo journal."""
+
+    def __init__(self) -> None:
+        self._accounts: dict[bytes, Account] = {}
+        self._journal: list[tuple] = []
+
+    # -- account access -------------------------------------------------
+
+    def _get(self, address: Address) -> Account | None:
+        return self._accounts.get(address.value)
+
+    def _get_or_create(self, address: Address) -> Account:
+        account = self._accounts.get(address.value)
+        if account is None:
+            account = Account()
+            self._accounts[address.value] = account
+            self._journal.append((_CREATE, address.value))
+        return account
+
+    def account_exists(self, address: Address) -> bool:
+        """True if the account exists and is non-empty (EIP-161)."""
+        account = self._get(address)
+        return account is not None and not account.is_empty
+
+    def create_account(self, address: Address) -> None:
+        """Ensure an account record exists for ``address``."""
+        self._get_or_create(address)
+
+    def get_balance(self, address: Address) -> int:
+        account = self._get(address)
+        return account.balance if account else 0
+
+    def set_balance(self, address: Address, value: int) -> None:
+        if value < 0:
+            raise ValueError("balance cannot go negative")
+        account = self._get_or_create(address)
+        self._journal.append((_BALANCE, address.value, account.balance))
+        account.balance = value
+
+    def add_balance(self, address: Address, delta: int) -> None:
+        """Credit ``delta`` wei (convenience for mining rewards/funding)."""
+        self.set_balance(address, self.get_balance(address) + delta)
+
+    def get_nonce(self, address: Address) -> int:
+        account = self._get(address)
+        return account.nonce if account else 0
+
+    def increment_nonce(self, address: Address) -> None:
+        account = self._get_or_create(address)
+        self._journal.append((_NONCE, address.value, account.nonce))
+        account.nonce += 1
+
+    def get_code(self, address: Address) -> bytes:
+        account = self._get(address)
+        return account.code if account else b""
+
+    def set_code(self, address: Address, code: bytes) -> None:
+        account = self._get_or_create(address)
+        self._journal.append((_CODE, address.value, account.code))
+        account.code = code
+
+    def get_storage(self, address: Address, key: int) -> int:
+        account = self._get(address)
+        if account is None:
+            return 0
+        return account.storage.get(key, 0)
+
+    def set_storage(self, address: Address, key: int, value: int) -> None:
+        account = self._get_or_create(address)
+        old = account.storage.get(key, 0)
+        self._journal.append((_STORAGE, address.value, key, old))
+        if value == 0:
+            account.storage.pop(key, None)
+        else:
+            account.storage[key] = value
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Mark the current journal position."""
+        return len(self._journal)
+
+    def revert_to(self, snapshot_id: int) -> None:
+        """Undo every change made after ``snapshot_id``."""
+        while len(self._journal) > snapshot_id:
+            entry = self._journal.pop()
+            tag = entry[0]
+            if tag == _BALANCE:
+                self._accounts[entry[1]].balance = entry[2]
+            elif tag == _NONCE:
+                self._accounts[entry[1]].nonce = entry[2]
+            elif tag == _CODE:
+                self._accounts[entry[1]].code = entry[2]
+            elif tag == _STORAGE:
+                __, raw, key, old = entry
+                storage = self._accounts[raw].storage
+                if old == 0:
+                    storage.pop(key, None)
+                else:
+                    storage[key] = old
+            elif tag == _CREATE:
+                del self._accounts[entry[1]]
+
+    def discard_snapshot(self, snapshot_id: int) -> None:
+        """Accept changes since ``snapshot_id`` (journal kept for parents)."""
+        # Entries must remain until the outermost frame commits, so this
+        # is deliberately a no-op; clear_journal() trims per transaction.
+
+    def clear_journal(self) -> None:
+        """Drop undo history — call once per committed transaction."""
+        self._journal.clear()
+
+    # -- inspection ----------------------------------------------------------
+
+    def iter_accounts(self) -> Iterator[tuple[Address, Account]]:
+        """Iterate (address, account) pairs in insertion order."""
+        for raw, account in self._accounts.items():
+            yield Address(raw), account
+
+    def state_root(self) -> bytes:
+        """Deterministic commitment over the full state.
+
+        A hash over the RLP of sorted account data — a stand-in for the
+        Merkle-Patricia state root with the same commitment property.
+        """
+        items = []
+        for raw in sorted(self._accounts):
+            account = self._accounts[raw]
+            storage_items = [
+                [key.to_bytes(32, "big"), value.to_bytes(32, "big")]
+                for key, value in sorted(account.storage.items())
+            ]
+            items.append([
+                raw,
+                account.nonce,
+                account.balance,
+                keccak256(account.code),
+                storage_items,
+            ])
+        return keccak256(rlp.encode(items))
+
+    def copy(self) -> "WorldState":
+        """Deep copy (used for read-only eth_call-style execution)."""
+        clone = WorldState()
+        clone._accounts = {
+            raw: account.copy() for raw, account in self._accounts.items()
+        }
+        return clone

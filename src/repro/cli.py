@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``):
+
+    repro compile  contract.sol [--contract NAME]
+    repro classify contract.sol --contract NAME
+    repro split    contract.sol --contract NAME --participants VAR \\
+                   --result FN --settle FN [--out DIR] \\
+                   [--challenge-period SECONDS] [--security-deposit WEI]
+    repro demo     {betting,tender,escrow} [--dispute]
+
+``split`` is the Split/Generate stage as a tool: it writes the
+canonical on/off-chain pair next to your whole contract, ready to be
+compiled and signed by every participant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.annotations import SplitSpec
+from repro.core.classify import classify_contract
+from repro.core.splitter import split_contract
+from repro.lang.compiler import compile_source
+from repro.lang.parser import parse
+
+
+def _read_source(path: str) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+
+
+def _pick_contract(source: str, name: str | None) -> str:
+    unit = parse(source)
+    names = [c.name for c in unit.contracts if not c.is_interface]
+    if name:
+        if name not in names:
+            raise SystemExit(
+                f"error: no contract {name!r}; found: {names}")
+        return name
+    if len(names) != 1:
+        raise SystemExit(
+            f"error: multiple contracts {names}; pass --contract")
+    return names[0]
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    result = compile_source(source)
+    targets = ([args.contract] if args.contract
+               else sorted(result.contracts))
+    for name in targets:
+        compiled = result.contract(name)
+        print(f"contract {name}")
+        print(f"  init code    : {len(compiled.init_code):,} bytes")
+        print(f"  runtime code : {len(compiled.runtime_code):,} bytes")
+        print(f"  bytecode hash: 0x{compiled.bytecode_hash.hex()}")
+        if compiled.abi.constructor_inputs:
+            ctor = ", ".join(compiled.abi.constructor_inputs)
+            print(f"  constructor  : ({ctor})")
+        for fn in compiled.abi.functions:
+            flags = " payable" if fn.payable else ""
+            returns = f" -> {fn.outputs[0]}" if fn.outputs else ""
+            print(f"  0x{fn.selector.hex()}  {fn.signature}{returns}"
+                  f"{flags}")
+        for event in compiled.abi.events:
+            print(f"  event {event.name}({', '.join(event.inputs)})")
+        if args.bytecode:
+            print(f"  0x{compiled.init_code.hex()}")
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    name = _pick_contract(source, args.contract)
+    contract = parse(source).contract(name)
+    classification = classify_contract(
+        contract, gas_threshold=args.gas_threshold)
+    print(f"contract {name} — §II-B classification")
+    for fn_name in classification.light_public:
+        estimate = classification.estimates[fn_name]
+        print(f"  light/public : {fn_name}  "
+              f"(~{estimate.estimated_gas:,} gas"
+              f"{', transfers value' if estimate.has_transfer else ''})")
+    for fn_name in classification.heavy_private:
+        estimate = classification.estimates[fn_name]
+        traits = []
+        if estimate.has_loop:
+            traits.append("loops")
+        traits.append(f"~{estimate.estimated_gas:,} gas")
+        print(f"  heavy/private: {fn_name}  ({', '.join(traits)})")
+    return 0
+
+
+def cmd_split(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    name = _pick_contract(source, args.contract)
+    spec = SplitSpec(
+        participants_var=args.participants,
+        result_function=args.result,
+        settle_function=args.settle,
+        challenge_period=args.challenge_period,
+        security_deposit=args.security_deposit,
+    )
+    split = split_contract(source, name, spec)
+
+    out_dir = Path(args.out) if args.out else Path(args.file).parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    onchain_path = out_dir / f"{split.onchain_name}.sol"
+    offchain_path = out_dir / f"{split.offchain_name}.sol"
+    onchain_path.write_text(split.onchain_source + "\n")
+    offchain_path.write_text(split.offchain_source + "\n")
+
+    compiled = compile_source(split.offchain_source)
+    offchain = compiled.contract(split.offchain_name)
+    print(f"split {name} ({split.num_participants} participants, "
+          f"result type {split.result_type_source})")
+    print(f"  on-chain  -> {onchain_path} "
+          f"({split.onchain_functions})")
+    print(f"  off-chain -> {offchain_path} "
+          f"({split.offchain_functions})")
+    print(f"  off-chain init code: {len(offchain.init_code):,} bytes; "
+          f"sign keccak256(init_code ‖ ctor args)")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.chain import EthereumSimulator
+    from repro.core import Participant, Strategy
+
+    sim = EthereumSimulator()
+    first = Participant(
+        account=sim.accounts[0], name="p0",
+        strategy=(Strategy.LIES_ABOUT_RESULT if args.dispute
+                  else Strategy.HONEST))
+    second = Participant(account=sim.accounts[1], name="p1")
+
+    if args.app == "betting":
+        from repro.apps.betting import deploy_betting, make_betting_protocol
+
+        protocol = make_betting_protocol(sim, first, second)
+        deploy_betting(protocol, first)
+        protocol.collect_signatures()
+        plan = protocol.betting_plan
+        protocol.call_onchain(first, "deposit", value=plan["stake"])
+        protocol.call_onchain(second, "deposit", value=plan["stake"])
+        sim.advance_time_to(plan["timeline"].t2 + 1)
+    elif args.app == "tender":
+        from repro.apps.tender import deploy_tender, make_tender_protocol
+
+        third = Participant(account=sim.accounts[2], name="p2")
+        protocol = make_tender_protocol(sim, first, second, third)
+        deploy_tender(protocol, first)
+        protocol.collect_signatures()
+        protocol.call_onchain(first, "fund",
+                              value=protocol.tender_plan["budget"])
+    else:  # escrow
+        from repro.apps.escrow import deploy_escrow, make_escrow_protocol
+
+        protocol = make_escrow_protocol(sim, first, second)
+        deploy_escrow(protocol, first)
+        protocol.collect_signatures()
+        protocol.call_onchain(first, "fund",
+                              value=protocol.escrow_plan["price"])
+
+    protocol.submit_result(first)
+    dispute = protocol.run_challenge_window()
+    if dispute is None:
+        protocol.finalize(second)
+        print(f"{args.app}: settled honestly via finalize")
+    else:
+        print(f"{args.app}: false submission overturned via dispute "
+              f"({dispute.total_gas:,} gas)")
+    outcome = protocol.outcome()
+    print(f"outcome: {outcome.outcome!r} via {outcome.via}")
+    print(f"gas by stage: {protocol.ledger.by_stage()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On/off-chain smart contracts (Li et al., ICDE 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile Solis source")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--contract")
+    p_compile.add_argument("--bytecode", action="store_true",
+                           help="print full init bytecode hex")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_classify = sub.add_parser(
+        "classify", help="classify functions light/public vs heavy/private")
+    p_classify.add_argument("file")
+    p_classify.add_argument("--contract")
+    p_classify.add_argument("--gas-threshold", type=int, default=100_000)
+    p_classify.set_defaults(func=cmd_classify)
+
+    p_split = sub.add_parser(
+        "split", help="split a whole contract into the on/off-chain pair")
+    p_split.add_argument("file")
+    p_split.add_argument("--contract")
+    p_split.add_argument("--participants", required=True,
+                         help="address[N] state variable name")
+    p_split.add_argument("--result", required=True,
+                         help="heavy function computing the result")
+    p_split.add_argument("--settle", required=True,
+                         help="light function applying the result")
+    p_split.add_argument("--challenge-period", type=int, default=3_600)
+    p_split.add_argument("--security-deposit", type=int, default=0)
+    p_split.add_argument("--out", help="output directory")
+    p_split.set_defaults(func=cmd_split)
+
+    p_demo = sub.add_parser("demo", help="run an end-to-end demo")
+    p_demo.add_argument("app", choices=["betting", "tender", "escrow"])
+    p_demo.add_argument("--dispute", action="store_true",
+                        help="make the representative lie")
+    p_demo.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

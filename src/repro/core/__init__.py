@@ -1,0 +1,70 @@
+"""The paper's contribution: hybrid on/off-chain smart contracts.
+
+Split a whole contract into an on-chain contract (light/public
+functions) and an off-chain contract (heavy/private functions), run the
+four-stage protocol, and always keep honest participants able to
+enforce the true result via the verified-instance mechanism.
+"""
+
+from repro.core.analytics import (
+    GasEntry,
+    GasLedger,
+    ModelComparison,
+    PrivacyReport,
+    privacy_report_all_on_chain,
+    privacy_report_hybrid,
+)
+from repro.core.annotations import SplitSpec
+from repro.core.classify import (
+    Classification,
+    FunctionCategory,
+    classify_contract,
+    estimate_function_cost,
+)
+from repro.core.exceptions import (
+    AgreementError,
+    DisputeError,
+    ProtocolError,
+    SigningError,
+    SplitError,
+    StageError,
+)
+from repro.core.dispute import DisputeResolution, resolve_dispute
+from repro.core.participants import Participant, Strategy
+from repro.core.protocol import (
+    DisputeOutcome,
+    OnOffChainProtocol,
+    ProtocolOutcome,
+    Stage,
+)
+from repro.core.splitter import SplitContracts, split_contract
+
+__all__ = [
+    "GasEntry",
+    "GasLedger",
+    "ModelComparison",
+    "PrivacyReport",
+    "privacy_report_all_on_chain",
+    "privacy_report_hybrid",
+    "SplitSpec",
+    "Classification",
+    "FunctionCategory",
+    "classify_contract",
+    "estimate_function_cost",
+    "AgreementError",
+    "DisputeError",
+    "ProtocolError",
+    "SigningError",
+    "SplitError",
+    "StageError",
+    "Participant",
+    "Strategy",
+    "DisputeResolution",
+    "resolve_dispute",
+    "DisputeOutcome",
+    "OnOffChainProtocol",
+    "ProtocolOutcome",
+    "Stage",
+    "SplitContracts",
+    "split_contract",
+]

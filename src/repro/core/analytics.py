@@ -1,0 +1,137 @@
+"""Gas and privacy accounting for the two execution models.
+
+Produces the quantities behind the paper's evaluation artefacts:
+
+* per-stage on-chain gas (Fig. 2 stages, Table II rows);
+* miner-workload comparison between the all-on-chain model and the
+  hybrid model (Fig. 1);
+* privacy exposure: how many bytes of heavy/private logic, and how many
+  function signatures, each model reveals on the public chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.chain.receipt import Receipt
+
+
+@dataclass(frozen=True)
+class GasEntry:
+    """One recorded on-chain action."""
+
+    stage: str
+    label: str
+    gas: int
+    actor: str = ""
+    block_number: int = -1
+
+
+@dataclass
+class GasLedger:
+    """Accumulates on-chain gas per protocol stage."""
+
+    entries: list[GasEntry] = field(default_factory=list)
+
+    def record(self, stage: str, label: str, receipt: Receipt,
+               actor: str = "") -> GasEntry:
+        entry = GasEntry(
+            stage=stage, label=label, gas=receipt.gas_used,
+            actor=actor, block_number=receipt.block_number,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def record_raw(self, stage: str, label: str, gas: int,
+                   actor: str = "") -> GasEntry:
+        entry = GasEntry(stage=stage, label=label, gas=gas, actor=actor)
+        self.entries.append(entry)
+        return entry
+
+    def total(self, stage: str | None = None) -> int:
+        return sum(
+            entry.gas for entry in self.entries
+            if stage is None or entry.stage == stage
+        )
+
+    def by_stage(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for entry in self.entries:
+            totals[entry.stage] = totals.get(entry.stage, 0) + entry.gas
+        return totals
+
+    def by_label(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for entry in self.entries:
+            totals[entry.label] = totals.get(entry.label, 0) + entry.gas
+        return totals
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    """What each model exposes on the public chain."""
+
+    model: str
+    code_bytes_on_chain: int
+    heavy_code_bytes_on_chain: int
+    function_signatures_exposed: tuple[str, ...]
+    heavy_signatures_exposed: tuple[str, ...]
+
+    @property
+    def heavy_logic_hidden(self) -> bool:
+        return self.heavy_code_bytes_on_chain == 0
+
+
+def privacy_report_all_on_chain(whole_runtime: bytes,
+                                all_signatures: Iterable[str],
+                                heavy_signatures: Iterable[str],
+                                heavy_code_bytes: int) -> PrivacyReport:
+    """Exposure under the all-on-chain model: everything is public."""
+    return PrivacyReport(
+        model="all-on-chain",
+        code_bytes_on_chain=len(whole_runtime),
+        heavy_code_bytes_on_chain=heavy_code_bytes,
+        function_signatures_exposed=tuple(all_signatures),
+        heavy_signatures_exposed=tuple(heavy_signatures),
+    )
+
+
+def privacy_report_hybrid(onchain_runtime: bytes,
+                          onchain_signatures: Iterable[str],
+                          dispute_happened: bool,
+                          offchain_runtime: bytes,
+                          heavy_signatures: Iterable[str]) -> PrivacyReport:
+    """Exposure under the hybrid model.
+
+    Heavy logic stays off-chain *unless* a dispute forces the signed
+    copy onto the chain — exactly the paper's trade-off.
+    """
+    exposed_heavy_bytes = len(offchain_runtime) if dispute_happened else 0
+    exposed_heavy_sigs = tuple(heavy_signatures) if dispute_happened else ()
+    return PrivacyReport(
+        model="hybrid-on/off-chain",
+        code_bytes_on_chain=len(onchain_runtime) + exposed_heavy_bytes,
+        heavy_code_bytes_on_chain=exposed_heavy_bytes,
+        function_signatures_exposed=tuple(onchain_signatures)
+        + exposed_heavy_sigs,
+        heavy_signatures_exposed=exposed_heavy_sigs,
+    )
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Fig. 1: miner gas under both execution models."""
+
+    all_on_chain_gas: int
+    hybrid_gas: int
+
+    @property
+    def gas_saved(self) -> int:
+        return self.all_on_chain_gas - self.hybrid_gas
+
+    @property
+    def savings_ratio(self) -> float:
+        if self.all_on_chain_gas == 0:
+            return 0.0
+        return self.gas_saved / self.all_on_chain_gas

@@ -1,0 +1,55 @@
+"""Split specification: how a whole contract maps onto the protocol.
+
+The paper's mechanism needs three pieces of application knowledge that
+cannot be inferred from code alone:
+
+* which state variable holds the participants (``address[N]``);
+* which heavy/private function computes the off-chain *result*
+  (``reveal()`` in the paper);
+* which light/public function applies a result to on-chain state
+  (``reassign()`` — the paper calls it from the loser voluntarily and
+  re-uses its effect inside ``enforceDisputeResolution``).
+
+``SplitSpec`` carries exactly that, plus the challenge-period length
+for the Submit/Challenge stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classify import FunctionCategory
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Application-provided directives for splitting one contract.
+
+    ``security_deposit`` (wei, 0 disables) implements the paper's §IV
+    remark: "it should be mandatory for each participant to pay
+    security deposit so that the honest participant paying for dispute
+    resolution can receive compensation from dishonest participants."
+    When enabled, padding adds ``paySecurityDeposit()`` /
+    ``withdrawSecurityDeposit()``, gates ``deployVerifiedInstance()``
+    on all deposits being paid (the ``amountMet`` modifier of
+    Algorithm 2), and forwards the overturned proposer's deposit to the
+    challenger inside ``enforceDisputeResolution()``.
+    """
+
+    participants_var: str
+    result_function: str
+    settle_function: str
+    challenge_period: int = 3_600  # seconds; 0 disables submit/challenge
+    security_deposit: int = 0      # wei per participant; 0 disables
+    annotations: dict[str, FunctionCategory] = field(default_factory=dict)
+    gas_threshold: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.challenge_period < 0:
+            raise ValueError("challenge_period cannot be negative")
+        if self.security_deposit < 0:
+            raise ValueError("security_deposit cannot be negative")
+        if self.result_function == self.settle_function:
+            raise ValueError(
+                "result_function and settle_function must differ"
+            )

@@ -1,0 +1,259 @@
+"""Function classification: heavy/private vs light/public (§II-B).
+
+The paper broadly classifies contract functions into
+
+* **light/public** — low-cost, non-sensitive (it recommends all
+  cryptocurrency-transfer functions land here), and
+* **heavy/private** — high-cost computation and/or logic that reveals
+  private information about the participants.
+
+This module implements that classification as a policy: explicit
+annotations always win; otherwise a static gas estimate plus a
+transfer-detection heuristic decides, exactly following the paper's
+recommendation ("allocate all functions of cryptocurrency transfer into
+light/public functions and consider the remaining ones as
+heavy/private").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.lang import ast_nodes as ast
+from repro.core.exceptions import SplitError
+
+
+class FunctionCategory(Enum):
+    """The two categories of §II-B."""
+
+    LIGHT_PUBLIC = "light/public"
+    HEAVY_PRIVATE = "heavy/private"
+
+
+#: Loops make static costs unbounded; this multiplier approximates the
+#: per-iteration cost weight the classifier assigns to loop bodies.
+_LOOP_WEIGHT = 50
+
+# Rough static gas weights per AST construct (mirrors the EVM schedule).
+_COST_SSTORE = 20_000
+_COST_SLOAD = 200
+_COST_CALL = 9_700
+_COST_HASH = 60
+_COST_ECRECOVER = 3_700
+_COST_CREATE = 50_000
+_COST_ARITH = 5
+_COST_EVENT = 1_500
+
+
+@dataclass
+class FunctionCostEstimate:
+    """Static cost/shape summary of one function."""
+
+    name: str
+    estimated_gas: int
+    has_transfer: bool
+    has_loop: bool
+    reads_state: frozenset[str]
+    writes_state: frozenset[str]
+
+
+@dataclass
+class Classification:
+    """The classifier's verdict for one whole contract."""
+
+    light_public: list[str] = field(default_factory=list)
+    heavy_private: list[str] = field(default_factory=list)
+    estimates: dict[str, FunctionCostEstimate] = field(default_factory=dict)
+
+    def category_of(self, function_name: str) -> FunctionCategory:
+        if function_name in self.heavy_private:
+            return FunctionCategory.HEAVY_PRIVATE
+        if function_name in self.light_public:
+            return FunctionCategory.LIGHT_PUBLIC
+        raise KeyError(f"function {function_name!r} was not classified")
+
+
+class _CostWalker:
+    """Walks a function body accumulating a static gas estimate."""
+
+    def __init__(self, state_var_names: frozenset[str]) -> None:
+        self._state_vars = state_var_names
+        self.gas = 0
+        self.has_transfer = False
+        self.has_loop = False
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+
+    # -- statements -----------------------------------------------------
+
+    def walk_block(self, block: ast.Block, weight: int = 1) -> None:
+        for stmt in block.statements:
+            self.walk_statement(stmt, weight)
+
+    def walk_statement(self, stmt: ast.Stmt, weight: int) -> None:
+        if isinstance(stmt, ast.Block):
+            self.walk_block(stmt, weight)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            if stmt.initial is not None:
+                self.walk_expr(stmt.initial, weight)
+            self.gas += _COST_ARITH * weight
+        elif isinstance(stmt, ast.Assignment):
+            self.walk_expr(stmt.value, weight)
+            target = stmt.target
+            root = _root_identifier(target)
+            if root is not None and root in self._state_vars:
+                self.writes.add(root)
+                self.gas += _COST_SSTORE * weight
+            else:
+                self.gas += _COST_ARITH * weight
+            if isinstance(target, ast.IndexAccess):
+                self.walk_expr(target.index, weight)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.walk_expr(stmt.expression, weight)
+        elif isinstance(stmt, ast.IfStmt):
+            self.walk_expr(stmt.condition, weight)
+            self.walk_block(stmt.then_branch, weight)
+            if stmt.else_branch is not None:
+                self.walk_block(stmt.else_branch, weight)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.has_loop = True
+            self.walk_expr(stmt.condition, weight)
+            self.walk_block(stmt.body, weight * _LOOP_WEIGHT)
+        elif isinstance(stmt, ast.ForStmt):
+            self.has_loop = True
+            if stmt.init is not None:
+                self.walk_statement(stmt.init, weight)
+            if stmt.condition is not None:
+                self.walk_expr(stmt.condition, weight)
+            if stmt.update is not None:
+                self.walk_statement(stmt.update, weight * _LOOP_WEIGHT)
+            self.walk_block(stmt.body, weight * _LOOP_WEIGHT)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self.walk_expr(stmt.value, weight)
+        elif isinstance(stmt, ast.RequireStmt):
+            self.walk_expr(stmt.condition, weight)
+        elif isinstance(stmt, ast.EmitStmt):
+            self.gas += _COST_EVENT * weight
+            for arg in stmt.arguments:
+                self.walk_expr(arg, weight)
+        # Placeholder / break / continue carry no cost.
+
+    # -- expressions ----------------------------------------------------------
+
+    def walk_expr(self, expr: ast.Expr, weight: int) -> None:
+        if isinstance(expr, ast.Identifier):
+            if expr.name in self._state_vars:
+                self.reads.add(expr.name)
+                self.gas += _COST_SLOAD * weight
+        elif isinstance(expr, ast.MemberAccess):
+            if expr.member in ("transfer", "send"):
+                self.has_transfer = True
+            self.walk_expr(expr.object, weight)
+        elif isinstance(expr, ast.IndexAccess):
+            root = _root_identifier(expr)
+            if root is not None and root in self._state_vars:
+                self.reads.add(root)
+                self.gas += (_COST_SLOAD + _COST_HASH) * weight
+            self.walk_expr(expr.index, weight)
+        elif isinstance(expr, ast.BinaryOp):
+            self.gas += _COST_ARITH * weight
+            self.walk_expr(expr.left, weight)
+            self.walk_expr(expr.right, weight)
+        elif isinstance(expr, ast.UnaryOp):
+            self.gas += _COST_ARITH * weight
+            self.walk_expr(expr.operand, weight)
+        elif isinstance(expr, ast.FunctionCall):
+            self._walk_call(expr, weight)
+
+    def _walk_call(self, expr: ast.FunctionCall, weight: int) -> None:
+        callee = expr.callee
+        if isinstance(callee, ast.Identifier):
+            if callee.name == "keccak256":
+                self.gas += _COST_HASH * weight
+            elif callee.name == "ecrecover":
+                self.gas += _COST_ECRECOVER * weight
+            elif callee.name == "create":
+                self.gas += _COST_CREATE * weight
+        if isinstance(callee, ast.MemberAccess):
+            if callee.member in ("transfer", "send"):
+                self.has_transfer = True
+                self.gas += _COST_CALL * weight
+            else:
+                self.gas += _COST_CALL * weight
+            self.walk_expr(callee.object, weight)
+        for arg in expr.arguments:
+            self.walk_expr(arg, weight)
+
+
+def _root_identifier(expr: ast.Expr) -> str | None:
+    """The base identifier of a (possibly nested) index chain."""
+    while isinstance(expr, ast.IndexAccess):
+        expr = expr.base
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    return None
+
+
+def estimate_function_cost(contract: ast.ContractDecl,
+                           fn: ast.FunctionDecl) -> FunctionCostEstimate:
+    """Static gas/shape estimate for one function of a contract."""
+    state_vars = frozenset(v.name for v in contract.state_vars)
+    walker = _CostWalker(state_vars)
+    if fn.body is not None:
+        walker.walk_block(fn.body)
+    for modifier_name in fn.modifiers:
+        for modifier in contract.modifiers:
+            if modifier.name == modifier_name:
+                walker.walk_block(modifier.body)
+    return FunctionCostEstimate(
+        name=fn.name,
+        estimated_gas=walker.gas,
+        has_transfer=walker.has_transfer,
+        has_loop=walker.has_loop,
+        reads_state=frozenset(walker.reads),
+        writes_state=frozenset(walker.writes),
+    )
+
+
+def classify_contract(contract: ast.ContractDecl,
+                      annotations: dict[str, FunctionCategory] | None = None,
+                      gas_threshold: int = 100_000) -> Classification:
+    """Classify every function of ``contract`` (§II-B policy).
+
+    ``annotations`` force a category per function name.  Otherwise:
+    functions performing value transfers (or only cheap bookkeeping) are
+    light/public; functions whose static estimate exceeds
+    ``gas_threshold`` or that contain unbounded loops are heavy/private.
+    """
+    annotations = annotations or {}
+    result = Classification()
+    for fn in contract.functions:
+        if fn.is_constructor or fn.is_synthetic:
+            continue
+        estimate = estimate_function_cost(contract, fn)
+        result.estimates[fn.name] = estimate
+        if fn.name in annotations:
+            category = annotations[fn.name]
+        elif estimate.has_transfer or fn.is_payable:
+            # The paper's recommendation: transfers stay on-chain.
+            category = FunctionCategory.LIGHT_PUBLIC
+        elif estimate.has_loop or estimate.estimated_gas > gas_threshold:
+            category = FunctionCategory.HEAVY_PRIVATE
+        elif fn.visibility == "private":
+            # Private, non-transfer logic defaults to the off-chain side.
+            category = FunctionCategory.HEAVY_PRIVATE
+        else:
+            category = FunctionCategory.LIGHT_PUBLIC
+        if category is FunctionCategory.HEAVY_PRIVATE:
+            result.heavy_private.append(fn.name)
+        else:
+            result.light_public.append(fn.name)
+    if not result.light_public and result.heavy_private:
+        raise SplitError(
+            "every function classified heavy/private — the on-chain "
+            "contract would be empty; annotate at least one function "
+            "light/public"
+        )
+    return result

@@ -1,0 +1,79 @@
+"""Standalone dispute resolution driver.
+
+:class:`OnOffChainProtocol` handles disputes for protocol-managed
+games; this module exposes the same Dispute/Resolve flow for users who
+deployed the split contracts themselves (e.g. from CLI-generated
+sources) and only hold a signed copy — the minimum the paper requires
+of an honest participant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.contract import ContractABI, DeployedContract
+from repro.chain.receipt import Receipt
+from repro.chain.simulator import EthereumSimulator, SimAccount
+from repro.core.exceptions import DisputeError
+from repro.crypto.keys import Address
+from repro.offchain.signing import SignedCopy
+
+
+@dataclass
+class DisputeResolution:
+    """Everything that happened during one dispute."""
+
+    instance: DeployedContract
+    deploy_receipt: Receipt
+    resolve_receipt: Receipt
+    outcome: object
+
+    @property
+    def total_gas(self) -> int:
+        return self.deploy_receipt.gas_used + self.resolve_receipt.gas_used
+
+
+def resolve_dispute(simulator: EthereumSimulator,
+                    onchain: DeployedContract,
+                    offchain_abi: ContractABI,
+                    signed_copy: SignedCopy,
+                    challenger: SimAccount,
+                    participants: list[Address] | None = None,
+                    gas_limit: int = 6_000_000) -> DisputeResolution:
+    """Run the full Dispute/Resolve stage from a signed copy.
+
+    1. (optionally) pre-verify the copy locally against the expected
+       participant list — fail fast before paying any gas;
+    2. ``deployVerifiedInstance(bytecode, v0, r0, s0, ...)``;
+    3. ``returnDisputeResolution(onchain_address)`` on the instance;
+    4. read back ``resolvedOutcome``.
+    """
+    if participants is not None and not signed_copy.verify(participants):
+        raise DisputeError(
+            "the signed copy does not verify against the expected "
+            "participant list — it would be rejected on-chain too"
+        )
+
+    deploy_receipt = onchain.transact(
+        "deployVerifiedInstance", signed_copy.bytecode,
+        *signed_copy.vrs_arguments(),
+        sender=challenger, gas_limit=gas_limit,
+    )
+    instance_address = Address(onchain.call("deployedAddr"))
+    if not instance_address:
+        raise DisputeError(
+            "deployVerifiedInstance succeeded but recorded no instance"
+        )
+    instance = simulator.contract_at(instance_address, offchain_abi)
+
+    resolve_receipt = instance.transact(
+        "returnDisputeResolution", onchain.address,
+        sender=challenger, gas_limit=gas_limit,
+    )
+    outcome = onchain.call("resolvedOutcome")
+    return DisputeResolution(
+        instance=instance,
+        deploy_receipt=deploy_receipt,
+        resolve_receipt=resolve_receipt,
+        outcome=outcome,
+    )

@@ -1,0 +1,27 @@
+"""Errors raised by the on/off-chain protocol layer."""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """Base class for protocol-layer failures."""
+
+
+class SplitError(ProtocolError):
+    """The whole contract cannot be split as requested."""
+
+
+class SigningError(ProtocolError):
+    """A signed copy is missing, malformed, or has bad signatures."""
+
+
+class StageError(ProtocolError):
+    """An operation was attempted in the wrong protocol stage."""
+
+
+class DisputeError(ProtocolError):
+    """Dispute resolution failed (e.g. no signed copy available)."""
+
+
+class AgreementError(ProtocolError):
+    """Participants failed to reach unanimous off-chain agreement."""

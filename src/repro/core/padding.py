@@ -1,0 +1,321 @@
+"""Padding: the extra dispute functions added to each split half (§III).
+
+The paper pads each group of functions "with a few extra functions
+prepared for a dispute":
+
+* on-chain — ``deployVerifiedInstance()`` (Algorithm 5: verify every
+  participant's (v,r,s) signature over keccak256(bytecode) with
+  ``ecrecover``, then ``CREATE`` the verified instance and record its
+  address) and ``enforceDisputeResolution()`` (Algorithm 6: apply the
+  result, guarded by the ``deployedAddrOnly`` modifier);
+* off-chain — ``returnDisputeResolution()`` (Algorithm 3: call the
+  heavy result function and push its output back into the on-chain
+  contract through the interface).
+
+This module additionally pads the Submit/Challenge machinery the paper
+describes in §III (a representative submits the off-chain result; a
+challenge period follows during which any participant can escalate to
+the dispute path).
+
+Everything here renders deterministic Solis source text, because the
+off-chain contract's *bytecode* is the thing participants sign.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+
+_I1 = "    "
+_I2 = _I1 * 2
+
+
+def _participant_guard(participants_var: str, count: int) -> str:
+    checks = " || ".join(
+        f"msg.sender == {participants_var}[{index}]"
+        for index in range(count)
+    )
+    return checks
+
+
+def render_onchain_contract(name: str,
+                            state_vars: list[ast.StateVarDecl],
+                            events: list[ast.EventDecl],
+                            modifiers: list[ast.ModifierDecl],
+                            constructor: ast.FunctionDecl | None,
+                            functions: list[ast.FunctionDecl],
+                            settle_fn: ast.FunctionDecl,
+                            participants_var: str,
+                            num_participants: int,
+                            result_type: str,
+                            challenge_period: int,
+                            security_deposit: int = 0) -> str:
+    """Render the on-chain contract: light functions + padding."""
+    parts: list[str] = [f"contract {name} {{"]
+
+    parts.append(f"{_I1}// --- state carried over from the whole contract")
+    for var in state_vars:
+        parts.append(var.to_source())
+
+    parts.append("")
+    parts.append(f"{_I1}// --- padded dispute/challenge state")
+    parts.append(f"{_I1}address public deployedAddr;")
+    parts.append(f"{_I1}bool public disputeResolved;")
+    parts.append(f"{_I1}{result_type} public resolvedOutcome;")
+    if challenge_period > 0:
+        parts.append(f"{_I1}bool public hasProposal;")
+        parts.append(f"{_I1}{result_type} public proposedResult;")
+        parts.append(f"{_I1}address public proposer;")
+        parts.append(f"{_I1}uint public challengeDeadline;")
+    if security_deposit > 0:
+        parts.append(f"{_I1}mapping(address => uint) public securityDeposit;")
+        parts.append(f"{_I1}address public challenger;")
+
+    for event in events:
+        parts.append(event.to_source())
+    parts.append(f"{_I1}event VerifiedInstanceDeployed(address instance);")
+    parts.append(f"{_I1}event DisputeResolved({result_type} outcome);")
+    if challenge_period > 0:
+        parts.append(
+            f"{_I1}event ResultSubmitted(address proposer, "
+            f"{result_type} result, uint deadline);"
+        )
+        parts.append(f"{_I1}event ResultFinalized({result_type} result);")
+    if security_deposit > 0:
+        parts.append(
+            f"{_I1}event ChallengerCompensated(address challenger, "
+            "uint amount);"
+        )
+
+    parts.append("")
+    for modifier in modifiers:
+        parts.append(modifier.to_source())
+    guard = _participant_guard(participants_var, num_participants)
+    parts.append(
+        f"{_I1}modifier __participantOnly {{ require({guard}); _; }}"
+    )
+    parts.append(
+        f"{_I1}modifier __deployedAddrOnly "
+        f"{{ require(msg.sender == deployedAddr); _; }}"
+    )
+    if security_deposit > 0:
+        # Algorithm 2's `amountMet`: every participant escrowed.
+        met = " && ".join(
+            f"securityDeposit[{participants_var}[{index}]] == "
+            f"{security_deposit}"
+            for index in range(num_participants)
+        )
+        parts.append(
+            f"{_I1}modifier __amountMet {{ require({met}); _; }}"
+        )
+
+    if constructor is not None:
+        parts.append("")
+        parts.append(constructor.to_source())
+
+    parts.append("")
+    parts.append(f"{_I1}// --- light/public functions (unchanged)")
+    for fn in functions:
+        parts.append(fn.to_source())
+
+    parts.append("")
+    parts.append(f"{_I1}// --- padded extra functions")
+    if security_deposit > 0:
+        parts.append(_render_security_deposit_functions(security_deposit))
+    if challenge_period > 0:
+        parts.append(_render_submit_challenge(
+            settle_fn, result_type, challenge_period))
+    parts.append(_render_deploy_verified_instance(
+        participants_var, num_participants,
+        with_deposits=security_deposit > 0))
+    parts.append(_render_enforce_dispute_resolution(
+        settle_fn, result_type,
+        with_compensation=security_deposit > 0 and challenge_period > 0))
+    parts.append("}")
+    return "\n".join(parts)
+
+
+def _render_security_deposit_functions(amount: int) -> str:
+    """paySecurityDeposit / withdrawSecurityDeposit (§IV remark)."""
+    return f"""\
+{_I1}function paySecurityDeposit() payable public __participantOnly {{
+{_I2}require(!disputeResolved);
+{_I2}require(securityDeposit[msg.sender] == 0);
+{_I2}require(msg.value == {amount});
+{_I2}securityDeposit[msg.sender] = msg.value;
+{_I1}}}
+
+{_I1}function withdrawSecurityDeposit() public __participantOnly {{
+{_I2}require(disputeResolved);
+{_I2}uint __amount = securityDeposit[msg.sender];
+{_I2}require(__amount > 0);
+{_I2}securityDeposit[msg.sender] = 0;
+{_I2}msg.sender.transfer(__amount);
+{_I1}}}"""
+
+
+def _render_submit_challenge(settle_fn: ast.FunctionDecl, result_type: str,
+                             challenge_period: int) -> str:
+    """submitResult / finalizeResult — the Submit/Challenge stage."""
+    settle_body = _settle_body_source(settle_fn)
+    param_name = settle_fn.parameters[0].name
+    return f"""\
+{_I1}function submitResult({result_type} result) public __participantOnly {{
+{_I2}require(!hasProposal);
+{_I2}require(!disputeResolved);
+{_I2}hasProposal = true;
+{_I2}proposedResult = result;
+{_I2}proposer = msg.sender;
+{_I2}challengeDeadline = block.timestamp + {challenge_period};
+{_I2}emit ResultSubmitted(msg.sender, result, challengeDeadline);
+{_I1}}}
+
+{_I1}function finalizeResult() public __participantOnly {{
+{_I2}require(hasProposal);
+{_I2}require(!disputeResolved);
+{_I2}require(block.timestamp >= challengeDeadline);
+{_I2}disputeResolved = true;
+{_I2}resolvedOutcome = proposedResult;
+{_I2}{result_type} {param_name} = proposedResult;
+{_I2}emit ResultFinalized({param_name});
+{settle_body}
+{_I1}}}"""
+
+
+def _render_deploy_verified_instance(participants_var: str, count: int,
+                                     with_deposits: bool = False) -> str:
+    """Algorithm 5: verify all signatures, CREATE the instance."""
+    sig_params = ", ".join(
+        f"uint8 v{index}, bytes32 r{index}, bytes32 s{index}"
+        for index in range(count)
+    )
+    checks = "\n".join(
+        f"{_I2}address __a{index} = ecrecover(__h, v{index}, r{index}, "
+        f"s{index});\n"
+        f"{_I2}require(__a{index} == {participants_var}[{index}]);"
+        for index in range(count)
+    )
+    modifiers = "public __participantOnly"
+    if with_deposits:
+        modifiers += " __amountMet"
+    challenger_line = (
+        f"{_I2}challenger = msg.sender;\n" if with_deposits else ""
+    )
+    return f"""\
+{_I1}function deployVerifiedInstance(bytes memory bytecode, {sig_params}) \
+{modifiers} {{
+{_I2}require(!disputeResolved);
+{_I2}require(deployedAddr == address(0));
+{_I2}bytes32 __h = keccak256(bytecode);
+{checks}
+{challenger_line}{_I2}address __addr = create(bytecode);
+{_I2}deployedAddr = __addr;
+{_I2}emit VerifiedInstanceDeployed(__addr);
+{_I1}}}"""
+
+
+def _render_enforce_dispute_resolution(settle_fn: ast.FunctionDecl,
+                                       result_type: str,
+                                       with_compensation: bool = False
+                                       ) -> str:
+    """Algorithm 6: only the verified instance can force the settlement.
+
+    With security deposits enabled, an overturned proposer's deposit is
+    forwarded to the challenger — the monetary penalty of §IV.
+    """
+    settle_body = _settle_body_source(settle_fn)
+    param_name = settle_fn.parameters[0].name
+    compensation = ""
+    if with_compensation:
+        compensation = f"""\
+{_I2}if (hasProposal) {{
+{_I2}{_I1}if (proposedResult != {param_name}) {{
+{_I2}{_I1}{_I1}uint __penalty = securityDeposit[proposer];
+{_I2}{_I1}{_I1}securityDeposit[proposer] = 0;
+{_I2}{_I1}{_I1}if (__penalty > 0) {{
+{_I2}{_I1}{_I1}{_I1}challenger.transfer(__penalty);
+{_I2}{_I1}{_I1}{_I1}emit ChallengerCompensated(challenger, __penalty);
+{_I2}{_I1}{_I1}}}
+{_I2}{_I1}}}
+{_I2}}}
+"""
+    return f"""\
+{_I1}function enforceDisputeResolution({result_type} {param_name}) \
+external __deployedAddrOnly {{
+{_I2}require(!disputeResolved);
+{_I2}disputeResolved = true;
+{_I2}resolvedOutcome = {param_name};
+{_I2}emit DisputeResolved({param_name});
+{compensation}{settle_body}
+{_I1}}}"""
+
+
+def _settle_body_source(settle_fn: ast.FunctionDecl) -> str:
+    """The settle function's statements, re-indented for inlining."""
+    return "\n".join(
+        stmt.to_source(2) for stmt in settle_fn.body.statements
+    )
+
+
+def render_offchain_contract(name: str,
+                             state_vars: list[ast.StateVarDecl],
+                             events: list[ast.EventDecl],
+                             modifiers: list[ast.ModifierDecl],
+                             ctor_params: list[str],
+                             ctor_assignments: list[str],
+                             functions: list[ast.FunctionDecl],
+                             result_fn: ast.FunctionDecl,
+                             participants_var: str,
+                             num_participants: int,
+                             result_type: str) -> str:
+    """Render the off-chain contract plus the on-chain callback iface."""
+    iface = f"I{name}Callback"
+    parts: list[str] = [
+        f"contract {iface} {{",
+        f"{_I1}function enforceDisputeResolution({result_type} result) "
+        "external;",
+        "}",
+        "",
+        f"contract {name} {{",
+        f"{_I1}// --- state snapshotted from the whole contract",
+    ]
+    for var in state_vars:
+        parts.append(var.to_source())
+
+    for event in events:
+        parts.append(event.to_source())
+
+    parts.append("")
+    for modifier in modifiers:
+        parts.append(modifier.to_source())
+    guard = _participant_guard(participants_var, num_participants)
+    parts.append(
+        f"{_I1}modifier __participantOnly {{ require({guard}); _; }}"
+    )
+
+    ctor_param_text = ", ".join(ctor_params)
+    ctor_body = "\n".join(f"{_I2}{line}" for line in ctor_assignments)
+    parts.append("")
+    parts.append(f"{_I1}constructor({ctor_param_text}) public {{")
+    if ctor_body:
+        parts.append(ctor_body)
+    parts.append(f"{_I1}}}")
+
+    parts.append("")
+    parts.append(f"{_I1}// --- heavy/private functions (unchanged)")
+    for fn in functions:
+        parts.append(fn.to_source())
+
+    parts.append("")
+    parts.append(f"{_I1}// --- padded extra functions")
+    parts.append(f"""\
+{_I1}function computeResult() public view returns ({result_type}) {{
+{_I2}return {result_fn.name}();
+{_I1}}}
+
+{_I1}function returnDisputeResolution(address addr) public \
+__participantOnly {{
+{_I2}{iface} __target = {iface}(addr);
+{_I2}__target.enforceDisputeResolution({result_fn.name}());
+{_I1}}}""")
+    parts.append("}")
+    return "\n".join(parts)

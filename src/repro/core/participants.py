@@ -1,0 +1,88 @@
+"""Participants and their (dis)honesty strategies.
+
+The paper reasons about honest participants, a possibly dishonest
+representative who "violates the agreement", and honest parties who
+then escalate.  ``Participant`` makes those behaviours scriptable so
+the protocol driver — and the benchmarks — can systematically exercise
+every honest/dishonest branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.chain.simulator import SimAccount
+from repro.crypto.keys import Address
+
+
+class Strategy(Enum):
+    """How a participant behaves during the protocol run."""
+
+    HONEST = "honest"
+    REFUSES_TO_SIGN = "refuses-to-sign"         # stalls Deploy/Sign
+    LIES_ABOUT_RESULT = "lies-about-result"     # submits a false result
+    REFUSES_TO_SETTLE = "refuses-to-settle"     # never submits/settles
+    SILENT = "silent"                           # never challenges either
+
+
+@dataclass
+class Participant:
+    """One protocol participant bound to a funded chain account."""
+
+    account: SimAccount
+    name: str = ""
+    strategy: Strategy = Strategy.HONEST
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.account.name or self.address.checksum[:10]
+
+    @property
+    def address(self) -> Address:
+        return self.account.address
+
+    @property
+    def key(self):
+        return self.account.key
+
+    @property
+    def is_honest(self) -> bool:
+        return self.strategy is Strategy.HONEST
+
+    @property
+    def will_sign(self) -> bool:
+        return self.strategy is not Strategy.REFUSES_TO_SIGN
+
+    @property
+    def will_settle_honestly(self) -> bool:
+        return self.strategy not in (
+            Strategy.LIES_ABOUT_RESULT, Strategy.REFUSES_TO_SETTLE,
+        )
+
+    @property
+    def will_challenge(self) -> bool:
+        """Honest parties police the challenge window; SILENT ones don't."""
+        return self.strategy is Strategy.HONEST
+
+    def claimed_result(self, true_result):
+        """What this participant *says* the off-chain result is."""
+        if self.strategy is Strategy.LIES_ABOUT_RESULT:
+            return _falsify(true_result)
+        return true_result
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.strategy.value})"
+
+
+def _falsify(result):
+    """A plausibly self-serving wrong answer for any value type."""
+    if isinstance(result, bool):
+        return not result
+    if isinstance(result, int):
+        return result + 1
+    if isinstance(result, bytes):
+        if not result:
+            return b"\x01"
+        return bytes([result[0] ^ 0xFF]) + result[1:]
+    raise TypeError(f"cannot falsify a result of type {type(result).__name__}")

@@ -1,0 +1,480 @@
+"""The four-stage on/off-chain protocol orchestration (§III, Fig. 2).
+
+``OnOffChainProtocol`` drives one whole contract through:
+
+1. **Split/Generate** — classify functions, split, pad the extra
+   dispute functions, compile both halves deterministically;
+2. **Deploy/Sign** — deploy the on-chain contract; every participant
+   signs keccak256(off-chain bytecode) and exchanges signatures over
+   the Whisper bus until everyone holds a fully signed copy;
+3. **Submit/Challenge** — participants execute the off-chain contract
+   locally; a representative submits the result on-chain; a challenge
+   window lets any participant police the submission;
+4. **Dispute/Resolve** — on a false submission (or a refusal to settle)
+   any honest participant reveals the signed copy via
+   ``deployVerifiedInstance()`` and forces the true result through
+   ``returnDisputeResolution()`` → ``enforceDisputeResolution()``.
+
+All on-chain gas is recorded into a :class:`GasLedger` keyed by stage,
+which the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from repro.chain.contract import DeployedContract
+from repro.chain.receipt import Receipt
+from repro.chain.simulator import EthereumSimulator, TransactionFailed
+from repro.core.analytics import GasLedger
+from repro.core.annotations import SplitSpec
+from repro.core.exceptions import (
+    AgreementError,
+    DisputeError,
+    SigningError,
+    StageError,
+)
+from repro.core.participants import Participant
+from repro.core.splitter import SplitContracts, split_contract
+from repro.crypto import rlp
+from repro.crypto.ecdsa import Signature
+from repro.crypto.keys import Address
+from repro.lang.compiler import CompilationResult, compile_source
+from repro.offchain.executor import OffchainExecutor, OffchainRun
+from repro.offchain.signing import (
+    SignedCopy,
+    assemble_signed_copy,
+    sign_bytecode,
+)
+from repro.offchain.whisper import WhisperBus
+
+
+class Stage(Enum):
+    """Protocol lifecycle."""
+
+    CREATED = "created"
+    GENERATED = "split/generate"
+    DEPLOYED = "deployed"
+    SIGNED = "deploy/sign"
+    PROPOSED = "submit/challenge"
+    SETTLED = "settled"
+    DISPUTED = "dispute/resolve"
+    RESOLVED = "resolved"
+
+
+@dataclass
+class DisputeOutcome:
+    """Result of a Dispute/Resolve escalation."""
+
+    instance_address: Address
+    deploy_receipt: Receipt
+    resolve_receipt: Receipt
+    outcome: Any
+
+    @property
+    def total_gas(self) -> int:
+        return self.deploy_receipt.gas_used + self.resolve_receipt.gas_used
+
+
+@dataclass
+class ProtocolOutcome:
+    """Final on-chain verdict."""
+
+    resolved: bool
+    outcome: Any
+    via: str   # 'finalize' | 'dispute' | 'none'
+
+
+class OnOffChainProtocol:
+    """Orchestrates one contract's life across the four stages."""
+
+    def __init__(self, simulator: EthereumSimulator, whole_source: str,
+                 contract_name: str, spec: SplitSpec,
+                 participants: list[Participant],
+                 bus: Optional[WhisperBus] = None) -> None:
+        if len(participants) < 2:
+            raise ValueError("the protocol needs at least two participants")
+        self.simulator = simulator
+        self.whole_source = whole_source
+        self.contract_name = contract_name
+        self.spec = spec
+        self.participants = participants
+        self.bus = bus or WhisperBus()
+        self.ledger = GasLedger()
+        self.stage = Stage.CREATED
+
+        self.split: Optional[SplitContracts] = None
+        self.compiled_onchain = None
+        self.compiled_offchain = None
+        self._onchain_compilation: Optional[CompilationResult] = None
+        self._offchain_compilation: Optional[CompilationResult] = None
+        self.onchain: Optional[DeployedContract] = None
+        self.offchain_bytecode: Optional[bytes] = None
+        self.signed_copies: dict[str, SignedCopy] = {}
+        self._true_result: Any = None
+        self._dispute_outcome: Optional[DisputeOutcome] = None
+
+    # ------------------------------------------------------------------
+    # Stage 1: Split/Generate
+    # ------------------------------------------------------------------
+
+    def split_generate(self) -> SplitContracts:
+        """Split the whole contract and compile both halves."""
+        if self.stage is not Stage.CREATED:
+            raise StageError(f"split_generate after {self.stage}")
+        self.split = split_contract(
+            self.whole_source, self.contract_name, self.spec,
+        )
+        if self.split.num_participants != len(self.participants):
+            raise StageError(
+                f"contract declares {self.split.num_participants} "
+                f"participants but {len(self.participants)} were provided"
+            )
+        self._onchain_compilation = compile_source(self.split.onchain_source)
+        self.compiled_onchain = self._onchain_compilation.contract(
+            self.split.onchain_name)
+        self._offchain_compilation = compile_source(
+            self.split.offchain_source)
+        self.compiled_offchain = self._offchain_compilation.contract(
+            self.split.offchain_name)
+        self.stage = Stage.GENERATED
+        return self.split
+
+    # ------------------------------------------------------------------
+    # Stage 2: Deploy/Sign
+    # ------------------------------------------------------------------
+
+    def deploy(self, deployer: Participant,
+               constructor_args: dict[str, Any] | None = None,
+               offchain_state: dict[str, Any] | None = None,
+               gas_limit: int = 6_000_000) -> DeployedContract:
+        """Deploy the on-chain half and fix the off-chain bytecode."""
+        if self.stage is not Stage.GENERATED:
+            raise StageError("call split_generate() before deploy()")
+        ordered_args = self._onchain_ctor_args(constructor_args or {})
+        self.onchain = self.simulator.deploy(
+            deployer.account, self.compiled_onchain.init_code,
+            self.compiled_onchain.abi, constructor_args=ordered_args,
+            gas_limit=gas_limit,
+        )
+        self.ledger.record(Stage.DEPLOYED.value, "deploy onChain",
+                           self.onchain.deploy_receipt, deployer.name)
+        self.offchain_bytecode = self.build_offchain_bytecode(
+            offchain_state or {})
+        self.stage = Stage.DEPLOYED
+        return self.onchain
+
+    def _onchain_ctor_args(self, named: dict[str, Any]) -> list[Any]:
+        """Map named whole-contract args onto the split constructor."""
+        contract = self._onchain_compilation.unit.contract(
+            self.split.onchain_name)
+        ctor = contract.constructor
+        if ctor is None:
+            if named:
+                raise StageError(
+                    "the on-chain contract has no constructor but "
+                    f"arguments were provided: {sorted(named)}"
+                )
+            return []
+        ordered = []
+        for param in ctor.parameters:
+            if param.name not in named:
+                raise StageError(
+                    f"missing constructor argument {param.name!r} "
+                    f"(needed: {[p.name for p in ctor.parameters]})"
+                )
+            ordered.append(named[param.name])
+        return ordered
+
+    def build_offchain_bytecode(self,
+                                state_values: dict[str, Any]) -> bytes:
+        """Init code + ABI-encoded constructor args = signable bytecode.
+
+        Constructor values: the participants array is auto-filled from
+        the participant list; every other off-chain state variable must
+        appear in ``state_values``.
+        """
+        contract = self._offchain_compilation.unit.contract(
+            self.split.offchain_name)
+        ctor = contract.constructor
+        values: list[Any] = []
+        for param in ctor.parameters:
+            name = param.name  # "__<var>" or "__<var>_<index>"
+            stripped = name.removeprefix("__")
+            if "_" in stripped:
+                var, _sep, index_text = stripped.rpartition("_")
+                if var == self.spec.participants_var and \
+                        index_text.isdigit():
+                    values.append(
+                        self.participants[int(index_text)].address)
+                    continue
+                if var in state_values and index_text.isdigit():
+                    values.append(state_values[var][int(index_text)])
+                    continue
+            if stripped in state_values:
+                values.append(state_values[stripped])
+                continue
+            raise StageError(
+                f"no value provided for off-chain state {stripped!r}"
+            )
+        encoded = self.compiled_offchain.abi.encode_constructor_args(values)
+        return self.compiled_offchain.init_code + encoded
+
+    @property
+    def _signing_topic(self) -> str:
+        return f"signed-copy:{self.contract_name}"
+
+    def collect_signatures(self) -> SignedCopy:
+        """Run the signature exchange over Whisper (Deploy/Sign stage).
+
+        Every willing participant signs the off-chain bytecode hash and
+        posts (address ‖ signature) to the topic; everyone then
+        assembles and verifies a fully signed copy.  Raises
+        :class:`SigningError` naming any refusing participant — per the
+        paper, nobody should touch the on-chain contract before holding
+        a complete signed copy.
+        """
+        if self.stage is not Stage.DEPLOYED:
+            raise StageError("deploy() must precede collect_signatures()")
+        topic = self._signing_topic
+        refusers = [p.name for p in self.participants if not p.will_sign]
+        for participant in self.participants:
+            self.bus.subscribe(participant.name, topic)
+            if not participant.will_sign:
+                continue
+            signature = sign_bytecode(
+                participant.key, self.offchain_bytecode)
+            payload = rlp.encode(
+                [participant.address.value, signature.to_bytes()])
+            self.bus.post(topic, payload, sender=participant.name)
+        if refusers:
+            raise SigningError(
+                f"participants refused to sign: {refusers}; abort before "
+                "any deposit (rule 1 of Table I)"
+            )
+        collected: dict[Address, Signature] = {}
+        for envelope in self.bus.peek_all(topic):
+            address_raw, sig_raw = rlp.decode(envelope.payload)
+            collected[Address(address_raw)] = Signature.from_bytes(sig_raw)
+        addresses = [p.address for p in self.participants]
+        copy = assemble_signed_copy(
+            self.offchain_bytecode, collected, addresses)
+        for participant in self.participants:
+            self.signed_copies[participant.name] = copy
+        self.stage = Stage.SIGNED
+        return copy
+
+    # ------------------------------------------------------------------
+    # Security deposits (§IV: compensation for dispute costs)
+    # ------------------------------------------------------------------
+
+    def pay_security_deposits(self) -> list[Receipt]:
+        """Every participant escrows the agreed security deposit.
+
+        With ``spec.security_deposit > 0``, ``deployVerifiedInstance``
+        is gated on all deposits being paid (Algorithm 2's
+        ``amountMet``), so this must happen right after signing.
+        """
+        if self.spec.security_deposit <= 0:
+            raise StageError("the split spec sets no security deposit")
+        if self.onchain is None:
+            raise StageError("deploy() before paying deposits")
+        receipts = []
+        for participant in self.participants:
+            receipt = self.onchain.transact(
+                "paySecurityDeposit", sender=participant.account,
+                value=self.spec.security_deposit)
+            self.ledger.record(self.stage.value, "paySecurityDeposit",
+                               receipt, participant.name)
+            receipts.append(receipt)
+        return receipts
+
+    def withdraw_security_deposits(self) -> dict[str, bool]:
+        """Each participant reclaims any remaining deposit.
+
+        Returns name -> withdrew?; a participant whose deposit was
+        forfeited to the challenger (the §IV penalty) gets False.
+        """
+        results: dict[str, bool] = {}
+        for participant in self.participants:
+            remaining = self.onchain.call(
+                "securityDeposit", participant.address)
+            if remaining > 0:
+                receipt = self.onchain.transact(
+                    "withdrawSecurityDeposit",
+                    sender=participant.account)
+                self.ledger.record(self.stage.value,
+                                   "withdrawSecurityDeposit", receipt,
+                                   participant.name)
+                results[participant.name] = True
+            else:
+                results[participant.name] = False
+        return results
+
+    # ------------------------------------------------------------------
+    # Stage 3: Submit/Challenge
+    # ------------------------------------------------------------------
+
+    def execute_off_chain(self,
+                          participant: Participant | None = None) -> OffchainRun:
+        """One participant's private local run of the off-chain contract."""
+        if self.offchain_bytecode is None:
+            raise StageError("off-chain bytecode is not fixed yet")
+        executor = OffchainExecutor(
+            timestamp=self.simulator.current_timestamp,
+            block_number=self.simulator.chain.latest_block.number,
+        )
+        run = executor.execute(
+            self.offchain_bytecode, self.compiled_offchain.abi,
+            caller=(participant or self.participants[0]).address,
+        )
+        self._true_result = run.result
+        return run
+
+    def reach_unanimous_agreement(self) -> Any:
+        """All participants execute locally and compare results (§II-B).
+
+        Deterministic bytecode ⇒ identical results for honest parties;
+        this models the paper's "unanimous agreement" check.
+        """
+        runs = [self.execute_off_chain(p) for p in self.participants]
+        results = {repr(run.result) for run in runs}
+        if len(results) != 1:
+            raise AgreementError(
+                f"participants computed divergent results: {results}"
+            )
+        return runs[0].result
+
+    def submit_result(self, representative: Participant,
+                      result: Any | None = None) -> Receipt:
+        """The representative submits the (possibly falsified) result."""
+        if self.stage is not Stage.SIGNED:
+            raise StageError("collect_signatures() must precede submission")
+        if self.spec.challenge_period <= 0:
+            raise StageError("submit/challenge is disabled (period = 0)")
+        if self._true_result is None:
+            self.execute_off_chain(representative)
+        claim = representative.claimed_result(
+            result if result is not None else self._true_result)
+        receipt = self.onchain.transact(
+            "submitResult", claim, sender=representative.account)
+        self.ledger.record(Stage.PROPOSED.value, "submitResult", receipt,
+                           representative.name)
+        self.stage = Stage.PROPOSED
+        return receipt
+
+    def run_challenge_window(self) -> Optional[DisputeOutcome]:
+        """Honest participants police the submitted result.
+
+        Each honest participant compares the on-chain proposal with its
+        own local execution; on a mismatch it escalates to the dispute
+        path immediately (within the window).  Returns the dispute
+        outcome, or None when the proposal was clean.
+        """
+        if self.stage is not Stage.PROPOSED:
+            raise StageError("no proposal to challenge")
+        proposed = self.onchain.call("proposedResult")
+        truth = self.reach_unanimous_agreement()
+        if _results_equal(proposed, truth):
+            return None
+        for participant in self.participants:
+            if participant.will_challenge:
+                return self.dispute(participant)
+        raise DisputeError(
+            "a false result was submitted but no honest participant "
+            "challenged — all parties silent or dishonest"
+        )
+
+    def finalize(self, caller: Participant) -> Receipt:
+        """Close the challenge window and apply the proposal."""
+        if self.stage is not Stage.PROPOSED:
+            raise StageError("nothing to finalize")
+        deadline = self.onchain.call("challengeDeadline")
+        self.simulator.advance_time_to(deadline)
+        receipt = self.onchain.transact(
+            "finalizeResult", sender=caller.account)
+        self.ledger.record(Stage.PROPOSED.value, "finalizeResult", receipt,
+                           caller.name)
+        self.stage = Stage.SETTLED
+        return receipt
+
+    # ------------------------------------------------------------------
+    # Stage 4: Dispute/Resolve
+    # ------------------------------------------------------------------
+
+    def dispute(self, challenger: Participant,
+                gas_limit: int = 6_000_000) -> DisputeOutcome:
+        """Reveal the signed copy and force the true result on-chain."""
+        if self.onchain is None:
+            raise StageError("no on-chain contract deployed")
+        copy = self.signed_copies.get(challenger.name)
+        if copy is None:
+            raise DisputeError(
+                f"{challenger.name} holds no signed copy — cannot dispute"
+            )
+        copy.require_valid([p.address for p in self.participants])
+
+        deploy_receipt = self.onchain.transact(
+            "deployVerifiedInstance", copy.bytecode, *copy.vrs_arguments(),
+            sender=challenger.account, gas_limit=gas_limit,
+        )
+        self.ledger.record(Stage.DISPUTED.value, "deployVerifiedInstance",
+                           deploy_receipt, challenger.name)
+        instance_address = Address(self.onchain.call("deployedAddr"))
+        instance = self.simulator.contract_at(
+            instance_address, self.compiled_offchain.abi)
+        resolve_receipt = instance.transact(
+            "returnDisputeResolution", self.onchain.address,
+            sender=challenger.account, gas_limit=gas_limit,
+        )
+        self.ledger.record(Stage.DISPUTED.value, "returnDisputeResolution",
+                           resolve_receipt, challenger.name)
+        outcome = self.onchain.call("resolvedOutcome")
+        self._dispute_outcome = DisputeOutcome(
+            instance_address=instance_address,
+            deploy_receipt=deploy_receipt,
+            resolve_receipt=resolve_receipt,
+            outcome=outcome,
+        )
+        self.stage = Stage.RESOLVED
+        return self._dispute_outcome
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def call_onchain(self, participant: Participant, function_name: str,
+                     *args: Any, value: int = 0,
+                     stage_label: str | None = None,
+                     gas_limit: int = 3_000_000) -> Receipt:
+        """Invoke any on-chain function, recording gas in the ledger."""
+        receipt = self.onchain.transact(
+            function_name, *args, sender=participant.account, value=value,
+            gas_limit=gas_limit,
+        )
+        self.ledger.record(
+            stage_label or self.stage.value, function_name, receipt,
+            participant.name,
+        )
+        return receipt
+
+    def outcome(self) -> ProtocolOutcome:
+        """The current on-chain verdict."""
+        if self.onchain is None:
+            return ProtocolOutcome(resolved=False, outcome=None, via="none")
+        resolved = self.onchain.call("disputeResolved")
+        if not resolved:
+            return ProtocolOutcome(resolved=False, outcome=None, via="none")
+        value = self.onchain.call("resolvedOutcome")
+        via = "dispute" if self._dispute_outcome is not None else "finalize"
+        return ProtocolOutcome(resolved=True, outcome=value, via=via)
+
+
+def _results_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, bytes) and isinstance(b, int):
+        return int.from_bytes(a, "big") == b
+    if isinstance(b, bytes) and isinstance(a, int):
+        return int.from_bytes(b, "big") == a
+    return a == b

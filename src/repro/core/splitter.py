@@ -1,0 +1,372 @@
+"""Contract splitting: whole contract → (on-chain, off-chain) pair.
+
+Implements the Split/Generate stage of the paper's four-stage mechanism
+(§III, Fig. 2): functions are classified light/public vs heavy/private,
+each group keeps the state variables, modifiers and events it touches,
+the constructor is partitioned accordingly, and finally
+:mod:`repro.core.padding` appends the extra dispute functions to each
+side.  Both outputs are canonical Solis source, so every participant can
+recompile them to byte-identical bytecode for signing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.annotations import SplitSpec
+from repro.core.classify import (
+    Classification,
+    FunctionCategory,
+    classify_contract,
+    estimate_function_cost,
+)
+from repro.core.exceptions import SplitError
+from repro.core import padding
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+@dataclass
+class SplitContracts:
+    """Output of the Split/Generate stage."""
+
+    whole_name: str
+    onchain_name: str
+    offchain_name: str
+    onchain_source: str
+    offchain_source: str
+    classification: Classification
+    spec: SplitSpec
+    result_type_source: str
+    num_participants: int
+    onchain_functions: list[str] = field(default_factory=list)
+    offchain_functions: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Reference collection
+# ---------------------------------------------------------------------------
+
+def _collect_identifiers(node, acc: set[str]) -> None:
+    """All identifier names appearing anywhere under ``node``."""
+    if isinstance(node, ast.Identifier):
+        acc.add(node.name)
+    elif isinstance(node, ast.MemberAccess):
+        _collect_identifiers(node.object, acc)
+    elif isinstance(node, ast.IndexAccess):
+        _collect_identifiers(node.base, acc)
+        _collect_identifiers(node.index, acc)
+    elif isinstance(node, ast.BinaryOp):
+        _collect_identifiers(node.left, acc)
+        _collect_identifiers(node.right, acc)
+    elif isinstance(node, ast.UnaryOp):
+        _collect_identifiers(node.operand, acc)
+    elif isinstance(node, ast.FunctionCall):
+        _collect_identifiers(node.callee, acc)
+        for arg in node.arguments:
+            _collect_identifiers(arg, acc)
+    elif isinstance(node, ast.Block):
+        for stmt in node.statements:
+            _collect_identifiers(stmt, acc)
+    elif isinstance(node, ast.VarDeclStmt):
+        if node.initial is not None:
+            _collect_identifiers(node.initial, acc)
+    elif isinstance(node, ast.Assignment):
+        _collect_identifiers(node.target, acc)
+        _collect_identifiers(node.value, acc)
+    elif isinstance(node, ast.ExprStmt):
+        _collect_identifiers(node.expression, acc)
+    elif isinstance(node, ast.IfStmt):
+        _collect_identifiers(node.condition, acc)
+        _collect_identifiers(node.then_branch, acc)
+        if node.else_branch is not None:
+            _collect_identifiers(node.else_branch, acc)
+    elif isinstance(node, ast.WhileStmt):
+        _collect_identifiers(node.condition, acc)
+        _collect_identifiers(node.body, acc)
+    elif isinstance(node, ast.ForStmt):
+        for child in (node.init, node.condition, node.update, node.body):
+            if child is not None:
+                _collect_identifiers(child, acc)
+    elif isinstance(node, ast.ReturnStmt):
+        if node.value is not None:
+            _collect_identifiers(node.value, acc)
+    elif isinstance(node, ast.RequireStmt):
+        _collect_identifiers(node.condition, acc)
+    elif isinstance(node, ast.EmitStmt):
+        acc.add(node.event_name)
+        for arg in node.arguments:
+            _collect_identifiers(arg, acc)
+
+
+def _function_refs(contract: ast.ContractDecl,
+                   fn: ast.FunctionDecl) -> set[str]:
+    """Names referenced by a function, its modifiers, and — transitively —
+    by any same-contract functions it calls."""
+    refs: set[str] = set()
+    seen: set[str] = set()
+    queue = [fn]
+    while queue:
+        current = queue.pop()
+        if current.name in seen:
+            continue
+        seen.add(current.name)
+        if current.body is not None:
+            _collect_identifiers(current.body, refs)
+        for modifier_name in current.modifiers:
+            refs.add(modifier_name)
+            for modifier in contract.modifiers:
+                if modifier.name == modifier_name:
+                    _collect_identifiers(modifier.body, refs)
+        for callee in contract.functions:
+            if callee.name and callee.name in refs and callee is not current:
+                queue.append(callee)
+    return refs
+
+
+# ---------------------------------------------------------------------------
+# Split driver
+# ---------------------------------------------------------------------------
+
+def split_contract(whole_source: str, contract_name: str,
+                   spec: SplitSpec) -> SplitContracts:
+    """Split ``contract_name`` from ``whole_source`` per ``spec``."""
+    unit = parse(whole_source)
+    try:
+        contract = unit.contract(contract_name)
+    except KeyError as exc:
+        raise SplitError(str(exc)) from exc
+
+    classification = classify_contract(
+        contract, annotations=dict(spec.annotations),
+        gas_threshold=spec.gas_threshold,
+    )
+    _validate_spec(contract, spec, classification)
+
+    participants_decl = _state_var(contract, spec.participants_var)
+    num_participants = participants_decl.type_name.array_length
+
+    settle_fn = contract.function(spec.settle_function)
+    result_fn = contract.function(spec.result_function)
+    result_type_source = settle_fn.parameters[0].type_name.to_source()
+
+    heavy = set(classification.heavy_private)
+    light = set(classification.light_public)
+
+    onchain_fns = [fn for fn in contract.functions
+                   if not fn.is_constructor and fn.name in light]
+    offchain_fns = [fn for fn in contract.functions
+                    if not fn.is_constructor and fn.name in heavy]
+
+    onchain_refs: set[str] = set()
+    for fn in onchain_fns:
+        onchain_refs |= _function_refs(contract, fn)
+    # The settle body is replicated into enforceDisputeResolution, and
+    # the padded functions reference the participants array.
+    onchain_refs |= _function_refs(contract, settle_fn)
+    onchain_refs.add(spec.participants_var)
+
+    offchain_refs: set[str] = set()
+    for fn in offchain_fns:
+        offchain_refs |= _function_refs(contract, fn)
+    offchain_refs.add(spec.participants_var)
+
+    _validate_offchain_state_is_static(contract, offchain_refs, heavy, spec)
+
+    onchain_vars = [v for v in contract.state_vars if v.name in onchain_refs]
+    offchain_vars = [v for v in contract.state_vars
+                     if v.name in offchain_refs]
+    onchain_mods = [m for m in contract.modifiers if m.name in onchain_refs]
+    offchain_mods = [m for m in contract.modifiers
+                     if m.name in offchain_refs]
+    onchain_events = [e for e in contract.events if e.name in onchain_refs]
+    offchain_events = [e for e in contract.events if e.name in offchain_refs]
+
+    onchain_ctor = _split_constructor(
+        contract, {v.name for v in onchain_vars})
+    offchain_ctor_assigns, offchain_ctor_params = _offchain_constructor(
+        contract, [v for v in offchain_vars], spec)
+
+    onchain_name = f"{contract.name}OnChain"
+    offchain_name = f"{contract.name}OffChain"
+
+    onchain_source = padding.render_onchain_contract(
+        name=onchain_name,
+        state_vars=onchain_vars,
+        events=onchain_events,
+        modifiers=onchain_mods,
+        constructor=onchain_ctor,
+        functions=onchain_fns,
+        settle_fn=settle_fn,
+        participants_var=spec.participants_var,
+        num_participants=num_participants,
+        result_type=result_type_source,
+        challenge_period=spec.challenge_period,
+        security_deposit=spec.security_deposit,
+    )
+    offchain_source = padding.render_offchain_contract(
+        name=offchain_name,
+        state_vars=offchain_vars,
+        events=offchain_events,
+        modifiers=offchain_mods,
+        ctor_params=offchain_ctor_params,
+        ctor_assignments=offchain_ctor_assigns,
+        functions=offchain_fns,
+        result_fn=result_fn,
+        participants_var=spec.participants_var,
+        num_participants=num_participants,
+        result_type=result_type_source,
+    )
+
+    return SplitContracts(
+        whole_name=contract.name,
+        onchain_name=onchain_name,
+        offchain_name=offchain_name,
+        onchain_source=onchain_source,
+        offchain_source=offchain_source,
+        classification=classification,
+        spec=spec,
+        result_type_source=result_type_source,
+        num_participants=num_participants,
+        onchain_functions=[fn.name for fn in onchain_fns],
+        offchain_functions=[fn.name for fn in offchain_fns],
+    )
+
+
+def _state_var(contract: ast.ContractDecl, name: str) -> ast.StateVarDecl:
+    for var in contract.state_vars:
+        if var.name == name:
+            return var
+    raise SplitError(f"contract {contract.name!r} has no state variable "
+                     f"{name!r}")
+
+
+def _validate_spec(contract: ast.ContractDecl, spec: SplitSpec,
+                   classification: Classification) -> None:
+    participants = _state_var(contract, spec.participants_var)
+    if participants.type_name.name != "array" or \
+            participants.type_name.value_type.name != "address":
+        raise SplitError(
+            f"participants variable {spec.participants_var!r} must be a "
+            "fixed-size address array (address[N])"
+        )
+    result_fn = contract.function(spec.result_function)
+    if result_fn is None:
+        raise SplitError(f"no result function {spec.result_function!r}")
+    if result_fn.parameters:
+        raise SplitError("the result function must take no parameters")
+    if not result_fn.returns:
+        raise SplitError("the result function must return a value")
+    settle_fn = contract.function(spec.settle_function)
+    if settle_fn is None:
+        raise SplitError(f"no settle function {spec.settle_function!r}")
+    if len(settle_fn.parameters) != 1:
+        raise SplitError(
+            "the settle function must take exactly one parameter "
+            "(the off-chain result)"
+        )
+    if settle_fn.parameters[0].type_name.to_source() != \
+            result_fn.returns[0].to_source():
+        raise SplitError(
+            "settle parameter type must match the result function's "
+            "return type"
+        )
+    if spec.result_function not in classification.heavy_private:
+        raise SplitError(
+            f"result function {spec.result_function!r} must classify "
+            "heavy/private (annotate it if the heuristic disagrees)"
+        )
+    if spec.settle_function not in classification.light_public:
+        raise SplitError(
+            f"settle function {spec.settle_function!r} must classify "
+            "light/public"
+        )
+
+
+def _validate_offchain_state_is_static(contract: ast.ContractDecl,
+                                       offchain_refs: set[str],
+                                       heavy: set[str],
+                                       spec: SplitSpec) -> None:
+    """Heavy functions may only read constructor-set state.
+
+    The off-chain contract snapshots state values at signing time, so a
+    heavy function depending on a variable some light/public function
+    mutates would silently diverge between chain and participants.
+    """
+    state_names = {v.name for v in contract.state_vars}
+    needed = offchain_refs & state_names
+    for fn in contract.functions:
+        if fn.is_constructor or fn.name in heavy or fn.body is None:
+            continue
+        estimate = estimate_function_cost(contract, fn)
+        overlap = estimate.writes_state & needed
+        if overlap:
+            raise SplitError(
+                f"heavy/private functions read state {sorted(overlap)} "
+                f"that light/public function {fn.name!r} mutates; "
+                "off-chain state must be immutable after construction"
+            )
+
+
+def _split_constructor(contract: ast.ContractDecl,
+                       side_vars: set[str]) -> ast.FunctionDecl | None:
+    """The whole constructor restricted to this side's state variables."""
+    ctor = contract.constructor
+    if ctor is None:
+        return None
+    state_names = {v.name for v in contract.state_vars}
+    kept_statements: list[ast.Stmt] = []
+    used_params: set[str] = set()
+    param_names = {p.name for p in ctor.parameters}
+    for stmt in ctor.body.statements:
+        refs: set[str] = set()
+        _collect_identifiers(stmt, refs)
+        touched_state = refs & state_names
+        if not touched_state:
+            continue
+        if not touched_state <= side_vars:
+            continue
+        kept_statements.append(stmt)
+        used_params |= refs & param_names
+    kept_params = [p for p in ctor.parameters if p.name in used_params]
+    if not kept_statements:
+        return None
+    return ast.FunctionDecl(
+        name="",
+        parameters=kept_params,
+        visibility="public",
+        body=ast.Block(statements=kept_statements),
+        is_constructor=True,
+    )
+
+
+def _offchain_constructor(contract: ast.ContractDecl,
+                          offchain_vars: list[ast.StateVarDecl],
+                          spec: SplitSpec):
+    """Constructor plan for the off-chain contract.
+
+    Every off-chain state variable becomes a constructor argument (the
+    signed bytecode embeds the values, binding them into the agreement).
+    Arrays expand to one argument per element.
+    """
+    assignments: list[str] = []
+    params: list[str] = []
+    for var in offchain_vars:
+        type_name = var.type_name
+        if type_name.name == "array":
+            element = type_name.value_type.to_source()
+            for index in range(type_name.array_length):
+                params.append(f"{element} __{var.name}_{index}")
+                assignments.append(
+                    f"{var.name}[{index}] = __{var.name}_{index};"
+                )
+        elif type_name.name == "mapping":
+            raise SplitError(
+                f"heavy/private functions may not depend on mapping state "
+                f"({var.name!r}); mappings cannot be snapshotted into the "
+                "off-chain contract"
+            )
+        else:
+            params.append(f"{type_name.to_source()} __{var.name}")
+            assignments.append(f"{var.name} = __{var.name};")
+    return assignments, params

@@ -1,0 +1,24 @@
+"""Cryptographic substrate: Keccak-256, secp256k1 ECDSA, RLP, ABI.
+
+Everything Ethereum-compatible and implemented from scratch — the paper
+relies on ``keccak256``/``ecrecover`` agreeing between the off-chain
+signing step (Algorithm 4) and the on-chain verification step
+(Algorithm 5), which these modules guarantee byte-for-byte.
+"""
+
+from repro.crypto.keccak import keccak256, keccak256_hex
+from repro.crypto.ecdsa import Signature, SignatureError, sign, verify
+from repro.crypto.keys import Address, PrivateKey, PublicKey, recover_address
+
+__all__ = [
+    "keccak256",
+    "keccak256_hex",
+    "Signature",
+    "SignatureError",
+    "sign",
+    "verify",
+    "Address",
+    "PrivateKey",
+    "PublicKey",
+    "recover_address",
+]

@@ -1,0 +1,206 @@
+"""A contract ABI codec compatible with the Ethereum ABI specification.
+
+Covers the type subset the Solis language (and the paper's contracts)
+use: ``uintN``, ``intN``, ``address``, ``bool``, ``bytes32``/fixed
+bytes, and dynamic ``bytes``/``string``.  Function selectors are the
+first four bytes of the Keccak-256 hash of the canonical signature,
+exactly as Solidity computes them — so ``deployVerifiedInstance(bytes,
+uint8,bytes32,bytes32,uint8,bytes32,bytes32)`` dispatches identically
+here and on Ethereum.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence
+
+from repro.crypto.keccak import keccak256
+
+_WORD = 32
+_UINT_RE = re.compile(r"^uint(\d+)?$")
+_INT_RE = re.compile(r"^int(\d+)?$")
+_BYTES_N_RE = re.compile(r"^bytes(\d+)$")
+
+
+class AbiError(ValueError):
+    """Raised on un-encodable values or malformed calldata."""
+
+
+def canonical_type(type_name: str) -> str:
+    """Normalise a type name to its canonical ABI spelling."""
+    if type_name == "uint":
+        return "uint256"
+    if type_name == "int":
+        return "int256"
+    return type_name
+
+
+def is_dynamic(type_name: str) -> bool:
+    """True for types encoded in the dynamic 'tail' section."""
+    return canonical_type(type_name) in ("bytes", "string")
+
+
+def function_signature(name: str, arg_types: Sequence[str]) -> str:
+    """The canonical signature string, e.g. ``transfer(address,uint256)``."""
+    return f"{name}({','.join(canonical_type(t) for t in arg_types)})"
+
+
+def function_selector(name: str, arg_types: Sequence[str]) -> bytes:
+    """First 4 bytes of keccak256 of the canonical signature."""
+    return keccak256(function_signature(name, arg_types).encode("ascii"))[:4]
+
+
+def event_topic(name: str, arg_types: Sequence[str]) -> bytes:
+    """The 32-byte topic hash identifying an event."""
+    return keccak256(function_signature(name, arg_types).encode("ascii"))
+
+
+def _to_word(value: int) -> bytes:
+    return value.to_bytes(_WORD, "big")
+
+
+def _encode_head(type_name: str, value: Any) -> bytes:
+    """Encode one static value into its 32-byte head word."""
+    ctype = canonical_type(type_name)
+
+    match = _UINT_RE.match(ctype)
+    if match:
+        bits = int(match.group(1) or 256)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise AbiError(f"{ctype} expects int, got {type(value).__name__}")
+        if not 0 <= value < (1 << bits):
+            raise AbiError(f"value {value} out of range for {ctype}")
+        return _to_word(value)
+
+    match = _INT_RE.match(ctype)
+    if match:
+        bits = int(match.group(1) or 256)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise AbiError(f"{ctype} expects int, got {type(value).__name__}")
+        if not -(1 << (bits - 1)) <= value < (1 << (bits - 1)):
+            raise AbiError(f"value {value} out of range for {ctype}")
+        return _to_word(value & ((1 << 256) - 1))
+
+    if ctype == "address":
+        raw = _address_bytes(value)
+        return b"\x00" * 12 + raw
+
+    if ctype == "bool":
+        if not isinstance(value, bool):
+            raise AbiError(f"bool expects bool, got {type(value).__name__}")
+        return _to_word(1 if value else 0)
+
+    match = _BYTES_N_RE.match(ctype)
+    if match:
+        n = int(match.group(1))
+        if not 1 <= n <= 32:
+            raise AbiError(f"invalid fixed-bytes width {n}")
+        if isinstance(value, int):
+            value = value.to_bytes(n, "big")
+        if not isinstance(value, (bytes, bytearray)) or len(value) != n:
+            raise AbiError(f"{ctype} expects exactly {n} bytes")
+        return bytes(value) + b"\x00" * (_WORD - n)
+
+    raise AbiError(f"unsupported static ABI type {type_name!r}")
+
+
+def _address_bytes(value: Any) -> bytes:
+    """Accept Address-like objects, bytes20, hex strings or ints."""
+    if hasattr(value, "value") and isinstance(getattr(value, "value"), bytes):
+        raw = value.value
+    elif isinstance(value, (bytes, bytearray)):
+        raw = bytes(value)
+    elif isinstance(value, str):
+        raw = bytes.fromhex(value.removeprefix("0x"))
+    elif isinstance(value, int) and not isinstance(value, bool):
+        raw = value.to_bytes(20, "big")
+    else:
+        raise AbiError(f"cannot interpret {type(value).__name__} as address")
+    if len(raw) != 20:
+        raise AbiError(f"address must be 20 bytes, got {len(raw)}")
+    return raw
+
+
+def _encode_dynamic(type_name: str, value: Any) -> bytes:
+    ctype = canonical_type(type_name)
+    if ctype == "string":
+        if not isinstance(value, str):
+            raise AbiError("string expects str")
+        value = value.encode("utf-8")
+        ctype = "bytes"
+    if ctype == "bytes":
+        if not isinstance(value, (bytes, bytearray)):
+            raise AbiError("bytes expects bytes")
+        data = bytes(value)
+        padded_len = (len(data) + _WORD - 1) // _WORD * _WORD
+        return _to_word(len(data)) + data + b"\x00" * (padded_len - len(data))
+    raise AbiError(f"unsupported dynamic ABI type {type_name!r}")
+
+
+def encode_arguments(arg_types: Sequence[str], values: Sequence[Any]) -> bytes:
+    """ABI-encode a tuple of values (head/tail layout)."""
+    if len(arg_types) != len(values):
+        raise AbiError(
+            f"arity mismatch: {len(arg_types)} types vs {len(values)} values"
+        )
+    heads: list[bytes] = []
+    tails: list[bytes] = []
+    head_size = _WORD * len(arg_types)
+    for type_name, value in zip(arg_types, values):
+        if is_dynamic(type_name):
+            tail = _encode_dynamic(type_name, value)
+            offset = head_size + sum(len(t) for t in tails)
+            heads.append(_to_word(offset))
+            tails.append(tail)
+        else:
+            heads.append(_encode_head(type_name, value))
+    return b"".join(heads) + b"".join(tails)
+
+
+def encode_call(name: str, arg_types: Sequence[str], values: Sequence[Any]) -> bytes:
+    """Selector ‖ encoded arguments — ready-to-send calldata."""
+    return function_selector(name, arg_types) + encode_arguments(arg_types, values)
+
+
+def decode_arguments(arg_types: Sequence[str], data: bytes) -> list[Any]:
+    """Decode ABI-encoded values (the inverse of :func:`encode_arguments`)."""
+    values: list[Any] = []
+    for index, type_name in enumerate(arg_types):
+        head = data[index * _WORD:(index + 1) * _WORD]
+        if len(head) != _WORD:
+            raise AbiError("calldata too short for declared argument list")
+        if is_dynamic(type_name):
+            offset = int.from_bytes(head, "big")
+            length_word = data[offset:offset + _WORD]
+            if len(length_word) != _WORD:
+                raise AbiError("dynamic argument offset out of bounds")
+            length = int.from_bytes(length_word, "big")
+            payload = data[offset + _WORD:offset + _WORD + length]
+            if len(payload) != length:
+                raise AbiError("dynamic argument truncated")
+            if canonical_type(type_name) == "string":
+                values.append(payload.decode("utf-8"))
+            else:
+                values.append(payload)
+        else:
+            values.append(_decode_head(type_name, head))
+    return values
+
+
+def _decode_head(type_name: str, word: bytes) -> Any:
+    ctype = canonical_type(type_name)
+    if _UINT_RE.match(ctype):
+        return int.from_bytes(word, "big")
+    if _INT_RE.match(ctype):
+        raw = int.from_bytes(word, "big")
+        if raw >= 1 << 255:
+            raw -= 1 << 256
+        return raw
+    if ctype == "address":
+        return word[12:]
+    if ctype == "bool":
+        return int.from_bytes(word, "big") != 0
+    match = _BYTES_N_RE.match(ctype)
+    if match:
+        return word[:int(match.group(1))]
+    raise AbiError(f"unsupported static ABI type {type_name!r}")

@@ -1,0 +1,119 @@
+"""Pure-Python Keccak-256 as used by Ethereum.
+
+Ethereum uses the *original* Keccak submission padding (a single ``0x01``
+domain byte) rather than the NIST SHA-3 padding (``0x06``), so
+``hashlib.sha3_256`` cannot be used.  This module implements the full
+Keccak-f[1600] permutation and the sponge construction from scratch.
+
+The implementation is verified against the canonical Ethereum test
+vectors, e.g.::
+
+    >>> keccak256(b"").hex()
+    'c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470'
+"""
+
+from __future__ import annotations
+
+_RATE_BYTES = 136  # 1088-bit rate for Keccak-256
+_LANES = 25
+_MASK64 = (1 << 64) - 1
+
+# Round constants for Keccak-f[1600] (24 rounds).
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets, indexed by lane position x + 5*y.
+_ROTATIONS = (
+    0, 1, 62, 28, 27,
+    36, 44, 6, 55, 20,
+    3, 10, 43, 25, 39,
+    41, 45, 15, 21, 8,
+    18, 2, 61, 56, 14,
+)
+
+
+def _rotl64(value: int, shift: int) -> int:
+    """Rotate a 64-bit integer left by ``shift`` bits."""
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def _keccak_f1600(state: list[int]) -> None:
+    """Apply the 24-round Keccak-f[1600] permutation in place."""
+    for round_constant in _ROUND_CONSTANTS:
+        # theta
+        c = [
+            state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20]
+            for x in range(5)
+        ]
+        d = [c[(x - 1) % 5] ^ _rotl64(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(0, 25, 5):
+                state[x + y] ^= d[x]
+
+        # rho and pi
+        b = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                # Lane (x, y) moves to (y, 2x + 3y), rotated.
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = _rotl64(
+                    state[x + 5 * y], _ROTATIONS[x + 5 * y]
+                )
+
+        # chi
+        for y in range(0, 25, 5):
+            row = b[y:y + 5]
+            for x in range(5):
+                state[x + y] = row[x] ^ ((~row[(x + 1) % 5]) & row[(x + 2) % 5])
+
+        # iota
+        state[0] ^= round_constant
+
+
+def keccak256(data: bytes) -> bytes:
+    """Return the 32-byte Keccak-256 digest of ``data``.
+
+    This is the hash function Ethereum calls ``keccak256`` in Solidity
+    and ``SHA3`` at the EVM opcode level.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"keccak256 expects bytes, got {type(data).__name__}")
+    data = bytes(data)
+
+    state = [0] * _LANES
+
+    # Absorb full rate-sized blocks.
+    offset = 0
+    length = len(data)
+    while length - offset >= _RATE_BYTES:
+        block = data[offset:offset + _RATE_BYTES]
+        for lane in range(_RATE_BYTES // 8):
+            state[lane] ^= int.from_bytes(block[lane * 8:lane * 8 + 8], "little")
+        _keccak_f1600(state)
+        offset += _RATE_BYTES
+
+    # Pad the final block: Keccak pad10*1 with the 0x01 domain byte.
+    final = bytearray(data[offset:])
+    final.append(0x01)
+    final.extend(b"\x00" * (_RATE_BYTES - len(final)))
+    final[-1] |= 0x80
+    for lane in range(_RATE_BYTES // 8):
+        state[lane] ^= int.from_bytes(final[lane * 8:lane * 8 + 8], "little")
+    _keccak_f1600(state)
+
+    # Squeeze: 32 bytes fit in the first four lanes.
+    return b"".join(state[lane].to_bytes(8, "little") for lane in range(4))
+
+
+def keccak256_hex(data: bytes) -> str:
+    """Return the Keccak-256 digest of ``data`` as a ``0x``-prefixed string."""
+    return "0x" + keccak256(data).hex()

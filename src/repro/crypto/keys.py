@@ -1,0 +1,155 @@
+"""Key management and Ethereum address derivation.
+
+An Ethereum address is the last 20 bytes of the Keccak-256 hash of the
+uncompressed public key (without the ``04`` SEC1 prefix).  These classes
+wrap the raw secp256k1 scalars/points with the conveniences the rest of
+the library needs: deterministic key generation for tests, message
+signing and EIP-55 checksum formatting.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto import ecdsa, secp256k1
+from repro.crypto.ecdsa import Signature
+from repro.crypto.keccak import keccak256
+
+
+@dataclass(frozen=True)
+class Address:
+    """A 20-byte Ethereum account address."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, bytes) or len(self.value) != 20:
+            raise ValueError("an address is exactly 20 bytes")
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Address":
+        """Parse a hex address, with or without the ``0x`` prefix."""
+        text = text.lower().removeprefix("0x")
+        if len(text) != 40:
+            raise ValueError(f"address hex must be 40 chars, got {len(text)}")
+        return cls(bytes.fromhex(text))
+
+    @classmethod
+    def zero(cls) -> "Address":
+        """The zero address (contract-creation target, burn address)."""
+        return cls(b"\x00" * 20)
+
+    @classmethod
+    def from_int(cls, value: int) -> "Address":
+        """Build an address from an integer (e.g. precompile numbers)."""
+        return cls(value.to_bytes(20, "big"))
+
+    def to_int(self) -> int:
+        """The address as an unsigned integer (how the EVM stacks it)."""
+        return int.from_bytes(self.value, "big")
+
+    @property
+    def hex(self) -> str:
+        """Lower-case ``0x``-prefixed hex form."""
+        return "0x" + self.value.hex()
+
+    @property
+    def checksum(self) -> str:
+        """EIP-55 mixed-case checksum form."""
+        plain = self.value.hex()
+        digest = keccak256(plain.encode("ascii")).hex()
+        chars = [
+            ch.upper() if ch.isalpha() and int(digest[i], 16) >= 8 else ch
+            for i, ch in enumerate(plain)
+        ]
+        return "0x" + "".join(chars)
+
+    def __str__(self) -> str:
+        return self.checksum
+
+    def __bool__(self) -> bool:
+        return self.value != b"\x00" * 20
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An affine secp256k1 public key."""
+
+    point: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if not secp256k1.is_on_curve(self.point) or self.point is None:
+            raise ValueError("public key is not on secp256k1")
+
+    def to_bytes(self) -> bytes:
+        """Uncompressed 64-byte X ‖ Y encoding (no SEC1 prefix)."""
+        x, y = self.point
+        return x.to_bytes(32, "big") + y.to_bytes(32, "big")
+
+    @property
+    def address(self) -> Address:
+        """The Ethereum address: keccak256(pubkey)[12:]."""
+        return Address(keccak256(self.to_bytes())[12:])
+
+    def verify(self, message_hash: bytes, signature: Signature) -> bool:
+        """Check ``signature`` over ``message_hash`` against this key."""
+        return ecdsa.verify(message_hash, signature, self.point)
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A secp256k1 private key with lazy public-key derivation."""
+
+    secret: int
+    _public: PublicKey = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.secret < secp256k1.N:
+            raise ValueError("private key scalar out of range")
+        point = secp256k1.scalar_mult(self.secret)
+        object.__setattr__(self, "_public", PublicKey(point))
+
+    @classmethod
+    def generate(cls) -> "PrivateKey":
+        """Generate a cryptographically random key."""
+        while True:
+            secret = secrets.randbelow(secp256k1.N)
+            if secret != 0:
+                return cls(secret)
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str) -> "PrivateKey":
+        """Deterministically derive a key from a seed (for tests/demos)."""
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        secret = int.from_bytes(keccak256(seed), "big") % secp256k1.N
+        if secret == 0:
+            secret = 1
+        return cls(secret)
+
+    @classmethod
+    def from_hex(cls, text: str) -> "PrivateKey":
+        """Parse a 32-byte hex scalar (as in the paper's Algorithm 4)."""
+        return cls(int(text.removeprefix("0x"), 16))
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public
+
+    @property
+    def address(self) -> Address:
+        return self._public.address
+
+    def sign(self, message_hash: bytes) -> Signature:
+        """Produce an Ethereum ``(v, r, s)`` signature over a 32-byte hash."""
+        return ecdsa.sign(message_hash, self.secret)
+
+    def to_bytes(self) -> bytes:
+        return self.secret.to_bytes(32, "big")
+
+
+def recover_address(message_hash: bytes, signature: Signature) -> Address:
+    """Recover the signer's address — the behaviour of ``ecrecover``."""
+    point = ecdsa.recover_public_key(message_hash, signature)
+    return PublicKey(point).address

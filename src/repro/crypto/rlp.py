@@ -1,0 +1,124 @@
+"""Recursive Length Prefix (RLP) encoding and decoding.
+
+RLP is Ethereum's canonical serialisation for transactions and for the
+``keccak256(rlp([sender, nonce]))`` contract-address derivation.  The
+item domain is: ``bytes`` (a string item) or a list of items
+(recursively).  Integers are encoded big-endian with no leading zeros,
+as the Ethereum yellow paper specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+RlpItem = Union[bytes, int, "RlpList"]
+RlpList = Sequence["RlpItem"]
+
+
+class RlpError(ValueError):
+    """Raised on malformed RLP input."""
+
+
+def encode_int(value: int) -> bytes:
+    """Big-endian minimal encoding of a non-negative integer."""
+    if value < 0:
+        raise RlpError("RLP cannot encode negative integers")
+    if value == 0:
+        return b""
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    if length < 56:
+        return bytes([offset + length])
+    length_bytes = encode_int(length)
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def encode(item: RlpItem) -> bytes:
+    """RLP-encode bytes, an int, or a (possibly nested) sequence of items."""
+    if isinstance(item, bool):
+        raise RlpError("RLP does not define booleans; encode an int instead")
+    if isinstance(item, int):
+        item = encode_int(item)
+    if isinstance(item, (bytes, bytearray, memoryview)):
+        data = bytes(item)
+        if len(data) == 1 and data[0] < 0x80:
+            return data
+        return _encode_length(len(data), 0x80) + data
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(encode(sub) for sub in item)
+        return _encode_length(len(payload), 0xC0) + payload
+    raise RlpError(f"cannot RLP-encode {type(item).__name__}")
+
+
+def decode(data: bytes):
+    """Decode a single RLP item, raising on trailing bytes.
+
+    Byte-strings come back as ``bytes``; lists as Python lists.
+    """
+    item, consumed = _decode_at(bytes(data), 0)
+    if consumed != len(data):
+        raise RlpError(f"trailing bytes after RLP item ({len(data) - consumed})")
+    return item
+
+
+def _read_length(data: bytes, offset: int, length_of_length: int) -> tuple[int, int]:
+    end = offset + length_of_length
+    if end > len(data):
+        raise RlpError("truncated RLP length prefix")
+    raw = data[offset:end]
+    if raw and raw[0] == 0:
+        raise RlpError("RLP length has leading zero bytes")
+    length = int.from_bytes(raw, "big")
+    if length < 56:
+        raise RlpError("non-canonical RLP long-form length")
+    return length, end
+
+
+def _decode_at(data: bytes, offset: int):
+    if offset >= len(data):
+        raise RlpError("unexpected end of RLP input")
+    prefix = data[offset]
+    if prefix < 0x80:  # single byte literal
+        return bytes([prefix]), offset + 1
+    if prefix <= 0xB7:  # short string
+        length = prefix - 0x80
+        end = offset + 1 + length
+        if end > len(data):
+            raise RlpError("truncated RLP string")
+        payload = data[offset + 1:end]
+        if length == 1 and payload[0] < 0x80:
+            raise RlpError("non-canonical single-byte RLP string")
+        return payload, end
+    if prefix <= 0xBF:  # long string
+        length, start = _read_length(data, offset + 1, prefix - 0xB7)
+        end = start + length
+        if end > len(data):
+            raise RlpError("truncated RLP string")
+        return data[start:end], end
+    if prefix <= 0xF7:  # short list
+        length = prefix - 0xC0
+        end = offset + 1 + length
+    else:  # long list
+        length, start = _read_length(data, offset + 1, prefix - 0xF7)
+        end = start + length
+        offset = start - 1  # so payload starts at start below
+    payload_start = offset + 1
+    if end > len(data):
+        raise RlpError("truncated RLP list")
+    items = []
+    cursor = payload_start
+    while cursor < end:
+        item, cursor = _decode_at(data, cursor)
+        items.append(item)
+    if cursor != end:
+        raise RlpError("RLP list payload length mismatch")
+    return items, end
+
+
+def decode_int(data: bytes) -> int:
+    """Interpret an RLP byte-string payload as a canonical integer."""
+    if data.startswith(b"\x00"):
+        raise RlpError("integer has leading zero bytes")
+    return int.from_bytes(data, "big")

@@ -1,0 +1,165 @@
+"""secp256k1 elliptic-curve arithmetic.
+
+Implements the curve y^2 = x^3 + 7 over the prime field used by Bitcoin
+and Ethereum.  Points are represented as affine ``(x, y)`` tuples with
+``None`` denoting the point at infinity; scalar multiplication uses
+Jacobian coordinates internally for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+# Curve parameters (SEC 2, "Recommended Elliptic Curve Domain Parameters").
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+G = (GX, GY)
+
+AffinePoint = Optional[Tuple[int, int]]
+_JacobianPoint = Tuple[int, int, int]
+
+_INFINITY_J: _JacobianPoint = (0, 1, 0)
+
+
+def is_on_curve(point: AffinePoint) -> bool:
+    """Return True if ``point`` lies on secp256k1 (infinity counts)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - x * x * x - B) % P == 0
+
+
+def _to_jacobian(point: AffinePoint) -> _JacobianPoint:
+    if point is None:
+        return _INFINITY_J
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: _JacobianPoint) -> AffinePoint:
+    x, y, z = point
+    if z == 0:
+        return None
+    z_inv = pow(z, P - 2, P)
+    z_inv2 = z_inv * z_inv % P
+    return (x * z_inv2 % P, y * z_inv2 * z_inv % P)
+
+
+def _jacobian_double(point: _JacobianPoint) -> _JacobianPoint:
+    x, y, z = point
+    if y == 0 or z == 0:
+        return _INFINITY_J
+    ysq = y * y % P
+    s = 4 * x * ysq % P
+    m = 3 * x * x % P  # a == 0 so no a*z^4 term
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = 2 * y * z % P
+    return (nx, ny, nz)
+
+
+def _jacobian_add(p: _JacobianPoint, q: _JacobianPoint) -> _JacobianPoint:
+    if p[2] == 0:
+        return q
+    if q[2] == 0:
+        return p
+    x1, y1, z1 = p
+    x2, y2, z2 = q
+    z1z1 = z1 * z1 % P
+    z2z2 = z2 * z2 % P
+    u1 = x1 * z2z2 % P
+    u2 = x2 * z1z1 % P
+    s1 = y1 * z2z2 * z2 % P
+    s2 = y2 * z1z1 * z1 % P
+    if u1 == u2:
+        if s1 != s2:
+            return _INFINITY_J
+        return _jacobian_double(p)
+    h = (u2 - u1) % P
+    i = 4 * h * h % P
+    j = h * i % P
+    r = 2 * (s2 - s1) % P
+    v = u1 * i % P
+    nx = (r * r - j - 2 * v) % P
+    ny = (r * (v - nx) - 2 * s1 * j) % P
+    nz = 2 * h * z1 * z2 % P
+    return (nx, ny, nz)
+
+
+def point_add(p: AffinePoint, q: AffinePoint) -> AffinePoint:
+    """Add two affine points on the curve."""
+    return _from_jacobian(_jacobian_add(_to_jacobian(p), _to_jacobian(q)))
+
+
+def point_double(p: AffinePoint) -> AffinePoint:
+    """Double an affine point on the curve."""
+    return _from_jacobian(_jacobian_double(_to_jacobian(p)))
+
+
+def point_neg(p: AffinePoint) -> AffinePoint:
+    """Return the additive inverse of ``p``."""
+    if p is None:
+        return None
+    x, y = p
+    return (x, (-y) % P)
+
+
+def scalar_mult(k: int, point: AffinePoint = G) -> AffinePoint:
+    """Return ``k * point`` using double-and-add in Jacobian coordinates."""
+    k %= N
+    if k == 0 or point is None:
+        return None
+    result = _INFINITY_J
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            result = _jacobian_add(result, addend)
+        addend = _jacobian_double(addend)
+        k >>= 1
+    return _from_jacobian(result)
+
+
+def lift_x(x: int, y_parity: int) -> AffinePoint:
+    """Recover the affine point with the given x-coordinate and y parity.
+
+    Returns None when ``x`` is not the abscissa of a curve point.
+    """
+    if not 0 <= x < P:
+        return None
+    y_sq = (pow(x, 3, P) + B) % P
+    # p % 4 == 3 so a square root (if any) is y_sq^((p+1)/4).
+    y = pow(y_sq, (P + 1) // 4, P)
+    if y * y % P != y_sq:
+        return None
+    if y % 2 != y_parity % 2:
+        y = P - y
+    return (x, y)
+
+
+def serialize_point(point: AffinePoint, compressed: bool = False) -> bytes:
+    """Serialise a point in SEC1 format (04 ‖ X ‖ Y, or 02/03 ‖ X)."""
+    if point is None:
+        raise ValueError("cannot serialise the point at infinity")
+    x, y = point
+    if compressed:
+        prefix = b"\x03" if y & 1 else b"\x02"
+        return prefix + x.to_bytes(32, "big")
+    return b"\x04" + x.to_bytes(32, "big") + y.to_bytes(32, "big")
+
+
+def deserialize_point(data: bytes) -> AffinePoint:
+    """Parse a SEC1-encoded point (compressed or uncompressed)."""
+    if len(data) == 65 and data[0] == 0x04:
+        point = (int.from_bytes(data[1:33], "big"), int.from_bytes(data[33:], "big"))
+        if not is_on_curve(point):
+            raise ValueError("point is not on secp256k1")
+        return point
+    if len(data) == 33 and data[0] in (0x02, 0x03):
+        point = lift_x(int.from_bytes(data[1:], "big"), data[0] & 1)
+        if point is None:
+            raise ValueError("x-coordinate is not on secp256k1")
+        return point
+    raise ValueError("malformed SEC1 point encoding")

@@ -1,0 +1,46 @@
+"""EVM substrate: a Constantinople-era Ethereum Virtual Machine.
+
+Stack machine, gas metering (the fee schedule the paper's Table II was
+measured under), nested calls, CREATE with code deposit, precompiles,
+and an assembler/disassembler pair.
+"""
+
+from repro.evm.assembler import Program, assemble, disassemble
+from repro.evm.exceptions import (
+    EvmError,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    Revert,
+    StackOverflow,
+    StackUnderflow,
+    VMError,
+)
+from repro.evm.vm import (
+    EVM,
+    BlockContext,
+    ExecutionResult,
+    Log,
+    Message,
+    compute_contract_address,
+)
+
+__all__ = [
+    "EVM",
+    "BlockContext",
+    "ExecutionResult",
+    "Log",
+    "Message",
+    "Program",
+    "assemble",
+    "disassemble",
+    "compute_contract_address",
+    "EvmError",
+    "VMError",
+    "OutOfGas",
+    "Revert",
+    "InvalidJump",
+    "InvalidOpcode",
+    "StackOverflow",
+    "StackUnderflow",
+]

@@ -1,0 +1,218 @@
+"""EVM assembler.
+
+Two layers:
+
+* :class:`Program` — a programmatic builder with labels and back-
+  patching, used by the Solis code generator;
+* :func:`assemble` — a textual assembler for hand-written snippets in
+  tests (mnemonics, ``0x`` immediates, ``label:`` definitions and
+  ``@label`` references).
+
+Label references always assemble to ``PUSH2`` so that offsets are
+stable regardless of final program size (programs are capped at 64 KiB,
+far above the EIP-170 code-size limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm import opcodes
+from repro.evm.opcodes import by_mnemonic
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input or unresolved labels."""
+
+
+_LABEL_WIDTH = 2  # PUSH2 for all jump targets
+
+
+@dataclass
+class _LabelRef:
+    label: str
+    patch_offset: int
+
+
+@dataclass
+class Program:
+    """An append-only instruction buffer with label back-patching."""
+
+    _code: bytearray = field(default_factory=bytearray)
+    _labels: dict[str, int] = field(default_factory=dict)
+    _refs: list[_LabelRef] = field(default_factory=list)
+    _label_counter: int = 0
+
+    def __len__(self) -> int:
+        return len(self._code)
+
+    @property
+    def pc(self) -> int:
+        """Current program counter (offset of the next emitted byte)."""
+        return len(self._code)
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Create a unique label name."""
+        self._label_counter += 1
+        return f"__{hint}_{self._label_counter}"
+
+    def label(self, name: str) -> None:
+        """Bind ``name`` to the current pc and emit a JUMPDEST."""
+        if name in self._labels:
+            raise AssemblerError(f"label {name!r} defined twice")
+        self._labels[name] = self.pc
+        self._code.append(opcodes.JUMPDEST)
+
+    def mark(self, name: str) -> None:
+        """Bind ``name`` to the current pc WITHOUT emitting a JUMPDEST.
+
+        Used for data offsets (e.g. where embedded runtime code starts),
+        not for jump targets.
+        """
+        if name in self._labels:
+            raise AssemblerError(f"label {name!r} defined twice")
+        self._labels[name] = self.pc
+
+    def op(self, mnemonic: str) -> "Program":
+        """Emit a plain (no-immediate) instruction."""
+        opcode = by_mnemonic(mnemonic)
+        if opcode.immediate_size:
+            raise AssemblerError(f"{mnemonic} requires an immediate; use push()")
+        self._code.append(opcode.value)
+        return self
+
+    def push(self, value: int, width: int | None = None) -> "Program":
+        """Emit the narrowest PUSHn holding ``value`` (or a fixed width)."""
+        if value < 0:
+            raise AssemblerError("PUSH immediates are unsigned")
+        if width is None:
+            width = max(1, (value.bit_length() + 7) // 8)
+        if not 1 <= width <= 32:
+            raise AssemblerError(f"PUSH width {width} out of range")
+        if value >= 1 << (8 * width):
+            raise AssemblerError(f"{value} does not fit in PUSH{width}")
+        self._code.append(opcodes.PUSH1 + width - 1)
+        self._code.extend(value.to_bytes(width, "big"))
+        return self
+
+    def push_label(self, name: str) -> "Program":
+        """Emit a PUSH2 whose immediate is patched to ``name``'s offset."""
+        self._code.append(opcodes.PUSH1 + _LABEL_WIDTH - 1)
+        self._refs.append(_LabelRef(label=name, patch_offset=self.pc))
+        self._code.extend(b"\x00" * _LABEL_WIDTH)
+        return self
+
+    def push_bytes(self, data: bytes) -> "Program":
+        """Emit PUSHn of raw bytes (1..32)."""
+        if not 1 <= len(data) <= 32:
+            raise AssemblerError("push_bytes takes 1..32 bytes")
+        self._code.append(opcodes.PUSH1 + len(data) - 1)
+        self._code.extend(data)
+        return self
+
+    def jump_to(self, name: str) -> "Program":
+        """PUSH @name; JUMP."""
+        return self.push_label(name).op("JUMP")
+
+    def jumpi_to(self, name: str) -> "Program":
+        """PUSH @name; JUMPI (consumes the condition under the target)."""
+        return self.push_label(name).op("JUMPI")
+
+    def raw(self, data: bytes) -> "Program":
+        """Append raw bytes (e.g. embedded runtime code)."""
+        self._code.extend(data)
+        return self
+
+    def append(self, other: "Program") -> "Program":
+        """Concatenate another program, relocating its labels and refs."""
+        base = self.pc
+        for name, offset in other._labels.items():
+            if name in self._labels:
+                raise AssemblerError(f"label {name!r} defined twice")
+            self._labels[name] = offset + base
+        for ref in other._refs:
+            self._refs.append(
+                _LabelRef(label=ref.label, patch_offset=ref.patch_offset + base)
+            )
+        self._code.extend(other._code)
+        return self
+
+    def assemble(self) -> bytes:
+        """Resolve label references and return the final bytecode."""
+        code = bytearray(self._code)
+        for ref in self._refs:
+            try:
+                target = self._labels[ref.label]
+            except KeyError:
+                raise AssemblerError(f"undefined label {ref.label!r}") from None
+            if target >= 1 << (8 * _LABEL_WIDTH):
+                raise AssemblerError(f"label {ref.label!r} offset too large")
+            code[ref.patch_offset:ref.patch_offset + _LABEL_WIDTH] = (
+                target.to_bytes(_LABEL_WIDTH, "big")
+            )
+        return bytes(code)
+
+
+def assemble(source: str) -> bytes:
+    """Assemble textual EVM assembly.
+
+    Syntax per line: ``[label:] MNEMONIC [immediate]`` where immediate
+    is ``0x...``, decimal, or ``@label``.  ``;`` starts a comment.
+    """
+    program = Program()
+    for raw_line in source.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            program.label(line[:-1].strip())
+            continue
+        if ":" in line:
+            label_part, line = line.split(":", 1)
+            program.label(label_part.strip())
+            line = line.strip()
+            if not line:
+                continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        if mnemonic.startswith("PUSH") and len(parts) == 2:
+            operand = parts[1]
+            if operand.startswith("@"):
+                program.push_label(operand[1:])
+                continue
+            value = int(operand, 0)
+            if mnemonic == "PUSH":
+                program.push(value)
+            else:
+                width = int(mnemonic[4:])
+                program.push(value, width=width)
+            continue
+        if len(parts) != 1:
+            raise AssemblerError(f"unexpected operand in line: {raw_line!r}")
+        if mnemonic == "JUMPDEST":
+            # Anonymous jumpdest without a label.
+            program._code.append(opcodes.JUMPDEST)
+            continue
+        program.op(mnemonic)
+    return program.assemble()
+
+
+def disassemble(code: bytes) -> list[tuple[int, str]]:
+    """Disassemble bytecode into ``(offset, text)`` pairs."""
+    out: list[tuple[int, str]] = []
+    pc = 0
+    while pc < len(code):
+        op_byte = code[pc]
+        opcode = opcodes.OPCODES.get(op_byte)
+        if opcode is None:
+            out.append((pc, f"UNKNOWN_0x{op_byte:02x}"))
+            pc += 1
+            continue
+        if opcode.immediate_size:
+            imm = code[pc + 1:pc + 1 + opcode.immediate_size]
+            out.append((pc, f"{opcode.mnemonic} 0x{imm.hex()}"))
+            pc += 1 + opcode.immediate_size
+        else:
+            out.append((pc, opcode.mnemonic))
+            pc += 1
+    return out

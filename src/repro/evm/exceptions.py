@@ -1,0 +1,64 @@
+"""Exception hierarchy for EVM execution.
+
+``VMError`` subclasses consume all remaining gas in the frame (as on
+Ethereum), while ``Revert`` refunds remaining gas and carries return
+data — the distinction matters for the paper's gas accounting.
+"""
+
+from __future__ import annotations
+
+
+class EvmError(Exception):
+    """Base class for anything the EVM can raise."""
+
+
+class VMError(EvmError):
+    """An exceptional halt: consumes all gas remaining in the frame."""
+
+
+class OutOfGas(VMError):
+    """Gas counter went below zero."""
+
+
+class StackUnderflow(VMError):
+    """An opcode popped more items than the stack holds."""
+
+
+class StackOverflow(VMError):
+    """The stack exceeded its 1024-item limit."""
+
+
+class InvalidJump(VMError):
+    """JUMP/JUMPI target is not a JUMPDEST."""
+
+
+class InvalidOpcode(VMError):
+    """Unknown or unimplemented opcode byte."""
+
+
+class InvalidInstruction(VMError):
+    """Execution of the designated INVALID (0xfe) opcode."""
+
+
+class CallDepthExceeded(VMError):
+    """Message-call depth went past 1024."""
+
+
+class InsufficientFunds(VMError):
+    """Value transfer exceeds the sender's balance."""
+
+
+class WriteProtection(VMError):
+    """State modification attempted inside a STATICCALL context."""
+
+
+class CodeSizeExceeded(VMError):
+    """Deployed code larger than the EIP-170 24576-byte limit."""
+
+
+class Revert(EvmError):
+    """REVERT opcode: roll back state but refund remaining gas."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__(f"execution reverted ({len(data)} bytes of return data)")
+        self.data = data

@@ -1,0 +1,123 @@
+"""The Constantinople gas schedule.
+
+Constants follow Appendix G of the Ethereum yellow paper as of the
+Constantinople fork — the rules in force on the Kovan testnet in
+February 2019 when the paper measured Table II.  Keeping the same fee
+schedule is what lets this reproduction land in the paper's gas
+ballpark (225 082 gas for ``deployVerifiedInstance()``, 37 745 for
+``returnDisputeResolution()``).
+"""
+
+from __future__ import annotations
+
+# --- flat opcode tiers -------------------------------------------------
+G_ZERO = 0
+G_BASE = 2
+G_VERYLOW = 3
+G_LOW = 5
+G_MID = 8
+G_HIGH = 10
+G_JUMPDEST = 1
+
+# --- state access ------------------------------------------------------
+G_BALANCE = 400
+G_SLOAD = 200
+G_EXTCODE = 700
+G_SSET = 20_000          # SSTORE zero -> non-zero
+G_SRESET = 5_000         # SSTORE non-zero -> any
+R_SCLEAR = 15_000        # refund for clearing a slot
+R_SELFDESTRUCT = 24_000
+G_SELFDESTRUCT = 5_000
+
+# --- calls & creation --------------------------------------------------
+G_CALL = 700
+G_CALLVALUE = 9_000
+G_CALLSTIPEND = 2_300
+G_NEWACCOUNT = 25_000
+G_CREATE = 32_000
+G_CODEDEPOSIT = 200      # per byte of deployed runtime code
+MAX_CODE_SIZE = 24_576   # EIP-170
+CALL_DEPTH_LIMIT = 1_024
+
+# --- hashing, memory, copying -------------------------------------------
+G_SHA3 = 30
+G_SHA3_WORD = 6
+G_COPY = 3               # per word for *COPY opcodes
+G_MEMORY = 3             # linear memory coefficient
+G_QUAD_DIVISOR = 512     # quadratic memory coefficient divisor
+
+# --- logs ----------------------------------------------------------------
+G_LOG = 375
+G_LOG_TOPIC = 375
+G_LOG_DATA = 8           # per byte
+
+# --- exponentiation -------------------------------------------------------
+G_EXP = 10
+G_EXP_BYTE = 50          # per byte of exponent (EIP-160)
+
+# --- transactions ----------------------------------------------------------
+G_TRANSACTION = 21_000
+G_TX_CREATE = 32_000
+G_TXDATA_ZERO = 4
+G_TXDATA_NONZERO = 68
+
+# --- precompiles -------------------------------------------------------------
+G_ECRECOVER = 3_000
+G_SHA256_BASE = 60
+G_SHA256_WORD = 12
+G_IDENTITY_BASE = 15
+G_IDENTITY_WORD = 3
+
+
+def memory_gas(words: int) -> int:
+    """Total gas to have expanded memory to ``words`` 32-byte words.
+
+    C_mem(a) = G_memory * a + a^2 / 512 (yellow paper, integer division).
+    """
+    return G_MEMORY * words + words * words // G_QUAD_DIVISOR
+
+
+def memory_expansion_cost(current_words: int, new_words: int) -> int:
+    """Marginal cost of growing memory from ``current_words`` words."""
+    if new_words <= current_words:
+        return 0
+    return memory_gas(new_words) - memory_gas(current_words)
+
+
+def words_for_bytes(num_bytes: int) -> int:
+    """Number of 32-byte words needed to hold ``num_bytes`` bytes."""
+    return (num_bytes + 31) // 32
+
+
+def copy_gas(num_bytes: int) -> int:
+    """Per-word copy surcharge used by CALLDATACOPY/CODECOPY/..."""
+    return G_COPY * words_for_bytes(num_bytes)
+
+
+def sha3_gas(num_bytes: int) -> int:
+    """Dynamic cost of the SHA3 opcode over ``num_bytes`` of input."""
+    return G_SHA3 + G_SHA3_WORD * words_for_bytes(num_bytes)
+
+
+def intrinsic_gas(data: bytes, is_create: bool) -> int:
+    """Intrinsic gas of a transaction (yellow paper eq. 60)."""
+    gas = G_TRANSACTION
+    if is_create:
+        gas += G_TX_CREATE
+    for byte in data:
+        gas += G_TXDATA_ZERO if byte == 0 else G_TXDATA_NONZERO
+    return gas
+
+
+def sstore_gas_and_refund(current: int, new: int) -> tuple[int, int]:
+    """(gas, refund) for an SSTORE under the pre-EIP-1283 net rule."""
+    if current == 0 and new != 0:
+        return G_SSET, 0
+    if current != 0 and new == 0:
+        return G_SRESET, R_SCLEAR
+    return G_SRESET, 0
+
+
+def max_call_gas(remaining: int) -> int:
+    """EIP-150 '63/64 rule': gas forwardable to a child frame."""
+    return remaining - remaining // 64

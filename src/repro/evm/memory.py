@@ -1,0 +1,65 @@
+"""EVM linear memory with word-granular, gas-metered expansion."""
+
+from __future__ import annotations
+
+from repro.evm import gas
+
+
+class Memory:
+    """Byte-addressable memory that grows in 32-byte words.
+
+    Expansion cost is *not* charged here; :meth:`expansion_cost` reports
+    the marginal gas so the interpreter can charge before growing.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def word_count(self) -> int:
+        """Current size in 32-byte words."""
+        return len(self._data) // 32
+
+    def expansion_cost(self, offset: int, size: int) -> int:
+        """Marginal gas to make ``[offset, offset+size)`` addressable."""
+        if size == 0:
+            return 0
+        new_words = gas.words_for_bytes(offset + size)
+        return gas.memory_expansion_cost(self.word_count, new_words)
+
+    def extend(self, offset: int, size: int) -> None:
+        """Grow memory (zero-filled) to cover ``[offset, offset+size)``."""
+        if size == 0:
+            return
+        needed = gas.words_for_bytes(offset + size) * 32
+        if needed > len(self._data):
+            self._data.extend(b"\x00" * (needed - len(self._data)))
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes; the range must already be extended."""
+        if size == 0:
+            return b""
+        return bytes(self._data[offset:offset + size])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write bytes at ``offset``; the range must already be extended."""
+        if not data:
+            return
+        self._data[offset:offset + len(data)] = data
+
+    def read_word(self, offset: int) -> int:
+        """Read a 32-byte big-endian word as an int."""
+        return int.from_bytes(self.read(offset, 32), "big")
+
+    def write_word(self, offset: int, value: int) -> None:
+        """Write an int as a 32-byte big-endian word."""
+        self.write(offset, value.to_bytes(32, "big"))
+
+    def snapshot(self) -> bytes:
+        """Copy of the full memory contents (for tests/tracing)."""
+        return bytes(self._data)

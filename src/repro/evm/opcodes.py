@@ -1,0 +1,215 @@
+"""The EVM instruction set (Constantinople subset).
+
+Each opcode records its mnemonic, byte value, stack arity and the flat
+portion of its gas cost; dynamic costs (memory expansion, copies,
+storage) are charged by the interpreter.  The table covers every
+instruction the Solis compiler emits plus the general-purpose ones a
+hand-written assembly program may use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evm import gas
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """Static description of one EVM instruction."""
+
+    mnemonic: str
+    value: int
+    pops: int
+    pushes: int
+    base_gas: int
+
+    @property
+    def immediate_size(self) -> int:
+        """Bytes of immediate data following the opcode (PUSHn only)."""
+        if PUSH1 <= self.value <= PUSH32:
+            return self.value - PUSH1 + 1
+        return 0
+
+
+# Byte values -------------------------------------------------------------
+STOP = 0x00
+ADD = 0x01
+MUL = 0x02
+SUB = 0x03
+DIV = 0x04
+SDIV = 0x05
+MOD = 0x06
+SMOD = 0x07
+ADDMOD = 0x08
+MULMOD = 0x09
+EXP = 0x0A
+SIGNEXTEND = 0x0B
+LT = 0x10
+GT = 0x11
+SLT = 0x12
+SGT = 0x13
+EQ = 0x14
+ISZERO = 0x15
+AND = 0x16
+OR = 0x17
+XOR = 0x18
+NOT = 0x19
+BYTE = 0x1A
+SHL = 0x1B
+SHR = 0x1C
+SAR = 0x1D
+SHA3 = 0x20
+ADDRESS = 0x30
+BALANCE = 0x31
+ORIGIN = 0x32
+CALLER = 0x33
+CALLVALUE = 0x34
+CALLDATALOAD = 0x35
+CALLDATASIZE = 0x36
+CALLDATACOPY = 0x37
+CODESIZE = 0x38
+CODECOPY = 0x39
+GASPRICE = 0x3A
+EXTCODESIZE = 0x3B
+EXTCODECOPY = 0x3C
+RETURNDATASIZE = 0x3D
+RETURNDATACOPY = 0x3E
+BLOCKHASH = 0x40
+COINBASE = 0x41
+TIMESTAMP = 0x42
+NUMBER = 0x43
+DIFFICULTY = 0x44
+GASLIMIT = 0x45
+POP = 0x50
+MLOAD = 0x51
+MSTORE = 0x52
+MSTORE8 = 0x53
+SLOAD = 0x54
+SSTORE = 0x55
+JUMP = 0x56
+JUMPI = 0x57
+PC = 0x58
+MSIZE = 0x59
+GAS = 0x5A
+JUMPDEST = 0x5B
+PUSH1 = 0x60
+PUSH32 = 0x7F
+DUP1 = 0x80
+DUP16 = 0x8F
+SWAP1 = 0x90
+SWAP16 = 0x9F
+LOG0 = 0xA0
+LOG4 = 0xA4
+CREATE = 0xF0
+CALL = 0xF1
+CALLCODE = 0xF2
+RETURN = 0xF3
+DELEGATECALL = 0xF4
+STATICCALL = 0xFA
+REVERT = 0xFD
+INVALID = 0xFE
+SELFDESTRUCT = 0xFF
+
+
+def _table() -> dict[int, Opcode]:
+    specs = [
+        ("STOP", STOP, 0, 0, gas.G_ZERO),
+        ("ADD", ADD, 2, 1, gas.G_VERYLOW),
+        ("MUL", MUL, 2, 1, gas.G_LOW),
+        ("SUB", SUB, 2, 1, gas.G_VERYLOW),
+        ("DIV", DIV, 2, 1, gas.G_LOW),
+        ("SDIV", SDIV, 2, 1, gas.G_LOW),
+        ("MOD", MOD, 2, 1, gas.G_LOW),
+        ("SMOD", SMOD, 2, 1, gas.G_LOW),
+        ("ADDMOD", ADDMOD, 3, 1, gas.G_MID),
+        ("MULMOD", MULMOD, 3, 1, gas.G_MID),
+        ("EXP", EXP, 2, 1, gas.G_EXP),
+        ("SIGNEXTEND", SIGNEXTEND, 2, 1, gas.G_LOW),
+        ("LT", LT, 2, 1, gas.G_VERYLOW),
+        ("GT", GT, 2, 1, gas.G_VERYLOW),
+        ("SLT", SLT, 2, 1, gas.G_VERYLOW),
+        ("SGT", SGT, 2, 1, gas.G_VERYLOW),
+        ("EQ", EQ, 2, 1, gas.G_VERYLOW),
+        ("ISZERO", ISZERO, 1, 1, gas.G_VERYLOW),
+        ("AND", AND, 2, 1, gas.G_VERYLOW),
+        ("OR", OR, 2, 1, gas.G_VERYLOW),
+        ("XOR", XOR, 2, 1, gas.G_VERYLOW),
+        ("NOT", NOT, 1, 1, gas.G_VERYLOW),
+        ("BYTE", BYTE, 2, 1, gas.G_VERYLOW),
+        ("SHL", SHL, 2, 1, gas.G_VERYLOW),
+        ("SHR", SHR, 2, 1, gas.G_VERYLOW),
+        ("SAR", SAR, 2, 1, gas.G_VERYLOW),
+        ("SHA3", SHA3, 2, 1, gas.G_SHA3),
+        ("ADDRESS", ADDRESS, 0, 1, gas.G_BASE),
+        ("BALANCE", BALANCE, 1, 1, gas.G_BALANCE),
+        ("ORIGIN", ORIGIN, 0, 1, gas.G_BASE),
+        ("CALLER", CALLER, 0, 1, gas.G_BASE),
+        ("CALLVALUE", CALLVALUE, 0, 1, gas.G_BASE),
+        ("CALLDATALOAD", CALLDATALOAD, 1, 1, gas.G_VERYLOW),
+        ("CALLDATASIZE", CALLDATASIZE, 0, 1, gas.G_BASE),
+        ("CALLDATACOPY", CALLDATACOPY, 3, 0, gas.G_VERYLOW),
+        ("CODESIZE", CODESIZE, 0, 1, gas.G_BASE),
+        ("CODECOPY", CODECOPY, 3, 0, gas.G_VERYLOW),
+        ("GASPRICE", GASPRICE, 0, 1, gas.G_BASE),
+        ("EXTCODESIZE", EXTCODESIZE, 1, 1, gas.G_EXTCODE),
+        ("EXTCODECOPY", EXTCODECOPY, 4, 0, gas.G_EXTCODE),
+        ("RETURNDATASIZE", RETURNDATASIZE, 0, 1, gas.G_BASE),
+        ("RETURNDATACOPY", RETURNDATACOPY, 3, 0, gas.G_VERYLOW),
+        ("BLOCKHASH", BLOCKHASH, 1, 1, 20),
+        ("COINBASE", COINBASE, 0, 1, gas.G_BASE),
+        ("TIMESTAMP", TIMESTAMP, 0, 1, gas.G_BASE),
+        ("NUMBER", NUMBER, 0, 1, gas.G_BASE),
+        ("DIFFICULTY", DIFFICULTY, 0, 1, gas.G_BASE),
+        ("GASLIMIT", GASLIMIT, 0, 1, gas.G_BASE),
+        ("POP", POP, 1, 0, gas.G_BASE),
+        ("MLOAD", MLOAD, 1, 1, gas.G_VERYLOW),
+        ("MSTORE", MSTORE, 2, 0, gas.G_VERYLOW),
+        ("MSTORE8", MSTORE8, 2, 0, gas.G_VERYLOW),
+        ("SLOAD", SLOAD, 1, 1, gas.G_SLOAD),
+        ("SSTORE", SSTORE, 2, 0, 0),
+        ("JUMP", JUMP, 1, 0, gas.G_MID),
+        ("JUMPI", JUMPI, 2, 0, gas.G_HIGH),
+        ("PC", PC, 0, 1, gas.G_BASE),
+        ("MSIZE", MSIZE, 0, 1, gas.G_BASE),
+        ("GAS", GAS, 0, 1, gas.G_BASE),
+        ("JUMPDEST", JUMPDEST, 0, 0, gas.G_JUMPDEST),
+        ("CREATE", CREATE, 3, 1, gas.G_CREATE),
+        ("CALL", CALL, 7, 1, gas.G_CALL),
+        ("CALLCODE", CALLCODE, 7, 1, gas.G_CALL),
+        ("RETURN", RETURN, 2, 0, gas.G_ZERO),
+        ("DELEGATECALL", DELEGATECALL, 6, 1, gas.G_CALL),
+        ("STATICCALL", STATICCALL, 6, 1, gas.G_CALL),
+        ("REVERT", REVERT, 2, 0, gas.G_ZERO),
+        ("INVALID", INVALID, 0, 0, gas.G_ZERO),
+        ("SELFDESTRUCT", SELFDESTRUCT, 1, 0, gas.G_SELFDESTRUCT),
+    ]
+    table = {value: Opcode(name, value, pops, pushes, cost)
+             for name, value, pops, pushes, cost in specs}
+    for offset in range(32):
+        value = PUSH1 + offset
+        table[value] = Opcode(f"PUSH{offset + 1}", value, 0, 1, gas.G_VERYLOW)
+    for offset in range(16):
+        value = DUP1 + offset
+        table[value] = Opcode(f"DUP{offset + 1}", value, offset + 1, offset + 2,
+                              gas.G_VERYLOW)
+        value = SWAP1 + offset
+        table[value] = Opcode(f"SWAP{offset + 1}", value, offset + 2, offset + 2,
+                              gas.G_VERYLOW)
+    for topics in range(5):
+        value = LOG0 + topics
+        table[value] = Opcode(f"LOG{topics}", value, 2 + topics, 0,
+                              gas.G_LOG + gas.G_LOG_TOPIC * topics)
+    return table
+
+
+OPCODES: dict[int, Opcode] = _table()
+MNEMONIC_TO_OPCODE: dict[str, Opcode] = {op.mnemonic: op for op in OPCODES.values()}
+
+
+def by_mnemonic(name: str) -> Opcode:
+    """Look up an opcode by mnemonic (case-insensitive)."""
+    try:
+        return MNEMONIC_TO_OPCODE[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown EVM mnemonic {name!r}") from None

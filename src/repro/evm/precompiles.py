@@ -1,0 +1,95 @@
+"""EVM precompiled contracts.
+
+Implements the three precompiles the paper's mechanism touches:
+
+* ``0x01`` ecrecover — the heart of ``deployVerifiedInstance()``'s
+  signature check (Algorithm 5);
+* ``0x02`` sha256 — for completeness;
+* ``0x04`` identity — the memcpy precompile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.crypto import ecdsa
+from repro.crypto.ecdsa import Signature, SignatureError
+from repro.crypto.keys import PublicKey
+from repro.evm import gas
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evm.vm import ExecutionResult, Message
+
+
+@dataclass(frozen=True)
+class Precompile:
+    """A precompiled contract: fixed address, gas function, body."""
+
+    name: str
+    gas_fn: Callable[[bytes], int]
+    run_fn: Callable[[bytes], bytes]
+
+
+def _ecrecover(data: bytes) -> bytes:
+    """ecrecover(h, v, r, s) -> 32-byte left-padded address (or empty)."""
+    data = data.ljust(128, b"\x00")
+    message_hash = data[0:32]
+    v = int.from_bytes(data[32:64], "big")
+    r = int.from_bytes(data[64:96], "big")
+    s = int.from_bytes(data[96:128], "big")
+    if v not in (27, 28):
+        return b""
+    try:
+        signature = Signature(v=v, r=r, s=s)
+        point = ecdsa.recover_public_key(message_hash, signature)
+        address = PublicKey(point).address
+    except (SignatureError, ValueError):
+        return b""
+    return b"\x00" * 12 + address.value
+
+
+def _sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def _identity(data: bytes) -> bytes:
+    return data
+
+
+PRECOMPILES: dict[int, Precompile] = {
+    1: Precompile(
+        name="ecrecover",
+        gas_fn=lambda data: gas.G_ECRECOVER,
+        run_fn=_ecrecover,
+    ),
+    2: Precompile(
+        name="sha256",
+        gas_fn=lambda data: gas.G_SHA256_BASE
+        + gas.G_SHA256_WORD * gas.words_for_bytes(len(data)),
+        run_fn=_sha256,
+    ),
+    4: Precompile(
+        name="identity",
+        gas_fn=lambda data: gas.G_IDENTITY_BASE
+        + gas.G_IDENTITY_WORD * gas.words_for_bytes(len(data)),
+        run_fn=_identity,
+    ),
+}
+
+
+def run(precompile: Precompile, message: "Message") -> "ExecutionResult":
+    """Execute a precompile against a message, with gas accounting."""
+    from repro.evm.vm import ExecutionResult
+
+    cost = precompile.gas_fn(message.data)
+    if cost > message.gas:
+        return ExecutionResult(
+            success=False, gas_used=message.gas,
+            error=f"out of gas in {precompile.name} precompile",
+        )
+    output = precompile.run_fn(message.data)
+    return ExecutionResult(
+        success=True, return_data=output, gas_used=cost
+    )

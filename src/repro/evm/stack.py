@@ -1,0 +1,69 @@
+"""The EVM operand stack: 256-bit words, 1024 items deep."""
+
+from __future__ import annotations
+
+from repro.evm.exceptions import StackOverflow, StackUnderflow
+
+UINT256_MAX = (1 << 256) - 1
+STACK_LIMIT = 1024
+
+
+class Stack:
+    """A bounded LIFO of 256-bit unsigned integers."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, value: int) -> None:
+        """Push a word; values are masked to 256 bits on entry."""
+        if len(self._items) >= STACK_LIMIT:
+            raise StackOverflow(f"stack limit of {STACK_LIMIT} exceeded")
+        self._items.append(value & UINT256_MAX)
+
+    def pop(self) -> int:
+        """Pop the top word."""
+        try:
+            return self._items.pop()
+        except IndexError:
+            raise StackUnderflow("pop from empty stack") from None
+
+    def pop_many(self, count: int) -> list[int]:
+        """Pop ``count`` words, top-of-stack first."""
+        if len(self._items) < count:
+            raise StackUnderflow(
+                f"need {count} stack items, have {len(self._items)}"
+            )
+        taken = self._items[-count:]
+        del self._items[-count:]
+        taken.reverse()
+        return taken
+
+    def peek(self, depth: int = 0) -> int:
+        """Read the item ``depth`` positions below the top without popping."""
+        if depth >= len(self._items):
+            raise StackUnderflow(f"peek depth {depth} exceeds stack size")
+        return self._items[-1 - depth]
+
+    def dup(self, position: int) -> None:
+        """DUPn: duplicate the item ``position`` (1-based) from the top."""
+        if position > len(self._items):
+            raise StackUnderflow(f"DUP{position} on stack of {len(self._items)}")
+        self.push(self._items[-position])
+
+    def swap(self, position: int) -> None:
+        """SWAPn: swap the top with the item ``position`` below it."""
+        if position >= len(self._items):
+            raise StackUnderflow(f"SWAP{position} on stack of {len(self._items)}")
+        top = len(self._items) - 1
+        other = top - position
+        items = self._items
+        items[top], items[other] = items[other], items[top]
+
+    def items(self) -> tuple[int, ...]:
+        """A read-only snapshot, bottom first (for debugging/tests)."""
+        return tuple(self._items)

@@ -1,0 +1,153 @@
+"""Execution tracing and gas profiling.
+
+A tracer observes every executed opcode (pc, depth, gas).  Two
+implementations are provided:
+
+* :class:`StructLogTracer` — a bounded structured log, the equivalent
+  of ``debug_traceTransaction``'s structLogs;
+* :class:`GasProfiler` — aggregates gas by opcode and by category,
+  which is how the benchmarks dissect *where* the paper's Table II gas
+  goes (signature verification vs CREATE vs storage vs calldata).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.evm import opcodes
+
+#: opcode byte -> coarse cost category
+_CATEGORIES: dict[int, str] = {}
+
+
+def _categorize() -> None:
+    groups = {
+        "storage": {opcodes.SLOAD, opcodes.SSTORE},
+        "hashing": {opcodes.SHA3},
+        "memory": {opcodes.MLOAD, opcodes.MSTORE, opcodes.MSTORE8,
+                   opcodes.MSIZE, opcodes.CALLDATACOPY, opcodes.CODECOPY,
+                   opcodes.RETURNDATACOPY, opcodes.EXTCODECOPY},
+        "call": {opcodes.CALL, opcodes.CALLCODE, opcodes.DELEGATECALL,
+                 opcodes.STATICCALL},
+        "create": {opcodes.CREATE},
+        "log": set(range(opcodes.LOG0, opcodes.LOG4 + 1)),
+        "flow": {opcodes.JUMP, opcodes.JUMPI, opcodes.JUMPDEST,
+                 opcodes.PC, opcodes.STOP, opcodes.RETURN,
+                 opcodes.REVERT},
+        "stack": ({opcodes.POP}
+                  | set(range(opcodes.PUSH1, opcodes.PUSH32 + 1))
+                  | set(range(opcodes.DUP1, opcodes.DUP16 + 1))
+                  | set(range(opcodes.SWAP1, opcodes.SWAP16 + 1))),
+        "environment": {opcodes.ADDRESS, opcodes.BALANCE, opcodes.ORIGIN,
+                        opcodes.CALLER, opcodes.CALLVALUE,
+                        opcodes.CALLDATALOAD, opcodes.CALLDATASIZE,
+                        opcodes.CODESIZE, opcodes.GASPRICE,
+                        opcodes.EXTCODESIZE, opcodes.RETURNDATASIZE,
+                        opcodes.BLOCKHASH, opcodes.COINBASE,
+                        opcodes.TIMESTAMP, opcodes.NUMBER,
+                        opcodes.DIFFICULTY, opcodes.GASLIMIT,
+                        opcodes.GAS, opcodes.SELFDESTRUCT},
+    }
+    for category, members in groups.items():
+        for value in members:
+            _CATEGORIES[value] = category
+    for value in opcodes.OPCODES:
+        _CATEGORIES.setdefault(value, "arithmetic")
+
+
+_categorize()
+
+
+def category_of(op_byte: int) -> str:
+    """The coarse cost category of an opcode byte."""
+    return _CATEGORIES.get(op_byte, "arithmetic")
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One executed instruction."""
+
+    pc: int
+    op: int
+    mnemonic: str
+    depth: int
+    gas_before: int
+    gas_cost: int
+    stack_size: int
+
+
+class StructLogTracer:
+    """Collects a bounded list of :class:`TraceStep`."""
+
+    def __init__(self, max_steps: int = 100_000) -> None:
+        self.steps: list[TraceStep] = []
+        self.truncated = False
+        self._max_steps = max_steps
+
+    def on_step(self, pc: int, op: int, depth: int, gas_before: int,
+                gas_cost: int, stack_size: int) -> None:
+        if len(self.steps) >= self._max_steps:
+            self.truncated = True
+            return
+        opcode = opcodes.OPCODES.get(op)
+        self.steps.append(TraceStep(
+            pc=pc, op=op,
+            mnemonic=opcode.mnemonic if opcode else f"0x{op:02x}",
+            depth=depth, gas_before=gas_before, gas_cost=gas_cost,
+            stack_size=stack_size,
+        ))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+@dataclass
+class GasProfile:
+    """Aggregated result of a profiled execution."""
+
+    by_opcode: Counter = field(default_factory=Counter)
+    by_category: Counter = field(default_factory=Counter)
+    op_counts: Counter = field(default_factory=Counter)
+    total_gas: int = 0
+    step_count: int = 0
+
+    def top_opcodes(self, count: int = 10) -> list[tuple[str, int]]:
+        return self.by_opcode.most_common(count)
+
+    def category_shares(self) -> dict[str, float]:
+        if self.total_gas <= 0:
+            return {}
+        return {
+            category: gas / self.total_gas
+            for category, gas in self.by_category.most_common()
+        }
+
+
+class GasProfiler:
+    """A tracer that aggregates instead of logging.
+
+    ``depth_limit`` restricts accounting to frames at or above it
+    (``0`` = the outermost frame only).  Since call/create steps carry
+    their children's net gas, a ``depth_limit=0`` profile is an
+    *exclusive* decomposition: category totals sum to the frame's gas.
+    With ``depth_limit=None`` every frame is counted, so child gas
+    appears twice (at the call site and in the child's own steps).
+    """
+
+    def __init__(self, depth_limit: int | None = 0) -> None:
+        self.profile = GasProfile()
+        self._depth_limit = depth_limit
+
+    def on_step(self, pc: int, op: int, depth: int, gas_before: int,
+                gas_cost: int, stack_size: int) -> None:
+        if self._depth_limit is not None and depth > self._depth_limit:
+            return
+        opcode = opcodes.OPCODES.get(op)
+        mnemonic = opcode.mnemonic if opcode else f"0x{op:02x}"
+        profile = self.profile
+        profile.by_opcode[mnemonic] += gas_cost
+        profile.by_category[category_of(op)] += gas_cost
+        profile.op_counts[mnemonic] += 1
+        profile.total_gas += gas_cost
+        profile.step_count += 1

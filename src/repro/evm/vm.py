@@ -1,0 +1,979 @@
+"""The EVM interpreter.
+
+A faithful (Constantinople-era) stack-machine interpreter: 256-bit
+arithmetic, gas metering with memory expansion and the EIP-150 63/64
+call rule, nested message calls with snapshot/revert state semantics,
+CREATE with code-deposit charging, LOGn, REVERT, and precompiles.
+
+The interpreter is deliberately independent of the blockchain layer —
+it talks to world state through the small :class:`StateBackend`
+protocol, which `repro.chain.state.WorldState` implements.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.crypto import rlp
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import Address
+from repro.evm import gas, opcodes, precompiles
+from repro.evm.exceptions import (
+    CallDepthExceeded,
+    CodeSizeExceeded,
+    InsufficientFunds,
+    InvalidInstruction,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    Revert,
+    StackUnderflow,
+    VMError,
+    WriteProtection,
+)
+from repro.evm.memory import Memory
+from repro.evm.stack import Stack, UINT256_MAX
+
+_SIGN_BIT = 1 << 255
+
+# Child frames recurse through the interpreter (~6 Python frames per
+# EVM call level); the 1024-deep EVM call limit must fit under Python's
+# recursion limit.  Python >= 3.11 heap-allocates frames, so raising the
+# limit is safe.
+_NEEDED_RECURSION = gas.CALL_DEPTH_LIMIT * 8 + 1_000
+if sys.getrecursionlimit() < _NEEDED_RECURSION:
+    sys.setrecursionlimit(_NEEDED_RECURSION)
+
+
+class StateBackend(Protocol):
+    """What the interpreter needs from world state."""
+
+    def get_balance(self, address: Address) -> int: ...
+    def set_balance(self, address: Address, value: int) -> None: ...
+    def get_nonce(self, address: Address) -> int: ...
+    def increment_nonce(self, address: Address) -> None: ...
+    def get_code(self, address: Address) -> bytes: ...
+    def set_code(self, address: Address, code: bytes) -> None: ...
+    def get_storage(self, address: Address, key: int) -> int: ...
+    def set_storage(self, address: Address, key: int, value: int) -> None: ...
+    def account_exists(self, address: Address) -> bool: ...
+    def create_account(self, address: Address) -> None: ...
+    def snapshot(self) -> int: ...
+    def revert_to(self, snapshot_id: int) -> None: ...
+    def discard_snapshot(self, snapshot_id: int) -> None: ...
+
+
+@dataclass(frozen=True)
+class Log:
+    """An EVM log record (Solidity event)."""
+
+    address: Address
+    topics: tuple[int, ...]
+    data: bytes
+
+
+@dataclass
+class BlockContext:
+    """Block-level environment visible to contracts."""
+
+    coinbase: Address
+    timestamp: int
+    number: int
+    difficulty: int = 1
+    gas_limit: int = 8_000_000
+    block_hash_fn: Callable[[int], bytes] = lambda __n: b"\x00" * 32
+
+
+@dataclass
+class Message:
+    """One message call (or contract creation when ``to`` is None)."""
+
+    sender: Address
+    to: Optional[Address]
+    value: int
+    data: bytes
+    gas: int
+    origin: Address
+    gas_price: int = 1
+    depth: int = 0
+    is_static: bool = False
+    code_override: Optional[bytes] = None
+    storage_address_override: Optional[Address] = None
+
+    @property
+    def is_create(self) -> bool:
+        return self.to is None
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one message frame."""
+
+    success: bool
+    return_data: bytes = b""
+    gas_used: int = 0
+    gas_refund: int = 0
+    logs: list[Log] = field(default_factory=list)
+    created_address: Optional[Address] = None
+    error: Optional[str] = None
+
+    @property
+    def gas_left(self) -> int:
+        """Remaining gas is tracked by the caller; kept for symmetry."""
+        return 0
+
+
+class _Frame:
+    """Mutable execution state for one call frame."""
+
+    __slots__ = (
+        "message", "code", "pc", "stack", "memory", "gas_remaining",
+        "return_data", "logs", "refund", "output", "valid_jump_dests",
+        "storage_address",
+    )
+
+    def __init__(self, message: Message, code: bytes) -> None:
+        self.message = message
+        self.code = code
+        self.pc = 0
+        self.stack = Stack()
+        self.memory = Memory()
+        self.gas_remaining = message.gas
+        self.return_data = b""
+        self.logs: list[Log] = []
+        self.refund = 0
+        self.output = b""
+        self.valid_jump_dests = _find_jump_dests(code)
+        self.storage_address = (
+            message.storage_address_override
+            if message.storage_address_override is not None
+            else message.to
+        )
+
+    def charge(self, amount: int) -> None:
+        if amount > self.gas_remaining:
+            self.gas_remaining = 0
+            raise OutOfGas(f"needed {amount} gas")
+        self.gas_remaining -= amount
+
+    def charge_and_extend(self, offset: int, size: int) -> None:
+        """Charge memory expansion then grow memory."""
+        self.charge(self.memory.expansion_cost(offset, size))
+        self.memory.extend(offset, size)
+
+
+def _find_jump_dests(code: bytes) -> frozenset[int]:
+    dests = set()
+    pc = 0
+    length = len(code)
+    while pc < length:
+        op = code[pc]
+        if op == opcodes.JUMPDEST:
+            dests.add(pc)
+        if opcodes.PUSH1 <= op <= opcodes.PUSH32:
+            pc += op - opcodes.PUSH1 + 1
+        pc += 1
+    return frozenset(dests)
+
+
+def compute_contract_address(sender: Address, nonce: int) -> Address:
+    """CREATE address: keccak256(rlp([sender, nonce]))[12:]."""
+    encoded = rlp.encode([sender.value, nonce])
+    return Address(keccak256(encoded)[12:])
+
+
+def _to_signed(value: int) -> int:
+    return value - (1 << 256) if value & _SIGN_BIT else value
+
+
+def _to_unsigned(value: int) -> int:
+    return value & UINT256_MAX
+
+
+class EVM:
+    """Executes messages against a :class:`StateBackend`.
+
+    ``tracer`` (optional) receives an ``on_step`` callback per executed
+    instruction — see :mod:`repro.evm.tracer`.  For call-family and
+    CREATE instructions the reported cost is the *net* cost at the call
+    site, i.e. it includes the gas the child frame consumed.
+    """
+
+    def __init__(self, state: StateBackend, block: BlockContext,
+                 tracer=None) -> None:
+        self.state = state
+        self.block = block
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Message processing
+    # ------------------------------------------------------------------
+
+    def execute(self, message: Message) -> ExecutionResult:
+        """Run a message call or creation, with full revert semantics."""
+        if message.depth > gas.CALL_DEPTH_LIMIT:
+            return ExecutionResult(
+                success=False, gas_used=message.gas,
+                error="call depth limit exceeded",
+            )
+        if message.is_create:
+            return self._execute_create(message)
+        return self._execute_call(message)
+
+    def _transfer_value(self, message: Message, recipient: Address) -> None:
+        if message.value == 0:
+            return
+        sender_balance = self.state.get_balance(message.sender)
+        if sender_balance < message.value:
+            raise InsufficientFunds(
+                f"balance {sender_balance} < value {message.value}"
+            )
+        self.state.set_balance(message.sender, sender_balance - message.value)
+        self.state.set_balance(
+            recipient, self.state.get_balance(recipient) + message.value
+        )
+
+    def _execute_call(self, message: Message) -> ExecutionResult:
+        assert message.to is not None
+        snapshot_id = self.state.snapshot()
+        try:
+            # DELEGATECALL/CALLCODE run foreign code in the caller's
+            # storage context and move no value between accounts.
+            if message.storage_address_override is None:
+                self._transfer_value(message, message.to)
+        except InsufficientFunds as exc:
+            self.state.revert_to(snapshot_id)
+            return ExecutionResult(
+                success=False, gas_used=message.gas, error=str(exc)
+            )
+
+        precompile = precompiles.PRECOMPILES.get(message.to.to_int())
+        if precompile is not None:
+            result = precompiles.run(precompile, message)
+            if result.success:
+                self.state.discard_snapshot(snapshot_id)
+            else:
+                self.state.revert_to(snapshot_id)
+            return result
+
+        code = (
+            message.code_override
+            if message.code_override is not None
+            else self.state.get_code(message.to)
+        )
+        if not code:
+            self.state.discard_snapshot(snapshot_id)
+            return ExecutionResult(success=True, gas_used=0)
+
+        frame = _Frame(message, code)
+        try:
+            self._run(frame)
+        except Revert as exc:
+            self.state.revert_to(snapshot_id)
+            return ExecutionResult(
+                success=False,
+                return_data=exc.data,
+                gas_used=message.gas - frame.gas_remaining,
+                error="revert",
+            )
+        except VMError as exc:
+            self.state.revert_to(snapshot_id)
+            return ExecutionResult(
+                success=False, gas_used=message.gas,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        self.state.discard_snapshot(snapshot_id)
+        return ExecutionResult(
+            success=True,
+            return_data=frame.output,
+            gas_used=message.gas - frame.gas_remaining,
+            gas_refund=frame.refund,
+            logs=frame.logs,
+        )
+
+    def _execute_create(self, message: Message) -> ExecutionResult:
+        nonce = self.state.get_nonce(message.sender)
+        new_address = compute_contract_address(message.sender, nonce)
+        self.state.increment_nonce(message.sender)
+
+        snapshot_id = self.state.snapshot()
+        if self.state.get_code(new_address):
+            self.state.revert_to(snapshot_id)
+            return ExecutionResult(
+                success=False, gas_used=message.gas,
+                error="address collision",
+            )
+        self.state.create_account(new_address)
+        try:
+            self._transfer_value(message, new_address)
+        except InsufficientFunds as exc:
+            self.state.revert_to(snapshot_id)
+            return ExecutionResult(
+                success=False, gas_used=message.gas, error=str(exc)
+            )
+
+        init_message = Message(
+            sender=message.sender,
+            to=new_address,
+            value=message.value,
+            data=b"",
+            gas=message.gas,
+            origin=message.origin,
+            gas_price=message.gas_price,
+            depth=message.depth,
+            code_override=message.data,
+        )
+        frame = _Frame(init_message, message.data)
+        try:
+            self._run(frame)
+            runtime_code = frame.output
+            if len(runtime_code) > gas.MAX_CODE_SIZE:
+                raise CodeSizeExceeded(
+                    f"runtime code is {len(runtime_code)} bytes"
+                )
+            frame.charge(gas.G_CODEDEPOSIT * len(runtime_code))
+            self.state.set_code(new_address, runtime_code)
+        except Revert as exc:
+            self.state.revert_to(snapshot_id)
+            return ExecutionResult(
+                success=False,
+                return_data=exc.data,
+                gas_used=message.gas - frame.gas_remaining,
+                error="revert",
+            )
+        except VMError as exc:
+            self.state.revert_to(snapshot_id)
+            return ExecutionResult(
+                success=False, gas_used=message.gas,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        self.state.discard_snapshot(snapshot_id)
+        return ExecutionResult(
+            success=True,
+            return_data=b"",
+            gas_used=message.gas - frame.gas_remaining,
+            gas_refund=frame.refund,
+            logs=frame.logs,
+            created_address=new_address,
+        )
+
+    # ------------------------------------------------------------------
+    # Interpreter loop
+    # ------------------------------------------------------------------
+
+    def _run(self, frame: _Frame) -> None:
+        code = frame.code
+        length = len(code)
+        tracer = self.tracer
+        while frame.pc < length:
+            current_pc = frame.pc
+            op_byte = code[current_pc]
+            opcode = opcodes.OPCODES.get(op_byte)
+            if opcode is None:
+                raise InvalidOpcode(f"0x{op_byte:02x} at pc={current_pc}")
+            if op_byte == opcodes.INVALID:
+                raise InvalidInstruction("INVALID opcode executed")
+            gas_before = frame.gas_remaining
+            frame.charge(opcode.base_gas)
+            handler = _HANDLERS.get(op_byte)
+            if handler is None:
+                handler = _GROUP_HANDLERS[_group_of(op_byte)]
+            next_pc = handler(self, frame, op_byte)
+            if tracer is not None:
+                tracer.on_step(
+                    current_pc, op_byte, frame.message.depth,
+                    gas_before, gas_before - frame.gas_remaining,
+                    len(frame.stack),
+                )
+            if next_pc is _HALT:
+                return
+            frame.pc = next_pc if next_pc is not None else frame.pc + 1
+
+
+_HALT = object()
+
+
+def _group_of(op_byte: int) -> str:
+    if opcodes.PUSH1 <= op_byte <= opcodes.PUSH32:
+        return "push"
+    if opcodes.DUP1 <= op_byte <= opcodes.DUP16:
+        return "dup"
+    if opcodes.SWAP1 <= op_byte <= opcodes.SWAP16:
+        return "swap"
+    if opcodes.LOG0 <= op_byte <= opcodes.LOG4:
+        return "log"
+    raise InvalidOpcode(f"unhandled opcode 0x{op_byte:02x}")
+
+
+# ----------------------------------------------------------------------
+# Opcode handlers.  Each returns the next pc, None for pc+1, or _HALT.
+# ----------------------------------------------------------------------
+
+def _binop(fn):
+    def handler(vm: EVM, frame: _Frame, op: int):
+        a = frame.stack.pop()
+        b = frame.stack.pop()
+        frame.stack.push(fn(a, b))
+        return None
+    return handler
+
+
+def _stop(vm, frame, op):
+    frame.output = b""
+    return _HALT
+
+
+def _exp(vm, frame, op):
+    base = frame.stack.pop()
+    exponent = frame.stack.pop()
+    if exponent > 0:
+        frame.charge(gas.G_EXP_BYTE * ((exponent.bit_length() + 7) // 8))
+    frame.stack.push(pow(base, exponent, 1 << 256))
+    return None
+
+
+def _signextend(vm, frame, op):
+    position = frame.stack.pop()
+    value = frame.stack.pop()
+    if position < 31:
+        bit = (position + 1) * 8 - 1
+        if value & (1 << bit):
+            value |= UINT256_MAX ^ ((1 << (bit + 1)) - 1)
+        else:
+            value &= (1 << (bit + 1)) - 1
+    frame.stack.push(value)
+    return None
+
+
+def _sha3(vm, frame, op):
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    frame.charge(gas.G_SHA3_WORD * gas.words_for_bytes(size))
+    frame.charge_and_extend(offset, size)
+    digest = keccak256(frame.memory.read(offset, size))
+    frame.stack.push(int.from_bytes(digest, "big"))
+    return None
+
+
+def _address(vm, frame, op):
+    frame.stack.push(frame.message.to.to_int())
+    return None
+
+
+def _balance(vm, frame, op):
+    addr = Address.from_int(frame.stack.pop() & ((1 << 160) - 1))
+    frame.stack.push(vm.state.get_balance(addr))
+    return None
+
+
+def _origin(vm, frame, op):
+    frame.stack.push(frame.message.origin.to_int())
+    return None
+
+
+def _caller(vm, frame, op):
+    frame.stack.push(frame.message.sender.to_int())
+    return None
+
+
+def _callvalue(vm, frame, op):
+    frame.stack.push(frame.message.value)
+    return None
+
+
+def _calldataload(vm, frame, op):
+    offset = frame.stack.pop()
+    data = frame.message.data
+    if offset >= len(data):
+        word = b"\x00" * 32
+    else:
+        word = data[offset:offset + 32].ljust(32, b"\x00")
+    frame.stack.push(int.from_bytes(word, "big"))
+    return None
+
+
+def _calldatasize(vm, frame, op):
+    frame.stack.push(len(frame.message.data))
+    return None
+
+
+def _copy_to_memory(frame: _Frame, source: bytes) -> None:
+    dest = frame.stack.pop()
+    src_offset = frame.stack.pop()
+    size = frame.stack.pop()
+    frame.charge(gas.copy_gas(size))
+    frame.charge_and_extend(dest, size)
+    if size:
+        chunk = source[src_offset:src_offset + size].ljust(size, b"\x00") \
+            if src_offset < len(source) else b"\x00" * size
+        frame.memory.write(dest, chunk)
+
+
+def _calldatacopy(vm, frame, op):
+    _copy_to_memory(frame, frame.message.data)
+    return None
+
+
+def _codesize(vm, frame, op):
+    frame.stack.push(len(frame.code))
+    return None
+
+
+def _codecopy(vm, frame, op):
+    _copy_to_memory(frame, frame.code)
+    return None
+
+
+def _gasprice(vm, frame, op):
+    frame.stack.push(frame.message.gas_price)
+    return None
+
+
+def _extcodesize(vm, frame, op):
+    addr = Address.from_int(frame.stack.pop() & ((1 << 160) - 1))
+    frame.stack.push(len(vm.state.get_code(addr)))
+    return None
+
+
+def _extcodecopy(vm, frame, op):
+    addr = Address.from_int(frame.stack.pop() & ((1 << 160) - 1))
+    _copy_to_memory(frame, vm.state.get_code(addr))
+    return None
+
+
+def _returndatasize(vm, frame, op):
+    frame.stack.push(len(frame.return_data))
+    return None
+
+
+def _returndatacopy(vm, frame, op):
+    dest = frame.stack.pop()
+    src_offset = frame.stack.pop()
+    size = frame.stack.pop()
+    if src_offset + size > len(frame.return_data):
+        raise VMError("RETURNDATACOPY out of bounds")
+    frame.charge(gas.copy_gas(size))
+    frame.charge_and_extend(dest, size)
+    frame.memory.write(dest, frame.return_data[src_offset:src_offset + size])
+    return None
+
+
+def _blockhash(vm, frame, op):
+    number = frame.stack.pop()
+    frame.stack.push(int.from_bytes(vm.block.block_hash_fn(number), "big"))
+    return None
+
+
+def _coinbase(vm, frame, op):
+    frame.stack.push(vm.block.coinbase.to_int())
+    return None
+
+
+def _timestamp(vm, frame, op):
+    frame.stack.push(vm.block.timestamp)
+    return None
+
+
+def _number(vm, frame, op):
+    frame.stack.push(vm.block.number)
+    return None
+
+
+def _difficulty(vm, frame, op):
+    frame.stack.push(vm.block.difficulty)
+    return None
+
+
+def _gaslimit(vm, frame, op):
+    frame.stack.push(vm.block.gas_limit)
+    return None
+
+
+def _pop(vm, frame, op):
+    frame.stack.pop()
+    return None
+
+
+def _mload(vm, frame, op):
+    offset = frame.stack.pop()
+    frame.charge_and_extend(offset, 32)
+    frame.stack.push(frame.memory.read_word(offset))
+    return None
+
+
+def _mstore(vm, frame, op):
+    offset = frame.stack.pop()
+    value = frame.stack.pop()
+    frame.charge_and_extend(offset, 32)
+    frame.memory.write_word(offset, value)
+    return None
+
+
+def _mstore8(vm, frame, op):
+    offset = frame.stack.pop()
+    value = frame.stack.pop()
+    frame.charge_and_extend(offset, 1)
+    frame.memory.write(offset, bytes([value & 0xFF]))
+    return None
+
+
+def _sload(vm, frame, op):
+    key = frame.stack.pop()
+    frame.stack.push(vm.state.get_storage(frame.storage_address, key))
+    return None
+
+
+def _sstore(vm, frame, op):
+    if frame.message.is_static:
+        raise WriteProtection("SSTORE in static context")
+    key = frame.stack.pop()
+    value = frame.stack.pop()
+    current = vm.state.get_storage(frame.storage_address, key)
+    cost, refund = gas.sstore_gas_and_refund(current, value)
+    frame.charge(cost)
+    frame.refund += refund
+    vm.state.set_storage(frame.storage_address, key, value)
+    return None
+
+
+def _jump(vm, frame, op):
+    dest = frame.stack.pop()
+    if dest not in frame.valid_jump_dests:
+        raise InvalidJump(f"jump to {dest}")
+    return dest
+
+
+def _jumpi(vm, frame, op):
+    dest = frame.stack.pop()
+    condition = frame.stack.pop()
+    if condition == 0:
+        return None
+    if dest not in frame.valid_jump_dests:
+        raise InvalidJump(f"jump to {dest}")
+    return dest
+
+
+def _pc(vm, frame, op):
+    frame.stack.push(frame.pc)
+    return None
+
+
+def _msize(vm, frame, op):
+    frame.stack.push(len(frame.memory))
+    return None
+
+
+def _gas(vm, frame, op):
+    frame.stack.push(frame.gas_remaining)
+    return None
+
+
+def _jumpdest(vm, frame, op):
+    return None
+
+
+def _push(vm, frame, op):
+    width = op - opcodes.PUSH1 + 1
+    start = frame.pc + 1
+    raw = frame.code[start:start + width].ljust(width, b"\x00")
+    frame.stack.push(int.from_bytes(raw, "big"))
+    return frame.pc + 1 + width
+
+
+def _dup(vm, frame, op):
+    frame.stack.dup(op - opcodes.DUP1 + 1)
+    return None
+
+
+def _swap(vm, frame, op):
+    frame.stack.swap(op - opcodes.SWAP1 + 1)
+    return None
+
+
+def _log(vm, frame, op):
+    if frame.message.is_static:
+        raise WriteProtection("LOG in static context")
+    topic_count = op - opcodes.LOG0
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    topics = tuple(frame.stack.pop() for __ in range(topic_count))
+    frame.charge(gas.G_LOG_DATA * size)
+    frame.charge_and_extend(offset, size)
+    frame.logs.append(
+        Log(address=frame.storage_address, topics=topics,
+            data=frame.memory.read(offset, size))
+    )
+    return None
+
+
+def _return(vm, frame, op):
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    frame.charge_and_extend(offset, size)
+    frame.output = frame.memory.read(offset, size)
+    return _HALT
+
+
+def _revert(vm, frame, op):
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    frame.charge_and_extend(offset, size)
+    raise Revert(frame.memory.read(offset, size))
+
+
+def _selfdestruct(vm, frame, op):
+    if frame.message.is_static:
+        raise WriteProtection("SELFDESTRUCT in static context")
+    beneficiary = Address.from_int(frame.stack.pop() & ((1 << 160) - 1))
+    balance = vm.state.get_balance(frame.storage_address)
+    vm.state.set_balance(beneficiary,
+                         vm.state.get_balance(beneficiary) + balance)
+    vm.state.set_balance(frame.storage_address, 0)
+    vm.state.set_code(frame.storage_address, b"")
+    frame.refund += gas.R_SELFDESTRUCT
+    frame.output = b""
+    return _HALT
+
+
+def _create(vm, frame, op):
+    if frame.message.is_static:
+        raise WriteProtection("CREATE in static context")
+    value = frame.stack.pop()
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    frame.charge_and_extend(offset, size)
+    init_code = frame.memory.read(offset, size)
+
+    child_gas = gas.max_call_gas(frame.gas_remaining)
+    frame.charge(child_gas)
+    child = Message(
+        sender=frame.storage_address,
+        to=None,
+        value=value,
+        data=init_code,
+        gas=child_gas,
+        origin=frame.message.origin,
+        gas_price=frame.message.gas_price,
+        depth=frame.message.depth + 1,
+    )
+    result = vm.execute(child)
+    frame.gas_remaining += child_gas - result.gas_used
+    frame.return_data = result.return_data
+    if result.success and result.created_address is not None:
+        frame.logs.extend(result.logs)
+        frame.refund += result.gas_refund
+        frame.stack.push(result.created_address.to_int())
+    else:
+        frame.stack.push(0)
+    return None
+
+
+def _call_family(vm: EVM, frame: _Frame, op: int):
+    requested_gas = frame.stack.pop()
+    target_int = frame.stack.pop() & ((1 << 160) - 1)
+    target = Address.from_int(target_int)
+
+    if op in (opcodes.CALL, opcodes.CALLCODE):
+        value = frame.stack.pop()
+    else:
+        value = 0
+    in_offset = frame.stack.pop()
+    in_size = frame.stack.pop()
+    out_offset = frame.stack.pop()
+    out_size = frame.stack.pop()
+
+    if frame.message.is_static and op == opcodes.CALL and value > 0:
+        raise WriteProtection("value CALL in static context")
+
+    frame.charge_and_extend(in_offset, in_size)
+    frame.charge_and_extend(out_offset, out_size)
+
+    extra = 0
+    if value > 0:
+        extra += gas.G_CALLVALUE
+        if op == opcodes.CALL and not vm.state.account_exists(target):
+            extra += gas.G_NEWACCOUNT
+    frame.charge(extra)
+
+    child_gas = min(requested_gas, gas.max_call_gas(frame.gas_remaining))
+    frame.charge(child_gas)
+    if value > 0:
+        child_gas += gas.G_CALLSTIPEND
+
+    call_data = frame.memory.read(in_offset, in_size)
+
+    if op == opcodes.CALL:
+        child = Message(
+            sender=frame.storage_address, to=target, value=value,
+            data=call_data, gas=child_gas, origin=frame.message.origin,
+            gas_price=frame.message.gas_price, depth=frame.message.depth + 1,
+            is_static=frame.message.is_static,
+        )
+    elif op == opcodes.CALLCODE:
+        child = Message(
+            sender=frame.storage_address, to=target, value=value,
+            data=call_data, gas=child_gas, origin=frame.message.origin,
+            gas_price=frame.message.gas_price, depth=frame.message.depth + 1,
+            is_static=frame.message.is_static,
+            code_override=vm.state.get_code(target),
+            storage_address_override=frame.storage_address,
+        )
+    elif op == opcodes.DELEGATECALL:
+        child = Message(
+            sender=frame.message.sender, to=target,
+            value=frame.message.value, data=call_data, gas=child_gas,
+            origin=frame.message.origin, gas_price=frame.message.gas_price,
+            depth=frame.message.depth + 1, is_static=frame.message.is_static,
+            code_override=vm.state.get_code(target),
+            storage_address_override=frame.storage_address,
+        )
+    else:  # STATICCALL
+        child = Message(
+            sender=frame.storage_address, to=target, value=0,
+            data=call_data, gas=child_gas, origin=frame.message.origin,
+            gas_price=frame.message.gas_price, depth=frame.message.depth + 1,
+            is_static=True,
+        )
+
+    result = vm.execute(child)
+    frame.gas_remaining += child_gas - result.gas_used
+    frame.return_data = result.return_data
+    if result.success:
+        frame.logs.extend(result.logs)
+        frame.refund += result.gas_refund
+        frame.stack.push(1)
+    else:
+        frame.stack.push(0)
+    if out_size and result.return_data:
+        chunk = result.return_data[:out_size]
+        frame.memory.write(out_offset, chunk)
+    return None
+
+
+_HANDLERS = {
+    opcodes.STOP: _stop,
+    opcodes.ADD: _binop(lambda a, b: a + b),
+    opcodes.MUL: _binop(lambda a, b: a * b),
+    opcodes.SUB: _binop(lambda a, b: a - b),
+    opcodes.DIV: _binop(lambda a, b: a // b if b else 0),
+    opcodes.SDIV: _binop(
+        lambda a, b: _to_unsigned(
+            abs(_to_signed(a)) // abs(_to_signed(b))
+            * (1 if (_to_signed(a) < 0) == (_to_signed(b) < 0) else -1)
+        ) if b else 0
+    ),
+    opcodes.MOD: _binop(lambda a, b: a % b if b else 0),
+    opcodes.SMOD: _binop(
+        lambda a, b: _to_unsigned(
+            abs(_to_signed(a)) % abs(_to_signed(b))
+            * (1 if _to_signed(a) >= 0 else -1)
+        ) if b else 0
+    ),
+    opcodes.ADDMOD: None,  # replaced below (ternary)
+    opcodes.MULMOD: None,
+    opcodes.EXP: _exp,
+    opcodes.SIGNEXTEND: _signextend,
+    opcodes.LT: _binop(lambda a, b: 1 if a < b else 0),
+    opcodes.GT: _binop(lambda a, b: 1 if a > b else 0),
+    opcodes.SLT: _binop(lambda a, b: 1 if _to_signed(a) < _to_signed(b) else 0),
+    opcodes.SGT: _binop(lambda a, b: 1 if _to_signed(a) > _to_signed(b) else 0),
+    opcodes.EQ: _binop(lambda a, b: 1 if a == b else 0),
+    opcodes.ISZERO: None,
+    opcodes.AND: _binop(lambda a, b: a & b),
+    opcodes.OR: _binop(lambda a, b: a | b),
+    opcodes.XOR: _binop(lambda a, b: a ^ b),
+    opcodes.NOT: None,
+    opcodes.BYTE: _binop(
+        lambda i, x: (x >> (8 * (31 - i))) & 0xFF if i < 32 else 0
+    ),
+    opcodes.SHL: _binop(lambda shift, x: x << shift if shift < 256 else 0),
+    opcodes.SHR: _binop(lambda shift, x: x >> shift if shift < 256 else 0),
+    opcodes.SAR: _binop(
+        lambda shift, x: _to_unsigned(
+            _to_signed(x) >> min(shift, 255)
+        )
+    ),
+    opcodes.SHA3: _sha3,
+    opcodes.ADDRESS: _address,
+    opcodes.BALANCE: _balance,
+    opcodes.ORIGIN: _origin,
+    opcodes.CALLER: _caller,
+    opcodes.CALLVALUE: _callvalue,
+    opcodes.CALLDATALOAD: _calldataload,
+    opcodes.CALLDATASIZE: _calldatasize,
+    opcodes.CALLDATACOPY: _calldatacopy,
+    opcodes.CODESIZE: _codesize,
+    opcodes.CODECOPY: _codecopy,
+    opcodes.GASPRICE: _gasprice,
+    opcodes.EXTCODESIZE: _extcodesize,
+    opcodes.EXTCODECOPY: _extcodecopy,
+    opcodes.RETURNDATASIZE: _returndatasize,
+    opcodes.RETURNDATACOPY: _returndatacopy,
+    opcodes.BLOCKHASH: _blockhash,
+    opcodes.COINBASE: _coinbase,
+    opcodes.TIMESTAMP: _timestamp,
+    opcodes.NUMBER: _number,
+    opcodes.DIFFICULTY: _difficulty,
+    opcodes.GASLIMIT: _gaslimit,
+    opcodes.POP: _pop,
+    opcodes.MLOAD: _mload,
+    opcodes.MSTORE: _mstore,
+    opcodes.MSTORE8: _mstore8,
+    opcodes.SLOAD: _sload,
+    opcodes.SSTORE: _sstore,
+    opcodes.JUMP: _jump,
+    opcodes.JUMPI: _jumpi,
+    opcodes.PC: _pc,
+    opcodes.MSIZE: _msize,
+    opcodes.GAS: _gas,
+    opcodes.JUMPDEST: _jumpdest,
+    opcodes.CREATE: _create,
+    opcodes.CALL: _call_family,
+    opcodes.CALLCODE: _call_family,
+    opcodes.RETURN: _return,
+    opcodes.DELEGATECALL: _call_family,
+    opcodes.STATICCALL: _call_family,
+    opcodes.REVERT: _revert,
+    opcodes.SELFDESTRUCT: _selfdestruct,
+}
+
+
+def _addmod(vm, frame, op):
+    a = frame.stack.pop()
+    b = frame.stack.pop()
+    n = frame.stack.pop()
+    frame.stack.push((a + b) % n if n else 0)
+    return None
+
+
+def _mulmod(vm, frame, op):
+    a = frame.stack.pop()
+    b = frame.stack.pop()
+    n = frame.stack.pop()
+    frame.stack.push((a * b) % n if n else 0)
+    return None
+
+
+def _iszero(vm, frame, op):
+    frame.stack.push(1 if frame.stack.pop() == 0 else 0)
+    return None
+
+
+def _not(vm, frame, op):
+    frame.stack.push(~frame.stack.pop())
+    return None
+
+
+_HANDLERS[opcodes.ADDMOD] = _addmod
+_HANDLERS[opcodes.MULMOD] = _mulmod
+_HANDLERS[opcodes.ISZERO] = _iszero
+_HANDLERS[opcodes.NOT] = _not
+
+_GROUP_HANDLERS = {
+    "push": _push,
+    "dup": _dup,
+    "swap": _swap,
+    "log": _log,
+}

@@ -1,0 +1,36 @@
+"""Solis: a Solidity-subset language and compiler targeting the EVM.
+
+Stands in for Solidity 0.4.24 + Remix/Truffle from the paper's
+implementation section; deterministic output makes bytecode signing
+sound.
+"""
+
+from repro.lang.compiler import (
+    COMPILER_VERSION,
+    CompilationResult,
+    CompiledContract,
+    compile_contract,
+    compile_source,
+)
+from repro.lang.errors import (
+    CodegenError,
+    LexerError,
+    ParserError,
+    SemanticError,
+    SolisError,
+)
+from repro.lang.parser import parse
+
+__all__ = [
+    "COMPILER_VERSION",
+    "CompilationResult",
+    "CompiledContract",
+    "compile_contract",
+    "compile_source",
+    "parse",
+    "SolisError",
+    "LexerError",
+    "ParserError",
+    "SemanticError",
+    "CodegenError",
+]

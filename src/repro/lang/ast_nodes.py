@@ -1,0 +1,469 @@
+"""Abstract syntax tree for Solis.
+
+Nodes are plain dataclasses.  The semantic analyser decorates
+expressions with a ``resolved_type`` attribute and declarations with
+layout information; code generation consumes the decorated tree.
+
+Every node can be rendered back to source via ``to_source()`` — the
+paper's protocol needs this because the contract *splitter* works on
+ASTs and the split halves must be re-emitted as canonical source that
+every participant compiles to identical bytecode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang.types import SolisType
+
+_INDENT = "    "
+
+
+@dataclass
+class Node:
+    """Base AST node with source position."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Types as written in source (resolved to SolisType by sema)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TypeName(Node):
+    """A source-level type: name, optional mapping/array structure."""
+
+    name: str                                # 'uint256', 'mapping', 'array', or contract name
+    key_type: Optional["TypeName"] = None    # for mappings
+    value_type: Optional["TypeName"] = None  # for mappings / arrays
+    array_length: Optional[int] = None       # for fixed arrays
+
+    def to_source(self) -> str:
+        if self.name == "mapping":
+            return (f"mapping({self.key_type.to_source()} => "
+                    f"{self.value_type.to_source()})")
+        if self.name == "array":
+            return f"{self.value_type.to_source()}[{self.array_length}]"
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    """Base expression; sema sets ``resolved_type``."""
+
+    resolved_type: Optional[SolisType] = field(default=None, kw_only=True)
+
+    def to_source(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class NumberLiteral(Expr):
+    value: int = 0
+
+    def to_source(self) -> str:
+        return str(self.value)
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+    def to_source(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass
+class HexLiteral(Expr):
+    """A 0x... literal — a number or fixed-bytes constant."""
+
+    text: str = "0x0"
+
+    @property
+    def value(self) -> int:
+        return int(self.text, 16)
+
+    def to_source(self) -> str:
+        return self.text
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+    def to_source(self) -> str:
+        escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+    def to_source(self) -> str:
+        return self.name
+
+
+@dataclass
+class MemberAccess(Expr):
+    """obj.member — msg.sender, addr.balance, iface.fn, ..."""
+
+    object: Expr = None
+    member: str = ""
+
+    def to_source(self) -> str:
+        return f"{self.object.to_source()}.{self.member}"
+
+
+@dataclass
+class IndexAccess(Expr):
+    """base[index] — mappings and arrays."""
+
+    base: Expr = None
+    index: Expr = None
+
+    def to_source(self) -> str:
+        return f"{self.base.to_source()}[{self.index.to_source()}]"
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = "+"
+    left: Expr = None
+    right: Expr = None
+
+    def to_source(self) -> str:
+        return f"({self.left.to_source()} {self.op} {self.right.to_source()})"
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = "!"
+    operand: Expr = None
+
+    def to_source(self) -> str:
+        return f"{self.op}{self.operand.to_source()}"
+
+
+@dataclass
+class FunctionCall(Expr):
+    """callee(args) — internal calls, builtins, casts, external calls."""
+
+    callee: Expr = None
+    arguments: list[Expr] = field(default_factory=list)
+
+    def to_source(self) -> str:
+        args = ", ".join(arg.to_source() for arg in self.arguments)
+        return f"{self.callee.to_source()}({args})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    def to_source(self, indent: int = 0) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        inner = "\n".join(s.to_source(indent + 1) for s in self.statements)
+        return f"{pad}{{\n{inner}\n{pad}}}" if inner else f"{pad}{{ }}"
+
+
+@dataclass
+class VarDeclStmt(Stmt):
+    type_name: TypeName = None
+    name: str = ""
+    initial: Optional[Expr] = None
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        init = f" = {self.initial.to_source()}" if self.initial else ""
+        return f"{pad}{self.type_name.to_source()} {self.name}{init};"
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expression: Expr = None
+
+    def to_source(self, indent: int = 0) -> str:
+        return f"{_INDENT * indent}{self.expression.to_source()};"
+
+
+@dataclass
+class Assignment(Stmt):
+    """target = value (also compound ops desugared by the parser)."""
+
+    target: Expr = None
+    value: Expr = None
+
+    def to_source(self, indent: int = 0) -> str:
+        return (f"{_INDENT * indent}{self.target.to_source()} = "
+                f"{self.value.to_source()};")
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr = None
+    then_branch: Block = None
+    else_branch: Optional[Block] = None
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        text = (f"{pad}if ({self.condition.to_source()})\n"
+                f"{self.then_branch.to_source(indent)}")
+        if self.else_branch is not None:
+            text += f"\n{pad}else\n{self.else_branch.to_source(indent)}"
+        return text
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr = None
+    body: Block = None
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        return (f"{pad}while ({self.condition.to_source()})\n"
+                f"{self.body.to_source(indent)}")
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    update: Optional[Stmt] = None
+    body: Block = None
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        init = self.init.to_source(0).rstrip(";") + ";" if self.init else ";"
+        cond = f" {self.condition.to_source()};" if self.condition else ";"
+        update = f" {self.update.to_source(0).rstrip(';')}" if self.update else ""
+        return f"{pad}for ({init}{cond}{update})\n{self.body.to_source(indent)}"
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        if self.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {self.value.to_source()};"
+
+
+@dataclass
+class RequireStmt(Stmt):
+    condition: Expr = None
+    message: Optional[str] = None
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        if self.message:
+            return f'{pad}require({self.condition.to_source()}, "{self.message}");'
+        return f"{pad}require({self.condition.to_source()});"
+
+
+@dataclass
+class EmitStmt(Stmt):
+    event_name: str = ""
+    arguments: list[Expr] = field(default_factory=list)
+
+    def to_source(self, indent: int = 0) -> str:
+        args = ", ".join(a.to_source() for a in self.arguments)
+        return f"{_INDENT * indent}emit {self.event_name}({args});"
+
+
+@dataclass
+class RevertStmt(Stmt):
+    """``revert();`` or ``revert("reason");`` — unconditional abort."""
+
+    message: Optional[str] = None
+
+    def to_source(self, indent: int = 0) -> str:
+        pad = _INDENT * indent
+        if self.message:
+            return f'{pad}revert("{self.message}");'
+        return f"{pad}revert();"
+
+
+@dataclass
+class PlaceholderStmt(Stmt):
+    """The `_;` inside a modifier body."""
+
+    def to_source(self, indent: int = 0) -> str:
+        return f"{_INDENT * indent}_;"
+
+
+@dataclass
+class BreakStmt(Stmt):
+    def to_source(self, indent: int = 0) -> str:
+        return f"{_INDENT * indent}break;"
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    def to_source(self, indent: int = 0) -> str:
+        return f"{_INDENT * indent}continue;"
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Parameter(Node):
+    type_name: TypeName = None
+    name: str = ""
+    indexed: bool = False
+
+    def to_source(self) -> str:
+        indexed = " indexed" if self.indexed else ""
+        name = f" {self.name}" if self.name else ""
+        return f"{self.type_name.to_source()}{indexed}{name}"
+
+
+@dataclass
+class StateVarDecl(Node):
+    type_name: TypeName = None
+    name: str = ""
+    visibility: str = "internal"
+    initial: Optional[Expr] = None
+    # filled by sema:
+    slot: int = field(default=-1, kw_only=True)
+    resolved_type: Optional[SolisType] = field(default=None, kw_only=True)
+
+    def to_source(self, indent: int = 1) -> str:
+        pad = _INDENT * indent
+        vis = f" {self.visibility}" if self.visibility != "internal" else ""
+        init = f" = {self.initial.to_source()}" if self.initial else ""
+        return f"{pad}{self.type_name.to_source()}{vis} {self.name}{init};"
+
+
+@dataclass
+class ModifierDecl(Node):
+    name: str = ""
+    parameters: list[Parameter] = field(default_factory=list)
+    body: Block = None
+
+    def to_source(self, indent: int = 1) -> str:
+        pad = _INDENT * indent
+        params = ", ".join(p.to_source() for p in self.parameters)
+        params_text = f"({params})" if self.parameters else ""
+        return f"{pad}modifier {self.name}{params_text}\n{self.body.to_source(indent)}"
+
+
+@dataclass
+class EventDecl(Node):
+    name: str = ""
+    parameters: list[Parameter] = field(default_factory=list)
+
+    def to_source(self, indent: int = 1) -> str:
+        params = ", ".join(p.to_source() for p in self.parameters)
+        return f"{_INDENT * indent}event {self.name}({params});"
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str = ""                       # "" for constructor
+    parameters: list[Parameter] = field(default_factory=list)
+    returns: list[TypeName] = field(default_factory=list)
+    visibility: str = "public"
+    is_payable: bool = False
+    is_view: bool = False
+    modifiers: list[str] = field(default_factory=list)
+    body: Optional[Block] = None         # None for interface declarations
+    is_constructor: bool = False
+    is_synthetic: bool = False           # compiler-generated (public getters)
+
+    @property
+    def is_external_facing(self) -> bool:
+        """Callable from outside the contract (gets an ABI dispatcher arm)."""
+        return self.visibility in ("public", "external")
+
+    def to_source(self, indent: int = 1) -> str:
+        pad = _INDENT * indent
+        params = ", ".join(p.to_source() for p in self.parameters)
+        head = "constructor" if self.is_constructor else f"function {self.name}"
+        parts = [f"{pad}{head}({params})"]
+        if not self.is_constructor:
+            parts.append(self.visibility)
+        if self.is_payable:
+            parts.append("payable")
+        if self.is_view:
+            parts.append("view")
+        parts.extend(self.modifiers)
+        if self.returns:
+            rets = ", ".join(t.to_source() for t in self.returns)
+            parts.append(f"returns ({rets})")
+        signature = " ".join(parts)
+        if self.body is None:
+            return f"{signature};"
+        return f"{signature}\n{self.body.to_source(indent)}"
+
+
+@dataclass
+class ContractDecl(Node):
+    name: str = ""
+    is_interface: bool = False
+    state_vars: list[StateVarDecl] = field(default_factory=list)
+    functions: list[FunctionDecl] = field(default_factory=list)
+    modifiers: list[ModifierDecl] = field(default_factory=list)
+    events: list[EventDecl] = field(default_factory=list)
+
+    @property
+    def constructor(self) -> Optional[FunctionDecl]:
+        for fn in self.functions:
+            if fn.is_constructor:
+                return fn
+        return None
+
+    def function(self, name: str) -> Optional[FunctionDecl]:
+        for fn in self.functions:
+            if fn.name == name and not fn.is_constructor:
+                return fn
+        return None
+
+    def to_source(self) -> str:
+        keyword = "interface" if self.is_interface else "contract"
+        members: list[str] = []
+        members.extend(v.to_source() for v in self.state_vars)
+        members.extend(e.to_source() for e in self.events)
+        members.extend(m.to_source() for m in self.modifiers)
+        members.extend(
+            f.to_source() for f in self.functions if not f.is_synthetic
+        )
+        body = "\n\n".join(members)
+        return f"{keyword} {self.name} {{\n{body}\n}}"
+
+
+@dataclass
+class SourceUnit(Node):
+    """A whole compilation unit (one or more contracts/interfaces)."""
+
+    contracts: list[ContractDecl] = field(default_factory=list)
+
+    def contract(self, name: str) -> ContractDecl:
+        for contract in self.contracts:
+            if contract.name == name:
+                return contract
+        raise KeyError(f"no contract named {name!r}")
+
+    def to_source(self) -> str:
+        return "\n\n".join(c.to_source() for c in self.contracts)

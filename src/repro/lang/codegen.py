@@ -1,0 +1,910 @@
+"""EVM code generation for Solis.
+
+Lowers the analysed AST to EVM bytecode via the :class:`Program`
+builder.  Layout decisions (all compile-time static):
+
+* memory ``0x00..0x3f`` — scratch (hashing, external-call returns);
+* memory ``0x40`` — free-memory pointer (Solidity convention);
+* memory ``0x80..`` — statically allocated local-variable slots, one
+  region per function (locals live in memory, not on the stack, which
+  keeps expression codegen simple and calls non-reentrant but cheap);
+* storage — slot per state variable; mapping values at
+  ``keccak256(key ‖ slot)``; fixed arrays occupy consecutive slots.
+
+Functions compile to internal subroutines with a
+``[... return_label] -> [... return_value?]`` stack convention; public
+functions additionally get an ABI dispatcher arm that decodes calldata
+into the function's parameter slots and encodes the return value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evm.assembler import Program
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import CodegenError
+from repro.lang.sema import ContractInfo, EventInfo, FunctionInfo
+from repro.lang.types import (
+    AddressType,
+    ArrayType,
+    BytesType,
+    ContractType,
+    FixedBytesType,
+    MappingType,
+    SolisType,
+    UIntType,
+    VoidType,
+)
+
+_SCRATCH0 = 0x00
+_SCRATCH1 = 0x20
+_FREE_PTR = 0x40
+_LOCALS_BASE = 0x80
+_ADDRESS_MASK = (1 << 160) - 1
+
+
+@dataclass
+class _FunctionLayout:
+    """Static memory layout of one function's params + locals."""
+
+    slots: dict[str, int] = field(default_factory=dict)
+    params_base: int = 0
+    params_size: int = 0
+    return_slot: int = 0
+
+
+class CodeGenerator:
+    """Generates runtime and init bytecode for one contract."""
+
+    def __init__(self, info: ContractInfo,
+                 all_contracts: dict[str, ContractInfo]) -> None:
+        self.info = info
+        self.contracts = all_contracts
+        self.layouts: dict[str, _FunctionLayout] = {}
+        self._free_base = _LOCALS_BASE
+        self._loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self._allocate_layouts()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+
+    def _allocate_layouts(self) -> None:
+        cursor = _LOCALS_BASE
+        for key, fn_info in self.info.functions.items():
+            decl = fn_info.decl
+            if decl.body is None:
+                continue
+            layout = _FunctionLayout()
+            layout.params_base = cursor
+            local_list = getattr(decl, "locals", [])
+            for index, (name, _type) in enumerate(local_list):
+                layout.slots[name] = cursor
+                cursor += 32
+                if index == len(decl.parameters) - 1:
+                    layout.params_size = cursor - layout.params_base
+            if not decl.parameters:
+                layout.params_size = 0
+            layout.return_slot = cursor
+            cursor += 32
+            self.layouts[key] = layout
+        self._free_base = cursor
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def generate_runtime(self) -> bytes:
+        """The deployed (runtime) bytecode with its ABI dispatcher."""
+        program = Program()
+        self._emit_prologue(program)
+        self._emit_dispatcher(program)
+        for key, fn_info in self.info.functions.items():
+            if fn_info.decl.body is None or fn_info.decl.is_constructor:
+                continue
+            self._emit_function(program, key, fn_info)
+        return program.assemble()
+
+    def generate_init(self, runtime_code: bytes) -> bytes:
+        """Init bytecode: run the constructor, deploy ``runtime_code``.
+
+        Constructor arguments (ABI-encoded, static types only) are
+        expected appended to the init code in the deploy transaction.
+        """
+        program = Program()
+        self._emit_prologue(program)
+
+        ctor = self.info.functions.get("constructor")
+        if ctor is not None and ctor.decl.body is not None:
+            layout = self.layouts["constructor"]
+            args_size = 32 * len(ctor.decl.parameters)
+            if args_size:
+                # CODECOPY the appended args into the parameter slots.
+                program.push(args_size)
+                program.op("CODESIZE").push(args_size).op("SWAP1").op("SUB")
+                program.push(layout.params_base)
+                # stack: [size, args_offset, dest] -> CODECOPY(dest, off, size)
+                program.op("CODECOPY")
+            self._emit_inline_body(program, "constructor", ctor)
+
+        runtime_label = "__runtime_code"
+        program.push(len(runtime_code))
+        program.push_label(runtime_label)
+        program.push(self._free_base)
+        # stack: [len, offset, dest] -> CODECOPY(dest, offset, len)
+        program.op("CODECOPY")
+        # RETURN pops offset (top) then size: push size, then offset.
+        program.push(len(runtime_code)).push(self._free_base)
+        program.op("RETURN")
+        program.mark(runtime_label)
+        program.raw(runtime_code)
+        return program.assemble()
+
+    def _emit_prologue(self, program: Program) -> None:
+        # MSTORE pops offset (top) then value: push value, then offset.
+        program.push(self._free_base).push(_FREE_PTR).op("MSTORE")
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+
+    def _emit_dispatcher(self, program: Program) -> None:
+        revert_label = "__no_match"
+        # calldatasize < 4 -> revert
+        program.push(4).op("CALLDATASIZE").op("LT")
+        program.jumpi_to(revert_label)
+        # selector = calldata[0:4]
+        program.push(0).op("CALLDATALOAD").push(0xE0).op("SHR")
+        for key, fn_info in self.info.functions.items():
+            decl = fn_info.decl
+            if decl.is_constructor or decl.body is None:
+                continue
+            if not decl.is_external_facing:
+                continue
+            program.op("DUP1")
+            program.push(int.from_bytes(fn_info.selector, "big"), width=4)
+            program.op("EQ")
+            program.jumpi_to(f"__ext_{key}")
+        program.op("POP")
+        program.label(revert_label)
+        self._emit_revert(program)
+
+    def _emit_revert(self, program: Program) -> None:
+        program.push(0).push(0).op("REVERT")
+
+    def _emit_revert_with_reason(self, program: Program,
+                                 message: str) -> None:
+        """REVERT with Solidity's ``Error(string)`` ABI payload.
+
+        Layout: selector 0x08c379a0 ‖ offset(0x20) ‖ length ‖ data.
+        Written at memory 0 — the frame is about to die, so clobbering
+        scratch space is harmless.
+        """
+        payload = message.encode("utf-8")
+        selector_word = 0x08C379A0 << (8 * 28)
+        program.push(selector_word, width=32).push(0).op("MSTORE")
+        program.push(0x20).push(4).op("MSTORE")
+        program.push(len(payload)).push(36).op("MSTORE")
+        for offset in range(0, len(payload), 32):
+            chunk = payload[offset:offset + 32].ljust(32, b"\x00")
+            program.push_bytes(chunk).push(68 + offset).op("MSTORE")
+        padded = (len(payload) + 31) // 32 * 32
+        program.push(4 + 64 + padded).push(0).op("REVERT")
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+
+    def _emit_function(self, program: Program, key: str,
+                       fn_info: FunctionInfo) -> None:
+        decl = fn_info.decl
+        if decl.is_external_facing:
+            self._emit_external_wrapper(program, key, fn_info)
+        self._emit_core(program, key, fn_info)
+
+    def _emit_external_wrapper(self, program: Program, key: str,
+                               fn_info: FunctionInfo) -> None:
+        decl = fn_info.decl
+        layout = self.layouts[key]
+        program.label(f"__ext_{key}")
+        program.op("POP")  # drop the selector copy
+
+        if not decl.is_payable:
+            ok = program.fresh_label("nonpayable")
+            program.op("CALLVALUE").op("ISZERO")
+            program.jumpi_to(ok)
+            self._emit_revert(program)
+            program.label(ok)
+
+        head_offset = 4
+        for param, ptype in zip(decl.parameters, fn_info.param_types):
+            slot = layout.slots[param.name]
+            if isinstance(ptype, BytesType):
+                self._emit_decode_bytes_param(program, head_offset, slot)
+            else:
+                program.push(head_offset).op("CALLDATALOAD")
+                self._emit_mask_for_type(program, ptype)
+                program.push(slot).op("MSTORE")
+            head_offset += 32
+
+        # Call the core subroutine.
+        done = f"__extdone_{key}"
+        program.push_label(done)
+        program.jump_to(f"__core_{key}")
+        program.label(done)
+        if isinstance(fn_info.return_type, VoidType):
+            program.op("STOP")
+        else:
+            program.push(_SCRATCH0).op("MSTORE")
+            program.push(32).push(_SCRATCH0).op("RETURN")
+
+    def _emit_decode_bytes_param(self, program: Program, head_offset: int,
+                                 slot: int) -> None:
+        """Copy a dynamic bytes argument from calldata into fresh memory.
+
+        Memory form: [length ‖ data...], pointer saved in the local slot.
+        """
+        ceil32_mask = (1 << 256) - 32  # ~31 over 256 bits
+        # data_offset_in_calldata = 4 + calldataload(head)
+        program.push(head_offset).op("CALLDATALOAD").push(4).op("ADD")
+        # stack: [arg_off]; length:
+        program.op("DUP1").op("CALLDATALOAD")          # [ao, len]
+        # allocate at the free pointer
+        program.push(_FREE_PTR).op("MLOAD")            # [ao, len, ptr]
+        # store pointer into the local slot
+        program.op("DUP1").push(slot).op("MSTORE")     # [ao, len, ptr]
+        # write length word: MSTORE(offset=ptr, value=len)
+        program.op("DUP2").op("DUP2").op("MSTORE")     # [ao, len, ptr]
+        # copy data: CALLDATACOPY(dest=ptr+32, src=ao+32, size=len)
+        program.op("DUP2")                             # [ao, len, ptr, len]
+        program.op("DUP4").push(32).op("ADD")          # [ao, len, ptr, len, ao+32]
+        program.op("DUP3").push(32).op("ADD")          # [.., len, ao+32, ptr+32]
+        program.op("CALLDATACOPY")                     # [ao, len, ptr]
+        # bump the free pointer: free = ptr + 32 + ceil32(len)
+        program.op("SWAP1")                            # [ao, ptr, len]
+        program.push(31).op("ADD")
+        program.push(ceil32_mask, width=32).op("AND")  # ceil32(len)
+        program.push(32).op("ADD").op("ADD")           # [ao, new_free]
+        program.push(_FREE_PTR).op("MSTORE")           # [ao]
+        program.op("POP")
+
+    def _reserve_memory(self, program: Program, size: int) -> None:
+        """Allocate ``size`` bytes at the free pointer; leave base on stack.
+
+        Bumping the pointer *before* evaluating nested expressions is
+        essential: argument expressions may contain internal calls that
+        themselves allocate scratch memory (keccak packing, other
+        external calls) and would otherwise clobber the region.
+        """
+        program.push(_FREE_PTR).op("MLOAD")       # [base]
+        program.op("DUP1").push(size).op("ADD")   # [base, base+size]
+        program.push(_FREE_PTR).op("MSTORE")      # [base]
+
+    def _emit_mask_for_type(self, program: Program, ptype: SolisType) -> None:
+        if isinstance(ptype, UIntType) and ptype.bits < 256:
+            program.push((1 << ptype.bits) - 1).op("AND")
+        elif isinstance(ptype, (AddressType, ContractType)):
+            program.push(_ADDRESS_MASK).op("AND")
+
+    def _emit_core(self, program: Program, key: str,
+                   fn_info: FunctionInfo) -> None:
+        decl = fn_info.decl
+        program.label(f"__core_{key}")
+        self._emit_inline_body(program, key, fn_info)
+        # Exit: stack is [return_label]; push return value if any.
+        program.label(f"__exit_{key}")
+        if isinstance(fn_info.return_type, VoidType):
+            program.op("JUMP")
+        else:
+            layout = self.layouts[key]
+            program.push(layout.return_slot).op("MLOAD")
+            program.op("SWAP1").op("JUMP")
+
+    def _emit_inline_body(self, program: Program, key: str,
+                          fn_info: FunctionInfo) -> None:
+        """Function body with modifiers inlined outside-in."""
+        decl = fn_info.decl
+        ctx = _FnContext(generator=self, program=program, key=key,
+                         fn_info=fn_info)
+        body_chain: list[ast.Block] = [
+            self.info.modifiers[m].body for m in decl.modifiers
+        ]
+        body_chain.append(decl.body)
+        self._emit_chain(ctx, body_chain, 0)
+
+    def _emit_chain(self, ctx: "_FnContext", chain: list[ast.Block],
+                    depth: int) -> None:
+        """Emit chain[depth], expanding `_;` to chain[depth+1]."""
+        block = chain[depth]
+        for stmt in block.statements:
+            if isinstance(stmt, ast.PlaceholderStmt):
+                self._emit_chain(ctx, chain, depth + 1)
+            else:
+                self._emit_statement(ctx, stmt)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _emit_statement(self, ctx: "_FnContext", stmt: ast.Stmt) -> None:
+        program = ctx.program
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._emit_statement(ctx, inner)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            if stmt.initial is not None:
+                self._emit_expr(ctx, stmt.initial)
+            else:
+                program.push(0)
+            slot = ctx.layout.slots[stmt.name]
+            program.push(slot).op("MSTORE")
+        elif isinstance(stmt, ast.Assignment):
+            self._emit_assignment(ctx, stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            result_type = stmt.expression.resolved_type
+            self._emit_expr(ctx, stmt.expression)
+            if not isinstance(result_type, VoidType):
+                program.op("POP")
+        elif isinstance(stmt, ast.IfStmt):
+            else_label = program.fresh_label("else")
+            end_label = program.fresh_label("endif")
+            self._emit_expr(ctx, stmt.condition)
+            program.op("ISZERO")
+            program.jumpi_to(else_label)
+            for inner in stmt.then_branch.statements:
+                self._emit_statement(ctx, inner)
+            program.jump_to(end_label)
+            program.label(else_label)
+            if stmt.else_branch is not None:
+                for inner in stmt.else_branch.statements:
+                    self._emit_statement(ctx, inner)
+            program.label(end_label)
+        elif isinstance(stmt, ast.WhileStmt):
+            top = program.fresh_label("while")
+            end = program.fresh_label("wend")
+            program.label(top)
+            self._emit_expr(ctx, stmt.condition)
+            program.op("ISZERO")
+            program.jumpi_to(end)
+            self._loop_stack.append((top, end))
+            for inner in stmt.body.statements:
+                self._emit_statement(ctx, inner)
+            self._loop_stack.pop()
+            program.jump_to(top)
+            program.label(end)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._emit_statement(ctx, stmt.init)
+            top = program.fresh_label("for")
+            cont = program.fresh_label("fcont")
+            end = program.fresh_label("fend")
+            program.label(top)
+            if stmt.condition is not None:
+                self._emit_expr(ctx, stmt.condition)
+                program.op("ISZERO")
+                program.jumpi_to(end)
+            self._loop_stack.append((cont, end))
+            for inner in stmt.body.statements:
+                self._emit_statement(ctx, inner)
+            self._loop_stack.pop()
+            program.label(cont)
+            if stmt.update is not None:
+                self._emit_statement(ctx, stmt.update)
+            program.jump_to(top)
+            program.label(end)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self._loop_stack:
+                raise CodegenError("break outside a loop",
+                                   stmt.line, stmt.column)
+            program.jump_to(self._loop_stack[-1][1])
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self._loop_stack:
+                raise CodegenError("continue outside a loop",
+                                   stmt.line, stmt.column)
+            program.jump_to(self._loop_stack[-1][0])
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                self._emit_expr(ctx, stmt.value)
+                program.push(ctx.layout.return_slot).op("MSTORE")
+            program.jump_to(f"__exit_{ctx.key}")
+        elif isinstance(stmt, ast.RequireStmt):
+            ok = ctx.program.fresh_label("require_ok")
+            self._emit_expr(ctx, stmt.condition)
+            program.jumpi_to(ok)
+            if stmt.message:
+                self._emit_revert_with_reason(program, stmt.message)
+            else:
+                self._emit_revert(program)
+            program.label(ok)
+        elif isinstance(stmt, ast.EmitStmt):
+            self._emit_event(ctx, stmt)
+        elif isinstance(stmt, ast.RevertStmt):
+            if stmt.message:
+                self._emit_revert_with_reason(program, stmt.message)
+            else:
+                self._emit_revert(program)
+        else:
+            raise CodegenError(
+                f"cannot generate code for {type(stmt).__name__}",
+                stmt.line, stmt.column,
+            )
+
+    def _emit_assignment(self, ctx: "_FnContext", stmt: ast.Assignment) -> None:
+        program = ctx.program
+        target = stmt.target
+        self._emit_expr(ctx, stmt.value)
+        if isinstance(target, ast.Identifier):
+            binding = target.binding
+            if binding[0] == "local":
+                program.push(ctx.layout.slots[binding[1]]).op("MSTORE")
+                return
+            if binding[0] == "state":
+                slot, vtype = self.info.storage[binding[1]]
+                if isinstance(vtype, (MappingType, ArrayType)):
+                    raise CodegenError(
+                        "cannot assign a whole mapping/array",
+                        stmt.line, stmt.column,
+                    )
+                program.push(slot).op("SSTORE")
+                return
+            raise CodegenError("unsupported assignment target",
+                               stmt.line, stmt.column)
+        if isinstance(target, ast.IndexAccess):
+            self._emit_storage_slot(ctx, target)
+            program.op("SSTORE")
+            return
+        raise CodegenError("unsupported assignment target",
+                           stmt.line, stmt.column)
+
+    def _emit_event(self, ctx: "_FnContext", stmt: ast.EmitStmt) -> None:
+        program = ctx.program
+        event: EventInfo = stmt.event_info
+        data_args = [
+            (arg, ptype)
+            for arg, ptype, indexed in zip(
+                stmt.arguments, event.param_types, event.indexed_flags)
+            if not indexed
+        ]
+        topic_args = [
+            arg
+            for arg, indexed in zip(stmt.arguments, event.indexed_flags)
+            if indexed
+        ]
+        # Topics are pushed so that topic1 is on top at LOG time; LOGn
+        # pops offset, size, then topics in order.
+        for arg in reversed(topic_args):
+            self._emit_expr(ctx, arg)
+        topic0 = int.from_bytes(event.topic, "big")
+        program.push(topic0, width=32)
+        # Build the data section in a reserved region.
+        self._reserve_memory(program, 32 * len(data_args))  # [topics..., base]
+        for index, (arg, _ptype) in enumerate(data_args):
+            self._emit_expr(ctx, arg)        # [.., base, value]
+            program.op("DUP2")
+            if index:
+                program.push(32 * index).op("ADD")
+            program.op("MSTORE")             # [.., base]
+        program.push(32 * len(data_args))    # [.., base, size]
+        program.op("SWAP1")                  # [.., size, base] -> LOG pops offset first
+        program.op(f"LOG{1 + len(topic_args)}")
+
+    # ------------------------------------------------------------------
+    # Expressions — each leaves exactly one word on the stack
+    # ------------------------------------------------------------------
+
+    def _emit_expr(self, ctx: "_FnContext", expr: ast.Expr) -> None:
+        program = ctx.program
+        if isinstance(expr, ast.NumberLiteral):
+            program.push(expr.value)
+        elif isinstance(expr, ast.HexLiteral):
+            program.push(expr.value)
+        elif isinstance(expr, ast.BoolLiteral):
+            program.push(1 if expr.value else 0)
+        elif isinstance(expr, ast.Identifier):
+            self._emit_identifier(ctx, expr)
+        elif isinstance(expr, ast.MemberAccess):
+            self._emit_member(ctx, expr)
+        elif isinstance(expr, ast.IndexAccess):
+            self._emit_storage_slot(ctx, expr)
+            program.op("SLOAD")
+        elif isinstance(expr, ast.BinaryOp):
+            self._emit_binary(ctx, expr)
+        elif isinstance(expr, ast.UnaryOp):
+            self._emit_unary(ctx, expr)
+        elif isinstance(expr, ast.FunctionCall):
+            self._emit_call(ctx, expr)
+        else:
+            raise CodegenError(
+                f"cannot generate code for {type(expr).__name__}",
+                expr.line, expr.column,
+            )
+
+    def _emit_identifier(self, ctx: "_FnContext", expr: ast.Identifier) -> None:
+        program = ctx.program
+        binding = expr.binding
+        kind = binding[0]
+        if kind == "local":
+            program.push(ctx.layout.slots[binding[1]]).op("MLOAD")
+        elif kind == "state":
+            slot, vtype = self.info.storage[binding[1]]
+            if isinstance(vtype, (MappingType, ArrayType)):
+                raise CodegenError(
+                    "mappings/arrays cannot be read as a whole",
+                    expr.line, expr.column,
+                )
+            program.push(slot).op("SLOAD")
+        elif kind == "builtin" and binding[1] == "timestamp":
+            program.op("TIMESTAMP")
+        elif kind == "builtin" and binding[1] == "this":
+            program.op("ADDRESS")
+        else:
+            raise CodegenError(f"identifier {expr.name!r} is not a value",
+                               expr.line, expr.column)
+
+    def _emit_member(self, ctx: "_FnContext", expr: ast.MemberAccess) -> None:
+        program = ctx.program
+        binding = getattr(expr, "binding", None)
+        if binding is None:
+            raise CodegenError(f"member {expr.member!r} is not a value",
+                               expr.line, expr.column)
+        kind = binding[0]
+        if kind == "env":
+            opcode = {
+                "caller": "CALLER", "callvalue": "CALLVALUE",
+                "timestamp": "TIMESTAMP", "number": "NUMBER",
+                "origin": "ORIGIN",
+            }[binding[1]]
+            program.op(opcode)
+        elif kind == "balance":
+            self._emit_expr(ctx, expr.object)
+            program.op("BALANCE")
+        elif kind == "bytes_length":
+            self._emit_expr(ctx, expr.object)
+            program.op("MLOAD")
+        else:
+            raise CodegenError(f"member {expr.member!r} is not a value",
+                               expr.line, expr.column)
+
+    def _emit_storage_slot(self, ctx: "_FnContext",
+                           expr: ast.IndexAccess) -> None:
+        """Leave the storage slot number of ``base[index]`` on the stack."""
+        program = ctx.program
+        base = expr.base
+        if isinstance(base, ast.Identifier) and base.binding[0] == "state":
+            slot, btype = self.info.storage[base.binding[1]]
+            if isinstance(btype, ArrayType):
+                self._emit_expr(ctx, expr.index)
+                # bounds check: index < length
+                ok = program.fresh_label("bounds_ok")
+                program.op("DUP1").push(btype.length).op("GT")
+                # GT pops a(top)=length? stack [idx, idx, len]: GT computes
+                # idx? No: after DUP1, [idx, idx]; push len -> [idx, idx, len];
+                # GT pops len(top), idx: computes len > idx -> 1 if in bounds.
+                program.jumpi_to(ok)
+                self._emit_revert(program)
+                program.label(ok)
+                program.push(slot).op("ADD")
+                return
+            if isinstance(btype, MappingType):
+                self._emit_mapping_slot(ctx, expr.index, lambda: program.push(slot))
+                return
+            raise CodegenError("only arrays and mappings are indexable",
+                               expr.line, expr.column)
+        if isinstance(base, ast.IndexAccess):
+            # Nested mapping: mapping(k1 => mapping(k2 => v)).
+            base_type = base.resolved_type
+            if not isinstance(base_type, MappingType):
+                raise CodegenError("unsupported nested index expression",
+                                   expr.line, expr.column)
+            self._emit_mapping_slot(
+                ctx, expr.index,
+                lambda: self._emit_storage_slot(ctx, base),
+            )
+            return
+        raise CodegenError("unsupported index expression",
+                           expr.line, expr.column)
+
+    def _emit_mapping_slot(self, ctx: "_FnContext", key_expr: ast.Expr,
+                           emit_parent_slot) -> None:
+        """slot = keccak256(key_word ‖ parent_slot_word)."""
+        program = ctx.program
+        self._emit_expr(ctx, key_expr)
+        program.push(_SCRATCH0).op("MSTORE")
+        emit_parent_slot()
+        program.push(_SCRATCH1).op("MSTORE")
+        program.push(64).push(_SCRATCH0)
+        # SHA3(offset, size): pops offset then size
+        program.op("SHA3")
+
+    def _emit_binary(self, ctx: "_FnContext", expr: ast.BinaryOp) -> None:
+        program = ctx.program
+        op = expr.op
+        if op in ("&&", "||"):
+            end = program.fresh_label("shortcircuit")
+            self._emit_expr(ctx, expr.left)
+            program.op("DUP1")
+            if op == "&&":
+                program.op("ISZERO")
+            program.jumpi_to(end)
+            program.op("POP")
+            self._emit_expr(ctx, expr.right)
+            program.label(end)
+            return
+
+        # Left first, so the right operand ends on top where the
+        # EVM's non-commutative ops expect their second argument.
+        self._emit_expr(ctx, expr.left)
+        self._emit_expr(ctx, expr.right)
+        if op == "+":
+            program.op("ADD")
+        elif op == "*":
+            program.op("MUL")
+        elif op == "-":
+            program.op("SWAP1").op("SUB")
+        elif op == "/":
+            program.op("SWAP1").op("DIV")
+        elif op == "%":
+            program.op("SWAP1").op("MOD")
+        elif op == "==":
+            program.op("EQ")
+        elif op == "!=":
+            program.op("EQ").op("ISZERO")
+        elif op == "<":
+            program.op("SWAP1").op("LT")
+        elif op == ">":
+            program.op("SWAP1").op("GT")
+        elif op == "<=":
+            program.op("SWAP1").op("GT").op("ISZERO")
+        elif op == ">=":
+            program.op("SWAP1").op("LT").op("ISZERO")
+        else:
+            raise CodegenError(f"unsupported operator {op!r}",
+                               expr.line, expr.column)
+
+    def _emit_unary(self, ctx: "_FnContext", expr: ast.UnaryOp) -> None:
+        program = ctx.program
+        self._emit_expr(ctx, expr.operand)
+        if expr.op == "!":
+            program.op("ISZERO")
+        elif expr.op == "~":
+            program.op("NOT")
+        elif expr.op == "-":
+            program.push(0).op("SUB")
+        else:
+            raise CodegenError(f"unsupported unary {expr.op!r}",
+                               expr.line, expr.column)
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _emit_call(self, ctx: "_FnContext", expr: ast.FunctionCall) -> None:
+        kind = getattr(expr, "call_kind", None)
+        if kind is None:
+            raise CodegenError("unresolved call", expr.line, expr.column)
+        tag = kind[0]
+        if tag == "hash":
+            self._emit_hash_call(ctx, expr, kind[1])
+        elif tag == "ecrecover":
+            self._emit_ecrecover(ctx, expr)
+        elif tag == "create":
+            self._emit_create(ctx, expr)
+        elif tag == "selfdestruct":
+            self._emit_expr(ctx, expr.arguments[0])
+            ctx.program.op("SELFDESTRUCT")
+        elif tag == "cast":
+            self._emit_cast(ctx, expr, kind[1])
+        elif tag == "contract_cast":
+            self._emit_expr(ctx, expr.arguments[0])
+            ctx.program.push(_ADDRESS_MASK).op("AND")
+        elif tag == "internal":
+            self._emit_internal_call(ctx, expr, kind[1])
+        elif tag == "external":
+            self._emit_external_call(ctx, expr, kind[1])
+        elif tag == "transfer":
+            self._emit_transfer(ctx, expr, kind[1])
+        else:
+            raise CodegenError(f"unsupported call kind {tag!r}",
+                               expr.line, expr.column)
+
+    def _emit_cast(self, ctx: "_FnContext", expr: ast.FunctionCall,
+                   target: SolisType) -> None:
+        self._emit_expr(ctx, expr.arguments[0])
+        self._emit_mask_for_type(ctx.program, target)
+        if isinstance(target, FixedBytesType) and target.size < 32:
+            # bytesN casts keep the high-order bytes.
+            mask = ((1 << (8 * target.size)) - 1) << (8 * (32 - target.size))
+            ctx.program.push(mask, width=32).op("AND")
+
+    def _emit_hash_call(self, ctx: "_FnContext", expr: ast.FunctionCall,
+                        name: str) -> None:
+        """keccak256 with Solidity-0.4 packed-argument semantics."""
+        program = ctx.program
+        if name != "keccak256":
+            raise CodegenError(
+                f"{name}() is not supported; use keccak256",
+                expr.line, expr.column,
+            )
+        if (len(expr.arguments) == 1
+                and isinstance(expr.arguments[0].resolved_type, BytesType)):
+            # Hash a bytes value directly: SHA3(ptr+32, len).
+            self._emit_expr(ctx, expr.arguments[0])       # [ptr]
+            program.op("DUP1").op("MLOAD")                # [ptr, len]
+            program.op("SWAP1").push(32).op("ADD")        # [len, ptr+32]
+            program.op("SHA3")                            # pops offset, size
+            return
+        # Packed encoding of value-type arguments into reserved memory.
+        total = sum(_packed_width(arg.resolved_type)
+                    for arg in expr.arguments)
+        # +32: sub-word values are stored via full-word MSTOREs that can
+        # spill up to 31 bytes past the packed length.
+        self._reserve_memory(program, total + 32)  # [base]
+        cursor = 0
+        for arg in expr.arguments:
+            width = _packed_width(arg.resolved_type)
+            self._emit_expr(ctx, arg)                     # [base, v]
+            if width < 32:
+                program.push(8 * (32 - width)).op("SHL")
+            program.op("DUP2")
+            if cursor:
+                program.push(cursor).op("ADD")
+            program.op("MSTORE")                          # [base]
+            cursor += width
+        program.push(cursor)                              # [base, size]
+        program.op("SWAP1")                               # [size, base]
+        program.op("SHA3")
+
+    def _emit_ecrecover(self, ctx: "_FnContext",
+                        expr: ast.FunctionCall) -> None:
+        """ecrecover(h, v, r, s) via the 0x01 precompile."""
+        program = ctx.program
+        self._reserve_memory(program, 128)        # [base]
+        for index, arg in enumerate(expr.arguments):
+            self._emit_expr(ctx, arg)             # [base, v]
+            program.op("DUP2")
+            if index:
+                program.push(32 * index).op("ADD")
+            program.op("MSTORE")
+        # STATICCALL(gas, 1, base, 128, scratch, 32)
+        program.push(32).push(_SCRATCH0)          # [base, 32, S0]
+        program.push(128)                         # [base, 32, S0, 128]
+        program.op("DUP4")                        # in_off = base
+        program.push(1)                           # to
+        program.op("GAS")
+        # stack: [base, out_size, out_off, in_size, in_off, to, gas]
+        program.op("STATICCALL")                  # [base, success]
+        ok = program.fresh_label("ecrecover_ok")
+        program.jumpi_to(ok)
+        self._emit_revert(program)
+        program.label(ok)                         # [base]
+        program.op("POP")
+        program.push(_SCRATCH0).op("MLOAD")
+        program.push(_ADDRESS_MASK).op("AND")
+
+    def _emit_create(self, ctx: "_FnContext", expr: ast.FunctionCall) -> None:
+        """create(bytecode[, value]) — the paper's inline assembly CREATE."""
+        program = ctx.program
+        self._emit_expr(ctx, expr.arguments[0])   # [ptr]
+        program.op("DUP1").op("MLOAD")            # [ptr, len]
+        program.op("SWAP1").push(32).op("ADD")    # [len, ptr+32]
+        if len(expr.arguments) == 2:
+            self._emit_expr(ctx, expr.arguments[1])
+        else:
+            program.push(0)                       # [len, off, value]
+        # CREATE pops value, offset, size.
+        program.op("CREATE")
+        # Zero address => creation failed: revert (mirrors require(addr != 0)).
+        ok = program.fresh_label("create_ok")
+        program.op("DUP1")
+        program.jumpi_to(ok)
+        self._emit_revert(program)
+        program.label(ok)
+
+    def _emit_internal_call(self, ctx: "_FnContext", expr: ast.FunctionCall,
+                            fn_info: FunctionInfo) -> None:
+        program = ctx.program
+        if ctx.key == "constructor":
+            raise CodegenError(
+                "constructors cannot call contract functions (the runtime "
+                "code is not addressable from init code)",
+                expr.line, expr.column,
+            )
+        callee_key = fn_info.decl.name
+        callee_layout = self.layouts[callee_key]
+        for arg in expr.arguments:
+            self._emit_expr(ctx, arg)
+        for param in reversed(fn_info.decl.parameters):
+            program.push(callee_layout.slots[param.name]).op("MSTORE")
+        ret = program.fresh_label("ret")
+        program.push_label(ret)
+        program.jump_to(f"__core_{callee_key}")
+        program.label(ret)
+        if isinstance(fn_info.return_type, VoidType):
+            # Core's exit jumped here with an empty extra stack; push a
+            # placeholder so ExprStmt's POP stays uniform?  No — void
+            # calls leave nothing, handled by ExprStmt.
+            pass
+
+    def _emit_external_call(self, ctx: "_FnContext", expr: ast.FunctionCall,
+                            fn_info: FunctionInfo) -> None:
+        """Typed cross-contract call with revert bubbling."""
+        program = ctx.program
+        callee: ast.MemberAccess = expr.callee
+        for ptype in fn_info.param_types:
+            if isinstance(ptype, BytesType):
+                raise CodegenError(
+                    "external calls with bytes arguments are not supported",
+                    expr.line, expr.column,
+                )
+        # Build calldata in a reserved region: selector ‖ args.
+        self._reserve_memory(program, 4 + 32 * len(expr.arguments))  # [base]
+        selector_word = int.from_bytes(
+            fn_info.selector + b"\x00" * 28, "big")
+        program.push(selector_word, width=32)
+        program.op("DUP2").op("MSTORE")               # [base]
+        for index, arg in enumerate(expr.arguments):
+            self._emit_expr(ctx, arg)
+            program.op("DUP2").push(4 + 32 * index).op("ADD")
+            program.op("MSTORE")                      # [base]
+        returns_value = not isinstance(fn_info.return_type, VoidType)
+        out_size = 32 if returns_value else 0
+        # CALL(gas, to, value, in_off, in_size, out_off, out_size)
+        program.push(out_size).push(_SCRATCH0)        # [base, osz, ooff]
+        program.push(4 + 32 * len(expr.arguments))    # in_size
+        program.op("DUP4")                            # in_off = base
+        program.push(0)                               # value
+        self._emit_expr(ctx, callee.object)           # target address
+        program.op("GAS")
+        program.op("CALL")                            # [base, success]
+        ok = program.fresh_label("call_ok")
+        program.jumpi_to(ok)
+        self._emit_revert(program)
+        program.label(ok)
+        program.op("POP")                             # drop base
+        if returns_value:
+            program.push(_SCRATCH0).op("MLOAD")
+
+    def _emit_transfer(self, ctx: "_FnContext", expr: ast.FunctionCall,
+                       flavor: str) -> None:
+        """addr.transfer(v) / addr.send(v) — 2300-gas value call."""
+        program = ctx.program
+        callee: ast.MemberAccess = expr.callee
+        # CALL(gas=stipend-only, to, value, 0, 0, 0, 0)
+        program.push(0).push(0).push(0).push(0)
+        self._emit_expr(ctx, expr.arguments[0])   # value
+        self._emit_expr(ctx, callee.object)       # to
+        program.push(0)                           # gas (stipend is added)
+        program.op("CALL")
+        if flavor == "transfer":
+            ok = program.fresh_label("transfer_ok")
+            program.jumpi_to(ok)
+            self._emit_revert(program)
+            program.label(ok)
+        # send leaves the success bool on the stack.
+
+
+@dataclass
+class _FnContext:
+    """Codegen context for one function."""
+
+    generator: CodeGenerator
+    program: Program
+    key: str
+    fn_info: FunctionInfo
+
+    @property
+    def layout(self) -> _FunctionLayout:
+        return self.generator.layouts[self.key]
+
+
+def _packed_width(stype: SolisType) -> int:
+    """Byte width of a value type under packed (soliditySha3) encoding."""
+    if isinstance(stype, UIntType):
+        return stype.bits // 8
+    if isinstance(stype, (AddressType, ContractType)):
+        return 20
+    if isinstance(stype, FixedBytesType):
+        return stype.size
+    # bool
+    return 1

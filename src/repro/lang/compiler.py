@@ -1,0 +1,128 @@
+"""The Solis compiler driver.
+
+``compile_source`` turns Solis text into :class:`CompiledContract`
+objects: deterministic init/runtime bytecode plus a
+:class:`repro.chain.contract.ContractABI`.  Determinism matters — the
+paper's protocol has every participant compile the off-chain contract
+independently and sign the *bytecode hash*, so identical source must
+always produce identical bytes ("all the participants should use the
+same version of compiler", §IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.contract import ContractABI, EventABI, FunctionABI
+from repro.crypto.keccak import keccak256
+from repro.lang import ast_nodes as ast
+from repro.lang.codegen import CodeGenerator
+from repro.lang.errors import SolisError
+from repro.lang.parser import parse
+from repro.lang.sema import ContractInfo, analyze
+
+COMPILER_VERSION = "solis-0.1.0"
+
+
+@dataclass(frozen=True)
+class CompiledContract:
+    """Compilation output for one contract."""
+
+    name: str
+    init_code: bytes
+    runtime_code: bytes
+    abi: ContractABI
+    source: str
+    compiler_version: str = COMPILER_VERSION
+
+    @property
+    def bytecode_hash(self) -> bytes:
+        """keccak256 of the init code — what participants sign (Alg. 4)."""
+        return keccak256(self.init_code)
+
+    @property
+    def init_code_hex(self) -> str:
+        return "0x" + self.init_code.hex()
+
+
+@dataclass(frozen=True)
+class CompilationResult:
+    """All contracts from one source unit."""
+
+    contracts: dict[str, CompiledContract]
+    unit: ast.SourceUnit
+
+    def contract(self, name: str) -> CompiledContract:
+        try:
+            return self.contracts[name]
+        except KeyError:
+            raise SolisError(
+                f"no deployable contract {name!r}; "
+                f"compiled: {sorted(self.contracts)}"
+            ) from None
+
+
+def _build_abi(info: ContractInfo) -> ContractABI:
+    functions = []
+    constructor_inputs: tuple[str, ...] = ()
+    for key, fn_info in info.functions.items():
+        decl = fn_info.decl
+        if decl.is_constructor:
+            constructor_inputs = fn_info.abi_inputs
+            continue
+        if not decl.is_external_facing:
+            continue
+        outputs = ()
+        if fn_info.return_type.abi_name is not None:
+            outputs = (fn_info.return_type.abi_name,)
+        functions.append(FunctionABI(
+            name=decl.name,
+            inputs=fn_info.abi_inputs,
+            outputs=outputs,
+            payable=decl.is_payable,
+            constant=decl.is_view,
+        ))
+    events = [
+        EventABI(name=ev.name, inputs=ev.abi_inputs)
+        for ev in info.events.values()
+    ]
+    return ContractABI(
+        contract_name=info.name,
+        functions=tuple(functions),
+        events=tuple(events),
+        constructor_inputs=constructor_inputs,
+    )
+
+
+def compile_source(source: str) -> CompilationResult:
+    """Compile Solis source; returns every non-interface contract."""
+    unit = parse(source)
+    infos = analyze(unit)
+    contracts: dict[str, CompiledContract] = {}
+    for name, info in infos.items():
+        if info.is_abstract:
+            continue
+        generator = CodeGenerator(info, infos)
+        runtime_code = generator.generate_runtime()
+        init_code = generator.generate_init(runtime_code)
+        contracts[name] = CompiledContract(
+            name=name,
+            init_code=init_code,
+            runtime_code=runtime_code,
+            abi=_build_abi(info),
+            source=source,
+        )
+    return CompilationResult(contracts=contracts, unit=unit)
+
+
+def compile_contract(source: str, name: str | None = None) -> CompiledContract:
+    """Compile and return a single contract (the only one, or by name)."""
+    result = compile_source(source)
+    if name is not None:
+        return result.contract(name)
+    if len(result.contracts) != 1:
+        raise SolisError(
+            "source defines multiple contracts; pass a name: "
+            f"{sorted(result.contracts)}"
+        )
+    return next(iter(result.contracts.values()))

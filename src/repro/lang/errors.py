@@ -1,0 +1,29 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class SolisError(Exception):
+    """Base class for all Solis compiler errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexerError(SolisError):
+    """Malformed token stream."""
+
+
+class ParserError(SolisError):
+    """Source does not match the grammar."""
+
+
+class SemanticError(SolisError):
+    """Well-formed but meaningless program (types, names, visibility)."""
+
+
+class CodegenError(SolisError):
+    """Internal code-generation failure (should indicate a compiler bug)."""

@@ -1,0 +1,196 @@
+"""Lexer for the Solis language (a Solidity subset).
+
+Produces a flat token stream with line/column positions.  Handles
+``//`` and ``/* */`` comments, decimal and hex literals, string
+literals, ether-denomination suffixes (``1 ether``) handled at the
+parser level, and all multi-character operators Solidity uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.lang.errors import LexerError
+
+
+class TokenType(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    HEX_LITERAL = auto()
+    STRING = auto()
+    KEYWORD = auto()
+    OP = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset({
+    "pragma", "contract", "interface", "function", "modifier", "event",
+    "constructor", "returns", "return", "if", "else", "while", "for",
+    "require", "emit", "new", "delete", "true", "false", "public",
+    "private", "external", "internal", "payable", "view", "pure",
+    "constant", "memory", "storage", "calldata", "indexed", "mapping",
+    "uint", "uint8", "uint16", "uint32", "uint64", "uint128", "uint256",
+    "int", "int256", "address", "bool", "bytes", "bytes4", "bytes32",
+    "string", "msg", "block", "tx", "this", "now", "wei", "gwei",
+    "ether", "seconds", "minutes", "hours", "days", "weeks",
+    "assembly", "selfdestruct", "break", "continue", "revert",
+})
+
+# Longest-match-first operator list.
+_OPERATORS = [
+    "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "++", "--", "<<", ">>",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "<", ">", "+",
+    "-", "*", "/", "%", "!", "&", "|", "^", "~", "?", ":", "_",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type == TokenType.OP and self.value in ops
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    length = len(source)
+
+    def error(message: str) -> LexerError:
+        return LexerError(message, line, col)
+
+    while pos < length:
+        ch = source[pos]
+
+        if ch == "\n":
+            pos += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            col += 1
+            continue
+
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[pos:end + 2]
+            newline_count = skipped.count("\n")
+            if newline_count:
+                line += newline_count
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            pos = end + 2
+            continue
+
+        if ch == '"' or ch == "'":
+            quote = ch
+            end = pos + 1
+            chunks = []
+            while end < length and source[end] != quote:
+                if source[end] == "\n":
+                    raise error("unterminated string literal")
+                if source[end] == "\\" and end + 1 < length:
+                    chunks.append(source[end + 1])
+                    end += 2
+                else:
+                    chunks.append(source[end])
+                    end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token(TokenType.STRING, "".join(chunks), line, col))
+            col += end + 1 - pos
+            pos = end + 1
+            continue
+
+        if source.startswith("0x", pos) or source.startswith("0X", pos):
+            end = pos + 2
+            while end < length and (source[end] in "0123456789abcdefABCDEF"):
+                end += 1
+            if end == pos + 2:
+                raise error("empty hex literal")
+            tokens.append(Token(TokenType.HEX_LITERAL, source[pos:end], line, col))
+            col += end - pos
+            pos = end
+            continue
+
+        if ch.isdigit():
+            end = pos
+            while end < length and (source[end].isdigit() or source[end] == "_"):
+                end += 1
+            if end < length and source[end] == "e":  # scientific: 1e18
+                exp_end = end + 1
+                while exp_end < length and source[exp_end].isdigit():
+                    exp_end += 1
+                if exp_end > end + 1:
+                    end = exp_end
+            tokens.append(
+                Token(TokenType.NUMBER, source[pos:end].replace("_", ""),
+                      line, col)
+            )
+            col += end - pos
+            pos = end
+            continue
+
+        if ch.isalpha() or ch == "$":
+            end = pos
+            while end < length and (source[end].isalnum() or source[end] in "_$"):
+                end += 1
+            word = source[pos:end]
+            token_type = (
+                TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            )
+            tokens.append(Token(token_type, word, line, col))
+            col += end - pos
+            pos = end
+            continue
+
+        if ch == "_":
+            # Either the modifier placeholder `_;` or part of an ident.
+            end = pos
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[pos:end]
+            if word == "_":
+                tokens.append(Token(TokenType.OP, "_", line, col))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, col))
+            col += end - pos
+            pos = end
+            continue
+
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token(TokenType.OP, op, line, col))
+                col += len(op)
+                pos += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,650 @@
+"""Recursive-descent parser for Solis.
+
+Accepts the Solidity-0.4-flavoured syntax used in the paper's
+Algorithms 1-3 (contracts, modifiers with ``_;``, payable functions,
+mappings, fixed arrays, interface declarations) and produces the AST in
+:mod:`repro.lang.ast_nodes`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParserError
+from repro.lang.lexer import Token, TokenType, tokenize
+from repro.lang.types import type_from_keyword
+
+_UNIT_MULTIPLIERS = {
+    "wei": 1,
+    "gwei": 10 ** 9,
+    "ether": 10 ** 18,
+    "seconds": 1,
+    "minutes": 60,
+    "hours": 3_600,
+    "days": 86_400,
+    "weeks": 604_800,
+}
+
+_VISIBILITIES = ("public", "private", "external", "internal")
+
+_TYPE_KEYWORDS = frozenset({
+    "uint", "uint8", "uint16", "uint32", "uint64", "uint128", "uint256",
+    "int", "int256", "address", "bool", "bytes", "bytes4", "bytes32",
+    "string", "mapping",
+})
+
+
+class Parser:
+    """One-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParserError:
+        token = self._current
+        return ParserError(
+            f"{message} (found {token.type.name} {token.value!r})",
+            token.line, token.column,
+        )
+
+    def _expect_op(self, op: str) -> Token:
+        if not self._current.is_op(op):
+            raise self._error(f"expected {op!r}")
+        return self._advance()
+
+    def _expect_keyword(self, *names: str) -> Token:
+        if not self._current.is_keyword(*names):
+            raise self._error(f"expected keyword {'/'.join(names)}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._current.type != TokenType.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _accept_op(self, op: str) -> bool:
+        if self._current.is_op(op):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, *names: str) -> Optional[str]:
+        if self._current.is_keyword(*names):
+            return self._advance().value
+        return None
+
+    # -- entry point ----------------------------------------------------------
+
+    def parse_source_unit(self) -> ast.SourceUnit:
+        contracts: list[ast.ContractDecl] = []
+        while self._current.type != TokenType.EOF:
+            if self._current.is_keyword("pragma"):
+                while not self._accept_op(";"):
+                    if self._current.type == TokenType.EOF:
+                        raise self._error("unterminated pragma")
+                    self._advance()
+                continue
+            if self._current.is_keyword("contract", "interface"):
+                contracts.append(self._parse_contract())
+                continue
+            raise self._error("expected contract or interface")
+        return ast.SourceUnit(contracts=contracts)
+
+    # -- declarations ----------------------------------------------------------
+
+    def _parse_contract(self) -> ast.ContractDecl:
+        keyword = self._advance()  # contract | interface
+        name = self._expect_ident().value
+        contract = ast.ContractDecl(
+            name=name,
+            is_interface=(keyword.value == "interface"),
+            line=keyword.line, column=keyword.column,
+        )
+        self._expect_op("{")
+        while not self._accept_op("}"):
+            if self._current.type == TokenType.EOF:
+                raise self._error("unterminated contract body")
+            self._parse_contract_member(contract)
+        return contract
+
+    def _parse_contract_member(self, contract: ast.ContractDecl) -> None:
+        token = self._current
+        if token.is_keyword("function", "constructor"):
+            contract.functions.append(self._parse_function())
+        elif token.is_keyword("modifier"):
+            contract.modifiers.append(self._parse_modifier())
+        elif token.is_keyword("event"):
+            contract.events.append(self._parse_event())
+        else:
+            contract.state_vars.append(self._parse_state_var())
+
+    def _parse_type_name(self) -> ast.TypeName:
+        token = self._current
+        if token.is_keyword("mapping"):
+            self._advance()
+            self._expect_op("(")
+            key = self._parse_type_name()
+            self._expect_op("=>")
+            value = self._parse_type_name()
+            self._expect_op(")")
+            return ast.TypeName(
+                name="mapping", key_type=key, value_type=value,
+                line=token.line, column=token.column,
+            )
+        if token.type == TokenType.KEYWORD and type_from_keyword(token.value):
+            self._advance()
+            base = ast.TypeName(name=token.value,
+                                line=token.line, column=token.column)
+        elif token.type == TokenType.IDENT:
+            self._advance()
+            base = ast.TypeName(name=token.value,
+                                line=token.line, column=token.column)
+        else:
+            raise self._error("expected a type name")
+
+        if self._current.is_op("["):
+            self._advance()
+            if self._current.type != TokenType.NUMBER:
+                raise self._error("Solis supports fixed-size arrays only")
+            length = int(self._advance().value)
+            self._expect_op("]")
+            return ast.TypeName(
+                name="array", value_type=base, array_length=length,
+                line=token.line, column=token.column,
+            )
+        return base
+
+    def _looks_like_type(self) -> bool:
+        token = self._current
+        if token.type == TokenType.KEYWORD and token.value in _TYPE_KEYWORDS:
+            return True
+        if token.type == TokenType.IDENT:
+            nxt = self._peek()
+            # "Ident ident" / "Ident[2] ident" — a declaration.
+            if nxt.type == TokenType.IDENT or nxt.is_keyword("memory"):
+                return True
+            if nxt.is_op("[") and self._peek(2).type == TokenType.NUMBER:
+                return True
+        return False
+
+    def _parse_state_var(self) -> ast.StateVarDecl:
+        start = self._current
+        type_name = self._parse_type_name()
+        visibility = "internal"
+        while True:
+            vis = self._accept_keyword(*_VISIBILITIES)
+            if vis:
+                visibility = vis
+                continue
+            if self._accept_keyword("constant"):
+                continue
+            break
+        name = self._expect_ident().value
+        initial = None
+        if self._accept_op("="):
+            initial = self._parse_expression()
+        self._expect_op(";")
+        return ast.StateVarDecl(
+            type_name=type_name, name=name, visibility=visibility,
+            initial=initial, line=start.line, column=start.column,
+        )
+
+    def _parse_parameters(self, allow_indexed: bool = False) -> list[ast.Parameter]:
+        self._expect_op("(")
+        params: list[ast.Parameter] = []
+        while not self._accept_op(")"):
+            if params:
+                self._expect_op(",")
+            start = self._current
+            type_name = self._parse_type_name()
+            indexed = False
+            if allow_indexed and self._accept_keyword("indexed"):
+                indexed = True
+            self._accept_keyword("memory", "calldata", "storage")
+            name = ""
+            if self._current.type == TokenType.IDENT:
+                name = self._advance().value
+            params.append(ast.Parameter(
+                type_name=type_name, name=name, indexed=indexed,
+                line=start.line, column=start.column,
+            ))
+        return params
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        start = self._advance()  # function | constructor
+        is_constructor = start.value == "constructor"
+        name = "" if is_constructor else self._expect_ident().value
+        parameters = self._parse_parameters()
+
+        visibility = "public"
+        is_payable = False
+        is_view = False
+        modifiers: list[str] = []
+        returns: list[ast.TypeName] = []
+        while True:
+            vis = self._accept_keyword(*_VISIBILITIES)
+            if vis:
+                visibility = vis
+                continue
+            if self._accept_keyword("payable"):
+                is_payable = True
+                continue
+            if self._accept_keyword("view", "pure", "constant"):
+                is_view = True
+                continue
+            if self._current.is_keyword("returns"):
+                self._advance()
+                self._expect_op("(")
+                returns.append(self._parse_type_name())
+                while self._accept_op(","):
+                    returns.append(self._parse_type_name())
+                self._expect_op(")")
+                continue
+            if self._current.type == TokenType.IDENT:
+                # modifier invocation (optionally with args — args are
+                # not supported and rejected here for clarity)
+                modifier_name = self._advance().value
+                if self._current.is_op("("):
+                    raise self._error(
+                        f"modifier {modifier_name!r}: Solis modifiers take "
+                        "no invocation arguments"
+                    )
+                modifiers.append(modifier_name)
+                continue
+            break
+
+        body: Optional[ast.Block] = None
+        if self._current.is_op("{"):
+            body = self._parse_block()
+        else:
+            self._expect_op(";")
+        return ast.FunctionDecl(
+            name=name, parameters=parameters, returns=returns,
+            visibility=visibility, is_payable=is_payable, is_view=is_view,
+            modifiers=modifiers, body=body, is_constructor=is_constructor,
+            line=start.line, column=start.column,
+        )
+
+    def _parse_modifier(self) -> ast.ModifierDecl:
+        start = self._advance()  # modifier
+        name = self._expect_ident().value
+        parameters = []
+        if self._current.is_op("("):
+            parameters = self._parse_parameters()
+        body = self._parse_block()
+        return ast.ModifierDecl(
+            name=name, parameters=parameters, body=body,
+            line=start.line, column=start.column,
+        )
+
+    def _parse_event(self) -> ast.EventDecl:
+        start = self._advance()  # event
+        name = self._expect_ident().value
+        parameters = self._parse_parameters(allow_indexed=True)
+        self._expect_op(";")
+        return ast.EventDecl(
+            name=name, parameters=parameters,
+            line=start.line, column=start.column,
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect_op("{")
+        statements: list[ast.Stmt] = []
+        while not self._accept_op("}"):
+            if self._current.type == TokenType.EOF:
+                raise self._error("unterminated block")
+            statements.append(self._parse_statement())
+        return ast.Block(statements=statements,
+                         line=start.line, column=start.column)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if token.is_op("{"):
+            return self._parse_block()
+        if token.is_op("_"):
+            self._advance()
+            self._expect_op(";")
+            return ast.PlaceholderStmt(line=token.line, column=token.column)
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("return"):
+            self._advance()
+            value = None
+            if not self._current.is_op(";"):
+                value = self._parse_expression()
+            self._expect_op(";")
+            return ast.ReturnStmt(value=value, line=token.line,
+                                  column=token.column)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_op(";")
+            return ast.BreakStmt(line=token.line, column=token.column)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_op(";")
+            return ast.ContinueStmt(line=token.line, column=token.column)
+        if token.is_keyword("revert"):
+            self._advance()
+            self._expect_op("(")
+            message = None
+            if self._current.type == TokenType.STRING:
+                message = self._advance().value
+            self._expect_op(")")
+            self._expect_op(";")
+            return ast.RevertStmt(message=message, line=token.line,
+                                  column=token.column)
+        if token.is_keyword("require"):
+            self._advance()
+            self._expect_op("(")
+            condition = self._parse_expression()
+            message = None
+            if self._accept_op(","):
+                if self._current.type != TokenType.STRING:
+                    raise self._error("require message must be a string")
+                message = self._advance().value
+            self._expect_op(")")
+            self._expect_op(";")
+            return ast.RequireStmt(condition=condition, message=message,
+                                   line=token.line, column=token.column)
+        if token.is_keyword("emit"):
+            self._advance()
+            name = self._expect_ident().value
+            self._expect_op("(")
+            arguments = []
+            while not self._accept_op(")"):
+                if arguments:
+                    self._expect_op(",")
+                arguments.append(self._parse_expression())
+            self._expect_op(";")
+            return ast.EmitStmt(event_name=name, arguments=arguments,
+                                line=token.line, column=token.column)
+        if self._looks_like_declaration():
+            return self._parse_var_decl()
+        return self._parse_expression_statement()
+
+    def _looks_like_declaration(self) -> bool:
+        token = self._current
+        if token.type == TokenType.KEYWORD and token.value in _TYPE_KEYWORDS \
+                and token.value != "mapping":
+            # `address x` is a decl; `address(...)` is a cast expression.
+            return not self._peek().is_op("(")
+        if token.type == TokenType.IDENT:
+            return self._peek().type == TokenType.IDENT or (
+                self._peek().is_keyword("memory")
+            )
+        return False
+
+    def _parse_var_decl(self) -> ast.VarDeclStmt:
+        start = self._current
+        type_name = self._parse_type_name()
+        self._accept_keyword("memory", "storage", "calldata")
+        name = self._expect_ident().value
+        initial = None
+        if self._accept_op("="):
+            initial = self._parse_expression()
+        self._expect_op(";")
+        return ast.VarDeclStmt(type_name=type_name, name=name, initial=initial,
+                               line=start.line, column=start.column)
+
+    def _parse_if(self) -> ast.IfStmt:
+        start = self._advance()
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        then_branch = self._statement_as_block()
+        else_branch = None
+        if self._accept_keyword("else") or self._current.is_keyword("else"):
+            if self._current.is_keyword("else"):
+                self._advance()
+            else_branch = self._statement_as_block()
+        return ast.IfStmt(condition=condition, then_branch=then_branch,
+                          else_branch=else_branch,
+                          line=start.line, column=start.column)
+
+    def _statement_as_block(self) -> ast.Block:
+        if self._current.is_op("{"):
+            return self._parse_block()
+        stmt = self._parse_statement()
+        return ast.Block(statements=[stmt], line=stmt.line, column=stmt.column)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        start = self._advance()
+        self._expect_op("(")
+        condition = self._parse_expression()
+        self._expect_op(")")
+        body = self._statement_as_block()
+        return ast.WhileStmt(condition=condition, body=body,
+                             line=start.line, column=start.column)
+
+    def _parse_for(self) -> ast.ForStmt:
+        start = self._advance()
+        self._expect_op("(")
+        init: Optional[ast.Stmt] = None
+        if not self._current.is_op(";"):
+            if self._looks_like_declaration():
+                init = self._parse_var_decl()
+            else:
+                init = self._parse_simple_statement_no_semi()
+                self._expect_op(";")
+        else:
+            self._advance()
+        condition = None
+        if not self._current.is_op(";"):
+            condition = self._parse_expression()
+        self._expect_op(";")
+        update: Optional[ast.Stmt] = None
+        if not self._current.is_op(")"):
+            update = self._parse_simple_statement_no_semi()
+        self._expect_op(")")
+        body = self._statement_as_block()
+        return ast.ForStmt(init=init, condition=condition, update=update,
+                           body=body, line=start.line, column=start.column)
+
+    def _parse_expression_statement(self) -> ast.Stmt:
+        stmt = self._parse_simple_statement_no_semi()
+        self._expect_op(";")
+        return stmt
+
+    def _parse_simple_statement_no_semi(self) -> ast.Stmt:
+        """An assignment or bare expression, without the trailing ';'."""
+        start = self._current
+        expr = self._parse_expression()
+        if self._current.is_op("="):
+            self._advance()
+            value = self._parse_expression()
+            return ast.Assignment(target=expr, value=value,
+                                  line=start.line, column=start.column)
+        for compound in ("+=", "-=", "*=", "/=", "%="):
+            if self._current.is_op(compound):
+                self._advance()
+                rhs = self._parse_expression()
+                value = ast.BinaryOp(op=compound[0], left=expr, right=rhs,
+                                     line=start.line, column=start.column)
+                return ast.Assignment(target=expr, value=value,
+                                      line=start.line, column=start.column)
+        if self._current.is_op("++") or self._current.is_op("--"):
+            op = self._advance().value
+            one = ast.NumberLiteral(value=1, line=start.line,
+                                    column=start.column)
+            value = ast.BinaryOp(op=op[0], left=expr, right=one,
+                                 line=start.line, column=start.column)
+            return ast.Assignment(target=expr, value=value,
+                                  line=start.line, column=start.column)
+        return ast.ExprStmt(expression=expr, line=start.line,
+                            column=start.column)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._current.is_op("||"):
+            token = self._advance()
+            right = self._parse_and()
+            left = ast.BinaryOp(op="||", left=left, right=right,
+                                line=token.line, column=token.column)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_equality()
+        while self._current.is_op("&&"):
+            token = self._advance()
+            right = self._parse_equality()
+            left = ast.BinaryOp(op="&&", left=left, right=right,
+                                line=token.line, column=token.column)
+        return left
+
+    def _parse_equality(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self._current.is_op("==", "!="):
+            token = self._advance()
+            right = self._parse_comparison()
+            left = ast.BinaryOp(op=token.value, left=left, right=right,
+                                line=token.line, column=token.column)
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._current.is_op("<", ">", "<=", ">="):
+            token = self._advance()
+            right = self._parse_additive()
+            left = ast.BinaryOp(op=token.value, left=left, right=right,
+                                line=token.line, column=token.column)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._current.is_op("+", "-"):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op=token.value, left=left, right=right,
+                                line=token.line, column=token.column)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._current.is_op("*", "/", "%"):
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.BinaryOp(op=token.value, left=left, right=right,
+                                line=token.line, column=token.column)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if token.is_op("!", "-", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(op=token.value, operand=operand,
+                               line=token.line, column=token.column)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._current.is_op("."):
+                token = self._advance()
+                member = self._advance()
+                if member.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                    raise self._error("expected member name after '.'")
+                expr = ast.MemberAccess(object=expr, member=member.value,
+                                        line=token.line, column=token.column)
+            elif self._current.is_op("("):
+                token = self._advance()
+                arguments = []
+                while not self._accept_op(")"):
+                    if arguments:
+                        self._expect_op(",")
+                    arguments.append(self._parse_expression())
+                expr = ast.FunctionCall(callee=expr, arguments=arguments,
+                                        line=token.line, column=token.column)
+            elif self._current.is_op("["):
+                token = self._advance()
+                index = self._parse_expression()
+                self._expect_op("]")
+                expr = ast.IndexAccess(base=expr, index=index,
+                                       line=token.line, column=token.column)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            value = _parse_number(token.value)
+            if self._current.type == TokenType.KEYWORD and (
+                    self._current.value in _UNIT_MULTIPLIERS):
+                unit = self._advance().value
+                value *= _UNIT_MULTIPLIERS[unit]
+            return ast.NumberLiteral(value=value, line=token.line,
+                                     column=token.column)
+        if token.type == TokenType.HEX_LITERAL:
+            self._advance()
+            return ast.HexLiteral(text=token.value, line=token.line,
+                                  column=token.column)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return ast.StringLiteral(value=token.value, line=token.line,
+                                     column=token.column)
+        if token.is_keyword("true", "false"):
+            self._advance()
+            return ast.BoolLiteral(value=(token.value == "true"),
+                                   line=token.line, column=token.column)
+        if token.is_keyword("msg", "block", "tx", "this", "now",
+                            "selfdestruct"):
+            self._advance()
+            return ast.Identifier(name=token.value, line=token.line,
+                                  column=token.column)
+        if token.type == TokenType.KEYWORD and type_from_keyword(token.value):
+            # Type used as an expression: cast, e.g. address(x), uint(y).
+            self._advance()
+            return ast.Identifier(name=token.value, line=token.line,
+                                  column=token.column)
+        if token.type == TokenType.IDENT:
+            self._advance()
+            return ast.Identifier(name=token.value, line=token.line,
+                                  column=token.column)
+        if token.is_op("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_op(")")
+            return expr
+        raise self._error("expected an expression")
+
+
+def _parse_number(text: str) -> int:
+    if "e" in text:
+        mantissa, exponent = text.split("e", 1)
+        return int(mantissa) * 10 ** int(exponent)
+    return int(text)
+
+
+def parse(source: str) -> ast.SourceUnit:
+    """Parse Solis source text into a :class:`SourceUnit`."""
+    return Parser(tokenize(source)).parse_source_unit()

@@ -1,0 +1,881 @@
+"""Semantic analysis for Solis.
+
+Resolves names, checks types, assigns storage slots, and annotates the
+AST in place for the code generator:
+
+* every ``Expr`` gets ``resolved_type``;
+* ``Identifier``/``MemberAccess``/``FunctionCall`` nodes get a
+  ``binding`` tuple describing what they refer to;
+* ``StateVarDecl`` gets its storage ``slot``;
+* ``FunctionDecl`` gets ``param_types``, ``return_type``, ``locals``
+  (ordered (name, type) pairs incl. params) and ``selector``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto import abi as abi_codec
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import SemanticError
+from repro.lang.types import (
+    ADDRESS,
+    BOOL,
+    BYTES,
+    BYTES32,
+    UINT256,
+    VOID,
+    AddressType,
+    ArrayType,
+    BoolType,
+    BytesType,
+    ContractType,
+    FixedBytesType,
+    MappingType,
+    SolisType,
+    StringType,
+    UIntType,
+    VoidType,
+    type_from_keyword,
+)
+
+_BUILTIN_FUNCTIONS = frozenset({
+    "keccak256", "ecrecover", "create", "selfdestruct",
+})
+
+_MAX_INDEXED_EVENT_ARGS = 3
+
+
+@dataclass
+class FunctionInfo:
+    """Resolved view of one function."""
+
+    decl: ast.FunctionDecl
+    param_types: list[SolisType]
+    return_type: SolisType
+    contract_name: str
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def abi_inputs(self) -> tuple[str, ...]:
+        return tuple(t.abi_name for t in self.param_types)
+
+    @property
+    def selector(self) -> bytes:
+        return abi_codec.function_selector(self.decl.name, self.abi_inputs)
+
+
+@dataclass
+class EventInfo:
+    """Resolved view of one event."""
+
+    decl: ast.EventDecl
+    param_types: list[SolisType]
+    indexed_flags: list[bool]
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def abi_inputs(self) -> tuple[str, ...]:
+        return tuple(t.abi_name for t in self.param_types)
+
+    @property
+    def topic(self) -> bytes:
+        return abi_codec.event_topic(self.decl.name, self.abi_inputs)
+
+
+@dataclass
+class ContractInfo:
+    """Resolved view of one contract: layout, functions, events."""
+
+    decl: ast.ContractDecl
+    storage: dict[str, tuple[int, SolisType]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    events: dict[str, EventInfo] = field(default_factory=dict)
+    modifiers: dict[str, ast.ModifierDecl] = field(default_factory=dict)
+    storage_slots_used: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def is_abstract(self) -> bool:
+        """Interfaces and contracts with any bodyless function."""
+        return self.decl.is_interface or any(
+            fn.decl.body is None and not fn.decl.is_constructor
+            for fn in self.functions.values()
+        )
+
+
+class Analyzer:
+    """Analyses a source unit; produces :class:`ContractInfo` per contract."""
+
+    def __init__(self, unit: ast.SourceUnit) -> None:
+        self.unit = unit
+        self.contracts: dict[str, ContractInfo] = {}
+
+    # -- public API -------------------------------------------------------
+
+    def analyze(self) -> dict[str, ContractInfo]:
+        for contract in self.unit.contracts:
+            if contract.name in self.contracts:
+                raise SemanticError(
+                    f"duplicate contract name {contract.name!r}",
+                    contract.line, contract.column,
+                )
+            if not contract.is_interface:
+                self._synthesize_getters(contract)
+            self.contracts[contract.name] = self._collect_interface(contract)
+        for contract in self.unit.contracts:
+            if not contract.is_interface:
+                self._check_contract(self.contracts[contract.name])
+        return self.contracts
+
+    # -- getter synthesis ----------------------------------------------------
+
+    def _synthesize_getters(self, contract: ast.ContractDecl) -> None:
+        """Generate view getters for ``public`` state variables.
+
+        Mirrors Solidity: a value-type var gets ``name()``; a mapping
+        gets ``name(key)``; a fixed array gets ``name(index)``.  A
+        hand-written function of the same name wins.
+        """
+        existing = {fn.name for fn in contract.functions}
+        for var in contract.state_vars:
+            if var.visibility != "public" or var.name in existing:
+                continue
+            type_name = var.type_name
+            if type_name.name == "mapping":
+                # Follow nested mapping chains: one key parameter per
+                # level, exactly like Solidity's generated getters.
+                params = []
+                body_expr: ast.Expr = ast.Identifier(name=var.name)
+                level = type_name
+                depth = 0
+                while level.name == "mapping":
+                    key_name = f"__key{depth}"
+                    params.append(ast.Parameter(
+                        type_name=level.key_type, name=key_name))
+                    body_expr = ast.IndexAccess(
+                        base=body_expr,
+                        index=ast.Identifier(name=key_name),
+                    )
+                    level = level.value_type
+                    depth += 1
+                if level.name == "array":
+                    continue  # mapping-of-array gets no getter
+                returns = [level]
+            elif type_name.name == "array":
+                params = [ast.Parameter(
+                    type_name=ast.TypeName(name="uint256"), name="__index")]
+                body_expr = ast.IndexAccess(
+                    base=ast.Identifier(name=var.name),
+                    index=ast.Identifier(name="__index"),
+                )
+                returns = [type_name.value_type]
+            else:
+                params = []
+                body_expr = ast.Identifier(name=var.name)
+                returns = [type_name]
+            contract.functions.append(ast.FunctionDecl(
+                name=var.name,
+                parameters=params,
+                returns=returns,
+                visibility="public",
+                is_view=True,
+                body=ast.Block(statements=[ast.ReturnStmt(value=body_expr)]),
+                is_synthetic=True,
+                line=var.line, column=var.column,
+            ))
+
+    # -- pass 1: interfaces and layout ------------------------------------
+
+    def _collect_interface(self, contract: ast.ContractDecl) -> ContractInfo:
+        info = ContractInfo(decl=contract)
+
+        slot = 0
+        for var in contract.state_vars:
+            resolved = self._resolve_type(var.type_name)
+            if isinstance(resolved, (BytesType, StringType)):
+                raise SemanticError(
+                    f"state variable {var.name!r}: dynamic bytes/string are "
+                    "not supported in storage", var.line, var.column,
+                )
+            if var.name in info.storage:
+                raise SemanticError(
+                    f"duplicate state variable {var.name!r}",
+                    var.line, var.column,
+                )
+            var.slot = slot
+            var.resolved_type = resolved
+            info.storage[var.name] = (slot, resolved)
+            if isinstance(resolved, ArrayType):
+                slot += resolved.length
+            else:
+                slot += 1
+        info.storage_slots_used = slot
+
+        for modifier in contract.modifiers:
+            if modifier.name in info.modifiers:
+                raise SemanticError(
+                    f"duplicate modifier {modifier.name!r}",
+                    modifier.line, modifier.column,
+                )
+            if modifier.parameters:
+                raise SemanticError(
+                    f"modifier {modifier.name!r}: parameters are not "
+                    "supported", modifier.line, modifier.column,
+                )
+            info.modifiers[modifier.name] = modifier
+
+        for event in contract.events:
+            param_types = [self._resolve_type(p.type_name)
+                           for p in event.parameters]
+            indexed = [p.indexed for p in event.parameters]
+            if sum(indexed) > _MAX_INDEXED_EVENT_ARGS:
+                raise SemanticError(
+                    f"event {event.name!r}: at most "
+                    f"{_MAX_INDEXED_EVENT_ARGS} indexed parameters",
+                    event.line, event.column,
+                )
+            for ptype, is_indexed in zip(param_types, indexed):
+                if is_indexed and not ptype.is_value:
+                    raise SemanticError(
+                        f"event {event.name!r}: only value types may be "
+                        "indexed", event.line, event.column,
+                    )
+            info.events[event.name] = EventInfo(
+                decl=event, param_types=param_types, indexed_flags=indexed,
+            )
+
+        for fn in contract.functions:
+            param_types = [self._resolve_type(p.type_name)
+                           for p in fn.parameters]
+            if len(fn.returns) > 1:
+                raise SemanticError(
+                    "multiple return values are not supported",
+                    fn.line, fn.column,
+                )
+            return_type = (self._resolve_type(fn.returns[0])
+                           if fn.returns else VOID)
+            if fn.is_constructor:
+                key = "constructor"
+                for ptype in param_types:
+                    if not ptype.is_value:
+                        raise SemanticError(
+                            "constructor parameters must be value types",
+                            fn.line, fn.column,
+                        )
+            else:
+                key = fn.name
+            if key in info.functions:
+                raise SemanticError(
+                    f"duplicate function {key!r} (no overloading in Solis)",
+                    fn.line, fn.column,
+                )
+            for param in fn.parameters:
+                resolved = self._resolve_type(param.type_name)
+                if isinstance(resolved, (MappingType, ArrayType)):
+                    raise SemanticError(
+                        f"function {key!r}: mapping/array parameters are "
+                        "not supported", fn.line, fn.column,
+                    )
+            fn.param_types = param_types
+            fn.return_type = return_type
+            info.functions[key] = FunctionInfo(
+                decl=fn, param_types=param_types, return_type=return_type,
+                contract_name=contract.name,
+            )
+        return info
+
+    def _resolve_type(self, type_name: ast.TypeName) -> SolisType:
+        if type_name.name == "mapping":
+            key = self._resolve_type(type_name.key_type)
+            value = self._resolve_type(type_name.value_type)
+            if not key.is_value:
+                raise SemanticError(
+                    "mapping keys must be value types",
+                    type_name.line, type_name.column,
+                )
+            return MappingType(key_type=key, value_type=value)
+        if type_name.name == "array":
+            element = self._resolve_type(type_name.value_type)
+            if not element.is_value:
+                raise SemanticError(
+                    "array elements must be value types",
+                    type_name.line, type_name.column,
+                )
+            if type_name.array_length <= 0:
+                raise SemanticError(
+                    "array length must be positive",
+                    type_name.line, type_name.column,
+                )
+            return ArrayType(element_type=element,
+                             length=type_name.array_length)
+        keyword_type = type_from_keyword(type_name.name)
+        if keyword_type is not None:
+            return keyword_type
+        if type_name.name in {c.name for c in self.unit.contracts}:
+            return ContractType(name=type_name.name)
+        raise SemanticError(f"unknown type {type_name.name!r}",
+                            type_name.line, type_name.column)
+
+    # -- pass 2: bodies ------------------------------------------------------
+
+    def _check_contract(self, info: ContractInfo) -> None:
+        for modifier in info.decl.modifiers:
+            self._check_modifier(info, modifier)
+        for fn in info.decl.functions:
+            self._check_function(info, fn)
+
+    def _check_modifier(self, info: ContractInfo,
+                        modifier: ast.ModifierDecl) -> None:
+        scope = _Scope(info=info, function=None, analyzer=self)
+        top_level = sum(
+            1 for stmt in modifier.body.statements
+            if isinstance(stmt, ast.PlaceholderStmt)
+        )
+        total = self._count_placeholders(modifier.body)
+        if top_level != 1 or total != 1:
+            raise SemanticError(
+                f"modifier {modifier.name!r} must contain exactly one "
+                "top-level '_;'", modifier.line, modifier.column,
+            )
+        for stmt in modifier.body.statements:
+            if isinstance(stmt, ast.VarDeclStmt):
+                raise SemanticError(
+                    f"modifier {modifier.name!r}: local declarations in "
+                    "modifiers are not supported",
+                    stmt.line, stmt.column,
+                )
+        self._check_block(modifier.body, scope, allow_placeholder=True)
+
+    def _count_placeholders(self, block: ast.Block) -> int:
+        count = 0
+        for stmt in block.statements:
+            if isinstance(stmt, ast.PlaceholderStmt):
+                count += 1
+            elif isinstance(stmt, ast.Block):
+                count += self._count_placeholders(stmt)
+            elif isinstance(stmt, ast.IfStmt):
+                count += self._count_placeholders(stmt.then_branch)
+                if stmt.else_branch:
+                    count += self._count_placeholders(stmt.else_branch)
+            elif isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+                count += self._count_placeholders(stmt.body)
+        return count
+
+    def _check_function(self, info: ContractInfo,
+                        fn: ast.FunctionDecl) -> None:
+        if fn.body is None:
+            # Bodyless functions make the contract abstract (Solidity-0.4
+            # style interface declarations, as in the paper's Alg. 3).
+            return
+        for modifier_name in fn.modifiers:
+            if modifier_name not in info.modifiers:
+                raise SemanticError(
+                    f"unknown modifier {modifier_name!r} on function "
+                    f"{fn.name or 'constructor'!r}", fn.line, fn.column,
+                )
+        scope = _Scope(info=info, function=fn, analyzer=self)
+        for param, ptype in zip(fn.parameters, fn.param_types):
+            if not param.name:
+                raise SemanticError(
+                    "function parameters must be named",
+                    param.line, param.column,
+                )
+            scope.declare(param.name, ptype, param)
+        self._check_block(fn.body, scope, allow_placeholder=False)
+        fn.locals = scope.locals  # ordered (name, type) incl. params
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: "_Scope",
+                     allow_placeholder: bool) -> None:
+        for stmt in block.statements:
+            self._check_statement(stmt, scope, allow_placeholder)
+
+    def _check_statement(self, stmt: ast.Stmt, scope: "_Scope",
+                         allow_placeholder: bool) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, allow_placeholder)
+        elif isinstance(stmt, ast.PlaceholderStmt):
+            if not allow_placeholder:
+                raise SemanticError("'_;' is only valid inside a modifier",
+                                    stmt.line, stmt.column)
+        elif isinstance(stmt, ast.VarDeclStmt):
+            declared = self._resolve_type(stmt.type_name)
+            if isinstance(declared, (MappingType, ArrayType)):
+                raise SemanticError(
+                    "mapping/array local variables are not supported",
+                    stmt.line, stmt.column,
+                )
+            if stmt.initial is not None:
+                initial_type = self._check_expr(stmt.initial, scope)
+                self._require_assignable(declared, initial_type, stmt)
+            scope.declare(stmt.name, declared, stmt)
+            stmt.resolved_type = declared
+        elif isinstance(stmt, ast.Assignment):
+            target_type = self._check_expr(stmt.target, scope)
+            if not self._is_lvalue(stmt.target):
+                raise SemanticError("left side is not assignable",
+                                    stmt.line, stmt.column)
+            value_type = self._check_expr(stmt.value, scope)
+            self._require_assignable(target_type, value_type, stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expression, scope)
+        elif isinstance(stmt, ast.IfStmt):
+            self._require_bool(self._check_expr(stmt.condition, scope), stmt)
+            self._check_block(stmt.then_branch, scope, allow_placeholder)
+            if stmt.else_branch is not None:
+                self._check_block(stmt.else_branch, scope, allow_placeholder)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._require_bool(self._check_expr(stmt.condition, scope), stmt)
+            self._check_block(stmt.body, scope, allow_placeholder)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                self._check_statement(stmt.init, scope, False)
+            if stmt.condition is not None:
+                self._require_bool(self._check_expr(stmt.condition, scope),
+                                   stmt)
+            if stmt.update is not None:
+                self._check_statement(stmt.update, scope, False)
+            self._check_block(stmt.body, scope, allow_placeholder)
+        elif isinstance(stmt, ast.ReturnStmt):
+            fn = scope.function
+            if fn is None:
+                raise SemanticError("return outside a function",
+                                    stmt.line, stmt.column)
+            expected = fn.return_type
+            if stmt.value is None:
+                if not isinstance(expected, VoidType):
+                    raise SemanticError(
+                        f"function returns {expected}, got bare return",
+                        stmt.line, stmt.column,
+                    )
+            else:
+                actual = self._check_expr(stmt.value, scope)
+                if isinstance(expected, VoidType):
+                    raise SemanticError(
+                        "void function cannot return a value",
+                        stmt.line, stmt.column,
+                    )
+                self._require_assignable(expected, actual, stmt)
+        elif isinstance(stmt, ast.RequireStmt):
+            self._require_bool(self._check_expr(stmt.condition, scope), stmt)
+        elif isinstance(stmt, ast.EmitStmt):
+            event = scope.info.events.get(stmt.event_name)
+            if event is None:
+                raise SemanticError(f"unknown event {stmt.event_name!r}",
+                                    stmt.line, stmt.column)
+            if len(stmt.arguments) != len(event.param_types):
+                raise SemanticError(
+                    f"event {stmt.event_name!r} takes "
+                    f"{len(event.param_types)} arguments",
+                    stmt.line, stmt.column,
+                )
+            for arg, expected in zip(stmt.arguments, event.param_types):
+                actual = self._check_expr(arg, scope)
+                self._require_assignable(expected, actual, stmt)
+            stmt.event_info = event
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            pass  # loop nesting validated by codegen
+        elif isinstance(stmt, ast.RevertStmt):
+            pass  # always well-typed
+        else:
+            raise SemanticError(
+                f"unsupported statement {type(stmt).__name__}",
+                stmt.line, stmt.column,
+            )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: "_Scope") -> SolisType:
+        result = self._infer(expr, scope)
+        expr.resolved_type = result
+        return result
+
+    def _infer(self, expr: ast.Expr, scope: "_Scope") -> SolisType:
+        if isinstance(expr, ast.NumberLiteral):
+            return UINT256
+        if isinstance(expr, ast.HexLiteral):
+            return UINT256
+        if isinstance(expr, ast.BoolLiteral):
+            return BOOL
+        if isinstance(expr, ast.StringLiteral):
+            raise SemanticError(
+                "string literals are only allowed as require() messages",
+                expr.line, expr.column,
+            )
+        if isinstance(expr, ast.Identifier):
+            return self._infer_identifier(expr, scope)
+        if isinstance(expr, ast.MemberAccess):
+            return self._infer_member(expr, scope)
+        if isinstance(expr, ast.IndexAccess):
+            return self._infer_index(expr, scope)
+        if isinstance(expr, ast.BinaryOp):
+            return self._infer_binary(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            return self._infer_unary(expr, scope)
+        if isinstance(expr, ast.FunctionCall):
+            return self._infer_call(expr, scope)
+        raise SemanticError(f"unsupported expression {type(expr).__name__}",
+                            expr.line, expr.column)
+
+    def _infer_identifier(self, expr: ast.Identifier,
+                          scope: "_Scope") -> SolisType:
+        name = expr.name
+        if name == "now":
+            expr.binding = ("builtin", "timestamp")
+            return UINT256
+        if name in ("msg", "block", "tx"):
+            raise SemanticError(f"{name!r} cannot be used alone",
+                                expr.line, expr.column)
+        if name == "this":
+            expr.binding = ("builtin", "this")
+            return ContractType(name=scope.info.name)
+        local = scope.lookup(name)
+        if local is not None:
+            expr.binding = ("local", name)
+            return local
+        state = scope.info.storage.get(name)
+        if state is not None:
+            expr.binding = ("state", name)
+            return state[1]
+        if name in scope.info.functions:
+            expr.binding = ("function", name)
+            return VOID  # only meaningful when called
+        keyword_type = type_from_keyword(name)
+        if keyword_type is not None:
+            expr.binding = ("type", keyword_type)
+            return VOID
+        if name in self.contracts:
+            expr.binding = ("contract", name)
+            return VOID
+        if name in _BUILTIN_FUNCTIONS:
+            expr.binding = ("builtin_fn", name)
+            return VOID
+        raise SemanticError(f"unknown identifier {name!r}",
+                            expr.line, expr.column)
+
+    def _infer_member(self, expr: ast.MemberAccess,
+                      scope: "_Scope") -> SolisType:
+        # msg.* / block.* / tx.*
+        if isinstance(expr.object, ast.Identifier):
+            holder = expr.object.name
+            if holder == "msg":
+                if expr.member == "sender":
+                    expr.binding = ("env", "caller")
+                    return ADDRESS
+                if expr.member == "value":
+                    expr.binding = ("env", "callvalue")
+                    return UINT256
+                raise SemanticError(f"unknown member msg.{expr.member}",
+                                    expr.line, expr.column)
+            if holder == "block":
+                if expr.member == "timestamp":
+                    expr.binding = ("env", "timestamp")
+                    return UINT256
+                if expr.member == "number":
+                    expr.binding = ("env", "number")
+                    return UINT256
+                raise SemanticError(f"unknown member block.{expr.member}",
+                                    expr.line, expr.column)
+            if holder == "tx":
+                if expr.member == "origin":
+                    expr.binding = ("env", "origin")
+                    return ADDRESS
+                raise SemanticError(f"unknown member tx.{expr.member}",
+                                    expr.line, expr.column)
+
+        object_type = self._check_expr(expr.object, scope)
+        is_address_like = isinstance(object_type, (AddressType, ContractType))
+        if expr.member == "balance" and is_address_like:
+            expr.binding = ("balance", None)
+            return UINT256
+        if is_address_like:
+            if expr.member in ("transfer", "send"):
+                expr.binding = ("transfer", expr.member)
+                return VOID  # checked at call site
+            if isinstance(object_type, ContractType):
+                target_info = self.contracts.get(object_type.name)
+                if target_info and expr.member in target_info.functions:
+                    expr.binding = (
+                        "external_fn", target_info.functions[expr.member]
+                    )
+                    return VOID  # call site resolves the return type
+        if isinstance(object_type, BytesType) and expr.member == "length":
+            expr.binding = ("bytes_length", None)
+            return UINT256
+        raise SemanticError(
+            f"type {object_type} has no member {expr.member!r}",
+            expr.line, expr.column,
+        )
+
+    def _infer_index(self, expr: ast.IndexAccess,
+                     scope: "_Scope") -> SolisType:
+        base_type = self._check_expr(expr.base, scope)
+        index_type = self._check_expr(expr.index, scope)
+        if isinstance(base_type, MappingType):
+            self._require_assignable(base_type.key_type, index_type, expr)
+            return base_type.value_type
+        if isinstance(base_type, ArrayType):
+            if not isinstance(index_type, UIntType):
+                raise SemanticError("array index must be a uint",
+                                    expr.line, expr.column)
+            return base_type.element_type
+        raise SemanticError(f"type {base_type} is not indexable",
+                            expr.line, expr.column)
+
+    def _infer_binary(self, expr: ast.BinaryOp, scope: "_Scope") -> SolisType:
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            self._require_bool(left, expr)
+            self._require_bool(right, expr)
+            return BOOL
+        if op in ("==", "!="):
+            if not (left.assignable_from(right)
+                    or right.assignable_from(left)):
+                raise SemanticError(
+                    f"cannot compare {left} with {right}",
+                    expr.line, expr.column,
+                )
+            return BOOL
+        if op in ("<", ">", "<=", ">="):
+            self._require_numeric(left, expr)
+            self._require_numeric(right, expr)
+            return BOOL
+        if op in ("+", "-", "*", "/", "%"):
+            self._require_numeric(left, expr)
+            self._require_numeric(right, expr)
+            return UINT256
+        raise SemanticError(f"unsupported operator {op!r}",
+                            expr.line, expr.column)
+
+    def _infer_unary(self, expr: ast.UnaryOp, scope: "_Scope") -> SolisType:
+        operand = self._check_expr(expr.operand, scope)
+        if expr.op == "!":
+            self._require_bool(operand, expr)
+            return BOOL
+        if expr.op in ("-", "~"):
+            self._require_numeric(operand, expr)
+            return UINT256
+        raise SemanticError(f"unsupported unary operator {expr.op!r}",
+                            expr.line, expr.column)
+
+    def _infer_call(self, expr: ast.FunctionCall,
+                    scope: "_Scope") -> SolisType:
+        callee = expr.callee
+
+        if isinstance(callee, ast.Identifier):
+            self._check_expr(callee, scope)
+            binding = getattr(callee, "binding", None)
+            if binding is None:
+                raise SemanticError("cannot call this expression",
+                                    expr.line, expr.column)
+            kind = binding[0]
+            if kind == "builtin_fn":
+                return self._infer_builtin_call(expr, binding[1], scope)
+            if kind == "type":
+                return self._infer_cast(expr, binding[1], scope)
+            if kind == "contract":
+                # Contract cast: Iface(addr)
+                if len(expr.arguments) != 1:
+                    raise SemanticError(
+                        "contract cast takes exactly one address",
+                        expr.line, expr.column,
+                    )
+                arg_type = self._check_expr(expr.arguments[0], scope)
+                if not ADDRESS.assignable_from(arg_type):
+                    raise SemanticError(
+                        "contract cast argument must be an address",
+                        expr.line, expr.column,
+                    )
+                expr.call_kind = ("contract_cast", binding[1])
+                return ContractType(name=binding[1])
+            if kind == "function":
+                fn_info = scope.info.functions[binding[1]]
+                self._check_arguments(expr, fn_info.param_types, scope)
+                expr.call_kind = ("internal", fn_info)
+                return fn_info.return_type
+            raise SemanticError("cannot call this expression",
+                                expr.line, expr.column)
+
+        if isinstance(callee, ast.MemberAccess):
+            self._check_expr(callee, scope)
+            binding = getattr(callee, "binding", None)
+            if binding is None:
+                raise SemanticError("cannot call this member",
+                                    expr.line, expr.column)
+            kind = binding[0]
+            if kind == "transfer":
+                if len(expr.arguments) != 1:
+                    raise SemanticError(
+                        f"{binding[1]} takes exactly one amount",
+                        expr.line, expr.column,
+                    )
+                amount = self._check_expr(expr.arguments[0], scope)
+                self._require_numeric(amount, expr)
+                expr.call_kind = ("transfer", binding[1])
+                return BOOL if binding[1] == "send" else VOID
+            if kind == "external_fn":
+                fn_info: FunctionInfo = binding[1]
+                self._check_arguments(expr, fn_info.param_types, scope)
+                expr.call_kind = ("external", fn_info)
+                return fn_info.return_type
+            raise SemanticError("cannot call this member",
+                                expr.line, expr.column)
+
+        raise SemanticError("cannot call this expression",
+                            expr.line, expr.column)
+
+    def _check_arguments(self, expr: ast.FunctionCall,
+                         param_types: list[SolisType],
+                         scope: "_Scope") -> None:
+        if len(expr.arguments) != len(param_types):
+            raise SemanticError(
+                f"expected {len(param_types)} arguments, "
+                f"got {len(expr.arguments)}",
+                expr.line, expr.column,
+            )
+        for arg, expected in zip(expr.arguments, param_types):
+            actual = self._check_expr(arg, scope)
+            self._require_assignable(expected, actual, expr)
+
+    def _infer_builtin_call(self, expr: ast.FunctionCall, name: str,
+                            scope: "_Scope") -> SolisType:
+        args = [self._check_expr(arg, scope) for arg in expr.arguments]
+        if name in ("keccak256", "sha256"):
+            if not args:
+                raise SemanticError(f"{name} needs at least one argument",
+                                    expr.line, expr.column)
+            for arg_type in args:
+                if not (arg_type.is_value or isinstance(arg_type, BytesType)):
+                    raise SemanticError(
+                        f"{name} cannot hash values of type {arg_type}",
+                        expr.line, expr.column,
+                    )
+            expr.call_kind = ("hash", name)
+            return BYTES32
+        if name == "ecrecover":
+            if len(args) != 4:
+                raise SemanticError("ecrecover takes (hash, v, r, s)",
+                                    expr.line, expr.column)
+            expr.call_kind = ("ecrecover", None)
+            return ADDRESS
+        if name == "create":
+            if len(args) not in (1, 2):
+                raise SemanticError(
+                    "create takes (bytecode) or (bytecode, value)",
+                    expr.line, expr.column,
+                )
+            if not isinstance(args[0], BytesType):
+                raise SemanticError("create bytecode must be bytes",
+                                    expr.line, expr.column)
+            if len(args) == 2:
+                self._require_numeric(args[1], expr)
+            expr.call_kind = ("create", None)
+            return ADDRESS
+        if name == "selfdestruct":
+            if len(args) != 1 or not ADDRESS.assignable_from(args[0]):
+                raise SemanticError("selfdestruct takes one address",
+                                    expr.line, expr.column)
+            expr.call_kind = ("selfdestruct", None)
+            return VOID
+        raise SemanticError(f"unknown builtin {name!r}",
+                            expr.line, expr.column)
+
+    def _infer_cast(self, expr: ast.FunctionCall, target: SolisType,
+                    scope: "_Scope") -> SolisType:
+        if len(expr.arguments) != 1:
+            raise SemanticError("type cast takes exactly one argument",
+                                expr.line, expr.column)
+        source = self._check_expr(expr.arguments[0], scope)
+        castable = (
+            source.is_value
+            or isinstance(source, UIntType)
+        )
+        if not castable:
+            raise SemanticError(f"cannot cast {source} to {target}",
+                                expr.line, expr.column)
+        expr.call_kind = ("cast", target)
+        return target
+
+    # -- helpers --------------------------------------------------------------
+
+    def _is_lvalue(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Identifier):
+            binding = getattr(expr, "binding", None)
+            return binding is not None and binding[0] in ("local", "state")
+        if isinstance(expr, ast.IndexAccess):
+            return self._is_lvalue_base(expr.base)
+        return False
+
+    def _is_lvalue_base(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Identifier):
+            binding = getattr(expr, "binding", None)
+            return binding is not None and binding[0] == "state"
+        if isinstance(expr, ast.IndexAccess):
+            return self._is_lvalue_base(expr.base)
+        return False
+
+    def _require_bool(self, actual: SolisType, node: ast.Node) -> None:
+        if not isinstance(actual, BoolType):
+            raise SemanticError(f"expected bool, got {actual}",
+                                node.line, node.column)
+
+    def _require_numeric(self, actual: SolisType, node: ast.Node) -> None:
+        if not isinstance(actual, UIntType):
+            raise SemanticError(f"expected a uint type, got {actual}",
+                                node.line, node.column)
+
+    def _require_assignable(self, expected: SolisType, actual: SolisType,
+                            node: ast.Node) -> None:
+        if expected.assignable_from(actual):
+            return
+        # Number literals flow into any value slot of sufficient width.
+        if isinstance(actual, UIntType) and isinstance(
+                expected, (FixedBytesType,)):
+            return
+        raise SemanticError(f"cannot assign {actual} to {expected}",
+                            node.line, node.column)
+
+
+@dataclass
+class _Scope:
+    """Flat per-function scope (params + locals)."""
+
+    info: ContractInfo
+    function: Optional[ast.FunctionDecl]
+    analyzer: Analyzer
+    _vars: dict[str, SolisType] = field(default_factory=dict)
+    locals: list[tuple[str, SolisType]] = field(default_factory=list)
+
+    def declare(self, name: str, type_: SolisType, node: ast.Node) -> None:
+        if name in self._vars:
+            raise SemanticError(f"variable {name!r} already declared",
+                                node.line, node.column)
+        if name in self.info.storage:
+            raise SemanticError(
+                f"variable {name!r} shadows a state variable",
+                node.line, node.column,
+            )
+        self._vars[name] = type_
+        self.locals.append((name, type_))
+
+    def lookup(self, name: str) -> Optional[SolisType]:
+        return self._vars.get(name)
+
+
+def analyze(unit: ast.SourceUnit) -> dict[str, ContractInfo]:
+    """Run semantic analysis over a parsed source unit."""
+    return Analyzer(unit).analyze()

@@ -1,0 +1,197 @@
+"""The Solis type system.
+
+Value types occupy one 256-bit word (uintN, address, bool, bytesN,
+contract references); ``bytes`` is a dynamic reference type living in
+memory/calldata; mappings and fixed arrays are storage-only containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class SolisType:
+    """Base class for all types."""
+
+    #: canonical ABI spelling, or None when not ABI-encodable
+    abi_name: str | None = None
+
+    @property
+    def is_value(self) -> bool:
+        """True for single-word value types."""
+        return False
+
+    def assignable_from(self, other: "SolisType") -> bool:
+        """Whether a value of ``other`` may be assigned to this type."""
+        return self == other
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True, repr=False)
+class UIntType(SolisType):
+    """Unsigned integer of ``bits`` width (stored as one word)."""
+
+    bits: int = 256
+
+    @property
+    def abi_name(self) -> str:
+        return f"uint{self.bits}"
+
+    @property
+    def is_value(self) -> bool:
+        return True
+
+    def assignable_from(self, other: SolisType) -> bool:
+        return isinstance(other, UIntType) and other.bits <= self.bits
+
+    def __str__(self) -> str:
+        return "uint256" if self.bits == 256 else f"uint{self.bits}"
+
+
+@dataclass(frozen=True, repr=False)
+class AddressType(SolisType):
+    abi_name = "address"
+
+    @property
+    def is_value(self) -> bool:
+        return True
+
+    def assignable_from(self, other: SolisType) -> bool:
+        return isinstance(other, (AddressType, ContractType))
+
+    def __str__(self) -> str:
+        return "address"
+
+
+@dataclass(frozen=True, repr=False)
+class BoolType(SolisType):
+    abi_name = "bool"
+
+    @property
+    def is_value(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True, repr=False)
+class FixedBytesType(SolisType):
+    """bytesN — right-padded fixed byte strings (one word)."""
+
+    size: int = 32
+
+    @property
+    def abi_name(self) -> str:
+        return f"bytes{self.size}"
+
+    @property
+    def is_value(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"bytes{self.size}"
+
+
+@dataclass(frozen=True, repr=False)
+class BytesType(SolisType):
+    """Dynamic byte array (memory/calldata reference)."""
+
+    abi_name = "bytes"
+
+    def __str__(self) -> str:
+        return "bytes"
+
+
+@dataclass(frozen=True, repr=False)
+class StringType(SolisType):
+    """UTF-8 string — encoded like ``bytes``."""
+
+    abi_name = "string"
+
+    def __str__(self) -> str:
+        return "string"
+
+
+@dataclass(frozen=True, repr=False)
+class MappingType(SolisType):
+    """mapping(key => value); storage-only."""
+
+    key_type: SolisType
+    value_type: SolisType
+
+    def __str__(self) -> str:
+        return f"mapping({self.key_type} => {self.value_type})"
+
+
+@dataclass(frozen=True, repr=False)
+class ArrayType(SolisType):
+    """Fixed-size array of value types; storage-only in Solis."""
+
+    element_type: SolisType
+    length: int
+
+    def __str__(self) -> str:
+        return f"{self.element_type}[{self.length}]"
+
+
+@dataclass(frozen=True, repr=False)
+class ContractType(SolisType):
+    """A reference to a contract/interface — an address at runtime."""
+
+    name: str
+
+    abi_name = "address"
+
+    @property
+    def is_value(self) -> bool:
+        return True
+
+    def assignable_from(self, other: SolisType) -> bool:
+        return isinstance(other, (AddressType, ContractType))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class VoidType(SolisType):
+    """The 'type' of statements/functions without a value."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+UINT256 = UIntType(256)
+UINT8 = UIntType(8)
+ADDRESS = AddressType()
+BOOL = BoolType()
+BYTES32 = FixedBytesType(32)
+BYTES = BytesType()
+STRING = StringType()
+VOID = VoidType()
+
+_KEYWORD_TYPES: dict[str, SolisType] = {
+    "uint": UINT256,
+    "uint256": UINT256,
+    "uint8": UIntType(8),
+    "uint16": UIntType(16),
+    "uint32": UIntType(32),
+    "uint64": UIntType(64),
+    "uint128": UIntType(128),
+    "int": UINT256,      # Solis treats int as uint256 (no signed ops needed)
+    "int256": UINT256,
+    "address": ADDRESS,
+    "bool": BOOL,
+    "bytes": BYTES,
+    "bytes4": FixedBytesType(4),
+    "bytes32": BYTES32,
+    "string": STRING,
+}
+
+
+def type_from_keyword(name: str) -> SolisType | None:
+    """Map a type keyword to a type object (None when not a type)."""
+    return _KEYWORD_TYPES.get(name)

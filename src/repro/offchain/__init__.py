@@ -1,0 +1,26 @@
+"""Off-chain substrate: Whisper-like messaging, signing, local execution."""
+
+from repro.offchain.envelope import Envelope
+from repro.offchain.executor import (
+    OffchainExecutionError,
+    OffchainExecutor,
+    OffchainRun,
+)
+from repro.offchain.signing import (
+    SignedCopy,
+    assemble_signed_copy,
+    sign_bytecode,
+)
+from repro.offchain.whisper import WhisperBus, WhisperError
+
+__all__ = [
+    "Envelope",
+    "OffchainExecutionError",
+    "OffchainExecutor",
+    "OffchainRun",
+    "SignedCopy",
+    "assemble_signed_copy",
+    "sign_bytecode",
+    "WhisperBus",
+    "WhisperError",
+]

@@ -1,0 +1,43 @@
+"""Whisper-style message envelopes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keccak import keccak256
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message on the off-chain bus.
+
+    Mirrors the shape of an Ethereum Whisper envelope: a topic for
+    routing, an opaque payload, a TTL, and a posted-at timestamp.  The
+    payload is padded to a fixed size bucket like Whisper does, so the
+    message length leaks less about its content.
+    """
+
+    topic: str
+    payload: bytes
+    sender: str = ""
+    posted_at: int = 0
+    ttl: int = 3_600
+    pad_to: int = 256
+
+    @property
+    def padded_size(self) -> int:
+        """Wire size after padding to the next ``pad_to`` bucket."""
+        if self.pad_to <= 0:
+            return len(self.payload)
+        buckets = (len(self.payload) + self.pad_to - 1) // self.pad_to
+        return max(1, buckets) * self.pad_to
+
+    @property
+    def expires_at(self) -> int:
+        return self.posted_at + self.ttl
+
+    @property
+    def envelope_hash(self) -> bytes:
+        return keccak256(
+            self.topic.encode("utf-8") + b"\x00" + self.payload
+        )

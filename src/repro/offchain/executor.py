@@ -1,0 +1,83 @@
+"""Local (off-chain) execution of the off-chain contract.
+
+"When all the participants are honest, they can execute computation of
+the off-chain contract by themselves" (§III).  The executor gives each
+participant exactly that: it deploys the agreed bytecode on a private,
+throwaway EVM — no miners, no gas fees paid to anyone — and evaluates
+the padded ``computeResult()`` view, returning the result plus the gas
+the *miners would have spent* had the computation run on-chain (the
+quantity the paper's Fig. 1 argues is saved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.contract import ContractABI
+from repro.chain.state import WorldState
+from repro.crypto.keys import Address, PrivateKey
+from repro.evm.vm import EVM, BlockContext, Message
+
+
+class OffchainExecutionError(RuntimeError):
+    """The off-chain contract failed to deploy or execute locally."""
+
+
+@dataclass
+class OffchainRun:
+    """Result of one local execution."""
+
+    result: object
+    gas_equivalent: int      # gas miners would have burned on-chain
+    deploy_gas_equivalent: int
+    instance_address: Address
+
+
+_LOCAL_CALLER = PrivateKey.from_seed("offchain-local-caller").address
+_LOCAL_GAS = 50_000_000
+
+
+class OffchainExecutor:
+    """Runs off-chain bytecode on a private single-use EVM."""
+
+    def __init__(self, timestamp: int = 1_550_000_000,
+                 block_number: int = 1) -> None:
+        self._block = BlockContext(
+            coinbase=Address.from_int(0xFEE),
+            timestamp=timestamp,
+            number=block_number,
+        )
+
+    def execute(self, bytecode: bytes, abi: ContractABI,
+                caller: Address | None = None) -> OffchainRun:
+        """Deploy ``bytecode`` locally and call ``computeResult()``."""
+        state = WorldState()
+        sender = caller or _LOCAL_CALLER
+        state.add_balance(sender, 10 ** 24)
+        evm = EVM(state, self._block)
+
+        deploy_result = evm.execute(Message(
+            sender=sender, to=None, value=0, data=bytecode,
+            gas=_LOCAL_GAS, origin=sender,
+        ))
+        if not deploy_result.success:
+            raise OffchainExecutionError(
+                f"local deployment failed: {deploy_result.error}"
+            )
+        instance = deploy_result.created_address
+
+        fn = abi.function("computeResult")
+        call_result = evm.execute(Message(
+            sender=sender, to=instance, value=0,
+            data=fn.encode_call([]), gas=_LOCAL_GAS, origin=sender,
+        ))
+        if not call_result.success:
+            raise OffchainExecutionError(
+                f"local computeResult() failed: {call_result.error}"
+            )
+        return OffchainRun(
+            result=fn.decode_output(call_result.return_data),
+            gas_equivalent=call_result.gas_used,
+            deploy_gas_equivalent=deploy_result.gas_used,
+            instance_address=instance,
+        )

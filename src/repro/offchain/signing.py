@@ -1,0 +1,106 @@
+"""Signed copies of the off-chain contract (Algorithm 4).
+
+A *signed copy* is the off-chain contract's deployable bytecode (init
+code with constructor arguments appended) together with one ECDSA
+``(v, r, s)`` signature per participant over ``keccak256(bytecode)``.
+Each participant must hold a fully signed copy before interacting with
+the deployed on-chain contract — it is their insurance for the
+Dispute/Resolve stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import SigningError
+from repro.crypto import rlp
+from repro.crypto.ecdsa import Signature, SignatureError
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import Address, PrivateKey, recover_address
+
+
+def sign_bytecode(key: PrivateKey, bytecode: bytes) -> Signature:
+    """Produce this participant's (v, r, s) over keccak256(bytecode)."""
+    return key.sign(keccak256(bytecode))
+
+
+@dataclass(frozen=True)
+class SignedCopy:
+    """Bytecode + one signature per participant, in participant order."""
+
+    bytecode: bytes
+    signatures: tuple[Signature, ...]
+
+    @property
+    def bytecode_hash(self) -> bytes:
+        return keccak256(self.bytecode)
+
+    def verify(self, participants: list[Address]) -> bool:
+        """True iff signature *i* recovers to participant *i*."""
+        if len(self.signatures) != len(participants):
+            return False
+        digest = self.bytecode_hash
+        for signature, expected in zip(self.signatures, participants):
+            try:
+                recovered = recover_address(digest, signature)
+            except (SignatureError, ValueError):
+                return False
+            if recovered != expected:
+                return False
+        return True
+
+    def require_valid(self, participants: list[Address]) -> None:
+        """Raise :class:`SigningError` unless :meth:`verify` passes."""
+        if not self.verify(participants):
+            raise SigningError(
+                "signed copy failed verification against the participant "
+                "list — wrong signer order, missing signature, or "
+                "tampered bytecode"
+            )
+
+    def vrs_arguments(self) -> list:
+        """Flatten to [v0, r0, s0, v1, ...] for deployVerifiedInstance."""
+        flat: list = []
+        for signature in self.signatures:
+            flat.append(signature.v)
+            flat.append(signature.r.to_bytes(32, "big"))
+            flat.append(signature.s.to_bytes(32, "big"))
+        return flat
+
+    # -- wire format (what travels over Whisper) ---------------------------
+
+    def to_wire(self) -> bytes:
+        """RLP encoding: [bytecode, [sig65, sig65, ...]]."""
+        return rlp.encode([
+            self.bytecode,
+            [signature.to_bytes() for signature in self.signatures],
+        ])
+
+    @classmethod
+    def from_wire(cls, raw: bytes) -> "SignedCopy":
+        try:
+            decoded = rlp.decode(raw)
+            bytecode, sig_blobs = decoded
+            signatures = tuple(
+                Signature.from_bytes(blob) for blob in sig_blobs
+            )
+        except (ValueError, TypeError) as exc:
+            raise SigningError(f"malformed signed copy: {exc}") from exc
+        return cls(bytecode=bytecode, signatures=signatures)
+
+
+def assemble_signed_copy(bytecode: bytes,
+                         signatures_by_address: dict[Address, Signature],
+                         participants: list[Address]) -> SignedCopy:
+    """Order collected signatures by the canonical participant list."""
+    ordered: list[Signature] = []
+    for address in participants:
+        signature = signatures_by_address.get(address)
+        if signature is None:
+            raise SigningError(
+                f"missing signature from participant {address.checksum}"
+            )
+        ordered.append(signature)
+    copy = SignedCopy(bytecode=bytecode, signatures=tuple(ordered))
+    copy.require_valid(participants)
+    return copy

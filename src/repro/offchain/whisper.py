@@ -1,0 +1,91 @@
+"""A simulated Whisper message bus.
+
+The paper suggests Whisper for exchanging signed copies of the
+off-chain contract ("the procedure of generating signed copies may
+easily be implemented through off-chain communication approaches, such
+as Whisper").  This module provides the piece the protocol needs:
+topic-based asynchronous delivery that never touches the chain, with
+TTL expiry and per-subscriber cursors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.offchain.envelope import Envelope
+
+
+class WhisperError(RuntimeError):
+    """Raised for malformed bus operations."""
+
+
+@dataclass
+class _Subscription:
+    subscriber: str
+    topic: str
+    cursor: int = 0
+
+
+class WhisperBus:
+    """In-memory topic bus shared by a set of participants."""
+
+    def __init__(self) -> None:
+        self._messages: dict[str, list[Envelope]] = defaultdict(list)
+        self._subscriptions: dict[tuple[str, str], _Subscription] = {}
+        self._clock = 0
+        self.bytes_transferred = 0
+
+    def advance_time(self, seconds: int) -> None:
+        """Move the bus clock (TTL expiry is evaluated lazily)."""
+        if seconds < 0:
+            raise WhisperError("time can only move forward")
+        self._clock += seconds
+
+    @property
+    def now(self) -> int:
+        return self._clock
+
+    def post(self, topic: str, payload: bytes, sender: str = "",
+             ttl: int = 3_600) -> Envelope:
+        """Publish a payload under a topic."""
+        if not topic:
+            raise WhisperError("topic must be non-empty")
+        envelope = Envelope(
+            topic=topic, payload=payload, sender=sender,
+            posted_at=self._clock, ttl=ttl,
+        )
+        self._messages[topic].append(envelope)
+        self.bytes_transferred += envelope.padded_size
+        return envelope
+
+    def subscribe(self, subscriber: str, topic: str) -> None:
+        """Register a subscriber cursor starting at the current head."""
+        key = (subscriber, topic)
+        if key not in self._subscriptions:
+            self._subscriptions[key] = _Subscription(
+                subscriber=subscriber, topic=topic, cursor=0,
+            )
+
+    def poll(self, subscriber: str, topic: str) -> list[Envelope]:
+        """Fetch unseen, unexpired envelopes for a subscriber."""
+        key = (subscriber, topic)
+        subscription = self._subscriptions.get(key)
+        if subscription is None:
+            raise WhisperError(
+                f"{subscriber!r} is not subscribed to {topic!r}"
+            )
+        messages = self._messages.get(topic, [])
+        fresh = [
+            env for env in messages[subscription.cursor:]
+            if env.expires_at > self._clock
+        ]
+        subscription.cursor = len(messages)
+        return fresh
+
+    def peek_all(self, topic: str) -> list[Envelope]:
+        """All unexpired envelopes on a topic (no cursor movement)."""
+        return [
+            env for env in self._messages.get(topic, [])
+            if env.expires_at > self._clock
+        ]

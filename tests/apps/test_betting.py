@@ -1,0 +1,151 @@
+"""Betting application (the paper's running example)."""
+
+import pytest
+
+from repro.apps.betting import (
+    BettingTimeline,
+    deploy_betting,
+    make_betting_protocol,
+    reference_reveal,
+)
+from repro.chain import ETHER, TransactionFailed
+from repro.core import Strategy
+
+
+def test_reference_reveal_depends_on_params():
+    values = {reference_reveal(seed, 25) for seed in range(20)}
+    assert values == {True, False}
+    assert reference_reveal(42, 25) == reference_reveal(42, 25)
+
+
+def test_split_shape(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob)
+    assert protocol.split.offchain_functions == ["reveal"]
+    assert "reveal" not in protocol.split.onchain_source
+
+
+def test_onchain_reveal_matches_reference(sim, alice, bob):
+    """The compiled off-chain contract computes the same result the
+    Python reference does, across parameter settings."""
+    for seed, rounds in ((1, 5), (42, 25), (7, 60)):
+        protocol = make_betting_protocol(
+            sim, alice, bob, seed=seed, rounds=rounds)
+        deploy_betting(protocol, alice)
+        run = protocol.execute_off_chain(alice)
+        assert run.result == reference_reveal(seed, rounds)
+
+
+def test_deposit_rules(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    stake = protocol.betting_plan["stake"]
+    protocol.call_onchain(alice, "deposit", value=stake)
+    # Wrong stake amount rejected.
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("deposit", sender=bob.account,
+                                  value=stake // 2)
+    # Double deposit rejected.
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("deposit", sender=alice.account,
+                                  value=stake)
+
+
+def test_outsider_cannot_deposit(sim, alice, bob, carol):
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    stake = protocol.betting_plan["stake"]
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("deposit", sender=carol.account,
+                                  value=stake)
+
+
+def test_refund_round_one(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    stake = protocol.betting_plan["stake"]
+    protocol.call_onchain(alice, "deposit", value=stake)
+    before = sim.get_balance(alice.account)
+    protocol.call_onchain(alice, "refundRoundOne")
+    after = sim.get_balance(alice.account)
+    assert after > before + stake - 100_000  # refund minus gas
+    assert protocol.onchain.call("accountBalance", alice.address) == 0
+
+
+def test_refund_round_two_requires_partial_funding(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t1 + 10)
+    # Both fully funded: amountNotMet fails.
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("refundRoundTwo", sender=alice.account)
+
+
+def test_refund_round_two_when_partner_missing(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t1 + 10)
+    protocol.call_onchain(alice, "refundRoundTwo")
+    assert protocol.onchain.balance == 0
+
+
+def test_deposit_after_t1_rejected(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    plan = protocol.betting_plan
+    sim.advance_time_to(plan["timeline"].t1 + 10)
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("deposit", sender=alice.account,
+                                  value=plan["stake"])
+
+
+def test_voluntary_reassign_pays_winner(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob, seed=42, rounds=25)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    winner_is_bob = reference_reveal(42, 25)
+    sim.advance_time_to(plan["timeline"].t2 + 10)
+    loser = alice if winner_is_bob else bob
+    winner = bob if winner_is_bob else alice
+    before = sim.get_balance(winner.account)
+    protocol.call_onchain(loser, "reassign", winner_is_bob)
+    gained = sim.get_balance(winner.account) - before
+    assert gained == 2 * plan["stake"]
+
+
+def test_reassign_outside_window_rejected(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    plan = protocol.betting_plan
+    protocol.collect_signatures()
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    # Before T2:
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("reassign", True, sender=alice.account)
+    # After T3:
+    sim.advance_time_to(plan["timeline"].t3 + 10)
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("reassign", True, sender=alice.account)
+
+
+def test_timeline_helper(sim):
+    timeline = BettingTimeline.starting_now(sim, round_seconds=100)
+    assert timeline.t1 < timeline.t2 < timeline.t3
+    assert timeline.t3 - timeline.t1 == 200
+
+
+def test_custom_stake(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob, stake=5 * ETHER)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    protocol.call_onchain(alice, "deposit", value=5 * ETHER)
+    assert protocol.onchain.balance == 5 * ETHER

@@ -1,0 +1,86 @@
+"""Escrow-with-private-acceptance application."""
+
+import pytest
+
+from repro.apps.escrow import (
+    deploy_escrow,
+    make_escrow_protocol,
+    reference_accepts,
+)
+from repro.chain import TransactionFailed
+from repro.core import Strategy
+
+
+def _funded(sim, buyer, seller, **kwargs):
+    protocol = make_escrow_protocol(sim, buyer, seller, **kwargs)
+    deploy_escrow(protocol, buyer)
+    protocol.collect_signatures()
+    protocol.call_onchain(buyer, "fund",
+                          value=protocol.escrow_plan["price"])
+    return protocol
+
+
+def test_reference_accepts_identical_fingerprints():
+    assert reference_accepts(123, 123, 0)
+
+
+def test_reference_accepts_disjoint_fingerprints():
+    # With tolerance 0 and different fingerprints acceptance is
+    # (overwhelmingly) false.
+    assert not reference_accepts(999, 123, 0)
+
+
+def test_offchain_matches_reference(sim, alice, bob):
+    for delivered, expected in ((5, 5), (999, 123), (1, 2)):
+        protocol = make_escrow_protocol(
+            sim, alice, bob, delivered=delivered, expected=expected)
+        deploy_escrow(protocol, alice)
+        run = protocol.execute_off_chain(alice)
+        assert run.result == reference_accepts(delivered, expected, 4_096)
+
+
+def test_acceptance_releases_to_seller(sim, alice, bob):
+    protocol = _funded(sim, alice, bob, delivered=77, expected=77)
+    before = sim.get_balance(bob.account)
+    protocol.submit_result(alice)
+    assert protocol.run_challenge_window() is None
+    protocol.finalize(bob)
+    assert protocol.outcome().outcome is True
+    assert sim.get_balance(bob.account) > before  # seller paid (net gas)
+
+
+def test_rejection_refunds_buyer(sim, alice, bob):
+    protocol = _funded(sim, alice, bob, delivered=999, expected=123,
+                       tolerance=0)
+    price = protocol.escrow_plan["price"]
+    before = sim.get_balance(alice.account)
+    protocol.submit_result(bob, result=protocol.execute_off_chain(bob).result)
+    assert protocol.run_challenge_window() is None
+    protocol.finalize(alice)
+    assert protocol.outcome().outcome is False
+    assert sim.get_balance(alice.account) > before + price - 10 ** 15
+
+
+def test_lying_seller_disputed(sim, alice, bob):
+    bob.strategy = Strategy.LIES_ABOUT_RESULT
+    protocol = _funded(sim, alice, bob, delivered=999, expected=123,
+                       tolerance=0)
+    protocol.submit_result(bob)
+    dispute = protocol.run_challenge_window()
+    assert dispute is not None
+    assert protocol.outcome().outcome is False  # truth enforced
+    assert protocol.onchain.call("funded") is False
+
+
+def test_fund_requires_exact_price(sim, alice, bob):
+    protocol = make_escrow_protocol(sim, alice, bob)
+    deploy_escrow(protocol, alice)
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("fund", sender=alice.account, value=1)
+
+
+def test_release_requires_funding(sim, alice, bob):
+    protocol = make_escrow_protocol(sim, alice, bob)
+    deploy_escrow(protocol, alice)
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("release", True, sender=alice.account)

@@ -1,0 +1,80 @@
+"""ContractABI / FunctionABI / EventABI helpers."""
+
+import pytest
+
+from repro.chain.contract import (
+    AbiLookupError,
+    ContractABI,
+    EventABI,
+    FunctionABI,
+)
+from repro.crypto.abi import function_selector
+
+
+def _abi():
+    return ContractABI(
+        contract_name="Thing",
+        functions=(
+            FunctionABI(name="poke", inputs=("uint256",),
+                        outputs=("bool",)),
+            FunctionABI(name="pay", payable=True),
+            FunctionABI(name="view_it", constant=True,
+                        outputs=("uint256",)),
+        ),
+        events=(EventABI(name="Poked", inputs=("address", "uint256")),),
+        constructor_inputs=("address",),
+    )
+
+
+def test_function_lookup():
+    abi = _abi()
+    assert abi.function("poke").inputs == ("uint256",)
+    with pytest.raises(AbiLookupError, match="has no function"):
+        abi.function("ghost")
+
+
+def test_event_lookup():
+    abi = _abi()
+    assert abi.event("Poked").inputs == ("address", "uint256")
+    with pytest.raises(AbiLookupError):
+        abi.event("Ghost")
+
+
+def test_function_selector_and_signature():
+    fn = _abi().function("poke")
+    assert fn.signature == "poke(uint256)"
+    assert fn.selector == function_selector("poke", ["uint256"])
+
+
+def test_encode_call_and_decode_output():
+    fn = _abi().function("poke")
+    data = fn.encode_call([42])
+    assert data[:4] == fn.selector
+    assert fn.decode_output((1).to_bytes(32, "big")) is True
+
+
+def test_void_function_decodes_none():
+    fn = _abi().function("pay")
+    assert fn.decode_output(b"") is None
+
+
+def test_event_topic_and_decode():
+    event = _abi().event("Poked")
+    assert len(event.topic) == 32
+    payload = (b"\x00" * 12 + b"\x11" * 20) + (9).to_bytes(32, "big")
+    decoded = event.decode(payload)
+    assert decoded == [b"\x11" * 20, 9]
+
+
+def test_constructor_args_encoding():
+    abi = _abi()
+    encoded = abi.encode_constructor_args([b"\x22" * 20])
+    assert len(encoded) == 32
+    assert encoded[12:] == b"\x22" * 20
+
+
+def test_flags_preserved():
+    abi = _abi()
+    assert abi.function("pay").payable
+    assert abi.function("view_it").constant
+    assert not abi.function("poke").payable

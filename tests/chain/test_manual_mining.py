@@ -1,0 +1,90 @@
+"""Manual-mining mode: queue many transactions, mine one block."""
+
+import pytest
+
+from repro.chain import ChainError, ETHER, EthereumSimulator
+
+
+@pytest.fixture
+def manual_sim():
+    return EthereumSimulator(auto_mine=False)
+
+
+def test_transact_blocked_without_automine(manual_sim):
+    alice, bob = manual_sim.accounts[0], manual_sim.accounts[1]
+    with pytest.raises(ChainError, match="auto_mine is off"):
+        manual_sim.transact(alice, bob.address, value=1)
+
+
+def test_queue_and_mine_single_block(manual_sim):
+    alice, bob, carol = manual_sim.accounts[:3]
+    h1 = manual_sim.send_transaction(alice, bob.address, value=100)
+    h2 = manual_sim.send_transaction(carol, bob.address, value=200)
+    # Nothing applied yet.
+    assert manual_sim.get_balance(bob) == 1_000 * ETHER
+    manual_sim.mine()
+    block = manual_sim.chain.latest_block
+    assert len(block.transactions) == 2
+    assert manual_sim.get_receipt(h1).status
+    assert manual_sim.get_receipt(h2).status
+    assert manual_sim.get_balance(bob) == 1_000 * ETHER + 300
+
+
+def test_same_sender_multiple_pending(manual_sim):
+    alice, bob = manual_sim.accounts[0], manual_sim.accounts[1]
+    hashes = [
+        manual_sim.send_transaction(alice, bob.address, value=i + 1,
+                                    gas_limit=50_000)
+        for i in range(3)
+    ]
+    manual_sim.mine()
+    for tx_hash in hashes:
+        assert manual_sim.get_receipt(tx_hash).status
+    assert manual_sim.get_nonce(alice) == 3
+    assert manual_sim.get_balance(bob) == 1_000 * ETHER + 6
+
+
+def test_block_gas_limit_defers_overflowing_tx(manual_sim):
+    """Transactions whose gas limits exceed the remaining block budget
+    stay pending and get mined in the next block."""
+    alice, bob = manual_sim.accounts[0], manual_sim.accounts[1]
+    hashes = [
+        manual_sim.send_transaction(alice, bob.address, value=1,
+                                    gas_limit=3_000_000)
+        for __ in range(3)  # 9M > the 8M block limit
+    ]
+    manual_sim.mine()
+    assert len(manual_sim.chain.latest_block.transactions) == 2
+    with pytest.raises(ChainError):
+        manual_sim.get_receipt(hashes[2])
+    manual_sim.mine()
+    assert manual_sim.get_receipt(hashes[2]).status
+
+
+def test_cumulative_gas_within_block(manual_sim):
+    alice, bob = manual_sim.accounts[0], manual_sim.accounts[1]
+    h1 = manual_sim.send_transaction(alice, bob.address, value=1,
+                                     gas_price=2)
+    h2 = manual_sim.send_transaction(alice, bob.address, value=1,
+                                     gas_price=2)
+    manual_sim.mine()
+    r1 = manual_sim.get_receipt(h1)
+    r2 = manual_sim.get_receipt(h2)
+    assert r1.block_number == r2.block_number
+    assert r2.cumulative_gas_used == r1.gas_used + r2.gas_used
+
+
+def test_receipt_unknown_while_pending(manual_sim):
+    alice, bob = manual_sim.accounts[0], manual_sim.accounts[1]
+    tx_hash = manual_sim.send_transaction(alice, bob.address, value=1)
+    with pytest.raises(ChainError):
+        manual_sim.get_receipt(tx_hash)
+
+
+def test_send_transaction_works_in_automine_sim(sim):
+    # send_transaction is usable even with auto_mine on — it simply
+    # defers mining to the caller.
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    tx_hash = sim.send_transaction(alice, bob.address, value=5)
+    sim.mine()
+    assert sim.get_receipt(tx_hash).status

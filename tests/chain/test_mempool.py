@@ -1,0 +1,71 @@
+"""Mempool ordering and admission."""
+
+import pytest
+
+from repro.chain.mempool import Mempool, MempoolError
+from repro.chain.transaction import Transaction
+from repro.crypto.keys import PrivateKey
+
+KEY_A = PrivateKey.from_seed("pool-a")
+KEY_B = PrivateKey.from_seed("pool-b")
+DEST = PrivateKey.from_seed("pool-dest").address
+
+
+def _tx(key, nonce, gas_price=1, gas_limit=21_000):
+    return Transaction.create_signed(
+        private_key=key, nonce=nonce, to=DEST, value=1,
+        gas_limit=gas_limit, gas_price=gas_price,
+    )
+
+
+def test_add_and_pop():
+    pool = Mempool()
+    tx = _tx(KEY_A, 0)
+    pool.add(tx)
+    assert len(pool) == 1
+    assert pool.pop_batch(1_000_000) == [tx]
+    assert len(pool) == 0
+
+
+def test_duplicate_rejected():
+    pool = Mempool()
+    tx = _tx(KEY_A, 0)
+    pool.add(tx)
+    with pytest.raises(MempoolError):
+        pool.add(tx)
+
+
+def test_ordered_by_gas_price():
+    pool = Mempool()
+    cheap = _tx(KEY_A, 0, gas_price=1)
+    pricey = _tx(KEY_B, 0, gas_price=10)
+    pool.add(cheap)
+    pool.add(pricey)
+    assert pool.pop_batch(1_000_000) == [pricey, cheap]
+
+
+def test_nonce_order_preserved_per_sender():
+    pool = Mempool()
+    first = _tx(KEY_A, 0, gas_price=1)
+    second = _tx(KEY_A, 1, gas_price=100)  # higher price, later nonce
+    pool.add(first)
+    pool.add(second)
+    batch = pool.pop_batch(1_000_000)
+    assert batch.index(first) < batch.index(second)
+
+
+def test_gas_limit_respected():
+    pool = Mempool()
+    pool.add(_tx(KEY_A, 0, gas_limit=30_000))
+    pool.add(_tx(KEY_B, 0, gas_limit=30_000))
+    batch = pool.pop_batch(40_000)
+    assert len(batch) == 1
+    assert len(pool) == 1  # the other stays queued
+
+
+def test_pending_view_and_clear():
+    pool = Mempool()
+    pool.add(_tx(KEY_A, 0))
+    assert len(pool.pending()) == 1
+    pool.clear()
+    assert len(pool) == 0

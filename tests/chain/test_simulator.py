@@ -1,0 +1,125 @@
+"""The ganache-like simulator facade."""
+
+import pytest
+
+from repro.chain import (
+    ETHER,
+    CallFailed,
+    EthereumSimulator,
+    TransactionFailed,
+)
+from repro.evm.assembler import assemble
+from tests.conftest import COUNTER_SOURCE, deploy_source
+
+
+def test_accounts_funded_and_deterministic():
+    one = EthereumSimulator()
+    two = EthereumSimulator()
+    assert len(one.accounts) == 10
+    assert one.accounts[0].address == two.accounts[0].address
+    assert one.get_balance(one.accounts[0]) == 1_000 * ETHER
+
+
+def test_create_extra_account():
+    sim = EthereumSimulator()
+    extra = sim.create_account("extra-seed", funding=5 * ETHER)
+    assert sim.get_balance(extra) == 5 * ETHER
+
+
+def test_transfer(sim):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    receipt = sim.transfer(alice, bob, 3 * ETHER)
+    assert receipt.gas_used == 21_000
+    assert sim.get_balance(bob) == 1_003 * ETHER
+
+
+def test_transact_failure_raises(sim):
+    # Sending calldata to an EOA is fine; sending to a reverting
+    # contract raises TransactionFailed.
+    revert_runtime = assemble("PUSH1 0x00\nPUSH1 0x00\nREVERT")
+    init = assemble(f"""
+    PUSH1 {len(revert_runtime)}
+    PUSH1 0x0c
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 {len(revert_runtime)}
+    PUSH1 0x00
+    RETURN
+    """) + revert_runtime
+    receipt = sim.deploy_bytecode(sim.accounts[0], init)
+    with pytest.raises(TransactionFailed):
+        sim.transact(sim.accounts[0], receipt.contract_address)
+    ok = sim.transact(sim.accounts[0], receipt.contract_address,
+                      require_success=False)
+    assert not ok.status
+
+
+def test_deploy_and_interact(sim):
+    alice = sim.accounts[0]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[10])
+    assert counter.call("getCount") == 10
+    counter.transact("increment", sender=alice)
+    assert counter.call("getCount") == 11
+
+
+def test_call_does_not_mutate_state(sim):
+    alice = sim.accounts[0]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[0])
+    counter.call("getCount")
+    before = sim.chain.state.state_root()
+    counter.call("getCount")
+    assert sim.chain.state.state_root() == before
+
+
+def test_call_revert_raises(sim):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[0])
+    fn = counter.abi.function("increment")
+    with pytest.raises(CallFailed):
+        sim.call(counter.address, fn.encode_call([]), sender=bob)
+
+
+def test_estimate_gas_close_to_actual(sim):
+    alice = sim.accounts[0]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[0])
+    fn = counter.abi.function("increment")
+    estimate = sim.estimate_gas(alice, counter.address,
+                                fn.encode_call([]))
+    receipt = counter.transact("increment", sender=alice)
+    assert abs(estimate - receipt.gas_used) < 100
+
+
+def test_increase_time_and_advance_to(sim):
+    t0 = sim.current_timestamp
+    sim.increase_time(1_000)
+    sim.mine()
+    assert sim.current_timestamp >= t0 + 1_000
+    target = sim.current_timestamp + 50_000
+    sim.advance_time_to(target)
+    sim.mine()
+    assert sim.current_timestamp >= target
+
+
+def test_events_decoded(sim):
+    alice = sim.accounts[0]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[5])
+    receipt = counter.transact("increment", sender=alice)
+    events = counter.decode_events(receipt, "Incremented")
+    assert len(events) == 1
+    who, new_count = events[0]
+    assert who == alice.address.value
+    assert new_count == 6
+
+
+def test_contract_balance_property(sim):
+    alice = sim.accounts[0]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[0])
+    assert counter.balance == 0
+    assert len(counter.code) > 0
+
+
+def test_nonce_tracking(sim):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    assert sim.get_nonce(alice) == 0
+    sim.transfer(alice, bob, 1)
+    assert sim.get_nonce(alice) == 1

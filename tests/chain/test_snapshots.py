@@ -1,0 +1,90 @@
+"""Simulator snapshots (evm_snapshot / evm_revert)."""
+
+import pytest
+
+from repro.chain import ChainError, ETHER, EthereumSimulator
+from tests.conftest import COUNTER_SOURCE, deploy_source
+
+
+def test_revert_restores_balances(sim):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    snap = sim.snapshot()
+    sim.transfer(alice, bob, 10 * ETHER)
+    assert sim.get_balance(bob) == 1_010 * ETHER
+    sim.revert(snap)
+    assert sim.get_balance(bob) == 1_000 * ETHER
+    assert sim.get_nonce(alice) == 0
+
+
+def test_revert_restores_contract_storage(sim):
+    alice = sim.accounts[0]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[5])
+    snap = sim.snapshot()
+    counter.transact("increment", sender=alice)
+    counter.transact("increment", sender=alice)
+    assert counter.call("getCount") == 7
+    sim.revert(snap)
+    assert counter.call("getCount") == 5
+
+
+def test_revert_restores_block_height_and_receipts(sim):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    snap = sim.snapshot()
+    height_before = sim.chain.latest_block.number
+    receipt = sim.transfer(alice, bob, 1)
+    sim.revert(snap)
+    assert sim.chain.latest_block.number == height_before
+    with pytest.raises(ChainError):
+        sim.get_receipt(receipt.transaction_hash)
+
+
+def test_nested_snapshots_revert_in_order(sim):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    outer = sim.snapshot()
+    sim.transfer(alice, bob, 1 * ETHER)
+    inner = sim.snapshot()
+    sim.transfer(alice, bob, 2 * ETHER)
+    sim.revert(inner)
+    assert sim.get_balance(bob) == 1_001 * ETHER
+    sim.revert(outer)
+    assert sim.get_balance(bob) == 1_000 * ETHER
+
+
+def test_reverting_outer_invalidates_inner(sim):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    outer = sim.snapshot()
+    sim.transfer(alice, bob, 1)
+    inner = sim.snapshot()
+    sim.revert(outer)
+    with pytest.raises(ChainError):
+        sim.revert(inner)
+
+
+def test_unknown_snapshot_rejected(sim):
+    with pytest.raises(ChainError):
+        sim.revert(999)
+
+
+def test_snapshot_enables_what_if_dispute_analysis(sim):
+    """The intended use: rehearse a dispute, revert, settle honestly."""
+    from repro.apps.betting import deploy_betting, make_betting_protocol
+    from repro.core import Participant
+
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(sim, alice, bob, seed=3, rounds=10)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+
+    snap = sim.snapshot()
+    rehearsal = protocol.dispute(bob)
+    dispute_cost = rehearsal.total_gas
+    sim.revert(snap)
+
+    # After the revert the dispute never happened on-chain.
+    assert protocol.onchain.call("disputeResolved") is False
+    assert dispute_cost > 200_000

@@ -1,0 +1,154 @@
+"""Journaled world state: snapshot/revert correctness."""
+
+import pytest
+
+from repro.chain.state import WorldState
+from repro.crypto.keys import Address
+
+A = Address.from_int(1)
+B = Address.from_int(2)
+
+
+def test_defaults_for_unknown_account():
+    state = WorldState()
+    assert state.get_balance(A) == 0
+    assert state.get_nonce(A) == 0
+    assert state.get_code(A) == b""
+    assert state.get_storage(A, 0) == 0
+    assert not state.account_exists(A)
+
+
+def test_balance_set_get():
+    state = WorldState()
+    state.set_balance(A, 100)
+    assert state.get_balance(A) == 100
+    assert state.account_exists(A)
+
+
+def test_negative_balance_rejected():
+    state = WorldState()
+    with pytest.raises(ValueError):
+        state.set_balance(A, -1)
+
+
+def test_nonce_increment():
+    state = WorldState()
+    state.increment_nonce(A)
+    state.increment_nonce(A)
+    assert state.get_nonce(A) == 2
+
+
+def test_storage_zero_values_pruned():
+    state = WorldState()
+    state.set_storage(A, 5, 9)
+    state.set_storage(A, 5, 0)
+    assert state.get_storage(A, 5) == 0
+
+
+def test_revert_balance():
+    state = WorldState()
+    state.set_balance(A, 10)
+    snap = state.snapshot()
+    state.set_balance(A, 99)
+    state.set_balance(B, 5)
+    state.revert_to(snap)
+    assert state.get_balance(A) == 10
+    assert state.get_balance(B) == 0
+    assert not state.account_exists(B)
+
+
+def test_revert_storage_and_code():
+    state = WorldState()
+    state.set_code(A, b"\x01")
+    state.set_storage(A, 1, 11)
+    snap = state.snapshot()
+    state.set_code(A, b"\x02")
+    state.set_storage(A, 1, 22)
+    state.set_storage(A, 2, 33)
+    state.revert_to(snap)
+    assert state.get_code(A) == b"\x01"
+    assert state.get_storage(A, 1) == 11
+    assert state.get_storage(A, 2) == 0
+
+
+def test_nested_snapshots():
+    state = WorldState()
+    state.set_balance(A, 1)
+    outer = state.snapshot()
+    state.set_balance(A, 2)
+    inner = state.snapshot()
+    state.set_balance(A, 3)
+    state.revert_to(inner)
+    assert state.get_balance(A) == 2
+    state.revert_to(outer)
+    assert state.get_balance(A) == 1
+
+
+def test_discard_keeps_changes():
+    state = WorldState()
+    snap = state.snapshot()
+    state.set_balance(A, 42)
+    state.discard_snapshot(snap)
+    assert state.get_balance(A) == 42
+
+
+def test_revert_account_creation():
+    state = WorldState()
+    snap = state.snapshot()
+    state.create_account(A)
+    state.set_balance(A, 1)
+    state.revert_to(snap)
+    assert not state.account_exists(A)
+
+
+def test_clear_journal_commits():
+    state = WorldState()
+    state.set_balance(A, 7)
+    state.clear_journal()
+    # Reverting to 0 after clear has nothing to undo.
+    state.revert_to(0)
+    assert state.get_balance(A) == 7
+
+
+def test_state_root_changes_with_state():
+    state = WorldState()
+    empty_root = state.state_root()
+    state.set_balance(A, 5)
+    assert state.state_root() != empty_root
+
+
+def test_state_root_deterministic_and_order_independent():
+    one = WorldState()
+    one.set_balance(A, 5)
+    one.set_balance(B, 6)
+    two = WorldState()
+    two.set_balance(B, 6)
+    two.set_balance(A, 5)
+    assert one.state_root() == two.state_root()
+
+
+def test_copy_is_deep():
+    state = WorldState()
+    state.set_balance(A, 5)
+    state.set_storage(A, 1, 2)
+    clone = state.copy()
+    clone.set_balance(A, 99)
+    clone.set_storage(A, 1, 77)
+    assert state.get_balance(A) == 5
+    assert state.get_storage(A, 1) == 2
+
+
+def test_iter_accounts():
+    state = WorldState()
+    state.set_balance(A, 1)
+    state.set_balance(B, 2)
+    addresses = [address for address, __ in state.iter_accounts()]
+    assert addresses == [A, B]
+
+
+def test_account_empty_per_eip161():
+    state = WorldState()
+    state.create_account(A)
+    assert not state.account_exists(A)  # empty account
+    state.set_balance(A, 1)
+    assert state.account_exists(A)

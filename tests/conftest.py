@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Compilation is the slowest step, so compiled artefacts are cached at
+session scope; every test that mutates chain state gets its own fresh
+simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import EthereumSimulator
+from repro.core import Participant
+from repro.lang import compile_contract, compile_source
+
+
+@pytest.fixture
+def sim() -> EthereumSimulator:
+    """A fresh simulator with ten funded accounts."""
+    return EthereumSimulator()
+
+
+@pytest.fixture
+def alice(sim) -> Participant:
+    return Participant(account=sim.accounts[0], name="alice")
+
+
+@pytest.fixture
+def bob(sim) -> Participant:
+    return Participant(account=sim.accounts[1], name="bob")
+
+
+@pytest.fixture
+def carol(sim) -> Participant:
+    return Participant(account=sim.accounts[2], name="carol")
+
+
+COUNTER_SOURCE = """
+contract Counter {
+    uint public count;
+    address public owner;
+
+    event Incremented(address who, uint newCount);
+
+    modifier ownerOnly { require(msg.sender == owner); _; }
+
+    constructor(uint start) public {
+        count = start;
+        owner = msg.sender;
+    }
+
+    function increment() public ownerOnly {
+        count = count + 1;
+        emit Incremented(msg.sender, count);
+    }
+
+    function add(uint amount) public returns (uint) {
+        count += amount;
+        return count;
+    }
+
+    function getCount() public view returns (uint) {
+        return count;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def compiled_counter():
+    return compile_contract(COUNTER_SOURCE)
+
+
+def deploy_source(sim, account, source, name=None, args=(), value=0):
+    """Compile + deploy helper used across lang/core tests."""
+    compiled = (compile_contract(source, name)
+                if name else compile_contract(source))
+    return sim.deploy(account, compiled.init_code, compiled.abi,
+                      constructor_args=list(args), value=value)

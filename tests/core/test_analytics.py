@@ -1,0 +1,80 @@
+"""Gas ledger and privacy reports."""
+
+from repro.core.analytics import (
+    GasLedger,
+    ModelComparison,
+    privacy_report_all_on_chain,
+    privacy_report_hybrid,
+)
+from repro.chain.receipt import Receipt
+from repro.crypto.keys import Address
+
+
+def _receipt(gas):
+    return Receipt(
+        transaction_hash=b"\x00" * 32, transaction_index=0,
+        block_number=1, sender=Address.from_int(1),
+        to=Address.from_int(2), status=True, gas_used=gas,
+        cumulative_gas_used=gas,
+    )
+
+
+def test_ledger_record_and_totals():
+    ledger = GasLedger()
+    ledger.record("deploy", "onchain", _receipt(100))
+    ledger.record("dispute", "dvi", _receipt(250))
+    ledger.record("dispute", "rdr", _receipt(50))
+    assert ledger.total() == 400
+    assert ledger.total("dispute") == 300
+    assert ledger.by_stage() == {"deploy": 100, "dispute": 300}
+    assert ledger.by_label()["dvi"] == 250
+
+
+def test_ledger_record_raw():
+    ledger = GasLedger()
+    ledger.record_raw("offchain", "local run", 9999)
+    assert ledger.total("offchain") == 9999
+
+
+def test_privacy_all_on_chain_exposes_everything():
+    report = privacy_report_all_on_chain(
+        whole_runtime=b"\x00" * 1_000,
+        all_signatures=["f()", "reveal()"],
+        heavy_signatures=["reveal()"],
+        heavy_code_bytes=400,
+    )
+    assert report.code_bytes_on_chain == 1_000
+    assert report.heavy_code_bytes_on_chain == 400
+    assert not report.heavy_logic_hidden
+
+
+def test_privacy_hybrid_hides_heavy_until_dispute():
+    clean = privacy_report_hybrid(
+        onchain_runtime=b"\x00" * 600,
+        onchain_signatures=["deposit()"],
+        dispute_happened=False,
+        offchain_runtime=b"\x00" * 400,
+        heavy_signatures=["reveal()"],
+    )
+    assert clean.heavy_logic_hidden
+    assert clean.code_bytes_on_chain == 600
+    assert "reveal()" not in clean.function_signatures_exposed
+
+    disputed = privacy_report_hybrid(
+        onchain_runtime=b"\x00" * 600,
+        onchain_signatures=["deposit()"],
+        dispute_happened=True,
+        offchain_runtime=b"\x00" * 400,
+        heavy_signatures=["reveal()"],
+    )
+    assert not disputed.heavy_logic_hidden
+    assert disputed.code_bytes_on_chain == 1_000
+    assert "reveal()" in disputed.function_signatures_exposed
+
+
+def test_model_comparison_math():
+    comparison = ModelComparison(all_on_chain_gas=1_000, hybrid_gas=250)
+    assert comparison.gas_saved == 750
+    assert comparison.savings_ratio == 0.75
+    zero = ModelComparison(all_on_chain_gas=0, hybrid_gas=0)
+    assert zero.savings_ratio == 0.0

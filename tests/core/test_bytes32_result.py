@@ -1,0 +1,110 @@
+"""The protocol with a bytes32 result type (hash-valued outcomes)."""
+
+import pytest
+
+from repro.chain import ETHER, EthereumSimulator
+from repro.core import OnOffChainProtocol, Participant, SplitSpec, Strategy
+from repro.core.classify import FunctionCategory
+from repro.crypto.keccak import keccak256
+
+SOURCE = """
+contract Commitment {
+    address[2] public participant;
+    uint public seed;
+    uint public depth;
+    bytes32 public record;
+
+    modifier participantOnly {
+        require(msg.sender == participant[0] ||
+                msg.sender == participant[1]);
+        _;
+    }
+
+    constructor(address a, address b, uint s, uint d) public {
+        participant[0] = a;
+        participant[1] = b;
+        seed = s;
+        depth = d;
+    }
+
+    function derive() private view returns (bytes32) {
+        bytes32 acc = keccak256(seed);
+        for (uint i = 0; i < depth; i++) {
+            acc = keccak256(acc);
+        }
+        return acc;
+    }
+
+    function publish(bytes32 value) public participantOnly {
+        record = value;
+    }
+}
+"""
+
+
+def reference_derive(seed: int, depth: int) -> bytes:
+    acc = keccak256(seed.to_bytes(32, "big"))
+    for __ in range(depth):
+        acc = keccak256(acc)
+    return acc
+
+
+SPEC = SplitSpec(
+    participants_var="participant",
+    result_function="derive",
+    settle_function="publish",
+    challenge_period=3_600,
+    annotations={"derive": FunctionCategory.HEAVY_PRIVATE,
+                 "publish": FunctionCategory.LIGHT_PUBLIC},
+)
+
+
+def _protocol(sim, alice, bob, seed=7, depth=12):
+    protocol = OnOffChainProtocol(
+        simulator=sim, whole_source=SOURCE,
+        contract_name="Commitment", spec=SPEC,
+        participants=[alice, bob],
+    )
+    protocol.split_generate()
+    protocol.deploy(
+        alice,
+        constructor_args={"a": alice.address, "b": bob.address,
+                          "s": seed, "d": depth},
+        offchain_state={"seed": seed, "depth": depth},
+    )
+    protocol.collect_signatures()
+    return protocol
+
+
+def test_result_type_detected_as_bytes32(sim, alice, bob):
+    protocol = _protocol(sim, alice, bob)
+    assert protocol.split.result_type_source == "bytes32"
+
+
+def test_offchain_matches_reference(sim, alice, bob):
+    protocol = _protocol(sim, alice, bob, seed=99, depth=5)
+    run = protocol.execute_off_chain(alice)
+    assert run.result == reference_derive(99, 5)
+
+
+def test_honest_finalize_with_bytes32(sim, alice, bob):
+    protocol = _protocol(sim, alice, bob)
+    protocol.submit_result(bob)
+    assert protocol.run_challenge_window() is None
+    protocol.finalize(alice)
+    outcome = protocol.outcome()
+    assert outcome.resolved
+    assert outcome.outcome == reference_derive(7, 12)
+    assert protocol.onchain.call("record") == reference_derive(7, 12)
+
+
+def test_lying_about_bytes32_disputed(sim, alice, bob):
+    alice.strategy = Strategy.LIES_ABOUT_RESULT
+    protocol = _protocol(sim, alice, bob)
+    protocol.submit_result(alice)
+    proposed = protocol.onchain.call("proposedResult")
+    truth = reference_derive(7, 12)
+    assert proposed != truth
+    dispute = protocol.run_challenge_window()
+    assert dispute is not None
+    assert protocol.outcome().outcome == truth

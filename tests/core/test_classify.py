@@ -1,0 +1,134 @@
+"""Function classification (§II-B policy)."""
+
+import pytest
+
+from repro.apps.betting import BETTING_SOURCE
+from repro.core.classify import (
+    FunctionCategory,
+    classify_contract,
+    estimate_function_cost,
+)
+from repro.core.exceptions import SplitError
+from repro.lang.parser import parse
+
+
+def betting_contract():
+    return parse(BETTING_SOURCE).contract("Betting")
+
+
+def test_transfer_functions_classified_light():
+    classification = classify_contract(betting_contract())
+    for name in ("deposit", "refundRoundOne", "refundRoundTwo",
+                 "reassign"):
+        assert classification.category_of(name) == \
+            FunctionCategory.LIGHT_PUBLIC
+
+
+def test_heavy_private_reveal():
+    classification = classify_contract(betting_contract())
+    assert classification.category_of("reveal") == \
+        FunctionCategory.HEAVY_PRIVATE
+
+
+def test_annotations_override_heuristic():
+    classification = classify_contract(
+        betting_contract(),
+        annotations={"reveal": FunctionCategory.LIGHT_PUBLIC,
+                     "refundRoundOne": FunctionCategory.HEAVY_PRIVATE},
+    )
+    assert "reveal" in classification.light_public
+    assert "refundRoundOne" in classification.heavy_private
+
+
+def test_unclassified_function_lookup_raises():
+    classification = classify_contract(betting_contract())
+    with pytest.raises(KeyError):
+        classification.category_of("constructor")
+
+
+def test_loops_mark_heavy():
+    contract = parse("""
+    contract A {
+        uint x;
+        function light() public { x = 1; }
+        function looped() public {
+            for (uint i = 0; i < 100; i++) { x += i; }
+        }
+    }
+    """).contract("A")
+    classification = classify_contract(contract)
+    assert "looped" in classification.heavy_private
+    assert "light" in classification.light_public
+
+
+def test_gas_threshold_respected():
+    contract = parse("""
+    contract A {
+        uint a; uint b; uint c; uint d; uint e;
+        function writesALot() public {
+            a = 1; b = 2; c = 3; d = 4; e = 5;
+        }
+        function cheap() public { a = 1; }
+    }
+    """).contract("A")
+    tight = classify_contract(contract, gas_threshold=50_000)
+    assert "writesALot" in tight.heavy_private
+    loose = classify_contract(contract, gas_threshold=1_000_000)
+    assert "writesALot" in loose.light_public
+
+
+def test_private_functions_default_heavy():
+    contract = parse("""
+    contract A {
+        uint x;
+        function secretLogic() private returns (uint) { return x + 1; }
+        function open() public { x = secretLogic(); }
+    }
+    """).contract("A")
+    classification = classify_contract(contract)
+    assert "secretLogic" in classification.heavy_private
+
+
+def test_all_heavy_rejected():
+    contract = parse("""
+    contract A {
+        uint x;
+        function onlyLoop() public {
+            while (x < 10) { x += 1; }
+        }
+    }
+    """).contract("A")
+    with pytest.raises(SplitError):
+        classify_contract(contract)
+
+
+def test_estimates_populated():
+    classification = classify_contract(betting_contract())
+    estimate = classification.estimates["reveal"]
+    assert estimate.has_loop
+    assert not estimate.has_transfer
+    assert {"secretSeed", "secretRounds"} <= set(estimate.reads_state)
+    deposit = classification.estimates["deposit"]
+    assert "accountBalance" in deposit.writes_state
+
+
+def test_estimate_function_cost_standalone():
+    contract = betting_contract()
+    reveal = contract.function("reveal")
+    estimate = estimate_function_cost(contract, reveal)
+    assert estimate.estimated_gas > 0
+    assert estimate.name == "reveal"
+
+
+def test_modifier_cost_included():
+    contract = parse("""
+    contract A {
+        uint x;
+        modifier writesState { x = 1; _; }
+        function bare() public returns (uint) { return 1; }
+        function guarded() public writesState returns (uint) { return 1; }
+    }
+    """).contract("A")
+    bare = estimate_function_cost(contract, contract.function("bare"))
+    guarded = estimate_function_cost(contract, contract.function("guarded"))
+    assert guarded.estimated_gas > bare.estimated_gas

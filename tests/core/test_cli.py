@@ -1,0 +1,133 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.lang.compiler import compile_source
+
+WAGER = """
+contract Wager {
+    address[2] public participant;
+    uint public secretNumber;
+    mapping(address => uint) public deposits;
+
+    modifier participantOnly {
+        require(msg.sender == participant[0] ||
+                msg.sender == participant[1]);
+        _;
+    }
+
+    constructor(address a, address b, uint secret) public {
+        participant[0] = a;
+        participant[1] = b;
+        secretNumber = secret;
+    }
+
+    function deposit() payable public participantOnly {
+        deposits[msg.sender] = msg.value;
+    }
+
+    function isEven() private view returns (bool) {
+        uint acc = secretNumber;
+        for (uint i = 0; i < 100; i++) { acc = acc * 31 + 7; }
+        return acc % 2 == 0;
+    }
+
+    function payout(bool secondWins) public participantOnly {
+        uint pot = deposits[participant[0]] + deposits[participant[1]];
+        deposits[participant[0]] = 0;
+        deposits[participant[1]] = 0;
+        if (secondWins) { participant[1].transfer(pot); }
+        else { participant[0].transfer(pot); }
+    }
+}
+"""
+
+
+@pytest.fixture
+def wager_file(tmp_path):
+    path = tmp_path / "wager.sol"
+    path.write_text(WAGER)
+    return path
+
+
+def test_compile_command(wager_file, capsys):
+    assert main(["compile", str(wager_file)]) == 0
+    out = capsys.readouterr().out
+    assert "contract Wager" in out
+    assert "init code" in out
+    assert "deposit()" in out
+    assert "payable" in out
+
+
+def test_compile_with_bytecode_flag(wager_file, capsys):
+    main(["compile", str(wager_file), "--bytecode"])
+    out = capsys.readouterr().out
+    compiled = compile_source(WAGER).contract("Wager")
+    assert compiled.init_code.hex() in out
+
+
+def test_classify_command(wager_file, capsys):
+    assert main(["classify", str(wager_file)]) == 0
+    out = capsys.readouterr().out
+    assert "heavy/private: isEven" in out
+    assert "light/public : payout" in out
+
+
+def test_split_command_writes_pair(wager_file, tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    code = main([
+        "split", str(wager_file),
+        "--participants", "participant",
+        "--result", "isEven", "--settle", "payout",
+        "--out", str(out_dir),
+    ])
+    assert code == 0
+    onchain = (out_dir / "WagerOnChain.sol").read_text()
+    offchain = (out_dir / "WagerOffChain.sol").read_text()
+    assert "deployVerifiedInstance" in onchain
+    assert "returnDisputeResolution" in offchain
+    # Both outputs compile standalone.
+    compile_source(onchain)
+    compile_source(offchain)
+
+
+def test_split_with_security_deposit(wager_file, tmp_path):
+    out_dir = tmp_path / "out"
+    main([
+        "split", str(wager_file),
+        "--participants", "participant",
+        "--result", "isEven", "--settle", "payout",
+        "--security-deposit", "1000000",
+        "--out", str(out_dir),
+    ])
+    onchain = (out_dir / "WagerOnChain.sol").read_text()
+    assert "paySecurityDeposit" in onchain
+
+
+def test_missing_file_errors():
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["compile", "/nonexistent/never.sol"])
+
+
+def test_unknown_contract_errors(wager_file):
+    with pytest.raises(SystemExit, match="no contract"):
+        main(["classify", str(wager_file), "--contract", "Ghost"])
+
+
+def test_demo_betting_honest(capsys):
+    assert main(["demo", "betting"]) == 0
+    out = capsys.readouterr().out
+    assert "settled honestly" in out
+
+
+def test_demo_escrow_dispute(capsys):
+    assert main(["demo", "escrow", "--dispute"]) == 0
+    out = capsys.readouterr().out
+    assert "overturned via dispute" in out
+
+
+def test_demo_tender(capsys):
+    assert main(["demo", "tender"]) == 0
+    out = capsys.readouterr().out
+    assert "outcome:" in out

@@ -1,0 +1,63 @@
+"""Standalone dispute driver (repro.core.dispute)."""
+
+import pytest
+
+from repro.apps.betting import (
+    deploy_betting,
+    make_betting_protocol,
+    reference_reveal,
+)
+from repro.core import DisputeError, resolve_dispute
+
+
+@pytest.fixture
+def funded(sim, alice, bob):
+    protocol = make_betting_protocol(sim, alice, bob, seed=42, rounds=25)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+    return protocol
+
+
+def test_resolve_dispute_from_signed_copy(funded, sim, alice, bob):
+    resolution = resolve_dispute(
+        simulator=sim,
+        onchain=funded.onchain,
+        offchain_abi=funded.compiled_offchain.abi,
+        signed_copy=funded.signed_copies["bob"],
+        challenger=bob.account,
+        participants=[alice.address, bob.address],
+    )
+    assert resolution.outcome == reference_reveal(42, 25)
+    assert resolution.total_gas > 200_000
+    assert funded.onchain.call("disputeResolved") is True
+    # The instance handle is live and queryable.
+    assert resolution.instance.call("computeResult") == \
+        reference_reveal(42, 25)
+
+
+def test_preverification_rejects_wrong_participants(funded, sim, alice,
+                                                    bob, carol):
+    with pytest.raises(DisputeError, match="does not verify"):
+        resolve_dispute(
+            simulator=sim,
+            onchain=funded.onchain,
+            offchain_abi=funded.compiled_offchain.abi,
+            signed_copy=funded.signed_copies["bob"],
+            challenger=bob.account,
+            participants=[alice.address, carol.address],
+        )
+
+
+def test_no_participant_list_skips_preverification(funded, sim, bob):
+    resolution = resolve_dispute(
+        simulator=sim,
+        onchain=funded.onchain,
+        offchain_abi=funded.compiled_offchain.abi,
+        signed_copy=funded.signed_copies["alice"],
+        challenger=bob.account,
+    )
+    assert funded.onchain.call("resolvedOutcome") == resolution.outcome

@@ -1,0 +1,121 @@
+"""Padding renderers in isolation."""
+
+from repro.core import padding
+from repro.lang.parser import parse
+from repro.lang import compile_source
+
+
+def _settle_fn():
+    contract = parse("""
+    contract T {
+        address[2] public participant;
+        uint public pot;
+        function settle(bool winner) public {
+            if (winner) { participant[1].transfer(pot); }
+            else { participant[0].transfer(pot); }
+        }
+    }
+    """).contract("T")
+    return contract, contract.function("settle")
+
+
+def test_participant_guard_unrolls():
+    guard = padding._participant_guard("participant", 3)
+    assert guard.count("msg.sender == participant[") == 3
+    assert "participant[2]" in guard
+
+
+def test_deploy_verified_instance_per_participant_checks():
+    text = padding._render_deploy_verified_instance("participant", 4)
+    assert text.count("ecrecover(__h,") == 4
+    assert "uint8 v3, bytes32 r3, bytes32 s3" in text
+    assert "create(bytecode)" in text
+    assert "__amountMet" not in text
+
+
+def test_deploy_verified_instance_with_deposits():
+    text = padding._render_deploy_verified_instance(
+        "participant", 2, with_deposits=True)
+    assert "__amountMet" in text
+    assert "challenger = msg.sender;" in text
+
+
+def test_enforce_inlines_settle_body():
+    __, settle = _settle_fn()
+    text = padding._render_enforce_dispute_resolution(settle, "bool")
+    assert "participant[1].transfer(pot)" in text
+    assert "__deployedAddrOnly" in text
+    assert "disputeResolved = true;" in text
+    assert "proposedResult" not in text  # no compensation w/o flag
+
+
+def test_enforce_with_compensation():
+    __, settle = _settle_fn()
+    text = padding._render_enforce_dispute_resolution(
+        settle, "bool", with_compensation=True)
+    assert "securityDeposit[proposer]" in text
+    assert "ChallengerCompensated" in text
+
+
+def test_submit_challenge_uses_settle_param_name():
+    __, settle = _settle_fn()
+    text = padding._render_submit_challenge(settle, "bool", 1_234)
+    assert "challengeDeadline = block.timestamp + 1234;" in text
+    assert "bool winner = proposedResult;" in text
+
+
+def test_rendered_onchain_contract_compiles():
+    contract, settle = _settle_fn()
+    source = padding.render_onchain_contract(
+        name="TOnChain",
+        state_vars=contract.state_vars,
+        events=[],
+        modifiers=[],
+        constructor=None,
+        functions=[settle],
+        settle_fn=settle,
+        participants_var="participant",
+        num_participants=2,
+        result_type="bool",
+        challenge_period=600,
+        security_deposit=10,
+    )
+    compiled = compile_source(source)
+    names = {fn.name for fn in compiled.contract("TOnChain").abi.functions}
+    assert {"deployVerifiedInstance", "enforceDisputeResolution",
+            "submitResult", "finalizeResult", "paySecurityDeposit",
+            "withdrawSecurityDeposit", "settle"} <= names
+
+
+def test_rendered_offchain_contract_compiles():
+    contract = parse("""
+    contract T {
+        address[2] public participant;
+        uint public secret;
+        function think() private view returns (bool) {
+            return secret % 2 == 0;
+        }
+    }
+    """).contract("T")
+    source = padding.render_offchain_contract(
+        name="TOffChain",
+        state_vars=contract.state_vars,
+        events=[],
+        modifiers=[],
+        ctor_params=["address __participant_0", "address __participant_1",
+                     "uint __secret"],
+        ctor_assignments=["participant[0] = __participant_0;",
+                          "participant[1] = __participant_1;",
+                          "secret = __secret;"],
+        functions=[contract.function("think")],
+        result_fn=contract.function("think"),
+        participants_var="participant",
+        num_participants=2,
+        result_type="bool",
+    )
+    compiled = compile_source(source)
+    offchain = compiled.contract("TOffChain")
+    names = {fn.name for fn in offchain.abi.functions}
+    assert {"computeResult", "returnDisputeResolution"} <= names
+    # The callback interface is declared alongside.
+    assert "ITOffChainCallback" in source

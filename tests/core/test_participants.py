@@ -1,0 +1,72 @@
+"""Participant strategies."""
+
+import pytest
+
+from repro.chain import EthereumSimulator
+from repro.core.participants import Participant, Strategy, _falsify
+
+
+@pytest.fixture
+def account():
+    return EthereumSimulator(num_accounts=1).accounts[0]
+
+
+def test_defaults_honest(account):
+    participant = Participant(account=account)
+    assert participant.is_honest
+    assert participant.will_sign
+    assert participant.will_settle_honestly
+    assert participant.will_challenge
+
+
+def test_name_defaults_to_account_name(account):
+    assert Participant(account=account).name == account.name
+
+
+def test_refuses_to_sign(account):
+    participant = Participant(account=account,
+                              strategy=Strategy.REFUSES_TO_SIGN)
+    assert not participant.will_sign
+    assert not participant.is_honest
+
+
+def test_liar_falsifies_claims(account):
+    liar = Participant(account=account,
+                       strategy=Strategy.LIES_ABOUT_RESULT)
+    assert liar.claimed_result(True) is False
+    assert liar.claimed_result(False) is True
+    assert liar.claimed_result(7) == 8
+    assert not liar.will_settle_honestly
+
+
+def test_honest_claims_truth(account):
+    participant = Participant(account=account)
+    assert participant.claimed_result(True) is True
+    assert participant.claimed_result(41) == 41
+
+
+def test_silent_does_not_challenge(account):
+    silent = Participant(account=account, strategy=Strategy.SILENT)
+    assert not silent.will_challenge
+
+
+def test_falsify_bytes():
+    assert _falsify(b"\x01\x02") != b"\x01\x02"
+    assert _falsify(b"") == b"\x01"
+
+
+def test_falsify_unsupported_type():
+    with pytest.raises(TypeError):
+        _falsify(3.14)
+
+
+def test_address_and_key_passthrough(account):
+    participant = Participant(account=account)
+    assert participant.address == account.address
+    assert participant.key is account.key
+
+
+def test_str_includes_strategy(account):
+    participant = Participant(account=account, name="p",
+                              strategy=Strategy.SILENT)
+    assert "silent" in str(participant)

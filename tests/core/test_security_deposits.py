@@ -1,0 +1,154 @@
+"""Security deposits: the paper's §IV compensation mechanism."""
+
+import pytest
+
+from repro.apps.betting import BETTING_SOURCE, reference_reveal
+from repro.chain import ETHER, EthereumSimulator, TransactionFailed
+from repro.core import (
+    OnOffChainProtocol,
+    Participant,
+    SplitSpec,
+    StageError,
+    Strategy,
+)
+
+DEPOSIT = 1 * ETHER // 2
+SEED, ROUNDS = 42, 25
+
+
+def _make_protocol(sim, alice, bob):
+    spec = SplitSpec(
+        participants_var="participant",
+        result_function="reveal",
+        settle_function="reassign",
+        challenge_period=3_600,
+        security_deposit=DEPOSIT,
+    )
+    protocol = OnOffChainProtocol(
+        simulator=sim, whole_source=BETTING_SOURCE,
+        contract_name="Betting", spec=spec, participants=[alice, bob],
+    )
+    protocol.split_generate()
+    timeline_base = sim.current_timestamp
+    args = {
+        "a": alice.address, "b": bob.address,
+        "t1": timeline_base + 7_200, "t2": timeline_base + 14_400,
+        "t3": timeline_base + 21_600,
+        "stakeAmount": 1 * ETHER, "seed": SEED, "rounds": ROUNDS,
+    }
+    protocol.deploy(alice, constructor_args=args,
+                    offchain_state={"secretSeed": SEED,
+                                    "secretRounds": ROUNDS})
+    protocol.collect_signatures()
+    protocol.call_onchain(alice, "deposit", value=1 * ETHER)
+    protocol.call_onchain(bob, "deposit", value=1 * ETHER)
+    protocol._t2 = args["t2"]
+    return protocol
+
+
+def test_padding_includes_deposit_machinery(sim, alice, bob):
+    protocol = _make_protocol(sim, alice, bob)
+    source = protocol.split.onchain_source
+    assert "paySecurityDeposit" in source
+    assert "withdrawSecurityDeposit" in source
+    assert "__amountMet" in source
+    assert "ChallengerCompensated" in source
+
+
+def test_deposit_amount_enforced(sim, alice, bob):
+    protocol = _make_protocol(sim, alice, bob)
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("paySecurityDeposit",
+                                  sender=alice.account, value=1)
+    protocol.pay_security_deposits()
+    # Double-pay rejected.
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("paySecurityDeposit",
+                                  sender=alice.account, value=DEPOSIT)
+
+
+def test_dispute_gated_on_all_deposits(sim, alice, bob):
+    protocol = _make_protocol(sim, alice, bob)
+    # Only alice pays.
+    protocol.onchain.transact("paySecurityDeposit",
+                              sender=alice.account, value=DEPOSIT)
+    copy = protocol.signed_copies["bob"]
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact(
+            "deployVerifiedInstance", copy.bytecode,
+            *copy.vrs_arguments(), sender=bob.account,
+            gas_limit=6_000_000)
+
+
+def test_pay_requires_spec(sim, alice, bob):
+    from repro.apps.betting import make_betting_protocol
+
+    protocol = make_betting_protocol(sim, alice, bob)  # no deposit spec
+    with pytest.raises(StageError):
+        protocol.pay_security_deposits()
+
+
+def test_lying_proposer_forfeits_deposit_to_challenger(sim, alice, bob):
+    alice.strategy = Strategy.LIES_ABOUT_RESULT
+    protocol = _make_protocol(sim, alice, bob)
+    protocol.pay_security_deposits()
+    sim.advance_time_to(protocol._t2 + 1)
+
+    protocol.submit_result(alice)  # falsified
+    bob_before = sim.get_balance(bob.account)
+    dispute = protocol.run_challenge_window()
+    assert dispute is not None
+
+    # Challenger compensation: bob received alice's deposit inside
+    # enforceDisputeResolution (on top of the pot if he won).
+    events = protocol.onchain.decode_events(
+        dispute.resolve_receipt, "ChallengerCompensated")
+    assert len(events) == 1
+    compensated_to, amount = events[0]
+    assert compensated_to == bob.address.value
+    assert amount == DEPOSIT
+
+    # Alice's deposit is gone; bob can still withdraw his own.
+    withdrawals = protocol.withdraw_security_deposits()
+    assert withdrawals == {"alice": False, "bob": True}
+
+    truth = reference_reveal(SEED, ROUNDS)
+    pot = 2 * ETHER if truth else 0
+    gained = sim.get_balance(bob.account) - bob_before
+    # bob: pot (if winner) + alice's deposit + own deposit back - gas.
+    expected_minimum = pot + DEPOSIT + DEPOSIT - dispute.total_gas \
+        - 200_000
+    assert gained > expected_minimum
+
+
+def test_honest_finalize_returns_all_deposits(sim, alice, bob):
+    protocol = _make_protocol(sim, alice, bob)
+    protocol.pay_security_deposits()
+    sim.advance_time_to(protocol._t2 + 1)
+    protocol.submit_result(bob)
+    assert protocol.run_challenge_window() is None
+    protocol.finalize(alice)
+    withdrawals = protocol.withdraw_security_deposits()
+    assert withdrawals == {"alice": True, "bob": True}
+    # Contract fully drained: pot paid out, deposits returned.
+    assert protocol.onchain.balance == 0
+
+
+def test_withdraw_before_resolution_rejected(sim, alice, bob):
+    protocol = _make_protocol(sim, alice, bob)
+    protocol.pay_security_deposits()
+    with pytest.raises(TransactionFailed):
+        protocol.onchain.transact("withdrawSecurityDeposit",
+                                  sender=alice.account)
+
+
+def test_honest_dispute_path_keeps_both_deposits(sim, alice, bob):
+    """Refusal-to-settle: nobody proposed, so nobody is penalized by
+    the deposit logic (the app's pot reassignment is the penalty)."""
+    protocol = _make_protocol(sim, alice, bob)
+    protocol.pay_security_deposits()
+    sim.advance_time_to(protocol._t2 + 7_300)  # past t3
+    protocol.dispute(bob)
+    withdrawals = protocol.withdraw_security_deposits()
+    assert withdrawals == {"alice": True, "bob": True}
+    assert protocol.onchain.balance == 0

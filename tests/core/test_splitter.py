@@ -1,0 +1,199 @@
+"""Contract splitting (Split/Generate stage)."""
+
+import pytest
+
+from repro.apps.betting import BETTING_SOURCE, BETTING_SPEC
+from repro.core.annotations import SplitSpec
+from repro.core.classify import FunctionCategory
+from repro.core.exceptions import SplitError
+from repro.core.splitter import split_contract
+from repro.lang import compile_source
+from repro.lang.parser import parse
+
+
+def split_betting():
+    return split_contract(BETTING_SOURCE, "Betting", BETTING_SPEC)
+
+
+def test_function_partition():
+    split = split_betting()
+    assert set(split.onchain_functions) == {
+        "deposit", "refundRoundOne", "refundRoundTwo", "reassign",
+    }
+    assert split.offchain_functions == ["reveal"]
+
+
+def test_both_sides_compile():
+    split = split_betting()
+    onchain = compile_source(split.onchain_source)
+    offchain = compile_source(split.offchain_source)
+    assert split.onchain_name in onchain.contracts
+    assert split.offchain_name in offchain.contracts
+
+
+def test_padded_functions_present_on_chain():
+    split = split_betting()
+    contract = parse(split.onchain_source).contract(split.onchain_name)
+    names = {fn.name for fn in contract.functions}
+    assert {"deployVerifiedInstance", "enforceDisputeResolution",
+            "submitResult", "finalizeResult"} <= names
+    state_names = {v.name for v in contract.state_vars}
+    assert {"deployedAddr", "disputeResolved", "resolvedOutcome",
+            "hasProposal", "proposedResult", "challengeDeadline"} <= \
+        state_names
+
+
+def test_padded_functions_present_off_chain():
+    split = split_betting()
+    contract = parse(split.offchain_source).contract(split.offchain_name)
+    names = {fn.name for fn in contract.functions}
+    assert {"returnDisputeResolution", "computeResult", "reveal"} <= names
+
+
+def test_offchain_contains_no_transfer_functions():
+    split = split_betting()
+    assert "deposit" not in split.offchain_source
+    assert "refundRoundOne" not in split.offchain_source
+
+
+def test_onchain_does_not_contain_heavy_body():
+    split = split_betting()
+    # The private LCG constant from reveal() must not leak on-chain.
+    assert "1103515245" not in split.onchain_source
+    assert "1103515245" in split.offchain_source
+
+
+def test_challenge_period_zero_omits_submit_machinery():
+    spec = SplitSpec(
+        participants_var="participant",
+        result_function="reveal",
+        settle_function="reassign",
+        challenge_period=0,
+    )
+    split = split_contract(BETTING_SOURCE, "Betting", spec)
+    assert "submitResult" not in split.onchain_source
+    assert "deployVerifiedInstance" in split.onchain_source
+    compile_source(split.onchain_source)  # still compiles
+
+
+def test_num_participants_from_array_length():
+    split = split_betting()
+    assert split.num_participants == 2
+
+
+def test_result_type_detected():
+    split = split_betting()
+    assert split.result_type_source == "bool"
+
+
+def test_split_is_deterministic():
+    one = split_betting()
+    two = split_betting()
+    assert one.onchain_source == two.onchain_source
+    assert one.offchain_source == two.offchain_source
+    c1 = compile_source(one.offchain_source).contract(one.offchain_name)
+    c2 = compile_source(two.offchain_source).contract(two.offchain_name)
+    assert c1.init_code == c2.init_code
+
+
+def test_unknown_contract_rejected():
+    with pytest.raises(SplitError):
+        split_contract(BETTING_SOURCE, "Ghost", BETTING_SPEC)
+
+
+def test_missing_participants_var_rejected():
+    spec = SplitSpec(participants_var="nobody", result_function="reveal",
+                     settle_function="reassign")
+    with pytest.raises(SplitError):
+        split_contract(BETTING_SOURCE, "Betting", spec)
+
+
+def test_participants_var_must_be_address_array():
+    spec = SplitSpec(participants_var="stake", result_function="reveal",
+                     settle_function="reassign")
+    with pytest.raises(SplitError):
+        split_contract(BETTING_SOURCE, "Betting", spec)
+
+
+def test_settle_function_signature_validated():
+    spec = SplitSpec(participants_var="participant",
+                     result_function="reveal",
+                     settle_function="deposit")  # takes no result param
+    with pytest.raises(SplitError):
+        split_contract(BETTING_SOURCE, "Betting", spec)
+
+
+def test_result_function_must_return():
+    source = BETTING_SOURCE.replace(
+        "function reveal() private view returns (bool) {",
+        "function revealX() private view returns (bool) {",
+    )
+    spec = SplitSpec(participants_var="participant",
+                     result_function="reveal",
+                     settle_function="reassign")
+    with pytest.raises(SplitError):
+        split_contract(source, "Betting", spec)
+
+
+def test_mutable_offchain_state_rejected():
+    source = """
+    contract Bad {
+        address[2] public participant;
+        uint public knob;
+        constructor(address a, address b) public {
+            participant[0] = a;
+            participant[1] = b;
+        }
+        function tweak(uint v) public payable { knob = v; }
+        function compute() private returns (bool) { return knob > 5; }
+        function settle(bool r) public {
+            if (r) { participant[0].transfer(1); }
+            else { participant[1].transfer(1); }
+        }
+    }
+    """
+    spec = SplitSpec(
+        participants_var="participant",
+        result_function="compute",
+        settle_function="settle",
+        annotations={"compute": FunctionCategory.HEAVY_PRIVATE},
+    )
+    with pytest.raises(SplitError, match="mutat"):
+        split_contract(source, "Bad", spec)
+
+
+def test_mapping_dependency_in_heavy_function_rejected():
+    source = """
+    contract Bad {
+        address[2] public participant;
+        mapping(address => uint) scores;
+        constructor(address a, address b) public {
+            participant[0] = a;
+            participant[1] = b;
+        }
+        function compute() private returns (bool) {
+            return scores[participant[0]] > 1;
+        }
+        function settle(bool r) public {
+            if (r) { participant[0].transfer(1); }
+            else { participant[1].transfer(1); }
+        }
+    }
+    """
+    spec = SplitSpec(
+        participants_var="participant",
+        result_function="compute",
+        settle_function="settle",
+        annotations={"compute": FunctionCategory.HEAVY_PRIVATE},
+    )
+    with pytest.raises(SplitError, match="mapping"):
+        split_contract(source, "Bad", spec)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SplitSpec(participants_var="p", result_function="f",
+                  settle_function="f")
+    with pytest.raises(ValueError):
+        SplitSpec(participants_var="p", result_function="f",
+                  settle_function="g", challenge_period=-1)

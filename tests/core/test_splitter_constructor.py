@@ -1,0 +1,121 @@
+"""Constructor partitioning and split-source canonicality."""
+
+from repro.core.annotations import SplitSpec
+from repro.core.classify import FunctionCategory
+from repro.core.splitter import split_contract
+from repro.lang.parser import parse
+
+SOURCE = """
+contract Mixed {
+    address[2] public participant;
+    uint public onchainOnly;
+    uint public sharedTime;
+    uint public offchainSecret;
+    uint public offchainFactor;
+    bool public funded;
+
+    modifier participantOnly {
+        require(msg.sender == participant[0] ||
+                msg.sender == participant[1]);
+        _;
+    }
+
+    constructor(address a, address b, uint fee, uint t, uint secret,
+                uint factor) public {
+        participant[0] = a;
+        participant[1] = b;
+        onchainOnly = fee;
+        sharedTime = t;
+        offchainSecret = secret;
+        offchainFactor = factor;
+    }
+
+    function pay() payable public participantOnly {
+        require(msg.value == onchainOnly);
+        funded = true;
+    }
+
+    function compute() private view returns (uint) {
+        uint acc = offchainSecret;
+        for (uint i = 0; i < 8; i++) { acc = acc * offchainFactor + 1; }
+        return acc % 100;
+    }
+
+    function settle(uint outcome) public participantOnly {
+        require(funded);
+        funded = false;
+        if (outcome > 50) { participant[0].transfer(onchainOnly); }
+        else { participant[1].transfer(onchainOnly); }
+    }
+}
+"""
+
+SPEC = SplitSpec(
+    participants_var="participant",
+    result_function="compute",
+    settle_function="settle",
+    annotations={"compute": FunctionCategory.HEAVY_PRIVATE},
+)
+
+
+def test_onchain_constructor_keeps_only_onchain_assignments():
+    split = split_contract(SOURCE, "Mixed", SPEC)
+    onchain = parse(split.onchain_source).contract(split.onchain_name)
+    ctor = onchain.constructor
+    assert ctor is not None
+    ctor_source = ctor.to_source()
+    assert "participant[0] = a" in ctor_source
+    assert "onchainOnly = fee" in ctor_source
+    # The off-chain-only secrets never appear in the on-chain ctor.
+    assert "offchainSecret" not in ctor_source
+    assert "offchainFactor" not in ctor_source
+
+
+def test_onchain_constructor_params_pruned():
+    split = split_contract(SOURCE, "Mixed", SPEC)
+    onchain = parse(split.onchain_source).contract(split.onchain_name)
+    param_names = [p.name for p in onchain.constructor.parameters]
+    assert "secret" not in param_names
+    assert "factor" not in param_names
+    assert {"a", "b", "fee"} <= set(param_names)
+
+
+def test_offchain_constructor_covers_all_needed_state():
+    split = split_contract(SOURCE, "Mixed", SPEC)
+    offchain = parse(split.offchain_source).contract(split.offchain_name)
+    ctor = offchain.constructor
+    param_names = [p.name for p in ctor.parameters]
+    # One arg per participant element + each heavy-read state var.
+    assert "__participant_0" in param_names
+    assert "__participant_1" in param_names
+    assert "__offchainSecret" in param_names
+    assert "__offchainFactor" in param_names
+    # Nothing the heavy function never reads.
+    assert "__onchainOnly" not in param_names
+    assert "__funded" not in param_names
+
+
+def test_offchain_state_is_minimal():
+    split = split_contract(SOURCE, "Mixed", SPEC)
+    offchain = parse(split.offchain_source).contract(split.offchain_name)
+    names = {v.name for v in offchain.state_vars}
+    assert "offchainSecret" in names
+    assert "onchainOnly" not in names
+    assert "funded" not in names
+
+
+def test_split_source_is_reparse_stable():
+    """parse(to_source(x)) == to_source(x) for both halves — the
+    canonical-form property signatures depend on."""
+    split = split_contract(SOURCE, "Mixed", SPEC)
+    for source in (split.onchain_source, split.offchain_source):
+        reparsed = parse(source).to_source()
+        assert parse(reparsed).to_source() == reparsed
+
+
+def test_uint_result_type_padded_correctly():
+    split = split_contract(SOURCE, "Mixed", SPEC)
+    assert split.result_type_source == "uint"
+    assert "function enforceDisputeResolution(uint outcome)" in \
+        split.onchain_source
+    assert "uint public resolvedOutcome;" in split.onchain_source

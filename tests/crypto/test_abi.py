@@ -1,0 +1,131 @@
+"""Contract ABI codec."""
+
+import pytest
+
+from repro.crypto import abi
+from repro.crypto.keys import PrivateKey
+
+
+def test_known_selectors():
+    """Selectors published in the Solidity ABI spec / ecosystem."""
+    assert abi.function_selector("transfer", ["address", "uint256"]).hex() \
+        == "a9059cbb"
+    assert abi.function_selector("baz", ["uint32", "bool"]).hex() \
+        == "cdcd77c0"
+    assert abi.function_selector("sam", ["bytes", "bool", "uint256[]"]).hex() \
+        == "a5643bf2"
+
+
+def test_canonicalization_of_uint_alias():
+    assert abi.function_signature("f", ["uint", "int"]) == \
+        "f(uint256,int256)"
+    assert abi.function_selector("f", ["uint"]) == \
+        abi.function_selector("f", ["uint256"])
+
+
+def test_encode_uint():
+    data = abi.encode_arguments(["uint256"], [1])
+    assert data == b"\x00" * 31 + b"\x01"
+
+
+def test_uint_range_checked():
+    with pytest.raises(abi.AbiError):
+        abi.encode_arguments(["uint8"], [256])
+    with pytest.raises(abi.AbiError):
+        abi.encode_arguments(["uint256"], [-1])
+    abi.encode_arguments(["uint8"], [255])  # boundary ok
+
+
+def test_encode_bool():
+    assert abi.encode_arguments(["bool"], [True])[-1] == 1
+    assert abi.encode_arguments(["bool"], [False])[-1] == 0
+    with pytest.raises(abi.AbiError):
+        abi.encode_arguments(["bool"], [1])  # ints are not bools
+
+
+def test_encode_address_accepts_many_forms():
+    address = PrivateKey(1).address
+    word = abi.encode_arguments(["address"], [address])
+    assert word == abi.encode_arguments(["address"], [address.value])
+    assert word == abi.encode_arguments(["address"], [address.hex])
+    assert word == abi.encode_arguments(["address"], [address.to_int()])
+    assert word[:12] == b"\x00" * 12
+
+
+def test_encode_bytes32():
+    data = abi.encode_arguments(["bytes32"], [b"\x11" * 32])
+    assert data == b"\x11" * 32
+    with pytest.raises(abi.AbiError):
+        abi.encode_arguments(["bytes32"], [b"\x11" * 31])
+
+
+def test_encode_dynamic_bytes_layout():
+    payload = b"hello world!!"
+    data = abi.encode_arguments(["uint256", "bytes"], [7, payload])
+    # head: uint(7), offset(0x40); tail: len ‖ padded payload
+    assert int.from_bytes(data[0:32], "big") == 7
+    assert int.from_bytes(data[32:64], "big") == 64
+    assert int.from_bytes(data[64:96], "big") == len(payload)
+    assert data[96:96 + len(payload)] == payload
+    assert len(data) % 32 == 0
+
+
+def test_round_trip_mixed():
+    types = ["uint256", "bytes", "bool", "address", "bytes32", "uint8"]
+    values = [
+        123456789,
+        b"\xde\xad\xbe\xef" * 20,
+        True,
+        PrivateKey(5).address.value,
+        b"\xaa" * 32,
+        77,
+    ]
+    decoded = abi.decode_arguments(types, abi.encode_arguments(types, values))
+    assert decoded == values
+
+
+def test_round_trip_string():
+    data = abi.encode_arguments(["string"], ["héllo"])
+    assert abi.decode_arguments(["string"], data) == ["héllo"]
+
+
+def test_empty_bytes_round_trip():
+    data = abi.encode_arguments(["bytes"], [b""])
+    assert abi.decode_arguments(["bytes"], data) == [b""]
+
+
+def test_encode_call_prepends_selector():
+    data = abi.encode_call("transfer", ["address", "uint256"],
+                           [PrivateKey(1).address, 10])
+    assert data[:4].hex() == "a9059cbb"
+    assert len(data) == 4 + 64
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(abi.AbiError):
+        abi.encode_arguments(["uint256"], [1, 2])
+
+
+def test_decode_truncated_rejected():
+    with pytest.raises(abi.AbiError):
+        abi.decode_arguments(["uint256", "uint256"], b"\x00" * 32)
+
+
+def test_decode_dynamic_out_of_bounds_rejected():
+    bogus = (1000).to_bytes(32, "big")
+    with pytest.raises(abi.AbiError):
+        abi.decode_arguments(["bytes"], bogus)
+
+
+def test_int256_sign_round_trip():
+    data = abi.encode_arguments(["int256"], [-5])
+    assert abi.decode_arguments(["int256"], data) == [-5]
+
+
+def test_event_topic():
+    topic = abi.event_topic("Transfer", ["address", "address", "uint256"])
+    assert len(topic) == 32
+    # Canonical ERC-20 Transfer topic.
+    assert topic.hex() == (
+        "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+    )

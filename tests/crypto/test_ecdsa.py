@@ -1,0 +1,102 @@
+"""ECDSA signing, verification and public-key recovery."""
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.crypto.ecdsa import Signature, SignatureError
+from repro.crypto.keccak import keccak256
+from repro.crypto.secp256k1 import G, N, scalar_mult
+
+KEY = 0xC0FFEE
+HASH = keccak256(b"the paper's off-chain bytecode")
+
+
+def test_sign_produces_valid_signature():
+    signature = ecdsa.sign(HASH, KEY)
+    assert signature.v in (27, 28)
+    assert 0 < signature.r < N
+    assert 0 < signature.s <= N // 2  # low-s enforced
+
+
+def test_sign_is_deterministic():
+    """RFC 6979: same key + hash => identical signature."""
+    assert ecdsa.sign(HASH, KEY) == ecdsa.sign(HASH, KEY)
+
+
+def test_different_messages_different_signatures():
+    other = keccak256(b"something else")
+    assert ecdsa.sign(HASH, KEY) != ecdsa.sign(other, KEY)
+
+
+def test_verify_accepts_own_signature():
+    signature = ecdsa.sign(HASH, KEY)
+    public = scalar_mult(KEY, G)
+    assert ecdsa.verify(HASH, signature, public)
+
+
+def test_verify_rejects_wrong_key():
+    signature = ecdsa.sign(HASH, KEY)
+    assert not ecdsa.verify(HASH, signature, scalar_mult(KEY + 1, G))
+
+
+def test_verify_rejects_wrong_message():
+    signature = ecdsa.sign(HASH, KEY)
+    public = scalar_mult(KEY, G)
+    assert not ecdsa.verify(keccak256(b"tampered"), signature, public)
+
+
+def test_recover_round_trip():
+    signature = ecdsa.sign(HASH, KEY)
+    assert ecdsa.recover_public_key(HASH, signature) == scalar_mult(KEY, G)
+
+
+def test_recover_many_keys():
+    for key in (1, 2, 0xDEAD, 2**130 + 7, N - 2):
+        signature = ecdsa.sign(HASH, key)
+        assert ecdsa.recover_public_key(HASH, signature) == \
+            scalar_mult(key, G)
+
+
+def test_recover_flipped_v_gives_other_key():
+    signature = ecdsa.sign(HASH, KEY)
+    flipped = Signature(v=55 - signature.v, r=signature.r, s=signature.s)
+    recovered = ecdsa.recover_public_key(HASH, flipped)
+    assert recovered != scalar_mult(KEY, G)
+
+
+def test_signature_validation():
+    with pytest.raises(SignatureError):
+        Signature(v=26, r=1, s=1)
+    with pytest.raises(SignatureError):
+        Signature(v=27, r=0, s=1)
+    with pytest.raises(SignatureError):
+        Signature(v=27, r=1, s=N)
+
+
+def test_signature_bytes_round_trip():
+    signature = ecdsa.sign(HASH, KEY)
+    blob = signature.to_bytes()
+    assert len(blob) == 65
+    assert Signature.from_bytes(blob) == signature
+
+
+def test_signature_from_bytes_rejects_bad_length():
+    with pytest.raises(SignatureError):
+        Signature.from_bytes(b"\x00" * 64)
+
+
+def test_to_vrs_order():
+    signature = ecdsa.sign(HASH, KEY)
+    assert signature.to_vrs() == (signature.v, signature.r, signature.s)
+
+
+def test_sign_rejects_bad_hash_length():
+    with pytest.raises(SignatureError):
+        ecdsa.sign(b"short", KEY)
+
+
+def test_sign_rejects_out_of_range_key():
+    with pytest.raises(SignatureError):
+        ecdsa.sign(HASH, 0)
+    with pytest.raises(SignatureError):
+        ecdsa.sign(HASH, N)

@@ -1,0 +1,72 @@
+"""Keccak-256 against the canonical Ethereum test vectors."""
+
+import pytest
+
+from repro.crypto.keccak import keccak256, keccak256_hex
+
+# Vectors every Ethereum implementation must match.
+VECTORS = {
+    b"": "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470",
+    b"abc": "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45",
+}
+
+
+@pytest.mark.parametrize("message,digest", sorted(VECTORS.items()))
+def test_known_vectors(message, digest):
+    assert keccak256(message).hex() == digest
+
+
+def test_digest_is_32_bytes():
+    assert len(keccak256(b"x")) == 32
+
+
+def test_hex_helper_prefixes_0x():
+    assert keccak256_hex(b"") == "0x" + VECTORS[b""]
+
+
+def test_differs_from_nist_sha3():
+    """Ethereum keccak uses 0x01 padding, NIST SHA-3 uses 0x06."""
+    import hashlib
+
+    assert keccak256(b"abc") != hashlib.sha3_256(b"abc").digest()
+
+
+def test_one_byte_change_avalanches():
+    a = keccak256(b"hello world")
+    b = keccak256(b"hello worle")
+    differing_bits = sum(
+        bin(x ^ y).count("1") for x, y in zip(a, b)
+    )
+    # A proper hash flips roughly half the 256 output bits.
+    assert differing_bits > 80
+
+
+def test_exact_rate_boundary():
+    """Inputs of exactly 136 bytes (the rate) exercise full-block absorb."""
+    for length in (135, 136, 137, 272, 273):
+        digest = keccak256(b"a" * length)
+        assert len(digest) == 32
+        # Determinism
+        assert digest == keccak256(b"a" * length)
+
+
+def test_large_input():
+    digest = keccak256(b"\xff" * 10_000)
+    assert len(digest) == 32
+
+
+def test_accepts_bytearray_and_memoryview():
+    raw = b"some data"
+    assert keccak256(bytearray(raw)) == keccak256(raw)
+    assert keccak256(memoryview(raw)) == keccak256(raw)
+
+
+def test_rejects_str():
+    with pytest.raises(TypeError):
+        keccak256("not bytes")
+
+
+def test_function_selector_vector():
+    """The ERC-20 transfer selector is a well-known derived vector."""
+    digest = keccak256(b"transfer(address,uint256)")
+    assert digest[:4].hex() == "a9059cbb"

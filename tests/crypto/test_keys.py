@@ -1,0 +1,90 @@
+"""Key management and address derivation."""
+
+import pytest
+
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import Address, PrivateKey, recover_address
+
+# Canonical: the address of private key 0x...01.
+KEY1_ADDRESS = "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf"
+
+
+def test_address_of_private_key_one():
+    assert PrivateKey(1).address.hex == KEY1_ADDRESS
+
+
+def test_eip55_checksum():
+    assert PrivateKey(1).address.checksum == \
+        "0x7E5F4552091A69125d5DfCb7b8C2659029395Bdf"
+
+
+def test_address_from_hex_round_trip():
+    address = Address.from_hex(KEY1_ADDRESS)
+    assert address.hex == KEY1_ADDRESS
+    assert Address.from_hex(address.checksum) == address
+
+
+def test_address_requires_20_bytes():
+    with pytest.raises(ValueError):
+        Address(b"\x00" * 19)
+    with pytest.raises(ValueError):
+        Address.from_hex("0x1234")
+
+
+def test_zero_address_is_falsy():
+    assert not Address.zero()
+    assert Address.from_int(1)
+
+
+def test_address_int_round_trip():
+    address = PrivateKey(42).address
+    assert Address.from_int(address.to_int()) == address
+
+
+def test_from_seed_is_deterministic():
+    assert PrivateKey.from_seed("alice") == PrivateKey.from_seed("alice")
+    assert PrivateKey.from_seed("alice") != PrivateKey.from_seed("bob")
+
+
+def test_from_hex():
+    key = PrivateKey.from_hex("0x01")
+    assert key.secret == 1
+
+
+def test_generate_produces_distinct_keys():
+    assert PrivateKey.generate().secret != PrivateKey.generate().secret
+
+
+def test_key_range_validation():
+    with pytest.raises(ValueError):
+        PrivateKey(0)
+
+
+def test_sign_and_recover_address():
+    key = PrivateKey.from_seed("carol")
+    digest = keccak256(b"bytecode to sign")
+    signature = key.sign(digest)
+    assert recover_address(digest, signature) == key.address
+
+
+def test_recover_address_mismatch_on_tamper():
+    key = PrivateKey.from_seed("carol")
+    digest = keccak256(b"original")
+    signature = key.sign(digest)
+    assert recover_address(keccak256(b"tampered"), signature) != key.address
+
+
+def test_public_key_verify():
+    key = PrivateKey.from_seed("dave")
+    digest = keccak256(b"message")
+    assert key.public_key.verify(digest, key.sign(digest))
+    other = PrivateKey.from_seed("eve")
+    assert not other.public_key.verify(digest, key.sign(digest))
+
+
+def test_public_key_bytes_is_64():
+    assert len(PrivateKey(7).public_key.to_bytes()) == 64
+
+
+def test_private_key_to_bytes():
+    assert PrivateKey(1).to_bytes() == b"\x00" * 31 + b"\x01"

@@ -1,0 +1,106 @@
+"""RLP encoding against the specification's vectors."""
+
+import pytest
+
+from repro.crypto import rlp
+
+LOREM = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+
+
+# (python value, expected encoding) — from the Ethereum wiki RLP page.
+SPEC_VECTORS = [
+    (b"dog", b"\x83dog"),
+    ([b"cat", b"dog"], b"\xc8\x83cat\x83dog"),
+    (b"", b"\x80"),
+    (0, b"\x80"),
+    (b"\x0f", b"\x0f"),
+    (15, b"\x0f"),
+    (1024, b"\x82\x04\x00"),
+    ([], b"\xc0"),
+    # set-theoretic representation of three
+    ([[], [[]], [[], [[]]]], b"\xc7\xc0\xc1\xc0\xc3\xc0\xc1\xc0"),
+    (LOREM, b"\xb8\x38" + LOREM),
+]
+
+
+@pytest.mark.parametrize("value,expected", SPEC_VECTORS)
+def test_spec_vectors(value, expected):
+    assert rlp.encode(value) == expected
+
+
+@pytest.mark.parametrize("value,expected", SPEC_VECTORS)
+def test_spec_vectors_decode(value, expected):
+    decoded = rlp.decode(expected)
+    normalized = _normalize(value)
+    assert decoded == normalized
+
+
+def _normalize(value):
+    """ints encode as their big-endian bytes; lists recurse."""
+    if isinstance(value, int):
+        return rlp.encode_int(value)
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item) for item in value]
+    return value
+
+
+def test_single_small_byte_is_itself():
+    for byte in range(0x80):
+        assert rlp.encode(bytes([byte])) == bytes([byte])
+
+
+def test_long_string_and_list():
+    big = b"x" * 60_000
+    encoded = rlp.encode(big)
+    assert rlp.decode(encoded) == big
+    encoded_list = rlp.encode([big, b"tail"])
+    assert rlp.decode(encoded_list) == [big, b"tail"]
+
+
+def test_nested_round_trip():
+    value = [b"cat", [b"dog", b""], b"", [b"", [b"deep"]]]
+    assert rlp.decode(rlp.encode(value)) == value
+
+
+def test_negative_int_rejected():
+    with pytest.raises(rlp.RlpError):
+        rlp.encode(-1)
+
+
+def test_bool_rejected():
+    with pytest.raises(rlp.RlpError):
+        rlp.encode(True)
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(rlp.RlpError):
+        rlp.encode(3.14)
+
+
+def test_trailing_bytes_rejected():
+    with pytest.raises(rlp.RlpError):
+        rlp.decode(rlp.encode(b"dog") + b"\x00")
+
+
+def test_truncated_input_rejected():
+    with pytest.raises(rlp.RlpError):
+        rlp.decode(b"\x85dog")  # declared 5 bytes, only 3 present
+
+
+def test_non_canonical_single_byte_rejected():
+    # 0x81 0x05 is the non-canonical form of 0x05.
+    with pytest.raises(rlp.RlpError):
+        rlp.decode(b"\x81\x05")
+
+
+def test_decode_int():
+    assert rlp.decode_int(b"") == 0
+    assert rlp.decode_int(b"\x04\x00") == 1024
+    with pytest.raises(rlp.RlpError):
+        rlp.decode_int(b"\x00\x01")  # leading zero
+
+
+def test_encode_int_minimal():
+    assert rlp.encode_int(0) == b""
+    assert rlp.encode_int(255) == b"\xff"
+    assert rlp.encode_int(256) == b"\x01\x00"

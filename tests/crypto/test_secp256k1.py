@@ -1,0 +1,109 @@
+"""secp256k1 point arithmetic."""
+
+import pytest
+
+from repro.crypto import secp256k1 as curve
+
+# 2G, the doubling of the generator (SEC test value).
+G2 = (
+    0xC6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5,
+    0x1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A,
+)
+
+
+def test_generator_on_curve():
+    assert curve.is_on_curve(curve.G)
+
+
+def test_infinity_on_curve():
+    assert curve.is_on_curve(None)
+
+
+def test_off_curve_point_detected():
+    assert not curve.is_on_curve((1, 2))
+
+
+def test_double_generator():
+    assert curve.point_double(curve.G) == G2
+    assert curve.scalar_mult(2) == G2
+
+
+def test_add_commutative():
+    p = curve.scalar_mult(17)
+    q = curve.scalar_mult(99)
+    assert curve.point_add(p, q) == curve.point_add(q, p)
+
+
+def test_add_identity():
+    p = curve.scalar_mult(12345)
+    assert curve.point_add(p, None) == p
+    assert curve.point_add(None, p) == p
+
+
+def test_add_inverse_is_infinity():
+    p = curve.scalar_mult(7)
+    assert curve.point_add(p, curve.point_neg(p)) is None
+
+
+def test_scalar_mult_matches_repeated_addition():
+    accumulated = None
+    for k in range(1, 20):
+        accumulated = curve.point_add(accumulated, curve.G)
+        assert curve.scalar_mult(k) == accumulated
+
+
+def test_order_annihilates_generator():
+    assert curve.scalar_mult(curve.N) is None
+    assert curve.scalar_mult(curve.N + 5) == curve.scalar_mult(5)
+
+
+def test_scalar_distributes_over_addition():
+    # (a + b)G == aG + bG
+    a, b = 123_456_789, 987_654_321
+    lhs = curve.scalar_mult(a + b)
+    rhs = curve.point_add(curve.scalar_mult(a), curve.scalar_mult(b))
+    assert lhs == rhs
+
+
+def test_lift_x_recovers_both_parities():
+    p = curve.scalar_mult(42)
+    x, y = p
+    assert curve.lift_x(x, y & 1) == p
+    other = curve.lift_x(x, (y & 1) ^ 1)
+    assert other == (x, curve.P - y)
+
+
+def test_lift_x_rejects_non_residue():
+    # x = 5 is a known non-curve abscissa? Verify via round trip logic:
+    # find an x that fails and assert None is returned.
+    failures = [
+        x for x in range(1, 40) if curve.lift_x(x, 0) is None
+    ]
+    assert failures, "expected at least one non-curve x below 40"
+
+
+def test_serialize_uncompressed_round_trip():
+    p = curve.scalar_mult(31337)
+    blob = curve.serialize_point(p)
+    assert blob[0] == 0x04 and len(blob) == 65
+    assert curve.deserialize_point(blob) == p
+
+
+def test_serialize_compressed_round_trip():
+    for k in (1, 2, 777, 2**200):
+        p = curve.scalar_mult(k)
+        blob = curve.serialize_point(p, compressed=True)
+        assert blob[0] in (2, 3) and len(blob) == 33
+        assert curve.deserialize_point(blob) == p
+
+
+def test_serialize_infinity_raises():
+    with pytest.raises(ValueError):
+        curve.serialize_point(None)
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(ValueError):
+        curve.deserialize_point(b"\x05" + b"\x00" * 64)
+    with pytest.raises(ValueError):
+        curve.deserialize_point(b"\x04" + b"\x01" * 64)  # not on curve

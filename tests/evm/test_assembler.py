@@ -1,0 +1,124 @@
+"""Assembler / disassembler."""
+
+import pytest
+
+from repro.evm import opcodes
+from repro.evm.assembler import AssemblerError, Program, assemble, disassemble
+
+
+def test_assemble_simple():
+    code = assemble("PUSH1 0x2a\nPUSH1 0x00\nMSTORE")
+    assert code == bytes([0x60, 0x2A, 0x60, 0x00, 0x52])
+
+
+def test_assemble_comments_and_blanks():
+    code = assemble("""
+    ; a comment line
+    PUSH1 0x01   ; trailing comment
+
+    POP
+    """)
+    assert code == bytes([0x60, 0x01, 0x50])
+
+
+def test_assemble_labels():
+    code = assemble("""
+    PUSH @end
+    JUMP
+    PUSH1 0xff
+    end:
+    STOP
+    """)
+    # PUSH2 <offset of 'end'> JUMP PUSH1 0xff JUMPDEST STOP
+    end_offset = 6
+    assert code == bytes([0x61, 0x00, end_offset, 0x56, 0x60, 0xFF,
+                          0x5B, 0x00])
+
+
+def test_undefined_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble("PUSH @nowhere\nJUMP")
+
+
+def test_duplicate_label_raises():
+    with pytest.raises(AssemblerError):
+        assemble("a:\nSTOP\na:\nSTOP")
+
+
+def test_push_width_selection():
+    program = Program()
+    program.push(0)
+    program.push(0xFF)
+    program.push(0x100)
+    code = program.assemble()
+    assert code == bytes([0x60, 0x00, 0x60, 0xFF, 0x61, 0x01, 0x00])
+
+
+def test_push_fixed_width():
+    program = Program()
+    program.push(5, width=4)
+    assert program.assemble() == bytes([0x63, 0, 0, 0, 5])
+
+
+def test_push_value_too_wide_raises():
+    with pytest.raises(AssemblerError):
+        Program().push(256, width=1)
+
+
+def test_push_negative_raises():
+    with pytest.raises(AssemblerError):
+        Program().push(-1)
+
+
+def test_push_bytes():
+    program = Program()
+    program.push_bytes(b"\xde\xad")
+    assert program.assemble() == bytes([0x61, 0xDE, 0xAD])
+
+
+def test_mark_does_not_emit_jumpdest():
+    program = Program()
+    program.push_label("data")
+    program.op("POP")
+    program.mark("data")
+    program.raw(b"\xaa\xbb")
+    code = program.assemble()
+    # PUSH2 0x0004 POP <data>
+    assert code == bytes([0x61, 0x00, 0x04, 0x50, 0xAA, 0xBB])
+
+
+def test_append_relocates_labels():
+    first = Program()
+    first.push(1).op("POP")
+    second = Program()
+    second.label("tail")
+    second.push_label("tail")
+    first.append(second)
+    code = first.assemble()
+    # tail sits at offset 3 (after PUSH1 01 POP)
+    assert code == bytes([0x60, 0x01, 0x50, 0x5B, 0x61, 0x00, 0x03])
+
+
+def test_disassemble_round_trip():
+    source = "PUSH1 0x2a\nPUSH1 0x00\nMSTORE\nSTOP"
+    listing = disassemble(assemble(source))
+    assert [text for __, text in listing] == [
+        "PUSH1 0x2a", "PUSH1 0x00", "MSTORE", "STOP",
+    ]
+
+
+def test_disassemble_unknown_byte():
+    listing = disassemble(bytes([0x0C]))
+    assert listing == [(0, "UNKNOWN_0x0c")]
+
+
+def test_op_with_immediate_rejected():
+    with pytest.raises(AssemblerError):
+        Program().op("PUSH1")
+
+
+def test_every_mnemonic_known():
+    for opcode in opcodes.OPCODES.values():
+        assert opcodes.by_mnemonic(opcode.mnemonic) is opcode
+    with pytest.raises(KeyError):
+        opcodes.by_mnemonic("FROBNICATE")

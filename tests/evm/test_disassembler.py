@@ -1,0 +1,66 @@
+"""Disassembler coverage over real compiled contracts."""
+
+from repro.evm import opcodes
+from repro.evm.assembler import assemble, disassemble
+from repro.lang import compile_contract
+from tests.conftest import COUNTER_SOURCE
+
+
+def _reassemble(listing) -> bytes:
+    """Rebuild bytecode from a disassembly listing."""
+    out = bytearray()
+    for __, text in listing:
+        if text.startswith("UNKNOWN_"):
+            out.append(int(text.split("_0x")[1], 16))
+            continue
+        parts = text.split()
+        opcode = opcodes.by_mnemonic(parts[0])
+        out.append(opcode.value)
+        if opcode.immediate_size:
+            out.extend(bytes.fromhex(parts[1][2:]))
+    return bytes(out)
+
+
+def test_disassemble_reassemble_roundtrip_compiled_contract():
+    compiled = compile_contract(COUNTER_SOURCE)
+    for code in (compiled.runtime_code, compiled.init_code):
+        listing = disassemble(code)
+        assert _reassemble(listing) == code
+
+
+def test_offsets_are_monotonic_and_dense():
+    compiled = compile_contract(COUNTER_SOURCE)
+    listing = disassemble(compiled.runtime_code)
+    position = 0
+    for offset, text in listing:
+        assert offset == position
+        parts = text.split()
+        if text.startswith("UNKNOWN_"):
+            position += 1
+        else:
+            opcode = opcodes.by_mnemonic(parts[0])
+            position += 1 + opcode.immediate_size
+    assert position == len(compiled.runtime_code)
+
+
+def test_compiled_dispatcher_starts_with_free_pointer_setup():
+    compiled = compile_contract(COUNTER_SOURCE)
+    listing = disassemble(compiled.runtime_code)
+    mnemonics = [text.split()[0] for __, text in listing[:3]]
+    # PUSH <free base>, PUSH1 0x40, MSTORE
+    assert mnemonics[1] == "PUSH1"
+    assert mnemonics[2] == "MSTORE"
+
+
+def test_truncated_push_immediate_handled():
+    # PUSH32 with only 2 immediate bytes present.
+    listing = disassemble(bytes([0x7F, 0xAA, 0xBB]))
+    assert listing[0][1].startswith("PUSH32 0xaabb")
+
+
+def test_every_selector_appears_in_dispatcher():
+    compiled = compile_contract(COUNTER_SOURCE)
+    listing = disassemble(compiled.runtime_code)
+    text = "\n".join(t for __, t in listing)
+    for fn in compiled.abi.functions:
+        assert f"PUSH4 0x{fn.selector.hex()}" in text

@@ -1,0 +1,58 @@
+"""The Constantinople gas schedule helpers."""
+
+from repro.evm import gas
+
+
+def test_intrinsic_gas_plain_transfer():
+    assert gas.intrinsic_gas(b"", is_create=False) == 21_000
+
+
+def test_intrinsic_gas_create():
+    assert gas.intrinsic_gas(b"", is_create=True) == 53_000
+
+
+def test_intrinsic_gas_calldata_pricing():
+    # 4 per zero byte, 68 per non-zero byte.
+    data = b"\x00\x01\x00\xff"
+    assert gas.intrinsic_gas(data, is_create=False) == \
+        21_000 + 4 + 68 + 4 + 68
+
+
+def test_words_for_bytes():
+    assert gas.words_for_bytes(0) == 0
+    assert gas.words_for_bytes(1) == 1
+    assert gas.words_for_bytes(32) == 1
+    assert gas.words_for_bytes(33) == 2
+
+
+def test_sha3_gas():
+    assert gas.sha3_gas(0) == 30
+    assert gas.sha3_gas(32) == 36
+    assert gas.sha3_gas(64) == 42
+
+
+def test_copy_gas():
+    assert gas.copy_gas(0) == 0
+    assert gas.copy_gas(1) == 3
+    assert gas.copy_gas(64) == 6
+
+
+def test_sstore_set_vs_reset():
+    assert gas.sstore_gas_and_refund(0, 1) == (20_000, 0)
+    assert gas.sstore_gas_and_refund(1, 2) == (5_000, 0)
+    assert gas.sstore_gas_and_refund(1, 0) == (5_000, 15_000)
+    assert gas.sstore_gas_and_refund(0, 0) == (5_000, 0)
+
+
+def test_memory_expansion_monotonic():
+    previous = 0
+    for words in range(0, 2_000, 37):
+        cost = gas.memory_gas(words)
+        assert cost >= previous
+        previous = cost
+
+
+def test_63_64_rule():
+    assert gas.max_call_gas(64) == 63
+    assert gas.max_call_gas(6_400) == 6_300
+    assert gas.max_call_gas(0) == 0

@@ -1,0 +1,77 @@
+"""EVM memory: word-granular growth and expansion pricing."""
+
+from repro.evm import gas
+from repro.evm.memory import Memory
+
+
+def test_starts_empty():
+    assert len(Memory()) == 0
+    assert Memory().word_count == 0
+
+
+def test_extend_rounds_to_words():
+    memory = Memory()
+    memory.extend(0, 1)
+    assert len(memory) == 32
+    memory.extend(31, 2)  # crosses into the second word
+    assert len(memory) == 64
+
+
+def test_extend_zero_size_is_noop():
+    memory = Memory()
+    memory.extend(10_000, 0)
+    assert len(memory) == 0
+
+
+def test_read_write_round_trip():
+    memory = Memory()
+    memory.extend(64, 32)
+    memory.write(64, b"\xab" * 32)
+    assert memory.read(64, 32) == b"\xab" * 32
+
+
+def test_word_round_trip():
+    memory = Memory()
+    memory.extend(0, 32)
+    memory.write_word(0, 0xDEADBEEF)
+    assert memory.read_word(0) == 0xDEADBEEF
+
+
+def test_zero_initialised():
+    memory = Memory()
+    memory.extend(0, 64)
+    assert memory.read(0, 64) == b"\x00" * 64
+
+
+def test_expansion_cost_matches_yellow_paper():
+    memory = Memory()
+    # First word: 3 gas linear, no quadratic yet.
+    assert memory.expansion_cost(0, 32) == gas.memory_gas(1)
+    memory.extend(0, 32)
+    # Growing to 2 words costs the marginal difference.
+    expected = gas.memory_gas(2) - gas.memory_gas(1)
+    assert memory.expansion_cost(0, 64) == expected
+
+
+def test_expansion_cost_zero_when_within_bounds():
+    memory = Memory()
+    memory.extend(0, 64)
+    assert memory.expansion_cost(0, 32) == 0
+    assert memory.expansion_cost(0, 0) == 0
+
+
+def test_quadratic_term_kicks_in():
+    words = 1_000
+    linear = gas.G_MEMORY * words
+    total = gas.memory_gas(words)
+    assert total == linear + words * words // gas.G_QUAD_DIVISOR
+    assert total > linear
+
+
+def test_snapshot_copies():
+    memory = Memory()
+    memory.extend(0, 32)
+    memory.write_word(0, 7)
+    snap = memory.snapshot()
+    memory.write_word(0, 8)
+    assert snap != memory.snapshot()

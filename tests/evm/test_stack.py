@@ -1,0 +1,93 @@
+"""EVM operand stack semantics."""
+
+import pytest
+
+from repro.evm.exceptions import StackOverflow, StackUnderflow
+from repro.evm.stack import STACK_LIMIT, UINT256_MAX, Stack
+
+
+def test_push_pop():
+    stack = Stack()
+    stack.push(1)
+    stack.push(2)
+    assert stack.pop() == 2
+    assert stack.pop() == 1
+    assert len(stack) == 0
+
+
+def test_values_masked_to_256_bits():
+    stack = Stack()
+    stack.push(UINT256_MAX + 1)
+    assert stack.pop() == 0
+    stack.push(-1)
+    assert stack.pop() == UINT256_MAX
+
+
+def test_pop_empty_underflows():
+    with pytest.raises(StackUnderflow):
+        Stack().pop()
+
+
+def test_pop_many_order():
+    stack = Stack()
+    for value in (1, 2, 3):
+        stack.push(value)
+    assert stack.pop_many(2) == [3, 2]
+    assert stack.pop() == 1
+
+
+def test_pop_many_underflow():
+    stack = Stack()
+    stack.push(1)
+    with pytest.raises(StackUnderflow):
+        stack.pop_many(2)
+
+
+def test_peek():
+    stack = Stack()
+    stack.push(10)
+    stack.push(20)
+    assert stack.peek() == 20
+    assert stack.peek(1) == 10
+    assert len(stack) == 2
+    with pytest.raises(StackUnderflow):
+        stack.peek(2)
+
+
+def test_dup():
+    stack = Stack()
+    stack.push(5)
+    stack.push(6)
+    stack.dup(2)  # DUP2 copies the 5
+    assert stack.pop() == 5
+    assert stack.items() == (5, 6)
+
+
+def test_dup_underflow():
+    stack = Stack()
+    stack.push(1)
+    with pytest.raises(StackUnderflow):
+        stack.dup(2)
+
+
+def test_swap():
+    stack = Stack()
+    for value in (1, 2, 3):
+        stack.push(value)
+    stack.swap(2)  # SWAP2: swap top (3) with third (1)
+    assert stack.items() == (3, 2, 1)
+
+
+def test_swap_underflow():
+    stack = Stack()
+    stack.push(1)
+    with pytest.raises(StackUnderflow):
+        stack.swap(1)
+
+
+def test_overflow_at_limit():
+    stack = Stack()
+    for value in range(STACK_LIMIT):
+        stack.push(value)
+    with pytest.raises(StackOverflow):
+        stack.push(0)

@@ -1,0 +1,163 @@
+"""Execution tracing and gas profiling."""
+
+from repro.evm.tracer import (
+    GasProfiler,
+    StructLogTracer,
+    category_of,
+)
+from repro.evm import opcodes
+from repro.evm.assembler import assemble
+from repro.evm.vm import EVM, Message
+from tests.evm.vm_harness import CALLER, CONTRACT, make_env
+
+SIMPLE = """
+PUSH1 0x2a
+PUSH1 0x00
+SSTORE
+STOP
+"""
+
+
+def _run_traced(source, tracer, gas=1_000_000):
+    state, evm = make_env()
+    evm.tracer = tracer
+    state.set_code(CONTRACT, assemble(source))
+    return evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                               data=b"", gas=gas, origin=CALLER))
+
+
+def test_structlog_records_every_step():
+    tracer = StructLogTracer()
+    result = _run_traced(SIMPLE, tracer)
+    assert result.success
+    mnemonics = [step.mnemonic for step in tracer.steps]
+    assert mnemonics == ["PUSH1", "PUSH1", "SSTORE", "STOP"]
+    assert all(step.depth == 0 for step in tracer.steps)
+
+
+def test_structlog_gas_costs_sum_to_execution_gas():
+    tracer = StructLogTracer()
+    result = _run_traced(SIMPLE, tracer)
+    assert sum(step.gas_cost for step in tracer.steps) == result.gas_used
+
+
+def test_structlog_pc_and_stack_tracking():
+    tracer = StructLogTracer()
+    _run_traced(SIMPLE, tracer)
+    assert [step.pc for step in tracer.steps] == [0, 2, 4, 5]
+    # Stack size after each op: 1, 2, 0, 0.
+    assert [step.stack_size for step in tracer.steps] == [1, 2, 0, 0]
+
+
+def test_structlog_truncation():
+    tracer = StructLogTracer(max_steps=2)
+    _run_traced(SIMPLE, tracer)
+    assert len(tracer.steps) == 2
+    assert tracer.truncated
+
+
+def test_profiler_aggregates_by_opcode_and_category():
+    profiler = GasProfiler()
+    result = _run_traced(SIMPLE, profiler)
+    profile = profiler.profile
+    assert profile.total_gas == result.gas_used
+    assert profile.by_opcode["SSTORE"] == 20_000
+    assert profile.by_category["storage"] == 20_000
+    assert profile.by_category["stack"] == 6
+    assert profile.op_counts["PUSH1"] == 2
+    assert profile.top_opcodes(1)[0][0] == "SSTORE"
+
+
+def test_profiler_category_shares():
+    profiler = GasProfiler()
+    _run_traced(SIMPLE, profiler)
+    shares = profiler.profile.category_shares()
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    assert shares["storage"] > 0.99
+
+
+def test_profiler_depth_limit_excludes_children():
+    # A contract that CALLs another; depth_limit=0 folds the child's
+    # gas into the CALL step.
+    state, evm = make_env()
+    other = CONTRACT.value[:-1] + b"\x99"
+    from repro.crypto.keys import Address
+
+    other_addr = Address(other)
+    state.set_code(other_addr, assemble(SIMPLE))
+    source = f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(other_addr.to_int())}
+    PUSH3 0x0f4240
+    CALL
+    POP
+    STOP
+    """
+    exclusive = GasProfiler(depth_limit=0)
+    evm.tracer = exclusive
+    state.set_code(CONTRACT, assemble(source))
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=1_000_000, origin=CALLER))
+    assert result.success
+    profile = exclusive.profile
+    # Exclusive decomposition: totals match the frame's gas exactly.
+    assert profile.total_gas == result.gas_used
+    # The CALL step carries the child's 20k SSTORE.
+    assert profile.by_category["call"] > 20_000
+    # The child's own steps were not double counted.
+    assert profile.by_category["storage"] == 0
+
+
+def test_profiler_all_depths_counts_child_steps():
+    state, evm = make_env()
+    from repro.crypto.keys import Address
+
+    other_addr = Address(CONTRACT.value[:-1] + b"\x98")
+    state.set_code(other_addr, assemble(SIMPLE))
+    source = f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(other_addr.to_int())}
+    PUSH3 0x0f4240
+    CALL
+    POP
+    STOP
+    """
+    inclusive = GasProfiler(depth_limit=None)
+    evm.tracer = inclusive
+    state.set_code(CONTRACT, assemble(source))
+    evm.execute(Message(sender=CALLER, to=CONTRACT, value=0, data=b"",
+                        gas=1_000_000, origin=CALLER))
+    assert inclusive.profile.by_category["storage"] == 20_000
+
+
+def test_category_mapping_total():
+    # Every opcode has a category.
+    for value in opcodes.OPCODES:
+        assert category_of(value) in {
+            "storage", "hashing", "memory", "call", "create", "log",
+            "flow", "stack", "environment", "arithmetic",
+        }
+    assert category_of(opcodes.SSTORE) == "storage"
+    assert category_of(opcodes.SHA3) == "hashing"
+    assert category_of(opcodes.ADD) == "arithmetic"
+
+
+def test_simulator_profile_helper(sim):
+    from tests.conftest import COUNTER_SOURCE, deploy_source
+
+    alice = sim.accounts[0]
+    counter = deploy_source(sim, alice, COUNTER_SOURCE, args=[0])
+    fn = counter.abi.function("increment")
+    profile = sim.profile(alice, counter.address, fn.encode_call([]))
+    assert profile.total_gas > 0
+    assert profile.by_category["storage"] >= 20_000  # count 0 -> 1
+    # Nothing was committed.
+    assert counter.call("count") == 0

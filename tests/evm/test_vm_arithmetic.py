@@ -1,0 +1,150 @@
+"""Arithmetic/logic opcode semantics (yellow paper §H.2)."""
+
+import pytest
+
+from tests.evm.vm_harness import run_expr
+
+MAX = (1 << 256) - 1
+
+
+def signed(value: int) -> int:
+    return value - (1 << 256) if value >> 255 else value
+
+
+# In-source stack comments: the SECOND push ends on top, so for
+# non-commutative ops the EVM computes f(top, next) = f(b, a) when the
+# program reads "PUSH a, PUSH b".
+
+def test_add():
+    assert run_expr("PUSH1 0x02\nPUSH1 0x03\nADD") == 5
+
+
+def test_add_wraps():
+    assert run_expr(f"PUSH32 {hex(MAX)}\nPUSH1 0x01\nADD") == 0
+
+
+def test_mul():
+    assert run_expr("PUSH1 0x06\nPUSH1 0x07\nMUL") == 42
+
+
+def test_sub_order():
+    # SUB computes top - next: push 3 then 10 => 10 - 3.
+    assert run_expr("PUSH1 0x03\nPUSH1 0x0a\nSUB") == 7
+
+
+def test_sub_underflow_wraps():
+    assert run_expr("PUSH1 0x01\nPUSH1 0x00\nSUB") == MAX
+
+
+def test_div():
+    assert run_expr("PUSH1 0x03\nPUSH1 0x0c\nDIV") == 4
+
+
+def test_div_by_zero_is_zero():
+    assert run_expr("PUSH1 0x00\nPUSH1 0x0c\nDIV") == 0
+
+
+def test_sdiv_negative():
+    # -12 / 3 == -4
+    minus12 = hex((1 << 256) - 12)
+    result = run_expr(f"PUSH1 0x03\nPUSH32 {minus12}\nSDIV")
+    assert signed(result) == -4
+
+
+def test_mod():
+    assert run_expr("PUSH1 0x05\nPUSH1 0x11\nMOD") == 2
+
+
+def test_mod_by_zero_is_zero():
+    assert run_expr("PUSH1 0x00\nPUSH1 0x11\nMOD") == 0
+
+
+def test_smod_sign_follows_dividend():
+    minus17 = hex((1 << 256) - 17)
+    result = run_expr(f"PUSH1 0x05\nPUSH32 {minus17}\nSMOD")
+    assert signed(result) == -2
+
+
+def test_addmod():
+    # ADDMOD pops a, b, n -> (a + b) % n
+    assert run_expr("PUSH1 0x08\nPUSH1 0x0a\nPUSH1 0x0a\nADDMOD") == 4
+
+
+def test_mulmod():
+    assert run_expr("PUSH1 0x08\nPUSH1 0x0a\nPUSH1 0x0a\nMULMOD") == 4
+
+
+def test_exp():
+    assert run_expr("PUSH1 0x0a\nPUSH1 0x02\nEXP") == 1024
+
+
+def test_exp_gas_scales_with_exponent_size():
+    from tests.evm.vm_harness import run_asm
+
+    small = run_asm("PUSH1 0x01\nPUSH1 0x02\nEXP\nSTOP")
+    big = run_asm("PUSH32 " + hex(MAX) + "\nPUSH1 0x02\nEXP\nSTOP")
+    assert big.gas_used - small.gas_used == 50 * 31
+
+
+def test_signextend():
+    # Sign-extend 0xff from byte 0 => -1.
+    assert run_expr("PUSH1 0xff\nPUSH1 0x00\nSIGNEXTEND") == MAX
+    assert run_expr("PUSH1 0x7f\nPUSH1 0x00\nSIGNEXTEND") == 0x7F
+
+
+def test_lt_gt():
+    assert run_expr("PUSH1 0x02\nPUSH1 0x01\nLT") == 1  # 1 < 2
+    assert run_expr("PUSH1 0x01\nPUSH1 0x02\nLT") == 0
+    assert run_expr("PUSH1 0x01\nPUSH1 0x02\nGT") == 1  # 2 > 1
+
+
+def test_slt_sgt():
+    minus1 = hex(MAX)
+    assert run_expr(f"PUSH1 0x00\nPUSH32 {minus1}\nSLT") == 1  # -1 < 0
+    assert run_expr(f"PUSH32 {minus1}\nPUSH1 0x00\nSGT") == 1  # 0 > -1
+
+
+def test_eq_iszero():
+    assert run_expr("PUSH1 0x05\nPUSH1 0x05\nEQ") == 1
+    assert run_expr("PUSH1 0x05\nPUSH1 0x06\nEQ") == 0
+    assert run_expr("PUSH1 0x00\nISZERO") == 1
+    assert run_expr("PUSH1 0x09\nISZERO") == 0
+
+
+def test_bitwise():
+    assert run_expr("PUSH1 0x0c\nPUSH1 0x0a\nAND") == 8
+    assert run_expr("PUSH1 0x0c\nPUSH1 0x0a\nOR") == 14
+    assert run_expr("PUSH1 0x0c\nPUSH1 0x0a\nXOR") == 6
+    assert run_expr("PUSH1 0x00\nNOT") == MAX
+
+
+def test_byte():
+    # BYTE(i=31, x=0xff) picks the least significant byte.
+    assert run_expr("PUSH1 0xff\nPUSH1 0x1f\nBYTE") == 0xFF
+    assert run_expr("PUSH1 0xff\nPUSH1 0x00\nBYTE") == 0
+    assert run_expr("PUSH1 0xff\nPUSH1 0x20\nBYTE") == 0  # out of range
+
+
+def test_shifts():
+    assert run_expr("PUSH1 0x01\nPUSH1 0x04\nSHL") == 16
+    assert run_expr("PUSH1 0x10\nPUSH1 0x04\nSHR") == 1
+    # SHR with shift >= 256 yields 0.
+    assert run_expr("PUSH1 0x01\nPUSH2 0x0100\nSHR") == 0
+
+
+def test_sar_arithmetic_shift():
+    minus16 = hex((1 << 256) - 16)
+    result = run_expr(f"PUSH32 {minus16}\nPUSH1 0x02\nSAR")
+    assert signed(result) == -4
+
+
+def test_dup_swap_pop():
+    assert run_expr("PUSH1 0x09\nDUP1\nADD") == 18
+    # SWAP1 turns [1,2] into [2,1]; SUB computes 1 - 2 == -1 (wrapped).
+    assert run_expr("PUSH1 0x01\nPUSH1 0x02\nSWAP1\nSUB") == MAX
+    assert run_expr("PUSH1 0x07\nPUSH1 0x09\nPOP") == 7
+
+
+def test_push_widths():
+    assert run_expr("PUSH32 " + hex(1 << 255)) == 1 << 255
+    assert run_expr("PUSH2 0x1234") == 0x1234

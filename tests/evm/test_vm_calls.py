@@ -1,0 +1,348 @@
+"""Message calls, CREATE, precompiles, static contexts."""
+
+from repro.chain.state import WorldState
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import Address, PrivateKey
+from repro.evm.assembler import assemble
+from repro.evm.vm import EVM, BlockContext, Message, compute_contract_address
+from tests.evm.vm_harness import CALLER, CONTRACT, make_env, run_asm
+
+OTHER = Address.from_int(0xBEEF)
+
+
+def _store42_code() -> bytes:
+    """A contract that stores 42 at slot 0 and returns 0x2a."""
+    return assemble("""
+    PUSH1 0x2a
+    PUSH1 0x00
+    SSTORE
+    PUSH1 0x2a
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """)
+
+
+def test_call_runs_callee_and_returns_output():
+    state, evm = make_env()
+    state.set_code(OTHER, _store42_code())
+    result = run_asm(f"""
+    PUSH1 0x20      ; out size
+    PUSH1 0x00      ; out offset
+    PUSH1 0x00      ; in size
+    PUSH1 0x00      ; in offset
+    PUSH1 0x00      ; value
+    PUSH32 {hex(OTHER.to_int())}
+    PUSH3 0x0f4240  ; gas
+    CALL
+    POP
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """, state=state, evm=evm)
+    assert result.success
+    assert int.from_bytes(result.return_data, "big") == 0x2A
+    assert state.get_storage(OTHER, 0) == 0x2A  # callee's storage
+
+
+def test_call_to_empty_account_succeeds():
+    state, evm = make_env()
+    result = run_asm(f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(OTHER.to_int())}
+    PUSH2 0xffff
+    CALL
+    """ + """
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """, state=state, evm=evm)
+    assert int.from_bytes(result.return_data, "big") == 1  # success flag
+
+
+def test_call_with_value_transfers():
+    state, evm = make_env()
+    state.add_balance(CONTRACT, 500)
+    result = run_asm(f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0xc8     ; value 200
+    PUSH32 {hex(OTHER.to_int())}
+    PUSH1 0x00     ; gas (stipend covers the transfer)
+    CALL
+    STOP
+    """, state=state, evm=evm)
+    assert result.success
+    assert state.get_balance(OTHER) == 200
+    assert state.get_balance(CONTRACT) == 300
+
+
+def test_failed_callee_reverts_its_state_only():
+    state, evm = make_env()
+    state.set_code(OTHER, assemble("""
+    PUSH1 0x07
+    PUSH1 0x00
+    SSTORE
+    PUSH1 0x00
+    PUSH1 0x00
+    REVERT
+    """))
+    result = run_asm(f"""
+    PUSH1 0x09
+    PUSH1 0x01
+    SSTORE          ; caller writes its own slot first
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(OTHER.to_int())}
+    PUSH3 0x0f4240
+    CALL
+    """ + """
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """, state=state, evm=evm)
+    assert int.from_bytes(result.return_data, "big") == 0  # callee failed
+    assert state.get_storage(OTHER, 0) == 0                # rolled back
+    assert state.get_storage(CONTRACT, 1) == 9             # caller kept
+
+
+def test_staticcall_blocks_sstore():
+    state, evm = make_env()
+    state.set_code(OTHER, _store42_code())
+    result = run_asm(f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(OTHER.to_int())}
+    PUSH3 0x0f4240
+    STATICCALL
+    """ + """
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """, state=state, evm=evm)
+    assert int.from_bytes(result.return_data, "big") == 0  # violated
+    assert state.get_storage(OTHER, 0) == 0
+
+
+def test_delegatecall_uses_caller_storage():
+    state, evm = make_env()
+    state.set_code(OTHER, assemble("""
+    PUSH1 0x63
+    PUSH1 0x00
+    SSTORE
+    STOP
+    """))
+    result = run_asm(f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(OTHER.to_int())}
+    PUSH3 0x0f4240
+    DELEGATECALL
+    POP
+    STOP
+    """, state=state, evm=evm)
+    assert result.success
+    assert state.get_storage(CONTRACT, 0) == 0x63  # caller's storage
+    assert state.get_storage(OTHER, 0) == 0
+
+
+def test_returndatasize_and_copy():
+    state, evm = make_env()
+    state.set_code(OTHER, _store42_code())
+    result = run_asm(f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(OTHER.to_int())}
+    PUSH3 0x0f4240
+    CALL
+    POP
+    RETURNDATASIZE
+    PUSH1 0x00
+    PUSH1 0x40
+    RETURNDATACOPY
+    PUSH1 0x20
+    PUSH1 0x40
+    RETURN
+    """, state=state, evm=evm)
+    assert result.success
+    assert int.from_bytes(result.return_data, "big") == 0x2A
+
+
+def test_create_deploys_runtime_code():
+    # init code returning a 1-byte runtime (STOP).
+    init = assemble("""
+    PUSH1 0x00     ; STOP opcode as the runtime
+    PUSH1 0x00
+    MSTORE8
+    PUSH1 0x01
+    PUSH1 0x00
+    RETURN
+    """)
+    state, evm = make_env()
+    # Write init code into memory byte-by-byte via CODECOPY of self...
+    # Simpler: run CREATE from a top-level create transaction instead.
+    message = Message(sender=CALLER, to=None, value=0, data=init,
+                      gas=1_000_000, origin=CALLER)
+    result = evm.execute(message)
+    assert result.success
+    expected = compute_contract_address(CALLER, 0)
+    assert result.created_address == expected
+    assert state.get_code(expected) == b"\x00"
+
+
+def test_create_address_derivation_known_vector():
+    sender = PrivateKey(1).address
+    derived = compute_contract_address(sender, 0)
+    # keccak(rlp([sender, 0]))[12:] — check structural invariants and
+    # determinism rather than an external vector.
+    assert derived == compute_contract_address(sender, 0)
+    assert derived != compute_contract_address(sender, 1)
+    assert len(derived.value) == 20
+
+
+def test_create_charges_code_deposit():
+    # Two inits returning different runtime sizes; bigger costs more.
+    def init_for(size: int) -> bytes:
+        return assemble(f"""
+        PUSH2 {hex(size)}
+        PUSH1 0x00
+        RETURN
+        """)
+
+    state, evm = make_env()
+    small = evm.execute(Message(sender=CALLER, to=None, value=0,
+                                data=init_for(32), gas=1_000_000,
+                                origin=CALLER))
+    big = evm.execute(Message(sender=CALLER, to=None, value=0,
+                              data=init_for(320), gas=1_000_000,
+                              origin=CALLER))
+    assert small.success and big.success
+    deposit_delta = big.gas_used - small.gas_used
+    # 288 extra bytes at 200 gas each, minus small memory-cost noise.
+    assert 288 * 200 * 0.9 < deposit_delta < 288 * 200 * 1.1
+
+
+def test_call_depth_limit():
+    # A contract that calls itself forever; must fail gracefully.
+    state, evm = make_env()
+    code = assemble(f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(CONTRACT.to_int())}
+    GAS
+    CALL
+    """ + """
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """)
+    state.set_code(CONTRACT, code)
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=10_000_000, origin=CALLER))
+    # The recursion bottoms out (63/64 rule + depth limit) and unwinds.
+    assert result.success
+
+
+def test_ecrecover_precompile():
+    key = PrivateKey.from_seed("signer")
+    digest = keccak256(b"authorize")
+    signature = key.sign(digest)
+    state, evm = make_env()
+    calldata = (digest + signature.v.to_bytes(32, "big")
+                + signature.r.to_bytes(32, "big")
+                + signature.s.to_bytes(32, "big"))
+    result = evm.execute(Message(sender=CALLER, to=Address.from_int(1),
+                                 value=0, data=calldata, gas=10_000,
+                                 origin=CALLER))
+    assert result.success
+    assert result.gas_used == 3_000
+    assert result.return_data[12:] == key.address.value
+
+
+def test_ecrecover_bad_signature_returns_empty():
+    state, evm = make_env()
+    calldata = b"\x01" * 128
+    result = evm.execute(Message(sender=CALLER, to=Address.from_int(1),
+                                 value=0, data=calldata, gas=10_000,
+                                 origin=CALLER))
+    assert result.success
+    assert result.return_data == b""
+
+
+def test_sha256_precompile():
+    import hashlib
+
+    state, evm = make_env()
+    result = evm.execute(Message(sender=CALLER, to=Address.from_int(2),
+                                 value=0, data=b"abc", gas=10_000,
+                                 origin=CALLER))
+    assert result.success
+    assert result.return_data == hashlib.sha256(b"abc").digest()
+
+
+def test_identity_precompile():
+    state, evm = make_env()
+    result = evm.execute(Message(sender=CALLER, to=Address.from_int(4),
+                                 value=0, data=b"copy me", gas=10_000,
+                                 origin=CALLER))
+    assert result.success
+    assert result.return_data == b"copy me"
+
+
+def test_precompile_out_of_gas():
+    state, evm = make_env()
+    result = evm.execute(Message(sender=CALLER, to=Address.from_int(1),
+                                 value=0, data=b"\x00" * 128, gas=100,
+                                 origin=CALLER))
+    assert not result.success
+
+
+def test_insufficient_value_fails_cleanly():
+    state, evm = make_env()
+    poor = Address.from_int(0x9999)
+    result = evm.execute(Message(sender=poor, to=OTHER, value=10,
+                                 data=b"", gas=100_000, origin=poor))
+    assert not result.success
+    assert "balance" in result.error
+
+
+def test_selfdestruct_moves_balance():
+    state, evm = make_env()
+    state.add_balance(CONTRACT, 777)
+    result = run_asm(f"""
+    PUSH32 {hex(OTHER.to_int())}
+    SELFDESTRUCT
+    """, state=state, evm=evm)
+    assert result.success
+    assert state.get_balance(OTHER) == 777
+    assert state.get_balance(CONTRACT) == 0
+    assert state.get_code(CONTRACT) == b""

@@ -1,0 +1,285 @@
+"""Environment, memory, storage, control-flow and log opcodes."""
+
+import pytest
+
+from repro.evm.exceptions import InvalidJump, OutOfGas
+from tests.evm.vm_harness import (
+    CALLER,
+    COINBASE,
+    CONTRACT,
+    make_env,
+    run_asm,
+    run_expr,
+)
+
+
+def test_caller_and_address():
+    assert run_expr("CALLER") == CALLER.to_int()
+    assert run_expr("ADDRESS") == CONTRACT.to_int()
+
+
+def test_origin():
+    assert run_expr("ORIGIN") == CALLER.to_int()
+
+
+def test_callvalue():
+    assert run_expr("CALLVALUE", value=123) == 123
+
+
+def test_timestamp_and_number():
+    assert run_expr("TIMESTAMP") == 1_550_000_000
+    assert run_expr("NUMBER") == 7
+
+
+def test_coinbase():
+    assert run_expr("COINBASE") == COINBASE.to_int()
+
+
+def test_balance_of_caller():
+    ops = f"PUSH32 {hex(CALLER.to_int())}\nBALANCE"
+    assert run_expr(ops) == 10 ** 21
+
+
+def test_calldata():
+    data = (99).to_bytes(32, "big") + (7).to_bytes(32, "big")
+    assert run_expr("PUSH1 0x00\nCALLDATALOAD", calldata=data) == 99
+    assert run_expr("PUSH1 0x20\nCALLDATALOAD", calldata=data) == 7
+    assert run_expr("CALLDATASIZE", calldata=data) == 64
+
+
+def test_calldataload_past_end_zero_padded():
+    assert run_expr("PUSH1 0x40\nCALLDATALOAD", calldata=b"\x01") == 0
+
+
+def test_calldataload_partial_word_right_padded():
+    assert run_expr("PUSH1 0x00\nCALLDATALOAD", calldata=b"\xff") == \
+        0xFF << 248
+
+
+def test_calldatacopy():
+    ops = """
+    PUSH1 0x02      ; size
+    PUSH1 0x00      ; src
+    PUSH1 0x00      ; dest
+    CALLDATACOPY
+    PUSH1 0x00
+    MLOAD
+    """
+    result = run_expr(ops, calldata=b"\xab\xcd")
+    assert result == int.from_bytes(b"\xab\xcd" + b"\x00" * 30, "big")
+
+
+def test_codesize_codecopy():
+    result = run_asm("""
+    PUSH1 0x03
+    PUSH1 0x00
+    PUSH1 0x00
+    CODECOPY
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """)
+    assert result.success
+    # The first three bytes of the running code are PUSH1 0x03 PUSH1.
+    assert result.return_data[:3] == bytes([0x60, 0x03, 0x60])
+
+
+def test_mstore8():
+    ops = """
+    PUSH2 0x1234
+    PUSH1 0x00
+    MSTORE8        ; stores low byte 0x34
+    PUSH1 0x00
+    MLOAD
+    """
+    assert run_expr(ops) == 0x34 << 248
+
+
+def test_msize_tracks_expansion():
+    assert run_expr("PUSH1 0x00\nMLOAD\nPOP\nMSIZE") == 32
+    assert run_expr("PUSH1 0x40\nMLOAD\nPOP\nMSIZE") == 96
+
+
+def test_sload_sstore():
+    state, evm = make_env()
+    result = run_asm("""
+    PUSH1 0x2a
+    PUSH1 0x05
+    SSTORE
+    PUSH1 0x05
+    SLOAD
+    """ + """
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """, state=state, evm=evm)
+    assert int.from_bytes(result.return_data, "big") == 0x2A
+    assert state.get_storage(CONTRACT, 5) == 0x2A
+
+
+def test_sstore_clear_refunds():
+    state, evm = make_env()
+    state.set_storage(CONTRACT, 1, 99)
+    result = run_asm("PUSH1 0x00\nPUSH1 0x01\nSSTORE\nSTOP",
+                     state=state, evm=evm)
+    assert result.success
+    assert result.gas_refund == 15_000
+
+
+def test_jump_and_jumpi():
+    ops = """
+    PUSH1 0x01
+    PUSH @skip
+    JUMPI
+    PUSH1 0xff     ; skipped
+    POP
+    skip:
+    PUSH1 0x07
+    """
+    assert run_expr(ops) == 7
+
+
+def test_jumpi_not_taken():
+    ops = """
+    PUSH1 0x00
+    PUSH @skip
+    JUMPI
+    PUSH1 0x07
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    skip:
+    PUSH1 0xff
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """
+    result = run_asm(ops)
+    assert int.from_bytes(result.return_data, "big") == 7
+
+
+def test_invalid_jump_destination():
+    result = run_asm("PUSH1 0x01\nJUMP")
+    assert not result.success
+    assert "InvalidJump" in result.error
+
+
+def test_jump_into_push_immediate_rejected():
+    # Byte 1 is the immediate of PUSH1 and contains 0x5b (JUMPDEST),
+    # but it must not count as a valid destination.
+    result = run_asm("PUSH1 0x5b\nPUSH1 0x01\nJUMP")
+    assert not result.success
+    assert "InvalidJump" in result.error
+
+
+def test_pc_opcode():
+    assert run_expr("PC") == 0
+    assert run_expr("PUSH1 0x00\nPOP\nPC") == 3
+
+
+def test_gas_opcode_decreases():
+    first = run_expr("GAS")
+    assert 0 < first < 1_000_000
+
+
+def test_out_of_gas():
+    result = run_asm("PUSH1 0x00\nPUSH1 0x00\nSSTORE\nSTOP", gas=100)
+    assert not result.success
+    assert "OutOfGas" in result.error
+    assert result.gas_used == 100  # consumes everything
+
+
+def test_revert_returns_data_and_refunds_gas():
+    ops = """
+    PUSH1 0xaa
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    REVERT
+    """
+    result = run_asm(ops, gas=100_000)
+    assert not result.success
+    assert result.error == "revert"
+    assert result.return_data[-1] == 0xAA
+    assert result.gas_used < 1_000  # remaining gas is NOT consumed
+
+
+def test_revert_rolls_back_storage():
+    state, evm = make_env()
+    result = run_asm("""
+    PUSH1 0x2a
+    PUSH1 0x00
+    SSTORE
+    PUSH1 0x00
+    PUSH1 0x00
+    REVERT
+    """, state=state, evm=evm)
+    assert not result.success
+    assert state.get_storage(CONTRACT, 0) == 0
+
+
+def test_invalid_opcode_consumes_all_gas():
+    result = run_asm("INVALID", gas=5_000)
+    assert not result.success
+    assert result.gas_used == 5_000
+
+
+def test_log_emission():
+    ops = """
+    PUSH1 0xab
+    PUSH1 0x00
+    MSTORE
+    PUSH2 0x1234    ; topic1
+    PUSH1 0x20      ; size
+    PUSH1 0x00      ; offset
+    LOG1
+    STOP
+    """
+    result = run_asm(ops)
+    assert result.success
+    assert len(result.logs) == 1
+    log = result.logs[0]
+    assert log.address == CONTRACT
+    assert log.topics == (0x1234,)
+    assert log.data[-1] == 0xAB
+
+
+def test_log0_no_topics():
+    result = run_asm("PUSH1 0x00\nPUSH1 0x00\nLOG0\nSTOP")
+    assert result.success
+    assert result.logs[0].topics == ()
+
+
+def test_sha3_opcode_matches_keccak():
+    from repro.crypto.keccak import keccak256
+
+    ops = """
+    PUSH1 0xab
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    SHA3
+    """
+    expected = int.from_bytes(
+        keccak256((0xAB).to_bytes(32, "big")), "big")
+    assert run_expr(ops) == expected
+
+
+def test_stop_halts_with_empty_output():
+    result = run_asm("PUSH1 0x01\nSTOP\nPUSH1 0x02")
+    assert result.success
+    assert result.return_data == b""
+
+
+def test_empty_code_succeeds_trivially():
+    result = run_asm("")
+    assert result.success
+    assert result.gas_used == 0

@@ -1,0 +1,154 @@
+"""EVM limits and failure envelopes."""
+
+import pytest
+
+from repro.evm import gas
+from repro.evm.assembler import Program, assemble
+from repro.evm.vm import EVM, Message
+from tests.evm.vm_harness import CALLER, CONTRACT, make_env, run_asm
+
+
+def test_stack_overflow_is_exceptional_halt():
+    program = Program()
+    # 1025 pushes overflow the 1024-item stack.
+    for __ in range(1025):
+        program.push(1)
+    program.op("STOP")
+    state, evm = make_env()
+    state.set_code(CONTRACT, program.assemble())
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=100_000, origin=CALLER))
+    assert not result.success
+    assert "StackOverflow" in result.error
+    assert result.gas_used == 100_000
+
+
+def test_stack_underflow_is_exceptional_halt():
+    result = run_asm("POP")
+    assert not result.success
+    assert "StackUnderflow" in result.error
+
+
+def test_code_size_limit_on_create():
+    """Deploying runtime above the EIP-170 24576-byte cap fails."""
+    oversized = gas.MAX_CODE_SIZE + 1
+    init = assemble(f"""
+    PUSH3 {hex(oversized)}
+    PUSH1 0x00
+    RETURN
+    """)
+    state, evm = make_env()
+    result = evm.execute(Message(sender=CALLER, to=None, value=0,
+                                 data=init, gas=30_000_000,
+                                 origin=CALLER))
+    assert not result.success
+    assert "CodeSizeExceeded" in result.error
+
+
+def test_code_size_exactly_at_limit_succeeds():
+    init = assemble(f"""
+    PUSH3 {hex(gas.MAX_CODE_SIZE)}
+    PUSH1 0x00
+    RETURN
+    """)
+    state, evm = make_env()
+    result = evm.execute(Message(sender=CALLER, to=None, value=0,
+                                 data=init, gas=30_000_000,
+                                 origin=CALLER))
+    assert result.success
+    assert len(state.get_code(result.created_address)) == \
+        gas.MAX_CODE_SIZE
+
+
+def test_create_without_deposit_gas_fails():
+    """Enough gas for init execution but not for the code deposit."""
+    init = assemble("""
+    PUSH2 0x1000
+    PUSH1 0x00
+    RETURN
+    """)
+    state, evm = make_env()
+    # deposit alone costs 0x1000 * 200 = 819200 gas.
+    result = evm.execute(Message(sender=CALLER, to=None, value=0,
+                                 data=init, gas=100_000, origin=CALLER))
+    assert not result.success
+
+
+def test_63_64_rule_keeps_reserve():
+    """A contract forwarding all gas retains 1/64 for itself."""
+    state, evm = make_env()
+    # Child burns everything it gets (infinite loop).
+    from repro.crypto.keys import Address
+
+    child = Address.from_int(0x7777)
+    state.set_code(child, assemble("""
+    loop:
+    PUSH @loop
+    JUMP
+    """))
+    parent_code = assemble(f"""
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH32 {hex(child.to_int())}
+    GAS
+    CALL
+    """ + """
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+    """)
+    state.set_code(CONTRACT, parent_code)
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=640_000, origin=CALLER))
+    # The child dies of OOG but the parent survives and returns 0.
+    assert result.success
+    assert int.from_bytes(result.return_data, "big") == 0
+    # The parent kept roughly 1/64 of its gas for the epilogue.
+    assert result.gas_used < 640_000
+
+
+def test_depth_limit_reported_cleanly():
+    state, evm = make_env()
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=100, origin=CALLER,
+                                 depth=gas.CALL_DEPTH_LIMIT + 1))
+    assert not result.success
+    assert "depth" in result.error
+
+
+def test_memory_expansion_quadratic_blowup_charged():
+    """Accessing very high memory offsets must OOG, not hang."""
+    result = run_asm("""
+    PUSH32 0x0000000000000000000000000000000000000000000000000000000001000000
+    MLOAD
+    """, gas=1_000_000)
+    assert not result.success
+    assert "OutOfGas" in result.error
+
+
+def test_value_transfer_to_precompile_allowed():
+    state, evm = make_env()
+    from repro.crypto.keys import Address
+
+    result = evm.execute(Message(sender=CALLER,
+                                 to=Address.from_int(4), value=5,
+                                 data=b"ping", gas=10_000,
+                                 origin=CALLER))
+    assert result.success
+    assert result.return_data == b"ping"
+    assert state.get_balance(Address.from_int(4)) == 5
+
+
+def test_nonce_increments_on_failed_create():
+    """A failed creation still consumes the sender's nonce."""
+    state, evm = make_env()
+    before = state.get_nonce(CALLER)
+    evm.execute(Message(sender=CALLER, to=None, value=0,
+                        data=assemble("INVALID"), gas=100_000,
+                        origin=CALLER))
+    assert state.get_nonce(CALLER) == before + 1

@@ -1,0 +1,56 @@
+"""Shared harness for executing assembly snippets on the EVM."""
+
+from __future__ import annotations
+
+from repro.chain.state import WorldState
+from repro.crypto.keys import Address
+from repro.evm.assembler import assemble
+from repro.evm.vm import EVM, BlockContext, ExecutionResult, Message
+
+CALLER = Address.from_int(0xAAAA)
+CONTRACT = Address.from_int(0xC0DE)
+COINBASE = Address.from_int(0xFEE)
+
+
+def make_env(timestamp: int = 1_550_000_000, number: int = 7):
+    """A fresh (state, evm) pair with a funded caller."""
+    state = WorldState()
+    state.add_balance(CALLER, 10 ** 21)
+    block = BlockContext(coinbase=COINBASE, timestamp=timestamp,
+                         number=number)
+    return state, EVM(state, block)
+
+
+def run_asm(source: str, calldata: bytes = b"", value: int = 0,
+            gas: int = 1_000_000, state: WorldState | None = None,
+            evm: EVM | None = None) -> ExecutionResult:
+    """Assemble and run ``source`` as the code of a contract account."""
+    if state is None or evm is None:
+        state, evm = make_env()
+    state.set_code(CONTRACT, assemble(source))
+    message = Message(
+        sender=CALLER, to=CONTRACT, value=value, data=calldata,
+        gas=gas, origin=CALLER,
+    )
+    return evm.execute(message)
+
+
+def returned_word(result: ExecutionResult) -> int:
+    """The single 32-byte word a snippet RETURNed."""
+    assert result.success, result.error
+    assert len(result.return_data) == 32
+    return int.from_bytes(result.return_data, "big")
+
+
+RETURN_TOP = """
+PUSH1 0x00
+MSTORE
+PUSH1 0x20
+PUSH1 0x00
+RETURN
+"""
+
+
+def run_expr(ops: str, **kwargs) -> int:
+    """Run ops that leave one word on the stack; return that word."""
+    return returned_word(run_asm(ops + RETURN_TOP, **kwargs))

@@ -1,0 +1,175 @@
+"""Full Table I walkthrough — all five rules, end to end.
+
+Each test narrates one complete run of the paper's betting rules with
+real time-warped deadlines, deposits, and final balances checked to the
+wei (net of gas).
+"""
+
+import pytest
+
+from repro.apps.betting import (
+    deploy_betting,
+    make_betting_protocol,
+    reference_reveal,
+)
+from repro.chain import ETHER, TransactionFailed
+from repro.core import Stage, Strategy
+
+SEED, ROUNDS = 42, 25
+
+
+def _rule_1_and_2(sim, alice, bob, **kwargs):
+    """Rules 1-2: deploy + signed copies before T0, deposits before T1."""
+    protocol = make_betting_protocol(sim, alice, bob, seed=SEED,
+                                     rounds=ROUNDS, **kwargs)
+    deploy_betting(protocol, alice)                # rule 1: deploy
+    protocol.collect_signatures()                  # rule 1: signed copies
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    return protocol
+
+
+def test_rule_4_voluntary_settlement(sim, alice, bob):
+    """Rule 4: after T2 the loser calls reassign() and the winner gets
+    both deposits."""
+    protocol = _rule_1_and_2(sim, alice, bob)
+    plan = protocol.betting_plan
+    winner_is_bob = reference_reveal(SEED, ROUNDS)
+    winner = bob if winner_is_bob else alice
+    loser = alice if winner_is_bob else bob
+
+    sim.advance_time_to(plan["timeline"].t2 + 1)
+    result = protocol.reach_unanimous_agreement()
+    assert result == winner_is_bob
+
+    winner_before = sim.get_balance(winner.account)
+    protocol.call_onchain(loser, "reassign", result)
+    assert sim.get_balance(winner.account) == \
+        winner_before + 2 * plan["stake"]
+    assert protocol.onchain.balance == 0
+
+
+def test_rule_5_dispute_resolution(sim, alice, bob):
+    """Rule 5: the loser refuses; after T3 the winner reveals the
+    signed copy and enforces the true result."""
+    protocol = _rule_1_and_2(sim, alice, bob)
+    plan = protocol.betting_plan
+    winner_is_bob = reference_reveal(SEED, ROUNDS)
+    winner = bob if winner_is_bob else alice
+
+    # T2..T3 passes with no reassign() — the loser has violated rule 4.
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+    winner_before = sim.get_balance(winner.account)
+    dispute = protocol.dispute(winner)
+
+    # Winner receives the 2-ether pot; dispute gas comes out of their
+    # own pocket (the paper suggests security deposits to compensate).
+    gained = sim.get_balance(winner.account) - winner_before
+    assert gained == 2 * plan["stake"] - dispute.total_gas
+    assert protocol.outcome().outcome == winner_is_bob
+    assert protocol.stage is Stage.RESOLVED
+
+
+def test_rule_2_refund_round_one(sim, alice, bob):
+    """Rule 2: any depositor can pull out before T1."""
+    protocol = make_betting_protocol(sim, alice, bob, seed=SEED,
+                                     rounds=ROUNDS)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(alice, "refundRoundOne")
+    assert protocol.onchain.balance == 0
+
+
+def test_rule_3_refund_round_two(sim, alice, bob):
+    """Rule 3: between T1 and T2, if funding is incomplete, refund."""
+    protocol = make_betting_protocol(sim, alice, bob, seed=SEED,
+                                     rounds=ROUNDS)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    # Bob never deposits; T1 passes.
+    sim.advance_time_to(plan["timeline"].t1 + 1)
+    protocol.call_onchain(alice, "refundRoundTwo")
+    assert protocol.onchain.balance == 0
+
+
+def test_submit_challenge_happy_path_full_accounting(sim, alice, bob):
+    protocol = _rule_1_and_2(sim, alice, bob)
+    plan = protocol.betting_plan
+    sim.advance_time_to(plan["timeline"].t2 + 1)
+
+    winner_is_bob = reference_reveal(SEED, ROUNDS)
+    winner = bob if winner_is_bob else alice
+    winner_before = sim.get_balance(winner.account)
+
+    protocol.submit_result(bob)
+    assert protocol.run_challenge_window() is None
+    protocol.finalize(alice)
+
+    pot = 2 * plan["stake"]
+    gained = sim.get_balance(winner.account) - winner_before
+    ledger = protocol.ledger.by_label()
+    expected_gas = 0
+    if winner is bob:
+        expected_gas += ledger["submitResult"]
+    gained_plus_gas = gained + expected_gas
+    assert gained_plus_gas == pot
+    assert protocol.onchain.balance == 0
+
+
+def test_dispute_costs_match_ledger(sim, alice, bob):
+    alice.strategy = Strategy.LIES_ABOUT_RESULT
+    protocol = _rule_1_and_2(sim, alice, bob)
+    plan = protocol.betting_plan
+    sim.advance_time_to(plan["timeline"].t2 + 1)
+    protocol.submit_result(alice)
+    dispute = protocol.run_challenge_window()
+    ledger = protocol.ledger.by_label()
+    assert ledger["deployVerifiedInstance"] == \
+        dispute.deploy_receipt.gas_used
+    assert ledger["returnDisputeResolution"] == \
+        dispute.resolve_receipt.gas_used
+
+
+def test_honest_participant_never_loses_pot(sim, alice, bob):
+    """The paper's core guarantee across all four dishonest scenarios:
+    the honest winner always ends with the pot (minus bounded gas)."""
+    scenarios = [Strategy.HONEST, Strategy.LIES_ABOUT_RESULT,
+                 Strategy.REFUSES_TO_SETTLE]
+    for strategy in scenarios:
+        sim_local = type(sim)()  # fresh chain per scenario
+        from repro.core import Participant
+
+        a = Participant(account=sim_local.accounts[0], name="alice",
+                        strategy=strategy)
+        b = Participant(account=sim_local.accounts[1], name="bob")
+        protocol = _rule_1_and_2(sim_local, a, b)
+        plan = protocol.betting_plan
+        truth = reference_reveal(SEED, ROUNDS)
+        sim_local.advance_time_to(plan["timeline"].t2 + 1)
+
+        if strategy is Strategy.HONEST:
+            protocol.submit_result(a)
+            assert protocol.run_challenge_window() is None
+            protocol.finalize(b)
+        elif strategy is Strategy.LIES_ABOUT_RESULT:
+            protocol.submit_result(a)
+            assert protocol.run_challenge_window() is not None
+        else:  # REFUSES_TO_SETTLE: nothing happens until after T3
+            sim_local.advance_time_to(plan["timeline"].t3 + 1)
+            protocol.dispute(b)
+
+        assert protocol.outcome().resolved
+        assert protocol.outcome().outcome == truth
+        assert protocol.onchain.balance == 0
+
+
+def test_whisper_bus_carried_the_signatures(sim, alice, bob):
+    protocol = _rule_1_and_2(sim, alice, bob)
+    assert protocol.bus.bytes_transferred > 0
+    envelopes = protocol.bus.peek_all(protocol._signing_topic)
+    assert len(envelopes) == 2  # one signature post per participant

@@ -1,0 +1,25 @@
+"""Every example script must run clean — they are the documented API."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert {"quickstart.py", "betting_dispute.py", "sealed_tender.py",
+            "escrow_settlement.py", "security_deposits.py"} <= names
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda path: path.stem)
+def test_example_runs_to_completion(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in out

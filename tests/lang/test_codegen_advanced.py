@@ -1,0 +1,291 @@
+"""Advanced codegen scenarios: deep nesting, interplay of features."""
+
+import pytest
+
+from repro.chain import ETHER, TransactionFailed
+from repro.crypto.keccak import keccak256
+from tests.conftest import deploy_source
+
+
+def test_deeply_nested_expressions(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Deep {
+        function f(uint a, uint b, uint c) public returns (uint) {
+            return ((a + b) * (b + c) - (a * c)) % ((a + 1) * (c + 1));
+        }
+    }
+    """)
+    a, b, c = 17, 23, 31
+    expected = ((a + b) * (b + c) - a * c) % ((a + 1) * (c + 1))
+    assert contract.call("f", a, b, c) == expected
+
+
+def test_nested_loops_with_conditionals(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Nested {
+        function countPairs(uint n) public returns (uint) {
+            uint count = 0;
+            for (uint i = 0; i < n; i++) {
+                for (uint j = 0; j < n; j++) {
+                    if ((i + j) % 3 == 0) {
+                        if (i > j) { count++; }
+                    }
+                }
+            }
+            return count;
+        }
+    }
+    """)
+    n = 12
+    expected = sum(
+        1 for i in range(n) for j in range(n)
+        if (i + j) % 3 == 0 and i > j
+    )
+    assert contract.call("countPairs", n) == expected
+
+
+def test_modifier_wrapping_function_with_return(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Wrapped {
+        uint public calls;
+        modifier counted { calls = calls + 1; _; }
+        function get() public counted returns (uint) {
+            return 42;
+        }
+    }
+    """)
+    receipt = contract.transact("get", sender=sim.accounts[0])
+    assert receipt.status
+    assert contract.call("calls") == 1
+
+
+def test_modifier_code_after_placeholder(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract PostGuard {
+        uint public trace;
+        modifier around {
+            trace = trace * 10 + 1;
+            _;
+            trace = trace * 10 + 3;
+        }
+        function act() public around { trace = trace * 10 + 2; }
+    }
+    """)
+    contract.transact("act", sender=sim.accounts[0])
+    assert contract.call("trace") == 123
+
+
+def test_early_return_skips_modifier_tail(sim):
+    """A return inside the body jumps to the function exit — Solidity
+    semantics run the modifier tail too?  No: Solidity *does* resume
+    the modifier after `_`, but only when the placeholder returns
+    normally; an explicit `return` skips the rest of the *body*, then
+    resumes the modifier tail.  Solis matches the simpler model where
+    `return` exits the whole function; this test pins that documented
+    behaviour."""
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Early {
+        uint public trace;
+        modifier around { trace = 1; _; trace = trace + 100; }
+        function act(bool bail) public around {
+            if (bail) { return; }
+            trace = trace + 10;
+        }
+    }
+    """)
+    contract.transact("act", True, sender=sim.accounts[0])
+    assert contract.call("trace") == 1  # tail skipped on early return
+    contract.transact("act", False, sender=sim.accounts[0])
+    assert contract.call("trace") == 111  # normal path runs the tail
+
+
+def test_internal_call_inside_expression(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Expr {
+        function sq(uint x) private returns (uint) { return x * x; }
+        function f(uint a) public returns (uint) {
+            return sq(a) + sq(a + 1) * 2;
+        }
+    }
+    """)
+    assert contract.call("f", 5) == 25 + 36 * 2
+
+
+def test_internal_call_with_many_args(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Many {
+        function mix(uint a, uint b, uint c, uint d, uint e)
+                private returns (uint) {
+            return a + b * 10 + c * 100 + d * 1000 + e * 10000;
+        }
+        function f() public returns (uint) {
+            return mix(1, 2, 3, 4, 5);
+        }
+    }
+    """)
+    assert contract.call("f") == 54321
+
+
+def test_bytes_param_through_internal_call(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract BytesFlow {
+        function hashIt(bytes memory blob) private returns (bytes32) {
+            return keccak256(blob);
+        }
+        function entry(bytes memory blob) public returns (bytes32) {
+            return hashIt(blob);
+        }
+    }
+    """)
+    payload = b"flow me through" * 7
+    assert contract.call("entry", payload) == keccak256(payload)
+
+
+def test_mixed_width_packed_hash_matches_soliditysha3(sim):
+    """keccak256(address, uint8, bytes32, uint256) packs 20+1+32+32."""
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Pack {
+        function h(address a, uint8 tag, bytes32 salt, uint amount)
+                public returns (bytes32) {
+            return keccak256(a, tag, salt, amount);
+        }
+    }
+    """)
+    alice = sim.accounts[0]
+    salt = keccak256(b"salt")
+    packed = (alice.address.value + bytes([7]) + salt
+              + (10**18).to_bytes(32, "big"))
+    assert contract.call("h", alice.address, 7, salt, 10**18) == \
+        keccak256(packed)
+
+
+def test_three_indexed_event_topics(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Topics {
+        event Full(address indexed a, uint indexed b,
+                   bytes32 indexed c, uint plain);
+        function fire() public {
+            emit Full(msg.sender, 7, bytes32(0), 99);
+        }
+    }
+    """)
+    receipt = contract.transact("fire", sender=sim.accounts[0])
+    log = receipt.logs[0]
+    assert len(log.topics) == 4
+    assert log.topics[2] == 7
+    assert int.from_bytes(log.data, "big") == 99
+
+
+def test_send_returns_bool_without_revert(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Sender {
+        bool public lastOk;
+        function fund() payable public { }
+        function trySend(address dest, uint amount) public {
+            lastOk = dest.send(amount);
+        }
+    }
+    """)
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    contract.transact("fund", value=100, sender=alice)
+    contract.transact("trySend", bob.address, 50, sender=alice)
+    assert contract.call("lastOk") is True
+    # Overdraft: send fails but the transaction succeeds.
+    contract.transact("trySend", bob.address, 10_000, sender=alice)
+    assert contract.call("lastOk") is False
+
+
+def test_chained_cross_contract_calls(sim):
+    """A -> B -> C relay, each hop adding one."""
+    alice = sim.accounts[0]
+    c = deploy_source(sim, alice, """
+    contract C {
+        function bump(uint v) public returns (uint) { return v + 1; }
+    }
+    """)
+    b = deploy_source(sim, alice, """
+    contract IC { function bump(uint v) external returns (uint); }
+    contract B {
+        address target;
+        constructor(address t) public { target = t; }
+        function bump(uint v) public returns (uint) {
+            return IC(target).bump(v) + 1;
+        }
+    }
+    """, name="B", args=[c.address])
+    a = deploy_source(sim, alice, """
+    contract IB { function bump(uint v) external returns (uint); }
+    contract A {
+        address target;
+        constructor(address t) public { target = t; }
+        function bump(uint v) public returns (uint) {
+            return IB(target).bump(v) + 1;
+        }
+    }
+    """, name="A", args=[b.address])
+    assert a.call("bump", 10) == 13
+
+
+def test_constructor_with_many_arg_types(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Ctor {
+        uint public a;
+        address public b;
+        bool public c;
+        bytes32 public d;
+        uint8 public e;
+        constructor(uint pa, address pb, bool pc, bytes32 pd, uint8 pe)
+                public {
+            a = pa;
+            b = pb;
+            c = pc;
+            d = pd;
+            e = pe;
+        }
+    }
+    """, args=[2**200, sim.accounts[3].address, True,
+               keccak256(b"x"), 200])
+    assert contract.call("a") == 2**200
+    assert contract.call("b") == sim.accounts[3].address.value
+    assert contract.call("c") is True
+    assert contract.call("d") == keccak256(b"x")
+    assert contract.call("e") == 200
+
+
+def test_large_contract_many_functions(sim):
+    functions = "\n".join(
+        f"    function fn{i}() public returns (uint) {{ return {i}; }}"
+        for i in range(40)
+    )
+    contract = deploy_source(sim, sim.accounts[0],
+                             f"contract Big {{\n{functions}\n}}")
+    assert contract.call("fn0") == 0
+    assert contract.call("fn17") == 17
+    assert contract.call("fn39") == 39
+
+
+def test_empty_bytes_param(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Empty {
+        function len(bytes memory blob) public returns (uint) {
+            return blob.length;
+        }
+    }
+    """)
+    assert contract.call("len", b"") == 0
+    assert contract.call("len", b"a" * 33) == 33
+
+
+def test_two_bytes_params(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract TwoBlobs {
+        function pick(bytes memory first, bytes memory second, bool takeFirst)
+                public returns (bytes32) {
+            if (takeFirst) { return keccak256(first); }
+            return keccak256(second);
+        }
+    }
+    """)
+    a, b = b"alpha" * 10, b"beta" * 3
+    assert contract.call("pick", a, b, True) == keccak256(a)
+    assert contract.call("pick", a, b, False) == keccak256(b)

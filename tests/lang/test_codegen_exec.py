@@ -1,0 +1,557 @@
+"""Behavioural tests: compile Solis and execute on the simulated chain.
+
+Each test deploys a small contract and checks observable behaviour —
+the strongest evidence the lexer → parser → sema → codegen pipeline is
+sound end to end.
+"""
+
+import pytest
+
+from repro.chain import ETHER, CallFailed, TransactionFailed
+from repro.crypto.keccak import keccak256
+from tests.conftest import deploy_source
+
+
+def test_arithmetic_and_locals(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Math {
+        function compute(uint a, uint b) public returns (uint) {
+            uint sum = a + b;
+            uint product = a * b;
+            uint diff = product - sum;
+            return diff / 2 + product % 7;
+        }
+    }
+    """)
+    a, b = 13, 29
+    expected = ((a * b) - (a + b)) // 2 + (a * b) % 7
+    assert contract.call("compute", a, b) == expected
+
+
+def test_division_by_zero_yields_zero(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract D {
+        function div(uint a, uint b) public returns (uint) { return a / b; }
+    }
+    """)
+    assert contract.call("div", 5, 0) == 0
+
+
+def test_if_else_chains(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Grade {
+        function grade(uint score) public returns (uint) {
+            if (score >= 90) { return 4; }
+            else if (score >= 80) { return 3; }
+            else if (score >= 70) { return 2; }
+            else { return 0; }
+        }
+    }
+    """)
+    assert contract.call("grade", 95) == 4
+    assert contract.call("grade", 85) == 3
+    assert contract.call("grade", 75) == 2
+    assert contract.call("grade", 10) == 0
+
+
+def test_for_loop_with_break_continue(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Loop {
+        function sumOdd(uint n) public returns (uint) {
+            uint acc = 0;
+            for (uint i = 0; i < n; i++) {
+                if (i % 2 == 0) { continue; }
+                if (i > 100) { break; }
+                acc += i;
+            }
+            return acc;
+        }
+    }
+    """)
+    assert contract.call("sumOdd", 10) == 1 + 3 + 5 + 7 + 9
+    assert contract.call("sumOdd", 1_000) == sum(
+        i for i in range(1_000) if i % 2 and i <= 100)
+
+
+def test_while_loop(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Collatz {
+        function steps(uint n) public returns (uint) {
+            uint count = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; }
+                else { n = 3 * n + 1; }
+                count++;
+            }
+            return count;
+        }
+    }
+    """)
+    assert contract.call("steps", 6) == 8
+    assert contract.call("steps", 1) == 0
+
+
+def test_short_circuit_evaluation(sim):
+    # Division by zero on the right of && must not execute when the
+    # left is false.
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract SC {
+        uint public probes;
+        function probe() private returns (bool) {
+            probes = probes + 1;
+            return true;
+        }
+        function test(bool go) public returns (bool) {
+            return go && probe();
+        }
+        function testOr(bool go) public returns (bool) {
+            return go || probe();
+        }
+    }
+    """)
+    alice = sim.accounts[0]
+    contract.transact("test", False, sender=alice)
+    assert contract.call("probes") == 0
+    contract.transact("test", True, sender=alice)
+    assert contract.call("probes") == 1
+    contract.transact("testOr", True, sender=alice)
+    assert contract.call("probes") == 1
+    contract.transact("testOr", False, sender=alice)
+    assert contract.call("probes") == 2
+
+
+def test_mappings_nested(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Allowances {
+        mapping(address => mapping(address => uint)) allowance;
+        function approve(address spender, uint amount) public {
+            allowance[msg.sender][spender] = amount;
+        }
+        function allowed(address owner, address spender) public returns (uint) {
+            return allowance[owner][spender];
+        }
+    }
+    """)
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    contract.transact("approve", bob.address, 77, sender=alice)
+    assert contract.call("allowed", alice.address, bob.address) == 77
+    assert contract.call("allowed", bob.address, alice.address) == 0
+
+
+def test_fixed_array_bounds_checked(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Arr {
+        uint[3] slots;
+        function set(uint i, uint v) public { slots[i] = v; }
+        function get(uint i) public returns (uint) { return slots[i]; }
+    }
+    """)
+    alice = sim.accounts[0]
+    contract.transact("set", 2, 99, sender=alice)
+    assert contract.call("get", 2) == 99
+    with pytest.raises(TransactionFailed):
+        contract.transact("set", 3, 1, sender=alice)
+    with pytest.raises(CallFailed):
+        contract.call("get", 17)
+
+
+def test_internal_calls_and_return_values(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Calls {
+        function double(uint x) private returns (uint) { return x * 2; }
+        function quadruple(uint x) public returns (uint) {
+            return double(double(x));
+        }
+    }
+    """)
+    assert contract.call("quadruple", 5) == 20
+
+
+def test_internal_call_chain_with_state(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Chain {
+        uint public total;
+        function bump(uint amount) private { total += amount; }
+        function bumpTwice(uint amount) public {
+            bump(amount);
+            bump(amount * 2);
+        }
+    }
+    """)
+    contract.transact("bumpTwice", 5, sender=sim.accounts[0])
+    assert contract.call("total") == 15
+
+
+def test_payable_and_nonpayable(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Vault {
+        uint public received;
+        function pay() payable public { received += msg.value; }
+        function poke() public { }
+    }
+    """)
+    alice = sim.accounts[0]
+    contract.transact("pay", value=3 * ETHER, sender=alice)
+    assert contract.call("received") == 3 * ETHER
+    assert contract.balance == 3 * ETHER
+    with pytest.raises(TransactionFailed):
+        contract.transact("poke", value=1, sender=alice)
+
+
+def test_transfer_moves_ether(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Payout {
+        function fund() payable public { }
+        function payOut(address dest, uint amount) public {
+            dest.transfer(amount);
+        }
+    }
+    """)
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    contract.transact("fund", value=2 * ETHER, sender=alice)
+    before = sim.get_balance(bob)
+    contract.transact("payOut", bob.address, ETHER, sender=alice)
+    assert sim.get_balance(bob) == before + ETHER
+    assert contract.balance == ETHER
+
+
+def test_transfer_insufficient_reverts(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Payout {
+        function payOut(address dest, uint amount) public {
+            dest.transfer(amount);
+        }
+    }
+    """)
+    with pytest.raises(TransactionFailed):
+        contract.transact("payOut", sim.accounts[1].address, ETHER,
+                          sender=sim.accounts[0])
+
+
+def test_this_balance_and_address(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Self {
+        function fund() payable public { }
+        function myBalance() public returns (uint) {
+            return this.balance;
+        }
+        function me() public returns (address) {
+            return address(this);
+        }
+    }
+    """)
+    alice = sim.accounts[0]
+    contract.transact("fund", value=5, sender=alice)
+    assert contract.call("myBalance") == 5
+    assert contract.call("me") == contract.address.value
+
+
+def test_msg_sender_and_modifier_gate(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Gate {
+        address public owner;
+        uint public value;
+        modifier onlyOwner { require(msg.sender == owner); _; }
+        constructor() public { owner = msg.sender; }
+        function set(uint v) public onlyOwner { value = v; }
+    }
+    """)
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    contract.transact("set", 5, sender=alice)
+    assert contract.call("value") == 5
+    with pytest.raises(TransactionFailed):
+        contract.transact("set", 6, sender=bob)
+
+
+def test_multiple_modifiers_apply_in_order(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Multi {
+        uint public trace;
+        modifier first { trace = trace * 10 + 1; _; }
+        modifier second { trace = trace * 10 + 2; _; }
+        function f() public first second { trace = trace * 10 + 3; }
+    }
+    """)
+    contract.transact("f", sender=sim.accounts[0])
+    assert contract.call("trace") == 123
+
+
+def test_block_timestamp_and_number(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Clock {
+        function when() public returns (uint) { return block.timestamp; }
+        function height() public returns (uint) { return block.number; }
+        function nowAlias() public returns (uint) { return now; }
+    }
+    """)
+    t = contract.call("when")
+    assert t > 1_500_000_000
+    assert contract.call("nowAlias") == t
+    assert contract.call("height") == sim.chain.latest_block.number + 1
+
+
+def test_keccak256_of_values_matches_packed_encoding(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Hash {
+        function h1(uint v) public returns (bytes32) {
+            return keccak256(v);
+        }
+        function h2(address a, uint v) public returns (bytes32) {
+            return keccak256(a, v);
+        }
+    }
+    """)
+    alice = sim.accounts[0]
+    assert contract.call("h1", 42) == keccak256((42).to_bytes(32, "big"))
+    expected = keccak256(alice.address.value + (7).to_bytes(32, "big"))
+    assert contract.call("h2", alice.address, 7) == expected
+
+
+def test_keccak256_of_bytes_argument(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract HashBytes {
+        function h(bytes memory data) public returns (bytes32) {
+            return keccak256(data);
+        }
+        function sizeOf(bytes memory data) public returns (uint) {
+            return data.length;
+        }
+    }
+    """)
+    payload = b"arbitrary blob \x00\x01\x02" * 9
+    assert contract.call("h", payload) == keccak256(payload)
+    assert contract.call("sizeOf", payload) == len(payload)
+    assert contract.call("h", b"") == keccak256(b"")
+
+
+def test_ecrecover_builtin(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Verify {
+        function who(bytes32 h, uint8 v, bytes32 r, bytes32 s)
+                public returns (address) {
+            return ecrecover(h, v, r, s);
+        }
+    }
+    """)
+    key = sim.accounts[3].key
+    digest = keccak256(b"signed payload")
+    signature = key.sign(digest)
+    recovered = contract.call(
+        "who", digest, signature.v,
+        signature.r.to_bytes(32, "big"), signature.s.to_bytes(32, "big"))
+    assert recovered == key.address.value
+
+
+def test_events_with_indexed_topics(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Evt {
+        event Transfer(address indexed src, address indexed dst, uint wad);
+        function fire(address dst, uint wad) public {
+            emit Transfer(msg.sender, dst, wad);
+        }
+    }
+    """)
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    receipt = contract.transact("fire", bob.address, 55, sender=alice)
+    log = receipt.logs[0]
+    assert len(log.topics) == 3  # signature + 2 indexed
+    assert log.topics[1] == alice.address.to_int()
+    assert log.topics[2] == bob.address.to_int()
+    assert int.from_bytes(log.data, "big") == 55
+
+
+def test_casts(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Casts {
+        function toU8(uint v) public returns (uint8) { return uint8(v); }
+        function toAddr(uint v) public returns (address) {
+            return address(v);
+        }
+        function zeroAddr() public returns (bool) {
+            return address(0) == address(0);
+        }
+    }
+    """)
+    assert contract.call("toU8", 0x1FF) == 0xFF
+    addr = contract.call("toAddr", 0x1234)
+    assert addr == (0x1234).to_bytes(20, "big")
+    assert contract.call("zeroAddr") is True
+
+
+def test_cross_contract_call(sim):
+    alice = sim.accounts[0]
+    target = deploy_source(sim, alice, """
+    contract Target {
+        uint public pokes;
+        function poke(uint amount) public returns (uint) {
+            pokes += amount;
+            return pokes;
+        }
+    }
+    """)
+    caller = deploy_source(sim, alice, """
+    contract ITarget { function poke(uint amount) external returns (uint); }
+    contract Caller {
+        uint public lastResult;
+        function relay(address t, uint amount) public {
+            lastResult = ITarget(t).poke(amount);
+        }
+    }
+    """, name="Caller")
+    caller.transact("relay", target.address, 5, sender=alice)
+    caller.transact("relay", target.address, 6, sender=alice)
+    assert target.call("pokes") == 11
+    assert caller.call("lastResult") == 11
+
+
+def test_cross_contract_revert_bubbles(sim):
+    alice = sim.accounts[0]
+    target = deploy_source(sim, alice, """
+    contract Grumpy {
+        function refuse() public { require(false); }
+    }
+    """)
+    caller = deploy_source(sim, alice, """
+    contract IGrumpy { function refuse() external; }
+    contract Caller {
+        uint public reached;
+        function tryIt(address t) public {
+            IGrumpy(t).refuse();
+            reached = 1;
+        }
+    }
+    """, name="Caller")
+    with pytest.raises(TransactionFailed):
+        caller.transact("tryIt", target.address, sender=alice)
+    assert caller.call("reached") == 0
+
+
+def test_create_builtin_deploys_contract(sim):
+    alice = sim.accounts[0]
+    factory = deploy_source(sim, alice, """
+    contract Factory {
+        address public child;
+        function make(bytes memory initCode) public {
+            child = create(initCode);
+        }
+    }
+    """)
+    from repro.lang import compile_contract
+
+    child = compile_contract("""
+    contract Child {
+        uint public magic;
+        constructor() public { magic = 77; }
+    }
+    """)
+    factory.transact("make", child.init_code, sender=alice,
+                     gas_limit=3_000_000)
+    child_address = factory.call("child")
+    deployed = sim.contract_at(
+        __import__("repro.crypto.keys", fromlist=["Address"]).Address(
+            child_address),
+        child.abi)
+    assert deployed.call("magic") == 77
+
+
+def test_create_with_bad_bytecode_reverts(sim):
+    alice = sim.accounts[0]
+    factory = deploy_source(sim, alice, """
+    contract Factory {
+        function make(bytes memory initCode) public returns (address) {
+            return create(initCode);
+        }
+    }
+    """)
+    with pytest.raises(TransactionFailed):
+        factory.transact("make", b"\xfe\xfe\xfe", sender=alice)
+
+
+def test_constructor_arguments_and_defaults(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Init {
+        uint public a;
+        address public who;
+        bool public flag;
+        constructor(uint x, address w, bool f) public {
+            a = x;
+            who = w;
+            flag = f;
+        }
+    }
+    """, args=[123, sim.accounts[4].address, True])
+    assert contract.call("a") == 123
+    assert contract.call("who") == sim.accounts[4].address.value
+    assert contract.call("flag") is True
+
+
+def test_unknown_selector_reverts(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Minimal { function f() public { } }
+    """)
+    with pytest.raises(TransactionFailed):
+        sim.transact(sim.accounts[0], contract.address,
+                     data=b"\xde\xad\xbe\xef")
+
+
+def test_short_calldata_reverts(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Minimal { function f() public { } }
+    """)
+    with pytest.raises(TransactionFailed):
+        sim.transact(sim.accounts[0], contract.address, data=b"\x01")
+
+
+def test_private_function_not_dispatchable(sim):
+    from repro.crypto.abi import encode_call
+
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Hidden {
+        function secret() private returns (uint) { return 1; }
+        function open() public returns (uint) { return secret(); }
+    }
+    """)
+    assert contract.call("open") == 1
+    with pytest.raises(TransactionFailed):
+        sim.transact(sim.accounts[0], contract.address,
+                     data=encode_call("secret", [], []))
+
+
+def test_uint8_parameter_masked(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Mask {
+        function echo(uint8 v) public returns (uint) { return v; }
+    }
+    """)
+    # Hand-craft calldata with dirty upper bits in the uint8 slot.
+    from repro.crypto.abi import function_selector
+
+    data = function_selector("echo", ["uint8"]) + b"\xff" * 32
+    out = sim.call(contract.address, data)
+    assert int.from_bytes(out, "big") == 0xFF
+
+
+def test_state_default_values(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract Defaults {
+        uint public n;
+        bool public b;
+        address public a;
+        function touch() public { }
+    }
+    """)
+    assert contract.call("n") == 0
+    assert contract.call("b") is False
+    assert contract.call("a") == b"\x00" * 20
+
+
+def test_bytes32_state_and_params(sim):
+    contract = deploy_source(sim, sim.accounts[0], """
+    contract B32 {
+        bytes32 public stored;
+        function put(bytes32 v) public { stored = v; }
+    }
+    """)
+    value = keccak256(b"something")
+    contract.transact("put", value, sender=sim.accounts[0])
+    assert contract.call("stored") == value

@@ -1,0 +1,100 @@
+"""Compiler driver: determinism, ABI generation, error surface."""
+
+import pytest
+
+from repro.lang import SolisError, compile_contract, compile_source
+from tests.conftest import COUNTER_SOURCE
+
+
+def test_compilation_is_deterministic():
+    """Identical source ⇒ identical bytecode — the property the
+    paper's signature scheme rests on (§IV: 'all the participants
+    should use the same version of compiler')."""
+    one = compile_contract(COUNTER_SOURCE)
+    two = compile_contract(COUNTER_SOURCE)
+    assert one.init_code == two.init_code
+    assert one.runtime_code == two.runtime_code
+    assert one.bytecode_hash == two.bytecode_hash
+
+
+def test_different_source_different_bytecode():
+    other = COUNTER_SOURCE.replace("count + 1", "count + 2")
+    assert compile_contract(other).runtime_code != \
+        compile_contract(COUNTER_SOURCE).runtime_code
+
+
+def test_abi_contents():
+    compiled = compile_contract(COUNTER_SOURCE)
+    abi = compiled.abi
+    assert abi.contract_name == "Counter"
+    names = {fn.name for fn in abi.functions}
+    # Declared functions plus synthesized public getters.
+    assert {"increment", "add", "getCount", "count", "owner"} <= names
+    assert abi.constructor_inputs == ("uint256",)
+    add = abi.function("add")
+    assert add.inputs == ("uint256",)
+    assert add.outputs == ("uint256",)
+    event = abi.event("Incremented")
+    assert event.inputs == ("address", "uint256")
+
+
+def test_private_functions_not_in_abi():
+    compiled = compile_contract("""
+    contract P {
+        function hidden() private returns (uint) { return 1; }
+        function open() public { hidden(); }
+    }
+    """)
+    names = {fn.name for fn in compiled.abi.functions}
+    assert "hidden" not in names
+    assert "open" in names
+
+
+def test_interfaces_not_compiled():
+    result = compile_source("""
+    interface I { function f() external; }
+    contract C { function g() public { } }
+    """)
+    assert set(result.contracts) == {"C"}
+
+
+def test_abstract_contracts_not_compiled():
+    result = compile_source("""
+    contract Abstract { function f() external; }
+    contract C { function g() public { } }
+    """)
+    assert set(result.contracts) == {"C"}
+
+
+def test_contract_lookup_errors():
+    result = compile_source("contract A { function f() public { } }")
+    with pytest.raises(SolisError):
+        result.contract("Nope")
+
+
+def test_compile_contract_requires_unambiguous_name():
+    source = """
+    contract A { function f() public { } }
+    contract B { function g() public { } }
+    """
+    with pytest.raises(SolisError):
+        compile_contract(source)
+    assert compile_contract(source, "B").name == "B"
+
+
+def test_bytecode_hash_is_keccak_of_init():
+    from repro.crypto.keccak import keccak256
+
+    compiled = compile_contract(COUNTER_SOURCE)
+    assert compiled.bytecode_hash == keccak256(compiled.init_code)
+    assert compiled.init_code_hex == "0x" + compiled.init_code.hex()
+
+
+def test_runtime_embedded_in_init():
+    compiled = compile_contract(COUNTER_SOURCE)
+    assert compiled.runtime_code in compiled.init_code
+
+
+def test_code_size_reasonable():
+    compiled = compile_contract(COUNTER_SOURCE)
+    assert 100 < len(compiled.runtime_code) < 24_576

@@ -1,0 +1,155 @@
+"""A realistic workload for the compiler: an ERC-20 token in Solis.
+
+Exercises the compiler's feature set the way a real contract does —
+nested mappings, guards, events with indexed topics, the full
+approve/transferFrom dance — and doubles as the library's "can a
+downstream user actually build on this" acceptance test.
+"""
+
+import pytest
+
+from repro.chain import TransactionFailed
+from tests.conftest import deploy_source
+
+ERC20 = """
+contract Token {
+    uint public totalSupply;
+    address public minter;
+    mapping(address => uint) public balanceOf;
+    mapping(address => mapping(address => uint)) public allowance;
+
+    event Transfer(address indexed src, address indexed dst, uint wad);
+    event Approval(address indexed src, address indexed guy, uint wad);
+
+    constructor(uint supply) public {
+        minter = msg.sender;
+        totalSupply = supply;
+        balanceOf[msg.sender] = supply;
+    }
+
+    function transfer(address dst, uint wad) public returns (bool) {
+        require(balanceOf[msg.sender] >= wad, "insufficient balance");
+        balanceOf[msg.sender] -= wad;
+        balanceOf[dst] += wad;
+        emit Transfer(msg.sender, dst, wad);
+        return true;
+    }
+
+    function approve(address guy, uint wad) public returns (bool) {
+        allowance[msg.sender][guy] = wad;
+        emit Approval(msg.sender, guy, wad);
+        return true;
+    }
+
+    function transferFrom(address src, address dst, uint wad)
+            public returns (bool) {
+        require(balanceOf[src] >= wad, "insufficient balance");
+        if (src != msg.sender) {
+            require(allowance[src][msg.sender] >= wad,
+                    "insufficient allowance");
+            allowance[src][msg.sender] -= wad;
+        }
+        balanceOf[src] -= wad;
+        balanceOf[dst] += wad;
+        emit Transfer(src, dst, wad);
+        return true;
+    }
+
+    function mint(address dst, uint wad) public returns (bool) {
+        require(msg.sender == minter, "minter only");
+        totalSupply += wad;
+        balanceOf[dst] += wad;
+        emit Transfer(address(0), dst, wad);
+        return true;
+    }
+}
+"""
+
+SUPPLY = 10_000
+
+
+@pytest.fixture
+def token(sim):
+    return deploy_source(sim, sim.accounts[0], ERC20, args=[SUPPLY])
+
+
+def test_constructor_mints_to_deployer(sim, token):
+    alice = sim.accounts[0]
+    assert token.call("totalSupply") == SUPPLY
+    assert token.call("balanceOf", alice.address) == SUPPLY
+    assert token.call("minter") == alice.address.value
+
+
+def test_transfer_moves_balance_and_emits(sim, token):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    receipt = token.transact("transfer", bob.address, 1_000,
+                             sender=alice)
+    assert token.call("balanceOf", alice.address) == SUPPLY - 1_000
+    assert token.call("balanceOf", bob.address) == 1_000
+    log = receipt.logs[0]
+    assert log.topics[1] == alice.address.to_int()
+    assert log.topics[2] == bob.address.to_int()
+    assert int.from_bytes(log.data, "big") == 1_000
+
+
+def test_transfer_requires_balance(sim, token):
+    bob, carol = sim.accounts[1], sim.accounts[2]
+    with pytest.raises(TransactionFailed, match="insufficient balance"):
+        token.transact("transfer", carol.address, 1, sender=bob)
+
+
+def test_approve_and_transfer_from(sim, token):
+    alice, bob, carol = sim.accounts[0], sim.accounts[1], sim.accounts[2]
+    token.transact("approve", bob.address, 500, sender=alice)
+    assert token.call("allowance", alice.address, bob.address) == 500
+    token.transact("transferFrom", alice.address, carol.address, 300,
+                   sender=bob)
+    assert token.call("balanceOf", carol.address) == 300
+    assert token.call("allowance", alice.address, bob.address) == 200
+
+
+def test_transfer_from_requires_allowance(sim, token):
+    alice, bob, carol = sim.accounts[0], sim.accounts[1], sim.accounts[2]
+    with pytest.raises(TransactionFailed, match="insufficient allowance"):
+        token.transact("transferFrom", alice.address, carol.address, 1,
+                       sender=bob)
+
+
+def test_self_transfer_from_skips_allowance(sim, token):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    token.transact("transferFrom", alice.address, bob.address, 10,
+                   sender=alice)
+    assert token.call("balanceOf", bob.address) == 10
+
+
+def test_mint_guarded(sim, token):
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    token.transact("mint", bob.address, 77, sender=alice)
+    assert token.call("totalSupply") == SUPPLY + 77
+    with pytest.raises(TransactionFailed, match="minter only"):
+        token.transact("mint", bob.address, 1, sender=bob)
+
+
+def test_logs_with_topic_filtering(sim, token):
+    from repro.crypto.abi import event_topic
+
+    alice, bob = sim.accounts[0], sim.accounts[1]
+    receipt = token.transact("transfer", bob.address, 5, sender=alice)
+    transfer_topic = event_topic("Transfer",
+                                 ["address", "address", "uint256"])
+    matched = receipt.logs_with_topic(transfer_topic)
+    assert len(matched) == 1
+    assert receipt.logs_with_topic(b"\x00" * 32) == []
+    assert receipt.logs_for(token.address) == list(receipt.logs)
+
+
+def test_total_conservation_over_many_transfers(sim, token):
+    accounts = sim.accounts[:5]
+    for index, src in enumerate(accounts[:-1]):
+        dst = accounts[index + 1]
+        amount = 100 * (index + 1)
+        if token.call("balanceOf", src.address) >= amount:
+            token.transact("transfer", dst.address, amount, sender=src)
+    total = sum(token.call("balanceOf", account.address)
+                for account in accounts)
+    assert total == SUPPLY

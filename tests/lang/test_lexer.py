@@ -1,0 +1,105 @@
+"""Solis lexer."""
+
+import pytest
+
+from repro.lang.errors import LexerError
+from repro.lang.lexer import TokenType, tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_empty_source_yields_eof_only():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type == TokenType.EOF
+
+
+def test_keywords_vs_identifiers():
+    tokens = kinds("contract Foo uint bar")
+    assert tokens == [
+        (TokenType.KEYWORD, "contract"),
+        (TokenType.IDENT, "Foo"),
+        (TokenType.KEYWORD, "uint"),
+        (TokenType.IDENT, "bar"),
+    ]
+
+
+def test_numbers():
+    assert kinds("42 1_000 1e18") == [
+        (TokenType.NUMBER, "42"),
+        (TokenType.NUMBER, "1000"),
+        (TokenType.NUMBER, "1e18"),
+    ]
+
+
+def test_hex_literal():
+    assert kinds("0xDEADbeef") == [(TokenType.HEX_LITERAL, "0xDEADbeef")]
+
+
+def test_empty_hex_rejected():
+    with pytest.raises(LexerError):
+        tokenize("0x")
+
+
+def test_strings_with_escapes():
+    tokens = kinds(r'"hello \"world\""')
+    assert tokens == [(TokenType.STRING, 'hello "world"')]
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexerError):
+        tokenize('"oops')
+
+
+def test_line_comment_skipped():
+    assert kinds("1 // comment here\n2") == [
+        (TokenType.NUMBER, "1"), (TokenType.NUMBER, "2"),
+    ]
+
+
+def test_block_comment_skipped():
+    assert kinds("1 /* multi\nline */ 2") == [
+        (TokenType.NUMBER, "1"), (TokenType.NUMBER, "2"),
+    ]
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(LexerError):
+        tokenize("/* never ends")
+
+
+def test_multichar_operators_longest_match():
+    ops = [v for t, v in kinds("=> == != <= >= && || += ++ =")]
+    assert ops == ["=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "++",
+                   "="]
+
+
+def test_placeholder_underscore_is_op():
+    tokens = kinds("_ _;")
+    assert tokens[0] == (TokenType.OP, "_")
+
+
+def test_underscore_prefixed_identifier():
+    assert kinds("_foo __bar") == [
+        (TokenType.IDENT, "_foo"), (TokenType.IDENT, "__bar"),
+    ]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexerError):
+        tokenize("uint @x")
+
+
+def test_ether_units_are_keywords():
+    tokens = kinds("1 ether 2 wei 3 days")
+    assert (TokenType.KEYWORD, "ether") in tokens
+    assert (TokenType.KEYWORD, "wei") in tokens
+    assert (TokenType.KEYWORD, "days") in tokens

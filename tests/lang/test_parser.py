@@ -1,0 +1,224 @@
+"""Solis parser: AST shape and error reporting."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParserError
+from repro.lang.parser import parse
+
+
+def only_contract(source):
+    unit = parse(source)
+    assert len(unit.contracts) == 1
+    return unit.contracts[0]
+
+
+def test_pragma_is_skipped():
+    unit = parse("pragma solis ^0.1.0;\ncontract A { }")
+    assert unit.contracts[0].name == "A"
+
+
+def test_interface_flag():
+    unit = parse("interface I { function f() external; }")
+    assert unit.contracts[0].is_interface
+    assert unit.contracts[0].functions[0].body is None
+
+
+def test_state_vars_with_types():
+    contract = only_contract("""
+    contract A {
+        uint public x;
+        address owner;
+        mapping(address => uint) public balances;
+        address[3] public members;
+        bool flag;
+    }
+    """)
+    names = [v.name for v in contract.state_vars]
+    assert names == ["x", "owner", "balances", "members", "flag"]
+    assert contract.state_vars[0].visibility == "public"
+    assert contract.state_vars[1].visibility == "internal"
+    assert contract.state_vars[2].type_name.name == "mapping"
+    assert contract.state_vars[3].type_name.array_length == 3
+
+
+def test_constructor_and_functions():
+    contract = only_contract("""
+    contract A {
+        constructor(uint a) public { }
+        function f(address who, uint amount) public payable returns (bool) { return true; }
+        function g() private view { }
+    }
+    """)
+    ctor = contract.constructor
+    assert ctor is not None and ctor.parameters[0].name == "a"
+    f = contract.function("f")
+    assert f.is_payable and f.visibility == "public"
+    assert [p.name for p in f.parameters] == ["who", "amount"]
+    assert len(f.returns) == 1
+    g = contract.function("g")
+    assert g.visibility == "private" and g.is_view
+
+
+def test_modifier_with_placeholder():
+    contract = only_contract("""
+    contract A {
+        modifier onlyOwner { require(true); _; }
+        function f() public onlyOwner { }
+    }
+    """)
+    assert contract.modifiers[0].name == "onlyOwner"
+    assert isinstance(contract.modifiers[0].body.statements[-1],
+                      ast.PlaceholderStmt)
+    assert contract.function("f").modifiers == ["onlyOwner"]
+
+
+def test_event_declaration():
+    contract = only_contract("""
+    contract A { event Log(address indexed who, uint amount); }
+    """)
+    event = contract.events[0]
+    assert event.name == "Log"
+    assert event.parameters[0].indexed
+    assert not event.parameters[1].indexed
+
+
+def test_control_flow_statements():
+    contract = only_contract("""
+    contract A {
+        function f(uint n) public returns (uint) {
+            uint acc = 0;
+            for (uint i = 0; i < n; i++) {
+                if (i % 2 == 0) { acc += i; }
+                else { acc -= 1; }
+            }
+            while (acc > 100) { acc = acc / 2; break; }
+            return acc;
+        }
+    }
+    """)
+    body = contract.function("f").body
+    assert isinstance(body.statements[1], ast.ForStmt)
+    assert isinstance(body.statements[2], ast.WhileStmt)
+
+
+def test_compound_assignment_desugars():
+    contract = only_contract("""
+    contract A {
+        uint x;
+        function f() public { x += 2; x++; }
+    }
+    """)
+    first, second = contract.function("f").body.statements
+    assert isinstance(first, ast.Assignment)
+    assert isinstance(first.value, ast.BinaryOp) and first.value.op == "+"
+    assert isinstance(second.value, ast.BinaryOp)
+
+
+def test_ether_units_multiply():
+    contract = only_contract("""
+    contract A { function f() public returns (uint) { return 2 ether; } }
+    """)
+    ret = contract.function("f").body.statements[0]
+    assert ret.value.value == 2 * 10 ** 18
+
+
+def test_operator_precedence():
+    contract = only_contract("""
+    contract A {
+        function f() public returns (bool) {
+            return 1 + 2 * 3 == 7 && true || false;
+        }
+    }
+    """)
+    expr = contract.function("f").body.statements[0].value
+    assert expr.op == "||"
+    assert expr.left.op == "&&"
+    assert expr.left.left.op == "=="
+
+
+def test_member_and_index_chains():
+    contract = only_contract("""
+    contract A {
+        mapping(address => uint) balances;
+        function f() public returns (uint) {
+            return balances[msg.sender];
+        }
+    }
+    """)
+    ret = contract.function("f").body.statements[0]
+    assert isinstance(ret.value, ast.IndexAccess)
+    assert isinstance(ret.value.index, ast.MemberAccess)
+
+
+def test_require_with_message():
+    contract = only_contract("""
+    contract A { function f() public { require(true, "nope"); } }
+    """)
+    stmt = contract.function("f").body.statements[0]
+    assert isinstance(stmt, ast.RequireStmt)
+    assert stmt.message == "nope"
+
+
+def test_emit_statement():
+    contract = only_contract("""
+    contract A {
+        event E(uint v);
+        function f() public { emit E(42); }
+    }
+    """)
+    stmt = contract.function("f").body.statements[0]
+    assert isinstance(stmt, ast.EmitStmt)
+    assert stmt.event_name == "E"
+
+
+def test_to_source_round_trips_through_parser():
+    source = """
+    contract A {
+        uint public x;
+        mapping(address => uint) balances;
+        modifier m { require(x > 0); _; }
+        event E(uint v);
+        constructor(uint start) public { x = start; }
+        function f(uint y) public m returns (uint) {
+            if (y > 2) { x = y; } else { x = 0; }
+            emit E(x);
+            return x;
+        }
+    }
+    """
+    once = parse(source).to_source()
+    twice = parse(once).to_source()
+    assert once == twice
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParserError):
+        parse("contract A { uint x }")
+
+
+def test_unbalanced_braces_rejected():
+    with pytest.raises(ParserError):
+        parse("contract A { function f() public { }")
+
+
+def test_dynamic_array_rejected():
+    with pytest.raises(ParserError):
+        parse("contract A { uint[] xs; }")
+
+
+def test_modifier_invocation_args_rejected():
+    with pytest.raises(ParserError):
+        parse("""
+        contract A {
+            modifier m { _; }
+            function f() public m(1) { }
+        }
+        """)
+
+
+def test_source_unit_contract_lookup():
+    unit = parse("contract A { } contract B { }")
+    assert unit.contract("B").name == "B"
+    with pytest.raises(KeyError):
+        unit.contract("C")

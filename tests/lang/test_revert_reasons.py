@@ -1,0 +1,81 @@
+"""require() messages: Solidity Error(string) revert payloads."""
+
+import pytest
+
+from repro.chain import CallFailed, TransactionFailed, decode_revert_reason
+from tests.conftest import deploy_source
+
+GUARDED = """
+contract Guarded {
+    uint public x;
+    function set(uint v) public {
+        require(v < 100, "value too large");
+        x = v;
+    }
+    function longMessage() public {
+        require(false, "this revert reason is much longer than one \
+32-byte word and must span several words");
+    }
+    function noReason() public {
+        require(false);
+    }
+}
+"""
+
+
+def test_reason_surfaces_in_transaction_error(sim):
+    contract = deploy_source(sim, sim.accounts[0], GUARDED)
+    with pytest.raises(TransactionFailed, match="value too large"):
+        contract.transact("set", 500, sender=sim.accounts[0])
+
+
+def test_reason_surfaces_in_call_error(sim):
+    contract = deploy_source(sim, sim.accounts[0], GUARDED)
+    fn = contract.abi.function("set")
+    with pytest.raises(CallFailed, match="value too large"):
+        sim.call(contract.address, fn.encode_call([500]))
+
+
+def test_long_reason_spans_words(sim):
+    contract = deploy_source(sim, sim.accounts[0], GUARDED)
+    with pytest.raises(TransactionFailed, match="span several words"):
+        contract.transact("longMessage", sender=sim.accounts[0])
+
+
+def test_no_reason_still_reverts(sim):
+    contract = deploy_source(sim, sim.accounts[0], GUARDED)
+    receipt = sim.transact(
+        sim.accounts[0], contract.address,
+        data=contract.abi.function("noReason").encode_call([]),
+        require_success=False)
+    assert not receipt.status
+    assert receipt.error == "revert"
+
+
+def test_passing_require_costs_nothing_extra(sim):
+    contract = deploy_source(sim, sim.accounts[0], GUARDED)
+    receipt = contract.transact("set", 5, sender=sim.accounts[0])
+    assert receipt.status
+    assert contract.call("x") == 5
+
+
+def test_decode_revert_reason_helper():
+    # Hand-built Error(string) payload.
+    message = b"boom"
+    payload = (bytes.fromhex("08c379a0")
+               + (0x20).to_bytes(32, "big")
+               + len(message).to_bytes(32, "big")
+               + message.ljust(32, b"\x00"))
+    assert decode_revert_reason(payload) == "boom"
+    assert decode_revert_reason(b"") is None
+    assert decode_revert_reason(b"\x01\x02\x03\x04" + b"\x00" * 64) is None
+    # Truncated payload.
+    assert decode_revert_reason(payload[:70]) is None
+
+
+def test_reason_state_rolled_back(sim):
+    contract = deploy_source(sim, sim.accounts[0], GUARDED)
+    contract.transact("set", 5, sender=sim.accounts[0])
+    with pytest.raises(TransactionFailed):
+        contract.transact("set", 500, sender=sim.accounts[0])
+    assert contract.call("x") == 5

@@ -1,0 +1,309 @@
+"""Semantic analysis: typing rules, layout, getters, diagnostics."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.lang.types import UINT256, ArrayType, MappingType
+
+
+def analyze_source(source):
+    return analyze(parse(source))
+
+
+def test_storage_slot_assignment():
+    infos = analyze_source("""
+    contract A {
+        uint a;
+        address b;
+        address[3] arr;
+        mapping(address => uint) m;
+        bool flag;
+    }
+    """)
+    storage = infos["A"].storage
+    assert storage["a"][0] == 0
+    assert storage["b"][0] == 1
+    assert storage["arr"][0] == 2          # occupies 2, 3, 4
+    assert storage["m"][0] == 5
+    assert storage["flag"][0] == 6
+    assert infos["A"].storage_slots_used == 7
+
+
+def test_public_getters_synthesized():
+    infos = analyze_source("""
+    contract A {
+        uint public x;
+        mapping(address => uint) public m;
+        address[2] public arr;
+        uint hidden;
+    }
+    """)
+    functions = infos["A"].functions
+    assert "x" in functions and not functions["x"].param_types
+    assert functions["m"].param_types != []
+    assert functions["arr"].param_types == [UINT256]
+    assert "hidden" not in functions
+
+
+def test_getter_not_synthesized_when_function_exists():
+    infos = analyze_source("""
+    contract A {
+        uint public x;
+        function x() public returns (uint) { return 1; }
+    }
+    """)
+    assert not infos["A"].functions["x"].decl.is_synthetic
+
+
+def test_selector_stability():
+    infos = analyze_source("""
+    contract A { function transfer(address to, uint amount) public { } }
+    """)
+    assert infos["A"].functions["transfer"].selector.hex() == "a9059cbb"
+
+
+def test_duplicate_contract_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("contract A { } contract A { }")
+
+
+def test_duplicate_state_var_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("contract A { uint x; uint x; }")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            function f() public { }
+            function f() public { }
+        }
+        """)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("contract A { Widget w; }")
+
+
+def test_bytes_state_var_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("contract A { bytes data; }")
+
+
+def test_unknown_identifier_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public { ghost = 1; } }
+        """)
+
+
+def test_type_mismatch_assignment_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            uint x;
+            function f() public { x = true; }
+        }
+        """)
+
+
+def test_bool_required_in_conditions():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public { if (1) { } } }
+        """)
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public { require(42); } }
+        """)
+
+
+def test_arithmetic_requires_uints():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public returns (uint) { return true + 1; } }
+        """)
+
+
+def test_comparison_of_incompatible_types_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            function f() public returns (bool) { return true == 1; }
+        }
+        """)
+
+
+def test_address_comparison_allowed():
+    analyze_source("""
+    contract A {
+        address owner;
+        function f() public returns (bool) { return msg.sender == owner; }
+    }
+    """)
+
+
+def test_return_type_checked():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public returns (uint) { return true; } }
+        """)
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public { return 1; } }
+        """)
+
+
+def test_void_function_bare_return_ok():
+    analyze_source("contract A { function f() public { return; } }")
+
+
+def test_mapping_key_type_checked():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            mapping(address => uint) m;
+            function f() public { m[true] = 1; }
+        }
+        """)
+
+
+def test_array_bounds_type_checked():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            uint[2] xs;
+            function f() public { xs[true] = 1; }
+        }
+        """)
+
+
+def test_modifier_must_exist():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public ghostModifier { } }
+        """)
+
+
+def test_modifier_needs_exactly_one_placeholder():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            modifier m { require(true); }
+            function f() public m { }
+        }
+        """)
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            modifier m { _; _; }
+            function f() public m { }
+        }
+        """)
+
+
+def test_placeholder_outside_modifier_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("contract A { function f() public { _; } }")
+
+
+def test_local_shadowing_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            uint x;
+            function f() public { uint x = 1; }
+        }
+        """)
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            function f() public { uint y = 1; uint y = 2; }
+        }
+        """)
+
+
+def test_event_arity_checked():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            event E(uint a, uint b);
+            function f() public { emit E(1); }
+        }
+        """)
+
+
+def test_unknown_event_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public { emit Ghost(1); } }
+        """)
+
+
+def test_builtin_signatures_checked():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A {
+            function f() public returns (address) {
+                return ecrecover(bytes32(0));
+            }
+        }
+        """)
+
+
+def test_external_interface_call_typed():
+    infos = analyze_source("""
+    contract IThing { function poke(uint v) external; }
+    contract A {
+        function f(address t) public { IThing(t).poke(5); }
+    }
+    """)
+    assert "A" in infos
+
+
+def test_external_call_arity_checked():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract IThing { function poke(uint v) external; }
+        contract A {
+            function f(address t) public { IThing(t).poke(); }
+        }
+        """)
+
+
+def test_abstract_contract_detected():
+    infos = analyze_source("""
+    contract Abstract { function f() external; }
+    contract Concrete { function g() public { } }
+    """)
+    assert infos["Abstract"].is_abstract
+    assert not infos["Concrete"].is_abstract
+
+
+def test_multiple_returns_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public returns (uint, uint) { } }
+        """)
+
+
+def test_transfer_and_balance_members():
+    analyze_source("""
+    contract A {
+        function f(address payee) public {
+            uint b = payee.balance;
+            payee.transfer(b / 2);
+        }
+    }
+    """)
+
+
+def test_bad_member_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+        contract A { function f() public returns (uint) { return msg.ghost; } }
+        """)

@@ -1,0 +1,82 @@
+"""Local off-chain execution."""
+
+import pytest
+
+from repro.lang import compile_contract
+from repro.offchain.executor import OffchainExecutionError, OffchainExecutor
+
+SOURCE = """
+contract OffChainThing {
+    uint public seed;
+    constructor(uint s) public { seed = s; }
+    function heavy() private view returns (uint) {
+        uint acc = seed;
+        for (uint i = 0; i < 50; i++) { acc = acc * 3 + 1; }
+        return acc;
+    }
+    function computeResult() public view returns (uint) {
+        return heavy();
+    }
+}
+"""
+
+
+def _bytecode(seed):
+    compiled = compile_contract(SOURCE)
+    args = compiled.abi.encode_constructor_args([seed])
+    return compiled.init_code + args, compiled.abi
+
+
+def _reference(seed):
+    acc = seed
+    for __ in range(50):
+        acc = (acc * 3 + 1) % (1 << 256)
+    return acc
+
+
+def test_execute_returns_result():
+    bytecode, abi = _bytecode(7)
+    run = OffchainExecutor().execute(bytecode, abi)
+    assert run.result == _reference(7)
+
+
+def test_execution_is_deterministic_across_participants():
+    bytecode, abi = _bytecode(99)
+    one = OffchainExecutor().execute(bytecode, abi)
+    two = OffchainExecutor().execute(bytecode, abi)
+    assert one.result == two.result
+    assert one.gas_equivalent == two.gas_equivalent
+
+
+def test_gas_equivalent_reported():
+    bytecode, abi = _bytecode(1)
+    run = OffchainExecutor().execute(bytecode, abi)
+    assert run.gas_equivalent > 0
+    assert run.deploy_gas_equivalent > 50_000  # create + code deposit
+
+
+def test_constructor_args_affect_result():
+    b1, abi = _bytecode(1)
+    b2, __ = _bytecode(2)
+    assert OffchainExecutor().execute(b1, abi).result != \
+        OffchainExecutor().execute(b2, abi).result
+
+
+def test_bad_bytecode_raises():
+    __, abi = _bytecode(1)
+    with pytest.raises(OffchainExecutionError, match="deployment"):
+        OffchainExecutor().execute(b"\xfe\xfe", abi)
+
+
+def test_missing_compute_result_raises():
+    compiled = compile_contract("""
+    contract NoCompute { function f() public { } }
+    """)
+    with pytest.raises(KeyError):
+        OffchainExecutor().execute(compiled.init_code, compiled.abi)
+
+
+def test_instance_address_reported():
+    bytecode, abi = _bytecode(5)
+    run = OffchainExecutor().execute(bytecode, abi)
+    assert len(run.instance_address.value) == 20

@@ -1,0 +1,105 @@
+"""Signed copies (Algorithm 4 + verification)."""
+
+import pytest
+
+from repro.core.exceptions import SigningError
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import PrivateKey
+from repro.offchain.signing import (
+    SignedCopy,
+    assemble_signed_copy,
+    sign_bytecode,
+)
+
+ALICE = PrivateKey.from_seed("sc-alice")
+BOB = PrivateKey.from_seed("sc-bob")
+EVE = PrivateKey.from_seed("sc-eve")
+BYTECODE = b"\x60\x80\x60\x40" * 50
+
+
+def make_copy():
+    return SignedCopy(
+        bytecode=BYTECODE,
+        signatures=(sign_bytecode(ALICE, BYTECODE),
+                    sign_bytecode(BOB, BYTECODE)),
+    )
+
+
+def test_sign_bytecode_is_over_keccak():
+    signature = sign_bytecode(ALICE, BYTECODE)
+    assert ALICE.public_key.verify(keccak256(BYTECODE), signature)
+
+
+def test_verify_accepts_correct_order():
+    assert make_copy().verify([ALICE.address, BOB.address])
+
+
+def test_verify_rejects_wrong_order():
+    assert not make_copy().verify([BOB.address, ALICE.address])
+
+
+def test_verify_rejects_missing_signature():
+    copy = SignedCopy(bytecode=BYTECODE,
+                      signatures=(sign_bytecode(ALICE, BYTECODE),))
+    assert not copy.verify([ALICE.address, BOB.address])
+
+
+def test_verify_rejects_tampered_bytecode():
+    copy = make_copy()
+    tampered = SignedCopy(bytecode=BYTECODE + b"\x00",
+                          signatures=copy.signatures)
+    assert not tampered.verify([ALICE.address, BOB.address])
+
+
+def test_verify_rejects_impostor():
+    copy = SignedCopy(
+        bytecode=BYTECODE,
+        signatures=(sign_bytecode(EVE, BYTECODE),
+                    sign_bytecode(BOB, BYTECODE)),
+    )
+    assert not copy.verify([ALICE.address, BOB.address])
+
+
+def test_require_valid_raises():
+    with pytest.raises(SigningError):
+        make_copy().require_valid([BOB.address, ALICE.address])
+
+
+def test_vrs_arguments_flattening():
+    copy = make_copy()
+    flat = copy.vrs_arguments()
+    assert len(flat) == 6
+    assert flat[0] == copy.signatures[0].v
+    assert flat[1] == copy.signatures[0].r.to_bytes(32, "big")
+    assert flat[5] == copy.signatures[1].s.to_bytes(32, "big")
+
+
+def test_wire_round_trip():
+    copy = make_copy()
+    assert SignedCopy.from_wire(copy.to_wire()) == copy
+
+
+def test_from_wire_rejects_garbage():
+    with pytest.raises(SigningError):
+        SignedCopy.from_wire(b"\x01\x02\x03")
+
+
+def test_assemble_orders_by_participants():
+    collected = {
+        BOB.address: sign_bytecode(BOB, BYTECODE),
+        ALICE.address: sign_bytecode(ALICE, BYTECODE),
+    }
+    copy = assemble_signed_copy(BYTECODE, collected,
+                                [ALICE.address, BOB.address])
+    assert copy.verify([ALICE.address, BOB.address])
+
+
+def test_assemble_missing_signer_raises():
+    collected = {ALICE.address: sign_bytecode(ALICE, BYTECODE)}
+    with pytest.raises(SigningError, match="missing signature"):
+        assemble_signed_copy(BYTECODE, collected,
+                             [ALICE.address, BOB.address])
+
+
+def test_bytecode_hash_property():
+    assert make_copy().bytecode_hash == keccak256(BYTECODE)

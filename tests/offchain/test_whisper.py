@@ -1,0 +1,83 @@
+"""The simulated Whisper bus."""
+
+import pytest
+
+from repro.offchain.whisper import WhisperBus, WhisperError
+
+
+def test_post_and_poll():
+    bus = WhisperBus()
+    bus.subscribe("alice", "topic")
+    bus.post("topic", b"payload", sender="bob")
+    messages = bus.poll("alice", "topic")
+    assert len(messages) == 1
+    assert messages[0].payload == b"payload"
+    assert messages[0].sender == "bob"
+
+
+def test_poll_consumes_cursor():
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    bus.post("t", b"one")
+    assert len(bus.poll("alice", "t")) == 1
+    assert bus.poll("alice", "t") == []
+    bus.post("t", b"two")
+    assert [e.payload for e in bus.poll("alice", "t")] == [b"two"]
+
+
+def test_independent_subscriber_cursors():
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    bus.post("t", b"m")
+    bus.subscribe("bob", "t")
+    assert len(bus.poll("alice", "t")) == 1
+    assert len(bus.poll("bob", "t")) == 1
+
+
+def test_unsubscribed_poll_rejected():
+    bus = WhisperBus()
+    with pytest.raises(WhisperError):
+        bus.poll("ghost", "t")
+
+
+def test_empty_topic_rejected():
+    with pytest.raises(WhisperError):
+        WhisperBus().post("", b"x")
+
+
+def test_ttl_expiry():
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    bus.post("t", b"fresh", ttl=100)
+    bus.advance_time(50)
+    assert len(bus.peek_all("t")) == 1
+    bus.advance_time(60)
+    assert bus.peek_all("t") == []
+    assert bus.poll("alice", "t") == []
+
+
+def test_time_cannot_rewind():
+    with pytest.raises(WhisperError):
+        WhisperBus().advance_time(-1)
+
+
+def test_bytes_transferred_counts_padded_size():
+    bus = WhisperBus()
+    bus.post("t", b"x")  # pads to 256
+    assert bus.bytes_transferred == 256
+    bus.post("t", b"y" * 300)  # pads to 512
+    assert bus.bytes_transferred == 256 + 512
+
+
+def test_envelope_padding_hides_exact_length():
+    bus = WhisperBus()
+    short = bus.post("t", b"a")
+    longer = bus.post("t", b"a" * 200)
+    assert short.padded_size == longer.padded_size == 256
+
+
+def test_envelope_hash_distinct():
+    bus = WhisperBus()
+    one = bus.post("t", b"a")
+    two = bus.post("t", b"b")
+    assert one.envelope_hash != two.envelope_hash

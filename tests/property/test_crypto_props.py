@@ -1,0 +1,109 @@
+"""Property-based tests for the cryptographic substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ecdsa, rlp
+from repro.crypto import abi as abi_codec
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import PrivateKey, recover_address
+from repro.crypto.secp256k1 import N
+
+# Signing is ~10ms; keep example counts moderate.
+_FAST = settings(max_examples=25, deadline=None)
+_MEDIUM = settings(max_examples=100, deadline=None)
+
+
+@_MEDIUM
+@given(st.binary(max_size=500))
+def test_keccak_deterministic_and_sized(data):
+    assert keccak256(data) == keccak256(data)
+    assert len(keccak256(data)) == 32
+
+
+@_MEDIUM
+@given(st.binary(max_size=300), st.binary(max_size=300))
+def test_keccak_injective_in_practice(a, b):
+    if a != b:
+        assert keccak256(a) != keccak256(b)
+
+
+@_FAST
+@given(st.integers(min_value=1, max_value=N - 1),
+       st.binary(min_size=0, max_size=200))
+def test_sign_recover_round_trip(secret, message):
+    key = PrivateKey(secret)
+    digest = keccak256(message)
+    signature = key.sign(digest)
+    assert recover_address(digest, signature) == key.address
+    assert key.public_key.verify(digest, signature)
+
+
+@_FAST
+@given(st.integers(min_value=1, max_value=N - 1),
+       st.binary(min_size=1, max_size=100))
+def test_signature_never_low_s_violates(secret, message):
+    signature = PrivateKey(secret).sign(keccak256(message))
+    assert signature.s <= N // 2
+
+
+@_FAST
+@given(st.integers(min_value=1, max_value=N - 1),
+       st.binary(max_size=64), st.binary(max_size=64))
+def test_signature_does_not_transfer_between_messages(secret, m1, m2):
+    if keccak256(m1) == keccak256(m2):
+        return
+    key = PrivateKey(secret)
+    signature = key.sign(keccak256(m1))
+    try:
+        recovered = recover_address(keccak256(m2), signature)
+    except ValueError:
+        return
+    assert recovered != key.address
+
+
+rlp_items = st.recursive(
+    st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=20,
+)
+
+
+@_MEDIUM
+@given(rlp_items)
+def test_rlp_round_trip(item):
+    assert rlp.decode(rlp.encode(item)) == item
+
+
+@_MEDIUM
+@given(st.integers(min_value=0, max_value=1 << 256))
+def test_rlp_int_round_trip(value):
+    assert rlp.decode_int(rlp.encode_int(value)) == value
+
+
+@_MEDIUM
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("uint256"),
+                  st.integers(min_value=0, max_value=(1 << 256) - 1)),
+        st.tuples(st.just("bool"), st.booleans()),
+        st.tuples(st.just("bytes32"), st.binary(min_size=32, max_size=32)),
+        st.tuples(st.just("bytes"), st.binary(max_size=100)),
+        st.tuples(st.just("address"), st.binary(min_size=20, max_size=20)),
+    ),
+    max_size=6,
+))
+def test_abi_round_trip(pairs):
+    types = [t for t, __ in pairs]
+    values = [v for __, v in pairs]
+    decoded = abi_codec.decode_arguments(
+        types, abi_codec.encode_arguments(types, values))
+    assert decoded == values
+
+
+@_MEDIUM
+@given(st.binary(max_size=200))
+def test_abi_bytes_padding_is_canonical(payload):
+    encoded = abi_codec.encode_arguments(["bytes"], [payload])
+    assert len(encoded) % 32 == 0
+    assert abi_codec.decode_arguments(["bytes"], encoded) == [payload]

@@ -1,0 +1,82 @@
+"""Property tests on splitting: determinism and partition soundness."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.betting import BETTING_SOURCE
+from repro.core.annotations import SplitSpec
+from repro.core.classify import classify_contract
+from repro.core.splitter import split_contract
+from repro.lang import compile_source
+from repro.lang.parser import parse
+
+_SETTINGS = settings(max_examples=15, deadline=None)
+
+
+@_SETTINGS
+@given(st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=60, max_value=10**5))
+def test_split_deterministic_across_specs(deposit, period):
+    """Same spec => byte-identical sources and bytecode, every time."""
+    spec = SplitSpec(
+        participants_var="participant",
+        result_function="reveal",
+        settle_function="reassign",
+        challenge_period=period,
+        security_deposit=deposit,
+    )
+    one = split_contract(BETTING_SOURCE, "Betting", spec)
+    two = split_contract(BETTING_SOURCE, "Betting", spec)
+    assert one.onchain_source == two.onchain_source
+    assert one.offchain_source == two.offchain_source
+    compiled_one = compile_source(one.offchain_source).contract(
+        one.offchain_name)
+    compiled_two = compile_source(two.offchain_source).contract(
+        two.offchain_name)
+    assert compiled_one.bytecode_hash == compiled_two.bytecode_hash
+
+
+@_SETTINGS
+@given(st.integers(min_value=1_000, max_value=10**6))
+def test_classification_partitions_all_functions(threshold):
+    """Every non-constructor function lands in exactly one category,
+    whatever the gas threshold."""
+    contract = parse(BETTING_SOURCE).contract("Betting")
+    classification = classify_contract(contract,
+                                       gas_threshold=threshold)
+    declared = {
+        fn.name for fn in contract.functions
+        if not fn.is_constructor and not fn.is_synthetic
+    }
+    light = set(classification.light_public)
+    heavy = set(classification.heavy_private)
+    assert light | heavy == declared
+    assert light & heavy == set()
+
+
+@_SETTINGS
+@given(st.integers(min_value=60, max_value=10**5))
+def test_every_split_function_appears_exactly_once(period):
+    spec = SplitSpec(
+        participants_var="participant",
+        result_function="reveal",
+        settle_function="reassign",
+        challenge_period=period,
+    )
+    split = split_contract(BETTING_SOURCE, "Betting", spec)
+    onchain = parse(split.onchain_source).contract(split.onchain_name)
+    offchain = parse(split.offchain_source).contract(split.offchain_name)
+    onchain_names = {fn.name for fn in onchain.functions
+                     if not fn.is_constructor}
+    offchain_names = {fn.name for fn in offchain.functions
+                      if not fn.is_constructor}
+    # Original functions are disjoint across the halves...
+    originals = set(split.onchain_functions) | set(
+        split.offchain_functions)
+    assert set(split.onchain_functions) <= onchain_names
+    assert set(split.offchain_functions) <= offchain_names
+    assert not (set(split.onchain_functions)
+                & set(split.offchain_functions))
+    # ...and padding never collides with an original name.
+    padded_onchain = onchain_names - set(split.onchain_functions)
+    assert not padded_onchain & originals

@@ -1,0 +1,113 @@
+"""Property tests: the journaled state matches a model under
+arbitrary operation/snapshot/revert sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.chain.state import WorldState
+from repro.crypto.keys import Address
+
+_ADDRESSES = [Address.from_int(i) for i in range(1, 6)]
+
+
+class JournalMachine(RuleBasedStateMachine):
+    """Drives WorldState and a plain-dict model in lockstep.
+
+    Snapshots capture the model by deep copy; reverts must bring the
+    real state back to exactly the captured model.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.state = WorldState()
+        self.model: dict[bytes, dict] = {}
+        self.snapshots: list[tuple[int, dict]] = []
+
+    def _model_account(self, address: Address) -> dict:
+        return self.model.setdefault(
+            address.value,
+            {"balance": 0, "nonce": 0, "code": b"", "storage": {}},
+        )
+
+    @rule(address=st.sampled_from(_ADDRESSES),
+          value=st.integers(min_value=0, max_value=10**6))
+    def set_balance(self, address, value):
+        self.state.set_balance(address, value)
+        self._model_account(address)["balance"] = value
+
+    @rule(address=st.sampled_from(_ADDRESSES))
+    def bump_nonce(self, address):
+        self.state.increment_nonce(address)
+        self._model_account(address)["nonce"] += 1
+
+    @rule(address=st.sampled_from(_ADDRESSES),
+          code=st.binary(max_size=8))
+    def set_code(self, address, code):
+        self.state.set_code(address, code)
+        self._model_account(address)["code"] = code
+
+    @rule(address=st.sampled_from(_ADDRESSES),
+          key=st.integers(min_value=0, max_value=4),
+          value=st.integers(min_value=0, max_value=100))
+    def set_storage(self, address, key, value):
+        self.state.set_storage(address, key, value)
+        storage = self._model_account(address)["storage"]
+        if value == 0:
+            storage.pop(key, None)
+        else:
+            storage[key] = value
+
+    @rule()
+    def take_snapshot(self):
+        import copy
+
+        self.snapshots.append(
+            (self.state.snapshot(), copy.deepcopy(self.model)))
+
+    @rule()
+    def revert_latest(self):
+        if not self.snapshots:
+            return
+        snapshot_id, model = self.snapshots.pop()
+        self.state.revert_to(snapshot_id)
+        self.model = model
+
+    @rule()
+    def revert_to_oldest(self):
+        if not self.snapshots:
+            return
+        snapshot_id, model = self.snapshots[0]
+        self.state.revert_to(snapshot_id)
+        self.model = model
+        self.snapshots = []
+
+    @invariant()
+    def state_matches_model(self):
+        for raw, expected in self.model.items():
+            address = Address(raw)
+            assert self.state.get_balance(address) == expected["balance"]
+            assert self.state.get_nonce(address) == expected["nonce"]
+            assert self.state.get_code(address) == expected["code"]
+            for key in range(5):
+                assert self.state.get_storage(address, key) == \
+                    expected["storage"].get(key, 0)
+
+
+JournalMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None)
+TestJournal = JournalMachine.TestCase
+
+
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 1000)),
+                max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_copy_equals_original_root(ops):
+    state = WorldState()
+    for slot, value in ops:
+        state.set_storage(_ADDRESSES[0], slot, value)
+    assert state.copy().state_root() == state.state_root()

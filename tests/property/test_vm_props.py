@@ -1,0 +1,107 @@
+"""Property tests: EVM arithmetic vs a Python reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evm.assembler import Program
+from repro.evm.vm import Message
+from tests.evm.vm_harness import CALLER, CONTRACT, make_env
+
+_WORD = st.integers(min_value=0, max_value=(1 << 256) - 1)
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+_MODEL = {
+    "ADD": lambda a, b: (a + b) % (1 << 256),
+    "MUL": lambda a, b: (a * b) % (1 << 256),
+    "SUB": lambda a, b: (a - b) % (1 << 256),
+    "DIV": lambda a, b: a // b if b else 0,
+    "MOD": lambda a, b: a % b if b else 0,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "LT": lambda a, b: 1 if a < b else 0,
+    "GT": lambda a, b: 1 if a > b else 0,
+    "EQ": lambda a, b: 1 if a == b else 0,
+}
+
+
+def _run_binop(mnemonic: str, a: int, b: int) -> int:
+    """Execute `a <op> b` (a is the top operand)."""
+    program = Program()
+    program.push(b, width=32)
+    program.push(a, width=32)  # a ends on top
+    program.op(mnemonic)
+    program.push(0).op("MSTORE")
+    program.push(32).push(0).op("RETURN")
+    state, evm = make_env()
+    state.set_code(CONTRACT, program.assemble())
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=100_000, origin=CALLER))
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+@_SETTINGS
+@given(st.sampled_from(sorted(_MODEL)), _WORD, _WORD)
+def test_binop_matches_model(mnemonic, a, b):
+    assert _run_binop(mnemonic, a, b) == _MODEL[mnemonic](a, b)
+
+
+@_SETTINGS
+@given(_WORD)
+def test_iszero_not_roundtrip(value):
+    program = Program()
+    program.push(value, width=32)
+    program.op("NOT").op("NOT")  # double complement is identity
+    program.push(0).op("MSTORE")
+    program.push(32).push(0).op("RETURN")
+    state, evm = make_env()
+    state.set_code(CONTRACT, program.assemble())
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=100_000, origin=CALLER))
+    assert int.from_bytes(result.return_data, "big") == value
+
+
+@_SETTINGS
+@given(_WORD, st.integers(min_value=0, max_value=300))
+def test_shl_shr_match_python(value, shift):
+    shl = _run_binop("SHL", shift, value)  # SHL pops shift first
+    expected = (value << shift) % (1 << 256) if shift < 256 else 0
+    assert shl == expected
+    shr = _run_binop("SHR", shift, value)
+    assert shr == (value >> shift if shift < 256 else 0)
+
+
+@_SETTINGS
+@given(st.binary(max_size=128))
+def test_sha3_matches_keccak(data):
+    from repro.crypto.keccak import keccak256
+
+    program = Program()
+    for index, byte in enumerate(data):
+        program.push(byte).push(index).op("MSTORE8")
+    program.push(len(data), width=2).push(0)
+    program.op("SHA3")
+    program.push(0).op("MSTORE")
+    program.push(32).push(0).op("RETURN")
+    state, evm = make_env()
+    state.set_code(CONTRACT, program.assemble())
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=b"", gas=10_000_000, origin=CALLER))
+    assert result.success
+    assert result.return_data == keccak256(data)
+
+
+@_SETTINGS
+@given(st.binary(max_size=100), st.integers(min_value=0, max_value=120))
+def test_calldataload_zero_pads(data, offset):
+    program = Program()
+    program.push(offset).op("CALLDATALOAD")
+    program.push(0).op("MSTORE")
+    program.push(32).push(0).op("RETURN")
+    state, evm = make_env()
+    state.set_code(CONTRACT, program.assemble())
+    result = evm.execute(Message(sender=CALLER, to=CONTRACT, value=0,
+                                 data=data, gas=100_000, origin=CALLER))
+    expected = data[offset:offset + 32].ljust(32, b"\x00")
+    assert result.return_data == expected
