@@ -47,7 +47,7 @@ def test_latency_scales_with_period(benchmark, report):
         for period in PERIODS:
             sim, protocol = _submitted_game(period, liar=False)
             submitted_at = sim.current_timestamp
-            assert protocol.run_challenge_window() is None
+            assert not protocol.run_challenge_window().disputed
             protocol.finalize(protocol.participants[1])
             rows[period] = sim.current_timestamp - submitted_at
         return rows
@@ -69,7 +69,7 @@ def test_gas_independent_of_period(timed, report):
     timed(lambda: None)
     for period in (600, 86_400):
         __, protocol = _submitted_game(period, liar=False)
-        assert protocol.run_challenge_window() is None
+        assert not protocol.run_challenge_window().disputed
         protocol.finalize(protocol.participants[1])
         totals[period] = protocol.ledger.total("submit/challenge")
     spread = abs(totals[600] - totals[86_400])
@@ -87,7 +87,7 @@ def test_challenge_inside_window_always_wins(timed, report):
     for period in PERIODS:
         __, protocol = _submitted_game(period, liar=True)
         dispute = protocol.run_challenge_window()
-        assert dispute is not None
+        assert dispute.disputed
         from repro.apps.betting import reference_reveal
 
         assert protocol.outcome().outcome == reference_reveal(42, 25)

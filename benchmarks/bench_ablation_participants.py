@@ -10,7 +10,7 @@ signing costs scale — linear in N, as the mechanism design predicts.
 from __future__ import annotations
 
 
-from repro.chain import ETHER, EthereumSimulator
+from repro.chain import ETHER, EthereumSimulator, SimulatorConfig
 from repro.core import OnOffChainProtocol, Participant, SplitSpec
 
 CONTRACT_TEMPLATE = """
@@ -64,7 +64,7 @@ def _build_source(n: int) -> str:
 
 
 def _run_n_party(n: int):
-    sim = EthereumSimulator(num_accounts=n + 2)
+    sim = EthereumSimulator(config=SimulatorConfig(num_accounts=n + 2))
     participants = [
         Participant(account=sim.accounts[i], name=f"p{i}")
         for i in range(n)
@@ -84,7 +84,7 @@ def _run_n_party(n: int):
     protocol.deploy(participants[0], constructor_args=ctor_args)
     protocol.collect_signatures()
     protocol.call_onchain(participants[0], "fund", value=1 * ETHER)
-    outcome = protocol.dispute(participants[1])
+    outcome = protocol.dispute(participants[1]).value
     return protocol, outcome
 
 

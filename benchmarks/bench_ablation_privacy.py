@@ -36,7 +36,7 @@ def _run(liar: bool):
     protocol.call_onchain(bob, "deposit", value=plan["stake"])
     sim.advance_time_to(plan["timeline"].t2 + 1)
     protocol.submit_result(alice)
-    dispute = protocol.run_challenge_window()
+    dispute = protocol.run_challenge_window().value
     if dispute is None:
         protocol.finalize(bob)
     return sim, protocol, dispute

@@ -29,7 +29,7 @@ def _dispute_gas(rounds: int) -> tuple[int, int]:
     protocol.call_onchain(alice, "deposit", value=plan["stake"])
     protocol.call_onchain(bob, "deposit", value=plan["stake"])
     sim.advance_time_to(plan["timeline"].t3 + 1)
-    outcome = protocol.dispute(bob)
+    outcome = protocol.dispute(bob).value
     return outcome.deploy_receipt.gas_used, \
         outcome.resolve_receipt.gas_used
 

@@ -56,7 +56,7 @@ def _run_disputed_game(rounds: int, deposit: int):
         protocol.pay_security_deposits()
     sim.advance_time_to(base + 14_401)
     protocol.submit_result(alice)
-    dispute = protocol.run_challenge_window()
+    dispute = protocol.run_challenge_window().value
     assert dispute is not None
     if deposit > 0:
         protocol.withdraw_security_deposits()

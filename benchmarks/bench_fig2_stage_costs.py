@@ -42,7 +42,7 @@ def _run_game(dishonest: bool):
                           stage_label="submit/challenge")
     sim.advance_time_to(plan["timeline"].t2 + 1)
     protocol.submit_result(alice)
-    dispute = protocol.run_challenge_window()
+    dispute = protocol.run_challenge_window().value
     if dispute is None:
         protocol.finalize(bob)
     return protocol, dispute

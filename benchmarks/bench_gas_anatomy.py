@@ -100,7 +100,7 @@ def test_anatomy_sums_to_receipt(timed, report):
 
 def test_return_dispute_resolution_anatomy(timed, report):
     sim, protocol, bob = timed(_dispute_ready)
-    dispute = protocol.dispute(bob)
+    dispute = protocol.dispute(bob).value
     # Profile the second leg against the pre-resolution state is no
     # longer possible (state moved); instead decompose the receipt via
     # a rerun on a fresh scenario.

@@ -1,0 +1,122 @@
+"""Multi-session scaling — batched mining vs one block per transaction.
+
+The paper's scalability argument is fleet-level: many concurrent
+protocol sessions share the chain, and the hybrid model keeps their
+combined miner workload low.  This benchmark drives fleets of
+independent betting sessions through the :class:`SessionEngine` under
+both mining regimes and measures how many blocks the fleet actually
+needs — the per-transaction regime models naive auto-mining, the batch
+regime models a real miner packing the shared mempool up to the block
+gas limit.
+
+Correctness is asserted alongside the numbers: both regimes must
+produce identical per-session gas ledgers (``GasLedger.fingerprint``
+ignores block numbers) and identical final settlements, and a fleet
+with 10% dishonest representatives must resolve every dispute to the
+true result.
+"""
+
+from __future__ import annotations
+
+from repro.apps.betting import reference_reveal
+from repro.chain import EthereumSimulator, SimulatorConfig
+from repro.core import SessionEngine, spawn_fleet
+
+FLEET_SIZES = (1, 10, 100)
+DISHONEST_FRACTION = 0.10
+BETTING_TRUTH = reference_reveal(42, 25)
+
+
+def _run_fleet(mining: str, sessions: int,
+               dishonest_fraction: float = DISHONEST_FRACTION):
+    sim = EthereumSimulator(
+        config=SimulatorConfig(num_accounts=2, auto_mine=False))
+    drivers = spawn_fleet(sim, sessions, app="betting",
+                          dishonest_fraction=dishonest_fraction)
+    metrics = SessionEngine(sim, drivers, mining=mining).run()
+    return metrics, drivers
+
+
+def _settlements(drivers):
+    return [
+        (driver.protocol.stage, driver.protocol.outcome().outcome)
+        for driver in drivers
+    ]
+
+
+def _bench_fleet_size(sessions: int, timed, report) -> None:
+    batch, batch_drivers = timed(_run_fleet, "batch", sessions)
+    per_tx, per_tx_drivers = _run_fleet("per-tx", sessions)
+
+    # Identical work, identical outcomes — only the packing differs.
+    assert batch.transactions == per_tx.transactions
+    assert [d.protocol.ledger.fingerprint() for d in batch_drivers] == \
+           [d.protocol.ledger.fingerprint() for d in per_tx_drivers]
+    assert _settlements(batch_drivers) == _settlements(per_tx_drivers)
+    assert per_tx.blocks_mined == per_tx.transactions
+
+    ratio = per_tx.blocks_mined / batch.blocks_mined
+    report.add(
+        "Fleet scaling (multi-session engine)",
+        f"{sessions} sessions: blocks, per-tx vs batch [count]",
+        "n/a",
+        f"{per_tx.blocks_mined} vs {batch.blocks_mined}",
+        f"{ratio:.1f}x fewer; {batch.txs_per_block:.1f} txs/block",
+    )
+    if sessions >= 100:
+        # The headline scalability claim: at fleet scale, batching
+        # must save at least 5x in mined blocks.
+        assert ratio >= 5.0
+    if sessions > 1:
+        assert batch.blocks_mined < per_tx.blocks_mined
+
+
+def test_fleet_1_session(timed, report):
+    _bench_fleet_size(1, timed, report)
+
+
+def test_fleet_10_sessions(timed, report):
+    _bench_fleet_size(10, timed, report)
+
+
+def test_fleet_100_sessions(timed, report):
+    _bench_fleet_size(100, timed, report)
+
+
+def test_fleet_dispute_resolution_under_fault_injection(timed, report):
+    """10% dishonest representatives: every lie must be overturned."""
+    sessions = 100
+    metrics, drivers = timed(_run_fleet, "batch", sessions)
+
+    assert metrics.disputes == round(sessions * DISHONEST_FRACTION)
+    for driver in drivers:
+        outcome = driver.protocol.outcome()
+        assert outcome.resolved
+        assert outcome.outcome == BETTING_TRUTH
+        if driver.disputed:
+            # The liar's session settled through Dispute/Resolve.
+            assert driver.protocol.ledger.by_label().get(
+                "deployVerifiedInstance", 0) > 0
+    report.add(
+        "Fleet scaling (multi-session engine)",
+        "100 sessions, 10% liars: disputes resolved [count]",
+        "all",
+        f"{metrics.disputes}/{metrics.disputes}",
+        "every false submission overturned to the true result",
+    )
+
+
+def test_fleet_gas_invariant_across_modes(timed, report):
+    """Per-session gas is mode-independent at small scale too."""
+    batch, batch_drivers = timed(_run_fleet, "batch", 4,
+                                 dishonest_fraction=0.25)
+    per_tx, per_tx_drivers = _run_fleet("per-tx", 4,
+                                        dishonest_fraction=0.25)
+    assert batch.total_gas == per_tx.total_gas
+    report.add(
+        "Fleet scaling (multi-session engine)",
+        "gas per session, batch vs per-tx [gas]",
+        "equal",
+        f"{batch.gas_per_session:,.0f} vs {per_tx.gas_per_session:,.0f}",
+        "packing never changes execution cost",
+    )

@@ -45,7 +45,7 @@ def _dispute_ready_protocol(rounds: int = 0, challenge_period: int = 0):
 
 def _measure_dispute(rounds: int = 0):
     protocol, challenger = _dispute_ready_protocol(rounds=rounds)
-    outcome = protocol.dispute(challenger)
+    outcome = protocol.dispute(challenger).value
     return outcome
 
 

@@ -38,7 +38,7 @@ def play(dispute_mode: bool) -> None:
 
     banner("Rule 1: deploy on-chain contract, exchange signed copies")
     deploy_betting(protocol, alice)
-    copy = protocol.collect_signatures()
+    copy = protocol.collect_signatures().value
     print(f"onChain at {protocol.onchain.address.checksum}")
     print(f"off-chain bytecode: {len(copy.bytecode)} bytes; "
           f"keccak256 = 0x{copy.bytecode_hash.hex()[:16]}…")
@@ -67,7 +67,7 @@ def play(dispute_mode: bool) -> None:
         banner("Rule 5: the loser refuses — dispute after T3")
         sim.advance_time_to(plan["timeline"].t3 + 1)
         print(f"{winner.name} submits the signed copy on-chain…")
-        dispute = protocol.dispute(winner)
+        dispute = protocol.dispute(winner).value
         print(f"deployVerifiedInstance(): "
               f"{dispute.deploy_receipt.gas_used:,} gas "
               f"(paper: 225,082 + reveal())")

@@ -42,7 +42,7 @@ def settle(delivered: int, expected: int) -> None:
     buyer_before = sim.get_balance(buyer.account)
 
     protocol.submit_result(seller)
-    assert protocol.run_challenge_window() is None
+    assert not protocol.run_challenge_window().disputed
     protocol.finalize(buyer)
 
     if truth:

@@ -82,7 +82,7 @@ def main() -> None:
     )
 
     # Stage 1 — Split/Generate.
-    split = protocol.split_generate()
+    split = protocol.split_generate().value
     print(f"light/public  -> on-chain : {split.onchain_functions}")
     print(f"heavy/private -> off-chain: {split.offchain_functions}")
 
@@ -95,7 +95,7 @@ def main() -> None:
                           "stakeWei": stake, "secret": secret},
         offchain_state={"secretNumber": secret},
     )
-    copy = protocol.collect_signatures()
+    copy = protocol.collect_signatures().value
     print(f"signed copy: {len(copy.bytecode)} bytes, "
           f"{len(copy.signatures)} signatures — exchanged over Whisper")
 
@@ -106,7 +106,7 @@ def main() -> None:
     result = protocol.reach_unanimous_agreement()
     print(f"off-chain result (computed privately by both): {result}")
     protocol.submit_result(bob)
-    assert protocol.run_challenge_window() is None, "no dispute expected"
+    assert not protocol.run_challenge_window().disputed, "no dispute expected"
     protocol.finalize(alice)
 
     outcome = protocol.outcome()

@@ -57,7 +57,7 @@ def main() -> None:
     print("on-chain proposal:", protocol.onchain.call("proposedResult"))
 
     print("honest contractors police the challenge window…")
-    dispute = protocol.run_challenge_window()
+    dispute = protocol.run_challenge_window().value
     assert dispute is not None
     print(f"dispute fired: instance at "
           f"{dispute.instance_address.checksum}")

@@ -61,7 +61,7 @@ def run_game(deposit_wei: int) -> None:
           protocol.onchain.call("proposedResult"),
           "— truth is", reference_reveal(SEED, ROUNDS))
 
-    dispute = protocol.run_challenge_window()
+    dispute = protocol.run_challenge_window().value
     print(f"  bob challenged: {dispute.total_gas:,} gas for the "
           "dispute path")
     if deposit_wei:

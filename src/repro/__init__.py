@@ -23,24 +23,35 @@ Quickstart::
 """
 
 from repro.core import (
+    EngineMetrics,
     OnOffChainProtocol,
     Participant,
+    SessionEngine,
     SplitSpec,
     Stage,
+    StageResult,
     Strategy,
+    spawn_fleet,
     split_contract,
 )
-from repro.chain import ETHER, EthereumSimulator
+from repro.chain import ETHER, EthereumSimulator, SimulatorConfig
+from repro.exceptions import ReproError
 from repro.lang import compile_contract, compile_source
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "EngineMetrics",
     "OnOffChainProtocol",
     "Participant",
+    "ReproError",
+    "SessionEngine",
+    "SimulatorConfig",
     "SplitSpec",
     "Stage",
+    "StageResult",
     "Strategy",
+    "spawn_fleet",
     "split_contract",
     "ETHER",
     "EthereumSimulator",

@@ -26,6 +26,7 @@ from repro.chain.simulator import (
     CallFailed,
     EthereumSimulator,
     SimAccount,
+    SimulatorConfig,
     TransactionFailed,
 )
 from repro.chain.state import WorldState
@@ -52,6 +53,7 @@ __all__ = [
     "CallFailed",
     "EthereumSimulator",
     "SimAccount",
+    "SimulatorConfig",
     "TransactionFailed",
     "WorldState",
     "Transaction",

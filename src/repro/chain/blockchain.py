@@ -18,13 +18,14 @@ from repro.chain.receipt import Receipt
 from repro.chain.state import WorldState
 from repro.chain.transaction import Transaction
 from repro.evm.vm import BlockContext
+from repro.exceptions import ReproError
 
 _GENESIS_PARENT = b"\x00" * 32
 DEFAULT_BLOCK_GAS_LIMIT = 8_000_000
 DEFAULT_BLOCK_INTERVAL = 15  # seconds, mainnet-like
 
 
-class ChainError(ValueError):
+class ChainError(ReproError, ValueError):
     """Raised for chain-level failures (unknown blocks, bad queries)."""
 
 
@@ -95,14 +96,21 @@ class Blockchain:
             return self.blocks[number].hash
         return b"\x00" * 32
 
-    def mine_block(self) -> Block:
-        """Pack pending transactions into a new block and execute them."""
+    def mine_block(self, gas_limit: Optional[int] = None) -> Block:
+        """Pack pending transactions into a new block and execute them.
+
+        ``gas_limit`` overrides the chain's block gas limit for this
+        one block — the batch-mining engine uses it to study packing
+        density without reconfiguring the chain.
+        """
+        block_gas_limit = (gas_limit if gas_limit is not None
+                           else self.block_gas_limit)
         timestamp = self.next_timestamp()
         self._time_offset = 0
         number = self.latest_block.number + 1
         context = self.block_context(timestamp=timestamp, number=number)
 
-        transactions = self.mempool.pop_batch(self.block_gas_limit)
+        transactions = self.mempool.pop_batch(block_gas_limit)
         receipts: list[Receipt] = []
         included: list[Transaction] = []
         cumulative_gas = 0
@@ -137,7 +145,7 @@ class Blockchain:
             state_root=self.state.state_root(),
             timestamp=timestamp,
             miner=self.coinbase,
-            gas_limit=self.block_gas_limit,
+            gas_limit=block_gas_limit,
             gas_used=cumulative_gas,
             transactions_root=transactions_root(included),
         )

@@ -15,13 +15,14 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.crypto import abi as abi_codec
 from repro.crypto.keys import Address
+from repro.exceptions import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.chain.receipt import Receipt
     from repro.chain.simulator import EthereumSimulator, SimAccount
 
 
-class AbiLookupError(KeyError):
+class AbiLookupError(ReproError, KeyError):
     """Raised when a function or event is missing from an ABI."""
 
 

@@ -11,9 +11,10 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.chain.transaction import Transaction, TransactionError
+from repro.exceptions import ReproError
 
 
-class MempoolError(ValueError):
+class MempoolError(ReproError, ValueError):
     """Raised when a transaction cannot be admitted to the pool."""
 
 
@@ -41,7 +42,8 @@ class Mempool:
         try:
             transaction.sender  # force signature recovery
         except TransactionError as exc:
-            raise MempoolError(f"rejecting unsignable transaction: {exc}")
+            raise MempoolError(
+                f"rejecting unsignable transaction: {exc}") from exc
         self._entries.append(_PoolEntry(
             sort_key=(-transaction.gas_price, next(self._counter)),
             transaction=transaction,

@@ -16,9 +16,10 @@ from repro.chain.state import WorldState
 from repro.chain.transaction import Transaction
 from repro.evm import gas
 from repro.evm.vm import EVM, BlockContext, ExecutionResult, Message
+from repro.exceptions import ReproError
 
 
-class InvalidTransaction(ValueError):
+class InvalidTransaction(ReproError, ValueError):
     """The transaction cannot be included in a block at all."""
 
 

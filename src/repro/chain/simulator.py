@@ -9,22 +9,29 @@ own block, which keeps receipts immediate and tests deterministic.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.crypto.keys import Address, PrivateKey
-from repro.chain.blockchain import Blockchain, ChainError
+from repro.chain.block import Block
+from repro.chain.blockchain import (
+    DEFAULT_BLOCK_GAS_LIMIT,
+    DEFAULT_BLOCK_INTERVAL,
+    Blockchain,
+    ChainError,
+)
 from repro.chain.contract import ContractABI, DeployedContract
-from repro.chain.processor import apply_transaction
 from repro.chain.receipt import Receipt
 from repro.chain.transaction import Transaction
+from repro.exceptions import ReproError
 
 ETHER = 10 ** 18
 GWEI = 10 ** 9
 DEFAULT_FUNDING = 1_000 * ETHER
 
 
-class TransactionFailed(RuntimeError):
+class TransactionFailed(ReproError, RuntimeError):
     """A transaction was mined but reverted (carries the receipt)."""
 
     def __init__(self, receipt: Receipt) -> None:
@@ -35,8 +42,29 @@ class TransactionFailed(RuntimeError):
         self.receipt = receipt
 
 
-class CallFailed(RuntimeError):
+class CallFailed(ReproError, RuntimeError):
     """A read-only call reverted."""
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Construction knobs for :class:`EthereumSimulator`.
+
+    The preferred construction is keyword-only::
+
+        sim = EthereumSimulator(config=SimulatorConfig(auto_mine=False))
+
+    ``block_gas_limit`` and ``block_interval`` flow through to the
+    underlying :class:`~repro.chain.blockchain.Blockchain`, which is
+    what the multi-session engine tunes for batch mining.
+    """
+
+    num_accounts: int = 10
+    funding: int = DEFAULT_FUNDING
+    auto_mine: bool = True
+    genesis_timestamp: int = 1_550_000_000
+    block_gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT
+    block_interval: int = DEFAULT_BLOCK_INTERVAL
 
 
 @dataclass
@@ -57,19 +85,47 @@ class SimAccount:
 class EthereumSimulator:
     """Single-node test chain with funded accounts and auto-mining."""
 
-    def __init__(self, num_accounts: int = 10,
-                 funding: int = DEFAULT_FUNDING,
-                 auto_mine: bool = True,
-                 genesis_timestamp: int = 1_550_000_000) -> None:
-        self.chain = Blockchain(genesis_timestamp=genesis_timestamp)
-        self.auto_mine = auto_mine
+    def __init__(self, num_accounts: Optional[int] = None,
+                 funding: Optional[int] = None,
+                 auto_mine: Optional[bool] = None,
+                 genesis_timestamp: Optional[int] = None, *,
+                 config: Optional[SimulatorConfig] = None) -> None:
+        legacy = {
+            name: value for name, value in (
+                ("num_accounts", num_accounts),
+                ("funding", funding),
+                ("auto_mine", auto_mine),
+                ("genesis_timestamp", genesis_timestamp),
+            ) if value is not None
+        }
+        if config is not None and legacy:
+            raise TypeError(
+                "pass either config=SimulatorConfig(...) or the legacy "
+                f"arguments, not both: {sorted(legacy)}"
+            )
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    "EthereumSimulator(num_accounts, funding, auto_mine, "
+                    "genesis_timestamp) is deprecated; use "
+                    "EthereumSimulator(config=SimulatorConfig(...))",
+                    DeprecationWarning, stacklevel=2,
+                )
+            config = SimulatorConfig(**legacy)
+        self.config = config
+        self.chain = Blockchain(
+            genesis_timestamp=config.genesis_timestamp,
+            block_gas_limit=config.block_gas_limit,
+            block_interval=config.block_interval,
+        )
+        self.auto_mine = config.auto_mine
         self.accounts: list[SimAccount] = []
-        for index in range(num_accounts):
+        for index in range(config.num_accounts):
             account = SimAccount(
                 key=PrivateKey.from_seed(f"simulator-account-{index}"),
                 name=f"account{index}",
             )
-            self.chain.state.add_balance(account.address, funding)
+            self.chain.state.add_balance(account.address, config.funding)
             self.accounts.append(account)
         self.chain.state.clear_journal()
 
@@ -109,10 +165,22 @@ class EthereumSimulator:
         if target_delta > 0:
             self.chain.increase_time(target_delta)
 
-    def mine(self, blocks: int = 1) -> None:
-        """Mine empty (or pending-transaction) blocks."""
-        for __ in range(blocks):
-            self.chain.mine_block()
+    def mine(self, blocks: int = 1,
+             gas_limit: Optional[int] = None) -> list[Block]:
+        """Mine ``blocks`` blocks, packing pending transactions.
+
+        With ``auto_mine=False`` this is the other half of the
+        :meth:`pending`/:meth:`mine` pair: queue transactions with
+        :meth:`send_transaction`, inspect them with :meth:`pending`,
+        then mine explicitly.  Returns the mined blocks so callers can
+        see exactly what was packed.
+        """
+        return [self.chain.mine_block(gas_limit=gas_limit)
+                for __ in range(blocks)]
+
+    def pending(self) -> list[Transaction]:
+        """Transactions queued in the mempool, in miner order."""
+        return self.chain.mempool.pending()
 
     # -- snapshots (ganache evm_snapshot / evm_revert) -----------------------
 

@@ -30,6 +30,12 @@ class WorldState:
     def __init__(self) -> None:
         self._accounts: dict[bytes, Account] = {}
         self._journal: list[tuple] = []
+        # Content-derived caches so state_root() is O(dirty accounts),
+        # not O(total code + storage): every mutation evicts the
+        # touched account's leaf digest (and its code hash when the
+        # code itself changes).
+        self._digests: dict[bytes, bytes] = {}
+        self._code_hashes: dict[bytes, bytes] = {}
 
     # -- account access -------------------------------------------------
 
@@ -62,6 +68,7 @@ class WorldState:
             raise ValueError("balance cannot go negative")
         account = self._get_or_create(address)
         self._journal.append((_BALANCE, address.value, account.balance))
+        self._digests.pop(address.value, None)
         account.balance = value
 
     def add_balance(self, address: Address, delta: int) -> None:
@@ -75,6 +82,7 @@ class WorldState:
     def increment_nonce(self, address: Address) -> None:
         account = self._get_or_create(address)
         self._journal.append((_NONCE, address.value, account.nonce))
+        self._digests.pop(address.value, None)
         account.nonce += 1
 
     def get_code(self, address: Address) -> bytes:
@@ -84,6 +92,8 @@ class WorldState:
     def set_code(self, address: Address, code: bytes) -> None:
         account = self._get_or_create(address)
         self._journal.append((_CODE, address.value, account.code))
+        self._digests.pop(address.value, None)
+        self._code_hashes.pop(address.value, None)
         account.code = code
 
     def get_storage(self, address: Address, key: int) -> int:
@@ -96,6 +106,7 @@ class WorldState:
         account = self._get_or_create(address)
         old = account.storage.get(key, 0)
         self._journal.append((_STORAGE, address.value, key, old))
+        self._digests.pop(address.value, None)
         if value == 0:
             account.storage.pop(key, None)
         else:
@@ -112,6 +123,9 @@ class WorldState:
         while len(self._journal) > snapshot_id:
             entry = self._journal.pop()
             tag = entry[0]
+            self._digests.pop(entry[1], None)
+            if tag == _CODE or tag == _CREATE:
+                self._code_hashes.pop(entry[1], None)
             if tag == _BALANCE:
                 self._accounts[entry[1]].balance = entry[2]
             elif tag == _NONCE:
@@ -144,26 +158,42 @@ class WorldState:
         for raw, account in self._accounts.items():
             yield Address(raw), account
 
+    def _leaf_digest(self, raw: bytes, account: Account) -> bytes:
+        """Hash of one account's full contents, cached until mutated."""
+        digest = self._digests.get(raw)
+        if digest is not None:
+            return digest
+        code_hash = self._code_hashes.get(raw)
+        if code_hash is None:
+            code_hash = keccak256(account.code)
+            self._code_hashes[raw] = code_hash
+        storage_items = [
+            [key.to_bytes(32, "big"), value.to_bytes(32, "big")]
+            for key, value in sorted(account.storage.items())
+        ]
+        digest = keccak256(rlp.encode([
+            raw,
+            account.nonce,
+            account.balance,
+            code_hash,
+            storage_items,
+        ]))
+        self._digests[raw] = digest
+        return digest
+
     def state_root(self) -> bytes:
         """Deterministic commitment over the full state.
 
-        A hash over the RLP of sorted account data — a stand-in for the
-        Merkle-Patricia state root with the same commitment property.
+        A hash over the RLP of sorted per-account digests — a stand-in
+        for the Merkle-Patricia state root with the same commitment
+        property.  Only accounts mutated since the previous call are
+        re-hashed, so mining a block costs O(touched accounts), not
+        O(world size).
         """
-        items = []
-        for raw in sorted(self._accounts):
-            account = self._accounts[raw]
-            storage_items = [
-                [key.to_bytes(32, "big"), value.to_bytes(32, "big")]
-                for key, value in sorted(account.storage.items())
-            ]
-            items.append([
-                raw,
-                account.nonce,
-                account.balance,
-                keccak256(account.code),
-                storage_items,
-            ])
+        items = [
+            [raw, self._leaf_digest(raw, self._accounts[raw])]
+            for raw in sorted(self._accounts)
+        ]
         return keccak256(rlp.encode(items))
 
     def copy(self) -> "WorldState":
@@ -172,4 +202,6 @@ class WorldState:
         clone._accounts = {
             raw: account.copy() for raw, account in self._accounts.items()
         }
+        clone._digests = dict(self._digests)
+        clone._code_hashes = dict(self._code_hashes)
         return clone

@@ -16,9 +16,10 @@ from repro.crypto import rlp
 from repro.crypto.ecdsa import Signature
 from repro.crypto.keccak import keccak256
 from repro.crypto.keys import Address, PrivateKey, recover_address
+from repro.exceptions import ReproError
 
 
-class TransactionError(ValueError):
+class TransactionError(ReproError, ValueError):
     """Raised for malformed or invalid transactions."""
 
 

@@ -8,6 +8,8 @@ Usage (also via ``python -m repro``):
                    --result FN --settle FN [--out DIR] \\
                    [--challenge-period SECONDS] [--security-deposit WEI]
     repro demo     {betting,tender,escrow} [--dispute]
+    repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
+                   [--dishonest FRACTION] [--compare]
 
 ``split`` is the Split/Generate stage as a tool: it writes the
 canonical on/off-chain pair next to your whole contract, ready to be
@@ -168,16 +170,74 @@ def cmd_demo(args: argparse.Namespace) -> int:
                               value=protocol.escrow_plan["price"])
 
     protocol.submit_result(first)
-    dispute = protocol.run_challenge_window()
-    if dispute is None:
+    challenge = protocol.run_challenge_window()
+    if not challenge.disputed:
         protocol.finalize(second)
         print(f"{args.app}: settled honestly via finalize")
     else:
         print(f"{args.app}: false submission overturned via dispute "
-              f"({dispute.total_gas:,} gas)")
+              f"({challenge.value.total_gas:,} gas)")
     outcome = protocol.outcome()
     print(f"outcome: {outcome.outcome!r} via {outcome.via}")
     print(f"gas by stage: {protocol.ledger.by_stage()}")
+    return 0
+
+
+def _run_fleet(sessions: int, app: str, mining: str,
+               dishonest: float):
+    from repro.chain import EthereumSimulator, SimulatorConfig
+    from repro.core import SessionEngine, spawn_fleet
+
+    sim = EthereumSimulator(
+        config=SimulatorConfig(num_accounts=2, auto_mine=False))
+    drivers = spawn_fleet(sim, sessions, app=app,
+                          dishonest_fraction=dishonest)
+    metrics = SessionEngine(sim, drivers, mining=mining).run()
+    return metrics, drivers
+
+
+def _print_metrics(metrics) -> None:
+    print(f"  mining mode      : {metrics.mining}")
+    print(f"  sessions         : {metrics.sessions} "
+          f"({metrics.disputes} disputed, "
+          f"rate {metrics.dispute_rate:.0%})")
+    print(f"  blocks mined     : {metrics.blocks_mined}")
+    print(f"  transactions     : {metrics.transactions} "
+          f"({metrics.txs_per_block:.1f} per block)")
+    print(f"  total gas        : {metrics.total_gas:,} "
+          f"({metrics.gas_per_session:,.0f} per session)")
+    print(f"  wall clock       : {metrics.wall_clock_seconds:.2f}s")
+
+
+def cmd_engine(args: argparse.Namespace) -> int:
+    if args.sessions < 1:
+        raise SystemExit("error: --sessions must be at least 1")
+    if not 0.0 <= args.dishonest <= 1.0:
+        raise SystemExit("error: --dishonest must be within [0, 1]")
+    modes = (["batch", "per-tx"] if args.compare else [args.mining])
+    results = []
+    for mode in modes:
+        print(f"{args.app} fleet, {args.sessions} sessions, "
+              f"{args.dishonest:.0%} dishonest:")
+        metrics, drivers = _run_fleet(
+            args.sessions, args.app, mode, args.dishonest)
+        unsettled = [d.session_id for d in drivers if not d.settled]
+        if unsettled:
+            raise SystemExit(
+                f"error: sessions did not settle: {unsettled}")
+        _print_metrics(metrics)
+        results.append((metrics, drivers))
+    if args.compare:
+        (batch, batch_drivers), (per_tx, per_tx_drivers) = results
+        ratio = (per_tx.blocks_mined / batch.blocks_mined
+                 if batch.blocks_mined else float("inf"))
+        same_ledgers = all(
+            a.protocol.ledger.fingerprint() ==
+            b.protocol.ledger.fingerprint()
+            for a, b in zip(batch_drivers, per_tx_drivers))
+        print(f"batch mining used {ratio:.1f}x fewer blocks; "
+              f"per-session gas ledgers "
+              f"{'identical' if same_ledgers else 'DIVERGED'}")
     return 0
 
 
@@ -222,6 +282,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--dispute", action="store_true",
                         help="make the representative lie")
     p_demo.set_defaults(func=cmd_demo)
+
+    p_engine = sub.add_parser(
+        "engine",
+        help="drive a fleet of concurrent sessions with batched mining")
+    p_engine.add_argument("--sessions", type=int, default=10)
+    p_engine.add_argument("--app", default="betting",
+                          choices=["betting", "tender", "escrow"])
+    p_engine.add_argument("--mining", default="batch",
+                          choices=["batch", "per-tx"])
+    p_engine.add_argument("--dishonest", type=float, default=0.0,
+                          help="fraction of sessions whose "
+                               "representative lies (0..1)")
+    p_engine.add_argument("--compare", action="store_true",
+                          help="run both mining modes and compare")
+    p_engine.set_defaults(func=cmd_engine)
 
     return parser
 

@@ -7,6 +7,7 @@ enforce the true result via the verified-instance mechanism.
 """
 
 from repro.core.analytics import (
+    EngineMetrics,
     GasEntry,
     GasLedger,
     ModelComparison,
@@ -24,22 +25,36 @@ from repro.core.classify import (
 from repro.core.exceptions import (
     AgreementError,
     DisputeError,
+    EngineError,
     ProtocolError,
     SigningError,
     SplitError,
     StageError,
 )
 from repro.core.dispute import DisputeResolution, resolve_dispute
+from repro.core.engine import (
+    BettingDriver,
+    EscrowDriver,
+    ProtocolDriver,
+    SessionEngine,
+    TenderDriver,
+    TxIntent,
+    WaitUntil,
+    spawn_fleet,
+)
 from repro.core.participants import Participant, Strategy
 from repro.core.protocol import (
     DisputeOutcome,
     OnOffChainProtocol,
     ProtocolOutcome,
     Stage,
+    StageResult,
+    results_equal,
 )
 from repro.core.splitter import SplitContracts, split_contract
 
 __all__ = [
+    "EngineMetrics",
     "GasEntry",
     "GasLedger",
     "ModelComparison",
@@ -53,6 +68,7 @@ __all__ = [
     "estimate_function_cost",
     "AgreementError",
     "DisputeError",
+    "EngineError",
     "ProtocolError",
     "SigningError",
     "SplitError",
@@ -61,10 +77,20 @@ __all__ = [
     "Strategy",
     "DisputeResolution",
     "resolve_dispute",
+    "BettingDriver",
+    "EscrowDriver",
+    "ProtocolDriver",
+    "SessionEngine",
+    "TenderDriver",
+    "TxIntent",
+    "WaitUntil",
+    "spawn_fleet",
     "DisputeOutcome",
     "OnOffChainProtocol",
     "ProtocolOutcome",
     "Stage",
+    "StageResult",
+    "results_equal",
     "SplitContracts",
     "split_contract",
 ]

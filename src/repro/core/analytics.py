@@ -67,6 +67,16 @@ class GasLedger:
             totals[entry.label] = totals.get(entry.label, 0) + entry.gas
         return totals
 
+    def fingerprint(self) -> tuple[tuple[str, str, int, str], ...]:
+        """Ordered (stage, label, gas, actor) tuples, block numbers
+        excluded — two runs of the same session are equivalent when
+        their fingerprints match, regardless of how the transactions
+        were packed into blocks."""
+        return tuple(
+            (entry.stage, entry.label, entry.gas, entry.actor)
+            for entry in self.entries
+        )
+
 
 @dataclass(frozen=True)
 class PrivacyReport:
@@ -117,6 +127,42 @@ def privacy_report_hybrid(onchain_runtime: bytes,
         + exposed_heavy_sigs,
         heavy_signatures_exposed=exposed_heavy_sigs,
     )
+
+
+@dataclass(frozen=True)
+class EngineMetrics:
+    """Fleet-level accounting from one :class:`SessionEngine` run.
+
+    ``blocks_mined`` / ``transactions`` count only what the engine
+    itself scheduled; ``disputes`` counts sessions that settled through
+    the Dispute/Resolve path rather than ``finalizeResult``.
+    """
+
+    sessions: int
+    disputes: int
+    blocks_mined: int
+    transactions: int
+    total_gas: int
+    wall_clock_seconds: float
+    mining: str
+
+    @property
+    def txs_per_block(self) -> float:
+        if self.blocks_mined == 0:
+            return 0.0
+        return self.transactions / self.blocks_mined
+
+    @property
+    def gas_per_session(self) -> float:
+        if self.sessions == 0:
+            return 0.0
+        return self.total_gas / self.sessions
+
+    @property
+    def dispute_rate(self) -> float:
+        if self.sessions == 0:
+            return 0.0
+        return self.disputes / self.sessions
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,541 @@
+"""Multi-session protocol engine with batch mining.
+
+One :class:`~repro.core.protocol.OnOffChainProtocol` instance walks a
+single contract through the four stages, mining a block per
+transaction.  Real chains do not work that way: many independent
+protocol sessions share one mempool and miners pack their transactions
+into common blocks.  ``SessionEngine`` reproduces that regime — it
+drives N sessions concurrently against one shared simulator, routes
+every transaction through the mempool, and mines *batched* blocks
+(``Blockchain.mine_block`` pulling ``Mempool.pop_batch``) instead of a
+block per transaction.
+
+Sessions are written as :class:`ProtocolDriver` generators that yield
+either a batch of :class:`TxIntent` (transactions to queue; the engine
+resumes the generator with the mined receipts, in order) or a
+:class:`WaitUntil` marker (resume once the chain clock reaches a
+deadline).  The engine interleaves all sessions cooperatively:
+transaction work is always drained before the clock advances, so a
+challenge never misses its window because some other session was
+waiting out its own.
+
+Two mining modes make the paper-scale comparison measurable:
+
+* ``"batch"``  — queue every runnable session's transactions, then
+  mine as few blocks as the block gas limit allows;
+* ``"per-tx"`` — mine one block per transaction, replicating the
+  auto-mining regime single-session code uses.
+
+Per-session gas ledgers come out identical across modes (contracts
+have isolated storage; only block numbers differ), which
+``GasLedger.fingerprint`` makes checkable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable, Optional, Union
+
+from repro.chain.simulator import EthereumSimulator, SimAccount
+from repro.core.analytics import EngineMetrics
+from repro.core.exceptions import EngineError
+from repro.core.participants import Participant, Strategy
+from repro.core.protocol import (
+    OnOffChainProtocol,
+    Stage,
+    results_equal,
+)
+from repro.crypto.keys import Address
+
+# Declared gas limits for queued transactions.  ``Mempool.pop_batch``
+# packs blocks by *declared* limit, not gas used, so these are kept
+# tight (with ~2-4x headroom over measured usage) — sloppy limits
+# collapse batching density.
+DEPLOY_GAS = 2_500_000
+TRANSFER_CALL_GAS = 150_000
+SUBMIT_GAS = 250_000
+FINALIZE_GAS = 300_000
+DISPUTE_DEPLOY_GAS = 2_500_000
+DISPUTE_RESOLVE_GAS = 800_000
+
+
+@dataclass(frozen=True)
+class TxIntent:
+    """One transaction a session wants mined.
+
+    ``stage``/``label``/``actor`` mirror the arguments of
+    :meth:`GasLedger.record`; the engine records every mined intent
+    into its session's ledger with them, keeping engine-driven ledgers
+    byte-compatible with the synchronous path.
+    """
+
+    sender: SimAccount
+    to: Optional[Address]  # None deploys a contract
+    data: bytes = b""
+    value: int = 0
+    gas_limit: int = TRANSFER_CALL_GAS
+    stage: str = ""
+    label: str = ""
+    actor: str = ""
+
+
+@dataclass(frozen=True)
+class WaitUntil:
+    """Yielded by a driver to sleep until the chain clock reaches
+    ``timestamp`` (the *next* block's timestamp, as with
+    ``advance_time_to``)."""
+
+    timestamp: int
+
+
+DriverStep = Union[list, WaitUntil]
+DriverGenerator = Generator[DriverStep, Any, None]
+
+
+class ProtocolDriver:
+    """Adapts one protocol session to the engine's cooperative loop.
+
+    Subclasses implement :meth:`steps` as a generator over the
+    session's life; the shared implementation here covers the four
+    stages for any two-phase app (fund → submit/challenge →
+    finalize-or-dispute), with hooks for app-specific funding and
+    timeline waits.
+    """
+
+    def __init__(self, protocol: OnOffChainProtocol,
+                 session_id: int = 0) -> None:
+        self.protocol = protocol
+        self.session_id = session_id
+        self.truth: Any = None
+
+    # -- hooks ---------------------------------------------------------
+
+    @property
+    def plan(self) -> dict:
+        """The app's deployment plan (constructor args, state, ...)."""
+        raise NotImplementedError
+
+    def funding_intents(self) -> list[TxIntent]:
+        """Transactions that escrow the app's money after signing."""
+        raise NotImplementedError
+
+    def submit_ready_at(self) -> Optional[int]:
+        """Timestamp before which the result cannot be submitted."""
+        return None
+
+    # -- helpers -------------------------------------------------------
+
+    @property
+    def representative(self) -> Participant:
+        return self.protocol.participants[0]
+
+    def encode_onchain(self, function_name: str, *args: Any) -> bytes:
+        fn = self.protocol.onchain.abi.function(function_name)
+        return fn.encode_call(list(args))
+
+    def call_intent(self, participant: Participant, function_name: str,
+                    *args: Any, value: int = 0,
+                    gas_limit: int = TRANSFER_CALL_GAS) -> TxIntent:
+        return TxIntent(
+            sender=participant.account,
+            to=self.protocol.onchain.address,
+            data=self.encode_onchain(function_name, *args),
+            value=value,
+            gas_limit=gas_limit,
+            stage=self.protocol.stage.value,
+            label=function_name,
+            actor=participant.name,
+        )
+
+    # -- the session ---------------------------------------------------
+
+    def steps(self) -> DriverGenerator:
+        protocol = self.protocol
+        rep = self.representative
+
+        # Stage 2a: deploy the on-chain half (deferred mining).
+        init_code = protocol.prepare_deploy(
+            self.plan["constructor_args"], self.plan["offchain_state"])
+        [deploy_receipt] = yield [TxIntent(
+            sender=rep.account, to=None, data=init_code,
+            gas_limit=DEPLOY_GAS, stage=Stage.DEPLOYED.value,
+            label="deploy onChain", actor=rep.name,
+        )]
+        protocol.attach_onchain(deploy_receipt)
+
+        # Stage 2b: signature exchange is pure off-chain traffic.
+        protocol.collect_signatures()
+
+        # App-specific escrow (deposits / funding).
+        funding = self.funding_intents()
+        if funding:
+            yield funding
+
+        # Stage 3: submit once the result is computable.
+        ready_at = self.submit_ready_at()
+        if ready_at is not None:
+            yield WaitUntil(ready_at)
+        self.truth = protocol.reach_unanimous_agreement()
+        claim = rep.claimed_result(self.truth)
+        [__] = yield [TxIntent(
+            sender=rep.account, to=protocol.onchain.address,
+            data=self.encode_onchain("submitResult", claim),
+            gas_limit=SUBMIT_GAS, stage=Stage.PROPOSED.value,
+            label="submitResult", actor=rep.name,
+        )]
+        protocol.stage = Stage.PROPOSED
+
+        # Challenge window: honest parties police the proposal.
+        proposed = protocol.onchain.call("proposedResult")
+        if results_equal(proposed, self.truth):
+            deadline = protocol.onchain.call("challengeDeadline")
+            yield WaitUntil(deadline)
+            closer = protocol.participants[-1]
+            [__] = yield [TxIntent(
+                sender=closer.account, to=protocol.onchain.address,
+                data=self.encode_onchain("finalizeResult"),
+                gas_limit=FINALIZE_GAS, stage=Stage.PROPOSED.value,
+                label="finalizeResult", actor=closer.name,
+            )]
+            protocol.stage = Stage.SETTLED
+            return
+
+        # Stage 4: a challenger reveals the signed copy.
+        challenger = next(
+            (p for p in protocol.participants if p.will_challenge), None)
+        if challenger is None:
+            raise EngineError(
+                f"session {self.session_id}: false result submitted but "
+                "no honest participant is willing to challenge"
+            )
+        copy = protocol.signed_copies[challenger.name]
+        copy.require_valid([p.address for p in protocol.participants])
+        [dispute_deploy] = yield [TxIntent(
+            sender=challenger.account, to=protocol.onchain.address,
+            data=self.encode_onchain(
+                "deployVerifiedInstance", copy.bytecode,
+                *copy.vrs_arguments()),
+            gas_limit=DISPUTE_DEPLOY_GAS, stage=Stage.DISPUTED.value,
+            label="deployVerifiedInstance", actor=challenger.name,
+        )]
+        instance_address = Address(protocol.onchain.call("deployedAddr"))
+        resolve_fn = protocol.compiled_offchain.abi.function(
+            "returnDisputeResolution")
+        [dispute_resolve] = yield [TxIntent(
+            sender=challenger.account, to=instance_address,
+            data=resolve_fn.encode_call([protocol.onchain.address]),
+            gas_limit=DISPUTE_RESOLVE_GAS, stage=Stage.DISPUTED.value,
+            label="returnDisputeResolution", actor=challenger.name,
+        )]
+        protocol.record_dispute(
+            instance_address, dispute_deploy, dispute_resolve)
+
+    # -- outcome -------------------------------------------------------
+
+    @property
+    def settled(self) -> bool:
+        return self.protocol.stage in (Stage.SETTLED, Stage.RESOLVED)
+
+    @property
+    def disputed(self) -> bool:
+        return self.protocol.stage is Stage.RESOLVED
+
+
+class BettingDriver(ProtocolDriver):
+    """Drives one betting game (Table I) through the engine."""
+
+    app = "betting"
+
+    @property
+    def plan(self) -> dict:
+        return self.protocol.betting_plan
+
+    def funding_intents(self) -> list[TxIntent]:
+        return [
+            self.call_intent(participant, "deposit",
+                             value=self.plan["stake"])
+            for participant in self.protocol.participants
+        ]
+
+    def submit_ready_at(self) -> Optional[int]:
+        return self.plan["timeline"].t2 + 1
+
+
+class EscrowDriver(ProtocolDriver):
+    """Drives one escrow settlement through the engine."""
+
+    app = "escrow"
+
+    @property
+    def plan(self) -> dict:
+        return self.protocol.escrow_plan
+
+    def funding_intents(self) -> list[TxIntent]:
+        buyer = self.protocol.participants[0]
+        return [self.call_intent(buyer, "fund", value=self.plan["price"])]
+
+
+class TenderDriver(ProtocolDriver):
+    """Drives one sealed-tender award through the engine."""
+
+    app = "tender"
+
+    @property
+    def plan(self) -> dict:
+        return self.protocol.tender_plan
+
+    def funding_intents(self) -> list[TxIntent]:
+        buyer = self.protocol.participants[0]
+        return [self.call_intent(buyer, "fund", value=self.plan["budget"])]
+
+
+@dataclass
+class _SessionState:
+    driver: ProtocolDriver
+    generator: DriverGenerator
+    pending: Optional[DriverStep] = None  # last yield, not yet serviced
+    done: bool = False
+    error: Optional[BaseException] = None
+    intents: list = field(default_factory=list)
+    tx_hashes: list = field(default_factory=list)
+
+
+class SessionEngine:
+    """Runs many protocol sessions against one shared simulator.
+
+    The scheduling loop alternates two phases until every session
+    finishes: (1) queue and mine all runnable sessions' transaction
+    batches, resuming each with its receipts; (2) when nothing has
+    transaction work, warp the clock to the earliest ``WaitUntil``
+    deadline and resume every session whose deadline passed.
+    """
+
+    def __init__(self, simulator: EthereumSimulator,
+                 drivers: Iterable[ProtocolDriver] = (),
+                 mining: str = "batch",
+                 block_gas_limit: Optional[int] = None) -> None:
+        if mining not in ("batch", "per-tx"):
+            raise EngineError(
+                f"unknown mining mode {mining!r}; use 'batch' or 'per-tx'")
+        self.simulator = simulator
+        self.mining = mining
+        self.block_gas_limit = block_gas_limit
+        self.drivers: list[ProtocolDriver] = list(drivers)
+        self.blocks_mined = 0
+        self.transactions = 0
+
+    def add(self, driver: ProtocolDriver) -> None:
+        self.drivers.append(driver)
+
+    # -- the scheduler -------------------------------------------------
+
+    def run(self) -> EngineMetrics:
+        started = time.perf_counter()
+        sessions = [
+            _SessionState(driver=driver, generator=driver.steps())
+            for driver in self.drivers
+        ]
+        for session in sessions:
+            self._resume(session, None)
+
+        while True:
+            tx_sessions = [
+                s for s in sessions
+                if not s.done and isinstance(s.pending, list)
+            ]
+            if tx_sessions:
+                self._mine_round(tx_sessions)
+                continue
+            waiting = [
+                s for s in sessions
+                if not s.done and isinstance(s.pending, WaitUntil)
+            ]
+            if not waiting:
+                break
+            target = min(s.pending.timestamp for s in waiting)
+            self.simulator.advance_time_to(target)
+            horizon = self.simulator.chain.next_timestamp()
+            resumable = [s for s in waiting
+                         if s.pending.timestamp <= horizon]
+            for session in resumable:
+                self._resume(session, None)
+
+        errors = [s for s in sessions if s.error is not None]
+        if errors:
+            raise EngineError(
+                f"{len(errors)} of {len(sessions)} sessions failed; "
+                f"first: {errors[0].error!r}"
+            ) from errors[0].error
+        return self._metrics(started)
+
+    def _resume(self, session: _SessionState, value: Any) -> None:
+        """Advance one generator to its next yield (or completion)."""
+        try:
+            if value is None and session.pending is None:
+                step = next(session.generator)
+            else:
+                step = session.generator.send(value)
+        except StopIteration:
+            session.done = True
+            session.pending = None
+            return
+        except Exception as exc:  # session died; surface after the run
+            session.done = True
+            session.pending = None
+            session.error = exc
+            return
+        if isinstance(step, WaitUntil):
+            session.pending = step
+        elif isinstance(step, list) and step and \
+                all(isinstance(i, TxIntent) for i in step):
+            session.pending = step
+        else:
+            session.done = True
+            session.pending = None
+            session.error = EngineError(
+                f"session {session.driver.session_id} yielded "
+                f"{step!r}; expected a non-empty list of TxIntent "
+                "or WaitUntil"
+            )
+
+    def _mine_round(self, tx_sessions: list[_SessionState]) -> None:
+        """Queue every runnable session's batch, mine, hand back
+        receipts."""
+        sim = self.simulator
+        for session in tx_sessions:
+            session.intents = list(session.pending)
+            session.tx_hashes = []
+        if self.mining == "per-tx":
+            # One block per transaction — the auto-mining regime.
+            for session in tx_sessions:
+                for intent in session.intents:
+                    session.tx_hashes.append(self._queue(intent))
+                    sim.mine(gas_limit=self.block_gas_limit)
+                    self.blocks_mined += 1
+        else:
+            for session in tx_sessions:
+                for intent in session.intents:
+                    session.tx_hashes.append(self._queue(intent))
+            while sim.pending():
+                block = sim.mine(gas_limit=self.block_gas_limit)[0]
+                self.blocks_mined += 1
+                if not block.transactions:
+                    raise EngineError(
+                        "mined an empty block while transactions are "
+                        "pending — a queued transaction exceeds the "
+                        "block gas limit"
+                    )
+        for session in tx_sessions:
+            receipts = []
+            for intent, tx_hash in zip(session.intents,
+                                       session.tx_hashes):
+                receipt = sim.get_receipt(tx_hash)
+                if not receipt.status:
+                    session.done = True
+                    session.pending = None
+                    session.error = EngineError(
+                        f"session {session.driver.session_id}: "
+                        f"{intent.label or 'transaction'} reverted: "
+                        f"{receipt.error or 'no reason'}"
+                    )
+                    break
+                session.driver.protocol.ledger.record(
+                    intent.stage, intent.label, receipt, intent.actor)
+                receipts.append(receipt)
+            else:
+                self.transactions += len(receipts)
+                self._resume(session, receipts)
+
+    def _queue(self, intent: TxIntent) -> bytes:
+        return self.simulator.send_transaction(
+            intent.sender, intent.to, data=intent.data,
+            value=intent.value, gas_limit=intent.gas_limit,
+        )
+
+    def _metrics(self, started: float) -> EngineMetrics:
+        return EngineMetrics(
+            sessions=len(self.drivers),
+            disputes=sum(1 for d in self.drivers if d.disputed),
+            blocks_mined=self.blocks_mined,
+            transactions=self.transactions,
+            total_gas=sum(d.protocol.ledger.total() for d in self.drivers),
+            wall_clock_seconds=time.perf_counter() - started,
+            mining=self.mining,
+        )
+
+
+_DRIVER_BY_APP = {
+    "betting": BettingDriver,
+    "escrow": EscrowDriver,
+    "tender": TenderDriver,
+}
+
+
+def dishonest_session_indices(count: int, fraction: float) -> set[int]:
+    """Deterministic, evenly spread session indices to make dishonest.
+
+    ``fraction`` is rounded to a whole number of sessions; the indices
+    are spread across the fleet so dishonesty is not clustered at the
+    start (which would bias block packing in the comparison runs).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise EngineError(f"dishonest fraction {fraction} not in [0, 1]")
+    k = round(count * fraction)
+    if k <= 0:
+        return set()
+    return {(i * count) // k for i in range(k)}
+
+
+def spawn_fleet(simulator: EthereumSimulator, count: int,
+                app: str = "betting", dishonest_fraction: float = 0.0,
+                funding: Optional[int] = None,
+                **app_kwargs: Any) -> list[ProtocolDriver]:
+    """Create ``count`` independent sessions of one app on one chain.
+
+    Each session gets freshly funded accounts, so fleets scale past the
+    simulator's pre-funded account list.  ``dishonest_fraction`` of the
+    sessions get a representative that lies about the off-chain result
+    (`Strategy.LIES_ABOUT_RESULT`), forcing those sessions through the
+    Dispute/Resolve path.
+    """
+    if app not in _DRIVER_BY_APP:
+        raise EngineError(
+            f"unknown app {app!r}; choose from {sorted(_DRIVER_BY_APP)}")
+    from repro.chain.simulator import DEFAULT_FUNDING
+
+    funding = DEFAULT_FUNDING if funding is None else funding
+    liars = dishonest_session_indices(count, dishonest_fraction)
+    drivers: list[ProtocolDriver] = []
+    for index in range(count):
+        strategy = (Strategy.LIES_ABOUT_RESULT if index in liars
+                    else Strategy.HONEST)
+
+        def member(role: str, member_strategy: Strategy) -> Participant:
+            account = simulator.create_account(
+                f"fleet-{app}-{index}-{role}", funding=funding,
+                name=f"s{index}-{role}")
+            return Participant(account=account, name=f"s{index}-{role}",
+                               strategy=member_strategy)
+
+        if app == "betting":
+            from repro.apps.betting import make_betting_protocol
+
+            protocol = make_betting_protocol(
+                simulator, member("alice", strategy),
+                member("bob", Strategy.HONEST), **app_kwargs)
+        elif app == "escrow":
+            from repro.apps.escrow import make_escrow_protocol
+
+            protocol = make_escrow_protocol(
+                simulator, member("buyer", strategy),
+                member("seller", Strategy.HONEST), **app_kwargs)
+        else:
+            from repro.apps.tender import make_tender_protocol
+
+            protocol = make_tender_protocol(
+                simulator, member("buyer", strategy),
+                member("contractorA", Strategy.HONEST),
+                member("contractorB", Strategy.HONEST), **app_kwargs)
+        drivers.append(_DRIVER_BY_APP[app](protocol, session_id=index))
+    return drivers

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from repro.exceptions import ReproError
 
-class ProtocolError(Exception):
+
+class ProtocolError(ReproError):
     """Base class for protocol-layer failures."""
 
 
@@ -25,3 +27,7 @@ class DisputeError(ProtocolError):
 
 class AgreementError(ProtocolError):
     """Participants failed to reach unanimous off-chain agreement."""
+
+
+class EngineError(ProtocolError):
+    """The multi-session engine cannot make scheduling progress."""

@@ -21,13 +21,13 @@ which the benchmarks consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
 
 from repro.chain.contract import DeployedContract
 from repro.chain.receipt import Receipt
-from repro.chain.simulator import EthereumSimulator, TransactionFailed
+from repro.chain.simulator import EthereumSimulator
 from repro.core.analytics import GasLedger
 from repro.core.annotations import SplitSpec
 from repro.core.exceptions import (
@@ -87,6 +87,39 @@ class ProtocolOutcome:
     via: str   # 'finalize' | 'dispute' | 'none'
 
 
+@dataclass(frozen=True)
+class StageResult:
+    """Uniform return value of every protocol stage method.
+
+    Carries the on-chain receipts the stage produced, the stage the
+    protocol advanced to, and the stage-specific payload in ``value``
+    (:class:`~repro.core.splitter.SplitContracts` after
+    ``split_generate``, the deployed contract after ``deploy``, the
+    :class:`~repro.offchain.signing.SignedCopy` after
+    ``collect_signatures``, a :class:`DisputeOutcome` after ``dispute``
+    — or ``None`` where the stage has nothing to report).
+    """
+
+    stage: Stage
+    receipts: tuple[Receipt, ...] = ()
+    value: Any = None
+
+    @property
+    def gas(self) -> int:
+        """Total on-chain gas this stage burned."""
+        return sum(receipt.gas_used for receipt in self.receipts)
+
+    @property
+    def receipt(self) -> Optional[Receipt]:
+        """The single receipt, for one-transaction stages."""
+        return self.receipts[0] if self.receipts else None
+
+    @property
+    def disputed(self) -> bool:
+        """True when the stage escalated to Dispute/Resolve."""
+        return isinstance(self.value, DisputeOutcome)
+
+
 class OnOffChainProtocol:
     """Orchestrates one contract's life across the four stages."""
 
@@ -120,7 +153,7 @@ class OnOffChainProtocol:
     # Stage 1: Split/Generate
     # ------------------------------------------------------------------
 
-    def split_generate(self) -> SplitContracts:
+    def split_generate(self) -> StageResult:
         """Split the whole contract and compile both halves."""
         if self.stage is not Stage.CREATED:
             raise StageError(f"split_generate after {self.stage}")
@@ -140,7 +173,7 @@ class OnOffChainProtocol:
         self.compiled_offchain = self._offchain_compilation.contract(
             self.split.offchain_name)
         self.stage = Stage.GENERATED
-        return self.split
+        return StageResult(stage=self.stage, value=self.split)
 
     # ------------------------------------------------------------------
     # Stage 2: Deploy/Sign
@@ -149,7 +182,7 @@ class OnOffChainProtocol:
     def deploy(self, deployer: Participant,
                constructor_args: dict[str, Any] | None = None,
                offchain_state: dict[str, Any] | None = None,
-               gas_limit: int = 6_000_000) -> DeployedContract:
+               gas_limit: int = 6_000_000) -> StageResult:
         """Deploy the on-chain half and fix the off-chain bytecode."""
         if self.stage is not Stage.GENERATED:
             raise StageError("call split_generate() before deploy()")
@@ -163,6 +196,52 @@ class OnOffChainProtocol:
                            self.onchain.deploy_receipt, deployer.name)
         self.offchain_bytecode = self.build_offchain_bytecode(
             offchain_state or {})
+        self.stage = Stage.DEPLOYED
+        return StageResult(stage=self.stage,
+                           receipts=(self.onchain.deploy_receipt,),
+                           value=self.onchain)
+
+    # -- deferred deployment (batched / engine-driven mining) ----------
+
+    def prepare_deploy(self,
+                       constructor_args: dict[str, Any] | None = None,
+                       offchain_state: dict[str, Any] | None = None
+                       ) -> bytes:
+        """Build deployable init code without sending a transaction.
+
+        The deferred twin of :meth:`deploy` for callers that queue the
+        deployment into a mempool themselves (the multi-session
+        engine).  Fixes the off-chain bytecode as a side effect, just
+        like :meth:`deploy`; pair with :meth:`attach_onchain` once the
+        deployment transaction has been mined.
+        """
+        if self.stage is not Stage.GENERATED:
+            raise StageError("call split_generate() before prepare_deploy()")
+        ordered_args = self._onchain_ctor_args(constructor_args or {})
+        init_code = (self.compiled_onchain.init_code
+                     + self.compiled_onchain.abi.encode_constructor_args(
+                         ordered_args))
+        self.offchain_bytecode = self.build_offchain_bytecode(
+            offchain_state or {})
+        return init_code
+
+    def attach_onchain(self, receipt: Receipt) -> DeployedContract:
+        """Bind a mined deployment receipt from :meth:`prepare_deploy`.
+
+        The caller is responsible for ledger recording (the engine
+        records centrally for all sessions it schedules).
+        """
+        if receipt.contract_address is None:
+            raise StageError(
+                "deployment receipt carries no contract address "
+                f"(status={receipt.status})"
+            )
+        self.onchain = DeployedContract(
+            address=receipt.contract_address,
+            abi=self.compiled_onchain.abi,
+            simulator=self.simulator,
+            deploy_receipt=receipt,
+        )
         self.stage = Stage.DEPLOYED
         return self.onchain
 
@@ -226,7 +305,7 @@ class OnOffChainProtocol:
     def _signing_topic(self) -> str:
         return f"signed-copy:{self.contract_name}"
 
-    def collect_signatures(self) -> SignedCopy:
+    def collect_signatures(self) -> StageResult:
         """Run the signature exchange over Whisper (Deploy/Sign stage).
 
         Every willing participant signs the off-chain bytecode hash and
@@ -264,13 +343,13 @@ class OnOffChainProtocol:
         for participant in self.participants:
             self.signed_copies[participant.name] = copy
         self.stage = Stage.SIGNED
-        return copy
+        return StageResult(stage=self.stage, value=copy)
 
     # ------------------------------------------------------------------
     # Security deposits (§IV: compensation for dispute costs)
     # ------------------------------------------------------------------
 
-    def pay_security_deposits(self) -> list[Receipt]:
+    def pay_security_deposits(self) -> StageResult:
         """Every participant escrows the agreed security deposit.
 
         With ``spec.security_deposit > 0``, ``deployVerifiedInstance``
@@ -289,7 +368,7 @@ class OnOffChainProtocol:
             self.ledger.record(self.stage.value, "paySecurityDeposit",
                                receipt, participant.name)
             receipts.append(receipt)
-        return receipts
+        return StageResult(stage=self.stage, receipts=tuple(receipts))
 
     def withdraw_security_deposits(self) -> dict[str, bool]:
         """Each participant reclaims any remaining deposit.
@@ -348,7 +427,7 @@ class OnOffChainProtocol:
         return runs[0].result
 
     def submit_result(self, representative: Participant,
-                      result: Any | None = None) -> Receipt:
+                      result: Any | None = None) -> StageResult:
         """The representative submits the (possibly falsified) result."""
         if self.stage is not Stage.SIGNED:
             raise StageError("collect_signatures() must precede submission")
@@ -363,22 +442,24 @@ class OnOffChainProtocol:
         self.ledger.record(Stage.PROPOSED.value, "submitResult", receipt,
                            representative.name)
         self.stage = Stage.PROPOSED
-        return receipt
+        return StageResult(stage=self.stage, receipts=(receipt,))
 
-    def run_challenge_window(self) -> Optional[DisputeOutcome]:
+    def run_challenge_window(self) -> StageResult:
         """Honest participants police the submitted result.
 
         Each honest participant compares the on-chain proposal with its
         own local execution; on a mismatch it escalates to the dispute
-        path immediately (within the window).  Returns the dispute
-        outcome, or None when the proposal was clean.
+        path immediately (within the window).  The returned
+        :class:`StageResult` has ``value=None`` (and no receipts) when
+        the proposal was clean, or carries the
+        :class:`DisputeOutcome` when a challenger overturned it.
         """
         if self.stage is not Stage.PROPOSED:
             raise StageError("no proposal to challenge")
         proposed = self.onchain.call("proposedResult")
         truth = self.reach_unanimous_agreement()
-        if _results_equal(proposed, truth):
-            return None
+        if results_equal(proposed, truth):
+            return StageResult(stage=self.stage, value=None)
         for participant in self.participants:
             if participant.will_challenge:
                 return self.dispute(participant)
@@ -387,7 +468,7 @@ class OnOffChainProtocol:
             "challenged — all parties silent or dishonest"
         )
 
-    def finalize(self, caller: Participant) -> Receipt:
+    def finalize(self, caller: Participant) -> StageResult:
         """Close the challenge window and apply the proposal."""
         if self.stage is not Stage.PROPOSED:
             raise StageError("nothing to finalize")
@@ -398,14 +479,14 @@ class OnOffChainProtocol:
         self.ledger.record(Stage.PROPOSED.value, "finalizeResult", receipt,
                            caller.name)
         self.stage = Stage.SETTLED
-        return receipt
+        return StageResult(stage=self.stage, receipts=(receipt,))
 
     # ------------------------------------------------------------------
     # Stage 4: Dispute/Resolve
     # ------------------------------------------------------------------
 
     def dispute(self, challenger: Participant,
-                gas_limit: int = 6_000_000) -> DisputeOutcome:
+                gas_limit: int = 6_000_000) -> StageResult:
         """Reveal the signed copy and force the true result on-chain."""
         if self.onchain is None:
             raise StageError("no on-chain contract deployed")
@@ -431,12 +512,26 @@ class OnOffChainProtocol:
         )
         self.ledger.record(Stage.DISPUTED.value, "returnDisputeResolution",
                            resolve_receipt, challenger.name)
-        outcome = self.onchain.call("resolvedOutcome")
+        outcome = self.record_dispute(
+            instance_address, deploy_receipt, resolve_receipt)
+        return StageResult(stage=self.stage,
+                           receipts=(deploy_receipt, resolve_receipt),
+                           value=outcome)
+
+    def record_dispute(self, instance_address: Address,
+                       deploy_receipt: Receipt,
+                       resolve_receipt: Receipt) -> DisputeOutcome:
+        """Register a completed dispute escalation (deferred mining).
+
+        Reads the enforced verdict back from the on-chain contract and
+        advances the stage machine — shared by :meth:`dispute` and the
+        engine's batched dispute path.
+        """
         self._dispute_outcome = DisputeOutcome(
             instance_address=instance_address,
             deploy_receipt=deploy_receipt,
             resolve_receipt=resolve_receipt,
-            outcome=outcome,
+            outcome=self.onchain.call("resolvedOutcome"),
         )
         self.stage = Stage.RESOLVED
         return self._dispute_outcome
@@ -472,7 +567,14 @@ class OnOffChainProtocol:
         return ProtocolOutcome(resolved=True, outcome=value, via=via)
 
 
-def _results_equal(a: Any, b: Any) -> bool:
+def results_equal(a: Any, b: Any) -> bool:
+    """Compare an on-chain proposal with a locally computed result.
+
+    ABI-decoded on-chain values and off-chain executor results may
+    represent the same value as ``bytes`` vs ``int``; the protocol and
+    the engine both use this tolerant comparison when policing the
+    challenge window.
+    """
     if isinstance(a, bytes) and isinstance(b, int):
         return int.from_bytes(a, "big") == b
     if isinstance(b, bytes) and isinstance(a, int):

@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from repro.core.annotations import SplitSpec
 from repro.core.classify import (
     Classification,
-    FunctionCategory,
     classify_contract,
     estimate_function_cost,
 )

@@ -15,6 +15,7 @@ import re
 from typing import Any, Sequence
 
 from repro.crypto.keccak import keccak256
+from repro.exceptions import ReproError
 
 _WORD = 32
 _UINT_RE = re.compile(r"^uint(\d+)?$")
@@ -22,7 +23,7 @@ _INT_RE = re.compile(r"^int(\d+)?$")
 _BYTES_N_RE = re.compile(r"^bytes(\d+)$")
 
 
-class AbiError(ValueError):
+class AbiError(ReproError, ValueError):
     """Raised on un-encodable values or malformed calldata."""
 
 

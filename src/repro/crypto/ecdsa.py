@@ -14,12 +14,13 @@ import hmac
 from dataclasses import dataclass
 
 from repro.crypto import secp256k1
+from repro.exceptions import ReproError
 from repro.crypto.secp256k1 import G, N, P
 
 _HALF_N = N // 2
 
 
-class SignatureError(ValueError):
+class SignatureError(ReproError, ValueError):
     """Raised for malformed or unrecoverable signatures."""
 
 

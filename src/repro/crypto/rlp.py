@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from typing import Sequence, Union
 
+from repro.exceptions import ReproError
+
 RlpItem = Union[bytes, int, "RlpList"]
 RlpList = Sequence["RlpItem"]
 
 
-class RlpError(ValueError):
+class RlpError(ReproError, ValueError):
     """Raised on malformed RLP input."""
 
 

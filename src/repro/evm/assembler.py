@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 
 from repro.evm import opcodes
 from repro.evm.opcodes import by_mnemonic
+from repro.exceptions import ReproError
 
 
-class AssemblerError(ValueError):
+class AssemblerError(ReproError, ValueError):
     """Raised on malformed assembly input or unresolved labels."""
 
 

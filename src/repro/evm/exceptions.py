@@ -7,8 +7,10 @@ data — the distinction matters for the paper's gas accounting.
 
 from __future__ import annotations
 
+from repro.exceptions import ReproError
 
-class EvmError(Exception):
+
+class EvmError(ReproError):
     """Base class for anything the EVM can raise."""
 
 

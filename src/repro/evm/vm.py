@@ -21,7 +21,6 @@ from repro.crypto.keccak import keccak256
 from repro.crypto.keys import Address
 from repro.evm import gas, opcodes, precompiles
 from repro.evm.exceptions import (
-    CallDepthExceeded,
     CodeSizeExceeded,
     InsufficientFunds,
     InvalidInstruction,
@@ -29,7 +28,6 @@ from repro.evm.exceptions import (
     InvalidOpcode,
     OutOfGas,
     Revert,
-    StackUnderflow,
     VMError,
     WriteProtection,
 )

@@ -1,0 +1,74 @@
+"""The unified exception hierarchy.
+
+Every public exception raised by this package — chain, protocol,
+compiler, off-chain, crypto and EVM families alike — derives from
+:class:`ReproError`, so callers embedding the simulator or the protocol
+engine can catch one type::
+
+    try:
+        engine.run()
+    except ReproError as exc:
+        ...  # anything this package raises on purpose
+
+Concrete classes keep their historical stdlib bases (``ValueError``,
+``RuntimeError``, ``KeyError``) so existing ``except`` clauses keep
+working.  This module stays import-free at the bottom of the layering;
+the concrete families live next to the code that raises them and are
+lazily re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every exception deliberately raised by ``repro``."""
+
+
+# Lazy re-exports: ``from repro.exceptions import ChainError`` works
+# without this bottom-layer module importing the upper layers eagerly.
+_REEXPORTS = {
+    # chain family
+    "ChainError": "repro.chain.blockchain",
+    "MempoolError": "repro.chain.mempool",
+    "TransactionError": "repro.chain.transaction",
+    "InvalidTransaction": "repro.chain.processor",
+    "TransactionFailed": "repro.chain.simulator",
+    "CallFailed": "repro.chain.simulator",
+    "AbiLookupError": "repro.chain.contract",
+    # protocol family
+    "ProtocolError": "repro.core.exceptions",
+    "SplitError": "repro.core.exceptions",
+    "SigningError": "repro.core.exceptions",
+    "StageError": "repro.core.exceptions",
+    "DisputeError": "repro.core.exceptions",
+    "AgreementError": "repro.core.exceptions",
+    "EngineError": "repro.core.exceptions",
+    # compiler family
+    "SolisError": "repro.lang.errors",
+    # off-chain family
+    "OffchainExecutionError": "repro.offchain.executor",
+    "WhisperError": "repro.offchain.whisper",
+    # crypto family
+    "RlpError": "repro.crypto.rlp",
+    "AbiError": "repro.crypto.abi",
+    "SignatureError": "repro.crypto.ecdsa",
+    # EVM family
+    "EvmError": "repro.evm.exceptions",
+    "VMError": "repro.evm.exceptions",
+}
+
+__all__ = ["ReproError", *sorted(_REEXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _REEXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -12,6 +12,7 @@ same version of compiler", §IV).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.chain.contract import ContractABI, EventABI, FunctionABI
 from repro.crypto.keccak import keccak256
@@ -94,8 +95,14 @@ def _build_abi(info: ContractInfo) -> ContractABI:
     )
 
 
+@lru_cache(maxsize=128)
 def compile_source(source: str) -> CompilationResult:
-    """Compile Solis source; returns every non-interface contract."""
+    """Compile Solis source; returns every non-interface contract.
+
+    Compilation is deterministic and the result is treated as
+    immutable, so identical sources are memoised — a fleet of protocol
+    sessions over the same app source compiles it exactly once.
+    """
     unit = parse(source)
     infos = analyze(unit)
     contracts: dict[str, CompiledContract] = {}

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from repro.exceptions import ReproError
 
-class SolisError(Exception):
+
+class SolisError(ReproError):
     """Base class for all Solis compiler errors."""
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:

@@ -22,7 +22,6 @@ from repro.lang.errors import SemanticError
 from repro.lang.types import (
     ADDRESS,
     BOOL,
-    BYTES,
     BYTES32,
     UINT256,
     VOID,

@@ -17,9 +17,10 @@ from repro.chain.contract import ContractABI
 from repro.chain.state import WorldState
 from repro.crypto.keys import Address, PrivateKey
 from repro.evm.vm import EVM, BlockContext, Message
+from repro.exceptions import ReproError
 
 
-class OffchainExecutionError(RuntimeError):
+class OffchainExecutionError(ReproError, RuntimeError):
     """The off-chain contract failed to deploy or execute locally."""
 
 

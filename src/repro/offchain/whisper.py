@@ -11,12 +11,13 @@ TTL expiry and per-subscriber cursors.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.offchain.envelope import Envelope
+from repro.exceptions import ReproError
 
 
-class WhisperError(RuntimeError):
+class WhisperError(ReproError, RuntimeError):
     """Raised for malformed bus operations."""
 
 

@@ -9,7 +9,6 @@ from repro.apps.betting import (
     reference_reveal,
 )
 from repro.chain import ETHER, TransactionFailed
-from repro.core import Strategy
 
 
 def test_reference_reveal_depends_on_params():

@@ -43,7 +43,7 @@ def test_acceptance_releases_to_seller(sim, alice, bob):
     protocol = _funded(sim, alice, bob, delivered=77, expected=77)
     before = sim.get_balance(bob.account)
     protocol.submit_result(alice)
-    assert protocol.run_challenge_window() is None
+    assert not protocol.run_challenge_window().disputed
     protocol.finalize(bob)
     assert protocol.outcome().outcome is True
     assert sim.get_balance(bob.account) > before  # seller paid (net gas)
@@ -55,7 +55,7 @@ def test_rejection_refunds_buyer(sim, alice, bob):
     price = protocol.escrow_plan["price"]
     before = sim.get_balance(alice.account)
     protocol.submit_result(bob, result=protocol.execute_off_chain(bob).result)
-    assert protocol.run_challenge_window() is None
+    assert not protocol.run_challenge_window().disputed
     protocol.finalize(alice)
     assert protocol.outcome().outcome is False
     assert sim.get_balance(alice.account) > before + price - 10 ** 15
@@ -67,7 +67,7 @@ def test_lying_seller_disputed(sim, alice, bob):
                        tolerance=0)
     protocol.submit_result(bob)
     dispute = protocol.run_challenge_window()
-    assert dispute is not None
+    assert dispute.disputed
     assert protocol.outcome().outcome is False  # truth enforced
     assert protocol.onchain.call("funded") is False
 

@@ -51,7 +51,7 @@ def test_happy_path_awards_budget(tender, sim, alice, bob, carol):
     winner = bob if result == 1 else carol
     before = sim.get_balance(winner.account)
     tender.submit_result(alice)
-    assert tender.run_challenge_window() is None
+    assert not tender.run_challenge_window().disputed
     tender.finalize(alice)
     assert sim.get_balance(winner.account) == \
         before + tender.tender_plan["budget"]
@@ -68,7 +68,7 @@ def test_lying_buyer_overridden_by_contractor(sim, alice, bob, carol):
     protocol.submit_result(alice)
     assert protocol.onchain.call("proposedResult") != truth
     dispute = protocol.run_challenge_window()
-    assert dispute is not None
+    assert dispute.disputed
     assert protocol.outcome().outcome == truth
 
 

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.chain import ChainError, ETHER, EthereumSimulator
+from repro.chain import ChainError, ETHER, EthereumSimulator, SimulatorConfig
 
 
 @pytest.fixture
 def manual_sim():
-    return EthereumSimulator(auto_mine=False)
+    return EthereumSimulator(config=SimulatorConfig(auto_mine=False))
 
 
 def test_transact_blocked_without_automine(manual_sim):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.chain import ChainError, ETHER, EthereumSimulator
+from repro.chain import ChainError, ETHER
 from tests.conftest import COUNTER_SOURCE, deploy_source
 
 
@@ -82,7 +82,7 @@ def test_snapshot_enables_what_if_dispute_analysis(sim):
 
     snap = sim.snapshot()
     rehearsal = protocol.dispute(bob)
-    dispute_cost = rehearsal.total_gas
+    dispute_cost = rehearsal.gas
     sim.revert(snap)
 
     # After the revert the dispute never happened on-chain.

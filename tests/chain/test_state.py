@@ -127,6 +127,30 @@ def test_state_root_deterministic_and_order_independent():
     assert one.state_root() == two.state_root()
 
 
+def test_state_root_cache_invalidation():
+    # The cached per-account digests must be evicted by every mutator
+    # and by revert_to, or state_root() would return stale commitments.
+    state = WorldState()
+    state.set_balance(A, 5)
+    state.set_code(A, b"\x60\x00")
+    root = state.state_root()
+
+    snap = state.snapshot()
+    state.set_storage(A, 1, 2)
+    assert state.state_root() != root
+    state.revert_to(snap)
+    assert state.state_root() == root
+
+    state.set_code(A, b"\x60\x01")
+    changed = state.state_root()
+    assert changed != root
+
+    fresh = WorldState()
+    fresh.set_balance(A, 5)
+    fresh.set_code(A, b"\x60\x01")
+    assert fresh.state_root() == changed
+
+
 def test_copy_is_deep():
     state = WorldState()
     state.set_balance(A, 5)

@@ -11,7 +11,7 @@ import pytest
 
 from repro.chain import EthereumSimulator
 from repro.core import Participant
-from repro.lang import compile_contract, compile_source
+from repro.lang import compile_contract
 
 
 @pytest.fixture

@@ -1,9 +1,6 @@
 """The protocol with a bytes32 result type (hash-valued outcomes)."""
 
-import pytest
-
-from repro.chain import ETHER, EthereumSimulator
-from repro.core import OnOffChainProtocol, Participant, SplitSpec, Strategy
+from repro.core import OnOffChainProtocol, SplitSpec, Strategy
 from repro.core.classify import FunctionCategory
 from repro.crypto.keccak import keccak256
 
@@ -90,7 +87,7 @@ def test_offchain_matches_reference(sim, alice, bob):
 def test_honest_finalize_with_bytes32(sim, alice, bob):
     protocol = _protocol(sim, alice, bob)
     protocol.submit_result(bob)
-    assert protocol.run_challenge_window() is None
+    assert not protocol.run_challenge_window().disputed
     protocol.finalize(alice)
     outcome = protocol.outcome()
     assert outcome.resolved
@@ -106,5 +103,5 @@ def test_lying_about_bytes32_disputed(sim, alice, bob):
     truth = reference_derive(7, 12)
     assert proposed != truth
     dispute = protocol.run_challenge_window()
-    assert dispute is not None
+    assert dispute.disputed
     assert protocol.outcome().outcome == truth

@@ -1,0 +1,211 @@
+"""The multi-session engine: scheduling, packing, fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.betting import make_betting_protocol, reference_reveal
+from repro.chain import EthereumSimulator, SimulatorConfig
+from repro.core import (
+    BettingDriver,
+    EngineError,
+    Participant,
+    SessionEngine,
+    Stage,
+    spawn_fleet,
+)
+from repro.core.engine import DEPLOY_GAS, dishonest_session_indices
+
+
+def manual_sim(**overrides) -> EthereumSimulator:
+    return EthereumSimulator(
+        config=SimulatorConfig(num_accounts=4, auto_mine=False,
+                               **overrides))
+
+
+BETTING_TRUTH = reference_reveal(42, 25)
+
+
+# -- construction guards --------------------------------------------------
+
+def test_rejects_unknown_mining_mode():
+    with pytest.raises(EngineError, match="mining mode"):
+        SessionEngine(manual_sim(), mining="solo")
+
+
+def test_rejects_unknown_app():
+    with pytest.raises(EngineError, match="unknown app"):
+        spawn_fleet(manual_sim(), 1, app="lottery")
+
+
+def test_rejects_bad_dishonest_fraction():
+    with pytest.raises(EngineError, match="fraction"):
+        spawn_fleet(manual_sim(), 2, dishonest_fraction=1.5)
+
+
+def test_dishonest_indices_are_deterministic_and_spread():
+    assert dishonest_session_indices(10, 0.0) == set()
+    assert dishonest_session_indices(10, 1.0) == set(range(10))
+    tenth = dishonest_session_indices(100, 0.10)
+    assert len(tenth) == 10
+    assert tenth == dishonest_session_indices(100, 0.10)
+    # Evenly spread, not clustered at the front.
+    assert max(tenth) >= 90
+    assert min(tenth) == 0
+
+
+def test_rejects_invalid_driver_yield():
+    class BadDriver(BettingDriver):
+        def steps(self):
+            yield "mine please"
+
+    sim = manual_sim()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    driver = BadDriver(make_betting_protocol(sim, alice, bob))
+    with pytest.raises(EngineError, match="expected a non-empty list"):
+        SessionEngine(sim, [driver]).run()
+
+
+# -- nonce ordering across interleaved sessions ---------------------------
+
+def test_interleaved_sessions_share_accounts_with_ordered_nonces():
+    """Two concurrent sessions reuse the SAME two accounts.
+
+    Every mining round queues both sessions' transactions from the
+    same senders; the pool-aware nonce assignment must serialise them
+    or the second session's transactions would all be rejected.
+    """
+    sim = manual_sim()
+    alice_account, bob_account = sim.accounts[0], sim.accounts[1]
+    drivers = []
+    for index in range(2):
+        alice = Participant(account=alice_account, name="alice")
+        bob = Participant(account=bob_account, name="bob")
+        protocol = make_betting_protocol(sim, alice, bob)
+        drivers.append(BettingDriver(protocol, session_id=index))
+
+    metrics = SessionEngine(sim, drivers, mining="batch").run()
+
+    assert all(d.protocol.stage is Stage.SETTLED for d in drivers)
+    # alice: deploy + deposit + submit per session; bob: deposit +
+    # finalize per session — consecutive nonces, no gaps, no rejects.
+    assert sim.get_nonce(alice_account) == 6
+    assert sim.get_nonce(bob_account) == 4
+    assert metrics.transactions == 10
+    # Identical sessions do identical work.
+    fp_a, fp_b = (d.protocol.ledger.fingerprint() for d in drivers)
+    assert fp_a == fp_b
+    for driver in drivers:
+        assert driver.protocol.outcome().outcome == BETTING_TRUTH
+
+
+# -- gas-limit block packing ----------------------------------------------
+
+def test_blocks_respect_the_declared_gas_limit_budget():
+    """Batch packing is bounded by declared limits, not used gas."""
+    tight = DEPLOY_GAS + 50_000  # one deployment per block, at most
+    sim = manual_sim(block_gas_limit=tight)
+    drivers = spawn_fleet(sim, 3, app="betting")
+    metrics = SessionEngine(sim, drivers, mining="batch").run()
+
+    assert all(d.settled for d in drivers)
+    for block in sim.chain.blocks[1:]:
+        assert sum(tx.gas_limit for tx in block.transactions) <= tight
+
+    # A roomy limit packs the same work into fewer blocks.
+    roomy_sim = manual_sim()
+    roomy_drivers = spawn_fleet(roomy_sim, 3, app="betting")
+    roomy = SessionEngine(roomy_sim, roomy_drivers, mining="batch").run()
+    assert roomy.transactions == metrics.transactions
+    assert roomy.blocks_mined < metrics.blocks_mined
+    assert [d.protocol.ledger.fingerprint() for d in roomy_drivers] == \
+           [d.protocol.ledger.fingerprint() for d in drivers]
+
+
+def test_transaction_larger_than_block_gas_limit_is_an_error():
+    sim = manual_sim(block_gas_limit=1_000_000)  # deploys cannot fit
+    drivers = spawn_fleet(sim, 1, app="betting")
+    with pytest.raises(EngineError, match="block gas limit"):
+        SessionEngine(sim, drivers, mining="batch").run()
+
+
+# -- fault injection: dishonest representatives ---------------------------
+
+def test_dishonest_fraction_disputes_resolve_to_the_truth():
+    sim = manual_sim()
+    drivers = spawn_fleet(sim, 4, app="betting", dishonest_fraction=0.5)
+    metrics = SessionEngine(sim, drivers, mining="batch").run()
+
+    assert metrics.sessions == 4
+    assert metrics.disputes == 2
+    assert metrics.dispute_rate == 0.5
+    liars = dishonest_session_indices(4, 0.5)
+    for index, driver in enumerate(drivers):
+        outcome = driver.protocol.outcome()
+        assert outcome.resolved
+        assert outcome.outcome == BETTING_TRUTH
+        if index in liars:
+            assert driver.protocol.stage is Stage.RESOLVED
+            assert outcome.via == "dispute"
+        else:
+            assert driver.protocol.stage is Stage.SETTLED
+            assert outcome.via == "finalize"
+
+
+def test_batch_and_per_tx_modes_agree_exactly():
+    def run(mode):
+        sim = manual_sim()
+        drivers = spawn_fleet(sim, 2, app="escrow",
+                              dishonest_fraction=0.5)
+        metrics = SessionEngine(sim, drivers, mining=mode).run()
+        return metrics, drivers
+
+    batch, batch_drivers = run("batch")
+    per_tx, per_tx_drivers = run("per-tx")
+    assert batch.transactions == per_tx.transactions
+    assert per_tx.blocks_mined == per_tx.transactions
+    assert batch.blocks_mined < per_tx.blocks_mined
+    assert batch.total_gas == per_tx.total_gas
+    assert [d.protocol.ledger.fingerprint() for d in batch_drivers] == \
+           [d.protocol.ledger.fingerprint() for d in per_tx_drivers]
+
+
+# -- metrics --------------------------------------------------------------
+
+def test_engine_metrics_shape():
+    sim = manual_sim()
+    drivers = spawn_fleet(sim, 2, app="tender")
+    metrics = SessionEngine(sim, drivers).run()
+    assert metrics.mining == "batch"
+    assert metrics.sessions == 2
+    assert metrics.disputes == 0
+    assert metrics.transactions == 8  # deploy + fund + submit + finalize
+    assert metrics.blocks_mined < metrics.transactions
+    assert metrics.txs_per_block > 1.0
+    assert metrics.total_gas == sum(
+        d.protocol.ledger.total() for d in drivers)
+    assert metrics.gas_per_session == metrics.total_gas / 2
+    assert metrics.wall_clock_seconds > 0
+
+
+def test_yields_before_mining_are_never_visible_to_later_sessions():
+    """A WaitUntil from one session must not starve tx work."""
+    sim = manual_sim()
+    # One honest (waits out its challenge window) + one liar
+    # (disputes immediately): the dispute must be mined while the
+    # honest session is still waiting, not after.
+    drivers = spawn_fleet(sim, 2, app="betting", dishonest_fraction=0.5)
+    SessionEngine(sim, drivers, mining="batch").run()
+    liar = drivers[0]
+    honest = drivers[1]
+    assert liar.disputed and not honest.disputed
+    dispute_blocks = [
+        entry.block_number for entry in liar.protocol.ledger.entries
+        if entry.stage == Stage.DISPUTED.value
+    ]
+    finalize_blocks = [
+        entry.block_number for entry in honest.protocol.ledger.entries
+        if entry.label == "finalizeResult"
+    ]
+    assert max(dispute_blocks) < min(finalize_blocks)

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.chain import EthereumSimulator
+from repro.chain import EthereumSimulator, SimulatorConfig
 from repro.core.participants import Participant, Strategy, _falsify
 
 
 @pytest.fixture
 def account():
-    return EthereumSimulator(num_accounts=1).accounts[0]
+    return EthereumSimulator(config=SimulatorConfig(num_accounts=1)).accounts[0]
 
 
 def test_defaults_honest(account):

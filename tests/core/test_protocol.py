@@ -4,7 +4,6 @@ import pytest
 
 from repro.apps.betting import deploy_betting, make_betting_protocol
 from repro.core import (
-    AgreementError,
     DisputeError,
     Participant,
     SigningError,
@@ -22,7 +21,7 @@ def protocol(sim, alice, bob):
 
 def _through_signing(protocol, alice, bob):
     deploy_betting(protocol, alice)
-    copy = protocol.collect_signatures()
+    copy = protocol.collect_signatures().value
     plan = protocol.betting_plan
     protocol.call_onchain(alice, "deposit", value=plan["stake"])
     protocol.call_onchain(bob, "deposit", value=plan["stake"])
@@ -102,7 +101,7 @@ def test_happy_path_finalize(protocol, sim, alice, bob):
     __, plan = _through_signing(protocol, alice, bob)
     sim.advance_time_to(plan["timeline"].t2 + 10)
     protocol.submit_result(bob)
-    assert protocol.run_challenge_window() is None
+    assert not protocol.run_challenge_window().disputed
     protocol.finalize(bob)
     outcome = protocol.outcome()
     assert outcome.resolved and outcome.via == "finalize"
@@ -115,7 +114,7 @@ def test_false_submission_triggers_dispute(protocol, sim, alice, bob):
     sim.advance_time_to(plan["timeline"].t2 + 10)
     protocol.submit_result(alice)
     dispute = protocol.run_challenge_window()
-    assert dispute is not None
+    assert dispute.disputed
     outcome = protocol.outcome()
     assert outcome.via == "dispute"
     from repro.apps.betting import reference_reveal
@@ -128,7 +127,7 @@ def test_dispute_without_submission(protocol, sim, alice, bob):
     __, plan = _through_signing(protocol, alice, bob)
     sim.advance_time_to(plan["timeline"].t3 + 10)
     dispute = protocol.dispute(bob)
-    assert dispute.total_gas > 0
+    assert dispute.gas > 0
     assert protocol.outcome().resolved
 
 

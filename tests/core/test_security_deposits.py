@@ -3,10 +3,9 @@
 import pytest
 
 from repro.apps.betting import BETTING_SOURCE, reference_reveal
-from repro.chain import ETHER, EthereumSimulator, TransactionFailed
+from repro.chain import ETHER, TransactionFailed
 from repro.core import (
     OnOffChainProtocol,
-    Participant,
     SplitSpec,
     StageError,
     Strategy,
@@ -96,7 +95,7 @@ def test_lying_proposer_forfeits_deposit_to_challenger(sim, alice, bob):
 
     protocol.submit_result(alice)  # falsified
     bob_before = sim.get_balance(bob.account)
-    dispute = protocol.run_challenge_window()
+    dispute = protocol.run_challenge_window().value
     assert dispute is not None
 
     # Challenger compensation: bob received alice's deposit inside
@@ -126,7 +125,7 @@ def test_honest_finalize_returns_all_deposits(sim, alice, bob):
     protocol.pay_security_deposits()
     sim.advance_time_to(protocol._t2 + 1)
     protocol.submit_result(bob)
-    assert protocol.run_challenge_window() is None
+    assert not protocol.run_challenge_window().disputed
     protocol.finalize(alice)
     withdrawals = protocol.withdraw_security_deposits()
     assert withdrawals == {"alice": True, "bob": True}

@@ -1,7 +1,7 @@
 """Disassembler coverage over real compiled contracts."""
 
 from repro.evm import opcodes
-from repro.evm.assembler import assemble, disassemble
+from repro.evm.assembler import disassemble
 from repro.lang import compile_contract
 from tests.conftest import COUNTER_SOURCE
 

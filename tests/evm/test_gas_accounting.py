@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.chain import EthereumSimulator
 from repro.evm import gas
 from tests.conftest import deploy_source
 

@@ -7,7 +7,7 @@ from repro.evm.tracer import (
 )
 from repro.evm import opcodes
 from repro.evm.assembler import assemble
-from repro.evm.vm import EVM, Message
+from repro.evm.vm import Message
 from tests.evm.vm_harness import CALLER, CONTRACT, make_env
 
 SIMPLE = """

@@ -1,7 +1,5 @@
 """Arithmetic/logic opcode semantics (yellow paper §H.2)."""
 
-import pytest
-
 from tests.evm.vm_harness import run_expr
 
 MAX = (1 << 256) - 1

@@ -1,10 +1,9 @@
 """Message calls, CREATE, precompiles, static contexts."""
 
-from repro.chain.state import WorldState
 from repro.crypto.keccak import keccak256
 from repro.crypto.keys import Address, PrivateKey
 from repro.evm.assembler import assemble
-from repro.evm.vm import EVM, BlockContext, Message, compute_contract_address
+from repro.evm.vm import Message, compute_contract_address
 from tests.evm.vm_harness import CALLER, CONTRACT, make_env, run_asm
 
 OTHER = Address.from_int(0xBEEF)

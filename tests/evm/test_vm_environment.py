@@ -1,7 +1,5 @@
 """Environment, memory, storage, control-flow and log opcodes."""
 
-import pytest
-
 from repro.evm.exceptions import InvalidJump, OutOfGas
 from tests.evm.vm_harness import (
     CALLER,

@@ -1,10 +1,8 @@
 """EVM limits and failure envelopes."""
 
-import pytest
-
 from repro.evm import gas
 from repro.evm.assembler import Program, assemble
-from repro.evm.vm import EVM, Message
+from repro.evm.vm import Message
 from tests.evm.vm_harness import CALLER, CONTRACT, make_env, run_asm
 
 

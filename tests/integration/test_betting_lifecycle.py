@@ -5,14 +5,11 @@ real time-warped deadlines, deposits, and final balances checked to the
 wei (net of gas).
 """
 
-import pytest
-
 from repro.apps.betting import (
     deploy_betting,
     make_betting_protocol,
     reference_reveal,
 )
-from repro.chain import ETHER, TransactionFailed
 from repro.core import Stage, Strategy
 
 SEED, ROUNDS = 42, 25
@@ -61,7 +58,7 @@ def test_rule_5_dispute_resolution(sim, alice, bob):
     # T2..T3 passes with no reassign() — the loser has violated rule 4.
     sim.advance_time_to(plan["timeline"].t3 + 1)
     winner_before = sim.get_balance(winner.account)
-    dispute = protocol.dispute(winner)
+    dispute = protocol.dispute(winner).value
 
     # Winner receives the 2-ether pot; dispute gas comes out of their
     # own pocket (the paper suggests security deposits to compensate).
@@ -107,7 +104,7 @@ def test_submit_challenge_happy_path_full_accounting(sim, alice, bob):
     winner_before = sim.get_balance(winner.account)
 
     protocol.submit_result(bob)
-    assert protocol.run_challenge_window() is None
+    assert not protocol.run_challenge_window().disputed
     protocol.finalize(alice)
 
     pot = 2 * plan["stake"]
@@ -127,7 +124,7 @@ def test_dispute_costs_match_ledger(sim, alice, bob):
     plan = protocol.betting_plan
     sim.advance_time_to(plan["timeline"].t2 + 1)
     protocol.submit_result(alice)
-    dispute = protocol.run_challenge_window()
+    dispute = protocol.run_challenge_window().value
     ledger = protocol.ledger.by_label()
     assert ledger["deployVerifiedInstance"] == \
         dispute.deploy_receipt.gas_used
@@ -154,11 +151,11 @@ def test_honest_participant_never_loses_pot(sim, alice, bob):
 
         if strategy is Strategy.HONEST:
             protocol.submit_result(a)
-            assert protocol.run_challenge_window() is None
+            assert not protocol.run_challenge_window().disputed
             protocol.finalize(b)
         elif strategy is Strategy.LIES_ABOUT_RESULT:
             protocol.submit_result(a)
-            assert protocol.run_challenge_window() is not None
+            assert protocol.run_challenge_window().disputed
         else:  # REFUSES_TO_SETTLE: nothing happens until after T3
             sim_local.advance_time_to(plan["timeline"].t3 + 1)
             protocol.dispute(b)

@@ -1,7 +1,6 @@
 """Every example script must run clean — they are the documented API."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -9,8 +9,8 @@ stays consistent.
 
 from repro.apps.betting import deploy_betting, make_betting_protocol
 from repro.apps.escrow import deploy_escrow, make_escrow_protocol
-from repro.chain import ETHER, EthereumSimulator
-from repro.core import Participant, Strategy
+from repro.chain import EthereumSimulator
+from repro.core import Participant
 
 
 def test_three_concurrent_betting_games(sim):
@@ -42,7 +42,7 @@ def test_three_concurrent_betting_games(sim):
     for protocol in protocols:
         plan = protocol.betting_plan
         sim.advance_time_to(plan["timeline"].t3 + 1)
-        dispute = protocol.dispute(protocol.participants[1])
+        dispute = protocol.dispute(protocol.participants[1]).value
         instances.add(dispute.instance_address.value)
         assert protocol.onchain.balance == 0
     assert len(instances) == 3
@@ -114,7 +114,7 @@ def test_mixed_apps_share_one_chain(sim):
 
     # Settle the escrow while the bet is still pending.
     escrow.submit_result(bob)
-    assert escrow.run_challenge_window() is None
+    assert not escrow.run_challenge_window().disputed
     escrow.finalize(carol)
     assert escrow.outcome().resolved
     assert not betting.outcome().resolved

@@ -1,8 +1,5 @@
 """Advanced codegen scenarios: deep nesting, interplay of features."""
 
-import pytest
-
-from repro.chain import ETHER, TransactionFailed
 from repro.crypto.keccak import keccak256
 from tests.conftest import deploy_source
 

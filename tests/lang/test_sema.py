@@ -5,7 +5,7 @@ import pytest
 from repro.lang.errors import SemanticError
 from repro.lang.parser import parse
 from repro.lang.sema import analyze
-from repro.lang.types import UINT256, ArrayType, MappingType
+from repro.lang.types import UINT256
 
 
 def analyze_source(source):

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto import ecdsa, rlp
+from repro.crypto import rlp
 from repro.crypto import abi as abi_codec
 from repro.crypto.keccak import keccak256
 from repro.crypto.keys import PrivateKey, recover_address

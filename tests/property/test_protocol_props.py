@@ -62,7 +62,7 @@ def test_dispute_always_enforces_truth(seed, rounds):
     sim.advance_time_to(plan["timeline"].t2 + 1)
     protocol.submit_result(protocol.participants[0])
     dispute = protocol.run_challenge_window()
-    assert dispute is not None
+    assert dispute.disputed
     assert protocol.outcome().outcome == reference_reveal(seed, rounds)
     assert protocol.onchain.balance == 0
 
@@ -83,7 +83,7 @@ def test_honest_winner_always_receives_pot(seed, rounds):
     gained = sim.get_balance(winner.account) - before
     pot = 2 * plan["stake"]
     if winner is protocol.participants[1]:
-        assert gained == pot - dispute.total_gas
+        assert gained == pot - dispute.gas
     else:
         # Winner alice paid nothing; bob (honest) covered the gas.
         assert gained == pot
@@ -102,8 +102,8 @@ def test_signed_copy_binds_parameters(seed):
     two = make_betting_protocol(sim, alice, bob, seed=seed + 1, rounds=5)
     deploy_betting(one, alice)
     deploy_betting(two, alice)
-    copy_one = one.collect_signatures()
-    copy_two = two.collect_signatures()
+    copy_one = one.collect_signatures().value
+    copy_two = two.collect_signatures().value
     assert copy_one.bytecode_hash != copy_two.bytecode_hash
     # Cross-verification fails: game one's copy does not validate as
     # game two's bytecode.
