@@ -1,0 +1,94 @@
+"""Observability overhead: disabled must stay under 5 %.
+
+The instrumentation is compiled into the library, so the relevant
+costs are:
+
+* **disabled** — every site reduces to an ``is None`` check (spans) or
+  an early return (metrics).  We measure the per-call no-op cost,
+  count how many telemetry events one scenario actually emits, and
+  bound the projected overhead against the scenario's wall time.
+* **enabled** — full tracing + metrics + per-step EVM opcode
+  profiling.  Reported for scale; analysis runs opt into it knowingly.
+
+Gas numbers are identical in both regimes
+(``tests/obs/test_telemetry_invariance.py``), so only wall time is at
+stake here.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.cli import _run_scenario
+from repro.obs.exporters import InMemoryExporter
+
+DISABLED_OVERHEAD_BUDGET = 0.05
+
+_NOOP_ITERATIONS = 200_000
+
+
+def _noop_site_cost() -> float:
+    """Mean seconds per disabled instrumentation site (span + inc)."""
+    assert not obs.enabled()
+    start = time.perf_counter()
+    for _ in range(_NOOP_ITERATIONS):
+        with obs.span("x"):
+            pass
+        obs.inc(obs.names.METRIC_CHAIN_TXS)
+    elapsed = time.perf_counter() - start
+    return elapsed / (2 * _NOOP_ITERATIONS)
+
+
+def _scenario_seconds() -> float:
+    start = time.perf_counter()
+    _run_scenario("betting", dispute=True)
+    return time.perf_counter() - start
+
+
+def _count_scenario_events() -> int:
+    """Spans + metric updates one disputed scenario actually emits."""
+    exporter = InMemoryExporter()
+    with obs.telemetry(exporter) as telemetry:
+        _run_scenario("betting", dispute=True)
+        metric_updates = sum(
+            len(instrument["series"])
+            for instrument in telemetry.metrics.snapshot()["instruments"]
+        )
+    return len(exporter.spans) + metric_updates
+
+
+def test_disabled_overhead_under_budget(timed, report):
+    """Projected no-op cost per scenario stays below the 5 % budget."""
+    baseline = timed(_scenario_seconds)
+    per_site = _noop_site_cost()
+    events = _count_scenario_events()
+    # Generous 10x cushion on the event count: counts every label
+    # series and every span, then some.
+    projected = per_site * events * 10
+    ratio = projected / baseline
+    report.add(
+        "Observability overhead",
+        "disabled sites [projected share of scenario]",
+        "< 5%",
+        f"{ratio:.3%}",
+        f"{events} events x {per_site * 1e9:.0f}ns x10 cushion",
+    )
+    assert ratio < DISABLED_OVERHEAD_BUDGET
+
+
+def test_enabled_overhead_reported(timed, report):
+    """Full profiling slows the scenario by a bounded, small factor."""
+    baseline = timed(_scenario_seconds)
+    with obs.telemetry(InMemoryExporter()):
+        enabled = _scenario_seconds()
+    factor = enabled / baseline
+    report.add(
+        "Observability overhead",
+        "enabled (spans+metrics+EVM profiling) [slowdown]",
+        "opt-in",
+        f"{factor:.2f}x",
+        "per-step opcode tally dominates; disable for timing runs",
+    )
+    # Even with per-step profiling the scenario must not blow up.
+    assert factor < 10

@@ -147,6 +147,7 @@ class BettingTimeline:
     @classmethod
     def starting_now(cls, simulator: EthereumSimulator,
                      round_seconds: int = 7_200) -> "BettingTimeline":
+        """A three-round timeline anchored at the chain's clock."""
         base = simulator.current_timestamp
         return cls(
             t1=base + round_seconds,

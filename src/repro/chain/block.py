@@ -26,6 +26,7 @@ class BlockHeader:
     transactions_root: bytes
 
     def encode(self) -> bytes:
+        """RLP-encode the header fields for hashing."""
         return rlp.encode([
             self.number,
             self.parent_hash,
@@ -39,6 +40,7 @@ class BlockHeader:
 
     @cached_property
     def hash(self) -> bytes:
+        """keccak256 of the RLP-encoded header."""
         return keccak256(self.encode())
 
 
@@ -52,18 +54,22 @@ class Block:
 
     @property
     def number(self) -> int:
+        """The header's block number."""
         return self.header.number
 
     @property
     def timestamp(self) -> int:
+        """The header's timestamp."""
         return self.header.timestamp
 
     @property
     def hash(self) -> bytes:
+        """The header's hash."""
         return self.header.hash
 
     @property
     def gas_used(self) -> int:
+        """Total gas used by the block's transactions."""
         return self.header.gas_used
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.crypto.keys import Address
 from repro.chain.block import Block, BlockHeader, transactions_root
 from repro.chain.mempool import Mempool
@@ -60,6 +61,7 @@ class Blockchain:
 
     @property
     def latest_block(self) -> Block:
+        """The most recently mined block (the genesis block at start)."""
         return self.blocks[-1]
 
     def next_timestamp(self) -> int:
@@ -110,34 +112,44 @@ class Blockchain:
         number = self.latest_block.number + 1
         context = self.block_context(timestamp=timestamp, number=number)
 
-        transactions = self.mempool.pop_batch(block_gas_limit)
-        receipts: list[Receipt] = []
-        included: list[Transaction] = []
-        cumulative_gas = 0
-        for index, tx in enumerate(transactions):
-            try:
-                outcome = apply_transaction(self.state, context, tx)
-            except InvalidTransaction as exc:
-                # Invalid at execution time (e.g. nonce gap): drop, record.
-                self._dropped[tx.hash] = str(exc)
-                continue
-            cumulative_gas += outcome.gas_used
-            receipt = Receipt(
-                transaction_hash=tx.hash,
-                transaction_index=index,
-                block_number=number,
-                sender=tx.sender,
-                to=tx.to,
-                status=outcome.status,
-                gas_used=outcome.gas_used,
-                cumulative_gas_used=cumulative_gas,
-                contract_address=outcome.contract_address,
-                logs=outcome.logs,
-                error=outcome.error,
-            )
-            receipts.append(receipt)
-            included.append(tx)
-            self._receipts[tx.hash] = receipt
+        with obs.span(obs.names.SPAN_CHAIN_MINE_BLOCK,
+                      number=number) as mine_span:
+            transactions = self.mempool.pop_batch(block_gas_limit)
+            receipts: list[Receipt] = []
+            included: list[Transaction] = []
+            cumulative_gas = 0
+            for index, tx in enumerate(transactions):
+                try:
+                    outcome = apply_transaction(self.state, context, tx)
+                except InvalidTransaction as exc:
+                    # Invalid at execution time (e.g. nonce gap): drop,
+                    # record.
+                    self._dropped[tx.hash] = str(exc)
+                    continue
+                cumulative_gas += outcome.gas_used
+                receipt = Receipt(
+                    transaction_hash=tx.hash,
+                    transaction_index=index,
+                    block_number=number,
+                    sender=tx.sender,
+                    to=tx.to,
+                    status=outcome.status,
+                    gas_used=outcome.gas_used,
+                    cumulative_gas_used=cumulative_gas,
+                    contract_address=outcome.contract_address,
+                    logs=outcome.logs,
+                    error=outcome.error,
+                )
+                receipts.append(receipt)
+                included.append(tx)
+                self._receipts[tx.hash] = receipt
+            mine_span.set_label(txs=len(included))
+            obs.add_gas(cumulative_gas)
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_CHAIN_BLOCKS)
+            obs.inc(obs.names.METRIC_CHAIN_TXS, len(included))
+            obs.observe(obs.names.METRIC_CHAIN_BLOCK_TXS, len(included))
+            obs.observe(obs.names.METRIC_CHAIN_BLOCK_GAS, cumulative_gas)
 
         header = BlockHeader(
             number=number,
@@ -170,6 +182,7 @@ class Blockchain:
         return receipt
 
     def get_block(self, number: int) -> Block:
+        """The block at ``number``, or None when out of range."""
         if not 0 <= number < len(self.blocks):
             raise ChainError(f"no block number {number}")
         return self.blocks[number]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
+from repro import obs
 from repro.crypto import abi as abi_codec
 from repro.crypto.keys import Address
 from repro.exceptions import ReproError
@@ -38,16 +39,20 @@ class FunctionABI:
 
     @property
     def selector(self) -> bytes:
+        """First four bytes of the signature hash."""
         return abi_codec.function_selector(self.name, self.inputs)
 
     @property
     def signature(self) -> str:
+        """Canonical ``name(type,...)`` signature string."""
         return abi_codec.function_signature(self.name, self.inputs)
 
     def encode_call(self, args: Sequence[Any]) -> bytes:
+        """ABI-encode a call: selector plus encoded arguments."""
         return abi_codec.encode_call(self.name, self.inputs, args)
 
     def decode_output(self, data: bytes) -> Any:
+        """Decode return data per the declared output types."""
         if not self.outputs:
             return None
         values = abi_codec.decode_arguments(self.outputs, data)
@@ -63,9 +68,11 @@ class EventABI:
 
     @property
     def topic(self) -> bytes:
+        """keccak256 topic identifying this event in logs."""
         return abi_codec.event_topic(self.name, self.inputs)
 
     def decode(self, data: bytes) -> list[Any]:
+        """Decode one log's data per the event's input types."""
         return abi_codec.decode_arguments(self.inputs, data)
 
 
@@ -79,6 +86,7 @@ class ContractABI:
     constructor_inputs: tuple[str, ...] = ()
 
     def function(self, name: str) -> FunctionABI:
+        """Look up a function by name (AbiLookupError if absent)."""
         for fn in self.functions:
             if fn.name == name:
                 return fn
@@ -88,12 +96,14 @@ class ContractABI:
         )
 
     def event(self, name: str) -> EventABI:
+        """Look up an event by name (AbiLookupError if absent)."""
         for ev in self.events:
             if ev.name == name:
                 return ev
         raise AbiLookupError(f"{self.contract_name} has no event {name!r}")
 
     def encode_constructor_args(self, args: Sequence[Any]) -> bytes:
+        """ABI-encode constructor arguments for deployment."""
         return abi_codec.encode_arguments(self.constructor_inputs, args)
 
 
@@ -113,11 +123,17 @@ class DeployedContract:
         """Send a state-changing transaction and mine it."""
         fn = self.abi.function(function_name)
         data = fn.encode_call(args)
-        return self.simulator.transact(
-            sender=sender, to=self.address, data=data,
-            value=value, gas_limit=gas_limit, gas_price=gas_price,
-            require_success=require_success,
-        )
+        with obs.span(obs.names.SPAN_CHAIN_TX, fn=function_name,
+                      contract=self.abi.contract_name):
+            receipt = self.simulator.transact(
+                sender=sender, to=self.address, data=data,
+                value=value, gas_limit=gas_limit, gas_price=gas_price,
+                require_success=require_success,
+            )
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_CHAIN_FN_GAS, receipt.gas_used,
+                    fn=function_name)
+        return receipt
 
     def call(self, function_name: str, *args: Any,
              sender: Optional["SimAccount"] = None, value: int = 0) -> Any:
@@ -141,8 +157,10 @@ class DeployedContract:
 
     @property
     def balance(self) -> int:
+        """The contract account's current wei balance."""
         return self.simulator.get_balance(self.address)
 
     @property
     def code(self) -> bytes:
+        """The runtime bytecode stored at the contract address."""
         return self.simulator.chain.state.get_code(self.address)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.chain.transaction import Transaction, TransactionError
 from repro.exceptions import ReproError
 
@@ -49,6 +50,9 @@ class Mempool:
             transaction=transaction,
         ))
         self._hashes.add(transaction.hash)
+        if obs.enabled():
+            obs.set_gauge(obs.names.METRIC_MEMPOOL_DEPTH,
+                          len(self._entries))
 
     def pop_batch(self, gas_limit: int) -> list[Transaction]:
         """Take the best transactions fitting under ``gas_limit``.
@@ -85,9 +89,14 @@ class Mempool:
                 del self._entries[index]
                 progress = True
                 break
+        if obs.enabled():
+            obs.observe(obs.names.METRIC_MEMPOOL_BATCH_TXS, len(chosen))
+            obs.set_gauge(obs.names.METRIC_MEMPOOL_DEPTH,
+                          len(self._entries))
         return chosen
 
     def clear(self) -> None:
+        """Drop every pending transaction."""
         self._entries.clear()
         self._hashes.clear()
 

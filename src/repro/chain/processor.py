@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.crypto.keys import Address
 from repro.chain.state import WorldState
 from repro.chain.transaction import Transaction
@@ -105,13 +106,22 @@ def apply_transaction(state: WorldState, block: BlockContext,
         origin=sender,
         gas_price=tx.gas_price,
     )
-    evm = EVM(state, block)
+    # When telemetry is active, the EVM reports every outer-frame step
+    # into a per-transaction opcode-gas collector (see repro.obs).
+    collector = obs.begin_transaction()
+    evm = EVM(state, block, tracer=collector)
     result: ExecutionResult = evm.execute(message)
 
     gas_used = intrinsic + result.gas_used
+    refund = 0
     if result.success:
         refund = min(result.gas_refund, gas_used // 2)
         gas_used -= refund
+    if collector is not None:
+        obs.end_transaction(
+            collector, execution_gas=result.gas_used,
+            intrinsic=intrinsic, refund=refund, gas_used=gas_used,
+        )
 
     # Reimburse the sender and pay the miner.
     state.add_balance(sender, (tx.gas_limit - gas_used) * tx.gas_price)

@@ -27,6 +27,7 @@ class Receipt:
 
     @property
     def succeeded(self) -> bool:
+        """True when execution did not revert."""
         return self.status
 
     def logs_for(self, address: Address) -> list[Log]:

@@ -13,6 +13,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
+from repro import obs
 from repro.crypto.keys import Address, PrivateKey
 from repro.chain.block import Block
 from repro.chain.blockchain import (
@@ -76,6 +77,7 @@ class SimAccount:
 
     @property
     def address(self) -> Address:
+        """The account's address."""
         return self.key.address
 
     def __str__(self) -> str:
@@ -140,10 +142,12 @@ class EthereumSimulator:
         return account
 
     def get_balance(self, who: Address | SimAccount) -> int:
+        """Current wei balance of ``address``."""
         address = who.address if isinstance(who, SimAccount) else who
         return self.chain.state.get_balance(address)
 
     def get_nonce(self, who: Address | SimAccount) -> int:
+        """Current nonce of ``address``."""
         address = who.address if isinstance(who, SimAccount) else who
         return self.chain.state.get_nonce(address)
 
@@ -151,6 +155,7 @@ class EthereumSimulator:
 
     @property
     def current_timestamp(self) -> int:
+        """The chain's current timestamp (latest block time)."""
         return self.chain.latest_block.timestamp
 
     def increase_time(self, seconds: int) -> None:
@@ -294,8 +299,13 @@ class EthereumSimulator:
                gas_limit: int = 6_000_000) -> DeployedContract:
         """Deploy a compiled contract and return a bound handle."""
         data = init_code + abi.encode_constructor_args(constructor_args)
-        receipt = self.deploy_bytecode(sender, data, value=value,
-                                       gas_limit=gas_limit)
+        with obs.span(obs.names.SPAN_CHAIN_DEPLOY,
+                      contract=abi.contract_name):
+            receipt = self.deploy_bytecode(sender, data, value=value,
+                                           gas_limit=gas_limit)
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_CHAIN_FN_GAS, receipt.gas_used,
+                    fn="(deploy)")
         assert receipt.contract_address is not None
         return DeployedContract(
             address=receipt.contract_address,
@@ -325,7 +335,8 @@ class EthereumSimulator:
             gas=gas_limit, origin=caller,
         )
         evm = EVM(state_copy, self.chain.block_context())
-        result = evm.execute(message)
+        with obs.span(obs.names.SPAN_CHAIN_CALL):
+            result = evm.execute(message)
         if not result.success:
             from repro.chain.processor import decode_revert_reason
 

@@ -60,10 +60,12 @@ class WorldState:
         self._get_or_create(address)
 
     def get_balance(self, address: Address) -> int:
+        """Current wei balance of ``address`` (0 if absent)."""
         account = self._get(address)
         return account.balance if account else 0
 
     def set_balance(self, address: Address, value: int) -> None:
+        """Overwrite the wei balance of ``address``."""
         if value < 0:
             raise ValueError("balance cannot go negative")
         account = self._get_or_create(address)
@@ -76,20 +78,24 @@ class WorldState:
         self.set_balance(address, self.get_balance(address) + delta)
 
     def get_nonce(self, address: Address) -> int:
+        """Current nonce of ``address`` (0 if absent)."""
         account = self._get(address)
         return account.nonce if account else 0
 
     def increment_nonce(self, address: Address) -> None:
+        """Bump the nonce of ``address`` by one."""
         account = self._get_or_create(address)
         self._journal.append((_NONCE, address.value, account.nonce))
         self._digests.pop(address.value, None)
         account.nonce += 1
 
     def get_code(self, address: Address) -> bytes:
+        """Runtime bytecode at ``address`` (empty if absent)."""
         account = self._get(address)
         return account.code if account else b""
 
     def set_code(self, address: Address, code: bytes) -> None:
+        """Install runtime bytecode at ``address``."""
         account = self._get_or_create(address)
         self._journal.append((_CODE, address.value, account.code))
         self._digests.pop(address.value, None)
@@ -97,12 +103,14 @@ class WorldState:
         account.code = code
 
     def get_storage(self, address: Address, key: int) -> int:
+        """Storage slot ``key`` at ``address`` (0 if unset)."""
         account = self._get(address)
         if account is None:
             return 0
         return account.storage.get(key, 0)
 
     def set_storage(self, address: Address, key: int, value: int) -> None:
+        """Write storage slot ``key`` at ``address``."""
         account = self._get_or_create(address)
         old = account.storage.get(key, 0)
         self._journal.append((_STORAGE, address.value, key, old))

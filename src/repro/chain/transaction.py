@@ -39,10 +39,12 @@ class Transaction:
 
     @property
     def is_create(self) -> bool:
+        """True for contract-creation transactions (no recipient)."""
         return self.to is None
 
     @property
     def signature(self) -> Signature:
+        """The (v, r, s) signature triple, if signed."""
         return Signature(v=self.v, r=self.r, s=self.s)
 
     @staticmethod
@@ -122,6 +124,7 @@ class Transaction:
 
     @property
     def hash_hex(self) -> str:
+        """The transaction hash as a 0x-prefixed hex string."""
         return "0x" + self.hash.hex()
 
     def upfront_cost(self) -> int:

@@ -8,8 +8,11 @@ Usage (also via ``python -m repro``):
                    --result FN --settle FN [--out DIR] \\
                    [--challenge-period SECONDS] [--security-deposit WEI]
     repro demo     {betting,tender,escrow} [--dispute]
+    repro trace    {betting,tender,escrow} [--dispute] \\
+                   [--emit-telemetry PATH]
     repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
-                   [--dishonest FRACTION] [--compare]
+                   [--dishonest FRACTION] [--compare] \\
+                   [--emit-telemetry PATH]
 
 ``split`` is the Split/Generate stage as a tool: it writes the
 canonical on/off-chain pair next to your whole contract, ready to be
@@ -51,6 +54,7 @@ def _pick_contract(source: str, name: str | None) -> str:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a Solis file and print its artefacts."""
     source = _read_source(args.file)
     result = compile_source(source)
     targets = ([args.contract] if args.contract
@@ -77,6 +81,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
+    """Print the light/public vs heavy/private classification."""
     source = _read_source(args.file)
     name = _pick_contract(source, args.contract)
     contract = parse(source).contract(name)
@@ -99,6 +104,7 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_split(args: argparse.Namespace) -> int:
+    """Split a whole contract and write the on/off-chain pair."""
     source = _read_source(args.file)
     name = _pick_contract(source, args.contract)
     spec = SplitSpec(
@@ -130,18 +136,25 @@ def cmd_split(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_demo(args: argparse.Namespace) -> int:
+def _run_scenario(app: str, dispute: bool):
+    """Drive one end-to-end scenario; returns (protocol, challenge).
+
+    This is the shared body behind ``repro demo`` and ``repro trace``:
+    build the app's protocol, walk it through Split/Generate →
+    Deploy/Sign → Submit/Challenge and either finalize or (when the
+    representative lies) escalate through Dispute/Resolve.
+    """
     from repro.chain import EthereumSimulator
     from repro.core import Participant, Strategy
 
     sim = EthereumSimulator()
     first = Participant(
         account=sim.accounts[0], name="p0",
-        strategy=(Strategy.LIES_ABOUT_RESULT if args.dispute
+        strategy=(Strategy.LIES_ABOUT_RESULT if dispute
                   else Strategy.HONEST))
     second = Participant(account=sim.accounts[1], name="p1")
 
-    if args.app == "betting":
+    if app == "betting":
         from repro.apps.betting import deploy_betting, make_betting_protocol
 
         protocol = make_betting_protocol(sim, first, second)
@@ -151,7 +164,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         protocol.call_onchain(first, "deposit", value=plan["stake"])
         protocol.call_onchain(second, "deposit", value=plan["stake"])
         sim.advance_time_to(plan["timeline"].t2 + 1)
-    elif args.app == "tender":
+    elif app == "tender":
         from repro.apps.tender import deploy_tender, make_tender_protocol
 
         third = Participant(account=sim.accounts[2], name="p2")
@@ -173,6 +186,13 @@ def cmd_demo(args: argparse.Namespace) -> int:
     challenge = protocol.run_challenge_window()
     if not challenge.disputed:
         protocol.finalize(second)
+    return protocol, challenge
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Run one scenario end-to-end and print the settlement summary."""
+    protocol, challenge = _run_scenario(args.app, args.dispute)
+    if not challenge.disputed:
         print(f"{args.app}: settled honestly via finalize")
     else:
         print(f"{args.app}: false submission overturned via dispute "
@@ -181,6 +201,51 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(f"outcome: {outcome.outcome!r} via {outcome.via}")
     print(f"gas by stage: {protocol.ledger.by_stage()}")
     return 0
+
+
+def _print_span_tree(tracer) -> None:
+    """Render finished spans as an indented tree with time and gas."""
+    for depth, span in tracer.walk():
+        labels = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(span.labels.items()))
+        gas = f"  gas={span.gas:,}" if span.gas else ""
+        status = "" if span.status == "ok" else f"  [{span.status}]"
+        print(f"  {'  ' * depth}{span.name}  "
+              f"{span.duration * 1000:.2f}ms{gas}"
+              f"{'  ' + labels if labels else ''}{status}")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scenario under full telemetry and print the trace."""
+    from repro import obs
+    from repro.obs.exporters import JsonlExporter
+
+    exporters = []
+    if args.emit_telemetry:
+        exporters.append(JsonlExporter(args.emit_telemetry))
+    with obs.telemetry(*exporters) as telemetry:
+        with obs.span(obs.names.SPAN_SCENARIO, scenario=args.app,
+                      dispute=args.dispute):
+            protocol, challenge = _run_scenario(args.app, args.dispute)
+
+        print(f"trace: {args.app} "
+              f"({'disputed' if challenge.disputed else 'honest'} path)")
+        _print_span_tree(telemetry.tracer)
+
+        profiler = telemetry.profiler
+        print("top opcodes by gas:")
+        for mnemonic, gas in profiler.top_opcodes(10):
+            print(f"  {mnemonic:<14} {gas:>12,}")
+        opcode_total = profiler.opcode_gas_total()
+        ledger_total = protocol.ledger.total()
+        print(f"opcode gas total : {opcode_total:,}")
+        print(f"gas ledger total : {ledger_total:,}")
+        if opcode_total != ledger_total:
+            print("warning: opcode gas and ledger totals diverge")
+    if args.emit_telemetry:
+        print(f"telemetry written to {args.emit_telemetry}")
+    return 0 if opcode_total == ledger_total else 1
 
 
 def _run_fleet(sessions: int, app: str, mining: str,
@@ -210,23 +275,34 @@ def _print_metrics(metrics) -> None:
 
 
 def cmd_engine(args: argparse.Namespace) -> int:
+    """Drive a fleet of sessions, optionally emitting telemetry."""
+    from contextlib import nullcontext
+
+    from repro import obs
+    from repro.obs.exporters import JsonlExporter
+
     if args.sessions < 1:
         raise SystemExit("error: --sessions must be at least 1")
     if not 0.0 <= args.dishonest <= 1.0:
         raise SystemExit("error: --dishonest must be within [0, 1]")
+    scope = (obs.telemetry(JsonlExporter(args.emit_telemetry))
+             if args.emit_telemetry else nullcontext())
     modes = (["batch", "per-tx"] if args.compare else [args.mining])
     results = []
-    for mode in modes:
-        print(f"{args.app} fleet, {args.sessions} sessions, "
-              f"{args.dishonest:.0%} dishonest:")
-        metrics, drivers = _run_fleet(
-            args.sessions, args.app, mode, args.dishonest)
-        unsettled = [d.session_id for d in drivers if not d.settled]
-        if unsettled:
-            raise SystemExit(
-                f"error: sessions did not settle: {unsettled}")
-        _print_metrics(metrics)
-        results.append((metrics, drivers))
+    with scope:
+        for mode in modes:
+            print(f"{args.app} fleet, {args.sessions} sessions, "
+                  f"{args.dishonest:.0%} dishonest:")
+            metrics, drivers = _run_fleet(
+                args.sessions, args.app, mode, args.dishonest)
+            unsettled = [d.session_id for d in drivers if not d.settled]
+            if unsettled:
+                raise SystemExit(
+                    f"error: sessions did not settle: {unsettled}")
+            _print_metrics(metrics)
+            results.append((metrics, drivers))
+    if args.emit_telemetry:
+        print(f"telemetry written to {args.emit_telemetry}")
     if args.compare:
         (batch, batch_drivers), (per_tx, per_tx_drivers) = results
         ratio = (per_tx.blocks_mined / batch.blocks_mined
@@ -242,6 +318,7 @@ def cmd_engine(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="On/off-chain smart contracts (Li et al., ICDE 2019)",
@@ -283,6 +360,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="make the representative lie")
     p_demo.set_defaults(func=cmd_demo)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a scenario under full telemetry and print the trace")
+    p_trace.add_argument("app", choices=["betting", "tender", "escrow"])
+    p_trace.add_argument("--dispute", action="store_true",
+                         help="make the representative lie")
+    p_trace.add_argument("--emit-telemetry", metavar="PATH",
+                         help="also stream spans + metrics snapshot "
+                              "to PATH as JSONL")
+    p_trace.set_defaults(func=cmd_trace)
+
     p_engine = sub.add_parser(
         "engine",
         help="drive a fleet of concurrent sessions with batched mining")
@@ -296,12 +384,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "representative lies (0..1)")
     p_engine.add_argument("--compare", action="store_true",
                           help="run both mining modes and compare")
+    p_engine.add_argument("--emit-telemetry", metavar="PATH",
+                          help="stream spans + metrics snapshot "
+                               "to PATH as JSONL")
     p_engine.set_defaults(func=cmd_engine)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: parse arguments and dispatch."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -12,9 +12,13 @@ Produces the quantities behind the paper's evaluation artefacts:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
+from repro import obs
 from repro.chain.receipt import Receipt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -36,32 +40,44 @@ class GasLedger:
 
     def record(self, stage: str, label: str, receipt: Receipt,
                actor: str = "") -> GasEntry:
-        entry = GasEntry(
-            stage=stage, label=label, gas=receipt.gas_used,
-            actor=actor, block_number=receipt.block_number,
+        """Record a mined receipt's gas under ``stage``/``label``."""
+        return self.record_raw(
+            stage, label, receipt.gas_used, actor=actor,
+            block_number=receipt.block_number,
         )
-        self.entries.append(entry)
-        return entry
 
     def record_raw(self, stage: str, label: str, gas: int,
-                   actor: str = "") -> GasEntry:
-        entry = GasEntry(stage=stage, label=label, gas=gas, actor=actor)
+                   actor: str = "", block_number: int = -1) -> GasEntry:
+        """Record a gas figure that does not come from a receipt.
+
+        ``block_number`` defaults to -1 (unknown) but callers that do
+        know the block — e.g. anything holding a receipt or the mined
+        block itself — should pass it so per-block attribution stays
+        intact.
+        """
+        entry = GasEntry(stage=stage, label=label, gas=gas, actor=actor,
+                         block_number=block_number)
         self.entries.append(entry)
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_PROTOCOL_STAGE_GAS, gas, stage=stage)
         return entry
 
     def total(self, stage: str | None = None) -> int:
+        """Total recorded gas, optionally restricted to one stage."""
         return sum(
             entry.gas for entry in self.entries
             if stage is None or entry.stage == stage
         )
 
     def by_stage(self) -> dict[str, int]:
+        """Gas totals keyed by protocol stage."""
         totals: dict[str, int] = {}
         for entry in self.entries:
             totals[entry.stage] = totals.get(entry.stage, 0) + entry.gas
         return totals
 
     def by_label(self) -> dict[str, int]:
+        """Gas totals keyed by entry label."""
         totals: dict[str, int] = {}
         for entry in self.entries:
             totals[entry.label] = totals.get(entry.label, 0) + entry.gas
@@ -90,6 +106,7 @@ class PrivacyReport:
 
     @property
     def heavy_logic_hidden(self) -> bool:
+        """True when no heavy/private code reached the chain."""
         return self.heavy_code_bytes_on_chain == 0
 
 
@@ -133,6 +150,10 @@ def privacy_report_hybrid(onchain_runtime: bytes,
 class EngineMetrics:
     """Fleet-level accounting from one :class:`SessionEngine` run.
 
+    Since the observability layer landed this is a thin façade: the
+    engine counts into a :class:`~repro.obs.metrics.MetricsRegistry`
+    (the ``engine.*`` instruments of the telemetry contract) and this
+    record is materialised from it via :meth:`from_registry`.
     ``blocks_mined`` / ``transactions`` count only what the engine
     itself scheduled; ``disputes`` counts sessions that settled through
     the Dispute/Resolve path rather than ``finalizeResult``.
@@ -146,20 +167,43 @@ class EngineMetrics:
     wall_clock_seconds: float
     mining: str
 
+    @classmethod
+    def from_registry(cls, registry: "MetricsRegistry", *, mining: str,
+                      total_gas: int) -> "EngineMetrics":
+        """Materialise the façade from the ``engine.*`` instruments."""
+        def counter(name: str) -> int:
+            """Total of one engine counter (0 when undeclared)."""
+            instrument = registry.get(name)
+            return int(instrument.total()) if instrument else 0
+
+        wall = registry.get(obs.names.METRIC_ENGINE_WALL_SECONDS)
+        return cls(
+            sessions=counter(obs.names.METRIC_ENGINE_SESSIONS),
+            disputes=counter(obs.names.METRIC_ENGINE_DISPUTES),
+            blocks_mined=counter(obs.names.METRIC_ENGINE_BLOCKS),
+            transactions=counter(obs.names.METRIC_ENGINE_TXS),
+            total_gas=total_gas,
+            wall_clock_seconds=float(wall.value()) if wall else 0.0,
+            mining=mining,
+        )
+
     @property
     def txs_per_block(self) -> float:
+        """Average transactions packed per mined block."""
         if self.blocks_mined == 0:
             return 0.0
         return self.transactions / self.blocks_mined
 
     @property
     def gas_per_session(self) -> float:
+        """Average on-chain gas per completed session."""
         if self.sessions == 0:
             return 0.0
         return self.total_gas / self.sessions
 
     @property
     def dispute_rate(self) -> float:
+        """Fraction of sessions settled through a dispute."""
         if self.sessions == 0:
             return 0.0
         return self.disputes / self.sessions
@@ -174,10 +218,12 @@ class ModelComparison:
 
     @property
     def gas_saved(self) -> int:
+        """Gas the hybrid model avoided putting on-chain."""
         return self.all_on_chain_gas - self.hybrid_gas
 
     @property
     def savings_ratio(self) -> float:
+        """Saved gas as a fraction of the all-on-chain cost."""
         if self.all_on_chain_gas == 0:
             return 0.0
         return self.gas_saved / self.all_on_chain_gas

@@ -67,6 +67,7 @@ class Classification:
     estimates: dict[str, FunctionCostEstimate] = field(default_factory=dict)
 
     def category_of(self, function_name: str) -> FunctionCategory:
+        """The coarse cost category an opcode byte belongs to."""
         if function_name in self.heavy_private:
             return FunctionCategory.HEAVY_PRIVATE
         if function_name in self.light_public:
@@ -88,10 +89,12 @@ class _CostWalker:
     # -- statements -----------------------------------------------------
 
     def walk_block(self, block: ast.Block, weight: int = 1) -> None:
+        """Accumulate estimates over every statement in a block."""
         for stmt in block.statements:
             self.walk_statement(stmt, weight)
 
     def walk_statement(self, stmt: ast.Stmt, weight: int) -> None:
+        """Accumulate one statement's cost into the estimate."""
         if isinstance(stmt, ast.Block):
             self.walk_block(stmt, weight)
         elif isinstance(stmt, ast.VarDeclStmt):
@@ -143,6 +146,7 @@ class _CostWalker:
     # -- expressions ----------------------------------------------------------
 
     def walk_expr(self, expr: ast.Expr, weight: int) -> None:
+        """Accumulate one expression's cost into the estimate."""
         if isinstance(expr, ast.Identifier):
             if expr.name in self._state_vars:
                 self.reads.add(expr.name)

@@ -30,6 +30,7 @@ class DisputeResolution:
 
     @property
     def total_gas(self) -> int:
+        """Combined gas of the two dispute transactions."""
         return self.deploy_receipt.gas_used + self.resolve_receipt.gas_used
 
 

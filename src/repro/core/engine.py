@@ -37,8 +37,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Generator, Iterable, Optional, Union
 
+from repro import obs
 from repro.chain.simulator import EthereumSimulator, SimAccount
 from repro.core.analytics import EngineMetrics
+from repro.obs.metrics import MetricsRegistry
 from repro.core.exceptions import EngineError
 from repro.core.participants import Participant, Strategy
 from repro.core.protocol import (
@@ -128,15 +130,18 @@ class ProtocolDriver:
 
     @property
     def representative(self) -> Participant:
+        """The session's representative (first participant)."""
         return self.protocol.participants[0]
 
     def encode_onchain(self, function_name: str, *args: Any) -> bytes:
+        """ABI-encode a call to the session's on-chain half."""
         fn = self.protocol.onchain.abi.function(function_name)
         return fn.encode_call(list(args))
 
     def call_intent(self, participant: Participant, function_name: str,
                     *args: Any, value: int = 0,
                     gas_limit: int = TRANSFER_CALL_GAS) -> TxIntent:
+        """Build a TxIntent calling the on-chain contract."""
         return TxIntent(
             sender=participant.account,
             to=self.protocol.onchain.address,
@@ -151,6 +156,7 @@ class ProtocolDriver:
     # -- the session ---------------------------------------------------
 
     def steps(self) -> DriverGenerator:
+        """The driver generator: one session's full lifecycle."""
         protocol = self.protocol
         rep = self.representative
 
@@ -235,10 +241,12 @@ class ProtocolDriver:
 
     @property
     def settled(self) -> bool:
+        """True once the session reached a terminal stage."""
         return self.protocol.stage in (Stage.SETTLED, Stage.RESOLVED)
 
     @property
     def disputed(self) -> bool:
+        """True when the session settled through Dispute/Resolve."""
         return self.protocol.stage is Stage.RESOLVED
 
 
@@ -249,9 +257,11 @@ class BettingDriver(ProtocolDriver):
 
     @property
     def plan(self) -> dict:
+        """The betting plan backing this session."""
         return self.protocol.betting_plan
 
     def funding_intents(self) -> list[TxIntent]:
+        """Both participants stake via ``deposit``."""
         return [
             self.call_intent(participant, "deposit",
                              value=self.plan["stake"])
@@ -259,6 +269,7 @@ class BettingDriver(ProtocolDriver):
         ]
 
     def submit_ready_at(self) -> Optional[int]:
+        """Submission opens once the guessing window closed."""
         return self.plan["timeline"].t2 + 1
 
 
@@ -269,9 +280,11 @@ class EscrowDriver(ProtocolDriver):
 
     @property
     def plan(self) -> dict:
+        """The escrow plan backing this session."""
         return self.protocol.escrow_plan
 
     def funding_intents(self) -> list[TxIntent]:
+        """The buyer funds the escrow price."""
         buyer = self.protocol.participants[0]
         return [self.call_intent(buyer, "fund", value=self.plan["price"])]
 
@@ -283,9 +296,11 @@ class TenderDriver(ProtocolDriver):
 
     @property
     def plan(self) -> dict:
+        """The tender plan backing this session."""
         return self.protocol.tender_plan
 
     def funding_intents(self) -> list[TxIntent]:
+        """The buyer funds the tender budget."""
         buyer = self.protocol.participants[0]
         return [self.call_intent(buyer, "fund", value=self.plan["budget"])]
 
@@ -322,44 +337,77 @@ class SessionEngine:
         self.mining = mining
         self.block_gas_limit = block_gas_limit
         self.drivers: list[ProtocolDriver] = list(drivers)
-        self.blocks_mined = 0
-        self.transactions = 0
+        # The engine counts into its own registry (the `engine.*` part
+        # of the telemetry contract); EngineMetrics is a façade over
+        # it.  A private registry keeps concurrent engines (e.g. the
+        # batch-vs-per-tx comparison) from cross-counting; when global
+        # telemetry is active every count is mirrored there too.
+        self.registry = MetricsRegistry()
+        for name in (obs.names.METRIC_ENGINE_SESSIONS,
+                     obs.names.METRIC_ENGINE_DISPUTES,
+                     obs.names.METRIC_ENGINE_BLOCKS,
+                     obs.names.METRIC_ENGINE_TXS,
+                     obs.names.METRIC_ENGINE_ROUNDS):
+            self.registry.counter(name)
+        self.registry.gauge(obs.names.METRIC_ENGINE_WALL_SECONDS)
 
     def add(self, driver: ProtocolDriver) -> None:
+        """Register one more session before :meth:`run`."""
         self.drivers.append(driver)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Increment a local engine counter, mirrored to global obs."""
+        self.registry.get(name).inc(amount)
+        if obs.enabled():
+            obs.inc(name, amount)
+
+    @property
+    def blocks_mined(self) -> int:
+        """Blocks the engine has scheduled so far (registry-backed)."""
+        return int(self.registry.get(obs.names.METRIC_ENGINE_BLOCKS)
+                   .total())
+
+    @property
+    def transactions(self) -> int:
+        """Transactions the engine has mined so far (registry-backed)."""
+        return int(self.registry.get(obs.names.METRIC_ENGINE_TXS)
+                   .total())
 
     # -- the scheduler -------------------------------------------------
 
     def run(self) -> EngineMetrics:
+        """Drive every session to completion; return fleet metrics."""
         started = time.perf_counter()
-        sessions = [
-            _SessionState(driver=driver, generator=driver.steps())
-            for driver in self.drivers
-        ]
-        for session in sessions:
-            self._resume(session, None)
-
-        while True:
-            tx_sessions = [
-                s for s in sessions
-                if not s.done and isinstance(s.pending, list)
+        with obs.span(obs.names.SPAN_ENGINE_RUN, mining=self.mining,
+                      sessions=len(self.drivers)):
+            sessions = [
+                _SessionState(driver=driver, generator=driver.steps())
+                for driver in self.drivers
             ]
-            if tx_sessions:
-                self._mine_round(tx_sessions)
-                continue
-            waiting = [
-                s for s in sessions
-                if not s.done and isinstance(s.pending, WaitUntil)
-            ]
-            if not waiting:
-                break
-            target = min(s.pending.timestamp for s in waiting)
-            self.simulator.advance_time_to(target)
-            horizon = self.simulator.chain.next_timestamp()
-            resumable = [s for s in waiting
-                         if s.pending.timestamp <= horizon]
-            for session in resumable:
+            for session in sessions:
                 self._resume(session, None)
+
+            while True:
+                tx_sessions = [
+                    s for s in sessions
+                    if not s.done and isinstance(s.pending, list)
+                ]
+                if tx_sessions:
+                    self._mine_round(tx_sessions)
+                    continue
+                waiting = [
+                    s for s in sessions
+                    if not s.done and isinstance(s.pending, WaitUntil)
+                ]
+                if not waiting:
+                    break
+                target = min(s.pending.timestamp for s in waiting)
+                self.simulator.advance_time_to(target)
+                horizon = self.simulator.chain.next_timestamp()
+                resumable = [s for s in waiting
+                             if s.pending.timestamp <= horizon]
+                for session in resumable:
+                    self._resume(session, None)
 
         errors = [s for s in sessions if s.error is not None]
         if errors:
@@ -372,10 +420,12 @@ class SessionEngine:
     def _resume(self, session: _SessionState, value: Any) -> None:
         """Advance one generator to its next yield (or completion)."""
         try:
-            if value is None and session.pending is None:
-                step = next(session.generator)
-            else:
-                step = session.generator.send(value)
+            with obs.span(obs.names.SPAN_ENGINE_SESSION_STEP,
+                          session=session.driver.session_id):
+                if value is None and session.pending is None:
+                    step = next(session.generator)
+                else:
+                    step = session.generator.send(value)
         except StopIteration:
             session.done = True
             session.pending = None
@@ -403,49 +453,57 @@ class SessionEngine:
         """Queue every runnable session's batch, mine, hand back
         receipts."""
         sim = self.simulator
-        for session in tx_sessions:
-            session.intents = list(session.pending)
-            session.tx_hashes = []
-        if self.mining == "per-tx":
-            # One block per transaction — the auto-mining regime.
+        self._count(obs.names.METRIC_ENGINE_ROUNDS)
+        with obs.span(obs.names.SPAN_ENGINE_MINE_ROUND,
+                      sessions=len(tx_sessions), mining=self.mining):
             for session in tx_sessions:
-                for intent in session.intents:
-                    session.tx_hashes.append(self._queue(intent))
-                    sim.mine(gas_limit=self.block_gas_limit)
-                    self.blocks_mined += 1
-        else:
-            for session in tx_sessions:
-                for intent in session.intents:
-                    session.tx_hashes.append(self._queue(intent))
-            while sim.pending():
-                block = sim.mine(gas_limit=self.block_gas_limit)[0]
-                self.blocks_mined += 1
-                if not block.transactions:
-                    raise EngineError(
-                        "mined an empty block while transactions are "
-                        "pending — a queued transaction exceeds the "
-                        "block gas limit"
-                    )
-        for session in tx_sessions:
-            receipts = []
-            for intent, tx_hash in zip(session.intents,
-                                       session.tx_hashes):
-                receipt = sim.get_receipt(tx_hash)
-                if not receipt.status:
-                    session.done = True
-                    session.pending = None
-                    session.error = EngineError(
-                        f"session {session.driver.session_id}: "
-                        f"{intent.label or 'transaction'} reverted: "
-                        f"{receipt.error or 'no reason'}"
-                    )
-                    break
-                session.driver.protocol.ledger.record(
-                    intent.stage, intent.label, receipt, intent.actor)
-                receipts.append(receipt)
+                session.intents = list(session.pending)
+                session.tx_hashes = []
+            if self.mining == "per-tx":
+                # One block per transaction — the auto-mining regime.
+                for session in tx_sessions:
+                    for intent in session.intents:
+                        session.tx_hashes.append(self._queue(intent))
+                        sim.mine(gas_limit=self.block_gas_limit)
+                        self._count(obs.names.METRIC_ENGINE_BLOCKS)
             else:
-                self.transactions += len(receipts)
-                self._resume(session, receipts)
+                for session in tx_sessions:
+                    for intent in session.intents:
+                        session.tx_hashes.append(self._queue(intent))
+                while sim.pending():
+                    block = sim.mine(gas_limit=self.block_gas_limit)[0]
+                    self._count(obs.names.METRIC_ENGINE_BLOCKS)
+                    if not block.transactions:
+                        raise EngineError(
+                            "mined an empty block while transactions are "
+                            "pending — a queued transaction exceeds the "
+                            "block gas limit"
+                        )
+            for session in tx_sessions:
+                receipts = []
+                for intent, tx_hash in zip(session.intents,
+                                           session.tx_hashes):
+                    receipt = sim.get_receipt(tx_hash)
+                    if not receipt.status:
+                        session.done = True
+                        session.pending = None
+                        session.error = EngineError(
+                            f"session {session.driver.session_id}: "
+                            f"{intent.label or 'transaction'} reverted: "
+                            f"{receipt.error or 'no reason'}"
+                        )
+                        break
+                    session.driver.protocol.ledger.record(
+                        intent.stage, intent.label, receipt, intent.actor)
+                    if obs.enabled():
+                        obs.inc(obs.names.METRIC_CHAIN_FN_GAS,
+                                receipt.gas_used,
+                                fn=intent.label or "(tx)")
+                    receipts.append(receipt)
+                else:
+                    self._count(obs.names.METRIC_ENGINE_TXS,
+                                len(receipts))
+                    self._resume(session, receipts)
 
     def _queue(self, intent: TxIntent) -> bytes:
         return self.simulator.send_transaction(
@@ -454,14 +512,19 @@ class SessionEngine:
         )
 
     def _metrics(self, started: float) -> EngineMetrics:
-        return EngineMetrics(
-            sessions=len(self.drivers),
-            disputes=sum(1 for d in self.drivers if d.disputed),
-            blocks_mined=self.blocks_mined,
-            transactions=self.transactions,
-            total_gas=sum(d.protocol.ledger.total() for d in self.drivers),
-            wall_clock_seconds=time.perf_counter() - started,
-            mining=self.mining,
+        """Finalise the run's counters and materialise the façade."""
+        sessions = len(self.drivers)
+        disputes = sum(1 for d in self.drivers if d.disputed)
+        self._count(obs.names.METRIC_ENGINE_SESSIONS, sessions)
+        self._count(obs.names.METRIC_ENGINE_DISPUTES, disputes)
+        wall = time.perf_counter() - started
+        self.registry.get(obs.names.METRIC_ENGINE_WALL_SECONDS).set(wall)
+        if obs.enabled():
+            obs.set_gauge(obs.names.METRIC_ENGINE_WALL_SECONDS, wall)
+        return EngineMetrics.from_registry(
+            self.registry, mining=self.mining,
+            total_gas=sum(d.protocol.ledger.total()
+                          for d in self.drivers),
         )
 
 

@@ -40,22 +40,27 @@ class Participant:
 
     @property
     def address(self) -> Address:
+        """The participant's on-chain address."""
         return self.account.address
 
     @property
     def key(self):
+        """The participant's signing key."""
         return self.account.key
 
     @property
     def is_honest(self) -> bool:
+        """True for the fully honest strategy."""
         return self.strategy is Strategy.HONEST
 
     @property
     def will_sign(self) -> bool:
+        """Whether this participant signs the off-chain copy."""
         return self.strategy is not Strategy.REFUSES_TO_SIGN
 
     @property
     def will_settle_honestly(self) -> bool:
+        """Whether this participant submits the true result."""
         return self.strategy not in (
             Strategy.LIES_ABOUT_RESULT, Strategy.REFUSES_TO_SETTLE,
         )

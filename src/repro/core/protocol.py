@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
 
+from repro import obs
 from repro.chain.contract import DeployedContract
 from repro.chain.receipt import Receipt
 from repro.chain.simulator import EthereumSimulator
@@ -75,6 +76,7 @@ class DisputeOutcome:
 
     @property
     def total_gas(self) -> int:
+        """Combined gas of every receipt in this stage result."""
         return self.deploy_receipt.gas_used + self.resolve_receipt.gas_used
 
 
@@ -157,21 +159,25 @@ class OnOffChainProtocol:
         """Split the whole contract and compile both halves."""
         if self.stage is not Stage.CREATED:
             raise StageError(f"split_generate after {self.stage}")
-        self.split = split_contract(
-            self.whole_source, self.contract_name, self.spec,
-        )
-        if self.split.num_participants != len(self.participants):
-            raise StageError(
-                f"contract declares {self.split.num_participants} "
-                f"participants but {len(self.participants)} were provided"
+        with obs.span(obs.names.SPAN_STAGE_SPLIT_GENERATE,
+                      contract=self.contract_name):
+            self.split = split_contract(
+                self.whole_source, self.contract_name, self.spec,
             )
-        self._onchain_compilation = compile_source(self.split.onchain_source)
-        self.compiled_onchain = self._onchain_compilation.contract(
-            self.split.onchain_name)
-        self._offchain_compilation = compile_source(
-            self.split.offchain_source)
-        self.compiled_offchain = self._offchain_compilation.contract(
-            self.split.offchain_name)
+            if self.split.num_participants != len(self.participants):
+                raise StageError(
+                    f"contract declares {self.split.num_participants} "
+                    f"participants but {len(self.participants)} "
+                    f"were provided"
+                )
+            self._onchain_compilation = compile_source(
+                self.split.onchain_source)
+            self.compiled_onchain = self._onchain_compilation.contract(
+                self.split.onchain_name)
+            self._offchain_compilation = compile_source(
+                self.split.offchain_source)
+            self.compiled_offchain = self._offchain_compilation.contract(
+                self.split.offchain_name)
         self.stage = Stage.GENERATED
         return StageResult(stage=self.stage, value=self.split)
 
@@ -187,15 +193,17 @@ class OnOffChainProtocol:
         if self.stage is not Stage.GENERATED:
             raise StageError("call split_generate() before deploy()")
         ordered_args = self._onchain_ctor_args(constructor_args or {})
-        self.onchain = self.simulator.deploy(
-            deployer.account, self.compiled_onchain.init_code,
-            self.compiled_onchain.abi, constructor_args=ordered_args,
-            gas_limit=gas_limit,
-        )
-        self.ledger.record(Stage.DEPLOYED.value, "deploy onChain",
-                           self.onchain.deploy_receipt, deployer.name)
-        self.offchain_bytecode = self.build_offchain_bytecode(
-            offchain_state or {})
+        with obs.span(obs.names.SPAN_STAGE_DEPLOY,
+                      contract=self.contract_name):
+            self.onchain = self.simulator.deploy(
+                deployer.account, self.compiled_onchain.init_code,
+                self.compiled_onchain.abi, constructor_args=ordered_args,
+                gas_limit=gas_limit,
+            )
+            self.ledger.record(Stage.DEPLOYED.value, "deploy onChain",
+                               self.onchain.deploy_receipt, deployer.name)
+            self.offchain_bytecode = self.build_offchain_bytecode(
+                offchain_state or {})
         self.stage = Stage.DEPLOYED
         return StageResult(stage=self.stage,
                            receipts=(self.onchain.deploy_receipt,),
@@ -318,30 +326,35 @@ class OnOffChainProtocol:
         if self.stage is not Stage.DEPLOYED:
             raise StageError("deploy() must precede collect_signatures()")
         topic = self._signing_topic
-        refusers = [p.name for p in self.participants if not p.will_sign]
-        for participant in self.participants:
-            self.bus.subscribe(participant.name, topic)
-            if not participant.will_sign:
-                continue
-            signature = sign_bytecode(
-                participant.key, self.offchain_bytecode)
-            payload = rlp.encode(
-                [participant.address.value, signature.to_bytes()])
-            self.bus.post(topic, payload, sender=participant.name)
-        if refusers:
-            raise SigningError(
-                f"participants refused to sign: {refusers}; abort before "
-                "any deposit (rule 1 of Table I)"
-            )
-        collected: dict[Address, Signature] = {}
-        for envelope in self.bus.peek_all(topic):
-            address_raw, sig_raw = rlp.decode(envelope.payload)
-            collected[Address(address_raw)] = Signature.from_bytes(sig_raw)
-        addresses = [p.address for p in self.participants]
-        copy = assemble_signed_copy(
-            self.offchain_bytecode, collected, addresses)
-        for participant in self.participants:
-            self.signed_copies[participant.name] = copy
+        with obs.span(obs.names.SPAN_STAGE_SIGN,
+                      contract=self.contract_name,
+                      participants=len(self.participants)):
+            refusers = [p.name for p in self.participants
+                        if not p.will_sign]
+            for participant in self.participants:
+                self.bus.subscribe(participant.name, topic)
+                if not participant.will_sign:
+                    continue
+                signature = sign_bytecode(
+                    participant.key, self.offchain_bytecode)
+                payload = rlp.encode(
+                    [participant.address.value, signature.to_bytes()])
+                self.bus.post(topic, payload, sender=participant.name)
+            if refusers:
+                raise SigningError(
+                    f"participants refused to sign: {refusers}; abort "
+                    "before any deposit (rule 1 of Table I)"
+                )
+            collected: dict[Address, Signature] = {}
+            for envelope in self.bus.peek_all(topic):
+                address_raw, sig_raw = rlp.decode(envelope.payload)
+                collected[Address(address_raw)] = \
+                    Signature.from_bytes(sig_raw)
+            addresses = [p.address for p in self.participants]
+            copy = assemble_signed_copy(
+                self.offchain_bytecode, collected, addresses)
+            for participant in self.participants:
+                self.signed_copies[participant.name] = copy
         self.stage = Stage.SIGNED
         return StageResult(stage=self.stage, value=copy)
 
@@ -361,13 +374,15 @@ class OnOffChainProtocol:
         if self.onchain is None:
             raise StageError("deploy() before paying deposits")
         receipts = []
-        for participant in self.participants:
-            receipt = self.onchain.transact(
-                "paySecurityDeposit", sender=participant.account,
-                value=self.spec.security_deposit)
-            self.ledger.record(self.stage.value, "paySecurityDeposit",
-                               receipt, participant.name)
-            receipts.append(receipt)
+        with obs.span(obs.names.SPAN_STAGE_DEPOSITS,
+                      contract=self.contract_name):
+            for participant in self.participants:
+                receipt = self.onchain.transact(
+                    "paySecurityDeposit", sender=participant.account,
+                    value=self.spec.security_deposit)
+                self.ledger.record(self.stage.value, "paySecurityDeposit",
+                                   receipt, participant.name)
+                receipts.append(receipt)
         return StageResult(stage=self.stage, receipts=tuple(receipts))
 
     def withdraw_security_deposits(self) -> dict[str, bool]:
@@ -405,10 +420,16 @@ class OnOffChainProtocol:
             timestamp=self.simulator.current_timestamp,
             block_number=self.simulator.chain.latest_block.number,
         )
-        run = executor.execute(
-            self.offchain_bytecode, self.compiled_offchain.abi,
-            caller=(participant or self.participants[0]).address,
-        )
+        who = (participant or self.participants[0])
+        with obs.span(obs.names.SPAN_OFFCHAIN_EXECUTE,
+                      contract=self.contract_name, participant=who.name):
+            run = executor.execute(
+                self.offchain_bytecode, self.compiled_offchain.abi,
+                caller=who.address,
+            )
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_OFFCHAIN_GAS,
+                    run.gas_equivalent + run.deploy_gas_equivalent)
         self._true_result = run.result
         return run
 
@@ -437,10 +458,13 @@ class OnOffChainProtocol:
             self.execute_off_chain(representative)
         claim = representative.claimed_result(
             result if result is not None else self._true_result)
-        receipt = self.onchain.transact(
-            "submitResult", claim, sender=representative.account)
-        self.ledger.record(Stage.PROPOSED.value, "submitResult", receipt,
-                           representative.name)
+        with obs.span(obs.names.SPAN_STAGE_SUBMIT,
+                      contract=self.contract_name,
+                      representative=representative.name):
+            receipt = self.onchain.transact(
+                "submitResult", claim, sender=representative.account)
+            self.ledger.record(Stage.PROPOSED.value, "submitResult",
+                               receipt, representative.name)
         self.stage = Stage.PROPOSED
         return StageResult(stage=self.stage, receipts=(receipt,))
 
@@ -456,9 +480,13 @@ class OnOffChainProtocol:
         """
         if self.stage is not Stage.PROPOSED:
             raise StageError("no proposal to challenge")
-        proposed = self.onchain.call("proposedResult")
-        truth = self.reach_unanimous_agreement()
-        if results_equal(proposed, truth):
+        with obs.span(obs.names.SPAN_STAGE_CHALLENGE,
+                      contract=self.contract_name) as challenge_span:
+            proposed = self.onchain.call("proposedResult")
+            truth = self.reach_unanimous_agreement()
+            clean = results_equal(proposed, truth)
+            challenge_span.set_label(clean=clean)
+        if clean:
             return StageResult(stage=self.stage, value=None)
         for participant in self.participants:
             if participant.will_challenge:
@@ -472,12 +500,14 @@ class OnOffChainProtocol:
         """Close the challenge window and apply the proposal."""
         if self.stage is not Stage.PROPOSED:
             raise StageError("nothing to finalize")
-        deadline = self.onchain.call("challengeDeadline")
-        self.simulator.advance_time_to(deadline)
-        receipt = self.onchain.transact(
-            "finalizeResult", sender=caller.account)
-        self.ledger.record(Stage.PROPOSED.value, "finalizeResult", receipt,
-                           caller.name)
+        with obs.span(obs.names.SPAN_STAGE_FINALIZE,
+                      contract=self.contract_name, caller=caller.name):
+            deadline = self.onchain.call("challengeDeadline")
+            self.simulator.advance_time_to(deadline)
+            receipt = self.onchain.transact(
+                "finalizeResult", sender=caller.account)
+            self.ledger.record(Stage.PROPOSED.value, "finalizeResult",
+                               receipt, caller.name)
         self.stage = Stage.SETTLED
         return StageResult(stage=self.stage, receipts=(receipt,))
 
@@ -497,23 +527,29 @@ class OnOffChainProtocol:
             )
         copy.require_valid([p.address for p in self.participants])
 
-        deploy_receipt = self.onchain.transact(
-            "deployVerifiedInstance", copy.bytecode, *copy.vrs_arguments(),
-            sender=challenger.account, gas_limit=gas_limit,
-        )
-        self.ledger.record(Stage.DISPUTED.value, "deployVerifiedInstance",
-                           deploy_receipt, challenger.name)
-        instance_address = Address(self.onchain.call("deployedAddr"))
-        instance = self.simulator.contract_at(
-            instance_address, self.compiled_offchain.abi)
-        resolve_receipt = instance.transact(
-            "returnDisputeResolution", self.onchain.address,
-            sender=challenger.account, gas_limit=gas_limit,
-        )
-        self.ledger.record(Stage.DISPUTED.value, "returnDisputeResolution",
-                           resolve_receipt, challenger.name)
-        outcome = self.record_dispute(
-            instance_address, deploy_receipt, resolve_receipt)
+        with obs.span(obs.names.SPAN_STAGE_DISPUTE,
+                      contract=self.contract_name,
+                      challenger=challenger.name):
+            deploy_receipt = self.onchain.transact(
+                "deployVerifiedInstance", copy.bytecode,
+                *copy.vrs_arguments(),
+                sender=challenger.account, gas_limit=gas_limit,
+            )
+            self.ledger.record(Stage.DISPUTED.value,
+                               "deployVerifiedInstance",
+                               deploy_receipt, challenger.name)
+            instance_address = Address(self.onchain.call("deployedAddr"))
+            instance = self.simulator.contract_at(
+                instance_address, self.compiled_offchain.abi)
+            resolve_receipt = instance.transact(
+                "returnDisputeResolution", self.onchain.address,
+                sender=challenger.account, gas_limit=gas_limit,
+            )
+            self.ledger.record(Stage.DISPUTED.value,
+                               "returnDisputeResolution",
+                               resolve_receipt, challenger.name)
+            outcome = self.record_dispute(
+                instance_address, deploy_receipt, resolve_receipt)
         return StageResult(stage=self.stage,
                            receipts=(deploy_receipt, resolve_receipt),
                            value=outcome)

@@ -135,10 +135,12 @@ class PrivateKey:
 
     @property
     def public_key(self) -> PublicKey:
+        """The public key derived from this private key."""
         return self._public
 
     @property
     def address(self) -> Address:
+        """The address derived from this private key."""
         return self._public.address
 
     def sign(self, message_hash: bytes) -> Signature:
@@ -146,6 +148,7 @@ class PrivateKey:
         return ecdsa.sign(message_hash, self.secret)
 
     def to_bytes(self) -> bytes:
+        """The 32-byte big-endian scalar."""
         return self.secret.to_bytes(32, "big")
 
 

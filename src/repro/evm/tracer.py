@@ -87,6 +87,7 @@ class StructLogTracer:
 
     def on_step(self, pc: int, op: int, depth: int, gas_before: int,
                 gas_cost: int, stack_size: int) -> None:
+        """Tracer callback: tally one executed instruction."""
         if len(self.steps) >= self._max_steps:
             self.truncated = True
             return
@@ -113,9 +114,11 @@ class GasProfile:
     step_count: int = 0
 
     def top_opcodes(self, count: int = 10) -> list[tuple[str, int]]:
+        """The ``count`` most expensive opcodes, by gas."""
         return self.by_opcode.most_common(count)
 
     def category_shares(self) -> dict[str, float]:
+        """Per-category share of total traced gas."""
         if self.total_gas <= 0:
             return {}
         return {
@@ -141,6 +144,7 @@ class GasProfiler:
 
     def on_step(self, pc: int, op: int, depth: int, gas_before: int,
                 gas_cost: int, stack_size: int) -> None:
+        """Tracer callback: append one step record."""
         if self._depth_limit is not None and depth > self._depth_limit:
             return
         opcode = opcodes.OPCODES.get(op)

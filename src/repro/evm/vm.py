@@ -48,19 +48,32 @@ if sys.getrecursionlimit() < _NEEDED_RECURSION:
 class StateBackend(Protocol):
     """What the interpreter needs from world state."""
 
-    def get_balance(self, address: Address) -> int: ...
-    def set_balance(self, address: Address, value: int) -> None: ...
-    def get_nonce(self, address: Address) -> int: ...
-    def increment_nonce(self, address: Address) -> None: ...
-    def get_code(self, address: Address) -> bytes: ...
-    def set_code(self, address: Address, code: bytes) -> None: ...
-    def get_storage(self, address: Address, key: int) -> int: ...
-    def set_storage(self, address: Address, key: int, value: int) -> None: ...
-    def account_exists(self, address: Address) -> bool: ...
-    def create_account(self, address: Address) -> None: ...
-    def snapshot(self) -> int: ...
-    def revert_to(self, snapshot_id: int) -> None: ...
-    def discard_snapshot(self, snapshot_id: int) -> None: ...
+    def get_balance(self, address: Address) -> int:
+        """Balance in wei."""
+    def set_balance(self, address: Address, value: int) -> None:
+        """Overwrite the balance."""
+    def get_nonce(self, address: Address) -> int:
+        """Current account nonce."""
+    def increment_nonce(self, address: Address) -> None:
+        """Bump the nonce by one."""
+    def get_code(self, address: Address) -> bytes:
+        """Runtime bytecode at the address."""
+    def set_code(self, address: Address, code: bytes) -> None:
+        """Install runtime bytecode."""
+    def get_storage(self, address: Address, key: int) -> int:
+        """Read one storage slot."""
+    def set_storage(self, address: Address, key: int, value: int) -> None:
+        """Write one storage slot."""
+    def account_exists(self, address: Address) -> bool:
+        """Whether the account exists at all."""
+    def create_account(self, address: Address) -> None:
+        """Create an empty account."""
+    def snapshot(self) -> int:
+        """Take a revertible snapshot; returns its id."""
+    def revert_to(self, snapshot_id: int) -> None:
+        """Roll state back to a snapshot."""
+    def discard_snapshot(self, snapshot_id: int) -> None:
+        """Release a snapshot without reverting."""
 
 
 @dataclass(frozen=True)
@@ -102,6 +115,7 @@ class Message:
 
     @property
     def is_create(self) -> bool:
+        """True for contract-creation messages (no recipient)."""
         return self.to is None
 
 
@@ -151,6 +165,7 @@ class _Frame:
         )
 
     def charge(self, amount: int) -> None:
+        """Deduct gas, raising OutOfGas when exhausted."""
         if amount > self.gas_remaining:
             self.gas_remaining = 0
             raise OutOfGas(f"needed {amount} gas")
@@ -411,6 +426,7 @@ def _group_of(op_byte: int) -> str:
 
 def _binop(fn):
     def handler(vm: EVM, frame: _Frame, op: int):
+        """Pop two operands, push ``fn(a, b)``."""
         a = frame.stack.pop()
         b = frame.stack.pop()
         frame.stack.push(fn(a, b))

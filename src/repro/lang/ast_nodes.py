@@ -42,6 +42,7 @@ class TypeName(Node):
     array_length: Optional[int] = None       # for fixed arrays
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         if self.name == "mapping":
             return (f"mapping({self.key_type.to_source()} => "
                     f"{self.value_type.to_source()})")
@@ -61,22 +62,27 @@ class Expr(Node):
     resolved_type: Optional[SolisType] = field(default=None, kw_only=True)
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         raise NotImplementedError
 
 
 @dataclass
 class NumberLiteral(Expr):
+    """Decimal integer literal."""
     value: int = 0
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return str(self.value)
 
 
 @dataclass
 class BoolLiteral(Expr):
+    """``true`` / ``false`` literal."""
     value: bool = False
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return "true" if self.value else "false"
 
 
@@ -88,26 +94,32 @@ class HexLiteral(Expr):
 
     @property
     def value(self) -> int:
+        """The literal's integer value."""
         return int(self.text, 16)
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return self.text
 
 
 @dataclass
 class StringLiteral(Expr):
+    """Double-quoted string literal."""
     value: str = ""
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
         return f'"{escaped}"'
 
 
 @dataclass
 class Identifier(Expr):
+    """A bare name reference."""
     name: str = ""
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return self.name
 
 
@@ -119,6 +131,7 @@ class MemberAccess(Expr):
     member: str = ""
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return f"{self.object.to_source()}.{self.member}"
 
 
@@ -130,25 +143,30 @@ class IndexAccess(Expr):
     index: Expr = None
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return f"{self.base.to_source()}[{self.index.to_source()}]"
 
 
 @dataclass
 class BinaryOp(Expr):
+    """Infix binary operation."""
     op: str = "+"
     left: Expr = None
     right: Expr = None
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return f"({self.left.to_source()} {self.op} {self.right.to_source()})"
 
 
 @dataclass
 class UnaryOp(Expr):
+    """Prefix unary operation."""
     op: str = "!"
     operand: Expr = None
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return f"{self.op}{self.operand.to_source()}"
 
 
@@ -160,6 +178,7 @@ class FunctionCall(Expr):
     arguments: list[Expr] = field(default_factory=list)
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         args = ", ".join(arg.to_source() for arg in self.arguments)
         return f"{self.callee.to_source()}({args})"
 
@@ -170,15 +189,19 @@ class FunctionCall(Expr):
 
 @dataclass
 class Stmt(Node):
+    """Base statement node."""
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         raise NotImplementedError
 
 
 @dataclass
 class Block(Stmt):
+    """A ``{ ... }`` statement list."""
     statements: list[Stmt] = field(default_factory=list)
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         inner = "\n".join(s.to_source(indent + 1) for s in self.statements)
         return f"{pad}{{\n{inner}\n{pad}}}" if inner else f"{pad}{{ }}"
@@ -186,11 +209,13 @@ class Block(Stmt):
 
 @dataclass
 class VarDeclStmt(Stmt):
+    """Local variable declaration."""
     type_name: TypeName = None
     name: str = ""
     initial: Optional[Expr] = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         init = f" = {self.initial.to_source()}" if self.initial else ""
         return f"{pad}{self.type_name.to_source()} {self.name}{init};"
@@ -198,9 +223,11 @@ class VarDeclStmt(Stmt):
 
 @dataclass
 class ExprStmt(Stmt):
+    """An expression evaluated for effect."""
     expression: Expr = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         return f"{_INDENT * indent}{self.expression.to_source()};"
 
 
@@ -212,17 +239,20 @@ class Assignment(Stmt):
     value: Expr = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         return (f"{_INDENT * indent}{self.target.to_source()} = "
                 f"{self.value.to_source()};")
 
 
 @dataclass
 class IfStmt(Stmt):
+    """``if`` / ``else`` statement."""
     condition: Expr = None
     then_branch: Block = None
     else_branch: Optional[Block] = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         text = (f"{pad}if ({self.condition.to_source()})\n"
                 f"{self.then_branch.to_source(indent)}")
@@ -233,10 +263,12 @@ class IfStmt(Stmt):
 
 @dataclass
 class WhileStmt(Stmt):
+    """``while`` loop."""
     condition: Expr = None
     body: Block = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         return (f"{pad}while ({self.condition.to_source()})\n"
                 f"{self.body.to_source(indent)}")
@@ -244,12 +276,14 @@ class WhileStmt(Stmt):
 
 @dataclass
 class ForStmt(Stmt):
+    """C-style ``for`` loop."""
     init: Optional[Stmt] = None
     condition: Optional[Expr] = None
     update: Optional[Stmt] = None
     body: Block = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         init = self.init.to_source(0).rstrip(";") + ";" if self.init else ";"
         cond = f" {self.condition.to_source()};" if self.condition else ";"
@@ -259,9 +293,11 @@ class ForStmt(Stmt):
 
 @dataclass
 class ReturnStmt(Stmt):
+    """``return`` statement."""
     value: Optional[Expr] = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         if self.value is None:
             return f"{pad}return;"
@@ -270,10 +306,12 @@ class ReturnStmt(Stmt):
 
 @dataclass
 class RequireStmt(Stmt):
+    """``require(condition, message)`` guard."""
     condition: Expr = None
     message: Optional[str] = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         if self.message:
             return f'{pad}require({self.condition.to_source()}, "{self.message}");'
@@ -282,10 +320,12 @@ class RequireStmt(Stmt):
 
 @dataclass
 class EmitStmt(Stmt):
+    """``emit Event(args)`` statement."""
     event_name: str = ""
     arguments: list[Expr] = field(default_factory=list)
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         args = ", ".join(a.to_source() for a in self.arguments)
         return f"{_INDENT * indent}emit {self.event_name}({args});"
 
@@ -297,6 +337,7 @@ class RevertStmt(Stmt):
     message: Optional[str] = None
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         if self.message:
             return f'{pad}revert("{self.message}");'
@@ -308,18 +349,23 @@ class PlaceholderStmt(Stmt):
     """The `_;` inside a modifier body."""
 
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         return f"{_INDENT * indent}_;"
 
 
 @dataclass
 class BreakStmt(Stmt):
+    """``break`` statement."""
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         return f"{_INDENT * indent}break;"
 
 
 @dataclass
 class ContinueStmt(Stmt):
+    """``continue`` statement."""
     def to_source(self, indent: int = 0) -> str:
+        """Render this node as Solis source text."""
         return f"{_INDENT * indent}continue;"
 
 
@@ -329,11 +375,13 @@ class ContinueStmt(Stmt):
 
 @dataclass
 class Parameter(Node):
+    """One function parameter."""
     type_name: TypeName = None
     name: str = ""
     indexed: bool = False
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         indexed = " indexed" if self.indexed else ""
         name = f" {self.name}" if self.name else ""
         return f"{self.type_name.to_source()}{indexed}{name}"
@@ -341,6 +389,7 @@ class Parameter(Node):
 
 @dataclass
 class StateVarDecl(Node):
+    """Contract storage variable declaration."""
     type_name: TypeName = None
     name: str = ""
     visibility: str = "internal"
@@ -350,6 +399,7 @@ class StateVarDecl(Node):
     resolved_type: Optional[SolisType] = field(default=None, kw_only=True)
 
     def to_source(self, indent: int = 1) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         vis = f" {self.visibility}" if self.visibility != "internal" else ""
         init = f" = {self.initial.to_source()}" if self.initial else ""
@@ -358,11 +408,13 @@ class StateVarDecl(Node):
 
 @dataclass
 class ModifierDecl(Node):
+    """Function modifier declaration."""
     name: str = ""
     parameters: list[Parameter] = field(default_factory=list)
     body: Block = None
 
     def to_source(self, indent: int = 1) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         params = ", ".join(p.to_source() for p in self.parameters)
         params_text = f"({params})" if self.parameters else ""
@@ -371,16 +423,19 @@ class ModifierDecl(Node):
 
 @dataclass
 class EventDecl(Node):
+    """Event declaration."""
     name: str = ""
     parameters: list[Parameter] = field(default_factory=list)
 
     def to_source(self, indent: int = 1) -> str:
+        """Render this node as Solis source text."""
         params = ", ".join(p.to_source() for p in self.parameters)
         return f"{_INDENT * indent}event {self.name}({params});"
 
 
 @dataclass
 class FunctionDecl(Node):
+    """Function (or constructor) declaration."""
     name: str = ""                       # "" for constructor
     parameters: list[Parameter] = field(default_factory=list)
     returns: list[TypeName] = field(default_factory=list)
@@ -398,6 +453,7 @@ class FunctionDecl(Node):
         return self.visibility in ("public", "external")
 
     def to_source(self, indent: int = 1) -> str:
+        """Render this node as Solis source text."""
         pad = _INDENT * indent
         params = ", ".join(p.to_source() for p in self.parameters)
         head = "constructor" if self.is_constructor else f"function {self.name}"
@@ -420,6 +476,7 @@ class FunctionDecl(Node):
 
 @dataclass
 class ContractDecl(Node):
+    """Contract or interface declaration."""
     name: str = ""
     is_interface: bool = False
     state_vars: list[StateVarDecl] = field(default_factory=list)
@@ -429,18 +486,21 @@ class ContractDecl(Node):
 
     @property
     def constructor(self) -> Optional[FunctionDecl]:
+        """The constructor declaration, if present."""
         for fn in self.functions:
             if fn.is_constructor:
                 return fn
         return None
 
     def function(self, name: str) -> Optional[FunctionDecl]:
+        """Look up a member function by name (None if absent)."""
         for fn in self.functions:
             if fn.name == name and not fn.is_constructor:
                 return fn
         return None
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         keyword = "interface" if self.is_interface else "contract"
         members: list[str] = []
         members.extend(v.to_source() for v in self.state_vars)
@@ -460,10 +520,12 @@ class SourceUnit(Node):
     contracts: list[ContractDecl] = field(default_factory=list)
 
     def contract(self, name: str) -> ContractDecl:
+        """Look up a contract by name (KeyError if absent)."""
         for contract in self.contracts:
             if contract.name == name:
                 return contract
         raise KeyError(f"no contract named {name!r}")
 
     def to_source(self) -> str:
+        """Render this node as Solis source text."""
         return "\n\n".join(c.to_source() for c in self.contracts)

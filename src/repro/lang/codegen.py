@@ -895,6 +895,7 @@ class _FnContext:
 
     @property
     def layout(self) -> _FunctionLayout:
+        """The layout record for this function."""
         return self.generator.layouts[self.key]
 
 

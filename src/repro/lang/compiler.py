@@ -43,6 +43,7 @@ class CompiledContract:
 
     @property
     def init_code_hex(self) -> str:
+        """The init bytecode as a 0x-prefixed hex string."""
         return "0x" + self.init_code.hex()
 
 
@@ -54,6 +55,7 @@ class CompilationResult:
     unit: ast.SourceUnit
 
     def contract(self, name: str) -> CompiledContract:
+        """The compiled contract called ``name`` (KeyError if absent)."""
         try:
             return self.contracts[name]
         except KeyError:

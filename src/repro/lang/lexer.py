@@ -15,6 +15,7 @@ from repro.lang.errors import LexerError
 
 
 class TokenType(Enum):
+    """Every token kind the lexer can emit."""
     IDENT = auto()
     NUMBER = auto()
     HEX_LITERAL = auto()
@@ -56,9 +57,11 @@ class Token:
     column: int
 
     def is_keyword(self, *names: str) -> bool:
+        """True for keyword tokens."""
         return self.type == TokenType.KEYWORD and self.value in names
 
     def is_op(self, *ops: str) -> bool:
+        """True for operator/punctuation tokens."""
         return self.type == TokenType.OP and self.value in ops
 
     def __repr__(self) -> str:
@@ -74,6 +77,7 @@ def tokenize(source: str) -> list[Token]:
     length = len(source)
 
     def error(message: str) -> LexerError:
+        """Raise a LexError at the current position."""
         return LexerError(message, line, col)
 
     while pos < length:

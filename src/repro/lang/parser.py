@@ -94,6 +94,7 @@ class Parser:
     # -- entry point ----------------------------------------------------------
 
     def parse_source_unit(self) -> ast.SourceUnit:
+        """Parse a whole source unit (pragma + contracts)."""
         contracts: list[ast.ContractDecl] = []
         while self._current.type != TokenType.EOF:
             if self._current.is_keyword("pragma"):

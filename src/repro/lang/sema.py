@@ -57,14 +57,17 @@ class FunctionInfo:
 
     @property
     def name(self) -> str:
+        """The function's declared name."""
         return self.decl.name
 
     @property
     def abi_inputs(self) -> tuple[str, ...]:
+        """Parameter type names as ABI strings."""
         return tuple(t.abi_name for t in self.param_types)
 
     @property
     def selector(self) -> bytes:
+        """First four bytes of the signature hash."""
         return abi_codec.function_selector(self.decl.name, self.abi_inputs)
 
 
@@ -78,14 +81,17 @@ class EventInfo:
 
     @property
     def name(self) -> str:
+        """The event's declared name."""
         return self.decl.name
 
     @property
     def abi_inputs(self) -> tuple[str, ...]:
+        """Parameter type names as ABI strings."""
         return tuple(t.abi_name for t in self.param_types)
 
     @property
     def topic(self) -> bytes:
+        """keccak256 topic identifying this event."""
         return abi_codec.event_topic(self.decl.name, self.abi_inputs)
 
 
@@ -102,6 +108,7 @@ class ContractInfo:
 
     @property
     def name(self) -> str:
+        """The contract's declared name."""
         return self.decl.name
 
     @property
@@ -123,6 +130,7 @@ class Analyzer:
     # -- public API -------------------------------------------------------
 
     def analyze(self) -> dict[str, ContractInfo]:
+        """Type-check the unit and build symbol information."""
         for contract in self.unit.contracts:
             if contract.name in self.contracts:
                 raise SemanticError(
@@ -860,6 +868,7 @@ class _Scope:
     locals: list[tuple[str, SolisType]] = field(default_factory=list)
 
     def declare(self, name: str, type_: SolisType, node: ast.Node) -> None:
+        """Bind ``name`` in the innermost scope."""
         if name in self._vars:
             raise SemanticError(f"variable {name!r} already declared",
                                 node.line, node.column)
@@ -872,6 +881,7 @@ class _Scope:
         self.locals.append((name, type_))
 
     def lookup(self, name: str) -> Optional[SolisType]:
+        """Resolve ``name`` through enclosing scopes (None if unbound)."""
         return self._vars.get(name)
 
 

@@ -37,13 +37,16 @@ class UIntType(SolisType):
 
     @property
     def abi_name(self) -> str:
+        """The type's name as it appears in ABI signatures."""
         return f"uint{self.bits}"
 
     @property
     def is_value(self) -> bool:
+        """True for single-slot value types."""
         return True
 
     def assignable_from(self, other: SolisType) -> bool:
+        """Whether a value of ``other``'s type can be assigned here."""
         return isinstance(other, UIntType) and other.bits <= self.bits
 
     def __str__(self) -> str:
@@ -52,13 +55,16 @@ class UIntType(SolisType):
 
 @dataclass(frozen=True, repr=False)
 class AddressType(SolisType):
+    """20-byte ``address`` type."""
     abi_name = "address"
 
     @property
     def is_value(self) -> bool:
+        """True for single-slot value types."""
         return True
 
     def assignable_from(self, other: SolisType) -> bool:
+        """Whether a value of ``other``'s type can be assigned here."""
         return isinstance(other, (AddressType, ContractType))
 
     def __str__(self) -> str:
@@ -67,10 +73,12 @@ class AddressType(SolisType):
 
 @dataclass(frozen=True, repr=False)
 class BoolType(SolisType):
+    """``bool`` type."""
     abi_name = "bool"
 
     @property
     def is_value(self) -> bool:
+        """True for single-slot value types."""
         return True
 
     def __str__(self) -> str:
@@ -85,10 +93,12 @@ class FixedBytesType(SolisType):
 
     @property
     def abi_name(self) -> str:
+        """The type's name as it appears in ABI signatures."""
         return f"bytes{self.size}"
 
     @property
     def is_value(self) -> bool:
+        """True for single-slot value types."""
         return True
 
     def __str__(self) -> str:
@@ -147,9 +157,11 @@ class ContractType(SolisType):
 
     @property
     def is_value(self) -> bool:
+        """True for single-slot value types."""
         return True
 
     def assignable_from(self, other: SolisType) -> bool:
+        """Whether a value of ``other``'s type can be assigned here."""
         return isinstance(other, (AddressType, ContractType))
 
     def __str__(self) -> str:

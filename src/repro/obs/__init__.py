@@ -1,0 +1,249 @@
+"""Unified observability: tracing, metrics and EVM gas profiling.
+
+One :class:`Telemetry` object bundles the three instruments the rest
+of the library reports into:
+
+* a span :class:`~repro.obs.trace.Tracer` (wall time + inclusive gas,
+  parent/child propagation, pluggable exporters);
+* a :class:`~repro.obs.metrics.MetricsRegistry` holding every counter,
+  gauge and histogram named in :mod:`repro.obs.names`;
+* an :class:`~repro.obs.gasprof.EvmGasProfiler` fed by the transaction
+  processor through the EVM's tracer seam.
+
+Telemetry is **off by default** and activated for a bounded scope::
+
+    from repro import obs
+    from repro.obs.exporters import JsonlExporter
+
+    with obs.telemetry(JsonlExporter("out.jsonl")) as telemetry:
+        run_scenario()
+    # spans streamed to out.jsonl; metrics snapshot appended on close
+
+Instrumentation sites call the module-level helpers (:func:`span`,
+:func:`inc`, :func:`observe`, ...) which no-op when nothing is active;
+the disabled cost is one ``is None`` check per site (quantified in
+``benchmarks/bench_observability_overhead.py``).  The tracer and
+registry are synchronous and single-threaded, like the simulator they
+observe.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.exceptions import ReproError
+from repro.obs import names
+from repro.obs.gasprof import EvmGasProfiler, TxGasCollector
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.trace import NOOP_SPAN, NoopSpan, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "EvmGasProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NoopSpan",
+    "ObsError",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "TxGasCollector",
+    "active",
+    "add_gas",
+    "begin_transaction",
+    "enabled",
+    "end_transaction",
+    "inc",
+    "names",
+    "observe",
+    "set_gauge",
+    "span",
+    "telemetry",
+]
+
+
+class ObsError(ReproError, RuntimeError):
+    """Raised for telemetry lifecycle misuse (double activation, ...)."""
+
+
+#: Fixed histogram bucket boundaries, part of the telemetry contract.
+BLOCK_TX_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+BLOCK_GAS_BUCKETS = (50_000, 100_000, 250_000, 500_000, 1_000_000,
+                     2_000_000, 4_000_000, 8_000_000)
+
+
+def _declare_instruments(registry: MetricsRegistry) -> None:
+    """Pre-declare every contract metric so lookups never miss."""
+    registry.counter(names.METRIC_CHAIN_TXS, help="mined transactions")
+    registry.counter(names.METRIC_CHAIN_BLOCKS, help="mined blocks")
+    registry.histogram(names.METRIC_CHAIN_BLOCK_TXS,
+                       buckets=BLOCK_TX_BUCKETS,
+                       help="transactions per mined block")
+    registry.histogram(names.METRIC_CHAIN_BLOCK_GAS,
+                       buckets=BLOCK_GAS_BUCKETS,
+                       help="gas used per mined block")
+    registry.counter(names.METRIC_CHAIN_FN_GAS,
+                     help="receipt gas per named contract function")
+    registry.gauge(names.METRIC_MEMPOOL_DEPTH,
+                   help="pending transactions after last add/pop")
+    registry.histogram(names.METRIC_MEMPOOL_BATCH_TXS,
+                       buckets=BLOCK_TX_BUCKETS,
+                       help="transactions taken per pop_batch")
+    registry.counter(names.METRIC_PROTOCOL_STAGE_GAS,
+                     help="GasLedger records per protocol stage")
+    registry.counter(names.METRIC_OFFCHAIN_GAS,
+                     help="gas-equivalents burned privately off-chain")
+    registry.counter(names.METRIC_ENGINE_SESSIONS,
+                     help="sessions driven to completion")
+    registry.counter(names.METRIC_ENGINE_DISPUTES,
+                     help="sessions settled through Dispute/Resolve")
+    registry.counter(names.METRIC_ENGINE_BLOCKS,
+                     help="blocks the engine scheduled")
+    registry.counter(names.METRIC_ENGINE_TXS,
+                     help="transactions the engine mined")
+    registry.counter(names.METRIC_ENGINE_ROUNDS,
+                     help="queue-mine-resume scheduler rounds")
+    registry.gauge(names.METRIC_ENGINE_WALL_SECONDS,
+                   help="wall-clock seconds of the last engine run")
+
+
+class Telemetry:
+    """One activatable bundle of tracer + registry + EVM profiler.
+
+    ``exporters`` receive spans as they finish and the final metrics
+    snapshot on :meth:`close`.  ``profile_evm=False`` skips opcode
+    profiling (the hot path) while keeping spans and metrics.
+    """
+
+    def __init__(self, *exporters: Any, profile_evm: bool = True) -> None:
+        self.exporters = tuple(exporters)
+        self.metrics = MetricsRegistry()
+        _declare_instruments(self.metrics)
+        self.tracer = Tracer(exporters=self.exporters)
+        self.profiler: Optional[EvmGasProfiler] = (
+            EvmGasProfiler(self.metrics) if profile_evm else None)
+        self._closed = False
+
+    def close(self) -> None:
+        """Send the final metrics snapshot and close every exporter."""
+        if self._closed:
+            return
+        self._closed = True
+        snapshot = self.metrics.snapshot()
+        for exporter in self.exporters:
+            on_metrics = getattr(exporter, "on_metrics", None)
+            if on_metrics is not None:
+                on_metrics(snapshot)
+            exporter.close()
+
+
+_ACTIVE: Optional[Telemetry] = None
+
+
+def active() -> Optional[Telemetry]:
+    """The currently activated :class:`Telemetry`, if any."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True while a :class:`Telemetry` is activated."""
+    return _ACTIVE is not None
+
+
+def activate(instance: Telemetry) -> Telemetry:
+    """Install ``instance`` as the process-wide telemetry sink."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise ObsError("telemetry is already active; deactivate() first")
+    _ACTIVE = instance
+    return instance
+
+
+def deactivate() -> None:
+    """Remove the active telemetry (no-op when none is active)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def telemetry(*exporters: Any,
+              profile_evm: bool = True) -> Iterator[Telemetry]:
+    """Activate a fresh :class:`Telemetry` for the ``with`` body."""
+    instance = activate(Telemetry(*exporters, profile_evm=profile_evm))
+    try:
+        yield instance
+    finally:
+        deactivate()
+        instance.close()
+
+
+# ---------------------------------------------------------------------------
+# Hot-path helpers: all no-ops while telemetry is inactive
+# ---------------------------------------------------------------------------
+
+def span(name: str, **labels: Any):
+    """Open a span on the active tracer (no-op context when off)."""
+    if _ACTIVE is None:
+        return NOOP_SPAN
+    return _ACTIVE.tracer.span(name, **labels)
+
+
+def add_gas(amount: int) -> None:
+    """Attribute gas inclusively to every open span."""
+    if _ACTIVE is not None:
+        _ACTIVE.tracer.add_gas(amount)
+
+
+def inc(name: str, amount: int | float = 1, **labels: Any) -> None:
+    """Increment a contract counter by name."""
+    if _ACTIVE is None:
+        return
+    instrument = _ACTIVE.metrics.get(name)
+    if instrument is None:
+        raise MetricsError(f"metric {name!r} is not declared")
+    instrument.inc(amount, **labels)
+
+
+def observe(name: str, value: int | float, **labels: Any) -> None:
+    """Record a contract histogram observation by name."""
+    if _ACTIVE is None:
+        return
+    instrument = _ACTIVE.metrics.get(name)
+    if instrument is None:
+        raise MetricsError(f"metric {name!r} is not declared")
+    instrument.observe(value, **labels)
+
+
+def set_gauge(name: str, value: int | float, **labels: Any) -> None:
+    """Set a contract gauge by name."""
+    if _ACTIVE is None:
+        return
+    instrument = _ACTIVE.metrics.get(name)
+    if instrument is None:
+        raise MetricsError(f"metric {name!r} is not declared")
+    instrument.set(value, **labels)
+
+
+def begin_transaction() -> Optional[TxGasCollector]:
+    """A per-transaction EVM gas collector, or None when off."""
+    if _ACTIVE is None or _ACTIVE.profiler is None:
+        return None
+    return _ACTIVE.profiler.begin_transaction()
+
+
+def end_transaction(collector: TxGasCollector, *, execution_gas: int,
+                    intrinsic: int, refund: int, gas_used: int) -> None:
+    """Settle a collector from :func:`begin_transaction`."""
+    if _ACTIVE is not None and _ACTIVE.profiler is not None:
+        _ACTIVE.profiler.finish_transaction(
+            collector, execution_gas=execution_gas, intrinsic=intrinsic,
+            refund=refund, gas_used=gas_used)

@@ -1,0 +1,101 @@
+"""Pluggable telemetry exporters: console, JSONL file, in-memory.
+
+Exporters receive each span *when it finishes* (children before their
+parents — rebuild trees through ``parent_id``) and, on
+:meth:`~repro.obs.Telemetry.close`, one final metrics snapshot.  The
+JSONL wire format — one JSON object per line, ``type`` either
+``"span"`` or ``"metrics"`` — is part of the telemetry contract
+documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, TextIO
+
+from repro.obs.trace import Span
+
+
+class InMemoryExporter:
+    """Buffers everything; the exporter tests and assertions use it."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.metrics: Optional[dict[str, Any]] = None
+
+    def on_span(self, span: Span) -> None:
+        """Keep a reference to the finished span."""
+        self.spans.append(span)
+
+    def on_metrics(self, snapshot: dict[str, Any]) -> None:
+        """Keep the final metrics snapshot."""
+        self.metrics = snapshot
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+    def span_names(self) -> set[str]:
+        """The distinct span names seen so far."""
+        return {span.name for span in self.spans}
+
+
+class JsonlExporter:
+    """Streams the wire format to a file, one JSON object per line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file: Optional[TextIO] = open(path, "w", encoding="utf-8")
+
+    def _write(self, payload: dict[str, Any]) -> None:
+        if self._file is None:
+            return
+        self._file.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def on_span(self, span: Span) -> None:
+        """Append one ``type="span"`` line."""
+        self._write(span.to_dict())
+
+    def on_metrics(self, snapshot: dict[str, Any]) -> None:
+        """Append the final ``type="metrics"`` line."""
+        self._write(snapshot)
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class ConsoleExporter:
+    """Prints one compact line per finished span (debug aid)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+
+    def on_span(self, span: Span) -> None:
+        """Print ``name duration gas labels`` for one span."""
+        labels = " ".join(
+            f"{key}={value}" for key, value in sorted(span.labels.items()))
+        gas = f" gas={span.gas:,}" if span.gas else ""
+        line = (f"[obs] {span.name} {span.duration * 1000:.2f}ms"
+                f"{gas}{' ' + labels if labels else ''}")
+        print(line, file=self._stream)
+
+    def on_metrics(self, snapshot: dict[str, Any]) -> None:
+        """Print a one-line summary of the snapshot size."""
+        print(f"[obs] metrics: {len(snapshot['instruments'])} instruments",
+              file=self._stream)
+
+    def close(self) -> None:
+        """Nothing to flush."""
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Parse a telemetry JSONL file back into a list of records."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,140 @@
+"""EVM opcode/gas profiling into the metrics registry.
+
+The transaction processor hands every *mined* transaction's execution
+to a :class:`TxGasCollector` through the EVM's ``on_step`` tracer seam
+(the same seam :mod:`repro.evm.tracer` uses), then settles the
+collected totals into the registry via :class:`EvmGasProfiler`.
+
+Accounting is exact by construction: the outer frame's opcode costs
+(call/create steps carry their children's net gas) plus the pseudo-ops
+``INTRINSIC`` (21000 + calldata), ``REFUND`` (negative; SSTORE-clear
+refunds actually applied) and ``UNATTRIBUTED`` (charges outside the
+step stream, e.g. top-level code-deposit gas) sum to
+``receipt.gas_used`` for every transaction — so the registry's
+per-opcode totals reconcile with the ``GasLedger`` to the gas unit.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+
+from repro.evm import opcodes
+from repro.evm.tracer import category_of
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+
+
+class TxGasCollector:
+    """Per-transaction opcode-gas aggregation (EVM tracer protocol).
+
+    Only outermost-frame steps are counted (``depth == 0``), which
+    makes the decomposition exclusive: a CALL/CREATE step's cost
+    already includes the child frame's net gas.
+    """
+
+    __slots__ = ("by_opcode", "op_counts", "total_gas")
+
+    def __init__(self) -> None:
+        self.by_opcode: TallyCounter = TallyCounter()
+        self.op_counts: TallyCounter = TallyCounter()
+        self.total_gas = 0
+
+    def on_step(self, pc: int, op: int, depth: int, gas_before: int,
+                gas_cost: int, stack_size: int) -> None:
+        """Record one executed instruction (outermost frame only)."""
+        if depth > 0:
+            return
+        opcode = opcodes.OPCODES.get(op)
+        mnemonic = opcode.mnemonic if opcode else f"0x{op:02x}"
+        self.by_opcode[mnemonic] += gas_cost
+        self.op_counts[mnemonic] += 1
+        self.total_gas += gas_cost
+
+
+#: mnemonic -> coarse category for the pseudo-ops.
+_PSEUDO_CATEGORY = {
+    names.PSEUDO_OP_INTRINSIC: "intrinsic",
+    names.PSEUDO_OP_REFUND: "refund",
+    names.PSEUDO_OP_UNATTRIBUTED: "unattributed",
+}
+
+_MNEMONIC_TO_BYTE = {
+    opcode.mnemonic: byte for byte, opcode in opcodes.OPCODES.items()
+}
+
+
+def _category(mnemonic: str) -> str:
+    pseudo = _PSEUDO_CATEGORY.get(mnemonic)
+    if pseudo is not None:
+        return pseudo
+    byte = _MNEMONIC_TO_BYTE.get(mnemonic)
+    return category_of(byte) if byte is not None else "arithmetic"
+
+
+class EvmGasProfiler:
+    """Settles per-transaction collections into registry counters."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._gas_by_opcode = registry.counter(
+            names.METRIC_EVM_GAS_BY_OPCODE,
+            help="gas per opcode over mined transactions "
+                 "(incl. INTRINSIC/REFUND/UNATTRIBUTED pseudo-ops)")
+        self._gas_by_category = registry.counter(
+            names.METRIC_EVM_GAS_BY_CATEGORY,
+            help="gas per coarse cost category over mined transactions")
+        self._ops = registry.counter(
+            names.METRIC_EVM_OPS,
+            help="executed instruction counts per opcode")
+        self._gas_total = registry.counter(
+            names.METRIC_EVM_GAS_TOTAL,
+            help="total receipt gas over profiled transactions")
+
+    def begin_transaction(self) -> TxGasCollector:
+        """A fresh collector to pass as the EVM tracer for one tx."""
+        return TxGasCollector()
+
+    def finish_transaction(self, collector: TxGasCollector, *,
+                           execution_gas: int, intrinsic: int,
+                           refund: int, gas_used: int) -> None:
+        """Fold one mined transaction's collection into the registry.
+
+        ``execution_gas`` is the EVM result's gas (outer frame),
+        ``refund`` the amount actually credited (post-cap), and
+        ``gas_used`` the receipt figure; the difference between
+        ``execution_gas`` and the traced step total is booked as
+        ``UNATTRIBUTED`` so the invariant
+        ``sum(by_opcode) == sum(gas_used)`` holds exactly.
+        """
+        for mnemonic, gas in collector.by_opcode.items():
+            self._gas_by_opcode.inc(gas, op=mnemonic)
+            self._gas_by_category.inc(gas, category=_category(mnemonic))
+        for mnemonic, count in collector.op_counts.items():
+            self._ops.inc(count, op=mnemonic)
+        if intrinsic:
+            self._gas_by_opcode.inc(intrinsic,
+                                    op=names.PSEUDO_OP_INTRINSIC)
+            self._gas_by_category.inc(intrinsic, category="intrinsic")
+        if refund:
+            self._gas_by_opcode.inc(-refund, op=names.PSEUDO_OP_REFUND)
+            self._gas_by_category.inc(-refund, category="refund")
+        unattributed = execution_gas - collector.total_gas
+        if unattributed:
+            self._gas_by_opcode.inc(unattributed,
+                                    op=names.PSEUDO_OP_UNATTRIBUTED)
+            self._gas_by_category.inc(unattributed,
+                                      category="unattributed")
+        self._gas_total.inc(gas_used)
+
+    def opcode_gas_total(self) -> int:
+        """Sum over every per-opcode series (== total receipt gas)."""
+        return self._gas_by_opcode.total()
+
+    def top_opcodes(self, count: int = 10) -> list[tuple[str, int]]:
+        """The ``count`` most expensive opcodes, descending by gas."""
+        series = [
+            (dict(key).get("op", "?"), gas)
+            for key, gas in self._gas_by_opcode.series().items()
+        ]
+        series.sort(key=lambda item: -item[1])
+        return series[:count]

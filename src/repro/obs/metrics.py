@@ -1,0 +1,251 @@
+"""Counters, gauges and fixed-bucket histograms behind one registry.
+
+The registry is the repository's single metric namespace: instruments
+are declared once (name, kind, help text, bucket boundaries) and
+looked up by name everywhere else, so the set of metric names in
+:mod:`repro.obs.names` *is* the set of metrics that can ever be
+emitted.  Label sets follow the Prometheus model — each distinct label
+combination is an independent series of the same instrument.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Optional
+
+from repro.exceptions import ReproError
+
+
+class MetricsError(ReproError, ValueError):
+    """Raised for metric redeclaration/kind conflicts and bad buckets."""
+
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically *recorded* sum per label set.
+
+    Unlike a Prometheus counter, negative increments are allowed: the
+    EVM profiler books gas refunds as a negative ``REFUND`` series so
+    the per-opcode decomposition sums exactly to receipt gas.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, int | float] = {}
+
+    def inc(self, amount: int | float = 1, **labels: Any) -> None:
+        """Add ``amount`` to the series selected by ``labels``."""
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> int | float:
+        """Current value of one series (0 if never incremented)."""
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> int | float:
+        """Sum over every label series."""
+        return sum(self._series.values())
+
+    def series(self) -> dict[LabelKey, int | float]:
+        """Snapshot of every (label set → value) pair."""
+        return dict(self._series)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Exporter wire form (labels flattened to dicts)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "series": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._series.items())
+            ],
+        }
+
+
+class Gauge:
+    """A last-write-wins value per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, int | float] = {}
+
+    def set(self, value: int | float, **labels: Any) -> None:
+        """Overwrite the series selected by ``labels``."""
+        self._series[_label_key(labels)] = value
+
+    def value(self, **labels: Any) -> int | float:
+        """Current value of one series (0 if never set)."""
+        return self._series.get(_label_key(labels), 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Exporter wire form (labels flattened to dicts)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "series": [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._series.items())
+            ],
+        }
+
+
+class Histogram:
+    """Fixed-boundary histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit +Inf bucket catches everything above the last bound.  An
+    observation equal to a bound lands in that bound's bucket
+    (``value <= bound``), which the bucketing tests pin down.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Iterable[int | float],
+                 help: str = "") -> None:
+        self.name = name
+        self.help = help
+        bounds = list(buckets)
+        if not bounds:
+            raise MetricsError(f"histogram {name!r} needs >= 1 bucket")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise MetricsError(
+                f"histogram {name!r} buckets must be strictly "
+                f"increasing: {bounds}"
+            )
+        self.bounds: tuple[int | float, ...] = tuple(bounds)
+        # counts has len(bounds) + 1 slots; the last is the +Inf bucket.
+        self._series: dict[LabelKey, dict[str, Any]] = {}
+
+    def _slot(self, labels: dict[str, Any]) -> dict[str, Any]:
+        key = _label_key(labels)
+        slot = self._series.get(key)
+        if slot is None:
+            slot = {"counts": [0] * (len(self.bounds) + 1),
+                    "sum": 0, "count": 0}
+            self._series[key] = slot
+        return slot
+
+    def observe(self, value: int | float, **labels: Any) -> None:
+        """Record one observation into the series for ``labels``."""
+        slot = self._slot(labels)
+        slot["counts"][bisect.bisect_left(self.bounds, value)] += 1
+        slot["sum"] += value
+        slot["count"] += 1
+
+    def count(self, **labels: Any) -> int:
+        """Observations recorded into one series."""
+        slot = self._series.get(_label_key(labels))
+        return slot["count"] if slot else 0
+
+    def sum(self, **labels: Any) -> int | float:
+        """Sum of observed values in one series."""
+        slot = self._series.get(_label_key(labels))
+        return slot["sum"] if slot else 0
+
+    def bucket_counts(self, **labels: Any) -> dict[str, int]:
+        """Non-cumulative per-bucket counts, keyed by upper bound."""
+        slot = self._series.get(_label_key(labels))
+        counts = slot["counts"] if slot else [0] * (len(self.bounds) + 1)
+        keys = [str(bound) for bound in self.bounds] + ["+Inf"]
+        return dict(zip(keys, counts))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Exporter wire form (per-series buckets, sum and count)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "buckets": list(self.bounds),
+            "series": [
+                {
+                    "labels": dict(key),
+                    "counts": list(slot["counts"]),
+                    "sum": slot["sum"],
+                    "count": slot["count"],
+                }
+                for key, slot in sorted(self._series.items())
+            ],
+        }
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Declare-once, look-up-anywhere home of every instrument."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._declare(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._declare(Gauge(name, help))
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[int | float]] = None,
+                  help: str = "") -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``buckets`` is required on first declaration and must match
+        (or be omitted) on later look-ups.
+        """
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise MetricsError(
+                    f"{name!r} is a {existing.kind}, not a histogram")
+            if buckets is not None and tuple(buckets) != existing.bounds:
+                raise MetricsError(
+                    f"histogram {name!r} redeclared with different "
+                    f"buckets")
+            return existing
+        if buckets is None:
+            raise MetricsError(
+                f"histogram {name!r} must declare buckets first")
+        return self._declare(Histogram(name, buckets, help))
+
+    def _declare(self, instrument: Instrument) -> Any:
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if type(existing) is not type(instrument):
+                raise MetricsError(
+                    f"{instrument.name!r} already declared as a "
+                    f"{existing.kind}, not a {instrument.kind}"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument called ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        """Every declared instrument name, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-able dict covering every instrument and series."""
+        return {
+            "type": "metrics",
+            "instruments": [
+                self._instruments[name].snapshot()
+                for name in sorted(self._instruments)
+            ],
+        }

@@ -1,0 +1,174 @@
+"""The telemetry contract: every span and metric name, in one place.
+
+``docs/observability.md`` documents each of these names; the docs CI
+job (``tools/check_docs.py``) fails when a name listed here is missing
+from that document, so the contract cannot silently drift.  Treat the
+values as API: renaming one is a breaking change for every dashboard,
+JSONL consumer, and benchmark that filters on it.
+
+Instrumentation sites must import the constants rather than repeating
+string literals — a typo then becomes an ``ImportError`` instead of a
+silently unexported event.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Span names
+# ---------------------------------------------------------------------------
+
+#: Root span emitted by ``repro trace`` around one whole scenario.
+SPAN_SCENARIO = "scenario.run"
+
+#: Stage 1 — classify, split, pad and compile both halves.
+SPAN_STAGE_SPLIT_GENERATE = "stage.split_generate"
+#: Stage 2a — deploy the on-chain half (sync and deferred variants).
+SPAN_STAGE_DEPLOY = "stage.deploy"
+#: Stage 2b — the Whisper signature exchange.
+SPAN_STAGE_SIGN = "stage.sign"
+#: §IV security-deposit escrow (optional, between sign and submit).
+SPAN_STAGE_DEPOSITS = "stage.deposits"
+#: Stage 3a — the representative submits the (claimed) result.
+SPAN_STAGE_SUBMIT = "stage.submit"
+#: Stage 3b — honest participants police the submitted result.
+SPAN_STAGE_CHALLENGE = "stage.challenge"
+#: Stage 3c — the challenge window closes and the proposal is applied.
+SPAN_STAGE_FINALIZE = "stage.finalize"
+#: Stage 4 — reveal the signed copy and force the true result.
+SPAN_STAGE_DISPUTE = "stage.dispute"
+
+#: One private local execution of the off-chain contract.
+SPAN_OFFCHAIN_EXECUTE = "offchain.execute"
+
+#: One whole :meth:`SessionEngine.run` fleet drive.
+SPAN_ENGINE_RUN = "engine.run"
+#: One queue-mine-resume round over the runnable sessions.
+SPAN_ENGINE_MINE_ROUND = "engine.mine_round"
+#: One driver-generator resumption (labelled with the session id).
+SPAN_ENGINE_SESSION_STEP = "engine.session_step"
+
+#: One state-changing contract transaction (web3-style ``transact``).
+SPAN_CHAIN_TX = "chain.tx"
+#: One contract deployment through the simulator facade.
+SPAN_CHAIN_DEPLOY = "chain.deploy"
+#: One read-only ``eth_call`` against a state copy.
+SPAN_CHAIN_CALL = "chain.call"
+#: One mined block (covers executing every packed transaction).
+SPAN_CHAIN_MINE_BLOCK = "chain.mine_block"
+
+ALL_SPANS: tuple[str, ...] = (
+    SPAN_SCENARIO,
+    SPAN_STAGE_SPLIT_GENERATE,
+    SPAN_STAGE_DEPLOY,
+    SPAN_STAGE_SIGN,
+    SPAN_STAGE_DEPOSITS,
+    SPAN_STAGE_SUBMIT,
+    SPAN_STAGE_CHALLENGE,
+    SPAN_STAGE_FINALIZE,
+    SPAN_STAGE_DISPUTE,
+    SPAN_OFFCHAIN_EXECUTE,
+    SPAN_ENGINE_RUN,
+    SPAN_ENGINE_MINE_ROUND,
+    SPAN_ENGINE_SESSION_STEP,
+    SPAN_CHAIN_TX,
+    SPAN_CHAIN_DEPLOY,
+    SPAN_CHAIN_CALL,
+    SPAN_CHAIN_MINE_BLOCK,
+)
+
+#: The four protocol stages every scenario trace must cover (the
+#: acceptance gate of the observability layer).
+PROTOCOL_STAGE_SPANS: tuple[str, ...] = (
+    SPAN_STAGE_SPLIT_GENERATE,
+    SPAN_STAGE_DEPLOY,
+    SPAN_STAGE_SIGN,
+    SPAN_STAGE_SUBMIT,
+    SPAN_STAGE_CHALLENGE,
+    SPAN_STAGE_FINALIZE,
+    SPAN_STAGE_DISPUTE,
+)
+
+# ---------------------------------------------------------------------------
+# Metric names
+# ---------------------------------------------------------------------------
+
+#: counter, label ``op`` — gas per opcode over every *mined* transaction,
+#: including the pseudo-ops ``INTRINSIC``, ``REFUND`` and
+#: ``UNATTRIBUTED``; the sum over all labels equals the sum of
+#: ``receipt.gas_used`` (and hence the ``GasLedger`` total when every
+#: mined transaction is ledger-recorded).
+METRIC_EVM_GAS_BY_OPCODE = "evm.gas.by_opcode"
+#: counter, label ``category`` — same gas, folded into the coarse
+#: tracer categories (storage/call/create/...).
+METRIC_EVM_GAS_BY_CATEGORY = "evm.gas.by_category"
+#: counter, label ``op`` — executed-instruction counts per opcode.
+METRIC_EVM_OPS = "evm.ops"
+#: counter — total ``receipt.gas_used`` over profiled transactions.
+METRIC_EVM_GAS_TOTAL = "evm.gas.total"
+
+#: counter — mined transactions.
+METRIC_CHAIN_TXS = "chain.txs"
+#: counter — mined blocks.
+METRIC_CHAIN_BLOCKS = "chain.blocks"
+#: histogram — transactions packed per mined block.
+METRIC_CHAIN_BLOCK_TXS = "chain.block.txs"
+#: histogram — gas used per mined block.
+METRIC_CHAIN_BLOCK_GAS = "chain.block.gas"
+#: counter, label ``fn`` — receipt gas attributed to named contract
+#: functions (ABI name on the sync path, ledger label on the engine
+#: path, ``(deploy)`` for contract creation).
+METRIC_CHAIN_FN_GAS = "chain.fn.gas"
+#: gauge — mempool depth after the last add/pop.
+METRIC_MEMPOOL_DEPTH = "mempool.depth"
+#: histogram — transactions taken per ``pop_batch`` call.
+METRIC_MEMPOOL_BATCH_TXS = "mempool.batch.txs"
+
+#: counter, label ``stage`` — every ``GasLedger`` record, keyed by the
+#: protocol stage it was recorded under.  Always equals
+#: ``GasLedger.total()`` summed over the ledgers that recorded while
+#: telemetry was active.
+METRIC_PROTOCOL_STAGE_GAS = "protocol.stage.gas"
+#: counter — gas-equivalents burned privately off-chain (Fig. 1's
+#: saved quantity); never part of any on-chain total.
+METRIC_OFFCHAIN_GAS = "offchain.gas_equivalent"
+
+#: counter — sessions a :class:`SessionEngine` drove to completion.
+METRIC_ENGINE_SESSIONS = "engine.sessions"
+#: counter — sessions that settled through Dispute/Resolve.
+METRIC_ENGINE_DISPUTES = "engine.disputes"
+#: counter — blocks the engine itself scheduled.
+METRIC_ENGINE_BLOCKS = "engine.blocks"
+#: counter — transactions the engine itself queued and mined.
+METRIC_ENGINE_TXS = "engine.txs"
+#: counter — queue-mine-resume rounds the scheduler ran.
+METRIC_ENGINE_ROUNDS = "engine.rounds"
+#: gauge — wall-clock seconds of the last ``SessionEngine.run``.
+METRIC_ENGINE_WALL_SECONDS = "engine.wall_seconds"
+
+ALL_METRICS: tuple[str, ...] = (
+    METRIC_EVM_GAS_BY_OPCODE,
+    METRIC_EVM_GAS_BY_CATEGORY,
+    METRIC_EVM_OPS,
+    METRIC_EVM_GAS_TOTAL,
+    METRIC_CHAIN_TXS,
+    METRIC_CHAIN_BLOCKS,
+    METRIC_CHAIN_BLOCK_TXS,
+    METRIC_CHAIN_BLOCK_GAS,
+    METRIC_CHAIN_FN_GAS,
+    METRIC_MEMPOOL_DEPTH,
+    METRIC_MEMPOOL_BATCH_TXS,
+    METRIC_PROTOCOL_STAGE_GAS,
+    METRIC_OFFCHAIN_GAS,
+    METRIC_ENGINE_SESSIONS,
+    METRIC_ENGINE_DISPUTES,
+    METRIC_ENGINE_BLOCKS,
+    METRIC_ENGINE_TXS,
+    METRIC_ENGINE_ROUNDS,
+    METRIC_ENGINE_WALL_SECONDS,
+)
+
+#: Pseudo-opcodes folded into :data:`METRIC_EVM_GAS_BY_OPCODE` so the
+#: per-opcode decomposition sums exactly to receipt gas.
+PSEUDO_OP_INTRINSIC = "INTRINSIC"
+PSEUDO_OP_REFUND = "REFUND"
+PSEUDO_OP_UNATTRIBUTED = "UNATTRIBUTED"

@@ -1,0 +1,187 @@
+"""Span-based tracing with parent/child context propagation.
+
+A :class:`Span` covers one timed operation; spans opened while another
+span is active become its children, forming the execution tree a
+scenario trace renders (``scenario.run`` → ``stage.deploy`` →
+``chain.deploy`` → ``chain.mine_block`` …).  Besides wall time, every
+span carries *inclusive* gas attribution: :meth:`Tracer.add_gas`
+credits the full stack of open spans, so a stage span's gas is the sum
+of every transaction mined underneath it and the root span's gas is
+the run's total.
+
+The tracer is deliberately single-threaded (a plain stack, no
+contextvars): the simulator, the engine scheduler and the protocol are
+all synchronous, and the cheap stack keeps the disabled/enabled
+overhead measurable and low (see
+``benchmarks/bench_observability_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class Span:
+    """One timed, gas-attributed operation in the execution tree."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int] = None
+    labels: dict[str, Any] = field(default_factory=dict)
+    started_at: float = 0.0       # wall clock, time.time()
+    start: float = 0.0            # monotonic, perf_counter()
+    end: Optional[float] = None   # monotonic; None while open
+    gas: int = 0                  # inclusive on-chain gas
+    status: str = "ok"            # "ok" | "error"
+
+    @property
+    def duration(self) -> float:
+        """Wall-time the span covered, in seconds (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def add_gas(self, amount: int) -> None:
+        """Attribute ``amount`` gas units to this span."""
+        self.gas += amount
+
+    def set_label(self, **labels: Any) -> None:
+        """Attach or overwrite labels after the span was opened."""
+        self.labels.update(labels)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The exporter wire format (see docs/observability.md)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "labels": dict(self.labels),
+            "started_at": self.started_at,
+            "duration_s": self.duration,
+            "gas": self.gas,
+            "status": self.status,
+        }
+
+
+class _SpanContext:
+    """Context manager that closes a span and hands it to exporters."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.span.status = "error"
+        self._tracer._finish(self.span)
+        return False
+
+
+class NoopSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled.
+
+    Implements the same surface as :class:`Span`-in-a-context so
+    instrumentation sites never need an ``if enabled`` branch.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add_gas(self, amount: int) -> None:
+        """Discard gas attribution."""
+
+    def set_label(self, **labels: Any) -> None:
+        """Discard labels."""
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class Tracer:
+    """Opens spans, tracks the active stack, feeds finished spans out.
+
+    ``exporters`` is any iterable of objects with an
+    ``on_span(span: Span)`` method (see :mod:`repro.obs.exporters`);
+    spans are exported when they *finish*, so children precede their
+    parents in the output stream — consumers rebuild the tree through
+    ``parent_id``.
+    """
+
+    def __init__(self, exporters: tuple = ()) -> None:
+        self.exporters = tuple(exporters)
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **labels: Any) -> _SpanContext:
+        """Open a child span of the currently active span."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            labels=labels,
+            started_at=time.time(),
+            start=time.perf_counter(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        # Close any orphans a generator abandoned between resumptions.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.finished.append(span)
+        for exporter in self.exporters:
+            exporter.on_span(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def add_gas(self, amount: int) -> None:
+        """Attribute gas inclusively to every open span."""
+        for span in self._stack:
+            span.gas += amount
+
+    # -- conveniences for tests and the CLI renderer -------------------
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All finished spans with the given name, in finish order."""
+        return [span for span in self.finished if span.name == name]
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Yield (depth, span) pairs in tree order (parents first)."""
+        children: dict[Optional[int], list[Span]] = {}
+        for span in self.finished:
+            children.setdefault(span.parent_id, []).append(span)
+        known = {span.span_id for span in self.finished}
+
+        def visit(parent: Optional[int], depth: int) -> Iterator:
+            """Emit one subtree depth-first, children by start time."""
+            for span in sorted(children.get(parent, []),
+                               key=lambda s: s.start):
+                yield depth, span
+                yield from visit(span.span_id, depth + 1)
+
+        roots = [pid for pid in children if pid is None or pid not in known]
+        for root in sorted(set(roots), key=lambda p: (p is not None, p)):
+            yield from visit(root, 0)

@@ -34,10 +34,12 @@ class Envelope:
 
     @property
     def expires_at(self) -> int:
+        """Absolute expiry timestamp of this envelope."""
         return self.posted_at + self.ttl
 
     @property
     def envelope_hash(self) -> bytes:
+        """keccak256 over the canonical envelope encoding."""
         return keccak256(
             self.topic.encode("utf-8") + b"\x00" + self.payload
         )

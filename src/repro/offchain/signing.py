@@ -33,6 +33,7 @@ class SignedCopy:
 
     @property
     def bytecode_hash(self) -> bytes:
+        """keccak256 of init code plus constructor arguments."""
         return keccak256(self.bytecode)
 
     def verify(self, participants: list[Address]) -> bool:
@@ -78,6 +79,7 @@ class SignedCopy:
 
     @classmethod
     def from_wire(cls, raw: bytes) -> "SignedCopy":
+        """Rebuild a signature record from its wire tuple."""
         try:
             decoded = rlp.decode(raw)
             bytecode, sig_blobs = decoded

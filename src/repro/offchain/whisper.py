@@ -45,6 +45,7 @@ class WhisperBus:
 
     @property
     def now(self) -> int:
+        """The transport's current clock reading."""
         return self._clock
 
     def post(self, topic: str, payload: bytes, sender: str = "",

@@ -32,8 +32,18 @@ def test_ledger_record_and_totals():
 
 def test_ledger_record_raw():
     ledger = GasLedger()
-    ledger.record_raw("offchain", "local run", 9999)
+    entry = ledger.record_raw("offchain", "local run", 9999)
     assert ledger.total("offchain") == 9999
+    assert entry.block_number == -1  # unknown unless the caller says
+
+    known = ledger.record_raw("offchain", "mined run", 1, block_number=7)
+    assert known.block_number == 7
+
+
+def test_ledger_record_keeps_block_number():
+    ledger = GasLedger()
+    entry = ledger.record("deploy", "onchain", _receipt(100))
+    assert entry.block_number == 1
 
 
 def test_privacy_all_on_chain_exposes_everything():

@@ -1,0 +1,12 @@
+"""Ensure no telemetry instance leaks across observability tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    obs.deactivate()
+    yield
+    obs.deactivate()

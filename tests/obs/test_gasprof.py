@@ -1,0 +1,84 @@
+"""EVM gas profiler: exact receipt reconciliation by construction."""
+
+from repro.obs import names
+from repro.obs.gasprof import EvmGasProfiler, TxGasCollector
+from repro.obs.metrics import MetricsRegistry
+
+
+def _profiler():
+    return EvmGasProfiler(MetricsRegistry())
+
+
+def test_collector_counts_only_outermost_frame():
+    collector = TxGasCollector()
+    collector.on_step(0, 0x01, 0, 100, 3, 0)    # ADD at depth 0
+    collector.on_step(1, 0x01, 1, 100, 3, 0)    # child frame: ignored
+    collector.on_step(2, 0x55, 0, 100, 20_000, 2)  # SSTORE
+    assert collector.by_opcode == {"ADD": 3, "SSTORE": 20_000}
+    assert collector.op_counts == {"ADD": 1, "SSTORE": 1}
+    assert collector.total_gas == 20_003
+
+
+def test_collector_unknown_opcode_uses_hex_mnemonic():
+    collector = TxGasCollector()
+    collector.on_step(0, 0xFE, 0, 100, 0, 0)
+    assert list(collector.by_opcode) == ["0xfe"] or \
+        list(collector.by_opcode)[0].isupper()
+
+
+def test_finish_transaction_books_pseudo_ops_to_exact_total():
+    profiler = _profiler()
+    collector = profiler.begin_transaction()
+    collector.on_step(0, 0x55, 0, 100, 20_000, 2)  # SSTORE
+
+    # receipt: intrinsic 21_000 + execution 25_000 - refund 4_000
+    profiler.finish_transaction(
+        collector, execution_gas=25_000, intrinsic=21_000,
+        refund=4_000, gas_used=42_000)
+
+    counter = profiler.registry.get(names.METRIC_EVM_GAS_BY_OPCODE)
+    assert counter.value(op="SSTORE") == 20_000
+    assert counter.value(op=names.PSEUDO_OP_INTRINSIC) == 21_000
+    assert counter.value(op=names.PSEUDO_OP_REFUND) == -4_000
+    # 25_000 executed but only 20_000 traced -> 5_000 unattributed.
+    assert counter.value(op=names.PSEUDO_OP_UNATTRIBUTED) == 5_000
+    assert profiler.opcode_gas_total() == 42_000
+    total = profiler.registry.get(names.METRIC_EVM_GAS_TOTAL)
+    assert total.total() == 42_000
+
+
+def test_finish_transaction_accumulates_across_transactions():
+    profiler = _profiler()
+    for _ in range(3):
+        collector = profiler.begin_transaction()
+        collector.on_step(0, 0x01, 0, 100, 3, 0)
+        profiler.finish_transaction(
+            collector, execution_gas=3, intrinsic=21_000,
+            refund=0, gas_used=21_003)
+    assert profiler.opcode_gas_total() == 3 * 21_003
+
+
+def test_categories_cover_pseudo_ops():
+    profiler = _profiler()
+    collector = profiler.begin_transaction()
+    collector.on_step(0, 0x55, 0, 100, 20_000, 2)
+    profiler.finish_transaction(
+        collector, execution_gas=21_000, intrinsic=21_000,
+        refund=100, gas_used=41_900)
+    by_category = profiler.registry.get(names.METRIC_EVM_GAS_BY_CATEGORY)
+    assert by_category.value(category="intrinsic") == 21_000
+    assert by_category.value(category="refund") == -100
+    assert by_category.value(category="unattributed") == 1_000
+    assert by_category.total() == 41_900
+
+
+def test_top_opcodes_sorted_descending():
+    profiler = _profiler()
+    collector = profiler.begin_transaction()
+    collector.on_step(0, 0x01, 0, 100, 3, 0)       # ADD
+    collector.on_step(1, 0x55, 0, 100, 20_000, 2)  # SSTORE
+    profiler.finish_transaction(
+        collector, execution_gas=20_003, intrinsic=0,
+        refund=0, gas_used=20_003)
+    top = profiler.top_opcodes(1)
+    assert top == [("SSTORE", 20_000)]

@@ -1,0 +1,151 @@
+"""Registry semantics and histogram bucketing edge cases."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+def test_counter_labelled_series_are_independent():
+    counter = Counter("chain.fn.gas")
+    counter.inc(100, fn="deposit")
+    counter.inc(50, fn="deposit")
+    counter.inc(7, fn="submitResult")
+    assert counter.value(fn="deposit") == 150
+    assert counter.value(fn="submitResult") == 7
+    assert counter.value(fn="missing") == 0
+    assert counter.total() == 157
+
+
+def test_counter_label_order_does_not_matter():
+    counter = Counter("c")
+    counter.inc(1, a=1, b=2)
+    counter.inc(1, b=2, a=1)
+    assert counter.value(a=1, b=2) == 2
+
+
+def test_counter_allows_negative_increments():
+    # The EVM profiler books refunds as a negative REFUND series.
+    counter = Counter("evm.gas.by_opcode")
+    counter.inc(1_000, op="SSTORE")
+    counter.inc(-300, op="REFUND")
+    assert counter.total() == 700
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("mempool.depth")
+    gauge.set(5)
+    gauge.set(2)
+    assert gauge.value() == 2
+
+
+# -- histogram bucketing --------------------------------------------------
+
+def test_histogram_value_on_boundary_lands_in_that_bucket():
+    # Prometheus `le` semantics: observe(4) belongs to bucket "4".
+    hist = Histogram("h", buckets=(1, 2, 4, 8))
+    hist.observe(4)
+    assert hist.bucket_counts() == {
+        "1": 0, "2": 0, "4": 1, "8": 0, "+Inf": 0}
+
+
+def test_histogram_just_above_boundary_spills_to_next():
+    hist = Histogram("h", buckets=(1, 2, 4, 8))
+    hist.observe(4.01)
+    assert hist.bucket_counts()["8"] == 1
+
+
+def test_histogram_below_first_bound_lands_in_first_bucket():
+    hist = Histogram("h", buckets=(10, 20))
+    hist.observe(0)
+    hist.observe(-5)
+    assert hist.bucket_counts()["10"] == 2
+
+
+def test_histogram_above_last_bound_lands_in_inf():
+    hist = Histogram("h", buckets=(1, 2))
+    hist.observe(3)
+    hist.observe(10_000)
+    assert hist.bucket_counts()["+Inf"] == 2
+
+
+def test_histogram_sum_and_count():
+    hist = Histogram("h", buckets=(10,))
+    hist.observe(3)
+    hist.observe(4)
+    assert hist.count() == 2
+    assert hist.sum() == 7
+    assert hist.count(label="missing") == 0
+    assert hist.sum(label="missing") == 0
+
+
+def test_histogram_labelled_series():
+    hist = Histogram("h", buckets=(5,))
+    hist.observe(1, mode="batch")
+    hist.observe(100, mode="per-tx")
+    assert hist.bucket_counts(mode="batch") == {"5": 1, "+Inf": 0}
+    assert hist.bucket_counts(mode="per-tx") == {"5": 0, "+Inf": 1}
+
+
+def test_histogram_rejects_empty_buckets():
+    with pytest.raises(MetricsError):
+        Histogram("h", buckets=())
+
+
+def test_histogram_rejects_non_increasing_buckets():
+    with pytest.raises(MetricsError):
+        Histogram("h", buckets=(1, 1, 2))
+    with pytest.raises(MetricsError):
+        Histogram("h", buckets=(5, 3))
+
+
+# -- registry -------------------------------------------------------------
+
+def test_registry_declare_once_get_or_create():
+    registry = MetricsRegistry()
+    first = registry.counter("c", help="x")
+    again = registry.counter("c")
+    assert first is again
+    assert registry.get("c") is first
+    assert registry.get("missing") is None
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("name")
+    with pytest.raises(MetricsError):
+        registry.gauge("name")
+    with pytest.raises(MetricsError):
+        registry.histogram("name", buckets=(1,))
+
+
+def test_registry_histogram_needs_buckets_first():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricsError):
+        registry.histogram("h")
+    hist = registry.histogram("h", buckets=(1, 2))
+    assert registry.histogram("h") is hist
+    assert registry.histogram("h", buckets=(1, 2)) is hist
+    with pytest.raises(MetricsError):
+        registry.histogram("h", buckets=(1, 2, 3))
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2, op="ADD")
+    registry.gauge("a").set(1)
+    registry.histogram("c", buckets=(10,)).observe(3)
+    snapshot = registry.snapshot()
+    assert snapshot["type"] == "metrics"
+    names = [inst["name"] for inst in snapshot["instruments"]]
+    assert names == ["a", "b", "c"]  # sorted
+    by_name = {inst["name"]: inst for inst in snapshot["instruments"]}
+    assert by_name["b"]["series"] == [
+        {"labels": {"op": "ADD"}, "value": 2}]
+    assert by_name["c"]["buckets"] == [10]
+    assert by_name["c"]["series"][0]["counts"] == [1, 0]

@@ -1,0 +1,72 @@
+"""Telemetry lifecycle and the module-level no-op helpers."""
+
+import pytest
+
+from repro import obs
+from repro.obs import ObsError, Telemetry
+from repro.obs.exporters import InMemoryExporter
+from repro.obs.metrics import MetricsError
+
+
+def test_disabled_helpers_are_noops():
+    assert not obs.enabled()
+    assert obs.active() is None
+    with obs.span("anything", label=1) as span:
+        span.add_gas(5)
+    obs.add_gas(10)
+    obs.inc(obs.names.METRIC_CHAIN_TXS)
+    obs.observe(obs.names.METRIC_CHAIN_BLOCK_TXS, 3)
+    obs.set_gauge(obs.names.METRIC_MEMPOOL_DEPTH, 1)
+    assert obs.begin_transaction() is None
+
+
+def test_telemetry_context_activates_and_deactivates():
+    exporter = InMemoryExporter()
+    with obs.telemetry(exporter) as telemetry:
+        assert obs.enabled()
+        assert obs.active() is telemetry
+        with obs.span("chain.tx", fn="deposit"):
+            obs.add_gas(100)
+    assert not obs.enabled()
+    assert exporter.span_names() == {"chain.tx"}
+    assert exporter.spans[0].gas == 100
+    # close() delivered the final metrics snapshot.
+    assert exporter.metrics is not None
+    assert exporter.metrics["type"] == "metrics"
+
+
+def test_double_activation_raises():
+    with obs.telemetry():
+        with pytest.raises(ObsError):
+            obs.activate(Telemetry())
+
+
+def test_contract_metrics_are_predeclared():
+    with obs.telemetry() as telemetry:
+        for name in obs.names.ALL_METRICS:
+            assert telemetry.metrics.get(name) is not None, name
+
+
+def test_undeclared_metric_name_raises_while_active():
+    with obs.telemetry():
+        with pytest.raises(MetricsError):
+            obs.inc("not.a.contract.metric")
+        with pytest.raises(MetricsError):
+            obs.observe("not.a.contract.metric", 1)
+        with pytest.raises(MetricsError):
+            obs.set_gauge("not.a.contract.metric", 1)
+
+
+def test_profile_evm_false_skips_profiler():
+    with obs.telemetry(profile_evm=False) as telemetry:
+        assert telemetry.profiler is None
+        assert obs.begin_transaction() is None
+
+
+def test_close_is_idempotent():
+    exporter = InMemoryExporter()
+    telemetry = obs.activate(Telemetry(exporter))
+    obs.deactivate()
+    telemetry.close()
+    telemetry.close()
+    assert exporter.metrics is not None

@@ -1,0 +1,90 @@
+"""Telemetry must observe, never perturb.
+
+The regression gate: the Table II dispute-gas numbers are
+byte-identical whether telemetry is enabled or disabled, and the
+profiler's per-opcode totals reconcile exactly with the ``GasLedger``
+for a whole scenario run.
+"""
+
+import pytest
+
+from repro import obs
+from repro.apps.betting import deploy_betting, make_betting_protocol
+from repro.chain import EthereumSimulator
+from repro.cli import _run_scenario
+from repro.core import Participant
+from repro.obs.exporters import InMemoryExporter
+
+
+def _measure_dispute():
+    """The ``bench_table2_dispute_gas`` scenario, verbatim."""
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(
+        sim, alice, bob, seed=42, rounds=1, challenge_period=0)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+    outcome = protocol.dispute(bob).value
+    return protocol, outcome
+
+
+def test_table2_numbers_identical_with_and_without_telemetry():
+    protocol_off, outcome_off = _measure_dispute()
+    with obs.telemetry(InMemoryExporter()):
+        protocol_on, outcome_on = _measure_dispute()
+
+    assert (outcome_on.deploy_receipt.gas_used
+            == outcome_off.deploy_receipt.gas_used)
+    assert (outcome_on.resolve_receipt.gas_used
+            == outcome_off.resolve_receipt.gas_used)
+    assert outcome_on.total_gas == outcome_off.total_gas
+    # The whole per-stage gas ledger, not just the two headline rows.
+    assert protocol_on.ledger.fingerprint() \
+        == protocol_off.ledger.fingerprint()
+
+
+@pytest.mark.parametrize("dispute", [False, True])
+def test_opcode_gas_reconciles_with_ledger(dispute):
+    with obs.telemetry(InMemoryExporter()) as telemetry:
+        protocol, _ = _run_scenario("betting", dispute)
+        assert telemetry.profiler.opcode_gas_total() \
+            == protocol.ledger.total()
+        # protocol.stage.gas is the same total keyed by stage.
+        stage_gas = telemetry.metrics.get(
+            obs.names.METRIC_PROTOCOL_STAGE_GAS)
+        assert stage_gas.total() == protocol.ledger.total()
+        # ... and so is the profiler's receipt-side total.
+        total = telemetry.metrics.get(obs.names.METRIC_EVM_GAS_TOTAL)
+        assert total.total() == protocol.ledger.total()
+
+
+def test_scenario_trace_covers_all_protocol_stage_spans():
+    exporter = InMemoryExporter()
+    with obs.telemetry(exporter):
+        _run_scenario("betting", dispute=False)
+        _run_scenario("betting", dispute=True)
+    missing = set(obs.names.PROTOCOL_STAGE_SPANS) - exporter.span_names()
+    assert not missing, f"stage spans never emitted: {sorted(missing)}"
+
+
+def test_emitted_names_stay_inside_the_contract():
+    exporter = InMemoryExporter()
+    with obs.telemetry(exporter) as telemetry:
+        _run_scenario("betting", dispute=True)
+        registry_names = set(telemetry.metrics.names())
+    assert exporter.span_names() <= set(obs.names.ALL_SPANS)
+    assert registry_names == set(obs.names.ALL_METRICS)
+
+
+def test_scenario_results_identical_with_and_without_telemetry():
+    protocol_off, challenge_off = _run_scenario("betting", dispute=False)
+    with obs.telemetry(InMemoryExporter()):
+        protocol_on, challenge_on = _run_scenario("betting", dispute=False)
+    assert protocol_on.ledger.fingerprint() \
+        == protocol_off.ledger.fingerprint()
+    assert challenge_on.disputed == challenge_off.disputed

@@ -1,0 +1,149 @@
+"""Span nesting, gas attribution and exporter round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    ConsoleExporter,
+    InMemoryExporter,
+    JsonlExporter,
+    read_jsonl,
+)
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+def test_span_nesting_sets_parent_ids():
+    tracer = Tracer()
+    with tracer.span("scenario.run") as root:
+        with tracer.span("stage.deploy") as deploy:
+            with tracer.span("chain.tx") as tx:
+                pass
+    assert root.parent_id is None
+    assert deploy.parent_id == root.span_id
+    assert tx.parent_id == deploy.span_id
+
+
+def test_children_export_before_parents():
+    exporter = InMemoryExporter()
+    tracer = Tracer(exporters=(exporter,))
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    assert [span.name for span in exporter.spans] == ["inner", "outer"]
+
+
+def test_walk_rebuilds_tree_order():
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            with tracer.span("leaf"):
+                pass
+    assert [(depth, span.name) for depth, span in tracer.walk()] == [
+        (0, "root"), (1, "first"), (1, "second"), (2, "leaf"),
+    ]
+
+
+def test_add_gas_is_inclusive_over_open_spans():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("stage") as stage:
+            tracer.add_gas(100)
+        with tracer.span("other") as other:
+            pass
+        tracer.add_gas(5)
+    assert root.gas == 105
+    assert stage.gas == 100
+    assert other.gas == 0
+
+
+def test_exception_marks_span_error_and_closes_it():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom") as span:
+            raise RuntimeError("x")
+    assert span.status == "error"
+    assert span.end is not None
+    assert tracer.current is None
+
+
+def test_abandoned_children_are_popped_on_parent_finish():
+    # A generator can abandon an open child span; finishing the parent
+    # must not corrupt the stack.
+    tracer = Tracer()
+    parent_ctx = tracer.span("parent")
+    parent = parent_ctx.__enter__()
+    tracer.span("orphan").__enter__()  # never exited
+    parent_ctx.__exit__(None, None, None)
+    assert tracer.current is None
+    assert [s.name for s in tracer.finished] == [parent.name]
+
+
+def test_labels_and_set_label():
+    tracer = Tracer()
+    with tracer.span("s", session=3) as span:
+        span.set_label(txs=7)
+    assert span.labels == {"session": 3, "txs": 7}
+
+
+def test_span_duration_zero_while_open():
+    tracer = Tracer()
+    with tracer.span("s") as span:
+        assert span.duration == 0.0
+    assert span.duration >= 0.0
+
+
+def test_spans_named():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    with tracer.span("a"):
+        pass
+    assert len(tracer.spans_named("a")) == 2
+
+
+def test_noop_span_surface():
+    with NOOP_SPAN as span:
+        span.add_gas(10)
+        span.set_label(x=1)
+    assert span is NOOP_SPAN
+
+
+def test_jsonl_exporter_round_trip(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    exporter = JsonlExporter(path)
+    tracer = Tracer(exporters=(exporter,))
+    with tracer.span("root", scenario="betting"):
+        with tracer.span("child"):
+            tracer.add_gas(42)
+    exporter.on_metrics({"type": "metrics", "instruments": []})
+    exporter.close()
+
+    records = read_jsonl(path)
+    assert [r["type"] for r in records] == ["span", "span", "metrics"]
+    child, root = records[0], records[1]
+    assert child["name"] == "child"
+    assert child["parent_id"] == root["span_id"]
+    assert child["gas"] == 42
+    assert root["labels"] == {"scenario": "betting"}
+    assert root["status"] == "ok"
+    # Wire format is valid JSON per line, nothing else.
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            json.loads(line)
+
+
+def test_console_exporter_smoke(capsys):
+    exporter = ConsoleExporter()
+    tracer = Tracer(exporters=(exporter,))
+    with tracer.span("chain.tx", fn="deposit"):
+        tracer.add_gas(21_000)
+    exporter.on_metrics({"type": "metrics", "instruments": []})
+    out = capsys.readouterr().out
+    assert "chain.tx" in out
+    assert "gas=21,000" in out
+    assert "fn=deposit" in out

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Documentation gate for CI (no third-party dependencies).
+
+Three checks, all fatal:
+
+1. **Markdown links** — every intra-repo link in every tracked ``*.md``
+   file must resolve to an existing file (external ``http(s)``/
+   ``mailto`` links and pure ``#anchors`` are skipped).
+2. **Telemetry contract** — every span name, metric name and pseudo-op
+   declared in ``repro.obs.names`` must appear verbatim in
+   ``docs/observability.md`` (the names are API; the doc is the
+   contract).
+3. **Docstrings** — the pydocstyle ``D1`` subset (D100–D104) over
+   ``src/repro``: every public module, package, class, function and
+   method needs a docstring.  Magic methods (D105) and ``__init__``
+   (D107) are exempt, mirroring the ruff configuration in
+   ``pyproject.toml``.
+
+Run from the repository root::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".venv", "node_modules"}
+
+
+def _markdown_files() -> list[Path]:
+    return sorted(
+        path for path in REPO.rglob("*.md")
+        if not _SKIP_DIRS & set(part for part in path.parts)
+    )
+
+
+def _strip_code_fences(text: str) -> str:
+    """Drop fenced code blocks (quoted material is not a live link)."""
+    kept, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            kept.append(line)
+    return "\n".join(kept)
+
+
+def check_markdown_links() -> list[str]:
+    """Every relative markdown link must point at an existing file."""
+    errors = []
+    for md in _markdown_files():
+        text = _strip_code_fences(md.read_text(encoding="utf-8"))
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (md.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def check_telemetry_contract() -> list[str]:
+    """docs/observability.md must name every contract span/metric."""
+    sys.path.insert(0, str(SRC))
+    from repro.obs import names  # noqa: E402 (path set up above)
+
+    doc_path = REPO / "docs" / "observability.md"
+    if not doc_path.exists():
+        return ["docs/observability.md is missing"]
+    doc = doc_path.read_text(encoding="utf-8")
+    required = (
+        list(names.ALL_SPANS)
+        + list(names.ALL_METRICS)
+        + [names.PSEUDO_OP_INTRINSIC, names.PSEUDO_OP_REFUND,
+           names.PSEUDO_OP_UNATTRIBUTED]
+    )
+    return [
+        f"docs/observability.md: contract name never mentioned: {name}"
+        for name in required if name not in doc
+    ]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_docstrings(path: Path, tree: ast.Module) -> list[str]:
+    where = path.relative_to(REPO)
+    errors = []
+    if ast.get_docstring(tree) is None:
+        errors.append(f"{where}:1: D100 missing module docstring")
+
+    def visit(node: ast.AST, inside_class: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name) and \
+                        ast.get_docstring(child) is None:
+                    errors.append(
+                        f"{where}:{child.lineno}: D101 missing "
+                        f"docstring in class {child.name}")
+                visit(child, inside_class=True)
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                dunder = (child.name.startswith("__")
+                          and child.name.endswith("__"))
+                if _is_public(child.name) and not dunder and \
+                        ast.get_docstring(child) is None:
+                    code = "D102" if inside_class else "D103"
+                    kind = "method" if inside_class else "function"
+                    errors.append(
+                        f"{where}:{child.lineno}: {code} missing "
+                        f"docstring in {kind} {child.name}")
+                visit(child, inside_class=False)
+
+    visit(tree, inside_class=False)
+    return errors
+
+
+def check_docstrings() -> list[str]:
+    """Enforce the D1 subset over every module under src/repro."""
+    errors = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+        errors.extend(_missing_docstrings(path, tree))
+    return errors
+
+
+def main() -> int:
+    """Run all three checks; non-zero exit when anything fails."""
+    failures = []
+    for title, check in [
+        ("markdown links", check_markdown_links),
+        ("telemetry contract", check_telemetry_contract),
+        ("docstrings (D1)", check_docstrings),
+    ]:
+        errors = check(
+        )
+        status = "ok" if not errors else f"{len(errors)} problem(s)"
+        print(f"check {title:<24}: {status}")
+        failures.extend(errors)
+    if failures:
+        print()
+        for error in failures:
+            print(f"  {error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
