@@ -205,11 +205,18 @@ class WorldState:
         return keccak256(rlp.encode(items))
 
     def copy(self) -> "WorldState":
-        """Deep copy (used for read-only eth_call-style execution)."""
+        """Deep copy (used for read-only eth_call-style execution).
+
+        The copy starts with an *empty* undo journal: journal entries
+        describe mutations made to the parent, so carrying them over
+        would let ``revert_to`` on the copy walk undo records for
+        changes the copy never made.
+        """
         clone = WorldState()
         clone._accounts = {
             raw: account.copy() for raw, account in self._accounts.items()
         }
         clone._digests = dict(self._digests)
         clone._code_hashes = dict(self._code_hashes)
+        clone._journal.clear()
         return clone

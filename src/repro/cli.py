@@ -237,6 +237,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print("top opcodes by gas:")
         for mnemonic, gas in profiler.top_opcodes(10):
             print(f"  {mnemonic:<14} {gas:>12,}")
+        if args.top_slow:
+            print("top opcodes by wall time:")
+            for mnemonic, seconds in profiler.top_slow(10):
+                print(f"  {mnemonic:<14} {seconds * 1000:>10.3f}ms")
+            print("wall time by opcode category:")
+            for category, seconds in profiler.time_by_category():
+                print(f"  {category:<14} {seconds * 1000:>10.3f}ms")
         opcode_total = profiler.opcode_gas_total()
         ledger_total = protocol.ledger.total()
         print(f"opcode gas total : {opcode_total:,}")
@@ -366,6 +373,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("app", choices=["betting", "tender", "escrow"])
     p_trace.add_argument("--dispute", action="store_true",
                          help="make the representative lie")
+    p_trace.add_argument("--top-slow", action="store_true",
+                         help="also report wall time per opcode and "
+                              "per opcode category")
     p_trace.add_argument("--emit-telemetry", metavar="PATH",
                          help="also stream spans + metrics snapshot "
                               "to PATH as JSONL")

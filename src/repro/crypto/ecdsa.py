@@ -108,7 +108,7 @@ def sign(message_hash: bytes, private_key: int) -> Signature:
         if r == 0:
             attempt_hash = hashlib.sha256(attempt_hash).digest()
             continue
-        k_inv = pow(k, N - 2, N)
+        k_inv = pow(k, -1, N)
         s = k_inv * (z + r * private_key) % N
         if s == 0:
             attempt_hash = hashlib.sha256(attempt_hash).digest()
@@ -133,12 +133,10 @@ def verify(message_hash: bytes, signature: Signature, public_key) -> bool:
     if public_key is None or not secp256k1.is_on_curve(public_key):
         return False
     z = int.from_bytes(message_hash, "big")
-    w = pow(signature.s, N - 2, N)
+    w = pow(signature.s, -1, N)
     u1 = z * w % N
     u2 = signature.r * w % N
-    point = secp256k1.point_add(
-        secp256k1.scalar_mult(u1, G), secp256k1.scalar_mult(u2, public_key)
-    )
+    point = secp256k1.double_scalar_mult_base(u1, u2, public_key)
     if point is None:
         return False
     return point[0] % N == signature.r
@@ -164,13 +162,12 @@ def recover_public_key(message_hash: bytes, signature: Signature):
         raise SignatureError("signature r does not correspond to a curve point")
 
     z = int.from_bytes(message_hash, "big")
-    r_inv = pow(r, N - 2, N)
-    # Q = r^-1 (s*R - z*G)
-    s_r = secp256k1.scalar_mult(s, point_r)
-    z_g = secp256k1.scalar_mult(z, G)
-    candidate = secp256k1.scalar_mult(
-        r_inv, secp256k1.point_add(s_r, secp256k1.point_neg(z_g))
-    )
+    r_inv = pow(r, -1, N)
+    # Q = r^-1 (s*R - z*G) = (-z * r^-1)*G + (s * r^-1)*R, which is the
+    # u1*G + u2*Q shape Straus/Shamir combination handles in one pass.
+    u1 = (-z * r_inv) % N
+    u2 = s * r_inv % N
+    candidate = secp256k1.double_scalar_mult_base(u1, u2, point_r)
     if candidate is None:
         raise SignatureError("recovered the point at infinity")
     return candidate

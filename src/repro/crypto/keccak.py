@@ -14,7 +14,10 @@ vectors, e.g.::
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _RATE_BYTES = 136  # 1088-bit rate for Keccak-256
+_MEMO_MAX_LEN = 128  # memoise digests of inputs up to this many bytes
 _LANES = 25
 _MASK64 = (1 << 64) - 1
 
@@ -83,12 +86,26 @@ def keccak256(data: bytes) -> bytes:
     """Return the 32-byte Keccak-256 digest of ``data``.
 
     This is the hash function Ethereum calls ``keccak256`` in Solidity
-    and ``SHA3`` at the EVM opcode level.
+    and ``SHA3`` at the EVM opcode level.  Small inputs (ABI selectors,
+    public keys for address derivation, storage slots) recur constantly,
+    so digests of inputs up to 128 bytes are served from a bounded memo.
     """
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise TypeError(f"keccak256 expects bytes, got {type(data).__name__}")
     data = bytes(data)
+    if len(data) <= _MEMO_MAX_LEN:
+        return _keccak256_small(data)
+    return _keccak256_raw(data)
 
+
+@lru_cache(maxsize=8192)
+def _keccak256_small(data: bytes) -> bytes:
+    """Memoised digest path for small, frequently repeated inputs."""
+    return _keccak256_raw(data)
+
+
+def _keccak256_raw(data: bytes) -> bytes:
+    """The actual sponge computation, uncached."""
     state = [0] * _LANES
 
     # Absorb full rate-sized blocks.

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import secrets
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.crypto import ecdsa, secp256k1
 from repro.crypto.ecdsa import Signature
@@ -152,7 +153,23 @@ class PrivateKey:
         return self.secret.to_bytes(32, "big")
 
 
+@lru_cache(maxsize=1024)
+def _recover_address_cached(message_hash: bytes, v: int, r: int, s: int) -> Address:
+    """Memoised ecrecover core, keyed by ``(digest, v, r, s)``.
+
+    The same signed transaction is recovered at least twice per life
+    cycle — mempool admission and block processing — so a bounded LRU
+    collapses every recovery after the first into a dict lookup.
+    """
+    point = ecdsa.recover_public_key(message_hash, Signature(v=v, r=r, s=s))
+    return PublicKey(point).address
+
+
 def recover_address(message_hash: bytes, signature: Signature) -> Address:
     """Recover the signer's address — the behaviour of ``ecrecover``."""
-    point = ecdsa.recover_public_key(message_hash, signature)
-    return PublicKey(point).address
+    return _recover_address_cached(message_hash, signature.v, signature.r, signature.s)
+
+
+def clear_recover_cache() -> None:
+    """Drop the ``recover_address`` memo (benchmarks measure cold paths)."""
+    _recover_address_cached.cache_clear()

@@ -1,0 +1,79 @@
+"""Static bytecode analysis, cached per unique code blob.
+
+Before PR 3 every :class:`~repro.evm.vm._Frame` re-scanned its bytecode
+to build the valid-JUMPDEST set, and every PUSH re-sliced its immediate
+out of the code at run time.  Both are pure functions of the code bytes,
+so this module computes them once per *unique* bytecode and serves every
+subsequent frame from a bounded LRU.
+
+The cache is keyed by the code bytes themselves (content addressing),
+which makes aliasing impossible by construction: a CREATE's init code
+and the runtime code it returns are different byte strings and therefore
+different cache entries, even though both execute "at" the same address.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.evm import opcodes
+
+_JUMPDEST = opcodes.JUMPDEST
+_PUSH1 = opcodes.PUSH1
+_PUSH32 = opcodes.PUSH32
+
+
+class CodeAnalysis:
+    """Immutable static facts about one bytecode blob.
+
+    ``jump_dests`` is the set of program counters holding a JUMPDEST
+    that is *not* inside PUSH immediate data.  ``push_info`` maps the
+    pc of every PUSH instruction to its decoded ``(value, next_pc)``
+    pair so the interpreter never slices code on the hot path.
+    """
+
+    __slots__ = ("jump_dests", "push_info")
+
+    def __init__(self, jump_dests: frozenset[int],
+                 push_info: dict[int, tuple[int, int]]) -> None:
+        self.jump_dests = jump_dests
+        self.push_info = push_info
+
+
+@lru_cache(maxsize=512)
+def analyze_code(code: bytes) -> CodeAnalysis:
+    """Return the (cached) :class:`CodeAnalysis` for ``code``.
+
+    The scan mirrors the yellow-paper JUMPDEST validity rule: a byte
+    only counts as a destination when reached by linear sweep, so bytes
+    inside PUSH immediates never qualify.  PUSH immediates that run off
+    the end of the code are zero-padded, exactly as the EVM reads them.
+    """
+    dests = set()
+    push_info: dict[int, tuple[int, int]] = {}
+    pc = 0
+    length = len(code)
+    while pc < length:
+        op = code[pc]
+        if op == _JUMPDEST:
+            dests.add(pc)
+        elif _PUSH1 <= op <= _PUSH32:
+            width = op - _PUSH1 + 1
+            start = pc + 1
+            raw = code[start:start + width]
+            if len(raw) < width:
+                raw = raw.ljust(width, b"\x00")
+            push_info[pc] = (int.from_bytes(raw, "big"), start + width)
+            pc += width
+        pc += 1
+    return CodeAnalysis(frozenset(dests), push_info)
+
+
+def clear_analysis_cache() -> None:
+    """Drop every cached analysis (benchmarks measure cold paths)."""
+    analyze_code.cache_clear()
+
+
+def analysis_cache_info():
+    """Expose the LRU statistics (hits/misses) for tests and telemetry."""
+    return analyze_code.cache_info()

@@ -20,6 +20,7 @@ from repro.crypto import rlp
 from repro.crypto.keccak import keccak256
 from repro.crypto.keys import Address
 from repro.evm import gas, opcodes, precompiles
+from repro.evm.analysis import analyze_code
 from repro.evm.exceptions import (
     CodeSizeExceeded,
     InsufficientFunds,
@@ -31,8 +32,9 @@ from repro.evm.exceptions import (
     VMError,
     WriteProtection,
 )
+from repro.evm.exceptions import StackOverflow, StackUnderflow
 from repro.evm.memory import Memory
-from repro.evm.stack import Stack, UINT256_MAX
+from repro.evm.stack import STACK_LIMIT, Stack, UINT256_MAX
 
 _SIGN_BIT = 1 << 255
 
@@ -143,7 +145,7 @@ class _Frame:
     __slots__ = (
         "message", "code", "pc", "stack", "memory", "gas_remaining",
         "return_data", "logs", "refund", "output", "valid_jump_dests",
-        "storage_address",
+        "push_info", "storage_address",
     )
 
     def __init__(self, message: Message, code: bytes) -> None:
@@ -157,7 +159,9 @@ class _Frame:
         self.logs: list[Log] = []
         self.refund = 0
         self.output = b""
-        self.valid_jump_dests = _find_jump_dests(code)
+        analysis = analyze_code(code)
+        self.valid_jump_dests = analysis.jump_dests
+        self.push_info = analysis.push_info
         self.storage_address = (
             message.storage_address_override
             if message.storage_address_override is not None
@@ -178,17 +182,7 @@ class _Frame:
 
 
 def _find_jump_dests(code: bytes) -> frozenset[int]:
-    dests = set()
-    pc = 0
-    length = len(code)
-    while pc < length:
-        op = code[pc]
-        if op == opcodes.JUMPDEST:
-            dests.add(pc)
-        if opcodes.PUSH1 <= op <= opcodes.PUSH32:
-            pc += op - opcodes.PUSH1 + 1
-        pc += 1
-    return frozenset(dests)
+    return analyze_code(code).jump_dests
 
 
 def compute_contract_address(sender: Address, nonce: int) -> Address:
@@ -377,32 +371,68 @@ class EVM:
     # ------------------------------------------------------------------
 
     def _run(self, frame: _Frame) -> None:
+        """Interpret ``frame`` to completion (dispatch-table fast path)."""
+        if self.tracer is not None:
+            self._run_traced(frame)
+        else:
+            self._run_fast(frame)
+
+    def _run_fast(self, frame: _Frame) -> None:
+        """The untraced interpreter loop.
+
+        One indexed load into the preresolved 256-entry dispatch table
+        replaces the historical ``OPCODES.get`` + ``_HANDLERS.get`` +
+        group-fallback chain, and the flat gas charge is inlined.  Gas
+        accounting is byte-identical to the old loop: unknown bytes and
+        INVALID raise (and therefore consume all gas) exactly as before.
+        """
+        code = frame.code
+        length = len(code)
+        dispatch = _DISPATCH
+        pc = frame.pc
+        while pc < length:
+            op_byte = code[pc]
+            base_gas, handler = dispatch[op_byte]
+            if base_gas > frame.gas_remaining:
+                frame.gas_remaining = 0
+                raise OutOfGas(f"needed {base_gas} gas")
+            frame.gas_remaining -= base_gas
+            frame.pc = pc
+            next_pc = handler(self, frame, op_byte)
+            if next_pc is None:
+                pc += 1
+            elif next_pc is _HALT:
+                return
+            else:
+                pc = next_pc
+
+    def _run_traced(self, frame: _Frame) -> None:
+        """The traced loop: identical semantics plus per-step callbacks."""
         code = frame.code
         length = len(code)
         tracer = self.tracer
+        dispatch = _DISPATCH
         while frame.pc < length:
             current_pc = frame.pc
             op_byte = code[current_pc]
-            opcode = opcodes.OPCODES.get(op_byte)
-            if opcode is None:
-                raise InvalidOpcode(f"0x{op_byte:02x} at pc={current_pc}")
-            if op_byte == opcodes.INVALID:
-                raise InvalidInstruction("INVALID opcode executed")
+            base_gas, handler = dispatch[op_byte]
             gas_before = frame.gas_remaining
-            frame.charge(opcode.base_gas)
-            handler = _HANDLERS.get(op_byte)
-            if handler is None:
-                handler = _GROUP_HANDLERS[_group_of(op_byte)]
+            if base_gas > gas_before:
+                frame.gas_remaining = 0
+                raise OutOfGas(f"needed {base_gas} gas")
+            frame.gas_remaining = gas_before - base_gas
             next_pc = handler(self, frame, op_byte)
-            if tracer is not None:
-                tracer.on_step(
-                    current_pc, op_byte, frame.message.depth,
-                    gas_before, gas_before - frame.gas_remaining,
-                    len(frame.stack),
-                )
-            if next_pc is _HALT:
+            tracer.on_step(
+                current_pc, op_byte, frame.message.depth,
+                gas_before, gas_before - frame.gas_remaining,
+                len(frame.stack),
+            )
+            if next_pc is None:
+                frame.pc = current_pc + 1
+            elif next_pc is _HALT:
                 return
-            frame.pc = next_pc if next_pc is not None else frame.pc + 1
+            else:
+                frame.pc = next_pc
 
 
 _HALT = object()
@@ -427,9 +457,13 @@ def _group_of(op_byte: int) -> str:
 def _binop(fn):
     def handler(vm: EVM, frame: _Frame, op: int):
         """Pop two operands, push ``fn(a, b)``."""
-        a = frame.stack.pop()
-        b = frame.stack.pop()
-        frame.stack.push(fn(a, b))
+        items = frame.stack._items
+        try:
+            a = items.pop()
+            b = items.pop()
+        except IndexError:
+            raise StackUnderflow("pop from empty stack") from None
+        items.append(fn(a, b) & UINT256_MAX)
         return None
     return handler
 
@@ -660,8 +694,12 @@ def _jump(vm, frame, op):
 
 
 def _jumpi(vm, frame, op):
-    dest = frame.stack.pop()
-    condition = frame.stack.pop()
+    items = frame.stack._items
+    try:
+        dest = items.pop()
+        condition = items.pop()
+    except IndexError:
+        raise StackUnderflow("pop from empty stack") from None
     if condition == 0:
         return None
     if dest not in frame.valid_jump_dests:
@@ -689,20 +727,34 @@ def _jumpdest(vm, frame, op):
 
 
 def _push(vm, frame, op):
-    width = op - opcodes.PUSH1 + 1
-    start = frame.pc + 1
-    raw = frame.code[start:start + width].ljust(width, b"\x00")
-    frame.stack.push(int.from_bytes(raw, "big"))
-    return frame.pc + 1 + width
+    # Immediates are predecoded per unique bytecode; see analysis.py.
+    value, next_pc = frame.push_info[frame.pc]
+    items = frame.stack._items
+    if len(items) >= STACK_LIMIT:
+        raise StackOverflow(f"stack limit of {STACK_LIMIT} exceeded")
+    items.append(value)
+    return next_pc
 
 
 def _dup(vm, frame, op):
-    frame.stack.dup(op - opcodes.DUP1 + 1)
+    position = op - opcodes.DUP1 + 1
+    items = frame.stack._items
+    if position > len(items):
+        raise StackUnderflow(f"DUP{position} on stack of {len(items)}")
+    if len(items) >= STACK_LIMIT:
+        raise StackOverflow(f"stack limit of {STACK_LIMIT} exceeded")
+    items.append(items[-position])
     return None
 
 
 def _swap(vm, frame, op):
-    frame.stack.swap(op - opcodes.SWAP1 + 1)
+    position = op - opcodes.SWAP1 + 1
+    items = frame.stack._items
+    if position >= len(items):
+        raise StackUnderflow(f"SWAP{position} on stack of {len(items)}")
+    top = len(items) - 1
+    other = top - position
+    items[top], items[other] = items[other], items[top]
     return None
 
 
@@ -971,12 +1023,18 @@ def _mulmod(vm, frame, op):
 
 
 def _iszero(vm, frame, op):
-    frame.stack.push(1 if frame.stack.pop() == 0 else 0)
+    items = frame.stack._items
+    if not items:
+        raise StackUnderflow("pop from empty stack")
+    items[-1] = 1 if items[-1] == 0 else 0
     return None
 
 
 def _not(vm, frame, op):
-    frame.stack.push(~frame.stack.pop())
+    items = frame.stack._items
+    if not items:
+        raise StackUnderflow("pop from empty stack")
+    items[-1] = ~items[-1] & UINT256_MAX
     return None
 
 
@@ -991,3 +1049,43 @@ _GROUP_HANDLERS = {
     "swap": _swap,
     "log": _log,
 }
+
+
+# ----------------------------------------------------------------------
+# Preresolved dispatch table: one indexed load per executed opcode.
+# ----------------------------------------------------------------------
+
+def _unknown_opcode(vm, frame, op):
+    """Sentinel handler for byte values with no assigned instruction."""
+    raise InvalidOpcode(f"0x{op:02x} at pc={frame.pc}")
+
+
+def _invalid_instruction(vm, frame, op):
+    """Sentinel handler for the designated INVALID (0xfe) instruction."""
+    raise InvalidInstruction("INVALID opcode executed")
+
+
+def _build_dispatch() -> list:
+    """Resolve every byte value to its ``(base_gas, handler)`` pair.
+
+    Unknown bytes and INVALID get zero-gas sentinel handlers that raise
+    the same exceptions the historical loop raised before charging; the
+    gas outcome is identical either way because both errors consume all
+    remaining gas at the call site.
+    """
+    table = []
+    for byte in range(256):
+        info = opcodes.OPCODES.get(byte)
+        if info is None:
+            table.append((0, _unknown_opcode))
+        elif byte == opcodes.INVALID:
+            table.append((0, _invalid_instruction))
+        else:
+            handler = _HANDLERS.get(byte)
+            if handler is None:
+                handler = _GROUP_HANDLERS[_group_of(byte)]
+            table.append((info.base_gas, handler))
+    return table
+
+
+_DISPATCH = _build_dispatch()

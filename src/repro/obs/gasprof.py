@@ -17,6 +17,7 @@ per-opcode totals reconcile with the ``GasLedger`` to the gas unit.
 from __future__ import annotations
 
 from collections import Counter as TallyCounter
+from time import perf_counter
 
 from repro.evm import opcodes
 from repro.evm.tracer import category_of
@@ -32,16 +33,25 @@ class TxGasCollector:
     already includes the child frame's net gas.
     """
 
-    __slots__ = ("by_opcode", "op_counts", "total_gas")
+    __slots__ = ("by_opcode", "op_counts", "by_time", "total_gas",
+                 "_last_time")
 
     def __init__(self) -> None:
         self.by_opcode: TallyCounter = TallyCounter()
         self.op_counts: TallyCounter = TallyCounter()
+        self.by_time: TallyCounter = TallyCounter()
         self.total_gas = 0
+        self._last_time = perf_counter()
 
     def on_step(self, pc: int, op: int, depth: int, gas_before: int,
                 gas_cost: int, stack_size: int) -> None:
-        """Record one executed instruction (outermost frame only)."""
+        """Record one executed instruction (outermost frame only).
+
+        Wall time is attributed by the delta since the previous
+        outermost-frame step, so a CALL/CREATE step carries its child
+        frame's execution time — the same exclusive decomposition the
+        gas figures use.
+        """
         if depth > 0:
             return
         opcode = opcodes.OPCODES.get(op)
@@ -49,6 +59,9 @@ class TxGasCollector:
         self.by_opcode[mnemonic] += gas_cost
         self.op_counts[mnemonic] += 1
         self.total_gas += gas_cost
+        now = perf_counter()
+        self.by_time[mnemonic] += now - self._last_time
+        self._last_time = now
 
 
 #: mnemonic -> coarse category for the pseudo-ops.
@@ -89,6 +102,13 @@ class EvmGasProfiler:
         self._gas_total = registry.counter(
             names.METRIC_EVM_GAS_TOTAL,
             help="total receipt gas over profiled transactions")
+        self._time_by_opcode = registry.counter(
+            names.METRIC_EVM_TIME_BY_OPCODE,
+            help="interpreter wall seconds per opcode (outer frame; "
+                 "call/create steps carry child time)")
+        self._time_by_category = registry.counter(
+            names.METRIC_EVM_TIME_BY_CATEGORY,
+            help="interpreter wall seconds per coarse cost category")
 
     def begin_transaction(self) -> TxGasCollector:
         """A fresh collector to pass as the EVM tracer for one tx."""
@@ -111,6 +131,10 @@ class EvmGasProfiler:
             self._gas_by_category.inc(gas, category=_category(mnemonic))
         for mnemonic, count in collector.op_counts.items():
             self._ops.inc(count, op=mnemonic)
+        for mnemonic, seconds in collector.by_time.items():
+            self._time_by_opcode.inc(seconds, op=mnemonic)
+            self._time_by_category.inc(seconds,
+                                       category=_category(mnemonic))
         if intrinsic:
             self._gas_by_opcode.inc(intrinsic,
                                     op=names.PSEUDO_OP_INTRINSIC)
@@ -138,3 +162,21 @@ class EvmGasProfiler:
         ]
         series.sort(key=lambda item: -item[1])
         return series[:count]
+
+    def top_slow(self, count: int = 10) -> list[tuple[str, float]]:
+        """The ``count`` opcodes with the most wall time, descending."""
+        series = [
+            (dict(key).get("op", "?"), seconds)
+            for key, seconds in self._time_by_opcode.series().items()
+        ]
+        series.sort(key=lambda item: -item[1])
+        return series[:count]
+
+    def time_by_category(self) -> list[tuple[str, float]]:
+        """Wall seconds per coarse opcode category, descending."""
+        series = [
+            (dict(key).get("category", "?"), seconds)
+            for key, seconds in self._time_by_category.series().items()
+        ]
+        series.sort(key=lambda item: -item[1])
+        return series

@@ -105,6 +105,13 @@ METRIC_EVM_GAS_BY_CATEGORY = "evm.gas.by_category"
 METRIC_EVM_OPS = "evm.ops"
 #: counter — total ``receipt.gas_used`` over profiled transactions.
 METRIC_EVM_GAS_TOTAL = "evm.gas.total"
+#: counter, label ``op`` — interpreter wall-clock seconds per opcode
+#: over mined transactions (outer frame; CALL/CREATE steps carry their
+#: children's time, mirroring the gas attribution).
+METRIC_EVM_TIME_BY_OPCODE = "evm.time.by_opcode"
+#: counter, label ``category`` — the same wall-clock seconds folded
+#: into the coarse tracer categories.
+METRIC_EVM_TIME_BY_CATEGORY = "evm.time.by_category"
 
 #: counter — mined transactions.
 METRIC_CHAIN_TXS = "chain.txs"
@@ -150,6 +157,8 @@ ALL_METRICS: tuple[str, ...] = (
     METRIC_EVM_GAS_BY_CATEGORY,
     METRIC_EVM_OPS,
     METRIC_EVM_GAS_TOTAL,
+    METRIC_EVM_TIME_BY_OPCODE,
+    METRIC_EVM_TIME_BY_CATEGORY,
     METRIC_CHAIN_TXS,
     METRIC_CHAIN_BLOCKS,
     METRIC_CHAIN_BLOCK_TXS,

@@ -176,3 +176,32 @@ def test_account_empty_per_eip161():
     assert not state.account_exists(A)  # empty account
     state.set_balance(A, 1)
     assert state.account_exists(A)
+
+
+def test_copy_starts_with_empty_journal():
+    """A copied state must not inherit its parent's undo journal.
+
+    Regression test: journal entries describe mutations made to the
+    parent, so a revert_to(0) on the copy must not undo (or corrupt)
+    account data the copy never touched.
+    """
+    state = WorldState()
+    state.set_balance(A, 5)
+    state.set_storage(A, 1, 2)
+    assert state.snapshot() > 0  # parent journal is non-empty
+
+    clone = state.copy()
+    assert clone.snapshot() == 0  # copy's journal starts empty
+
+    # revert_to(0) on the fresh copy is a no-op, not a walk through
+    # the parent's history.
+    clone.revert_to(0)
+    assert clone.get_balance(A) == 5
+    assert clone.get_storage(A, 1) == 2
+
+    # The copy's own mutations journal and revert independently.
+    marker = clone.snapshot()
+    clone.set_balance(A, 99)
+    clone.revert_to(marker)
+    assert clone.get_balance(A) == 5
+    assert state.get_balance(A) == 5

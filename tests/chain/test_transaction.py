@@ -74,3 +74,22 @@ def test_signing_hash_excludes_signature():
     h2 = Transaction.signing_hash(0, 1, 21_000, DEST, 6, b"")
     assert h1 != h2
     assert len(h1) == 32
+
+
+def test_sender_recovered_exactly_once(monkeypatch):
+    """``sender`` memoises the ECDSA recovery after the first access."""
+    import repro.chain.transaction as txmod
+
+    tx = _tx()
+    calls = {"n": 0}
+    real = txmod.recover_address
+
+    def counting(digest, signature):
+        calls["n"] += 1
+        return real(digest, signature)
+
+    monkeypatch.setattr(txmod, "recover_address", counting)
+    first = tx.sender
+    second = tx.sender
+    assert first == second == KEY.address
+    assert calls["n"] == 1

@@ -1,0 +1,77 @@
+"""Tests for the per-bytecode CodeAnalysis cache (PR 3)."""
+
+from repro.evm import opcodes
+from repro.evm.analysis import (
+    analysis_cache_info,
+    analyze_code,
+    clear_analysis_cache,
+)
+
+
+def test_jumpdests_exclude_push_immediates():
+    # PUSH1 0x5b (JUMPDEST byte as immediate), then a real JUMPDEST.
+    code = bytes([opcodes.PUSH1, opcodes.JUMPDEST, opcodes.JUMPDEST])
+    analysis = analyze_code(code)
+    assert analysis.jump_dests == frozenset({2})
+
+
+def test_push_info_decodes_immediates():
+    code = bytes([opcodes.PUSH1 + 1, 0x12, 0x34, opcodes.STOP,
+                  opcodes.PUSH1, 0xFF])
+    analysis = analyze_code(code)
+    assert analysis.push_info[0] == (0x1234, 3)
+    assert analysis.push_info[4] == (0xFF, 6)
+
+
+def test_truncated_push_is_zero_padded():
+    # PUSH32 with only 2 immediate bytes present: the EVM reads the
+    # missing bytes as zero.
+    code = bytes([opcodes.PUSH32, 0xAB, 0xCD])
+    analysis = analyze_code(code)
+    value, next_pc = analysis.push_info[0]
+    assert value == 0xABCD << (30 * 8)
+    assert next_pc == 33
+
+
+def test_analysis_is_cached_per_content():
+    clear_analysis_cache()
+    code = bytes([opcodes.PUSH1, 0x01, opcodes.JUMPDEST])
+    first = analyze_code(code)
+    second = analyze_code(bytes(code))  # equal but distinct bytes object
+    assert first is second
+    info = analysis_cache_info()
+    assert info.hits >= 1
+
+
+def test_init_and_runtime_code_cannot_alias():
+    """Content keying: different byte strings get different analyses.
+
+    A CREATE executes init code and then installs the returned runtime
+    code at the *same* address — an address-keyed cache would serve the
+    init code's JUMPDEST set to runtime frames.  Keying by the code
+    bytes themselves makes that impossible.
+    """
+    init_code = bytes([opcodes.PUSH1, 0x00, opcodes.JUMPDEST, opcodes.STOP])
+    runtime_code = bytes([opcodes.JUMPDEST, opcodes.STOP])
+    a = analyze_code(init_code)
+    b = analyze_code(runtime_code)
+    assert a is not b
+    assert a.jump_dests == frozenset({2})
+    assert b.jump_dests == frozenset({0})
+
+
+def test_frame_uses_cached_analysis():
+    from repro.crypto.keys import Address
+    from repro.evm.vm import Message, _Frame
+
+    code = bytes([opcodes.PUSH1, 0x03, opcodes.JUMP, opcodes.JUMPDEST,
+                  opcodes.STOP])
+    message = Message(
+        sender=Address.from_int(1), to=Address.from_int(2), value=0,
+        data=b"", gas=100_000, origin=Address.from_int(1),
+    )
+    frame_a = _Frame(message, code)
+    frame_b = _Frame(message, code)
+    assert frame_a.valid_jump_dests is frame_b.valid_jump_dests
+    assert frame_a.push_info is frame_b.push_info
+    assert frame_a.valid_jump_dests == frozenset({3})

@@ -1,0 +1,504 @@
+#!/usr/bin/env python
+"""Benchmark runner and perf-regression gate (stdlib only).
+
+Runs a fixed battery of substrate and end-to-end benchmarks — the same
+workloads as ``benchmarks/bench_*.py`` (EVM interpreter ops/s, Keccak,
+ECDSA sign/recover, the Table II dispute path, the 100-session fleet)
+— under explicit warmup/repeat controls, and writes a schema-versioned
+``BENCH_<label>.json`` at the repository root.
+
+Beyond raw numbers the runner enforces two invariants:
+
+1. **Telemetry gas invariance** — the dispute scenario is executed with
+   telemetry off and on; the per-stage gas ledgers must be
+   byte-identical and the profiler's opcode decomposition must equal
+   the ledger total.  Divergence exits with status 2.
+2. **Regression gate** — when a baseline is available (``--baseline``
+   or the most recent other ``BENCH_*.json`` at the repo root),
+   throughput metrics may not drop more than ``--threshold`` (default
+   20%), and gas metrics must match exactly.  Violations exit with
+   status 1 (throughput) or 2 (gas).
+
+Usage::
+
+    python tools/bench_runner.py                      # full run
+    python tools/bench_runner.py --smoke              # CI smoke (small)
+    python tools/bench_runner.py --label pr3 \
+        --baseline /tmp/BENCH_pre.json                # explicit baseline
+
+``--smoke`` shrinks workloads and skips the cross-file regression gate
+(smoke sizes are not comparable with full-run sizes); the telemetry
+invariance check always runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+for entry in (str(REPO / "src"), str(REPO)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+SCHEMA = "repro-bench/1"
+
+#: unit -> how the comparison treats the metric.
+#: "throughput": higher is better, gated by --threshold.
+#: "exact": must be identical between runs (gas determinism).
+_UNIT_KIND = {
+    "ops/s": "throughput",
+    "bytes/s": "throughput",
+    "gas/s": "throughput",
+    "sessions/s": "throughput",
+    "gas": "exact",
+}
+
+
+def _best_of(fn, *, repeats: int, warmup: int):
+    """Run ``fn`` warmup+repeats times; return (best_seconds, last_result)."""
+    result = None
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# Individual benchmarks.  Each returns {metric_name: {value, unit, ...}}.
+# ---------------------------------------------------------------------------
+
+def bench_keccak(cfg, repeats, warmup):
+    from repro.crypto.keccak import keccak256
+
+    blob = b"\xab" * 1024
+    rounds = cfg["keccak_rounds"]
+
+    def run():
+        for _ in range(rounds):
+            keccak256(blob)
+
+    best, _ = _best_of(run, repeats=repeats, warmup=warmup)
+    return {
+        "keccak_1kib": {
+            "value": rounds * len(blob) / best,
+            "unit": "bytes/s",
+            "wall_s": best,
+            "note": "1 KiB blobs, pure-Python sponge (memo-exempt size)",
+        },
+    }
+
+
+def bench_ecdsa(cfg, repeats, warmup):
+    from repro.crypto.ecdsa import sign
+    from repro.crypto.keccak import keccak256
+    from repro.crypto.keys import PrivateKey, recover_address
+
+    count = cfg["ecdsa_count"]
+    keys = [PrivateKey.from_seed(f"bench-{i}") for i in range(count)]
+    digests = [keccak256(b"bench digest %d" % i) for i in range(count)]
+    signatures = [k.sign(d) for k, d in zip(keys, digests)]
+
+    def run_sign():
+        for digest, key in zip(digests, keys):
+            sign(digest, key.secret)
+
+    best_sign, _ = _best_of(run_sign, repeats=repeats, warmup=warmup)
+
+    def run_recover_unique():
+        # Defeat the (digest, v, r, s) memo: every item is distinct and
+        # the cache is cleared up front, so this measures raw recovery.
+        from repro.crypto import keys as keys_module
+        clear = getattr(keys_module, "clear_recover_cache", None)
+        if clear is not None:
+            clear()
+        for digest, signature in zip(digests, signatures):
+            recover_address(digest, signature)
+
+    best_unique, _ = _best_of(run_recover_unique,
+                              repeats=repeats, warmup=warmup)
+
+    def run_recover_pipeline():
+        # The system workload: every transaction's sender is recovered
+        # at mempool admission AND at block processing.  Recover each
+        # signature twice, as those two call sites do.
+        from repro.crypto import keys as keys_module
+        clear = getattr(keys_module, "clear_recover_cache", None)
+        if clear is not None:
+            clear()
+        for digest, signature in zip(digests, signatures):
+            recover_address(digest, signature)
+        for digest, signature in zip(digests, signatures):
+            recover_address(digest, signature)
+
+    best_pipeline, _ = _best_of(run_recover_pipeline,
+                                repeats=repeats, warmup=warmup)
+
+    return {
+        "ecdsa_sign": {
+            "value": count / best_sign,
+            "unit": "ops/s",
+            "wall_s": best_sign,
+            "note": "RFC-6979 deterministic signing",
+        },
+        "ecdsa_recover_unique": {
+            "value": count / best_unique,
+            "unit": "ops/s",
+            "wall_s": best_unique,
+            "note": "distinct (digest, sig) pairs; memo cleared",
+        },
+        "ecdsa_recover": {
+            "value": 2 * count / best_pipeline,
+            "unit": "ops/s",
+            "wall_s": best_pipeline,
+            "note": "admission+execution workload: each signature "
+                    "recovered twice, as mempool.py and processor.py do",
+        },
+    }
+
+
+def _interpreter_loop_code(iterations: int) -> bytes:
+    from repro.evm.assembler import Program
+
+    program = Program()
+    program.push(iterations, width=4)
+    program.label("top")
+    program.push(1).op("SWAP1").op("SUB")
+    program.op("DUP1")
+    program.jumpi_to("top")
+    program.op("STOP")
+    return program.assemble()
+
+
+def bench_evm(cfg, repeats, warmup):
+    from repro.chain.state import WorldState
+    from repro.crypto.keys import Address
+    from repro.evm.vm import EVM, BlockContext, Message
+
+    iterations = cfg["evm_iterations"]
+    caller = Address.from_hex("0x" + "11" * 20)
+    contract = Address.from_hex("0x" + "22" * 20)
+    code = _interpreter_loop_code(iterations)
+
+    state = WorldState()
+    state.set_balance(caller, 10**21)
+    state.set_code(contract, code)
+    block = BlockContext(coinbase=Address.from_hex("0x" + "33" * 20),
+                         timestamp=1_700_000_000, number=1)
+    evm = EVM(state, block)
+
+    gas_used = 0
+
+    def run():
+        nonlocal gas_used
+        result = evm.execute(Message(
+            sender=caller, to=contract, value=0, data=b"",
+            gas=10_000_000, origin=caller))
+        assert result.success, result.error
+        gas_used = result.gas_used
+        return result
+
+    best, _ = _best_of(run, repeats=repeats, warmup=warmup)
+    ops = iterations * 6  # PUSH1, SWAP1, SUB, DUP1, JUMPI, JUMPDEST
+    return {
+        "evm_interpreter": {
+            "value": ops / best,
+            "unit": "ops/s",
+            "wall_s": best,
+            "gas": gas_used,
+            "gas_per_s": gas_used / best,
+            "note": f"counter loop, {iterations} iterations "
+                    "(bench_evm_throughput workload)",
+        },
+    }
+
+
+def _run_dispute():
+    """The Table II dispute path; returns (outcome, ledger)."""
+    from repro.apps.betting import deploy_betting, make_betting_protocol
+    from repro.chain import EthereumSimulator
+    from repro.core import Participant
+
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(sim, alice, bob, seed=42, rounds=1,
+                                     challenge_period=0)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t3 + 1)
+    outcome = protocol.dispute(bob).value
+    return outcome, protocol.ledger
+
+
+def bench_table2(cfg, repeats, warmup):
+    best, (outcome, ledger) = _best_of(
+        lambda: _run_dispute(), repeats=repeats, warmup=warmup)
+    total = ledger.total()
+    return {
+        "table2_deploy_verified_instance_gas": {
+            "value": outcome.deploy_receipt.gas_used,
+            "unit": "gas",
+            "note": "must be bit-for-bit stable across optimisations",
+        },
+        "table2_return_dispute_resolution_gas": {
+            "value": outcome.resolve_receipt.gas_used,
+            "unit": "gas",
+            "note": "must be bit-for-bit stable across optimisations",
+        },
+        "table2_session_total_gas": {
+            "value": total,
+            "unit": "gas",
+            "note": "whole dispute session, GasLedger total",
+        },
+        "table2_dispute_wall": {
+            "value": total / best,
+            "unit": "gas/s",
+            "wall_s": best,
+            "note": "end-to-end dispute session throughput",
+        },
+    }
+
+
+def bench_multi_session(cfg, repeats, warmup):
+    from repro.chain import EthereumSimulator, SimulatorConfig
+    from repro.core import SessionEngine, spawn_fleet
+
+    sessions = cfg["fleet_sessions"]
+
+    def run():
+        sim = EthereumSimulator(
+            config=SimulatorConfig(num_accounts=2, auto_mine=False))
+        drivers = spawn_fleet(sim, sessions, app="betting",
+                              dishonest_fraction=0.1)
+        metrics = SessionEngine(sim, drivers, mining="batch").run()
+        return metrics
+
+    best, metrics = _best_of(run, repeats=repeats, warmup=warmup)
+    return {
+        "multi_session": {
+            "value": sessions / best,
+            "unit": "sessions/s",
+            "wall_s": best,
+            "sessions": sessions,
+            "gas": metrics.total_gas,
+            "gas_per_s": metrics.total_gas / best,
+            "note": f"{sessions} betting sessions, batch mining, "
+                    "10% dishonest",
+        },
+    }
+
+
+def check_telemetry_invariance():
+    """Dispute gas with telemetry off vs on; must be byte-identical.
+
+    Returns the invariance record; raises SystemExit(2) on divergence.
+    """
+    from repro import obs
+
+    __, ledger_off = _run_dispute()
+    with obs.telemetry() as telemetry:
+        __, ledger_on = _run_dispute()
+        profiler_total = telemetry.profiler.opcode_gas_total()
+
+    record = {
+        "telemetry_off_total": ledger_off.total(),
+        "telemetry_on_total": ledger_on.total(),
+        "telemetry_off_by_stage": {
+            str(k): v for k, v in sorted(ledger_off.by_stage().items())},
+        "telemetry_on_by_stage": {
+            str(k): v for k, v in sorted(ledger_on.by_stage().items())},
+        "profiler_opcode_total": profiler_total,
+    }
+    identical = (
+        record["telemetry_off_total"] == record["telemetry_on_total"]
+        and record["telemetry_off_by_stage"]
+        == record["telemetry_on_by_stage"]
+        and profiler_total == record["telemetry_on_total"]
+    )
+    record["identical"] = identical
+    if not identical:
+        print("FATAL: telemetry-on gas diverges from telemetry-off:")
+        print(json.dumps(record, indent=2))
+        raise SystemExit(2)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+def find_baseline(out_path: Path, explicit: str | None) -> Path | None:
+    """Resolve the baseline file: --baseline, else newest BENCH_*.json."""
+    if explicit:
+        path = Path(explicit)
+        if not path.exists():
+            raise SystemExit(f"error: baseline {path} does not exist")
+        return path
+    candidates = [
+        p for p in REPO.glob("BENCH_*.json")
+        if p.resolve() != out_path.resolve()
+    ]
+    if not candidates:
+        return None
+
+    def created(path: Path) -> float:
+        try:
+            return json.loads(path.read_text())["created_unix"]
+        except (ValueError, KeyError, OSError):
+            return path.stat().st_mtime
+
+    return max(candidates, key=created)
+
+
+def compare(results: dict, baseline: dict, threshold: float) -> dict:
+    """Per-metric ratios + regression verdicts against a baseline run."""
+    comparison = {}
+    base_results = baseline.get("results", {})
+    for name, entry in results.items():
+        base = base_results.get(name)
+        if base is None or base.get("unit") != entry["unit"]:
+            continue
+        if entry.get("sessions") != base.get("sessions"):
+            continue  # differently-sized workloads are not comparable
+        kind = _UNIT_KIND.get(entry["unit"], "throughput")
+        old, new = base["value"], entry["value"]
+        record = {"unit": entry["unit"], "baseline": old, "current": new}
+        if kind == "exact":
+            record["identical"] = old == new
+            record["regression"] = old != new
+        else:
+            ratio = new / old if old else float("inf")
+            record["ratio"] = round(ratio, 3)
+            record["regression"] = ratio < (1.0 - threshold)
+        comparison[name] = record
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+FULL_CONFIG = {
+    "keccak_rounds": 50,
+    "ecdsa_count": 12,
+    "evm_iterations": 20_000,
+    "fleet_sessions": 100,
+}
+
+SMOKE_CONFIG = {
+    "keccak_rounds": 5,
+    "ecdsa_count": 3,
+    "evm_iterations": 2_000,
+    "fleet_sessions": 5,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the benchmark battery and gate regressions")
+    parser.add_argument("--label", default="pr3",
+                        help="run label; default output is "
+                             "BENCH_<label>.json at the repo root")
+    parser.add_argument("--out", help="output JSON path")
+    parser.add_argument("--baseline",
+                        help="baseline BENCH_*.json to compare against "
+                             "(default: newest other BENCH_*.json)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per benchmark (best-of)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup runs per benchmark")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed throughput drop before failing "
+                             "(fraction, default 0.20)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="1 repeat, reduced sizes, no cross-file "
+                             "regression gate (CI harness check)")
+    args = parser.parse_args(argv)
+
+    cfg = dict(SMOKE_CONFIG if args.smoke else FULL_CONFIG)
+    repeats = 1 if args.smoke else args.repeats
+    warmup = 0 if args.smoke else args.warmup
+    out_path = Path(args.out) if args.out else \
+        REPO / f"BENCH_{args.label}.json"
+
+    print(f"bench_runner: label={args.label} smoke={args.smoke} "
+          f"repeats={repeats} warmup={warmup}")
+
+    results: dict = {}
+    for bench in (bench_keccak, bench_ecdsa, bench_evm, bench_table2,
+                  bench_multi_session):
+        produced = bench(cfg, repeats, warmup)
+        for name, entry in produced.items():
+            results[name] = entry
+            shown = (f"{entry['value']:,.0f}"
+                     if entry["unit"] != "gas" else f"{entry['value']:,}")
+            print(f"  {name:<40} {shown:>16} {entry['unit']}")
+
+    print("  checking telemetry on/off gas invariance ...")
+    invariance = check_telemetry_invariance()
+    print(f"  telemetry gas invariance: identical "
+          f"({invariance['telemetry_on_total']:,} gas)")
+
+    document = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": {"smoke": args.smoke, "repeats": repeats,
+                   "warmup": warmup, **cfg},
+        "results": results,
+        "invariance": invariance,
+    }
+
+    status = 0
+    baseline_path = None if args.smoke else \
+        find_baseline(out_path, args.baseline)
+    if baseline_path is not None:
+        baseline = json.loads(baseline_path.read_text())
+        comparison = compare(results, baseline, args.threshold)
+        document["baseline"] = {
+            "path": str(baseline_path),
+            "label": baseline.get("label"),
+            "created": baseline.get("created"),
+            "results": baseline.get("results", {}),
+        }
+        document["comparison"] = comparison
+        print(f"  baseline: {baseline_path.name} "
+              f"(label={baseline.get('label')})")
+        for name, record in sorted(comparison.items()):
+            if "ratio" in record:
+                marker = "REGRESSION" if record["regression"] else "ok"
+                print(f"    {name:<40} {record['ratio']:>7.2f}x  {marker}")
+                if record["regression"]:
+                    status = max(status, 1)
+            else:
+                marker = "ok" if record["identical"] else "GAS MISMATCH"
+                print(f"    {name:<40} {'exact':>8}  {marker}")
+                if record["regression"]:
+                    status = 2
+
+    out_path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if status:
+        print(f"bench_runner: FAILED (exit {status})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
