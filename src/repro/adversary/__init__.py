@@ -1,0 +1,50 @@
+"""Byzantine fault injection for the on/off-chain protocol.
+
+Strategy-driven adversarial participants (signature withholding,
+false results, late disputes, cross-session replay, crash-and-restart,
+mempool censorship) staged against real protocol sessions, plus the
+rational-adherence invariant checker that makes every scenario a
+falsifiable claim about the paper's incentive design.
+"""
+
+from repro.adversary.harness import (
+    DISPUTE_GAS_LIMIT,
+    SECURITY_DEPOSIT,
+    ScenarioHarness,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.adversary.invariants import (
+    InvariantViolation,
+    check_invariants,
+    dispute_gas_matches,
+    honest_no_worse_off,
+    reference_baseline,
+    reference_dispute_gas,
+    stage_transitions_valid,
+)
+from repro.adversary.strategies import (
+    PROFILES,
+    AdversaryError,
+    AdversaryProfile,
+    profile,
+)
+
+__all__ = [
+    "AdversaryError",
+    "AdversaryProfile",
+    "DISPUTE_GAS_LIMIT",
+    "InvariantViolation",
+    "PROFILES",
+    "SECURITY_DEPOSIT",
+    "ScenarioHarness",
+    "ScenarioResult",
+    "check_invariants",
+    "dispute_gas_matches",
+    "honest_no_worse_off",
+    "profile",
+    "reference_baseline",
+    "reference_dispute_gas",
+    "run_scenario",
+    "stage_transitions_valid",
+]

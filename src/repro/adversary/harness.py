@@ -1,0 +1,567 @@
+"""Stages each Byzantine strategy against a real protocol session.
+
+The harness builds a fresh simulator, binds the app's participants to
+the simulator's deterministic accounts (so signed-copy bytes — and
+therefore dispute gas — are reproducible run to run), injects one
+deviation, and drives the session to its terminal state while keeping
+the books an invariant checker needs: per-participant balances and gas,
+the stage trajectory, every rejected adversarial action, and the
+dispute receipts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+from repro.adversary.strategies import (
+    AdversaryError,
+    AdversaryProfile,
+    profile as get_profile,
+)
+from repro.chain.mempool import MempoolError
+from repro.chain.simulator import ETHER, EthereumSimulator
+from repro.chain.transaction import Transaction
+from repro.core.exceptions import (
+    ChallengeWindowClosed,
+    DisputeError,
+    SigningError,
+)
+from repro.core.participants import Participant, Strategy
+from repro.core.protocol import (
+    DisputeOutcome,
+    OnOffChainProtocol,
+    ProtocolOutcome,
+    Stage,
+)
+from repro.crypto import rlp
+from repro.crypto.ecdsa import Signature
+from repro.crypto.keys import Address
+from repro.offchain.signing import assemble_signed_copy
+
+#: §IV deposit used by the ``deposits=True`` betting variant.
+SECURITY_DEPOSIT = ETHER // 2
+
+#: Gas limit for hand-rolled dispute transactions — must match
+#: :meth:`OnOffChainProtocol.dispute` so gas_used stays bit-identical.
+DISPUTE_GAS_LIMIT = 6_000_000
+
+_ROLES = {
+    "betting": ("alice", "bob"),
+    "escrow": ("buyer", "seller"),
+    "tender": ("buyer", "contractorA", "contractorB"),
+}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the invariant checker needs about one scenario run."""
+
+    strategy: str
+    app: str
+    deposits: bool
+    stages: tuple[Stage, ...]
+    aborted: bool
+    disputed: bool
+    outcome: Optional[ProtocolOutcome]
+    rejected_actions: tuple[str, ...]
+    honest: tuple[str, ...]
+    start_balances: dict[str, int] = field(default_factory=dict)
+    end_balances: dict[str, int] = field(default_factory=dict)
+    gas_paid: dict[str, int] = field(default_factory=dict)
+    dispute_gas: dict[str, int] = field(default_factory=dict)
+    forfeited: tuple[str, ...] = ()
+
+    def net_modulo_gas(self, name: str) -> int:
+        """Balance change with the participant's own gas added back.
+
+        This is the quantity the paper's rational-adherence argument
+        speaks about: what the protocol itself paid or took, with the
+        cost of *participating* (gas) factored out.
+        """
+        return (self.end_balances[name] - self.start_balances[name]
+                + self.gas_paid[name])
+
+
+class ScenarioHarness:
+    """Builds and runs one adversarial scenario per call.
+
+    Every run uses a fresh :class:`EthereumSimulator` whose accounts
+    are derived from fixed seeds, so two runs of the same scenario are
+    bit-identical — including the dispute gas the invariant checker
+    pins against the Table II reference.
+    """
+
+    def __init__(self, app: str = "betting",
+                 deposits: bool = False) -> None:
+        if app not in _ROLES:
+            raise AdversaryError(
+                f"unknown app {app!r}; choose from {sorted(_ROLES)}")
+        if deposits and app != "betting":
+            raise AdversaryError(
+                "the §IV security-deposit variant is rendered for the "
+                "betting app only")
+        self.app = app
+        self.deposits = deposits
+
+    # -- public entry points -------------------------------------------
+
+    def run(self, strategy: str | AdversaryProfile) -> ScenarioResult:
+        """Stage one strategy end to end and return its books."""
+        prof = (strategy if isinstance(strategy, AdversaryProfile)
+                else get_profile(strategy))
+        runner = getattr(self, "_run_" + prof.name.replace("-", "_"))
+        with obs.span(obs.names.SPAN_ADVERSARY_SCENARIO,
+                      strategy=prof.name, app=self.app):
+            if obs.enabled():
+                obs.inc(obs.names.METRIC_ADVERSARY_SCENARIOS,
+                        strategy=prof.name, app=self.app)
+            result = runner(prof)
+        self._check_expectations(prof, result)
+        return result
+
+    def baseline(self) -> ScenarioResult:
+        """The all-honest run every scenario is judged against."""
+        sim, participants, protocol = self._build({})
+        books = _Books(sim, participants, protocol)
+        self._deploy_and_sign(protocol, participants, books)
+        self._fund_and_ready(protocol, participants)
+        protocol.submit_result(participants[0])
+        books.mark(protocol)
+        challenge = protocol.run_challenge_window()
+        if challenge.disputed:
+            raise AdversaryError("the honest baseline disputed itself")
+        protocol.finalize(participants[0])
+        books.mark(protocol)
+        forfeited = self._settle_deposits(protocol)
+        return self._result(
+            "honest-baseline", protocol, participants, books,
+            adversaries=frozenset(), aborted=False, dispute=None,
+            forfeited=forfeited)
+
+    # -- the six scenarios ---------------------------------------------
+
+    def _run_withhold_signature(self, prof) -> ScenarioResult:
+        sim, participants, protocol = self._build(
+            {0: Strategy.REFUSES_TO_SIGN})
+        books = _Books(sim, participants, protocol)
+        self._deploy(protocol, participants[0])
+        books.mark(protocol)
+        try:
+            protocol.collect_signatures()
+        except SigningError as exc:
+            books.reject(f"signature withheld: {exc}")
+        else:
+            raise AdversaryError(
+                "withhold-signature failed to abort the session")
+        return self._result(
+            prof.name, protocol, participants, books,
+            adversaries={participants[0].name}, aborted=True,
+            dispute=None)
+
+    def _run_false_result(self, prof) -> ScenarioResult:
+        sim, participants, protocol = self._build(
+            {0: Strategy.LIES_ABOUT_RESULT})
+        books = _Books(sim, participants, protocol)
+        self._deploy_and_sign(protocol, participants, books)
+        self._fund_and_ready(protocol, participants)
+        protocol.submit_result(participants[0])  # falsified
+        books.mark(protocol)
+        challenge = protocol.run_challenge_window()
+        books.mark(protocol)
+        if not challenge.disputed:
+            raise AdversaryError("the false result was not disputed")
+        forfeited = self._settle_deposits(protocol)
+        return self._result(
+            prof.name, protocol, participants, books,
+            adversaries={participants[0].name}, aborted=False,
+            dispute=challenge.value, forfeited=forfeited)
+
+    def _run_late_dispute(self, prof) -> ScenarioResult:
+        sim, participants, protocol = self._build(
+            {1: Strategy.DISPUTES_LATE})
+        griefer = participants[1]
+        books = _Books(sim, participants, protocol)
+        self._deploy_and_sign(protocol, participants, books)
+        self._fund_and_ready(protocol, participants)
+        protocol.submit_result(participants[0])  # truthful
+        books.mark(protocol)
+
+        deadline = protocol.challenge_deadline()
+        sim.advance_time_to(deadline + 1)
+        try:
+            protocol.dispute(griefer)
+        except ChallengeWindowClosed as exc:
+            books.reject(f"late dispute refused off-chain: {exc}")
+        else:
+            raise AdversaryError(
+                "a dispute past challengeDeadline was accepted")
+        # The contract enforces the same bound: a hand-crafted late
+        # transaction reverts instead of hijacking the settlement.
+        copy = protocol.signed_copies[griefer.name]
+        receipt = protocol.onchain.transact(
+            "deployVerifiedInstance", copy.bytecode,
+            *copy.vrs_arguments(), sender=griefer.account,
+            gas_limit=DISPUTE_GAS_LIMIT, require_success=False)
+        if receipt.status:
+            raise AdversaryError(
+                "the on-chain deadline guard accepted a late dispute")
+        books.reject(
+            "late deployVerifiedInstance reverted on-chain "
+            f"(block past deadline {deadline})")
+        books.extra_gas[griefer.name] += receipt.gas_used
+
+        protocol.finalize(participants[0])
+        books.mark(protocol)
+        forfeited = self._settle_deposits(protocol)
+        return self._result(
+            prof.name, protocol, participants, books,
+            adversaries={griefer.name}, aborted=False, dispute=None,
+            forfeited=forfeited)
+
+    def _run_replay_copy(self, prof) -> ScenarioResult:
+        sim, participants, protocol = self._build(
+            {0: Strategy.LIES_ABOUT_RESULT})
+        liar = participants[0]
+        books = _Books(sim, participants, protocol)
+
+        # The liar controls a sock-puppet session whose participants
+        # all sign — yielding a fully signed copy of *different*
+        # bytecode (different addresses baked into the constructor).
+        socks = [
+            Participant(
+                account=sim.create_account(
+                    f"sock-{self.app}-{index}", name=f"sock{index}"),
+                name=f"sock{index}")
+            for index in range(len(participants))
+        ]
+        sock_protocol = self._make_protocol(sim, socks)
+        self._deploy(sock_protocol, socks[0])
+        sock_protocol.collect_signatures()
+        foreign = sock_protocol.signed_copies[socks[0].name]
+
+        self._deploy_and_sign(protocol, participants, books)
+        self._fund_and_ready(protocol, participants)
+        protocol.submit_result(liar)  # falsified
+        books.mark(protocol)
+
+        # Off-chain guard: the foreign copy fails participant-list
+        # verification outright.
+        try:
+            foreign.require_valid(
+                [p.address for p in protocol.participants])
+        except SigningError as exc:
+            books.reject(f"replayed copy failed verification: {exc}")
+        else:
+            raise AdversaryError(
+                "a foreign signed copy verified against this session")
+        # On-chain guard: keccak256(bytecode) does not match the hash
+        # the honest participants signed, so the replay reverts.
+        receipt = protocol.onchain.transact(
+            "deployVerifiedInstance", foreign.bytecode,
+            *foreign.vrs_arguments(), sender=liar.account,
+            gas_limit=DISPUTE_GAS_LIMIT, require_success=False)
+        if receipt.status:
+            raise AdversaryError(
+                "the contract accepted a replayed signed copy")
+        books.reject("replayed deployVerifiedInstance reverted "
+                     "(bytecode hash mismatch)")
+        books.extra_gas[liar.name] += receipt.gas_used
+
+        challenge = protocol.run_challenge_window()
+        books.mark(protocol)
+        if not challenge.disputed:
+            raise AdversaryError("the honest dispute never happened")
+        forfeited = self._settle_deposits(protocol)
+        return self._result(
+            prof.name, protocol, participants, books,
+            adversaries={liar.name}, aborted=False,
+            dispute=challenge.value, forfeited=forfeited)
+
+    def _run_crash_restart(self, prof) -> ScenarioResult:
+        sim, participants, protocol = self._build(
+            {0: Strategy.LIES_ABOUT_RESULT})
+        victim = participants[1]
+        books = _Books(sim, participants, protocol)
+        self._deploy_and_sign(protocol, participants, books)
+
+        # Crash: the victim loses its local signed copy mid-stage.
+        protocol.signed_copies.pop(victim.name)
+        try:
+            protocol.dispute(victim)
+        except DisputeError as exc:
+            books.reject(f"dispute without a signed copy refused: {exc}")
+        else:
+            raise AdversaryError(
+                "a dispute without a signed copy was accepted")
+
+        # Restart: the signature envelopes are still on the Whisper
+        # backlog (within TTL), so the victim reassembles its copy.
+        collected: dict[Address, Signature] = {}
+        for envelope in protocol.bus.peek_all(protocol._signing_topic):
+            address_raw, sig_raw = rlp.decode(envelope.payload)
+            collected[Address(address_raw)] = Signature.from_bytes(sig_raw)
+        recovered = assemble_signed_copy(
+            protocol.offchain_bytecode, collected,
+            [p.address for p in protocol.participants])
+        protocol.signed_copies[victim.name] = recovered
+
+        self._fund_and_ready(protocol, participants)
+        protocol.submit_result(participants[0])  # falsified
+        books.mark(protocol)
+        challenge = protocol.run_challenge_window()
+        books.mark(protocol)
+        if not challenge.disputed:
+            raise AdversaryError(
+                "the recovered participant failed to dispute")
+        forfeited = self._settle_deposits(protocol)
+        return self._result(
+            prof.name, protocol, participants, books,
+            adversaries={participants[0].name}, aborted=False,
+            dispute=challenge.value, forfeited=forfeited)
+
+    def _run_censor_mempool(self, prof) -> ScenarioResult:
+        sim, participants, protocol = self._build(
+            {0: Strategy.LIES_ABOUT_RESULT})
+        challenger = participants[1]
+        books = _Books(sim, participants, protocol)
+        self._deploy_and_sign(protocol, participants, books)
+        self._fund_and_ready(protocol, participants)
+        protocol.submit_result(participants[0])  # falsified
+        books.mark(protocol)
+
+        copy = protocol.signed_copies[challenger.name]
+        copy.require_valid([p.address for p in protocol.participants])
+        onchain = protocol.onchain
+
+        def signed(to: Address, data: bytes,
+                   gas_price: int) -> Transaction:
+            """Hand-roll a challenger transaction at the state nonce."""
+            return Transaction.create_signed(
+                private_key=challenger.key,
+                nonce=sim.get_nonce(challenger.account),
+                to=to, value=0, data=data,
+                gas_limit=DISPUTE_GAS_LIMIT, gas_price=gas_price)
+
+        # Leg 1: the censoring miner pulls the dispute out of the pool
+        # and mines an empty block without it.
+        deploy_data = onchain.abi.function(
+            "deployVerifiedInstance").encode_call(
+                [copy.bytecode, *copy.vrs_arguments()])
+        first = signed(onchain.address, deploy_data, gas_price=1)
+        sim.chain.send_transaction(first)
+        censored = sim.chain.mempool.pop_batch(sim.chain.block_gas_limit)
+        sim.mine()
+        books.reject(
+            f"miner censored {len(censored)} dispute transaction(s) "
+            "out of its block")
+        # The challenger sees no receipt and resubmits; a miner that
+        # is not in on the censorship includes it.
+        resent = signed(onchain.address, deploy_data, gas_price=1)
+        sim.chain.send_transaction(resent)
+        sim.mine()
+        deploy_receipt = sim.get_receipt(resent.hash)
+        if not deploy_receipt.status:
+            raise AdversaryError("the resubmitted dispute reverted")
+        protocol.ledger.record(Stage.DISPUTED.value,
+                               "deployVerifiedInstance",
+                               deploy_receipt, challenger.name)
+
+        # Leg 2: the miner stalls the resolution instead of dropping
+        # it; the challenger bumps the fee (replace-by-gas-price) and
+        # the greedy miner defects from the censorship.
+        instance_address = Address(onchain.call("deployedAddr"))
+        resolve_data = protocol.compiled_offchain.abi.function(
+            "returnDisputeResolution").encode_call([onchain.address])
+        stalled = signed(instance_address, resolve_data, gas_price=1)
+        sim.chain.send_transaction(stalled)
+        sim.increase_time(300)  # blocks pass; the tx never lands
+        replacement = signed(instance_address, resolve_data, gas_price=2)
+        sim.chain.send_transaction(replacement)  # same-nonce RBF
+        try:
+            sim.chain.send_transaction(stalled)  # censor re-injects
+        except MempoolError as exc:
+            books.reject(f"stale original refused re-entry: {exc}")
+        else:
+            raise AdversaryError(
+                "the mempool re-admitted an underpriced duplicate")
+        sim.mine()
+        resolve_receipt = sim.get_receipt(replacement.hash)
+        if not resolve_receipt.status:
+            raise AdversaryError("the fee-bumped resolution reverted")
+        protocol.ledger.record(Stage.DISPUTED.value,
+                               "returnDisputeResolution",
+                               resolve_receipt, challenger.name)
+        # The RBF leg paid gas_price=2: one extra gas_used of cost on
+        # top of what the ledger (which assumes price 1) accounts.
+        books.extra_gas[challenger.name] += resolve_receipt.gas_used
+
+        dispute = protocol.record_dispute(
+            instance_address, deploy_receipt, resolve_receipt)
+        books.mark(protocol)
+        forfeited = self._settle_deposits(protocol)
+        return self._result(
+            prof.name, protocol, participants, books,
+            adversaries={participants[0].name}, aborted=False,
+            dispute=dispute, forfeited=forfeited)
+
+    # -- shared plumbing -----------------------------------------------
+
+    def _build(self, strategies: dict[int, Strategy]):
+        sim = EthereumSimulator()
+        participants = [
+            Participant(account=sim.accounts[index], name=role,
+                        strategy=strategies.get(index, Strategy.HONEST))
+            for index, role in enumerate(_ROLES[self.app])
+        ]
+        protocol = self._make_protocol(sim, participants)
+        return sim, participants, protocol
+
+    def _make_protocol(self, sim, participants) -> OnOffChainProtocol:
+        if self.app == "betting":
+            from repro.apps.betting import make_betting_protocol
+
+            return make_betting_protocol(
+                sim, participants[0], participants[1],
+                security_deposit=(SECURITY_DEPOSIT if self.deposits
+                                  else 0))
+        if self.app == "escrow":
+            from repro.apps.escrow import make_escrow_protocol
+
+            return make_escrow_protocol(
+                sim, participants[0], participants[1])
+        from repro.apps.tender import make_tender_protocol
+
+        return make_tender_protocol(sim, *participants)
+
+    def _deploy(self, protocol, deployer) -> None:
+        if self.app == "betting":
+            from repro.apps.betting import deploy_betting
+
+            deploy_betting(protocol, deployer)
+        elif self.app == "escrow":
+            from repro.apps.escrow import deploy_escrow
+
+            deploy_escrow(protocol, deployer)
+        else:
+            from repro.apps.tender import deploy_tender
+
+            deploy_tender(protocol, deployer)
+
+    def _deploy_and_sign(self, protocol, participants, books) -> None:
+        self._deploy(protocol, participants[0])
+        books.mark(protocol)
+        protocol.collect_signatures()
+        books.mark(protocol)
+        if self.deposits:
+            protocol.pay_security_deposits()
+
+    def _fund_and_ready(self, protocol, participants) -> None:
+        """App-specific escrow plus any timeline wait before submit."""
+        if self.app == "betting":
+            plan = protocol.betting_plan
+            for participant in participants:
+                protocol.call_onchain(participant, "deposit",
+                                      value=plan["stake"])
+            protocol.simulator.advance_time_to(plan["timeline"].t2 + 1)
+        elif self.app == "escrow":
+            protocol.call_onchain(participants[0], "fund",
+                                  value=protocol.escrow_plan["price"])
+        else:
+            protocol.call_onchain(participants[0], "fund",
+                                  value=protocol.tender_plan["budget"])
+
+    def _settle_deposits(self, protocol) -> tuple[str, ...]:
+        """Withdraw §IV deposits; report (and count) forfeitures."""
+        if not self.deposits:
+            return ()
+        withdrawals = protocol.withdraw_security_deposits()
+        forfeited = tuple(sorted(
+            name for name, withdrew in withdrawals.items()
+            if not withdrew))
+        if forfeited and obs.enabled():
+            obs.inc(obs.names.METRIC_ADVERSARY_FORFEITS,
+                    len(forfeited), app=self.app)
+        return forfeited
+
+    def _result(self, strategy: str, protocol, participants,
+                books: "_Books", adversaries, aborted: bool,
+                dispute: Optional[DisputeOutcome],
+                forfeited: tuple[str, ...] = ()) -> ScenarioResult:
+        sim = protocol.simulator
+        gas_paid = {p.name: books.extra_gas.get(p.name, 0)
+                    for p in participants}
+        for entry in protocol.ledger.entries:
+            if entry.actor in gas_paid:
+                gas_paid[entry.actor] += entry.gas
+        dispute_gas: dict[str, int] = {}
+        if dispute is not None:
+            dispute_gas = {
+                "deployVerifiedInstance":
+                    dispute.deploy_receipt.gas_used,
+                "returnDisputeResolution":
+                    dispute.resolve_receipt.gas_used,
+            }
+        if books.rejections and obs.enabled():
+            obs.inc(obs.names.METRIC_ADVERSARY_REJECTED,
+                    len(books.rejections), strategy=strategy,
+                    app=self.app)
+        return ScenarioResult(
+            strategy=strategy,
+            app=self.app,
+            deposits=self.deposits,
+            stages=tuple(books.stages),
+            aborted=aborted,
+            disputed=dispute is not None,
+            outcome=None if aborted else protocol.outcome(),
+            rejected_actions=tuple(books.rejections),
+            honest=tuple(p.name for p in participants
+                         if p.name not in adversaries),
+            start_balances=books.start,
+            end_balances={p.name: sim.get_balance(p.account)
+                          for p in participants},
+            gas_paid=gas_paid,
+            dispute_gas=dispute_gas,
+            forfeited=forfeited,
+        )
+
+    @staticmethod
+    def _check_expectations(prof: AdversaryProfile,
+                            result: ScenarioResult) -> None:
+        if prof.aborts != result.aborted:
+            raise AdversaryError(
+                f"{prof.name}: expected aborted={prof.aborts}, "
+                f"got {result.aborted}")
+        if prof.disputes != result.disputed:
+            raise AdversaryError(
+                f"{prof.name}: expected disputed={prof.disputes}, "
+                f"got {result.disputed}")
+
+
+class _Books:
+    """Per-run bookkeeping: stages, balances, rejections, extra gas."""
+
+    def __init__(self, sim, participants, protocol=None) -> None:
+        self.start = {p.name: sim.get_balance(p.account)
+                      for p in participants}
+        self.stages: list[Stage] = []
+        self.rejections: list[str] = []
+        self.extra_gas: dict[str, int] = {p.name: 0 for p in participants}
+        if protocol is not None:
+            self.mark(protocol)
+
+    def mark(self, protocol) -> None:
+        """Record the protocol's stage if it moved."""
+        if not self.stages or self.stages[-1] is not protocol.stage:
+            self.stages.append(protocol.stage)
+
+    def reject(self, detail: str) -> None:
+        """Record one adversarial action the protocol turned away."""
+        self.rejections.append(detail)
+
+
+def run_scenario(strategy: str, app: str = "betting",
+                 deposits: bool = False) -> ScenarioResult:
+    """One-call convenience: stage a strategy against an app."""
+    return ScenarioHarness(app=app, deposits=deposits).run(strategy)

@@ -1,0 +1,202 @@
+"""Rational-adherence invariants checked after every scenario.
+
+The paper's incentive argument (§III-C, §IV) only holds if deviating
+never improves the deviator's position and never damages anyone
+honest.  After the harness stages a Byzantine strategy, these checks
+assert the three facts that argument rests on:
+
+1. *Honest participants end no worse off than the honest path* —
+   modulo the gas they spent participating.  A protocol where honesty
+   costs money is one rational players leave.
+2. *The stage trajectory follows Table I* — no scenario may teleport
+   the session between lifecycle stages.
+3. *Dispute gas is bit-identical to the reference run* — the cost of
+   policing a lie is fixed and known in advance (Table II pins the
+   challenge-period-free figures at 225,082 + reveal and 37,745), so
+   a cheater cannot grief a challenger with unbounded dispute cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.adversary.harness import ScenarioHarness, ScenarioResult
+from repro.core.protocol import Stage
+
+#: Table II reference figures for the dispute path (challenge-period
+#: 0 rendering of the betting contract; asserted by
+#: ``benchmarks/bench_table2_dispute_gas.py`` and the bench-runner's
+#: adversarial dispute scenario).
+PAPER_DEPLOY_VERIFIED_INSTANCE = 225_082
+PAPER_RETURN_DISPUTE_RESOLUTION = 37_745
+
+#: Legal stage transitions (Table I).  ``SIGNED -> RESOLVED`` covers a
+#: dispute raised straight from Deploy/Sign (no proposal on record);
+#: ``PROPOSED -> RESOLVED`` is the Submit/Challenge escalation.
+_TABLE_I_EDGES: dict[Stage, frozenset[Stage]] = {
+    Stage.CREATED: frozenset({Stage.GENERATED}),
+    Stage.GENERATED: frozenset({Stage.DEPLOYED}),
+    Stage.DEPLOYED: frozenset({Stage.SIGNED}),
+    Stage.SIGNED: frozenset({Stage.PROPOSED, Stage.RESOLVED}),
+    Stage.PROPOSED: frozenset({Stage.SETTLED, Stage.RESOLVED}),
+    Stage.SETTLED: frozenset(),
+    Stage.DISPUTED: frozenset({Stage.RESOLVED}),
+    Stage.RESOLVED: frozenset(),
+}
+
+#: Stages a run may legitimately stop in.
+_TERMINAL_STAGES = frozenset({Stage.SETTLED, Stage.RESOLVED})
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, human-readable."""
+
+    scenario: str
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.scenario}] {self.invariant}: {self.detail}"
+
+
+def honest_no_worse_off(result: ScenarioResult,
+                        baseline: ScenarioResult
+                        ) -> list[InvariantViolation]:
+    """Every honest participant nets at least the honest-path figure.
+
+    ``>=`` rather than ``==``: the §IV deposit variant *compensates*
+    the challenger out of the liar's forfeited deposit, so an honest
+    challenger may end strictly better off than under all-honest play.
+    Aborted sessions compare against ``min(0, baseline)``: when the
+    session dies before any value moves, an honest would-be winner
+    legitimately keeps its stake instead of winning the pot.
+    """
+    violations = []
+    for name in result.honest:
+        actual = result.net_modulo_gas(name)
+        base = baseline.net_modulo_gas(name)
+        floor = min(0, base) if result.aborted else base
+        if actual < floor:
+            violations.append(InvariantViolation(
+                scenario=result.strategy,
+                invariant="honest-no-worse-off",
+                detail=(
+                    f"{name} nets {actual} wei (modulo gas) but the "
+                    f"honest path guarantees at least {floor}"
+                ),
+            ))
+    return violations
+
+
+def stage_transitions_valid(result: ScenarioResult
+                            ) -> list[InvariantViolation]:
+    """The observed stage trajectory walks Table I edges only."""
+    violations = []
+    stages = result.stages
+    if not stages:
+        return [InvariantViolation(
+            scenario=result.strategy,
+            invariant="stage-transitions",
+            detail="no stages were recorded",
+        )]
+    for prev, nxt in zip(stages, stages[1:]):
+        if nxt not in _TABLE_I_EDGES[prev]:
+            violations.append(InvariantViolation(
+                scenario=result.strategy,
+                invariant="stage-transitions",
+                detail=(
+                    f"illegal transition {prev.name} -> {nxt.name} "
+                    f"(Table I allows "
+                    f"{sorted(s.name for s in _TABLE_I_EDGES[prev])})"
+                ),
+            ))
+    last = stages[-1]
+    if result.aborted:
+        if last in _TERMINAL_STAGES:
+            violations.append(InvariantViolation(
+                scenario=result.strategy,
+                invariant="stage-transitions",
+                detail=(
+                    f"an aborted session still reached {last.name}"
+                ),
+            ))
+    elif last not in _TERMINAL_STAGES:
+        violations.append(InvariantViolation(
+            scenario=result.strategy,
+            invariant="stage-transitions",
+            detail=(
+                f"session stopped in non-terminal stage {last.name}"
+            ),
+        ))
+    return violations
+
+
+def dispute_gas_matches(result: ScenarioResult,
+                        reference: dict[str, int]
+                        ) -> list[InvariantViolation]:
+    """Disputes burn exactly the reference gas — bit-identical.
+
+    The harness binds participants to deterministic accounts, so a
+    dispute raised under *any* adversarial condition (censorship,
+    crash recovery, replay noise) must cost precisely what the clean
+    dispute of the same app costs.  A single-gas-unit drift means the
+    adversary found a way to change what the challenger pays.
+    """
+    if not result.disputed:
+        return []
+    violations = []
+    for label, expected in reference.items():
+        actual = result.dispute_gas.get(label)
+        if actual != expected:
+            violations.append(InvariantViolation(
+                scenario=result.strategy,
+                invariant="dispute-gas",
+                detail=(
+                    f"{label} burned {actual} gas; the reference run "
+                    f"burned {expected}"
+                ),
+            ))
+    return violations
+
+
+@lru_cache(maxsize=None)
+def reference_baseline(app: str, deposits: bool = False
+                       ) -> ScenarioResult:
+    """The all-honest run for one app (memoised per process)."""
+    return ScenarioHarness(app=app, deposits=deposits).baseline()
+
+
+@lru_cache(maxsize=None)
+def reference_dispute_gas(app: str, deposits: bool = False
+                          ) -> tuple[tuple[str, int], ...]:
+    """Dispute gas of the clean false-result run (memoised).
+
+    Returned as a tuple of items so ``lru_cache`` can hold it; use
+    ``dict(...)`` at the call site.
+    """
+    result = ScenarioHarness(app=app, deposits=deposits).run(
+        "false-result")
+    return tuple(sorted(result.dispute_gas.items()))
+
+
+def check_invariants(result: ScenarioResult,
+                     baseline: ScenarioResult | None = None,
+                     reference: dict[str, int] | None = None
+                     ) -> list[InvariantViolation]:
+    """Run every invariant against one scenario result.
+
+    ``baseline`` and ``reference`` default to memoised clean runs of
+    the same app/deposit configuration.
+    """
+    if baseline is None:
+        baseline = reference_baseline(result.app, result.deposits)
+    if reference is None:
+        reference = dict(
+            reference_dispute_gas(result.app, result.deposits))
+    return (
+        honest_no_worse_off(result, baseline)
+        + stage_transitions_valid(result)
+        + dispute_gas_matches(result, reference)
+    )

@@ -1,0 +1,109 @@
+"""The Byzantine strategies the fault-injection harness can stage.
+
+Each profile names one way a participant (or the transport under them)
+can deviate from the paper's protocol, together with the terminal state
+the protocol is *supposed* to reach despite the deviation.  Profiles
+that map onto a per-participant behaviour carry the corresponding
+:class:`~repro.core.participants.Strategy`; the transport-level attacks
+(replay, crash, censorship) are staged by the harness itself and have
+no single-participant strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.participants import Strategy
+from repro.exceptions import ReproError
+
+
+class AdversaryError(ReproError, RuntimeError):
+    """A scenario could not be staged or reached the wrong outcome."""
+
+
+@dataclass(frozen=True)
+class AdversaryProfile:
+    """One named deviation plus the outcome the protocol must force.
+
+    ``aborts`` marks scenarios that must terminate before any money
+    moves (rule 1 of Table I); ``disputes`` marks scenarios that must
+    settle through Dispute/Resolve; neither set means the honest
+    finalize path must win.
+    """
+
+    name: str
+    strategy: Optional[Strategy]
+    summary: str
+    aborts: bool = False
+    disputes: bool = False
+
+
+WITHHOLD_SIGNATURE = AdversaryProfile(
+    name="withhold-signature",
+    strategy=Strategy.REFUSES_TO_SIGN,
+    summary="the representative never signs the off-chain copy; the "
+            "session must abort before any deposit moves",
+    aborts=True,
+)
+
+FALSE_RESULT = AdversaryProfile(
+    name="false-result",
+    strategy=Strategy.LIES_ABOUT_RESULT,
+    summary="the representative submits a falsified result; an honest "
+            "challenger overturns it through Dispute/Resolve",
+    disputes=True,
+)
+
+LATE_DISPUTE = AdversaryProfile(
+    name="late-dispute",
+    strategy=Strategy.DISPUTES_LATE,
+    summary="a griefer disputes a truthful proposal only after "
+            "challengeDeadline; both the protocol pre-check and the "
+            "on-chain require must reject it",
+)
+
+REPLAY_COPY = AdversaryProfile(
+    name="replay-copy",
+    strategy=None,
+    summary="the liar replays a signed copy from a sock-puppet session "
+            "to hijack the dispute; the bytecode-hash binding rejects "
+            "it and the honest copy wins",
+    disputes=True,
+)
+
+CRASH_RESTART = AdversaryProfile(
+    name="crash-restart",
+    strategy=None,
+    summary="an honest participant crashes after signing, loses its "
+            "copy, recovers it from the Whisper backlog and still "
+            "wins the dispute",
+    disputes=True,
+)
+
+CENSOR_MEMPOOL = AdversaryProfile(
+    name="censor-mempool",
+    strategy=None,
+    summary="an adversarial miner censors and stalls the dispute "
+            "transactions; resubmission and replace-by-fee land the "
+            "dispute before the deadline anyway",
+    disputes=True,
+)
+
+PROFILES: dict[str, AdversaryProfile] = {
+    p.name: p for p in (
+        WITHHOLD_SIGNATURE, FALSE_RESULT, LATE_DISPUTE,
+        REPLAY_COPY, CRASH_RESTART, CENSOR_MEMPOOL,
+    )
+}
+
+
+def profile(name: str) -> AdversaryProfile:
+    """Look a profile up by name (AdversaryError on unknown)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise AdversaryError(
+            f"unknown adversary strategy {name!r}; "
+            f"choose from {sorted(PROFILES)}"
+        ) from None

@@ -161,12 +161,15 @@ def make_betting_protocol(simulator: EthereumSimulator,
                           timeline: BettingTimeline | None = None,
                           stake: int = DEFAULT_STAKE,
                           seed: int = 42, rounds: int = 25,
-                          challenge_period: int = 3_600
+                          challenge_period: int = 3_600,
+                          security_deposit: int = 0
                           ) -> OnOffChainProtocol:
     """Build and generate the betting protocol for Alice and Bob.
 
     Returns the protocol already past Split/Generate, ready to deploy
-    (rule 1 of Table I).
+    (rule 1 of Table I).  A non-zero ``security_deposit`` renders the
+    §IV compensation machinery into the on-chain half (deposits gate
+    the dispute path and a lying proposer forfeits to the challenger).
     """
     timeline = timeline or BettingTimeline.starting_now(simulator)
     spec = SplitSpec(
@@ -174,6 +177,7 @@ def make_betting_protocol(simulator: EthereumSimulator,
         result_function=BETTING_SPEC.result_function,
         settle_function=BETTING_SPEC.settle_function,
         challenge_period=challenge_period,
+        security_deposit=security_deposit,
     )
     protocol = OnOffChainProtocol(
         simulator=simulator,

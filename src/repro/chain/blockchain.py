@@ -114,7 +114,8 @@ class Blockchain:
 
         with obs.span(obs.names.SPAN_CHAIN_MINE_BLOCK,
                       number=number) as mine_span:
-            transactions = self.mempool.pop_batch(block_gas_limit)
+            transactions = self.mempool.pop_batch(
+                block_gas_limit, account_nonce=self.state.get_nonce)
             receipts: list[Receipt] = []
             included: list[Transaction] = []
             cumulative_gas = 0

@@ -2,16 +2,22 @@
 
 Orders pending transactions the way miners do: by gas price
 (descending), then arrival order; per-sender transactions are kept in
-nonce order so account nonces always apply sequentially.
+nonce order so account nonces always apply sequentially.  One
+``(sender, nonce)`` slot holds at most one transaction —
+replace-by-gas-price on admission, mirroring geth's ``PriceBump``
+rule — and transactions whose nonce has already been consumed on
+chain are evicted at batch-selection time.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro import obs
 from repro.chain.transaction import Transaction, TransactionError
+from repro.crypto.keys import Address
 from repro.exceptions import ReproError
 
 
@@ -31,13 +37,29 @@ class Mempool:
     def __init__(self) -> None:
         self._entries: list[_PoolEntry] = []
         self._hashes: set[bytes] = set()
+        self._slots: dict[tuple[bytes, int], _PoolEntry] = {}
         self._counter = itertools.count()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _remove(self, entry: _PoolEntry) -> None:
+        """Drop one entry from every index."""
+        self._entries.remove(entry)
+        self._hashes.discard(entry.transaction.hash)
+        tx = entry.transaction
+        self._slots.pop((tx.sender.value, tx.nonce), None)
+
     def add(self, transaction: Transaction) -> None:
-        """Admit a transaction (deduplicated by hash, sender checked)."""
+        """Admit a transaction (deduplicated by hash, sender checked).
+
+        A transaction occupying an already-pending ``(sender, nonce)``
+        slot replaces the incumbent only when it bids a strictly
+        higher gas price; an equal-or-lower bid is rejected as an
+        underpriced replacement.  Without this rule two same-slot
+        transactions could coexist and the loser would linger in the
+        pool forever — only one of them can ever mine.
+        """
         if transaction.hash in self._hashes:
             raise MempoolError("transaction already in pool")
         try:
@@ -45,21 +67,60 @@ class Mempool:
         except TransactionError as exc:
             raise MempoolError(
                 f"rejecting unsignable transaction: {exc}") from exc
-        self._entries.append(_PoolEntry(
+        slot = (transaction.sender.value, transaction.nonce)
+        incumbent = self._slots.get(slot)
+        if incumbent is not None:
+            if transaction.gas_price <= incumbent.transaction.gas_price:
+                raise MempoolError(
+                    f"replacement transaction underpriced: nonce "
+                    f"{transaction.nonce} is pending at gas price "
+                    f"{incumbent.transaction.gas_price}, got "
+                    f"{transaction.gas_price}"
+                )
+            self._remove(incumbent)
+        entry = _PoolEntry(
             sort_key=(-transaction.gas_price, next(self._counter)),
             transaction=transaction,
-        ))
+        )
+        self._entries.append(entry)
         self._hashes.add(transaction.hash)
+        self._slots[slot] = entry
         if obs.enabled():
             obs.set_gauge(obs.names.METRIC_MEMPOOL_DEPTH,
                           len(self._entries))
 
-    def pop_batch(self, gas_limit: int) -> list[Transaction]:
+    def evict_stale(self,
+                    account_nonce: Callable[[Address], int]
+                    ) -> list[Transaction]:
+        """Drop transactions whose nonce the chain already consumed.
+
+        ``account_nonce`` maps a sender address to its current account
+        nonce; any pending transaction with a lower nonce can never
+        mine again and is evicted.  Returns the evicted transactions.
+        """
+        stale = [
+            entry for entry in self._entries
+            if entry.transaction.nonce
+            < account_nonce(entry.transaction.sender)
+        ]
+        for entry in stale:
+            self._remove(entry)
+        return [entry.transaction for entry in stale]
+
+    def pop_batch(self, gas_limit: int,
+                  account_nonce: Optional[Callable[[Address], int]] = None
+                  ) -> list[Transaction]:
         """Take the best transactions fitting under ``gas_limit``.
 
         Per-sender nonce order is preserved: a later-nonce transaction
         never jumps ahead of an earlier one from the same sender.
+        When the miner supplies ``account_nonce`` (the chain's current
+        account-nonce view), stale-nonce transactions are evicted
+        before selection so they can neither block a sender's queue
+        nor linger in the pool forever.
         """
+        if account_nonce is not None:
+            self.evict_stale(account_nonce)
         self._entries.sort()
         chosen: list[Transaction] = []
         gas_budget = gas_limit
@@ -86,6 +147,7 @@ class Mempool:
                 gas_budget -= tx.gas_limit
                 min_nonce[key] = tx.nonce + 1
                 self._hashes.discard(tx.hash)
+                self._slots.pop((key, tx.nonce), None)
                 del self._entries[index]
                 progress = True
                 break
@@ -99,6 +161,7 @@ class Mempool:
         """Drop every pending transaction."""
         self._entries.clear()
         self._hashes.clear()
+        self._slots.clear()
 
     def pending(self) -> list[Transaction]:
         """Snapshot of pending transactions (pool order)."""

@@ -80,13 +80,25 @@ class Transaction:
 
     @cached_property
     def sender(self) -> Address:
-        """Recover the sender address from the signature."""
+        """Recover the sender address from the signature.
+
+        High-s signatures are rejected outright (EIP-2, Homestead):
+        accepting the malleated twin would let the same payload exist
+        under two different transaction hashes and pollute the
+        ``recover_address`` memo with duplicate entries.
+        """
         digest = self.signing_hash(
             self.nonce, self.gas_price, self.gas_limit,
             self.to, self.value, self.data,
         )
+        signature = self.signature
+        if not signature.is_low_s:
+            raise TransactionError(
+                "non-canonical signature: s is in the upper half of the "
+                "curve order (EIP-2 requires low-s transactions)"
+            )
         try:
-            return recover_address(digest, self.signature)
+            return recover_address(digest, signature)
         except ValueError as exc:
             raise TransactionError(f"unrecoverable signature: {exc}") from exc
 

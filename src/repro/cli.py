@@ -13,6 +13,7 @@ Usage (also via ``python -m repro``):
     repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
                    [--dishonest FRACTION] [--compare] \\
                    [--emit-telemetry PATH]
+    repro adversary {strategy,all} [--app NAME|all] [--deposits]
 
 ``split`` is the Split/Generate stage as a tool: it writes the
 canonical on/off-chain pair next to your whole contract, ready to be
@@ -324,6 +325,55 @@ def cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_adversary(args: argparse.Namespace) -> int:
+    """Stage Byzantine strategies and check the rational-adherence
+    invariants; non-zero exit when any invariant is violated."""
+    from repro.adversary import (
+        PROFILES,
+        ScenarioHarness,
+        check_invariants,
+    )
+
+    strategies = (sorted(PROFILES) if args.strategy == "all"
+                  else [args.strategy])
+    apps = (["betting", "escrow", "tender"] if args.app == "all"
+            else [args.app])
+    if args.deposits and apps != ["betting"]:
+        raise SystemExit(
+            "error: --deposits is only rendered for --app betting")
+
+    failures = 0
+    for app in apps:
+        harness = ScenarioHarness(app=app, deposits=args.deposits)
+        for name in strategies:
+            result = harness.run(name)
+            violations = check_invariants(result)
+            stages = " -> ".join(stage.name for stage in result.stages)
+            verdict = ("ok" if not violations
+                       else f"{len(violations)} violation(s)")
+            print(f"{app}/{name}: {verdict}")
+            print(f"  stages   : {stages}")
+            if result.outcome is not None:
+                print(f"  outcome  : {result.outcome.outcome!r} "
+                      f"via {result.outcome.via}")
+            for rejection in result.rejected_actions:
+                print(f"  rejected : {rejection}")
+            if result.dispute_gas:
+                gas = ", ".join(f"{label}={value:,}" for label, value
+                                in sorted(result.dispute_gas.items()))
+                print(f"  dispute  : {gas} gas")
+            if result.forfeited:
+                print("  forfeited: "
+                      f"{', '.join(result.forfeited)} (§IV deposit)")
+            for violation in violations:
+                print(f"  VIOLATION: {violation}")
+            failures += len(violations)
+    if failures:
+        print(f"{failures} invariant violation(s)")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -398,6 +448,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream spans + metrics snapshot "
                                "to PATH as JSONL")
     p_engine.set_defaults(func=cmd_engine)
+
+    p_adversary = sub.add_parser(
+        "adversary",
+        help="stage Byzantine strategies and check rational-adherence "
+             "invariants")
+    p_adversary.add_argument(
+        "strategy",
+        choices=["all", "withhold-signature", "false-result",
+                 "late-dispute", "replay-copy", "crash-restart",
+                 "censor-mempool"])
+    p_adversary.add_argument(
+        "--app", default="betting",
+        choices=["betting", "tender", "escrow", "all"])
+    p_adversary.add_argument(
+        "--deposits", action="store_true",
+        help="render the §IV security-deposit variant (betting only)")
+    p_adversary.set_defaults(func=cmd_adversary)
 
     return parser
 

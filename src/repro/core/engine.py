@@ -41,7 +41,7 @@ from repro import obs
 from repro.chain.simulator import EthereumSimulator, SimAccount
 from repro.core.analytics import EngineMetrics
 from repro.obs.metrics import MetricsRegistry
-from repro.core.exceptions import EngineError
+from repro.core.exceptions import EngineError, SigningError
 from repro.core.participants import Participant, Strategy
 from repro.core.protocol import (
     OnOffChainProtocol,
@@ -110,6 +110,13 @@ class ProtocolDriver:
         self.protocol = protocol
         self.session_id = session_id
         self.truth: Any = None
+        #: Set when the session aborted before any money moved
+        #: (a participant refused to sign — rule 1 of Table I).
+        self.aborted = False
+        self.abort_reason = ""
+        #: Set when a false result could not be challenged in time and
+        #: finalized instead (the challenge window had already closed).
+        self.missed_window = False
 
     # -- hooks ---------------------------------------------------------
 
@@ -170,8 +177,16 @@ class ProtocolDriver:
         )]
         protocol.attach_onchain(deploy_receipt)
 
-        # Stage 2b: signature exchange is pure off-chain traffic.
-        protocol.collect_signatures()
+        # Stage 2b: signature exchange is pure off-chain traffic.  A
+        # refusal to sign aborts the whole session *before any money
+        # moved* (rule 1 of Table I) — the engine treats that as a
+        # graceful terminal state, not a scheduling failure.
+        try:
+            protocol.collect_signatures()
+        except SigningError as exc:
+            self.aborted = True
+            self.abort_reason = str(exc)
+            return
 
         # App-specific escrow (deposits / funding).
         funding = self.funding_intents()
@@ -183,38 +198,47 @@ class ProtocolDriver:
         if ready_at is not None:
             yield WaitUntil(ready_at)
         self.truth = protocol.reach_unanimous_agreement()
-        claim = rep.claimed_result(self.truth)
-        [__] = yield [TxIntent(
-            sender=rep.account, to=protocol.onchain.address,
-            data=self.encode_onchain("submitResult", claim),
-            gas_limit=SUBMIT_GAS, stage=Stage.PROPOSED.value,
-            label="submitResult", actor=rep.name,
-        )]
-        protocol.stage = Stage.PROPOSED
 
-        # Challenge window: honest parties police the proposal.
-        proposed = protocol.onchain.call("proposedResult")
-        if results_equal(proposed, self.truth):
-            deadline = protocol.onchain.call("challengeDeadline")
-            yield WaitUntil(deadline)
-            closer = protocol.participants[-1]
+        challenger: Optional[Participant] = None
+        if rep.strategy is Strategy.REFUSES_TO_SETTLE:
+            # Refusal to settle: no proposal ever lands; an honest
+            # participant escalates straight to Dispute/Resolve.
+            challenger = self._pick_challenger()
+        else:
+            claim = rep.claimed_result(self.truth)
             [__] = yield [TxIntent(
-                sender=closer.account, to=protocol.onchain.address,
-                data=self.encode_onchain("finalizeResult"),
-                gas_limit=FINALIZE_GAS, stage=Stage.PROPOSED.value,
-                label="finalizeResult", actor=closer.name,
+                sender=rep.account, to=protocol.onchain.address,
+                data=self.encode_onchain("submitResult", claim),
+                gas_limit=SUBMIT_GAS, stage=Stage.PROPOSED.value,
+                label="submitResult", actor=rep.name,
             )]
-            protocol.stage = Stage.SETTLED
-            return
+            protocol.stage = Stage.PROPOSED
+
+            # Challenge window: honest parties police the proposal —
+            # against the same chain clock the contract enforces.
+            proposed = protocol.onchain.call("proposedResult")
+            deadline = protocol.onchain.call("challengeDeadline")
+            if not results_equal(proposed, self.truth):
+                challenger = self._pick_challenger()
+                if protocol.simulator.chain.next_timestamp() >= deadline:
+                    # The window already closed under us (adversarial
+                    # stalling): the false proposal stands and will
+                    # finalize — disputing now would only revert.
+                    self.missed_window = True
+                    challenger = None
+            if challenger is None:
+                yield WaitUntil(deadline)
+                closer = protocol.participants[-1]
+                [__] = yield [TxIntent(
+                    sender=closer.account, to=protocol.onchain.address,
+                    data=self.encode_onchain("finalizeResult"),
+                    gas_limit=FINALIZE_GAS, stage=Stage.PROPOSED.value,
+                    label="finalizeResult", actor=closer.name,
+                )]
+                protocol.stage = Stage.SETTLED
+                return
 
         # Stage 4: a challenger reveals the signed copy.
-        challenger = next(
-            (p for p in protocol.participants if p.will_challenge), None)
-        if challenger is None:
-            raise EngineError(
-                f"session {self.session_id}: false result submitted but "
-                "no honest participant is willing to challenge"
-            )
         copy = protocol.signed_copies[challenger.name]
         copy.require_valid([p.address for p in protocol.participants])
         [dispute_deploy] = yield [TxIntent(
@@ -237,12 +261,31 @@ class ProtocolDriver:
         protocol.record_dispute(
             instance_address, dispute_deploy, dispute_resolve)
 
+    def _pick_challenger(self) -> Participant:
+        """The first participant willing to challenge, or EngineError.
+
+        A fleet where every party is silent or dishonest cannot police
+        a false result — that is a configuration error, surfaced
+        loudly rather than silently finalizing lies.
+        """
+        challenger = next(
+            (p for p in self.protocol.participants if p.will_challenge),
+            None)
+        if challenger is None:
+            raise EngineError(
+                f"session {self.session_id}: a dispute is needed but "
+                "no honest participant is willing to challenge"
+            )
+        return challenger
+
     # -- outcome -------------------------------------------------------
 
     @property
     def settled(self) -> bool:
-        """True once the session reached a terminal stage."""
-        return self.protocol.stage in (Stage.SETTLED, Stage.RESOLVED)
+        """True once the session reached a terminal state (including a
+        pre-funding abort after a signature refusal)."""
+        return self.aborted or self.protocol.stage in (
+            Stage.SETTLED, Stage.RESOLVED)
 
     @property
     def disputed(self) -> bool:
@@ -553,25 +596,38 @@ def dishonest_session_indices(count: int, fraction: float) -> set[int]:
 def spawn_fleet(simulator: EthereumSimulator, count: int,
                 app: str = "betting", dishonest_fraction: float = 0.0,
                 funding: Optional[int] = None,
+                dishonest_strategy: Strategy | str =
+                Strategy.LIES_ABOUT_RESULT,
                 **app_kwargs: Any) -> list[ProtocolDriver]:
     """Create ``count`` independent sessions of one app on one chain.
 
     Each session gets freshly funded accounts, so fleets scale past the
     simulator's pre-funded account list.  ``dishonest_fraction`` of the
-    sessions get a representative that lies about the off-chain result
-    (`Strategy.LIES_ABOUT_RESULT`), forcing those sessions through the
-    Dispute/Resolve path.
+    sessions get a representative playing ``dishonest_strategy``
+    (default `Strategy.LIES_ABOUT_RESULT`, forcing those sessions
+    through the Dispute/Resolve path).  This is the fault-injection
+    seam the adversary subsystem plugs into: any
+    :class:`~repro.core.participants.Strategy` (or its string value,
+    e.g. ``"refuses-to-sign"``) can be injected here.
     """
     if app not in _DRIVER_BY_APP:
         raise EngineError(
             f"unknown app {app!r}; choose from {sorted(_DRIVER_BY_APP)}")
     from repro.chain.simulator import DEFAULT_FUNDING
 
+    if isinstance(dishonest_strategy, str):
+        try:
+            dishonest_strategy = Strategy(dishonest_strategy)
+        except ValueError:
+            raise EngineError(
+                f"unknown dishonest strategy {dishonest_strategy!r}; "
+                f"choose from {[s.value for s in Strategy]}"
+            ) from None
     funding = DEFAULT_FUNDING if funding is None else funding
     liars = dishonest_session_indices(count, dishonest_fraction)
     drivers: list[ProtocolDriver] = []
     for index in range(count):
-        strategy = (Strategy.LIES_ABOUT_RESULT if index in liars
+        strategy = (dishonest_strategy if index in liars
                     else Strategy.HONEST)
 
         def member(role: str, member_strategy: Strategy) -> Participant:

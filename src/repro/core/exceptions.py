@@ -25,6 +25,16 @@ class DisputeError(ProtocolError):
     """Dispute resolution failed (e.g. no signed copy available)."""
 
 
+class ChallengeWindowClosed(StageError, DisputeError):
+    """A dispute was attempted after ``challengeDeadline`` passed.
+
+    Subclasses both :class:`StageError` (the protocol is past the
+    stage where challenges are admissible) and :class:`DisputeError`
+    (the dispute path rejected), so existing handlers of either
+    family keep working.
+    """
+
+
 class AgreementError(ProtocolError):
     """Participants failed to reach unanimous off-chain agreement."""
 

@@ -126,7 +126,8 @@ def render_onchain_contract(name: str,
             settle_fn, result_type, challenge_period))
     parts.append(_render_deploy_verified_instance(
         participants_var, num_participants,
-        with_deposits=security_deposit > 0))
+        with_deposits=security_deposit > 0,
+        with_challenge=challenge_period > 0))
     parts.append(_render_enforce_dispute_resolution(
         settle_fn, result_type,
         with_compensation=security_deposit > 0 and challenge_period > 0))
@@ -182,8 +183,17 @@ def _render_submit_challenge(settle_fn: ast.FunctionDecl, result_type: str,
 
 
 def _render_deploy_verified_instance(participants_var: str, count: int,
-                                     with_deposits: bool = False) -> str:
-    """Algorithm 5: verify all signatures, CREATE the instance."""
+                                     with_deposits: bool = False,
+                                     with_challenge: bool = False) -> str:
+    """Algorithm 5: verify all signatures, CREATE the instance.
+
+    With the Submit/Challenge machinery present (``with_challenge``),
+    a live proposal additionally bounds the dispute in time: once
+    ``block.timestamp`` reaches ``challengeDeadline`` the window is
+    closed and the dispute path rejects.  Contracts rendered without a
+    challenge period (Table II's configuration) are byte-identical to
+    the pre-deadline rendering, so the paper's gas figures stand.
+    """
     sig_params = ", ".join(
         f"uint8 v{index}, bytes32 r{index}, bytes32 s{index}"
         for index in range(count)
@@ -200,12 +210,17 @@ def _render_deploy_verified_instance(participants_var: str, count: int,
     challenger_line = (
         f"{_I2}challenger = msg.sender;\n" if with_deposits else ""
     )
+    deadline_line = (
+        f"{_I2}require(!hasProposal || block.timestamp < "
+        "challengeDeadline);\n"
+        if with_challenge else ""
+    )
     return f"""\
 {_I1}function deployVerifiedInstance(bytes memory bytecode, {sig_params}) \
 {modifiers} {{
 {_I2}require(!disputeResolved);
 {_I2}require(deployedAddr == address(0));
-{_I2}bytes32 __h = keccak256(bytecode);
+{deadline_line}{_I2}bytes32 __h = keccak256(bytecode);
 {checks}
 {challenger_line}{_I2}address __addr = create(bytecode);
 {_I2}deployedAddr = __addr;

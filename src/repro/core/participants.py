@@ -24,6 +24,7 @@ class Strategy(Enum):
     LIES_ABOUT_RESULT = "lies-about-result"     # submits a false result
     REFUSES_TO_SETTLE = "refuses-to-settle"     # never submits/settles
     SILENT = "silent"                           # never challenges either
+    DISPUTES_LATE = "disputes-late"             # challenges past deadline
 
 
 @dataclass
@@ -67,8 +68,15 @@ class Participant:
 
     @property
     def will_challenge(self) -> bool:
-        """Honest parties police the challenge window; SILENT ones don't."""
+        """Honest parties police the challenge window; SILENT ones
+        don't, and a DISPUTES_LATE party only wakes up after the
+        deadline (too late to count as a challenger)."""
         return self.strategy is Strategy.HONEST
+
+    @property
+    def challenges_late(self) -> bool:
+        """True for the griefer who disputes only after the deadline."""
+        return self.strategy is Strategy.DISPUTES_LATE
 
     def claimed_result(self, true_result):
         """What this participant *says* the off-chain result is."""

@@ -33,6 +33,7 @@ from repro.core.analytics import GasLedger
 from repro.core.annotations import SplitSpec
 from repro.core.exceptions import (
     AgreementError,
+    ChallengeWindowClosed,
     DisputeError,
     SigningError,
     StageError,
@@ -325,6 +326,7 @@ class OnOffChainProtocol:
         """
         if self.stage is not Stage.DEPLOYED:
             raise StageError("deploy() must precede collect_signatures()")
+        self.sync_bus_clock()
         topic = self._signing_topic
         with obs.span(obs.names.SPAN_STAGE_SIGN,
                       contract=self.contract_name,
@@ -465,27 +467,94 @@ class OnOffChainProtocol:
                 "submitResult", claim, sender=representative.account)
             self.ledger.record(Stage.PROPOSED.value, "submitResult",
                                receipt, representative.name)
+        self.sync_bus_clock()
         self.stage = Stage.PROPOSED
         return StageResult(stage=self.stage, receipts=(receipt,))
+
+    # -- challenge-window clock plumbing -------------------------------
+
+    def sync_bus_clock(self) -> None:
+        """Advance the Whisper clock to the chain's current timestamp.
+
+        The bus starts at 0 while blocks carry wall-clock timestamps;
+        keeping the two clocks on one timeline means envelope TTLs and
+        the challenge deadline are measured against the same time
+        source (the tentpole requirement of the window fix).  The bus
+        clock only moves forward, so repeated syncs are idempotent.
+        """
+        chain_now = self.simulator.current_timestamp
+        if chain_now > self.bus.now:
+            self.bus.advance_time(chain_now - self.bus.now)
+
+    def challenge_deadline(self) -> Optional[int]:
+        """The live proposal's ``challengeDeadline``, if one exists.
+
+        ``None`` when the contract was rendered without a challenge
+        period or no result has been submitted yet.
+        """
+        if self.onchain is None or self.spec.challenge_period <= 0:
+            return None
+        if not self.onchain.call("hasProposal"):
+            return None
+        return self.onchain.call("challengeDeadline")
+
+    def challenge_window_open(self) -> bool:
+        """Whether a dispute transaction sent now would beat the clock.
+
+        Measured against :meth:`Blockchain.next_timestamp` — the
+        timestamp the *next mined block* will carry — because that is
+        the value ``block.timestamp`` takes when the dispute executes,
+        not the (older) latest-block timestamp.
+        """
+        deadline = self.challenge_deadline()
+        if deadline is None:
+            return True
+        return self.simulator.chain.next_timestamp() < deadline
+
+    def _require_window_open(self, actor: str) -> None:
+        """Reject a dispute attempt once the window has closed."""
+        deadline = self.challenge_deadline()
+        if deadline is None:
+            return
+        next_ts = self.simulator.chain.next_timestamp()
+        if next_ts >= deadline:
+            if obs.enabled():
+                obs.inc(obs.names.METRIC_CHALLENGE_LATE_DISPUTES)
+            raise ChallengeWindowClosed(
+                f"challenge window closed: the dispute block would "
+                f"carry timestamp {next_ts} but the deadline was "
+                f"{deadline} ({actor} is {next_ts - deadline}s late)"
+            )
+        if obs.enabled():
+            obs.observe(obs.names.METRIC_CHALLENGE_DEADLINE_MARGIN,
+                        deadline - next_ts)
 
     def run_challenge_window(self) -> StageResult:
         """Honest participants police the submitted result.
 
         Each honest participant compares the on-chain proposal with its
         own local execution; on a mismatch it escalates to the dispute
-        path immediately (within the window).  The returned
+        path immediately — *provided the challenge window is still
+        open* by the chain clock.  A challenge attempted after
+        ``challengeDeadline`` raises :class:`ChallengeWindowClosed`:
+        the false proposal then stands and will finalize (the paper's
+        incentive argument is that a liar cannot *count* on every
+        honest party sleeping through the window).  The returned
         :class:`StageResult` has ``value=None`` (and no receipts) when
         the proposal was clean, or carries the
         :class:`DisputeOutcome` when a challenger overturned it.
         """
         if self.stage is not Stage.PROPOSED:
             raise StageError("no proposal to challenge")
+        self.sync_bus_clock()
         with obs.span(obs.names.SPAN_STAGE_CHALLENGE,
                       contract=self.contract_name) as challenge_span:
             proposed = self.onchain.call("proposedResult")
+            window_open = self.challenge_window_open()
             truth = self.reach_unanimous_agreement()
             clean = results_equal(proposed, truth)
-            challenge_span.set_label(clean=clean)
+            challenge_span.set_label(clean=clean,
+                                     window_open=window_open)
         if clean:
             return StageResult(stage=self.stage, value=None)
         for participant in self.participants:
@@ -508,6 +577,7 @@ class OnOffChainProtocol:
                 "finalizeResult", sender=caller.account)
             self.ledger.record(Stage.PROPOSED.value, "finalizeResult",
                                receipt, caller.name)
+        self.sync_bus_clock()
         self.stage = Stage.SETTLED
         return StageResult(stage=self.stage, receipts=(receipt,))
 
@@ -517,9 +587,19 @@ class OnOffChainProtocol:
 
     def dispute(self, challenger: Participant,
                 gas_limit: int = 6_000_000) -> StageResult:
-        """Reveal the signed copy and force the true result on-chain."""
+        """Reveal the signed copy and force the true result on-chain.
+
+        When a result has been submitted, the dispute must land before
+        ``challengeDeadline`` (by the timestamp of the block that
+        would carry it); afterwards :class:`ChallengeWindowClosed` is
+        raised before anything touches the chain.  The rendered
+        contract enforces the same bound with a ``require``, so even a
+        hand-crafted transaction cannot dispute late.
+        """
         if self.onchain is None:
             raise StageError("no on-chain contract deployed")
+        self.sync_bus_clock()
+        self._require_window_open(challenger.name)
         copy = self.signed_copies.get(challenger.name)
         if copy is None:
             raise DisputeError(

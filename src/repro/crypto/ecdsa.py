@@ -17,7 +17,10 @@ from repro.crypto import secp256k1
 from repro.exceptions import ReproError
 from repro.crypto.secp256k1 import G, N, P
 
-_HALF_N = N // 2
+#: EIP-2 boundary: a signature with ``s > HALF_N`` has a distinct but
+#: equally valid "high-s twin", the classic malleability vector.
+HALF_N = N // 2
+_HALF_N = HALF_N
 
 
 class SignatureError(ReproError, ValueError):
@@ -48,6 +51,18 @@ class Signature:
     def recovery_id(self) -> int:
         """The raw recovery id (0 or 1)."""
         return self.v - 27
+
+    @property
+    def is_low_s(self) -> bool:
+        """True when ``s`` is EIP-2 canonical (``s <= N/2``).
+
+        ``__post_init__`` deliberately accepts the high-s twin so this
+        type can model what mainnet's ``ecrecover`` precompile
+        tolerates; admission layers that require canonical signatures
+        (transaction senders, signed-copy wire decoding) must check
+        this flag and reject the malleated form.
+        """
+        return self.s <= HALF_N
 
     def to_bytes(self) -> bytes:
         """Serialise as the 65-byte r ‖ s ‖ v layout used by Ethereum."""

@@ -79,6 +79,7 @@ class ObsError(ReproError, RuntimeError):
 BLOCK_TX_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
 BLOCK_GAS_BUCKETS = (50_000, 100_000, 250_000, 500_000, 1_000_000,
                      2_000_000, 4_000_000, 8_000_000)
+WINDOW_MARGIN_BUCKETS = (60, 300, 900, 1_800, 3_600, 7_200, 14_400)
 
 
 def _declare_instruments(registry: MetricsRegistry) -> None:
@@ -102,6 +103,17 @@ def _declare_instruments(registry: MetricsRegistry) -> None:
                      help="GasLedger records per protocol stage")
     registry.counter(names.METRIC_OFFCHAIN_GAS,
                      help="gas-equivalents burned privately off-chain")
+    registry.counter(names.METRIC_CHALLENGE_LATE_DISPUTES,
+                     help="disputes rejected after the deadline")
+    registry.histogram(names.METRIC_CHALLENGE_DEADLINE_MARGIN,
+                       buckets=WINDOW_MARGIN_BUCKETS,
+                       help="window seconds left at dispute admission")
+    registry.counter(names.METRIC_ADVERSARY_SCENARIOS,
+                     help="adversary scenarios executed")
+    registry.counter(names.METRIC_ADVERSARY_REJECTED,
+                     help="adversarial actions rejected")
+    registry.counter(names.METRIC_ADVERSARY_FORFEITS,
+                     help="deposits forfeited in adversary scenarios")
     registry.counter(names.METRIC_ENGINE_SESSIONS,
                      help="sessions driven to completion")
     registry.counter(names.METRIC_ENGINE_DISPUTES,

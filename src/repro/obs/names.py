@@ -40,6 +40,9 @@ SPAN_STAGE_DISPUTE = "stage.dispute"
 #: One private local execution of the off-chain contract.
 SPAN_OFFCHAIN_EXECUTE = "offchain.execute"
 
+#: One adversary scenario (fault injection + invariant check).
+SPAN_ADVERSARY_SCENARIO = "adversary.scenario"
+
 #: One whole :meth:`SessionEngine.run` fleet drive.
 SPAN_ENGINE_RUN = "engine.run"
 #: One queue-mine-resume round over the runnable sessions.
@@ -67,6 +70,7 @@ ALL_SPANS: tuple[str, ...] = (
     SPAN_STAGE_FINALIZE,
     SPAN_STAGE_DISPUTE,
     SPAN_OFFCHAIN_EXECUTE,
+    SPAN_ADVERSARY_SCENARIO,
     SPAN_ENGINE_RUN,
     SPAN_ENGINE_MINE_ROUND,
     SPAN_ENGINE_SESSION_STEP,
@@ -139,6 +143,24 @@ METRIC_PROTOCOL_STAGE_GAS = "protocol.stage.gas"
 #: saved quantity); never part of any on-chain total.
 METRIC_OFFCHAIN_GAS = "offchain.gas_equivalent"
 
+#: counter — disputes rejected because ``block.timestamp`` had reached
+#: ``challengeDeadline`` (the challenge window was already closed).
+METRIC_CHALLENGE_LATE_DISPUTES = "protocol.challenge.late_disputes"
+#: histogram — seconds of challenge window remaining when a dispute
+#: was admitted (margin between the dispute block's timestamp and the
+#: deadline).
+METRIC_CHALLENGE_DEADLINE_MARGIN = \
+    "protocol.challenge.deadline_margin_seconds"
+
+#: counter, label ``strategy`` — adversary scenarios executed.
+METRIC_ADVERSARY_SCENARIOS = "adversary.scenarios"
+#: counter, label ``strategy`` — adversarial actions the protocol or
+#: the chain rejected (reverts, pre-checks, validation failures).
+METRIC_ADVERSARY_REJECTED = "adversary.rejected_actions"
+#: counter — security deposits forfeited to a challenger during
+#: adversary scenarios (the §IV monetary penalty firing).
+METRIC_ADVERSARY_FORFEITS = "adversary.deposit_forfeits"
+
 #: counter — sessions a :class:`SessionEngine` drove to completion.
 METRIC_ENGINE_SESSIONS = "engine.sessions"
 #: counter — sessions that settled through Dispute/Resolve.
@@ -168,6 +190,11 @@ ALL_METRICS: tuple[str, ...] = (
     METRIC_MEMPOOL_BATCH_TXS,
     METRIC_PROTOCOL_STAGE_GAS,
     METRIC_OFFCHAIN_GAS,
+    METRIC_CHALLENGE_LATE_DISPUTES,
+    METRIC_CHALLENGE_DEADLINE_MARGIN,
+    METRIC_ADVERSARY_SCENARIOS,
+    METRIC_ADVERSARY_REJECTED,
+    METRIC_ADVERSARY_FORFEITS,
     METRIC_ENGINE_SESSIONS,
     METRIC_ENGINE_DISPUTES,
     METRIC_ENGINE_BLOCKS,

@@ -79,7 +79,14 @@ class SignedCopy:
 
     @classmethod
     def from_wire(cls, raw: bytes) -> "SignedCopy":
-        """Rebuild a signature record from its wire tuple."""
+        """Rebuild a signature record from its wire tuple.
+
+        Only EIP-2 canonical (low-s) signatures are accepted: the
+        high-s twin of a valid signature still recovers to the same
+        signer, but it changes the wire bytes — a malleated copy would
+        verify yet hash differently from the one everybody signed,
+        so it is rejected at the trust boundary.
+        """
         try:
             decoded = rlp.decode(raw)
             bytecode, sig_blobs = decoded
@@ -88,6 +95,13 @@ class SignedCopy:
             )
         except (ValueError, TypeError) as exc:
             raise SigningError(f"malformed signed copy: {exc}") from exc
+        for index, signature in enumerate(signatures):
+            if not signature.is_low_s:
+                raise SigningError(
+                    f"signature {index} of the signed copy is "
+                    "non-canonical (high-s): refusing the malleated "
+                    "wire form"
+                )
         return cls(bytecode=bytecode, signatures=signatures)
 
 

@@ -38,21 +38,55 @@ class WhisperBus:
         self.bytes_transferred = 0
 
     def advance_time(self, seconds: int) -> None:
-        """Move the bus clock (TTL expiry is evaluated lazily)."""
+        """Move the bus clock; expired envelopes are pruned lazily."""
         if seconds < 0:
             raise WhisperError("time can only move forward")
         self._clock += seconds
+        for topic in list(self._messages):
+            self._prune(topic)
 
     @property
     def now(self) -> int:
         """The transport's current clock reading."""
         return self._clock
 
+    def _prune(self, topic: str) -> None:
+        """Drop expired envelopes from one topic's backlog.
+
+        Subscriber cursors are shifted down by the number of removed
+        envelopes that sat below them, so pruning is invisible to
+        :meth:`poll` — and ``bytes_transferred`` is a cumulative
+        transfer counter, never decreased by pruning.
+        """
+        messages = self._messages.get(topic)
+        if not messages:
+            return
+        removed_below = 0
+        removed_positions: list[int] = []
+        survivors: list[Envelope] = []
+        for index, envelope in enumerate(messages):
+            if envelope.expires_at > self._clock:
+                survivors.append(envelope)
+            else:
+                removed_positions.append(index)
+        if not removed_positions:
+            return
+        self._messages[topic] = survivors
+        for subscription in self._subscriptions.values():
+            if subscription.topic != topic:
+                continue
+            removed_below = sum(
+                1 for position in removed_positions
+                if position < subscription.cursor
+            )
+            subscription.cursor -= removed_below
+
     def post(self, topic: str, payload: bytes, sender: str = "",
              ttl: int = 3_600) -> Envelope:
         """Publish a payload under a topic."""
         if not topic:
             raise WhisperError("topic must be non-empty")
+        self._prune(topic)
         envelope = Envelope(
             topic=topic, payload=payload, sender=sender,
             posted_at=self._clock, ttl=ttl,
@@ -62,11 +96,19 @@ class WhisperBus:
         return envelope
 
     def subscribe(self, subscriber: str, topic: str) -> None:
-        """Register a subscriber cursor starting at the current head."""
+        """Register a subscriber cursor starting at the current head.
+
+        Real Whisper delivers a topic's traffic from the moment of
+        subscription — a late subscriber does not replay history.
+        Use :meth:`peek_all` for the bootstrap pattern that *does*
+        need the still-unexpired backlog (e.g. a crash-restarted
+        participant recovering its signed copy).
+        """
         key = (subscriber, topic)
         if key not in self._subscriptions:
             self._subscriptions[key] = _Subscription(
-                subscriber=subscriber, topic=topic, cursor=0,
+                subscriber=subscriber, topic=topic,
+                cursor=len(self._messages.get(topic, [])),
             )
 
     def poll(self, subscriber: str, topic: str) -> list[Envelope]:

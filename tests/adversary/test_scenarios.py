@@ -1,0 +1,161 @@
+"""Property-style sweep: every Byzantine strategy against every app.
+
+Each (strategy, app) cell stages a full protocol session with one
+injected deviation and then asserts the three rational-adherence
+invariants the paper's incentive argument rests on: honest balances,
+Table I stage transitions, and bit-identical dispute gas.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.adversary import (
+    PROFILES,
+    AdversaryError,
+    ScenarioHarness,
+    check_invariants,
+    honest_no_worse_off,
+    profile,
+    reference_baseline,
+    reference_dispute_gas,
+    stage_transitions_valid,
+)
+from repro.core.protocol import Stage
+
+APPS = ("betting", "escrow", "tender")
+STRATEGIES = tuple(sorted(PROFILES))
+
+
+@lru_cache(maxsize=None)
+def _run(strategy: str, app: str, deposits: bool = False):
+    """Each cell of the sweep is staged once per test session."""
+    return ScenarioHarness(app=app, deposits=deposits).run(strategy)
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_all_invariants_hold(strategy, app):
+    """The headline sweep: no invariant breaks in any cell."""
+    result = _run(strategy, app)
+    violations = check_invariants(result)
+    assert not violations, [str(v) for v in violations]
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_honest_participants_no_worse_off(strategy, app):
+    """Rational adherence: honesty never loses money to a deviator."""
+    result = _run(strategy, app)
+    baseline = reference_baseline(app)
+    assert not honest_no_worse_off(result, baseline)
+    for name in result.honest:
+        floor = (min(0, baseline.net_modulo_gas(name))
+                 if result.aborted else baseline.net_modulo_gas(name))
+        assert result.net_modulo_gas(name) >= floor
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_stage_transitions_match_table_i(strategy, app):
+    """Every observed trajectory walks Table I edges only."""
+    result = _run(strategy, app)
+    assert not stage_transitions_valid(result)
+    assert result.stages[0] is Stage.GENERATED
+    if result.aborted:
+        assert result.stages[-1] is Stage.DEPLOYED
+    else:
+        assert result.stages[-1] in (Stage.SETTLED, Stage.RESOLVED)
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_expected_terminal_path(strategy, app):
+    """Each profile reaches exactly the terminal state it promises."""
+    prof = profile(strategy)
+    result = _run(strategy, app)
+    assert result.aborted is prof.aborts
+    assert result.disputed is prof.disputes
+    if prof.disputes:
+        assert result.outcome is not None
+        assert result.outcome.via == "dispute"
+        # The dispute enforced the truth, not the submitted lie.
+        assert result.outcome.resolved
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_dispute_gas_bit_identical_across_strategies(app):
+    """Adversarial conditions never change what a dispute costs.
+
+    Censorship, replay noise and crash recovery all surround the
+    dispute — the dispute transactions themselves must burn exactly
+    the gas of the clean false-result run, to the unit.
+    """
+    reference = dict(reference_dispute_gas(app))
+    assert set(reference) == {"deployVerifiedInstance",
+                              "returnDisputeResolution"}
+    for strategy in STRATEGIES:
+        result = _run(strategy, app)
+        if result.disputed:
+            assert result.dispute_gas == reference, strategy
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_deposit_variant_invariants(strategy):
+    """The §IV security-deposit rendering passes the same sweep."""
+    result = _run(strategy, "betting", deposits=True)
+    violations = check_invariants(result)
+    assert not violations, [str(v) for v in violations]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_deposit_forfeiture_follows_guilt(strategy):
+    """Only a proposer caught lying forfeits its §IV deposit."""
+    result = _run(strategy, "betting", deposits=True)
+    prof = profile(strategy)
+    if prof.aborts:
+        # The session died before deposits were paid.
+        assert result.forfeited == ()
+    elif result.disputed:
+        # Every disputed scenario here has alice as the liar.
+        assert result.forfeited == ("alice",)
+    else:
+        assert result.forfeited == ()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_rejected_actions_recorded(strategy):
+    """Scenarios that stage an explicit attack log its rejection."""
+    expected_rejections = {
+        "withhold-signature": 1,   # refused signature aborts signing
+        "false-result": 0,         # the lie is caught, not rejected
+        "late-dispute": 2,         # off-chain pre-check + on-chain revert
+        "replay-copy": 2,          # copy verification + on-chain revert
+        "crash-restart": 1,        # dispute without a copy refused
+        "censor-mempool": 2,       # censored batch + underpriced re-add
+    }
+    result = _run(strategy, "betting")
+    assert len(result.rejected_actions) == expected_rejections[strategy]
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(AdversaryError):
+        ScenarioHarness("betting").run("fork-the-chain")
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(AdversaryError):
+        ScenarioHarness("poker")
+
+
+def test_deposits_restricted_to_betting():
+    with pytest.raises(AdversaryError):
+        ScenarioHarness("escrow", deposits=True)
+
+
+def test_baseline_is_honest_settlement():
+    baseline = reference_baseline("betting")
+    assert not baseline.aborted
+    assert not baseline.disputed
+    assert baseline.outcome.via == "finalize"
+    assert baseline.stages[-1] is Stage.SETTLED

@@ -1,0 +1,124 @@
+"""The challenge window is enforced by clock, not by convention.
+
+These tests pin the tentpole behaviour directly on the protocol: a
+dispute is judged by the timestamp of the block that would carry it,
+the rendered contract enforces the same bound with a ``require``, and
+a proposal nobody (validly) challenges finalizes after the deadline.
+"""
+
+import pytest
+
+from repro.apps.betting import deploy_betting, make_betting_protocol
+from repro.chain import EthereumSimulator
+from repro.core import Participant, Strategy
+from repro.core.exceptions import ChallengeWindowClosed
+from repro.core.protocol import Stage
+
+
+def _proposed_game(alice_strategy=Strategy.HONEST,
+                   challenge_period=3_600):
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice",
+                        strategy=alice_strategy)
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(
+        sim, alice, bob, challenge_period=challenge_period)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    plan = protocol.betting_plan
+    protocol.call_onchain(alice, "deposit", value=plan["stake"])
+    protocol.call_onchain(bob, "deposit", value=plan["stake"])
+    sim.advance_time_to(plan["timeline"].t2 + 1)
+    protocol.submit_result(alice)
+    return sim, protocol, alice, bob
+
+
+def test_dispute_within_window_resolves():
+    sim, protocol, alice, bob = _proposed_game(
+        Strategy.LIES_ABOUT_RESULT)
+    assert protocol.challenge_window_open()
+    result = protocol.dispute(bob)
+    assert result.stage is Stage.RESOLVED
+    assert protocol.outcome().via == "dispute"
+
+
+def test_dispute_after_deadline_rejected_by_chain_timestamp():
+    """The pre-check measures the block that *would* carry the
+    dispute, not wall-clock hope."""
+    sim, protocol, alice, bob = _proposed_game(
+        Strategy.LIES_ABOUT_RESULT)
+    deadline = protocol.challenge_deadline()
+    sim.advance_time_to(deadline + 1)
+    assert not protocol.challenge_window_open()
+    with pytest.raises(ChallengeWindowClosed):
+        protocol.dispute(bob)
+
+
+def test_late_dispute_reverts_on_chain_too():
+    """Bypassing the client pre-check still hits the contract's
+    ``require(block.timestamp < challengeDeadline)``."""
+    sim, protocol, alice, bob = _proposed_game(
+        Strategy.LIES_ABOUT_RESULT)
+    sim.advance_time_to(protocol.challenge_deadline() + 1)
+    copy = protocol.signed_copies[bob.name]
+    receipt = protocol.onchain.transact(
+        "deployVerifiedInstance", copy.bytecode,
+        *copy.vrs_arguments(), sender=bob.account,
+        gas_limit=6_000_000, require_success=False)
+    assert receipt.status == 0
+
+
+def test_dispute_exactly_at_deadline_rejected():
+    """The window is half-open: a block stamped at the deadline is
+    already too late (``block.timestamp < challengeDeadline``)."""
+    sim, protocol, alice, bob = _proposed_game(
+        Strategy.LIES_ABOUT_RESULT)
+    deadline = protocol.challenge_deadline()
+    # Position the chain so the *next* block lands on the deadline.
+    sim.advance_time_to(deadline)
+    assert sim.chain.next_timestamp() == deadline
+    with pytest.raises(ChallengeWindowClosed):
+        protocol.dispute(bob)
+
+
+def test_unchallenged_false_proposal_finalizes():
+    """If nobody disputes in time, the lie stands — exactly the §IV
+    motivation for security deposits raising the cost of lying."""
+    sim, protocol, alice, bob = _proposed_game(
+        Strategy.LIES_ABOUT_RESULT)
+    sim.advance_time_to(protocol.challenge_deadline() + 1)
+    result = protocol.finalize(bob)
+    assert result.stage is Stage.SETTLED
+    outcome = protocol.outcome()
+    assert outcome.via == "finalize"
+    # The enforced value is the *submitted* (false) one.
+    truth = protocol.reach_unanimous_agreement()
+    assert bool(outcome.outcome) != bool(truth)
+
+
+def test_missed_window_griefer_pays_own_gas():
+    """A late challenger burns only its own gas; the settlement and
+    everyone else's balances are untouched."""
+    from repro.adversary import run_scenario
+
+    result = run_scenario("late-dispute", "betting")
+    griefer = "bob"
+    assert griefer not in result.honest
+    # The griefer paid for the reverted on-chain attempt...
+    assert result.gas_paid[griefer] > 0
+    # ...and the truthful settlement still went through.
+    assert result.outcome.via == "finalize"
+
+
+def test_bus_clock_follows_chain_time():
+    """sync_bus_clock keeps Whisper's TTL clock glued to the chain."""
+    sim, protocol, alice, bob = _proposed_game()
+    before = protocol.bus.now
+    sim.increase_time(500)
+    sim.mine()  # the warp lands on the next *mined* block's timestamp
+    protocol.sync_bus_clock()
+    assert protocol.bus.now >= before + 500
+    # Forward-only: re-syncing never rewinds.
+    again = protocol.bus.now
+    protocol.sync_bus_clock()
+    assert protocol.bus.now >= again

@@ -69,3 +69,65 @@ def test_pending_view_and_clear():
     assert len(pool.pending()) == 1
     pool.clear()
     assert len(pool) == 0
+
+
+# -- (sender, nonce) slot hygiene -----------------------------------------
+
+
+def test_same_slot_replaced_by_higher_gas_price():
+    """Two txs with one (sender, nonce) never coexist: the higher bid
+    replaces the incumbent (the regression for the pool leak)."""
+    pool = Mempool()
+    loser = _tx(KEY_A, 0, gas_price=1, gas_limit=21_000)
+    winner = _tx(KEY_A, 0, gas_price=5, gas_limit=30_000)
+    pool.add(loser)
+    pool.add(winner)
+    assert len(pool) == 1
+    assert pool.pop_batch(1_000_000) == [winner]
+    assert len(pool) == 0  # no orphaned sibling left behind
+
+
+def test_same_slot_underpriced_replacement_rejected():
+    pool = Mempool()
+    pool.add(_tx(KEY_A, 0, gas_price=5))
+    with pytest.raises(MempoolError, match="underpriced"):
+        pool.add(_tx(KEY_A, 0, gas_price=5, gas_limit=30_000))
+    with pytest.raises(MempoolError, match="underpriced"):
+        pool.add(_tx(KEY_A, 0, gas_price=1, gas_limit=30_000))
+    assert len(pool) == 1
+
+
+def test_replacement_slot_freed_after_pop():
+    """Once the slot's transaction mined, a same-nonce resubmission is
+    admitted again without tripping the replacement rule."""
+    pool = Mempool()
+    pool.add(_tx(KEY_A, 0, gas_price=5))
+    pool.pop_batch(1_000_000)
+    pool.add(_tx(KEY_A, 0, gas_price=1, gas_limit=30_000))
+    assert len(pool) == 1
+
+
+def test_stale_nonces_evicted_during_pop_batch():
+    """A transaction below the account nonce can never mine; the miner
+    evicts it at selection time instead of leaving it forever."""
+    pool = Mempool()
+    stale = _tx(KEY_A, 0, gas_price=100)
+    live = _tx(KEY_A, 3, gas_price=1)
+    pool.add(stale)
+    pool.add(live)
+    # The chain says KEY_A's account nonce is already 3.
+    batch = pool.pop_batch(1_000_000, account_nonce=lambda addr: 3)
+    assert batch == [live]
+    assert len(pool) == 0  # the stale tx was evicted, not retained
+
+
+def test_evict_stale_returns_the_victims():
+    pool = Mempool()
+    stale = _tx(KEY_A, 1)
+    fresh = _tx(KEY_B, 0)
+    pool.add(stale)
+    pool.add(fresh)
+    evicted = pool.evict_stale(
+        lambda addr: 2 if addr == KEY_A.address else 0)
+    assert evicted == [stale]
+    assert pool.pending() == [fresh]

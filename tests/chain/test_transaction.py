@@ -93,3 +93,22 @@ def test_sender_recovered_exactly_once(monkeypatch):
     second = tx.sender
     assert first == second == KEY.address
     assert calls["n"] == 1
+
+
+def test_high_s_transaction_sender_rejected():
+    """EIP-2: the malleated twin of a valid transaction signature is
+    refused at sender recovery (and hence at mempool admission)."""
+    import dataclasses
+
+    import pytest
+
+    from repro.chain.mempool import Mempool, MempoolError
+    from repro.crypto.secp256k1 import N
+
+    tx = _tx()
+    assert tx.sender == KEY.address  # the canonical form recovers
+    twin = dataclasses.replace(tx, v=55 - tx.v, s=N - tx.s)
+    with pytest.raises(TransactionError, match="EIP-2"):
+        twin.sender
+    with pytest.raises(MempoolError):
+        Mempool().add(twin)

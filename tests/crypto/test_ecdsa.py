@@ -100,3 +100,34 @@ def test_sign_rejects_out_of_range_key():
         ecdsa.sign(HASH, 0)
     with pytest.raises(SignatureError):
         ecdsa.sign(HASH, N)
+
+
+# -- malleability: the high-s twin ----------------------------------------
+
+
+def _high_s_twin(signature: Signature) -> Signature:
+    """The malleated but equally valid twin: (v', r, N - s)."""
+    return Signature(v=55 - signature.v, r=signature.r, s=N - signature.s)
+
+
+def test_is_low_s_flags_the_high_s_twin():
+    signature = ecdsa.sign(HASH, KEY)
+    twin = _high_s_twin(signature)
+    assert signature.is_low_s
+    assert not twin.is_low_s
+
+
+def test_high_s_twin_recovers_the_same_key():
+    """The twin is cryptographically valid — only canonicality-aware
+    layers can tell the two apart."""
+    signature = ecdsa.sign(HASH, KEY)
+    twin = _high_s_twin(signature)
+    assert (ecdsa.recover_public_key(HASH, twin)
+            == ecdsa.recover_public_key(HASH, signature))
+
+
+def test_signature_type_accepts_high_s():
+    """The dataclass stays permissive (mainnet ecrecover semantics);
+    rejection happens at the admission layers."""
+    twin = _high_s_twin(ecdsa.sign(HASH, KEY))
+    assert 0 < twin.s < N  # constructed without raising

@@ -121,3 +121,20 @@ def test_recover_address_memo_consistency():
     assert cold == warm == key.address
     keys.clear_recover_cache()
     assert recover_address(digest, sig) == key.address
+
+
+def test_ecrecover_precompile_accepts_high_s_twin():
+    """Mainnet's precompile never enforced EIP-2: the high-s twin must
+    still recover the same address (only admission layers reject it)."""
+    from repro.crypto.secp256k1 import N
+
+    key = PrivateKey.from_seed("fastpath-high-s")
+    digest = bytes(range(32))
+    sig = key.sign(digest)
+    call_data = (
+        digest
+        + (55 - sig.v).to_bytes(32, "big")
+        + sig.r.to_bytes(32, "big")
+        + (N - sig.s).to_bytes(32, "big")
+    )
+    assert _ecrecover(call_data) == b"\x00" * 12 + key.address.value

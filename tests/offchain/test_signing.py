@@ -103,3 +103,27 @@ def test_assemble_missing_signer_raises():
 
 def test_bytecode_hash_property():
     assert make_copy().bytecode_hash == keccak256(BYTECODE)
+
+
+def test_from_wire_rejects_high_s_malleated_copy():
+    """A malleated wire blob verifies cryptographically but hashes
+    differently from the copy everybody signed — reject it outright."""
+    from repro.crypto.ecdsa import Signature
+    from repro.crypto.secp256k1 import N
+
+    copy = make_copy()
+    good = copy.signatures[0]
+    twin = Signature(v=55 - good.v, r=good.r, s=N - good.s)
+    malleated = SignedCopy(bytecode=copy.bytecode,
+                           signatures=(twin,) + copy.signatures[1:])
+    # The twin still recovers correctly...
+    assert malleated.verify([ALICE.address, BOB.address])
+    # ...but its wire form differs and is refused at decode time.
+    assert malleated.to_wire() != copy.to_wire()
+    with pytest.raises(SigningError, match="high-s"):
+        SignedCopy.from_wire(malleated.to_wire())
+
+
+def test_from_wire_accepts_canonical_copy():
+    copy = make_copy()
+    assert SignedCopy.from_wire(copy.to_wire()) == copy

@@ -28,10 +28,27 @@ def test_poll_consumes_cursor():
 def test_independent_subscriber_cursors():
     bus = WhisperBus()
     bus.subscribe("alice", "t")
-    bus.post("t", b"m")
     bus.subscribe("bob", "t")
+    bus.post("t", b"m")
     assert len(bus.poll("alice", "t")) == 1
     assert len(bus.poll("bob", "t")) == 1
+    bus.post("t", b"n")
+    assert len(bus.poll("bob", "t")) == 1
+    assert len(bus.poll("alice", "t")) == 1
+
+
+def test_late_subscriber_starts_at_head():
+    """Subscribing after traffic must not replay history (the cursor
+    regression): real Whisper only delivers from subscription time."""
+    bus = WhisperBus()
+    bus.post("t", b"old-1")
+    bus.post("t", b"old-2")
+    bus.subscribe("late", "t")
+    assert bus.poll("late", "t") == []
+    bus.post("t", b"new")
+    assert [e.payload for e in bus.poll("late", "t")] == [b"new"]
+    # The backlog is still reachable for explicit bootstrap reads.
+    assert len(bus.peek_all("t")) == 3
 
 
 def test_unsubscribed_poll_rejected():
@@ -61,12 +78,47 @@ def test_time_cannot_rewind():
         WhisperBus().advance_time(-1)
 
 
+def test_expired_envelopes_pruned_from_backlog():
+    """TTL expiry actually frees the backlog instead of filtering the
+    same dead envelopes on every read."""
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    for index in range(5):
+        bus.post("t", bytes([index]), ttl=100)
+    bus.advance_time(101)
+    assert bus._messages["t"] == []
+    bus.post("t", b"fresh", ttl=100)
+    assert len(bus._messages["t"]) == 1
+    # Cursors were shifted with the prune: alice only sees the new one.
+    assert [e.payload for e in bus.poll("alice", "t")] == [b"fresh"]
+
+
+def test_prune_preserves_unread_messages():
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    bus.post("t", b"short", ttl=10)
+    bus.post("t", b"long", ttl=1_000)
+    bus.advance_time(50)  # expires only the first
+    assert [e.payload for e in bus.poll("alice", "t")] == [b"long"]
+
+
 def test_bytes_transferred_counts_padded_size():
     bus = WhisperBus()
     bus.post("t", b"x")  # pads to 256
     assert bus.bytes_transferred == 256
     bus.post("t", b"y" * 300)  # pads to 512
     assert bus.bytes_transferred == 256 + 512
+
+
+def test_bytes_transferred_is_cumulative_across_pruning():
+    """The counter models network transfer, not storage: pruning the
+    backlog never deducts from it."""
+    bus = WhisperBus()
+    bus.post("t", b"x", ttl=10)
+    assert bus.bytes_transferred == 256
+    bus.advance_time(1_000)  # prunes the envelope
+    assert bus.peek_all("t") == []
+    assert bus.bytes_transferred == 256
 
 
 def test_envelope_padding_hides_exact_length():

@@ -4,8 +4,9 @@
 Runs a fixed battery of substrate and end-to-end benchmarks — the same
 workloads as ``benchmarks/bench_*.py`` (EVM interpreter ops/s, Keccak,
 ECDSA sign/recover, the Table II dispute path, the 100-session fleet)
-— under explicit warmup/repeat controls, and writes a schema-versioned
-``BENCH_<label>.json`` at the repository root.
+— plus the adversarial dispute-path scenario (dispute gas under
+Byzantine load) — under explicit warmup/repeat controls, and writes a
+schema-versioned ``BENCH_<label>.json`` at the repository root.
 
 Beyond raw numbers the runner enforces two invariants:
 
@@ -302,6 +303,55 @@ def bench_multi_session(cfg, repeats, warmup):
     }
 
 
+def bench_adversarial_dispute(cfg, repeats, warmup):
+    """Table II's dispute gas must survive adversarial load, bit-for-bit.
+
+    Runs every dispute-bearing Byzantine scenario (false result,
+    cross-session replay, crash-and-restart, mempool censorship with
+    replace-by-fee) and requires the dispute transactions to burn
+    exactly the gas of the clean false-result reference run.  Any
+    divergence means an adversary found a way to change what the
+    challenger pays — a gas-determinism break, exit status 2.
+    """
+    from repro.adversary import ScenarioHarness, reference_dispute_gas
+
+    harness = ScenarioHarness("betting")
+    reference = dict(reference_dispute_gas("betting"))
+    strategies = ("false-result", "replay-copy", "crash-restart",
+                  "censor-mempool")
+
+    def run():
+        return {name: harness.run(name).dispute_gas
+                for name in strategies}
+
+    best, gas_by_strategy = _best_of(run, repeats=repeats, warmup=warmup)
+    divergent = {name: gas for name, gas in gas_by_strategy.items()
+                 if gas != reference}
+    if divergent:
+        print("FATAL: adversarial load changed the dispute gas:")
+        print(json.dumps({"reference": reference,
+                          "divergent": divergent}, indent=2))
+        raise SystemExit(2)
+    return {
+        "adversarial_deploy_verified_instance_gas": {
+            "value": reference["deployVerifiedInstance"],
+            "unit": "gas",
+            "note": "identical across all four adversarial scenarios",
+        },
+        "adversarial_return_dispute_resolution_gas": {
+            "value": reference["returnDisputeResolution"],
+            "unit": "gas",
+            "note": "identical across all four adversarial scenarios",
+        },
+        "adversarial_dispute_wall": {
+            "value": len(strategies) / best,
+            "unit": "sessions/s",
+            "wall_s": best,
+            "note": "four Byzantine dispute scenarios, end to end",
+        },
+    }
+
+
 def check_telemetry_invariance():
     """Dispute gas with telemetry off vs on; must be byte-identical.
 
@@ -440,7 +490,7 @@ def main(argv: list[str] | None = None) -> int:
 
     results: dict = {}
     for bench in (bench_keccak, bench_ecdsa, bench_evm, bench_table2,
-                  bench_multi_session):
+                  bench_adversarial_dispute, bench_multi_session):
         produced = bench(cfg, repeats, warmup)
         for name, entry in produced.items():
             results[name] = entry
