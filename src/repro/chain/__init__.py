@@ -5,6 +5,7 @@ the paper) with a ganache-like :class:`EthereumSimulator` facade.
 """
 
 from repro.chain.account import Account
+from repro.chain.admission import BatchSenderRecovery
 from repro.chain.block import Block, BlockHeader
 from repro.chain.blockchain import Blockchain, ChainError
 from repro.chain.contract import (
@@ -14,10 +15,16 @@ from repro.chain.contract import (
     FunctionABI,
 )
 from repro.chain.mempool import Mempool, MempoolError
+from repro.chain.parallel import (
+    BlockApplyResult,
+    BlockApplyStats,
+    ParallelBlockExecutor,
+)
 from repro.chain.processor import (
     InvalidTransaction,
     apply_transaction,
     decode_revert_reason,
+    run_transaction,
 )
 from repro.chain.receipt import Receipt
 from repro.chain.simulator import (
@@ -29,11 +36,12 @@ from repro.chain.simulator import (
     SimulatorConfig,
     TransactionFailed,
 )
-from repro.chain.state import WorldState
+from repro.chain.state import Overlay, RecordingView, WorldState
 from repro.chain.transaction import Transaction, TransactionError
 
 __all__ = [
     "Account",
+    "BatchSenderRecovery",
     "Block",
     "BlockHeader",
     "Blockchain",
@@ -44,9 +52,13 @@ __all__ = [
     "FunctionABI",
     "Mempool",
     "MempoolError",
+    "BlockApplyResult",
+    "BlockApplyStats",
+    "ParallelBlockExecutor",
     "InvalidTransaction",
     "apply_transaction",
     "decode_revert_reason",
+    "run_transaction",
     "Receipt",
     "ETHER",
     "GWEI",
@@ -56,6 +68,8 @@ __all__ = [
     "SimulatorConfig",
     "TransactionFailed",
     "WorldState",
+    "Overlay",
+    "RecordingView",
     "Transaction",
     "TransactionError",
 ]

@@ -1,0 +1,129 @@
+"""Parallel ECDSA sender recovery at mempool admission.
+
+Admitting a transaction forces :attr:`Transaction.sender`, a full
+secp256k1 public-key recovery — the single most expensive pure-CPU
+operation on the admission path (PR 3 benchmarked it at ~1 ms even
+with the fixed-base comb).  A fleet submitting hundreds of
+transactions per round serialises all of that on one core.
+
+:class:`BatchSenderRecovery` fans the recoveries out over a
+``ProcessPoolExecutor`` and seeds each transaction's ``sender`` cache
+with the worker's answer (see :meth:`Transaction.seed_sender`), so the
+subsequent ``Mempool.add`` finds the address precomputed.  The
+semantics are bit-for-bit those of sequential admission: the worker
+runs the same EIP-2 low-s check and the same recovery code, and any
+worker-side failure is re-raised as the same :class:`TransactionError`
+string the sequential path would have produced.
+
+When no pool can be created (or ``workers <= 1``) recovery simply runs
+inline — the sequential fallback required by the batch-verifier seam.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional
+
+from repro import obs
+from repro.chain.transaction import Transaction, TransactionError
+
+
+def _recover_sender(tx: Transaction) -> tuple[bool, object]:
+    """Worker-side recovery: ``(True, raw_address)`` or ``(False, msg)``.
+
+    Exceptions cannot cross the pool boundary without losing their
+    type, so failures travel as the message string and the parent
+    re-raises :class:`TransactionError` with it.
+    """
+    try:
+        return True, tx.sender.value
+    except TransactionError as exc:
+        return False, str(exc)
+
+
+class BatchSenderRecovery:
+    """Recovers transaction senders in parallel, seeding their caches.
+
+    The pool is created lazily on first use and reused across batches
+    (workers hold no state besides warm caches); :meth:`close` shuts
+    it down.  Construction never fails — pool problems degrade to
+    inline recovery permanently.
+    """
+
+    def __init__(self, workers: int = 0,
+                 use_processes: Optional[bool] = None) -> None:
+        if workers <= 0:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, int(workers))
+        if use_processes is None:
+            use_processes = self.workers > 1 and hasattr(os, "fork")
+        self.use_processes = bool(use_processes)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if not self.use_processes:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            except Exception:
+                self.use_processes = False
+                return None
+        return self._pool
+
+    def recover(self, transactions: Iterable[Transaction]
+                ) -> list[tuple[Transaction, Optional[str]]]:
+        """Seed ``sender`` on every transaction; report per-tx errors.
+
+        Returns ``(transaction, error_message_or_None)`` pairs in
+        input order.  Transactions whose cache is already populated
+        are passed through untouched.
+        """
+        txs = list(transactions)
+        pending = [tx for tx in txs if "sender" not in tx.__dict__]
+        pool = self._ensure_pool() if len(pending) > 1 else None
+        verdicts: dict[int, tuple[bool, object]] = {}
+        if pool is not None:
+            try:
+                results = list(pool.map(_recover_sender, pending))
+            except Exception:
+                # A broken pool (killed worker, pickling trouble)
+                # must not lose the batch: recover inline instead.
+                self.use_processes = False
+                self.close()
+                results = [_recover_sender(tx) for tx in pending]
+        else:
+            results = [_recover_sender(tx) for tx in pending]
+        for tx, verdict in zip(pending, results):
+            verdicts[id(tx)] = verdict
+
+        from repro.crypto.keys import Address
+
+        out: list[tuple[Transaction, Optional[str]]] = []
+        recovered = 0
+        for tx in txs:
+            verdict = verdicts.get(id(tx))
+            if verdict is None:  # cache was already warm
+                out.append((tx, None))
+                continue
+            ok, payload = verdict
+            if ok:
+                tx.seed_sender(Address(payload))
+                recovered += 1
+                out.append((tx, None))
+            else:
+                out.append((tx, payload))
+        if recovered and obs.enabled():
+            obs.inc(obs.names.METRIC_PARALLEL_ADMISSIONS, recovered)
+        return out
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

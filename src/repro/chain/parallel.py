@@ -1,0 +1,263 @@
+"""Optimistic parallel block execution (Block-STM-style OCC).
+
+The sequential miner applies a block's transactions one after another.
+Fleet workloads (PR 1's 100-session engine runs) are dominated by that
+single-threaded loop even though the sessions touch disjoint accounts
+by construction.  This module executes every transaction of a block
+*speculatively* against a per-transaction
+:class:`~repro.chain.state.RecordingView` of the pre-block state, then
+commits the buffered overlays **in block order**, validating each
+lane's read set against the union of the write sets committed before
+it:
+
+* read set ∩ earlier write sets = ∅  → the speculative result is
+  exactly what sequential execution would have produced; commit the
+  overlay as-is;
+* any intersection (or a forced flag: the lane read the coinbase
+  balance, or crashed) → re-execute the transaction sequentially on
+  the committed state, through a fresh recording view so its write set
+  feeds the validation of later lanes.
+
+Commit order equals block order, so receipts, per-session gas ledgers
+and state roots are bit-identical to the sequential executor — the
+invariant ``tools/bench_runner.py`` gates on.
+
+Speculation runs in forked worker processes when the platform allows
+(each child inherits the pre-block state copy-on-write; only the small
+:class:`LaneResult` records cross back), and falls back to in-process
+lanes — same semantics, no concurrency — when processes are
+unavailable.  Telemetry stays exact in both modes: lanes carry their
+own :class:`~repro.obs.gasprof.TxGasCollector` and the committer
+settles it only for the execution that actually went into the block.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+from repro.chain.processor import InvalidTransaction, run_transaction
+from repro.chain.state import Overlay, RecordingView, WorldState
+from repro.chain.transaction import Transaction
+from repro.evm.vm import BlockContext
+
+
+@dataclass
+class LaneResult:
+    """Everything one speculative lane ships back to the committer."""
+
+    #: Position of the transaction in the block being built.
+    index: int
+    #: The speculative outcome (None when the lane raised).
+    outcome: Optional[object]
+    #: Keys the lane served from the pre-block state.
+    reads: frozenset
+    #: Keys the lane buffered writes for.
+    writes: frozenset
+    #: The buffered writes themselves.
+    overlay: Optional[Overlay]
+    #: Lane must be re-executed regardless of its read set (coinbase
+    #: balance access, or an unexpected crash during speculation).
+    forced: bool = False
+    #: Set when validation failed against the pre-block state; the
+    #: commit loop decides whether that verdict survives.
+    invalid_reason: Optional[str] = None
+    #: Per-transaction opcode-gas collector (telemetry-on runs only).
+    collector: Optional[object] = None
+    #: Keyword arguments for ``obs.end_transaction``.
+    profile: Optional[dict] = None
+
+
+@dataclass
+class BlockApplyStats:
+    """Counters describing one (or an aggregate of) parallel applies."""
+
+    lanes: int = 0
+    speculative_commits: int = 0
+    conflicts: int = 0
+    reexecutions: int = 0
+    blocks: int = 0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of lanes whose speculative result was discarded."""
+        if not self.lanes:
+            return 0.0
+        return self.reexecutions / self.lanes
+
+    def merge(self, other: "BlockApplyStats") -> None:
+        """Fold another block's counters into this aggregate."""
+        self.lanes += other.lanes
+        self.speculative_commits += other.speculative_commits
+        self.conflicts += other.conflicts
+        self.reexecutions += other.reexecutions
+        self.blocks += other.blocks
+
+
+@dataclass
+class BlockApplyResult:
+    """Ordered per-transaction outcomes of one parallel block apply."""
+
+    #: ``(transaction, outcome_or_None, drop_reason_or_None)`` in block
+    #: order — exactly what the sequential loop would have produced.
+    results: list = field(default_factory=list)
+    stats: BlockApplyStats = field(default_factory=BlockApplyStats)
+
+
+def _execute_lane(base: WorldState, context: BlockContext,
+                  tx: Transaction, index: int) -> LaneResult:
+    """Run one transaction speculatively against a recording view."""
+    view = RecordingView(base, coinbase=context.coinbase)
+    collector = None
+    if obs.enabled():
+        from repro.obs.gasprof import TxGasCollector
+
+        collector = TxGasCollector()
+    try:
+        outcome, profile = run_transaction(view, context, tx,
+                                           collector=collector)
+    except InvalidTransaction as exc:
+        # Possibly a phantom: the lane validated against the pre-block
+        # state, but an earlier transaction may fix the nonce/balance.
+        # The commit loop re-executes when the read set says so.
+        return LaneResult(
+            index=index, outcome=None, reads=frozenset(view.reads),
+            writes=frozenset(), overlay=None,
+            forced=view.coinbase_touched, invalid_reason=str(exc),
+        )
+    except Exception:  # never trust a speculative crash
+        return LaneResult(
+            index=index, outcome=None, reads=frozenset(view.reads),
+            writes=frozenset(), overlay=None, forced=True,
+        )
+    return LaneResult(
+        index=index, outcome=outcome, reads=frozenset(view.reads),
+        writes=view.writes, overlay=view.overlay(),
+        forced=view.coinbase_touched, collector=collector,
+        profile=profile,
+    )
+
+
+# Fork-inherited lane environment.  The parent sets these immediately
+# before creating the per-block worker pool; children receive them via
+# the fork's copy-on-write address space, so neither the world state
+# nor the block context is ever pickled.
+_LANE_STATE: Optional[WorldState] = None
+_LANE_CONTEXT: Optional[BlockContext] = None
+
+
+def _lane_task(args: tuple) -> LaneResult:
+    """Worker-side entry point: execute one lane from fork globals."""
+    index, tx = args
+    return _execute_lane(_LANE_STATE, _LANE_CONTEXT, tx, index)
+
+
+class ParallelBlockExecutor:
+    """Applies a block's transactions with speculative lanes + ordered
+    commit, falling back to in-process speculation when worker
+    processes are unavailable."""
+
+    def __init__(self, workers: int = 1,
+                 use_processes: Optional[bool] = None) -> None:
+        self.workers = max(1, int(workers))
+        if use_processes is None:
+            use_processes = self.workers > 1 and hasattr(os, "fork")
+        self.use_processes = bool(use_processes)
+
+    # -- speculation -----------------------------------------------------
+
+    def _speculate(self, state: WorldState, context: BlockContext,
+                   transactions: list[Transaction]) -> list[LaneResult]:
+        """Execute every transaction against the frozen pre-block
+        state, in worker processes when possible."""
+        if self.use_processes:
+            try:
+                return self._speculate_processes(state, context,
+                                                 transactions)
+            except Exception:
+                # Pool creation or IPC failed (sandboxes, pickling,
+                # resource limits): degrade to in-process lanes for
+                # this and every later block.
+                self.use_processes = False
+        return [
+            _execute_lane(state, context, tx, index)
+            for index, tx in enumerate(transactions)
+        ]
+
+    def _speculate_processes(self, state: WorldState,
+                             context: BlockContext,
+                             transactions: list[Transaction]
+                             ) -> list[LaneResult]:
+        """Fan lanes out over a per-block forked worker pool."""
+        global _LANE_STATE, _LANE_CONTEXT
+        mp_context = multiprocessing.get_context("fork")
+        _LANE_STATE, _LANE_CONTEXT = state, context
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(transactions)),
+                mp_context=mp_context,
+            ) as pool:
+                return list(pool.map(
+                    _lane_task,
+                    [(i, tx) for i, tx in enumerate(transactions)],
+                ))
+        finally:
+            _LANE_STATE = _LANE_CONTEXT = None
+
+    # -- ordered commit --------------------------------------------------
+
+    def apply_block(self, state: WorldState, context: BlockContext,
+                    transactions: list[Transaction]) -> BlockApplyResult:
+        """Speculate over ``transactions`` and commit in block order.
+
+        Mutates ``state`` exactly as the sequential executor would;
+        the returned results list is ordered and complete (dropped
+        transactions carry their reason instead of an outcome).
+        """
+        lanes = self._speculate(state, context, transactions)
+        stats = BlockApplyStats(lanes=len(lanes), blocks=1)
+        result = BlockApplyResult(stats=stats)
+        committed_writes: set[tuple] = set()
+
+        for lane in lanes:
+            tx = transactions[lane.index]
+            dirty_reads = lane.reads & committed_writes
+            if not lane.forced and not dirty_reads:
+                if lane.invalid_reason is not None:
+                    # Validated against state no earlier transaction
+                    # touched: genuinely invalid, same as sequential.
+                    result.results.append(
+                        (tx, None, lane.invalid_reason))
+                    continue
+                lane.overlay.apply_to(state, context.coinbase.value)
+                state.clear_journal()
+                committed_writes |= lane.writes
+                if lane.collector is not None:
+                    obs.end_transaction(lane.collector, **lane.profile)
+                result.results.append((tx, lane.outcome, None))
+                stats.speculative_commits += 1
+                continue
+
+            if dirty_reads:
+                stats.conflicts += 1
+            stats.reexecutions += 1
+            view = RecordingView(state, coinbase=context.coinbase)
+            collector = obs.begin_transaction()
+            try:
+                outcome, profile = run_transaction(view, context, tx,
+                                                   collector=collector)
+            except InvalidTransaction as exc:
+                result.results.append((tx, None, str(exc)))
+                continue
+            view.commit_to(state)
+            state.clear_journal()
+            committed_writes |= view.writes
+            if collector is not None:
+                obs.end_transaction(collector, **profile)
+            result.results.append((tx, outcome, None))
+
+        return result

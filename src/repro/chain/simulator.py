@@ -66,6 +66,11 @@ class SimulatorConfig:
     genesis_timestamp: int = 1_550_000_000
     block_gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT
     block_interval: int = DEFAULT_BLOCK_INTERVAL
+    #: Speculative execution lanes per mined block (1 = sequential).
+    workers: int = 1
+    #: Force (True) or forbid (False) process-pool speculation; None
+    #: picks processes whenever ``os.fork`` exists and ``workers > 1``.
+    parallel_processes: Optional[bool] = None
 
 
 @dataclass
@@ -119,6 +124,8 @@ class EthereumSimulator:
             genesis_timestamp=config.genesis_timestamp,
             block_gas_limit=config.block_gas_limit,
             block_interval=config.block_interval,
+            workers=config.workers,
+            parallel_processes=config.parallel_processes,
         )
         self.auto_mine = config.auto_mine
         self.accounts: list[SimAccount] = []
@@ -255,6 +262,17 @@ class EthereumSimulator:
             gas_price=gas_price,
         )
         return self.chain.send_transaction(tx)
+
+    def send_raw_transactions(self, transactions: list[Transaction]
+                              ) -> list[bytes]:
+        """Queue pre-signed transactions in one admission batch.
+
+        Sender recovery runs through the chain's parallel ECDSA
+        admission pool when ``config.workers > 1``; returns the hashes
+        of the admitted transactions (rejected ones are dropped, as on
+        the gossip path of a real node).
+        """
+        return self.chain.send_transactions(transactions)
 
     def get_receipt(self, tx_hash: bytes) -> Receipt:
         """Receipt of a mined transaction (raises if unknown/pending)."""

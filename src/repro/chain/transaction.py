@@ -102,6 +102,18 @@ class Transaction:
         except ValueError as exc:
             raise TransactionError(f"unrecoverable signature: {exc}") from exc
 
+    def seed_sender(self, address: Address) -> None:
+        """Pre-populate the :attr:`sender` cache with a recovered
+        address.
+
+        The batch admission pool recovers signatures in worker
+        processes; the worker's :func:`cached_property` result cannot
+        travel back through the frozen dataclass, so the parent seeds
+        the cache explicitly (``cached_property`` stores through
+        ``__dict__``, which ``frozen=True`` does not protect).
+        """
+        self.__dict__["sender"] = address
+
     def encode(self) -> bytes:
         """Full RLP wire encoding (with signature)."""
         return rlp.encode([

@@ -11,7 +11,7 @@ Usage (also via ``python -m repro``):
     repro trace    {betting,tender,escrow} [--dispute] \\
                    [--emit-telemetry PATH]
     repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
-                   [--dishonest FRACTION] [--compare] \\
+                   [--dishonest FRACTION] [--workers N] [--compare] \\
                    [--emit-telemetry PATH]
     repro adversary {strategy,all} [--app NAME|all] [--deposits]
 
@@ -257,16 +257,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _run_fleet(sessions: int, app: str, mining: str,
-               dishonest: float):
+               dishonest: float, workers: int = 1):
     from repro.chain import EthereumSimulator, SimulatorConfig
     from repro.core import SessionEngine, spawn_fleet
 
     sim = EthereumSimulator(
-        config=SimulatorConfig(num_accounts=2, auto_mine=False))
+        config=SimulatorConfig(num_accounts=2, auto_mine=False,
+                               workers=workers))
     drivers = spawn_fleet(sim, sessions, app=app,
                           dishonest_fraction=dishonest)
     metrics = SessionEngine(sim, drivers, mining=mining).run()
-    return metrics, drivers
+    return metrics, drivers, sim
 
 
 def _print_metrics(metrics) -> None:
@@ -301,13 +302,20 @@ def cmd_engine(args: argparse.Namespace) -> int:
         for mode in modes:
             print(f"{args.app} fleet, {args.sessions} sessions, "
                   f"{args.dishonest:.0%} dishonest:")
-            metrics, drivers = _run_fleet(
-                args.sessions, args.app, mode, args.dishonest)
+            metrics, drivers, sim = _run_fleet(
+                args.sessions, args.app, mode, args.dishonest,
+                workers=args.workers)
             unsettled = [d.session_id for d in drivers if not d.settled]
             if unsettled:
                 raise SystemExit(
                     f"error: sessions did not settle: {unsettled}")
             _print_metrics(metrics)
+            stats = sim.chain.parallel_stats
+            if stats.lanes:
+                print(f"  parallel lanes   : {stats.lanes} "
+                      f"({stats.speculative_commits} speculative, "
+                      f"{stats.reexecutions} re-executed, "
+                      f"conflict rate {stats.conflict_rate:.0%})")
             results.append((metrics, drivers))
     if args.emit_telemetry:
         print(f"telemetry written to {args.emit_telemetry}")
@@ -442,6 +450,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument("--dishonest", type=float, default=0.0,
                           help="fraction of sessions whose "
                                "representative lies (0..1)")
+    p_engine.add_argument("--workers", type=int, default=1,
+                          help="speculative execution lanes per mined "
+                               "block (1 = sequential apply)")
     p_engine.add_argument("--compare", action="store_true",
                           help="run both mining modes and compare")
     p_engine.add_argument("--emit-telemetry", metavar="PATH",

@@ -372,13 +372,18 @@ class SessionEngine:
     def __init__(self, simulator: EthereumSimulator,
                  drivers: Iterable[ProtocolDriver] = (),
                  mining: str = "batch",
-                 block_gas_limit: Optional[int] = None) -> None:
+                 block_gas_limit: Optional[int] = None,
+                 workers: Optional[int] = None) -> None:
         if mining not in ("batch", "per-tx"):
             raise EngineError(
                 f"unknown mining mode {mining!r}; use 'batch' or 'per-tx'")
         self.simulator = simulator
         self.mining = mining
         self.block_gas_limit = block_gas_limit
+        if workers is not None:
+            # Late override so callers with an already-built simulator
+            # (the CLI) can opt a fleet into parallel block execution.
+            simulator.chain.workers = max(1, int(workers))
         self.drivers: list[ProtocolDriver] = list(drivers)
         # The engine counts into its own registry (the `engine.*` part
         # of the telemetry contract); EngineMetrics is a façade over
@@ -422,7 +427,8 @@ class SessionEngine:
         """Drive every session to completion; return fleet metrics."""
         started = time.perf_counter()
         with obs.span(obs.names.SPAN_ENGINE_RUN, mining=self.mining,
-                      sessions=len(self.drivers)):
+                      sessions=len(self.drivers),
+                      workers=self.simulator.chain.workers):
             sessions = [
                 _SessionState(driver=driver, generator=driver.steps())
                 for driver in self.drivers

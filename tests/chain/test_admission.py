@@ -1,0 +1,119 @@
+"""Batch sender recovery at admission: pool, fallback, seeding."""
+
+import dataclasses
+
+import pytest
+
+from repro.chain import Blockchain, ETHER
+from repro.chain.admission import BatchSenderRecovery
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction, TransactionError
+from repro.crypto.secp256k1 import N
+from repro.crypto.keys import PrivateKey
+
+KEYS = [PrivateKey.from_seed(f"admission-{i}") for i in range(5)]
+DEST = PrivateKey.from_seed("admission-dest").address
+
+
+def _tx(key, nonce, gas_price=1):
+    return Transaction.create_signed(
+        private_key=key, nonce=nonce, to=DEST, value=1,
+        gas_limit=21_000, gas_price=gas_price)
+
+
+def _high_s(tx):
+    """The malleated (EIP-2-rejected) twin of a valid transaction."""
+    return dataclasses.replace(tx, s=N - tx.s)
+
+
+@pytest.mark.parametrize("processes", [False, True])
+def test_recover_seeds_every_sender(processes):
+    txs = [_tx(key, 0) for key in KEYS]
+    recovery = BatchSenderRecovery(workers=2, use_processes=processes)
+    try:
+        verdicts = recovery.recover(txs)
+    finally:
+        recovery.close()
+    assert all(error is None for _, error in verdicts)
+    for key, tx in zip(KEYS, txs):
+        assert "sender" in tx.__dict__
+        assert tx.sender == key.address
+
+
+@pytest.mark.parametrize("processes", [False, True])
+def test_recover_reports_same_error_as_sequential(processes):
+    good = _tx(KEYS[0], 0)
+    bad = _high_s(_tx(KEYS[1], 0))
+    with pytest.raises(TransactionError) as sequential:
+        bad.sender  # noqa: B018 — force the cached_property
+    bad = _high_s(_tx(KEYS[1], 0))  # fresh object, cold cache
+    recovery = BatchSenderRecovery(workers=2, use_processes=processes)
+    try:
+        verdicts = recovery.recover([good, bad])
+    finally:
+        recovery.close()
+    assert verdicts[0][1] is None
+    assert verdicts[1][1] == str(sequential.value)
+    assert "sender" not in bad.__dict__
+
+
+def test_recover_skips_already_warm_caches():
+    tx = _tx(KEYS[0], 0)
+    tx.sender  # noqa: B018 — warm the cache sequentially
+    recovery = BatchSenderRecovery(workers=1)
+    assert recovery.recover([tx]) == [(tx, None)]
+
+
+def test_seed_sender_prevents_recomputation():
+    tx = _tx(KEYS[0], 0)
+    wrong = KEYS[1].address
+    tx.seed_sender(wrong)
+    # cached_property must serve the seeded value, proving admission
+    # trusts the worker's answer instead of recovering twice.
+    assert tx.sender == wrong
+
+
+def test_add_batch_verdicts_cover_all_rejection_shapes():
+    pool = Mempool()
+    first = _tx(KEYS[0], 0, gas_price=5)
+    underpriced = _tx(KEYS[0], 0, gas_price=4)  # lower bid: rejected
+    bad = _high_s(_tx(KEYS[1], 0))
+    fine = _tx(KEYS[2], 0)
+    recovery = BatchSenderRecovery(workers=1)
+    verdicts = pool.add_batch([first, underpriced, bad, fine],
+                              verifier=recovery)
+    errors = [error for _, error in verdicts]
+    assert errors[0] is None
+    assert "underpriced" in errors[1]
+    assert "non-canonical" in errors[2]
+    assert errors[3] is None
+    assert len(pool) == 2
+
+
+def test_chain_send_transactions_parallel_equals_sequential():
+    def submit(chain, batched):
+        for key in KEYS:
+            chain.state.set_balance(key.address, 10 * ETHER)
+            chain.state.clear_journal()
+        txs = [_tx(key, 0) for key in KEYS]
+        if batched:
+            hashes = chain.send_transactions(txs)
+        else:
+            hashes = [chain.send_transaction(tx) for tx in txs]
+        block = chain.mine_block()
+        return hashes, block
+
+    seq_hashes, seq_block = submit(Blockchain(workers=1), False)
+    par_hashes, par_block = submit(Blockchain(workers=4), True)
+    assert seq_hashes == par_hashes
+    assert seq_block.hash == par_block.hash
+    assert seq_block.receipts == par_block.receipts
+
+
+def test_broken_pool_degrades_to_inline():
+    recovery = BatchSenderRecovery(workers=2, use_processes=True)
+    recovery.use_processes = False  # simulate pool-creation failure
+    txs = [_tx(key, 1) for key in KEYS]
+    verdicts = recovery.recover(txs)
+    assert all(error is None for _, error in verdicts)
+    assert all("sender" in tx.__dict__ for tx in txs)

@@ -1,0 +1,393 @@
+"""Parallel block executor: conflict detection and bit-identity.
+
+Every test builds the same workload on a sequential chain and a
+parallel chain and asserts the blocks are *bit-identical* — hashes,
+state roots, receipts, gas — which is the invariant that makes
+optimistic execution safe to enable.  Parallel chains default to the
+deterministic in-process lane mode (``parallel_processes=False``);
+one test exercises the forked-worker mode end to end.
+"""
+
+import pytest
+
+from repro import obs
+from repro.chain import (
+    ETHER,
+    EthereumSimulator,
+    RecordingView,
+    SimulatorConfig,
+    WorldState,
+)
+from repro.crypto.keys import Address
+from repro.evm.assembler import assemble
+from repro.obs.exporters import InMemoryExporter
+
+
+def _mk(workers, processes=False, accounts=10):
+    return EthereumSimulator(config=SimulatorConfig(
+        num_accounts=accounts, auto_mine=False, workers=workers,
+        parallel_processes=processes))
+
+
+def _assert_chains_identical(seq, par):
+    assert len(seq.chain.blocks) == len(par.chain.blocks)
+    for sb, pb in zip(seq.chain.blocks, par.chain.blocks):
+        assert sb.hash == pb.hash
+        assert sb.header.state_root == pb.header.state_root
+        assert sb.header.gas_used == pb.header.gas_used
+        assert sb.receipts == pb.receipts
+    assert (seq.chain.state.state_root()
+            == par.chain.state.state_root())
+
+
+def _run_both(build, processes=False, workers=4):
+    """Run ``build`` on a sequential and a parallel sim; compare."""
+    seq = _mk(1)
+    par = _mk(workers, processes=processes)
+    build(seq)
+    build(par)
+    _assert_chains_identical(seq, par)
+    return seq, par
+
+
+def _transfer_block(sim, pairs, value=1 * ETHER):
+    accounts = sim.accounts
+    for sender, recipient in pairs:
+        sim.send_transaction(accounts[sender],
+                             accounts[recipient].address,
+                             value=value, gas_limit=50_000)
+    return sim.mine()[0]
+
+
+_RETURN_RUNTIME_TMPL = """
+PUSH1 {length}
+PUSH1 0x0c
+PUSH1 0x00
+CODECOPY
+PUSH1 {length}
+PUSH1 0x00
+RETURN
+"""
+
+#: Unrestricted counter: every call increments storage slot 0.
+_INCREMENT_RUNTIME = assemble("""
+PUSH1 0x00
+SLOAD
+PUSH1 0x01
+ADD
+PUSH1 0x00
+SSTORE
+STOP
+""")
+
+#: Stores the coinbase's balance into slot 0 — an explicit coinbase
+#: read that the commutative fee delta cannot hide.
+_COINBASE_PEEK_RUNTIME = assemble("""
+COINBASE
+BALANCE
+PUSH1 0x00
+SSTORE
+STOP
+""")
+
+
+def _deploy_runtime(sim, runtime, sender_index=9):
+    """Queue + mine a raw runtime deployment; returns its address."""
+    init = assemble(_RETURN_RUNTIME_TMPL.format(
+        length=len(runtime))) + runtime
+    tx_hash = sim.send_transaction(sim.accounts[sender_index], None,
+                                   data=init, gas_limit=1_000_000)
+    sim.mine()
+    return sim.get_receipt(tx_hash).contract_address
+
+
+# -- conflict shapes -------------------------------------------------------
+
+
+def test_disjoint_transfers_commit_speculatively():
+    _, par = _run_both(
+        lambda sim: _transfer_block(sim, [(0, 1), (2, 3), (4, 5)]))
+    stats = par.chain.parallel_stats
+    assert stats.lanes == 3
+    assert stats.speculative_commits == 3
+    assert stats.conflicts == 0
+    assert stats.reexecutions == 0
+
+
+def test_shared_recipient_falls_back_to_sequential_replay():
+    _, par = _run_both(
+        lambda sim: _transfer_block(sim, [(0, 7), (1, 7), (2, 7)]))
+    stats = par.chain.parallel_stats
+    # The first lane to commit wins; the other two read balance state
+    # the winner wrote (nothing shared beyond the recipient — but the
+    # recipient is enough).
+    assert stats.speculative_commits == 1
+    assert stats.conflicts == 2
+    assert stats.reexecutions == 2
+
+
+def test_same_sender_nonce_chain_reexecutes_in_order():
+    def build(sim):
+        alice, bob = sim.accounts[0], sim.accounts[1]
+        for _ in range(3):
+            sim.send_transaction(alice, bob.address, value=1 * ETHER,
+                                 gas_limit=50_000)
+        block = sim.mine()[0]
+        assert len(block.transactions) == 3
+
+    _, par = _run_both(build)
+    stats = par.chain.parallel_stats
+    # Lanes 2 and 3 fail nonce validation against the pre-block state
+    # (phantom-invalid) and are resurrected by sequential re-execution
+    # once lane 1's nonce write lands.
+    assert stats.speculative_commits == 1
+    assert stats.reexecutions == 2
+
+
+def test_storage_slot_collision_detected():
+    def build(sim):
+        counter = _deploy_runtime(sim, _INCREMENT_RUNTIME)
+        for index in range(3):
+            sim.send_transaction(sim.accounts[index], counter,
+                                 gas_limit=100_000)
+        sim.mine()
+        slot = sim.chain.state.get_storage(counter, 0)
+        assert slot == 3  # every increment landed exactly once
+
+    _, par = _run_both(build)
+    stats = par.chain.parallel_stats
+    assert stats.conflicts == 2
+    assert stats.reexecutions == 2
+
+
+def test_coinbase_balance_read_forces_reexecution():
+    def build(sim):
+        peek = _deploy_runtime(sim, _COINBASE_PEEK_RUNTIME)
+        sim.send_transaction(sim.accounts[0], sim.accounts[1].address,
+                             value=1 * ETHER, gas_limit=50_000)
+        sim.send_transaction(sim.accounts[2], peek, gas_limit=100_000)
+        sim.mine()
+
+    _, par = _run_both(build)
+    stats = par.chain.parallel_stats
+    # The peek transaction observed the coinbase balance mid-block, so
+    # its speculative result cannot be trusted even though its read
+    # set is disjoint from the transfer's writes.
+    assert stats.reexecutions >= 1
+
+
+def test_genuinely_invalid_transaction_dropped_identically():
+    def build(sim):
+        from repro.chain.transaction import Transaction
+
+        alice, bob, carol = (sim.accounts[0], sim.accounts[1],
+                             sim.accounts[2])
+        sim.send_transaction(alice, bob.address, value=1 * ETHER,
+                             gas_limit=50_000)
+        # Nonce 5 on a fresh account: selected by the miner (it is the
+        # pool minimum for carol) but invalid at execution time.
+        bad = Transaction.create_signed(
+            private_key=carol.key, nonce=5, to=bob.address,
+            value=1, gas_limit=50_000)
+        sim.chain.send_transaction(bad)
+        sim.send_transaction(bob, alice.address, value=1 * ETHER,
+                             gas_limit=50_000)
+        block = sim.mine()[0]
+        assert len(block.transactions) == 2
+        # The dropped transaction leaves the same index gap on both
+        # executors (receipts are compared wholesale afterwards).
+        assert [r.transaction_index for r in block.receipts] == [0, 2]
+
+    _run_both(build)
+
+
+def test_phantom_invalid_rescued_by_predecessor_commit():
+    def build(sim):
+        alice = sim.accounts[0]
+        poor = sim.create_account("parallel-poor", funding=50_000)
+        dest = sim.accounts[3]
+        # High gas price ⇒ mined first: alice funds the poor account.
+        sim.send_transaction(alice, poor.address, value=2 * ETHER,
+                             gas_limit=50_000, gas_price=10)
+        # Speculatively insolvent — valid only after alice's transfer.
+        sim.send_transaction(poor, dest.address, value=1 * ETHER,
+                             gas_limit=21_000, gas_price=1)
+        block = sim.mine()[0]
+        assert len(block.transactions) == 2
+
+    _, par = _run_both(build)
+    assert par.chain.parallel_stats.reexecutions >= 1
+
+
+def test_forked_worker_mode_is_also_identical():
+    seq, par = _run_both(
+        lambda sim: _transfer_block(
+            sim, [(0, 1), (2, 3), (4, 5), (1, 6), (3, 6)]),
+        processes=True)
+    assert par.chain.parallel_stats.lanes == 5
+
+
+def test_parallel_stats_accumulate_across_blocks():
+    sim = _mk(4)
+    _transfer_block(sim, [(0, 1), (2, 3)])
+    _transfer_block(sim, [(4, 5), (6, 7)])
+    stats = sim.chain.parallel_stats
+    assert stats.blocks == 2
+    assert stats.lanes == 4
+    assert stats.conflict_rate == 0.0
+
+
+# -- telemetry parity ------------------------------------------------------
+
+
+def test_parallel_telemetry_reconciles_with_receipts():
+    with obs.telemetry(InMemoryExporter()) as telemetry:
+        par = _mk(4)
+        block = _transfer_block(par, [(0, 7), (1, 7), (2, 3)])
+        receipt_gas = sum(r.gas_used for r in block.receipts)
+        assert telemetry.profiler.opcode_gas_total() == receipt_gas
+        conflicts = telemetry.metrics.get(
+            obs.names.METRIC_PARALLEL_CONFLICTS)
+        lanes = telemetry.metrics.get(obs.names.METRIC_PARALLEL_LANES)
+        assert lanes.total() == 3
+        assert conflicts.total() == par.chain.parallel_stats.conflicts
+
+
+def test_parallel_spans_emitted():
+    exporter = InMemoryExporter()
+    with obs.telemetry(exporter):
+        par = _mk(4)
+        _transfer_block(par, [(0, 1), (2, 3)])
+    assert obs.names.SPAN_CHAIN_PARALLEL_APPLY in exporter.span_names()
+
+
+# -- recording view unit behaviour -----------------------------------------
+
+
+def _addr(n):
+    return Address.from_int(n)
+
+
+def test_recording_view_read_write_sets():
+    state = WorldState()
+    state.set_balance(_addr(1), 100)
+    state.clear_journal()
+    view = RecordingView(state)
+    assert view.get_balance(_addr(1)) == 100
+    view.set_balance(_addr(2), 7)
+    # Reading your own write is not a base dependency.
+    assert view.get_balance(_addr(2)) == 7
+    assert ("balance", _addr(1).value) in view.reads
+    assert all(key[1] != _addr(2).value for key in view.reads)
+    assert ("balance", _addr(2).value) in view.writes
+    # The base state is untouched until commit.
+    assert state.get_balance(_addr(2)) == 0
+    view.commit_to(state)
+    assert state.get_balance(_addr(2)) == 7
+
+
+def test_recording_view_coinbase_delta_stays_commutative():
+    state = WorldState()
+    state.set_balance(_addr(9), 1_000)
+    state.clear_journal()
+    view = RecordingView(state, coinbase=_addr(9))
+    view.add_balance(_addr(9), 25)
+    assert not view.coinbase_touched
+    assert all(key[1] != _addr(9).value for key in view.reads)
+    assert view.get_balance(_addr(9)) == 1_025  # base + delta
+    assert view.coinbase_touched  # ...but *reading* it is a tell
+    view.commit_to(state)
+    assert state.get_balance(_addr(9)) == 1_025
+
+
+def test_recording_view_snapshot_revert_drops_overlay_writes():
+    state = WorldState()
+    state.set_balance(_addr(1), 50)
+    state.clear_journal()
+    view = RecordingView(state)
+    view.set_balance(_addr(1), 40)
+    snap = view.snapshot()
+    view.set_balance(_addr(1), 30)
+    view.set_storage(_addr(2), 0, 99)
+    view.revert_to(snap)
+    assert view.get_balance(_addr(1)) == 40
+    assert view.get_storage(_addr(2), 0) == 0
+    keys = {key[0] for key in view.writes}
+    assert "storage" not in keys  # the reverted storage write is gone
+
+
+# -- digest-cache regression (satellite) -----------------------------------
+
+
+def _fresh_root(state):
+    """Recompute the state root with every digest cache cold."""
+    clone = state.copy()
+    clone._digests.clear()
+    clone._code_hashes.clear()
+    return clone.state_root()
+
+
+def test_digest_cache_correct_across_snapshots_and_overlay_commits():
+    state = WorldState()
+    for n in range(1, 5):
+        state.set_balance(_addr(n), n * 100)
+    state.clear_journal()
+    root_before = state.state_root()  # warm the per-account digests
+
+    snap = state.snapshot()
+    view = RecordingView(state)
+    view.set_balance(_addr(1), 1)
+    view.set_storage(_addr(3), 7, 42)
+    view.set_code(_addr(4), b"\x00")
+    view.commit_to(state)
+
+    committed_root = state.state_root()
+    assert committed_root != root_before
+    assert committed_root == _fresh_root(state)
+
+    # A reverted speculative lane must leave no digest residue.
+    state.revert_to(snap)
+    assert state.state_root() == root_before
+    assert state.state_root() == _fresh_root(state)
+
+
+def test_digest_cache_interleaved_commit_revert_commit():
+    state = WorldState()
+    state.set_balance(_addr(1), 500)
+    state.clear_journal()
+    state.state_root()
+
+    outer = state.snapshot()
+    view = RecordingView(state)
+    view.add_balance(_addr(1), 10)
+    view.commit_to(state)
+    inner = state.snapshot()
+    second = RecordingView(state)
+    second.add_balance(_addr(1), 5)
+    second.commit_to(state)
+    assert state.get_balance(_addr(1)) == 515
+    assert state.state_root() == _fresh_root(state)
+
+    state.revert_to(inner)
+    assert state.get_balance(_addr(1)) == 510
+    assert state.state_root() == _fresh_root(state)
+
+    state.revert_to(outer)
+    assert state.get_balance(_addr(1)) == 500
+    assert state.state_root() == _fresh_root(state)
+
+
+def test_committed_overlay_persists_after_journal_clear():
+    state = WorldState()
+    state.set_balance(_addr(1), 100)
+    state.clear_journal()
+    view = RecordingView(state)
+    view.set_balance(_addr(1), 60)
+    view.commit_to(state)
+    state.clear_journal()  # the commit loop's post-commit barrier
+    assert state.get_balance(_addr(1)) == 60
+    assert state.state_root() == _fresh_root(state)
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])

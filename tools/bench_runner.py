@@ -57,6 +57,10 @@ _UNIT_KIND = {
     "gas/s": "throughput",
     "sessions/s": "throughput",
     "gas": "exact",
+    # Ratio-style units are reported for humans but never gated:
+    # speedup and conflict rate depend on host core count, not code.
+    "x": "info",
+    "fraction": "info",
 }
 
 
@@ -352,6 +356,127 @@ def bench_adversarial_dispute(cfg, repeats, warmup):
     }
 
 
+def bench_parallel_block(cfg, repeats, warmup):
+    """Sequential vs parallel apply of a disjoint-session block stream.
+
+    Pre-signs ``parallel_sessions`` senders × ``parallel_rounds``
+    transactions once, then replays the identical stream on a fresh
+    sequential chain (``workers=1``) and a fresh parallel chain
+    (``workers=parallel_workers``, forked lanes).  The block hashes
+    and total gas must be bit-identical — divergence exits with
+    status 2, the same severity as any other gas-determinism break.
+
+    Speedup is honest wall-clock: on a single-core host the forked
+    lanes cannot beat sequential apply (the report records
+    ``cpu_count`` so readers can interpret the number); on a
+    multi-core host the disjoint stream is embarrassingly parallel.
+    """
+    import os
+
+    from repro.chain.blockchain import Blockchain
+    from repro.chain.transaction import Transaction
+    from repro.crypto.keys import PrivateKey
+
+    sessions = cfg["parallel_sessions"]
+    rounds = cfg["parallel_rounds"]
+    workers = cfg["parallel_workers"]
+    funding = 10**20
+
+    senders = [PrivateKey.from_seed(f"parbench-sender-{i}")
+               for i in range(sessions)]
+    recipients = [PrivateKey.from_seed(f"parbench-recipient-{i}").address
+                  for i in range(sessions)]
+    # One tx per session per round; within a round every (sender,
+    # recipient) pair is disjoint, so an ideal executor never
+    # conflicts.  Signed once; sender caches warm up on the first
+    # replay and are shared by both chains (same objects).
+    stream = [
+        [Transaction.create_signed(
+            private_key=senders[i], nonce=r, to=recipients[i],
+            value=1, gas_limit=21_000)
+         for i in range(sessions)]
+        for r in range(rounds)
+    ]
+    for batch in stream:
+        for tx in batch:
+            tx.sender  # warm every cache outside the timed region
+
+    def replay(n_workers):
+        chain = Blockchain(workers=n_workers,
+                           block_gas_limit=21_000 * sessions)
+        for key in senders:
+            chain.state.set_balance(key.address, funding)
+        chain.state.clear_journal()
+        blocks = []
+        for batch in stream:
+            chain.send_transactions(batch)
+            blocks.append(chain.mine_block())
+        assert all(len(b.transactions) == sessions for b in blocks)
+        return chain, blocks
+
+    best_seq, (seq_chain, seq_blocks) = _best_of(
+        lambda: replay(1), repeats=repeats, warmup=warmup)
+    best_par, (par_chain, par_blocks) = _best_of(
+        lambda: replay(workers), repeats=repeats, warmup=warmup)
+
+    seq_hashes = [b.hash.hex() for b in seq_blocks]
+    par_hashes = [b.hash.hex() for b in par_blocks]
+    if seq_hashes != par_hashes:
+        print("FATAL: parallel block apply diverged from sequential:")
+        print(json.dumps({"sequential": seq_hashes,
+                          "parallel": par_hashes}, indent=2))
+        raise SystemExit(2)
+    total_gas = seq_chain.total_gas_used()
+    if total_gas != par_chain.total_gas_used():
+        print("FATAL: parallel executor changed total gas")
+        raise SystemExit(2)
+
+    txs = sessions * rounds
+    stats = par_chain.parallel_stats
+    return {
+        "parallel_block_seq": {
+            "value": txs / best_seq,
+            "unit": "ops/s",
+            "wall_s": best_seq,
+            "sessions": sessions,
+            "note": f"{sessions}-session disjoint stream, {rounds} "
+                    "blocks, workers=1 (the sequential baseline)",
+        },
+        "parallel_block_par": {
+            "value": txs / best_par,
+            "unit": "ops/s",
+            "wall_s": best_par,
+            "sessions": sessions,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "note": f"same stream, workers={workers} forked lanes; "
+                    "interpret speedup against cpu_count",
+        },
+        "parallel_block_speedup": {
+            "value": best_seq / best_par,
+            "unit": "x",
+            "sessions": sessions,
+            "cpu_count": os.cpu_count(),
+            "note": "sequential wall / parallel wall (same stream, "
+                    "bit-identical blocks enforced)",
+        },
+        "parallel_block_conflict_rate": {
+            "value": stats.conflict_rate,
+            "unit": "fraction",
+            "lanes": stats.lanes,
+            "reexecutions": stats.reexecutions,
+            "note": "re-executed fraction of speculative lanes "
+                    "(0.0 expected on a disjoint stream)",
+        },
+        "parallel_block_gas": {
+            "value": total_gas,
+            "unit": "gas",
+            "note": "identical between executors by construction "
+                    "(enforced with exit 2 above)",
+        },
+    }
+
+
 def check_telemetry_invariance():
     """Dispute gas with telemetry off vs on; must be byte-identical.
 
@@ -425,6 +550,8 @@ def compare(results: dict, baseline: dict, threshold: float) -> dict:
         if entry.get("sessions") != base.get("sessions"):
             continue  # differently-sized workloads are not comparable
         kind = _UNIT_KIND.get(entry["unit"], "throughput")
+        if kind == "info":
+            continue
         old, new = base["value"], entry["value"]
         record = {"unit": entry["unit"], "baseline": old, "current": new}
         if kind == "exact":
@@ -447,6 +574,9 @@ FULL_CONFIG = {
     "ecdsa_count": 12,
     "evm_iterations": 20_000,
     "fleet_sessions": 100,
+    "parallel_sessions": 100,
+    "parallel_rounds": 3,
+    "parallel_workers": 4,
 }
 
 SMOKE_CONFIG = {
@@ -454,13 +584,16 @@ SMOKE_CONFIG = {
     "ecdsa_count": 3,
     "evm_iterations": 2_000,
     "fleet_sessions": 5,
+    "parallel_sessions": 8,
+    "parallel_rounds": 2,
+    "parallel_workers": 4,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the benchmark battery and gate regressions")
-    parser.add_argument("--label", default="pr3",
+    parser.add_argument("--label", default="pr5",
                         help="run label; default output is "
                              "BENCH_<label>.json at the repo root")
     parser.add_argument("--out", help="output JSON path")
@@ -490,7 +623,8 @@ def main(argv: list[str] | None = None) -> int:
 
     results: dict = {}
     for bench in (bench_keccak, bench_ecdsa, bench_evm, bench_table2,
-                  bench_adversarial_dispute, bench_multi_session):
+                  bench_adversarial_dispute, bench_multi_session,
+                  bench_parallel_block):
         produced = bench(cfg, repeats, warmup)
         for name, entry in produced.items():
             results[name] = entry
