@@ -34,6 +34,13 @@ from repro.core.protocol import (
     OnOffChainProtocol,
     ProtocolOutcome,
     Stage,
+    StageResult,
+    results_equal,
+)
+from repro.core.settlement import (
+    OPEN_GAS,
+    SETTLEMENTS,
+    SettlementBatcher,
 )
 from repro.crypto import rlp
 from repro.crypto.ecdsa import Signature
@@ -72,6 +79,7 @@ class ScenarioResult:
     gas_paid: dict[str, int] = field(default_factory=dict)
     dispute_gas: dict[str, int] = field(default_factory=dict)
     forfeited: tuple[str, ...] = ()
+    settlement: str = "direct"
 
     def net_modulo_gas(self, name: str) -> int:
         """Balance change with the participant's own gas added back.
@@ -94,7 +102,8 @@ class ScenarioHarness:
     """
 
     def __init__(self, app: str = "betting",
-                 deposits: bool = False) -> None:
+                 deposits: bool = False,
+                 settlement: str = "direct") -> None:
         if app not in _ROLES:
             raise AdversaryError(
                 f"unknown app {app!r}; choose from {sorted(_ROLES)}")
@@ -102,8 +111,21 @@ class ScenarioHarness:
             raise AdversaryError(
                 "the §IV security-deposit variant is rendered for the "
                 "betting app only")
+        if settlement not in SETTLEMENTS:
+            raise AdversaryError(
+                f"unknown settlement mode {settlement!r}; choose from "
+                f"{SETTLEMENTS}")
+        if deposits and settlement == "netted":
+            raise AdversaryError(
+                "the §IV deposit variant settles per session — run it "
+                "under direct settlement")
         self.app = app
         self.deposits = deposits
+        self.settlement = settlement
+        # Per-run netted state (reset in _build).
+        self._batcher: Optional[SettlementBatcher] = None
+        self._batch = None
+        self._truth = None
 
     # -- public entry points -------------------------------------------
 
@@ -127,12 +149,12 @@ class ScenarioHarness:
         books = _Books(sim, participants, protocol)
         self._deploy_and_sign(protocol, participants, books)
         self._fund_and_ready(protocol, participants)
-        protocol.submit_result(participants[0])
+        self._propose(protocol, participants[0])
         books.mark(protocol)
-        challenge = protocol.run_challenge_window()
+        challenge = self._police(protocol, books)
         if challenge.disputed:
             raise AdversaryError("the honest baseline disputed itself")
-        protocol.finalize(participants[0])
+        self._close(protocol, participants[0])
         books.mark(protocol)
         forfeited = self._settle_deposits(protocol)
         return self._result(
@@ -166,9 +188,9 @@ class ScenarioHarness:
         books = _Books(sim, participants, protocol)
         self._deploy_and_sign(protocol, participants, books)
         self._fund_and_ready(protocol, participants)
-        protocol.submit_result(participants[0])  # falsified
+        self._propose(protocol, participants[0])  # falsified
         books.mark(protocol)
-        challenge = protocol.run_challenge_window()
+        challenge = self._police(protocol, books)
         books.mark(protocol)
         if not challenge.disputed:
             raise AdversaryError("the false result was not disputed")
@@ -185,34 +207,59 @@ class ScenarioHarness:
         books = _Books(sim, participants, protocol)
         self._deploy_and_sign(protocol, participants, books)
         self._fund_and_ready(protocol, participants)
-        protocol.submit_result(participants[0])  # truthful
+        self._propose(protocol, participants[0])  # truthful
         books.mark(protocol)
 
         deadline = protocol.challenge_deadline()
         sim.advance_time_to(deadline + 1)
-        try:
-            protocol.dispute(griefer)
-        except ChallengeWindowClosed as exc:
-            books.reject(f"late dispute refused off-chain: {exc}")
+        if self.settlement == "direct":
+            try:
+                protocol.dispute(griefer)
+            except ChallengeWindowClosed as exc:
+                books.reject(f"late dispute refused off-chain: {exc}")
+            else:
+                raise AdversaryError(
+                    "a dispute past challengeDeadline was accepted")
+            # The contract enforces the same bound: a hand-crafted late
+            # transaction reverts instead of hijacking the settlement.
+            copy = protocol.signed_copies[griefer.name]
+            receipt = protocol.onchain.transact(
+                "deployVerifiedInstance", copy.bytecode,
+                *copy.vrs_arguments(), sender=griefer.account,
+                gas_limit=DISPUTE_GAS_LIMIT, require_success=False)
+            if receipt.status:
+                raise AdversaryError(
+                    "the on-chain deadline guard accepted a late "
+                    "dispute")
+            books.reject(
+                "late deployVerifiedInstance reverted on-chain "
+                f"(block past deadline {deadline})")
+            books.extra_gas[griefer.name] += receipt.gas_used
         else:
-            raise AdversaryError(
-                "a dispute past challengeDeadline was accepted")
-        # The contract enforces the same bound: a hand-crafted late
-        # transaction reverts instead of hijacking the settlement.
-        copy = protocol.signed_copies[griefer.name]
-        receipt = protocol.onchain.transact(
-            "deployVerifiedInstance", copy.bytecode,
-            *copy.vrs_arguments(), sender=griefer.account,
-            gas_limit=DISPUTE_GAS_LIMIT, require_success=False)
-        if receipt.status:
-            raise AdversaryError(
-                "the on-chain deadline guard accepted a late dispute")
-        books.reject(
-            "late deployVerifiedInstance reverted on-chain "
-            f"(block past deadline {deadline})")
-        books.extra_gas[griefer.name] += receipt.gas_used
+            # Netted: the batch window bounds openings the same way
+            # the per-session window bounds disputes.
+            try:
+                protocol.open_leaf(griefer)
+            except ChallengeWindowClosed as exc:
+                books.reject(f"late opening refused off-chain: {exc}")
+            else:
+                raise AdversaryError(
+                    "an opening past the batch deadline was accepted")
+            # The rendered aggregator enforces the same bound.
+            commitment = protocol.batch_commitment
+            receipt = self._batch.aggregator.transact(
+                "openLeaf", commitment.leaf, commitment.index,
+                *commitment.proof, sender=griefer.account,
+                gas_limit=OPEN_GAS, require_success=False)
+            if receipt.status:
+                raise AdversaryError(
+                    "the aggregator accepted a late opening")
+            books.reject(
+                "late openLeaf reverted on-chain "
+                f"(block past batch deadline {deadline})")
+            books.extra_gas[griefer.name] += receipt.gas_used
 
-        protocol.finalize(participants[0])
+        self._close(protocol, participants[0])
         books.mark(protocol)
         forfeited = self._settle_deposits(protocol)
         return self._result(
@@ -243,7 +290,7 @@ class ScenarioHarness:
 
         self._deploy_and_sign(protocol, participants, books)
         self._fund_and_ready(protocol, participants)
-        protocol.submit_result(liar)  # falsified
+        self._propose(protocol, liar)  # falsified
         books.mark(protocol)
 
         # Off-chain guard: the foreign copy fails participant-list
@@ -269,7 +316,7 @@ class ScenarioHarness:
                      "(bytecode hash mismatch)")
         books.extra_gas[liar.name] += receipt.gas_used
 
-        challenge = protocol.run_challenge_window()
+        challenge = self._police(protocol, books)
         books.mark(protocol)
         if not challenge.disputed:
             raise AdversaryError("the honest dispute never happened")
@@ -308,9 +355,9 @@ class ScenarioHarness:
         protocol.signed_copies[victim.name] = recovered
 
         self._fund_and_ready(protocol, participants)
-        protocol.submit_result(participants[0])  # falsified
+        self._propose(protocol, participants[0])  # falsified
         books.mark(protocol)
-        challenge = protocol.run_challenge_window()
+        challenge = self._police(protocol, books)
         books.mark(protocol)
         if not challenge.disputed:
             raise AdversaryError(
@@ -328,8 +375,15 @@ class ScenarioHarness:
         books = _Books(sim, participants, protocol)
         self._deploy_and_sign(protocol, participants, books)
         self._fund_and_ready(protocol, participants)
-        protocol.submit_result(participants[0])  # falsified
+        self._propose(protocol, participants[0])  # falsified
         books.mark(protocol)
+
+        if self.settlement == "netted":
+            # The challenger opens the contested leaf normally (the
+            # censor targets the dispute pair, not the opening), then
+            # the hand-rolled censored escalation proceeds unchanged.
+            protocol.open_leaf(challenger)
+            books.mark(protocol)
 
         copy = protocol.signed_copies[challenger.name]
         copy.require_valid([p.address for p in protocol.participants])
@@ -416,7 +470,60 @@ class ScenarioHarness:
             for index, role in enumerate(_ROLES[self.app])
         ]
         protocol = self._make_protocol(sim, participants)
+        self._batcher = (SettlementBatcher(sim)
+                         if self.settlement == "netted" else None)
+        self._batch = None
+        self._truth = None
         return sim, participants, protocol
+
+    # -- the settlement seam -------------------------------------------
+
+    def _propose(self, protocol, proposer) -> None:
+        """Stage-3 entry under either mode: per-session submit
+        (direct) or enlist the signed state and commit a one-session
+        batch (netted)."""
+        if self.settlement == "direct":
+            protocol.submit_result(proposer)
+            return
+        self._truth = protocol.reach_unanimous_agreement()
+        claim = proposer.claimed_result(self._truth)
+        self._batcher.enlist(protocol, claim, signer=proposer)
+        self._batch = self._batcher.commit()
+
+    def _police(self, protocol, books=None) -> StageResult:
+        """Honest parties police the proposal or the batch leaf.
+
+        Under netting a bad leaf (wrong claim, or a signature that
+        does not recover to the representative) is *opened* on the
+        aggregator first, then escalated through the unchanged
+        Dispute/Resolve machinery on the session contract.
+        """
+        if self.settlement == "direct":
+            return protocol.run_challenge_window()
+        commitment = protocol.batch_commitment
+        entry = self._batch.entries[commitment.index]
+        clean = (commitment.state.verify(entry.signer.address)
+                 and results_equal(commitment.claim, self._truth))
+        if clean:
+            return StageResult(stage=protocol.stage, value=None)
+        challenger = next(
+            (p for p in protocol.participants if p.will_challenge),
+            None)
+        if challenger is None:
+            raise DisputeError(
+                "a false leaf was committed but no honest participant "
+                "challenged — all parties silent or dishonest")
+        protocol.open_leaf(challenger)
+        if books is not None:
+            books.mark(protocol)
+        return protocol.dispute(challenger)
+
+    def _close(self, protocol, closer) -> None:
+        """Close out: finalize the proposal or the whole batch."""
+        if self.settlement == "direct":
+            protocol.finalize(closer)
+        else:
+            self._batcher.finalize(self._batch)
 
     def _make_protocol(self, sim, participants) -> OnOffChainProtocol:
         if self.app == "betting":
@@ -511,6 +618,7 @@ class ScenarioHarness:
             strategy=strategy,
             app=self.app,
             deposits=self.deposits,
+            settlement=self.settlement,
             stages=tuple(books.stages),
             aborted=aborted,
             disputed=dispute is not None,
@@ -562,6 +670,8 @@ class _Books:
 
 
 def run_scenario(strategy: str, app: str = "betting",
-                 deposits: bool = False) -> ScenarioResult:
+                 deposits: bool = False,
+                 settlement: str = "direct") -> ScenarioResult:
     """One-call convenience: stage a strategy against an app."""
-    return ScenarioHarness(app=app, deposits=deposits).run(strategy)
+    return ScenarioHarness(app=app, deposits=deposits,
+                           settlement=settlement).run(strategy)

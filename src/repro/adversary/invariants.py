@@ -31,15 +31,22 @@ from repro.core.protocol import Stage
 PAPER_DEPLOY_VERIFIED_INSTANCE = 225_082
 PAPER_RETURN_DISPUTE_RESOLUTION = 37_745
 
-#: Legal stage transitions (Table I).  ``SIGNED -> RESOLVED`` covers a
-#: dispute raised straight from Deploy/Sign (no proposal on record);
-#: ``PROPOSED -> RESOLVED`` is the Submit/Challenge escalation.
+#: Legal stage transitions (Table I, extended by the netted lane).
+#: ``SIGNED -> RESOLVED`` covers a dispute raised straight from
+#: Deploy/Sign (no proposal on record); ``PROPOSED -> RESOLVED`` is
+#: the Submit/Challenge escalation.  ``SIGNED -> COMMITTED ->
+#: {SETTLED, OPENED}`` and ``OPENED -> RESOLVED`` are the netted
+#: batch lane: bind into a batch, then settle with it or be opened
+#: and escalate through the unchanged dispute machinery.
 _TABLE_I_EDGES: dict[Stage, frozenset[Stage]] = {
     Stage.CREATED: frozenset({Stage.GENERATED}),
     Stage.GENERATED: frozenset({Stage.DEPLOYED}),
     Stage.DEPLOYED: frozenset({Stage.SIGNED}),
-    Stage.SIGNED: frozenset({Stage.PROPOSED, Stage.RESOLVED}),
+    Stage.SIGNED: frozenset({Stage.PROPOSED, Stage.RESOLVED,
+                             Stage.COMMITTED}),
     Stage.PROPOSED: frozenset({Stage.SETTLED, Stage.RESOLVED}),
+    Stage.COMMITTED: frozenset({Stage.SETTLED, Stage.OPENED}),
+    Stage.OPENED: frozenset({Stage.RESOLVED}),
     Stage.SETTLED: frozenset(),
     Stage.DISPUTED: frozenset({Stage.RESOLVED}),
     Stage.RESOLVED: frozenset(),
@@ -162,22 +169,32 @@ def dispute_gas_matches(result: ScenarioResult,
 
 
 @lru_cache(maxsize=None)
-def reference_baseline(app: str, deposits: bool = False
-                       ) -> ScenarioResult:
-    """The all-honest run for one app (memoised per process)."""
-    return ScenarioHarness(app=app, deposits=deposits).baseline()
+def reference_baseline(app: str, deposits: bool = False,
+                       settlement: str = "direct") -> ScenarioResult:
+    """The all-honest run for one app (memoised per process).
+
+    Parametrised by settlement mode: under netting the honest path
+    commits a batch instead of submitting per session, so both
+    balances and gas differ from the direct baseline.
+    """
+    return ScenarioHarness(app=app, deposits=deposits,
+                           settlement=settlement).baseline()
 
 
 @lru_cache(maxsize=None)
-def reference_dispute_gas(app: str, deposits: bool = False
+def reference_dispute_gas(app: str, deposits: bool = False,
+                          settlement: str = "direct"
                           ) -> tuple[tuple[str, int], ...]:
     """Dispute gas of the clean false-result run (memoised).
 
     Returned as a tuple of items so ``lru_cache`` can hold it; use
-    ``dict(...)`` at the call site.
+    ``dict(...)`` at the call site.  Settlement mode matters:
+    ``deployVerifiedInstance`` costs differently when no per-session
+    proposal is on record (the netted case short-circuits the
+    window guard), so each mode pins its own reference figure.
     """
-    result = ScenarioHarness(app=app, deposits=deposits).run(
-        "false-result")
+    result = ScenarioHarness(app=app, deposits=deposits,
+                             settlement=settlement).run("false-result")
     return tuple(sorted(result.dispute_gas.items()))
 
 
@@ -188,13 +205,14 @@ def check_invariants(result: ScenarioResult,
     """Run every invariant against one scenario result.
 
     ``baseline`` and ``reference`` default to memoised clean runs of
-    the same app/deposit configuration.
+    the same app/deposit/settlement configuration.
     """
     if baseline is None:
-        baseline = reference_baseline(result.app, result.deposits)
+        baseline = reference_baseline(result.app, result.deposits,
+                                      result.settlement)
     if reference is None:
-        reference = dict(
-            reference_dispute_gas(result.app, result.deposits))
+        reference = dict(reference_dispute_gas(
+            result.app, result.deposits, result.settlement))
     return (
         honest_no_worse_off(result, baseline)
         + stage_transitions_valid(result)

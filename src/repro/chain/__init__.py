@@ -26,14 +26,22 @@ from repro.chain.processor import (
     decode_revert_reason,
     run_transaction,
 )
+from repro.chain.aggregator import (
+    AGGREGATOR_NAME,
+    MAX_AGGREGATOR_DEPTH,
+    compile_aggregator,
+    render_aggregator_contract,
+)
 from repro.chain.receipt import Receipt
 from repro.chain.simulator import (
     ETHER,
     GWEI,
     CallFailed,
     EthereumSimulator,
+    SettlementConfigError,
     SimAccount,
     SimulatorConfig,
+    SimulatorConfigError,
     TransactionFailed,
 )
 from repro.chain.state import Overlay, RecordingView, WorldState
@@ -59,13 +67,19 @@ __all__ = [
     "apply_transaction",
     "decode_revert_reason",
     "run_transaction",
+    "AGGREGATOR_NAME",
+    "MAX_AGGREGATOR_DEPTH",
+    "compile_aggregator",
+    "render_aggregator_contract",
     "Receipt",
     "ETHER",
     "GWEI",
     "CallFailed",
     "EthereumSimulator",
+    "SettlementConfigError",
     "SimAccount",
     "SimulatorConfig",
+    "SimulatorConfigError",
     "TransactionFailed",
     "WorldState",
     "Overlay",

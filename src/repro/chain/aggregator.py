@@ -1,0 +1,136 @@
+"""Rendered batch-settlement aggregator contract (netted settlement).
+
+One aggregator instance settles a whole *batch* of protocol sessions:
+the batcher commits a single Merkle root over every session's leaf
+(``H(session_id ‖ signed final state ‖ bytecode hash)``) with one
+``commitBatch`` transaction, a batch-level challenge window opens, and
+after the deadline one ``finalizeBatch`` transaction closes the batch.
+During the window any participant can *open* a leaf — reveal it on
+chain together with its Merkle proof — which is the entry point to the
+per-session Dispute/Resolve machinery.
+
+Solis has no loops and its fixed arrays are storage-only, so the
+Merkle proof cannot travel as an array parameter.  The renderer instead
+emits one contract per tree depth: ``openLeaf`` takes the proof as
+``depth`` individual ``bytes32`` parameters and the root recomputation
+is unrolled at render time, one ``if``/``else`` pair hash per level
+(the same expansion trick ``core/padding.py`` uses for the per-
+participant signature arguments of ``deployVerifiedInstance``).
+"""
+
+from __future__ import annotations
+
+from repro.lang.compiler import CompiledContract, compile_source
+
+#: Contract name every rendered aggregator uses.
+AGGREGATOR_NAME = "SettlementAggregator"
+
+#: Deepest tree the renderer will emit (2**8 = 256 leaves per batch).
+MAX_AGGREGATOR_DEPTH = 8
+
+_I1 = "    "
+_I2 = _I1 * 2
+
+
+def _proof_params(depth: int) -> str:
+    """The unrolled ``bytes32 p0, ...`` proof parameter list."""
+    return "".join(f", bytes32 p{level}" for level in range(depth))
+
+
+def _fold_lines(depth: int) -> str:
+    """Unrolled root recomputation, one pair hash per tree level.
+
+    At each level the ``index`` parity decides whether the running
+    node is the left or the right child of its parent — exactly the
+    pairing order ``MerkleTree`` uses off-chain.
+    """
+    lines = []
+    for level in range(depth):
+        lines.append(
+            f"{_I2}if (path % 2 == 1) "
+            f"{{ node = keccak256(p{level}, node); }} "
+            f"else {{ node = keccak256(node, p{level}); }}\n"
+            f"{_I2}path = path / 2;\n"
+        )
+    return "".join(lines)
+
+
+def render_aggregator_contract(depth: int, challenge_period: int) -> str:
+    """Render the aggregator source for one tree ``depth``.
+
+    ``depth`` 0 is the degenerate batch of one: the root *is* the
+    leaf and ``openLeaf`` takes no proof parameters at all.
+    """
+    if not 0 <= depth <= MAX_AGGREGATOR_DEPTH:
+        raise ValueError(
+            f"aggregator depth {depth} outside [0, "
+            f"{MAX_AGGREGATOR_DEPTH}] (batches are capped at "
+            f"{2 ** MAX_AGGREGATOR_DEPTH} leaves)")
+    if challenge_period <= 0:
+        raise ValueError(
+            "a netted batch needs a positive challenge window — with "
+            "no window a false leaf could never be opened")
+    return f"""
+pragma solis ^0.1.0;
+
+contract {AGGREGATOR_NAME} {{
+    address public batcher;
+    bool public committed;
+    bool public finalized;
+    bytes32 public batchRoot;
+    uint public batchSize;
+    uint public challengeDeadline;
+    uint public openedCount;
+    mapping(uint => bool) public openedLeaf;
+
+    event BatchCommitted(bytes32 root, uint size, uint deadline);
+    event LeafOpened(uint index, bytes32 leaf);
+    event BatchFinalized(bytes32 root, uint opened);
+
+    constructor(address committer) public {{
+        batcher = committer;
+    }}
+
+    function commitBatch(bytes32 root, uint size) public {{
+        require(msg.sender == batcher);
+        require(!committed);
+        require(size > 0);
+        committed = true;
+        batchRoot = root;
+        batchSize = size;
+        challengeDeadline = block.timestamp + {challenge_period};
+        emit BatchCommitted(root, size, challengeDeadline);
+    }}
+
+    function openLeaf(bytes32 leaf, uint index{_proof_params(depth)}) \
+public {{
+        require(committed);
+        require(!finalized);
+        require(block.timestamp < challengeDeadline);
+        require(index < batchSize);
+        require(!openedLeaf[index]);
+        bytes32 node = leaf;
+        uint path = index;
+{_fold_lines(depth)}{_I2}require(node == batchRoot);
+        openedLeaf[index] = true;
+        openedCount = openedCount + 1;
+        emit LeafOpened(index, leaf);
+    }}
+
+    function finalizeBatch() public {{
+        require(msg.sender == batcher);
+        require(committed);
+        require(!finalized);
+        require(block.timestamp >= challengeDeadline);
+        finalized = true;
+        emit BatchFinalized(batchRoot, openedCount);
+    }}
+}}
+"""
+
+
+def compile_aggregator(depth: int,
+                       challenge_period: int) -> CompiledContract:
+    """Render and compile one aggregator (deterministic per inputs)."""
+    source = render_aggregator_contract(depth, challenge_period)
+    return compile_source(source).contract(AGGREGATOR_NAME)

@@ -47,6 +47,24 @@ class CallFailed(ReproError, RuntimeError):
     """A read-only call reverted."""
 
 
+class SimulatorConfigError(ReproError, ValueError):
+    """A :class:`SimulatorConfig` knob is out of its valid range."""
+
+
+class SettlementConfigError(SimulatorConfigError):
+    """The settlement knobs (``settlement``/``batch_size``/window) are
+    inconsistent — rejected at construction, before any chain exists."""
+
+
+#: Settlement modes :class:`SimulatorConfig` accepts (mirrors
+#: ``repro.core.settlement.SETTLEMENTS`` without importing upward).
+_SETTLEMENT_MODES = ("direct", "netted")
+
+#: Mirrors ``repro.core.settlement.MAX_BATCH_SIZE`` (2 ** max depth of
+#: the rendered aggregator) without importing upward.
+_MAX_BATCH_SIZE = 256
+
+
 @dataclass(frozen=True)
 class SimulatorConfig:
     """Construction knobs for :class:`EthereumSimulator`.
@@ -57,7 +75,11 @@ class SimulatorConfig:
 
     ``block_gas_limit`` and ``block_interval`` flow through to the
     underlying :class:`~repro.chain.blockchain.Blockchain`, which is
-    what the multi-session engine tunes for batch mining.
+    what the multi-session engine tunes for batch mining.  The
+    settlement knobs (``settlement``, ``batch_size``,
+    ``settlement_challenge_period``) are validated here, at
+    construction — a bad combination raises
+    :class:`SettlementConfigError` before any chain state exists.
     """
 
     num_accounts: int = 10
@@ -71,6 +93,50 @@ class SimulatorConfig:
     #: Force (True) or forbid (False) process-pool speculation; None
     #: picks processes whenever ``os.fork`` exists and ``workers > 1``.
     parallel_processes: Optional[bool] = None
+    #: How engine-driven sessions settle: ``"direct"`` (one on-chain
+    #: submit/finalize pair per session) or ``"netted"`` (one
+    #: ``commitBatch`` transaction per batch of sessions).
+    settlement: str = "direct"
+    #: Sessions per netted batch (must stay 1 under direct mode).
+    batch_size: int = 1
+    #: Batch-level challenge window, seconds (netted mode only).
+    settlement_challenge_period: int = 3_600
+
+    def __post_init__(self) -> None:
+        """Reject inconsistent knob combinations at construction."""
+        if self.num_accounts < 0:
+            raise SimulatorConfigError(
+                f"num_accounts {self.num_accounts} must be >= 0")
+        if self.block_gas_limit <= 0:
+            raise SimulatorConfigError(
+                f"block_gas_limit {self.block_gas_limit} must be > 0")
+        if self.block_interval <= 0:
+            raise SimulatorConfigError(
+                f"block_interval {self.block_interval} must be > 0")
+        if self.workers < 1:
+            raise SimulatorConfigError(
+                f"workers {self.workers} must be >= 1")
+        if self.settlement not in _SETTLEMENT_MODES:
+            raise SettlementConfigError(
+                f"unknown settlement mode {self.settlement!r}; "
+                f"choose from {_SETTLEMENT_MODES}")
+        if self.batch_size < 1:
+            raise SettlementConfigError(
+                f"batch_size {self.batch_size} must be >= 1")
+        if self.batch_size > _MAX_BATCH_SIZE:
+            raise SettlementConfigError(
+                f"batch_size {self.batch_size} exceeds the aggregator "
+                f"cap of {_MAX_BATCH_SIZE}")
+        if self.settlement == "direct" and self.batch_size != 1:
+            raise SettlementConfigError(
+                "batch_size > 1 needs settlement='netted' — direct "
+                "settlement submits per session")
+        if self.settlement == "netted" \
+                and self.settlement_challenge_period <= 0:
+            raise SettlementConfigError(
+                "netted settlement needs a positive "
+                "settlement_challenge_period — with no batch window a "
+                "false leaf could never be opened")
 
 
 @dataclass

@@ -257,17 +257,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _run_fleet(sessions: int, app: str, mining: str,
-               dishonest: float, workers: int = 1):
+               dishonest: float, workers: int = 1,
+               settlement: str = "direct", batch_size: int = 1):
     from repro.chain import EthereumSimulator, SimulatorConfig
     from repro.core import SessionEngine, spawn_fleet
 
     sim = EthereumSimulator(
         config=SimulatorConfig(num_accounts=2, auto_mine=False,
-                               workers=workers))
+                               workers=workers, settlement=settlement,
+                               batch_size=batch_size))
     drivers = spawn_fleet(sim, sessions, app=app,
                           dishonest_fraction=dishonest)
-    metrics = SessionEngine(sim, drivers, mining=mining).run()
-    return metrics, drivers, sim
+    engine = SessionEngine(sim, drivers, mining=mining)
+    metrics = engine.run()
+    return metrics, drivers, sim, engine
 
 
 def _print_metrics(metrics) -> None:
@@ -294,6 +297,14 @@ def cmd_engine(args: argparse.Namespace) -> int:
         raise SystemExit("error: --sessions must be at least 1")
     if not 0.0 <= args.dishonest <= 1.0:
         raise SystemExit("error: --dishonest must be within [0, 1]")
+    if args.batch_size is None:
+        from repro.core.settlement import MAX_BATCH_SIZE
+
+        args.batch_size = (min(args.sessions, MAX_BATCH_SIZE)
+                           if args.settlement == "netted" else 1)
+    elif args.settlement == "direct" and args.batch_size != 1:
+        raise SystemExit(
+            "error: --batch-size needs --settlement=netted")
     scope = (obs.telemetry(JsonlExporter(args.emit_telemetry))
              if args.emit_telemetry else nullcontext())
     modes = (["batch", "per-tx"] if args.compare else [args.mining])
@@ -302,14 +313,21 @@ def cmd_engine(args: argparse.Namespace) -> int:
         for mode in modes:
             print(f"{args.app} fleet, {args.sessions} sessions, "
                   f"{args.dishonest:.0%} dishonest:")
-            metrics, drivers, sim = _run_fleet(
+            metrics, drivers, sim, engine = _run_fleet(
                 args.sessions, args.app, mode, args.dishonest,
-                workers=args.workers)
+                workers=args.workers, settlement=args.settlement,
+                batch_size=args.batch_size)
             unsettled = [d.session_id for d in drivers if not d.settled]
             if unsettled:
                 raise SystemExit(
                     f"error: sessions did not settle: {unsettled}")
             _print_metrics(metrics)
+            if engine.batcher is not None:
+                batcher = engine.batcher
+                print(f"  netted batches   : {len(batcher.batches)} "
+                      f"({batcher.sessions_settled} sessions, "
+                      f"{batcher.amortized_gas_per_session():,.0f} "
+                      f"batch gas per session)")
             stats = sim.chain.parallel_stats
             if stats.lanes:
                 print(f"  parallel lanes   : {stats.lanes} "
@@ -349,10 +367,15 @@ def cmd_adversary(args: argparse.Namespace) -> int:
     if args.deposits and apps != ["betting"]:
         raise SystemExit(
             "error: --deposits is only rendered for --app betting")
+    if args.deposits and args.settlement == "netted":
+        raise SystemExit(
+            "error: --deposits settles per session; drop "
+            "--settlement=netted")
 
     failures = 0
     for app in apps:
-        harness = ScenarioHarness(app=app, deposits=args.deposits)
+        harness = ScenarioHarness(app=app, deposits=args.deposits,
+                                  settlement=args.settlement)
         for name in strategies:
             result = harness.run(name)
             violations = check_invariants(result)
@@ -453,6 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument("--workers", type=int, default=1,
                           help="speculative execution lanes per mined "
                                "block (1 = sequential apply)")
+    p_engine.add_argument("--settlement", default="direct",
+                          choices=["direct", "netted"],
+                          help="settle per session (direct) or per "
+                               "Merkle-committed batch (netted)")
+    p_engine.add_argument("--batch-size", type=int, default=None,
+                          help="sessions per netted batch "
+                               "(default: the whole fleet, capped)")
     p_engine.add_argument("--compare", action="store_true",
                           help="run both mining modes and compare")
     p_engine.add_argument("--emit-telemetry", metavar="PATH",
@@ -475,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_adversary.add_argument(
         "--deposits", action="store_true",
         help="render the §IV security-deposit variant (betting only)")
+    p_adversary.add_argument(
+        "--settlement", default="direct",
+        choices=["direct", "netted"],
+        help="stage the scenarios against per-session (direct) or "
+             "batched Merkle (netted) settlement")
     p_adversary.set_defaults(func=cmd_adversary)
 
     return parser

@@ -27,6 +27,7 @@ from repro.core.exceptions import (
     DisputeError,
     EngineError,
     ProtocolError,
+    SettlementError,
     SigningError,
     SplitError,
     StageError,
@@ -39,8 +40,19 @@ from repro.core.engine import (
     SessionEngine,
     TenderDriver,
     TxIntent,
+    WaitForBatch,
     WaitUntil,
     spawn_fleet,
+)
+from repro.core.settlement import (
+    DirectSettlement,
+    MerkleTree,
+    NettedSettlement,
+    SettlementBatcher,
+    SettlementPolicy,
+    SignedState,
+    build_policy,
+    sign_final_state,
 )
 from repro.core.participants import Participant, Strategy
 from repro.core.protocol import (
@@ -70,6 +82,7 @@ __all__ = [
     "DisputeError",
     "EngineError",
     "ProtocolError",
+    "SettlementError",
     "SigningError",
     "SplitError",
     "StageError",
@@ -83,8 +96,17 @@ __all__ = [
     "SessionEngine",
     "TenderDriver",
     "TxIntent",
+    "WaitForBatch",
     "WaitUntil",
     "spawn_fleet",
+    "DirectSettlement",
+    "MerkleTree",
+    "NettedSettlement",
+    "SettlementBatcher",
+    "SettlementPolicy",
+    "SignedState",
+    "build_policy",
+    "sign_final_state",
     "DisputeOutcome",
     "OnOffChainProtocol",
     "ProtocolOutcome",

@@ -48,6 +48,18 @@ from repro.core.protocol import (
     Stage,
     results_equal,
 )
+from repro.core.settlement import (
+    AGGREGATOR_DEPLOY_GAS,
+    COMMIT_GAS,
+    DEFAULT_BATCH_WINDOW,
+    FINALIZE_BATCH_GAS,
+    MAX_BATCH_SIZE,
+    OPEN_GAS,
+    DirectSettlement,
+    PendingLeaf,
+    SettlementPolicy,
+    build_policy,
+)
 from repro.crypto.keys import Address
 
 # Declared gas limits for queued transactions.  ``Mempool.pop_batch``
@@ -91,7 +103,17 @@ class WaitUntil:
     timestamp: int
 
 
-DriverStep = Union[list, WaitUntil]
+@dataclass(frozen=True)
+class WaitForBatch:
+    """Yielded by a netted session once its signed final state is
+    enlisted with the batcher: the session parks until the engine
+    flushes the batch containing its ``ticket`` (commit, openings,
+    disputes and finalize all run inside ``_settle_batch``)."""
+
+    ticket: PendingLeaf
+
+
+DriverStep = Union[list, WaitUntil, WaitForBatch]
 DriverGenerator = Generator[DriverStep, Any, None]
 
 
@@ -106,9 +128,15 @@ class ProtocolDriver:
     """
 
     def __init__(self, protocol: OnOffChainProtocol,
-                 session_id: int = 0) -> None:
+                 session_id: int = 0,
+                 settlement: Optional[SettlementPolicy] = None) -> None:
         self.protocol = protocol
         self.session_id = session_id
+        #: How this session settles after unanimous agreement.  The
+        #: engine overwrites this with its fleet-wide policy; the
+        #: default keeps directly driven sessions on the legacy path.
+        self.settlement: SettlementPolicy = settlement or \
+            DirectSettlement()
         self.truth: Any = None
         #: Set when the session aborted before any money moved
         #: (a participant refused to sign — rule 1 of Table I).
@@ -193,52 +221,20 @@ class ProtocolDriver:
         if funding:
             yield funding
 
-        # Stage 3: submit once the result is computable.
-        ready_at = self.submit_ready_at()
-        if ready_at is not None:
-            yield WaitUntil(ready_at)
-        self.truth = protocol.reach_unanimous_agreement()
+        # Stages 3 and 4 are the settlement policy's: the result wait,
+        # unanimous agreement, and either the per-session
+        # submit/finalize pair (DirectSettlement, the legacy path) or
+        # enlist-and-park in a netted batch (NettedSettlement).
+        yield from self.settlement.settle(self)
 
-        challenger: Optional[Participant] = None
-        if rep.strategy is Strategy.REFUSES_TO_SETTLE:
-            # Refusal to settle: no proposal ever lands; an honest
-            # participant escalates straight to Dispute/Resolve.
-            challenger = self._pick_challenger()
-        else:
-            claim = rep.claimed_result(self.truth)
-            [__] = yield [TxIntent(
-                sender=rep.account, to=protocol.onchain.address,
-                data=self.encode_onchain("submitResult", claim),
-                gas_limit=SUBMIT_GAS, stage=Stage.PROPOSED.value,
-                label="submitResult", actor=rep.name,
-            )]
-            protocol.stage = Stage.PROPOSED
+    def dispute_steps(self, challenger: Participant) -> DriverGenerator:
+        """Stage 4: the challenger reveals the signed copy.
 
-            # Challenge window: honest parties police the proposal —
-            # against the same chain clock the contract enforces.
-            proposed = protocol.onchain.call("proposedResult")
-            deadline = protocol.onchain.call("challengeDeadline")
-            if not results_equal(proposed, self.truth):
-                challenger = self._pick_challenger()
-                if protocol.simulator.chain.next_timestamp() >= deadline:
-                    # The window already closed under us (adversarial
-                    # stalling): the false proposal stands and will
-                    # finalize — disputing now would only revert.
-                    self.missed_window = True
-                    challenger = None
-            if challenger is None:
-                yield WaitUntil(deadline)
-                closer = protocol.participants[-1]
-                [__] = yield [TxIntent(
-                    sender=closer.account, to=protocol.onchain.address,
-                    data=self.encode_onchain("finalizeResult"),
-                    gas_limit=FINALIZE_GAS, stage=Stage.PROPOSED.value,
-                    label="finalizeResult", actor=closer.name,
-                )]
-                protocol.stage = Stage.SETTLED
-                return
-
-        # Stage 4: a challenger reveals the signed copy.
+        Shared by both settlement policies — a netted session that was
+        opened escalates through exactly these transactions, so
+        dispute gas stays bit-identical to the direct path.
+        """
+        protocol = self.protocol
         copy = protocol.signed_copies[challenger.name]
         copy.require_valid([p.address for p in protocol.participants])
         [dispute_deploy] = yield [TxIntent(
@@ -283,9 +279,10 @@ class ProtocolDriver:
     @property
     def settled(self) -> bool:
         """True once the session reached a terminal state (including a
-        pre-funding abort after a signature refusal)."""
-        return self.aborted or self.protocol.stage in (
-            Stage.SETTLED, Stage.RESOLVED)
+        pre-funding abort after a signature refusal).  Delegated to the
+        settlement policy, which knows what terminal means under its
+        mode."""
+        return self.aborted or self.settlement.session_settled(self)
 
     @property
     def disputed(self) -> bool:
@@ -373,13 +370,35 @@ class SessionEngine:
                  drivers: Iterable[ProtocolDriver] = (),
                  mining: str = "batch",
                  block_gas_limit: Optional[int] = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 settlement: Union[SettlementPolicy, str, None] = None,
+                 batch_size: Optional[int] = None) -> None:
         if mining not in ("batch", "per-tx"):
             raise EngineError(
                 f"unknown mining mode {mining!r}; use 'batch' or 'per-tx'")
         self.simulator = simulator
         self.mining = mining
         self.block_gas_limit = block_gas_limit
+        # Settlement policy: explicit argument wins, then the
+        # simulator's validated config, then the legacy direct path.
+        config = getattr(simulator, "config", None)
+        if settlement is None:
+            settlement = getattr(config, "settlement", "direct")
+        if isinstance(settlement, str):
+            settlement = build_policy(
+                settlement, simulator,
+                challenge_period=getattr(
+                    config, "settlement_challenge_period",
+                    DEFAULT_BATCH_WINDOW))
+        self.settlement: SettlementPolicy = settlement
+        #: The netted batcher, or None under direct settlement.
+        self.batcher = getattr(settlement, "batcher", None)
+        if batch_size is None:
+            batch_size = getattr(config, "batch_size", 1)
+        if not 1 <= int(batch_size) <= MAX_BATCH_SIZE:
+            raise EngineError(
+                f"batch size {batch_size} not in [1, {MAX_BATCH_SIZE}]")
+        self.batch_size = int(batch_size)
         if workers is not None:
             # Late override so callers with an already-built simulator
             # (the CLI) can opt a fleet into parallel block execution.
@@ -428,7 +447,10 @@ class SessionEngine:
         started = time.perf_counter()
         with obs.span(obs.names.SPAN_ENGINE_RUN, mining=self.mining,
                       sessions=len(self.drivers),
-                      workers=self.simulator.chain.workers):
+                      workers=self.simulator.chain.workers,
+                      settlement=self.settlement.name):
+            for driver in self.drivers:
+                driver.settlement = self.settlement
             sessions = [
                 _SessionState(driver=driver, generator=driver.steps())
                 for driver in self.drivers
@@ -444,10 +466,22 @@ class SessionEngine:
                 if tx_sessions:
                     self._mine_round(tx_sessions)
                     continue
+                parked = [
+                    s for s in sessions
+                    if not s.done and isinstance(s.pending, WaitForBatch)
+                ]
                 waiting = [
                     s for s in sessions
                     if not s.done and isinstance(s.pending, WaitUntil)
                 ]
+                # Flush a netted batch once it is full, or once no
+                # other session can make progress (tail flush) —
+                # transaction work and waits always drain first so a
+                # full batch never starves a live challenge window.
+                if parked and (len(parked) >= self.batch_size
+                               or not waiting):
+                    self._settle_batch(parked)
+                    continue
                 if not waiting:
                     break
                 target = min(s.pending.timestamp for s in waiting)
@@ -484,7 +518,7 @@ class SessionEngine:
             session.pending = None
             session.error = exc
             return
-        if isinstance(step, WaitUntil):
+        if isinstance(step, (WaitUntil, WaitForBatch)):
             session.pending = step
         elif isinstance(step, list) and step and \
                 all(isinstance(i, TxIntent) for i in step):
@@ -494,8 +528,8 @@ class SessionEngine:
             session.pending = None
             session.error = EngineError(
                 f"session {session.driver.session_id} yielded "
-                f"{step!r}; expected a non-empty list of TxIntent "
-                "or WaitUntil"
+                f"{step!r}; expected a non-empty list of TxIntent, "
+                "WaitUntil or WaitForBatch"
             )
 
     def _mine_round(self, tx_sessions: list[_SessionState]) -> None:
@@ -560,6 +594,193 @@ class SessionEngine:
             value=intent.value, gas_limit=intent.gas_limit,
         )
 
+    # -- netted batch settlement ---------------------------------------
+
+    def _settle_batch(self, parked: list[_SessionState]) -> None:
+        """Flush one netted batch: commit, police, open, dispute,
+        finalize, then resume every member session.
+
+        The whole batch settles with ONE ``commitBatch`` transaction
+        (plus one aggregator deploy and one ``finalizeBatch``) carried
+        by the batcher's own ledger.  Contested leaves are opened
+        during the batch window and escalate through the unchanged
+        per-session Dispute/Resolve machinery.
+        """
+        batcher = self.batcher
+        if batcher is None:
+            raise EngineError(
+                "sessions are waiting for a batch but the engine has "
+                "no netted settlement batcher")
+        plan = batcher.prepare_batch(batcher.pending[:self.batch_size])
+        states = {id(s.pending.ticket): s for s in parked}
+        members = []
+        for entry in plan.entries:
+            state = states.get(id(entry))
+            if state is None:
+                raise EngineError(
+                    "a batched session is not parked with the engine")
+            members.append((entry, state))
+
+        with obs.span(obs.names.SPAN_SETTLEMENT_COMMIT,
+                      size=plan.size):
+            [deploy_receipt] = self._mine_intents([TxIntent(
+                sender=batcher.account, to=None, data=plan.init_code,
+                gas_limit=AGGREGATOR_DEPLOY_GAS,
+                label="deploy aggregator", actor=batcher.account.name,
+            )])
+            commit_fn = plan.abi.function("commitBatch")
+            [commit_receipt] = self._mine_intents([TxIntent(
+                sender=batcher.account,
+                to=deploy_receipt.contract_address,
+                data=commit_fn.encode_call([plan.tree.root, plan.size]),
+                gas_limit=COMMIT_GAS,
+                label="commitBatch", actor=batcher.account.name,
+            )])
+            batch = batcher.commit_prepared(
+                plan, deploy_receipt, commit_receipt)
+
+        # Police the batch: every participant checks the committed
+        # leaf against the truth their session agreed off-chain, and
+        # verifies the representative's signature over it.
+        contested = []
+        for entry, state in members:
+            driver = state.driver
+            commitment = entry.commitment
+            honest = (entry.state.verify(entry.signer.address)
+                      and results_equal(commitment.claim, driver.truth))
+            if not honest:
+                contested.append((entry, state,
+                                  driver._pick_challenger()))
+
+        # Contested leaves: reveal on the aggregator (inside the batch
+        # window), then drive the existing dispute pair per session.
+        for entry, state, challenger in contested:
+            protocol = state.driver.protocol
+            commitment = entry.commitment
+            open_fn = batch.aggregator.abi.function("openLeaf")
+            [open_receipt] = self._mine_intents([TxIntent(
+                sender=challenger.account, to=batch.aggregator.address,
+                data=open_fn.encode_call(
+                    [commitment.leaf, commitment.index,
+                     *commitment.proof]),
+                gas_limit=OPEN_GAS,
+                label="openLeaf", actor=challenger.name,
+            )])
+            protocol.record_leaf_opening(open_receipt, challenger.name)
+        for entry, state, challenger in contested:
+            self._pump(state,
+                       state.driver.dispute_steps(challenger))
+
+        # Wait out the window, close the batch, settle the members.
+        with obs.span(obs.names.SPAN_SETTLEMENT_FINALIZE,
+                      batch=batch.batch_id, size=batch.size):
+            self.simulator.advance_time_to(batch.challenge_deadline)
+            finalize_fn = batch.aggregator.abi.function("finalizeBatch")
+            [finalize_receipt] = self._mine_intents([TxIntent(
+                sender=batcher.account, to=batch.aggregator.address,
+                data=finalize_fn.encode_call([]),
+                gas_limit=FINALIZE_BATCH_GAS,
+                label="finalizeBatch", actor=batcher.account.name,
+            )])
+            batcher.finalize_prepared(batch, finalize_receipt)
+
+        for entry, state in members:
+            self._resume(state, entry.commitment)
+
+    def _mine_intents(self, intents: list[TxIntent]) -> list:
+        """Queue and mine batch-level transactions (no session ledger).
+
+        Gas accounting for these lands in the batcher's ledger (via
+        ``commit_prepared``/``finalize_prepared``) or the session's
+        (via ``record_leaf_opening``) — never here.  Any revert is a
+        hard scheduling failure.
+        """
+        sim = self.simulator
+        tx_hashes = []
+        if self.mining == "per-tx":
+            for intent in intents:
+                tx_hashes.append(self._queue(intent))
+                sim.mine(gas_limit=self.block_gas_limit)
+                self._count(obs.names.METRIC_ENGINE_BLOCKS)
+        else:
+            for intent in intents:
+                tx_hashes.append(self._queue(intent))
+            self._mine_queued()
+        receipts = []
+        for intent, tx_hash in zip(intents, tx_hashes):
+            receipt = sim.get_receipt(tx_hash)
+            if not receipt.status:
+                raise EngineError(
+                    f"batch settlement: {intent.label or 'transaction'}"
+                    f" reverted: {receipt.error or 'no reason'}")
+            if obs.enabled():
+                obs.inc(obs.names.METRIC_CHAIN_FN_GAS,
+                        receipt.gas_used, fn=intent.label or "(tx)")
+            receipts.append(receipt)
+        self._count(obs.names.METRIC_ENGINE_TXS, len(receipts))
+        return receipts
+
+    def _mine_queued(self) -> None:
+        """Mine every queued transaction into batched blocks."""
+        sim = self.simulator
+        while sim.pending():
+            block = sim.mine(gas_limit=self.block_gas_limit)[0]
+            self._count(obs.names.METRIC_ENGINE_BLOCKS)
+            if not block.transactions:
+                raise EngineError(
+                    "mined an empty block while transactions are "
+                    "pending — a queued transaction exceeds the "
+                    "block gas limit"
+                )
+
+    def _pump(self, state: _SessionState,
+              generator: DriverGenerator) -> None:
+        """Drive a settlement sub-generator (the dispute pair) to
+        completion, recording every mined intent into the session's
+        ledger exactly as the main loop would."""
+        sim = self.simulator
+        try:
+            step = next(generator)
+        except StopIteration:
+            return
+        while True:
+            if not (isinstance(step, list) and step
+                    and all(isinstance(i, TxIntent) for i in step)):
+                raise EngineError(
+                    f"session {state.driver.session_id} yielded "
+                    f"{step!r} during batch settlement; expected a "
+                    "non-empty list of TxIntent")
+            tx_hashes = []
+            if self.mining == "per-tx":
+                for intent in step:
+                    tx_hashes.append(self._queue(intent))
+                    sim.mine(gas_limit=self.block_gas_limit)
+                    self._count(obs.names.METRIC_ENGINE_BLOCKS)
+            else:
+                for intent in step:
+                    tx_hashes.append(self._queue(intent))
+                self._mine_queued()
+            receipts = []
+            for intent, tx_hash in zip(step, tx_hashes):
+                receipt = sim.get_receipt(tx_hash)
+                if not receipt.status:
+                    raise EngineError(
+                        f"session {state.driver.session_id}: "
+                        f"{intent.label or 'transaction'} reverted: "
+                        f"{receipt.error or 'no reason'}")
+                state.driver.protocol.ledger.record(
+                    intent.stage, intent.label, receipt, intent.actor)
+                if obs.enabled():
+                    obs.inc(obs.names.METRIC_CHAIN_FN_GAS,
+                            receipt.gas_used,
+                            fn=intent.label or "(tx)")
+                receipts.append(receipt)
+            self._count(obs.names.METRIC_ENGINE_TXS, len(receipts))
+            try:
+                step = generator.send(receipts)
+            except StopIteration:
+                return
+
     def _metrics(self, started: float) -> EngineMetrics:
         """Finalise the run's counters and materialise the façade."""
         sessions = len(self.drivers)
@@ -570,10 +791,11 @@ class SessionEngine:
         self.registry.get(obs.names.METRIC_ENGINE_WALL_SECONDS).set(wall)
         if obs.enabled():
             obs.set_gauge(obs.names.METRIC_ENGINE_WALL_SECONDS, wall)
+        batch_gas = self.batcher.total_gas() if self.batcher else 0
         return EngineMetrics.from_registry(
             self.registry, mining=self.mining,
             total_gas=sum(d.protocol.ledger.total()
-                          for d in self.drivers),
+                          for d in self.drivers) + batch_gas,
         )
 
 

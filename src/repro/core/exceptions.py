@@ -39,5 +39,9 @@ class AgreementError(ProtocolError):
     """Participants failed to reach unanimous off-chain agreement."""
 
 
+class SettlementError(ProtocolError):
+    """Netted batch settlement failed (bad leaf, batch, or policy)."""
+
+
 class EngineError(ProtocolError):
     """The multi-session engine cannot make scheduling progress."""

@@ -61,6 +61,13 @@ class Stage(Enum):
     DEPLOYED = "deployed"
     SIGNED = "deploy/sign"
     PROPOSED = "submit/challenge"
+    #: Netted settlement: the session's signed final state is bound
+    #: into a committed batch root (the one-transaction-per-batch
+    #: counterpart of PROPOSED).
+    COMMITTED = "commit/batch"
+    #: Netted settlement: the session's leaf was revealed on the
+    #: aggregator to contest the committed claim.
+    OPENED = "open/leaf"
     SETTLED = "settled"
     DISPUTED = "dispute/resolve"
     RESOLVED = "resolved"
@@ -151,6 +158,9 @@ class OnOffChainProtocol:
         self.signed_copies: dict[str, SignedCopy] = {}
         self._true_result: Any = None
         self._dispute_outcome: Optional[DisputeOutcome] = None
+        #: Set by ``commit_batch`` when this session settles through a
+        #: netted batch instead of its own submit/finalize pair.
+        self.batch_commitment = None
 
     # ------------------------------------------------------------------
     # Stage 1: Split/Generate
@@ -490,8 +500,12 @@ class OnOffChainProtocol:
         """The live proposal's ``challengeDeadline``, if one exists.
 
         ``None`` when the contract was rendered without a challenge
-        period or no result has been submitted yet.
+        period or no result has been submitted yet.  A session bound
+        into a netted batch is governed by the *batch* window instead:
+        its commitment's deadline bounds openings and disputes alike.
         """
+        if self.batch_commitment is not None:
+            return self.batch_commitment.challenge_deadline
         if self.onchain is None or self.spec.challenge_period <= 0:
             return None
         if not self.onchain.call("hasProposal"):
@@ -580,6 +594,99 @@ class OnOffChainProtocol:
         self.sync_bus_clock()
         self.stage = Stage.SETTLED
         return StageResult(stage=self.stage, receipts=(receipt,))
+
+    # ------------------------------------------------------------------
+    # Stage 3 (netted): Commit/Open
+    # ------------------------------------------------------------------
+
+    def commit_batch(self, commitment) -> StageResult:
+        """Bind this session into a committed netted batch.
+
+        The netted counterpart of :meth:`submit_result`: instead of a
+        per-session proposal, the session's signed final state is one
+        leaf under the batch Merkle root a
+        :class:`~repro.core.settlement.SettlementBatcher` committed
+        with a single on-chain transaction.  No receipts are recorded
+        here — the commit transaction is batch-level cost carried by
+        the batcher's own ledger, which is the whole point of netting.
+        """
+        if self.stage is not Stage.SIGNED:
+            raise StageError(
+                "collect_signatures() must precede commit_batch()")
+        if self.batch_commitment is not None:
+            raise StageError("this session is already in a batch")
+        self.sync_bus_clock()
+        self.batch_commitment = commitment
+        self.stage = Stage.COMMITTED
+        return StageResult(stage=self.stage, value=commitment)
+
+    def open_leaf(self, challenger: Participant,
+                  gas_limit: int = 3_000_000) -> StageResult:
+        """Reveal this session's leaf on the aggregator (contest it).
+
+        Opening is the netted dispute entry: the challenger proves on
+        chain — leaf, index and Merkle proof against the committed
+        root — that this session is part of the batch, before driving
+        the unchanged Dispute/Resolve machinery on the session
+        contract.  The batch challenge window bounds openings exactly
+        as the per-session window bounds disputes: once it closed (by
+        the timestamp the opening block would carry) this raises
+        :class:`ChallengeWindowClosed`, and the rendered aggregator
+        enforces the same bound with a ``require``.
+        """
+        if self.batch_commitment is None:
+            raise StageError(
+                "no batch commitment to open — commit_batch() first")
+        if self.stage is not Stage.COMMITTED:
+            raise StageError(f"open_leaf after {self.stage}")
+        self.sync_bus_clock()
+        self._require_window_open(challenger.name)
+        commitment = self.batch_commitment
+        with obs.span(obs.names.SPAN_SETTLEMENT_OPEN,
+                      contract=self.contract_name,
+                      challenger=challenger.name,
+                      index=commitment.index):
+            receipt = commitment.batch.aggregator.transact(
+                "openLeaf", commitment.leaf, commitment.index,
+                *commitment.proof,
+                sender=challenger.account, gas_limit=gas_limit)
+            self.record_leaf_opening(receipt, challenger.name)
+        return StageResult(stage=self.stage, receipts=(receipt,),
+                           value=commitment)
+
+    def record_leaf_opening(self, receipt: Receipt, actor: str) -> None:
+        """Register a mined ``openLeaf`` transaction (deferred mining).
+
+        Shared by :meth:`open_leaf` and the engine's batched opening
+        round: records the gas under ``Stage.OPENED`` in this session's
+        ledger and advances the stage machine.
+        """
+        commitment = self.batch_commitment
+        self.ledger.record(Stage.OPENED.value, "openLeaf", receipt,
+                           actor)
+        commitment.batch.opened.add(commitment.index)
+        self.stage = Stage.OPENED
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_SETTLEMENT_OPENINGS)
+
+    def settle_batch_commitment(self) -> StageResult:
+        """Mark this session settled by its finalized batch.
+
+        Called by the batcher after ``finalizeBatch`` for every member
+        whose leaf went unopened: the committed root plus the signed
+        state is the settlement instrument and the session contract is
+        never touched again.
+        """
+        if self.batch_commitment is None:
+            raise StageError("this session is not in a batch")
+        if self.stage is not Stage.COMMITTED:
+            raise StageError(
+                f"settle_batch_commitment after {self.stage}")
+        if not self.batch_commitment.finalized:
+            raise StageError("the batch has not finalized yet")
+        self.stage = Stage.SETTLED
+        return StageResult(stage=self.stage,
+                           value=self.batch_commitment)
 
     # ------------------------------------------------------------------
     # Stage 4: Dispute/Resolve
@@ -677,6 +784,15 @@ class OnOffChainProtocol:
             return ProtocolOutcome(resolved=False, outcome=None, via="none")
         resolved = self.onchain.call("disputeResolved")
         if not resolved:
+            if (self.batch_commitment is not None
+                    and self.stage is Stage.SETTLED):
+                # Netted optimistic settlement: the session contract
+                # was never touched; the finalized batch commitment
+                # carries the verdict.
+                return ProtocolOutcome(
+                    resolved=True,
+                    outcome=self.batch_commitment.claim,
+                    via="netted")
             return ProtocolOutcome(resolved=False, outcome=None, via="none")
         value = self.onchain.call("resolvedOutcome")
         via = "dispute" if self._dispute_outcome is not None else "finalize"

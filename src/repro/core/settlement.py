@@ -1,0 +1,692 @@
+"""The unified Settlement API: direct vs. netted batch settlement.
+
+Settlement used to be smeared across ``OnOffChainProtocol.submit_result``,
+per-driver ``settled`` logic and the dispute path.  This module fronts
+it with one seam — :class:`SettlementPolicy` — consumed by the
+:class:`~repro.core.engine.SessionEngine` and every ``ProtocolDriver``:
+
+* :class:`DirectSettlement` is the legacy per-session path (one
+  ``submitResult`` + ``finalizeResult`` pair per session, disputes
+  through the Submit/Challenge window), unchanged to the gas unit;
+* :class:`NettedSettlement` collects the *signed final states* of many
+  completed sessions and settles the whole batch with ONE on-chain
+  ``commitBatch`` transaction carrying a single Merkle root, echoing
+  the Diem off-chain principle of netting batches of transactions into
+  one blockchain transaction.
+
+Under netting the committed root plus each session's mutually signed
+state is the settlement instrument (channel-close style): undisputed
+sessions never touch their on-chain contract again.  Safety is
+unchanged because during the batch challenge window any participant
+can *open* their leaf on the aggregator — reveal leaf, Merkle proof
+and signed bytes on-chain — and then drive the existing
+Dispute/Resolve machinery on the session contract, with the PR 4
+chain-clock window enforcement intact at the opening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro import obs
+from repro.chain.aggregator import (
+    AGGREGATOR_NAME,
+    MAX_AGGREGATOR_DEPTH,
+    compile_aggregator,
+)
+from repro.chain.contract import DeployedContract
+from repro.chain.receipt import Receipt
+from repro.chain.simulator import EthereumSimulator, SimAccount
+from repro.core.analytics import GasLedger
+from repro.core.exceptions import SettlementError, StageError
+from repro.core.participants import Participant, Strategy
+from repro.crypto.ecdsa import Signature
+from repro.crypto.keccak import keccak256
+from repro.crypto.keys import Address, recover_address
+
+#: The two settlement modes the engine and the CLI accept.
+SETTLEMENTS = ("direct", "netted")
+
+#: Hard cap on leaves per batch (= the deepest rendered aggregator).
+MAX_BATCH_SIZE = 2 ** MAX_AGGREGATOR_DEPTH
+
+#: Default batch-level challenge window, seconds.
+DEFAULT_BATCH_WINDOW = 3_600
+
+#: Declared gas limits for the batcher's own transactions (same
+#: tight-with-headroom convention as the engine's constants).
+AGGREGATOR_DEPLOY_GAS = 1_200_000
+COMMIT_GAS = 250_000
+OPEN_GAS = 300_000
+FINALIZE_BATCH_GAS = 150_000
+
+#: Stage key the batcher's own :class:`GasLedger` records under.
+BATCH_STAGE = "settlement"
+
+#: Padding leaf filling the tree up to the next power of two.  Never a
+#: valid session leaf (``MerkleTree`` rejects it as input) and its
+#: index is >= ``batchSize``, so the aggregator refuses to open it.
+EMPTY_LEAF = keccak256(b"repro/settlement/empty-leaf")
+
+_STATE_TAG = b"repro/settlement/state:"
+
+
+def encode_result(value: Any) -> bytes:
+    """Canonical 32-byte encoding of a session's final result.
+
+    The apps settle on ``bool`` or ``uint`` results; raw byte results
+    shorter than a word are left-padded so every leaf preimage has a
+    fixed shape.
+    """
+    if isinstance(value, bool):
+        return (1 if value else 0).to_bytes(32, "big")
+    if isinstance(value, int):
+        if value < 0:
+            raise SettlementError(
+                f"cannot encode negative result {value}")
+        return value.to_bytes(32, "big")
+    if isinstance(value, bytes):
+        if len(value) > 32:
+            return keccak256(value)
+        return value.rjust(32, b"\x00")
+    raise SettlementError(
+        f"unsupported result type {type(value).__name__} — "
+        "netted settlement encodes bool, int or bytes results")
+
+
+def state_digest(session_id: int, bytecode_hash: bytes,
+                 state_bytes: bytes) -> bytes:
+    """The digest a representative signs over its final state."""
+    return keccak256(
+        _STATE_TAG + session_id.to_bytes(32, "big")
+        + bytecode_hash + state_bytes)
+
+
+@dataclass(frozen=True)
+class SignedState:
+    """One session's final state, signed by its representative.
+
+    The triple ``(session_id, state, bytecode hash)`` plus the
+    signature is everything a batch leaf commits to — enough for any
+    party to later prove on-chain *what* was settled and *who*
+    vouched for it.
+    """
+
+    session_id: int
+    claim: Any
+    state_bytes: bytes
+    bytecode_hash: bytes
+    signature: Signature
+
+    @property
+    def signed_bytes(self) -> bytes:
+        """State encoding followed by the 65-byte signature."""
+        return self.state_bytes + self.signature.to_bytes()
+
+    @property
+    def leaf(self) -> bytes:
+        """``H(session_id ‖ signed final state ‖ bytecode hash)``."""
+        return keccak256(
+            self.session_id.to_bytes(32, "big")
+            + self.signed_bytes + self.bytecode_hash)
+
+    def verify(self, signer: Address) -> bool:
+        """True iff the signature recovers to ``signer``."""
+        digest = state_digest(
+            self.session_id, self.bytecode_hash, self.state_bytes)
+        try:
+            return recover_address(digest, self.signature) == signer
+        except Exception:
+            return False
+
+
+def sign_final_state(participant: Participant, session_id: int,
+                     claim: Any, bytecode_hash: bytes) -> SignedState:
+    """Build and sign one session's final-state record."""
+    state_bytes = encode_result(claim)
+    digest = state_digest(session_id, bytecode_hash, state_bytes)
+    return SignedState(
+        session_id=session_id, claim=claim, state_bytes=state_bytes,
+        bytecode_hash=bytecode_hash,
+        signature=participant.key.sign(digest))
+
+
+class MerkleTree:
+    """Keccak-256 Merkle tree over 32-byte leaves, padded to ``2**d``.
+
+    Pair hashing is ``keccak256(left ‖ right)`` over the raw 64-byte
+    concatenation — bit-identical to the rendered aggregator's
+    ``keccak256(bytes32, bytes32)`` packed builtin, so proofs verify
+    interchangeably off- and on-chain.
+    """
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        leaves = list(leaves)
+        if not leaves:
+            raise SettlementError("a Merkle tree needs at least one leaf")
+        if len(leaves) > MAX_BATCH_SIZE:
+            raise SettlementError(
+                f"{len(leaves)} leaves exceed the batch cap of "
+                f"{MAX_BATCH_SIZE}")
+        seen: set[bytes] = set()
+        for index, leaf in enumerate(leaves):
+            if not isinstance(leaf, bytes) or len(leaf) != 32:
+                raise SettlementError(
+                    f"leaf {index} is not a 32-byte digest")
+            if leaf == EMPTY_LEAF:
+                raise SettlementError(
+                    f"leaf {index} equals the reserved padding leaf")
+            if leaf in seen:
+                raise SettlementError(
+                    f"duplicate leaf at index {index} — every session "
+                    "in a batch must commit a distinct state")
+            seen.add(leaf)
+        self.size = len(leaves)
+        self.depth = max(0, (self.size - 1).bit_length())
+        padded = leaves + [EMPTY_LEAF] * (2 ** self.depth - self.size)
+        self.levels: list[list[bytes]] = [padded]
+        while len(self.levels[-1]) > 1:
+            level = self.levels[-1]
+            self.levels.append([
+                keccak256(level[i] + level[i + 1])
+                for i in range(0, len(level), 2)
+            ])
+
+    @property
+    def root(self) -> bytes:
+        """The 32-byte batch commitment."""
+        return self.levels[-1][0]
+
+    @property
+    def leaves(self) -> list[bytes]:
+        """The original (unpadded) leaves."""
+        return self.levels[0][:self.size]
+
+    def proof(self, index: int) -> tuple[bytes, ...]:
+        """Sibling path for ``leaf[index]``, bottom-up."""
+        if not 0 <= index < self.size:
+            raise SettlementError(
+                f"leaf index {index} outside batch of {self.size}")
+        siblings = []
+        for level in self.levels[:-1]:
+            siblings.append(level[index ^ 1])
+            index //= 2
+        return tuple(siblings)
+
+    @staticmethod
+    def verify(leaf: bytes, index: int, proof: Sequence[bytes],
+               root: bytes) -> bool:
+        """Recompute the root from a leaf and its sibling path."""
+        if index < 0 or index >= 2 ** len(proof) and proof:
+            return False
+        if not proof and index != 0:
+            return False
+        node = leaf
+        path = index
+        for sibling in proof:
+            if path % 2 == 1:
+                node = keccak256(sibling + node)
+            else:
+                node = keccak256(node + sibling)
+            path //= 2
+        return node == root
+
+
+@dataclass
+class PendingLeaf:
+    """One session enlisted with the batcher, awaiting a batch."""
+
+    protocol: Any  # OnOffChainProtocol (untyped to avoid an import cycle)
+    state: SignedState
+    signer: Participant
+    commitment: Optional["BatchCommitment"] = None
+
+    @property
+    def leaf(self) -> bytes:
+        """The session's batch leaf."""
+        return self.state.leaf
+
+
+@dataclass
+class SettlementBatch:
+    """One committed batch: aggregator, tree and member sessions."""
+
+    batch_id: int
+    aggregator: DeployedContract
+    tree: MerkleTree
+    entries: tuple[PendingLeaf, ...]
+    challenge_deadline: int
+    commit_receipt: Receipt
+    finalize_receipt: Optional[Receipt] = None
+    finalized: bool = False
+    opened: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        """Number of sessions netted into this batch."""
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class BatchCommitment:
+    """One session's view of its committed batch (stage payload)."""
+
+    batch: SettlementBatch
+    index: int
+    state: SignedState
+    proof: tuple[bytes, ...]
+
+    @property
+    def leaf(self) -> bytes:
+        """This session's leaf in the batch tree."""
+        return self.state.leaf
+
+    @property
+    def claim(self) -> Any:
+        """The result the representative signed into the batch."""
+        return self.state.claim
+
+    @property
+    def root(self) -> bytes:
+        """The committed batch root."""
+        return self.batch.tree.root
+
+    @property
+    def challenge_deadline(self) -> int:
+        """When this session's batch window closes (chain time)."""
+        return self.batch.challenge_deadline
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the batch has been finalized on-chain."""
+        return self.batch.finalized
+
+    @property
+    def opened(self) -> bool:
+        """Whether this leaf was opened (contested) on-chain."""
+        return self.index in self.batch.opened
+
+
+@dataclass
+class BatchPlan:
+    """A prepared batch: tree built, aggregator compiled, not yet sent."""
+
+    entries: tuple[PendingLeaf, ...]
+    tree: MerkleTree
+    init_code: bytes
+    abi: Any
+
+    @property
+    def size(self) -> int:
+        """Number of sessions in the prepared batch."""
+        return len(self.entries)
+
+
+class SettlementBatcher:
+    """Collects completed sessions and settles them in netted batches.
+
+    The batcher is its own on-chain actor (one funded account) with its
+    own :class:`GasLedger`: aggregator deployment, ``commitBatch`` and
+    ``finalizeBatch`` gas is batch-level cost amortized over the batch,
+    never billed to any single session's ledger.
+    """
+
+    def __init__(self, simulator: EthereumSimulator,
+                 challenge_period: int = DEFAULT_BATCH_WINDOW,
+                 account: Optional[SimAccount] = None) -> None:
+        if challenge_period <= 0:
+            raise SettlementError(
+                "netted settlement needs a positive batch challenge "
+                "window — with no window a false leaf could never be "
+                "opened")
+        self.simulator = simulator
+        self.challenge_period = challenge_period
+        self.account = account or simulator.create_account(
+            "settlement-batcher", name="batcher")
+        self.ledger = GasLedger()
+        self.pending: list[PendingLeaf] = []
+        self.batches: list[SettlementBatch] = []
+        self.sessions_settled = 0
+
+    # -- enlisting -----------------------------------------------------
+
+    def enlist(self, protocol: Any, claim: Any, session_id: int = 0,
+               signer: Optional[Participant] = None) -> PendingLeaf:
+        """Queue one completed session's signed final state.
+
+        ``protocol`` must have finished Deploy/Sign: the leaf binds the
+        mutually signed off-chain bytecode hash, so there is nothing to
+        net before everyone holds a signed copy.
+        """
+        signer = signer or protocol.participants[0]
+        copy = protocol.signed_copies.get(signer.name)
+        if copy is None:
+            raise StageError(
+                "collect_signatures() must precede enlist() — the "
+                "batch leaf commits to the signed bytecode hash")
+        state = sign_final_state(
+            signer, session_id, claim, copy.bytecode_hash)
+        pending = PendingLeaf(protocol=protocol, state=state,
+                              signer=signer)
+        self.pending.append(pending)
+        return pending
+
+    # -- preparing and committing --------------------------------------
+
+    def prepare_batch(self,
+                      entries: Optional[Iterable[PendingLeaf]] = None,
+                      ) -> BatchPlan:
+        """Pop pending sessions and build the tree + aggregator code."""
+        taken = list(entries) if entries is not None else list(self.pending)
+        if not taken:
+            raise SettlementError("no pending sessions to batch")
+        for entry in taken:
+            if entry not in self.pending:
+                raise SettlementError(
+                    "entry was not enlisted with this batcher")
+        self.pending = [p for p in self.pending if p not in taken]
+        tree = MerkleTree([entry.leaf for entry in taken])
+        compiled = compile_aggregator(tree.depth, self.challenge_period)
+        init_code = (compiled.init_code
+                     + compiled.abi.encode_constructor_args(
+                         [self.account.address]))
+        return BatchPlan(entries=tuple(taken), tree=tree,
+                         init_code=init_code, abi=compiled.abi)
+
+    def commit_prepared(self, plan: BatchPlan,
+                        deploy_receipt: Receipt,
+                        commit_receipt: Receipt) -> SettlementBatch:
+        """Bind mined deploy + commit receipts into a live batch.
+
+        The deferred twin of :meth:`commit` for callers that mine the
+        two transactions themselves (the engine).  Records batch-level
+        gas, advances every member session to ``Stage.COMMITTED`` and
+        hands each its :class:`BatchCommitment`.
+        """
+        if deploy_receipt.contract_address is None:
+            raise SettlementError(
+                "aggregator deployment carries no contract address")
+        aggregator = DeployedContract(
+            address=deploy_receipt.contract_address, abi=plan.abi,
+            simulator=self.simulator, deploy_receipt=deploy_receipt)
+        self.ledger.record(BATCH_STAGE, "deploy aggregator",
+                           deploy_receipt, self.account.name)
+        self.ledger.record(BATCH_STAGE, "commitBatch",
+                           commit_receipt, self.account.name)
+        batch = SettlementBatch(
+            batch_id=len(self.batches),
+            aggregator=aggregator,
+            tree=plan.tree,
+            entries=plan.entries,
+            challenge_deadline=aggregator.call("challengeDeadline"),
+            commit_receipt=commit_receipt,
+        )
+        self.batches.append(batch)
+        for index, entry in enumerate(plan.entries):
+            commitment = BatchCommitment(
+                batch=batch, index=index, state=entry.state,
+                proof=plan.tree.proof(index))
+            entry.commitment = commitment
+            entry.protocol.commit_batch(commitment)
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_SETTLEMENT_BATCHES)
+            obs.inc(obs.names.METRIC_SETTLEMENT_BATCHED_SESSIONS,
+                    batch.size)
+            obs.observe(obs.names.METRIC_SETTLEMENT_BATCH_SIZE,
+                        batch.size)
+            obs.inc(obs.names.METRIC_SETTLEMENT_BATCH_GAS,
+                    deploy_receipt.gas_used + commit_receipt.gas_used)
+        return batch
+
+    def commit(self,
+               entries: Optional[Iterable[PendingLeaf]] = None,
+               ) -> SettlementBatch:
+        """Deploy the aggregator and commit the batch root (sync path).
+
+        Requires an auto-mining simulator; the engine uses
+        :meth:`prepare_batch` + :meth:`commit_prepared` and mines the
+        two transactions through its own scheduler instead.
+        """
+        with obs.span(obs.names.SPAN_SETTLEMENT_COMMIT,
+                      pending=len(self.pending)):
+            plan = self.prepare_batch(entries)
+            deploy_receipt = self.simulator.deploy_bytecode(
+                self.account, plan.init_code,
+                gas_limit=AGGREGATOR_DEPLOY_GAS)
+            commit_data = plan.abi.function("commitBatch").encode_call(
+                [plan.tree.root, plan.size])
+            commit_receipt = self.simulator.transact(
+                self.account, deploy_receipt.contract_address,
+                data=commit_data, gas_limit=COMMIT_GAS)
+            return self.commit_prepared(
+                plan, deploy_receipt, commit_receipt)
+
+    # -- finalizing ----------------------------------------------------
+
+    def finalize_prepared(self, batch: SettlementBatch,
+                          receipt: Receipt) -> SettlementBatch:
+        """Bind a mined ``finalizeBatch`` receipt and settle members."""
+        self.ledger.record(BATCH_STAGE, "finalizeBatch", receipt,
+                           self.account.name)
+        batch.finalize_receipt = receipt
+        batch.finalized = True
+        for entry in batch.entries:
+            if entry.protocol.stage is _stage().COMMITTED:
+                entry.protocol.settle_batch_commitment()
+        self.sessions_settled += batch.size
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_SETTLEMENT_BATCH_GAS,
+                    receipt.gas_used)
+        return batch
+
+    def finalize(self, batch: SettlementBatch) -> SettlementBatch:
+        """Wait out the window and finalize the batch (sync path)."""
+        if batch.finalized:
+            raise SettlementError(
+                f"batch {batch.batch_id} is already finalized")
+        with obs.span(obs.names.SPAN_SETTLEMENT_FINALIZE,
+                      batch=batch.batch_id, size=batch.size):
+            self.simulator.advance_time_to(batch.challenge_deadline)
+            receipt = batch.aggregator.transact(
+                "finalizeBatch", sender=self.account,
+                gas_limit=FINALIZE_BATCH_GAS)
+            return self.finalize_prepared(batch, receipt)
+
+    # -- accounting ----------------------------------------------------
+
+    def total_gas(self) -> int:
+        """All batch-level on-chain gas the batcher has paid."""
+        return self.ledger.total()
+
+    def amortized_gas_per_session(self) -> float:
+        """Batch-level gas averaged over every netted session."""
+        if self.sessions_settled == 0:
+            return 0.0
+        return self.total_gas() / self.sessions_settled
+
+
+def _stage():
+    """The Stage enum, imported late to avoid a protocol import cycle."""
+    from repro.core.protocol import Stage
+    return Stage
+
+
+# ---------------------------------------------------------------------------
+# The SettlementPolicy seam
+# ---------------------------------------------------------------------------
+
+
+class SettlementPolicy:
+    """How completed sessions turn their agreed result into settlement.
+
+    One policy instance is shared by every driver an engine runs; the
+    driver generator delegates everything after unanimous agreement to
+    ``settle``.  Two implementations exist: :class:`DirectSettlement`
+    (per-session submit/finalize, the legacy path) and
+    :class:`NettedSettlement` (batched Merkle commitment).
+    """
+
+    name = "abstract"
+
+    def settle(self, driver: Any):
+        """Generator over the driver's settlement steps (engine form)."""
+        raise NotImplementedError
+
+    def session_settled(self, driver: Any) -> bool:
+        """Whether one driver's session reached a terminal stage."""
+        Stage = _stage()
+        return driver.protocol.stage in (Stage.SETTLED, Stage.RESOLVED)
+
+    def _agree(self, driver: Any):
+        """Shared prelude: wait for the result, agree off-chain."""
+        from repro.core.engine import WaitUntil
+
+        ready_at = driver.submit_ready_at()
+        if ready_at is not None:
+            yield WaitUntil(ready_at)
+        driver.truth = driver.protocol.reach_unanimous_agreement()
+
+
+class DirectSettlement(SettlementPolicy):
+    """Per-session on-chain settlement (the legacy implicit path).
+
+    One ``submitResult`` opens the challenge window, honest parties
+    police the proposal, and either ``finalizeResult`` or the dispute
+    pair closes the session — transaction-for-transaction identical to
+    the pre-policy engine, so ledgers and Table II gas are unchanged.
+    """
+
+    name = "direct"
+
+    def settle(self, driver: Any):
+        """Submit, police the window, then finalize or dispute."""
+        from repro.core.engine import (
+            FINALIZE_GAS,
+            SUBMIT_GAS,
+            TxIntent,
+            WaitUntil,
+        )
+        from repro.core.protocol import Stage, results_equal
+
+        yield from self._agree(driver)
+        protocol = driver.protocol
+        rep = driver.representative
+
+        challenger: Optional[Participant] = None
+        if rep.strategy is Strategy.REFUSES_TO_SETTLE:
+            # Refusal to settle: no proposal ever lands; an honest
+            # participant escalates straight to Dispute/Resolve.
+            challenger = driver._pick_challenger()
+        else:
+            claim = rep.claimed_result(driver.truth)
+            [__] = yield [TxIntent(
+                sender=rep.account, to=protocol.onchain.address,
+                data=driver.encode_onchain("submitResult", claim),
+                gas_limit=SUBMIT_GAS, stage=Stage.PROPOSED.value,
+                label="submitResult", actor=rep.name,
+            )]
+            protocol.stage = Stage.PROPOSED
+
+            # Challenge window: honest parties police the proposal —
+            # against the same chain clock the contract enforces.
+            proposed = protocol.onchain.call("proposedResult")
+            deadline = protocol.onchain.call("challengeDeadline")
+            if not results_equal(proposed, driver.truth):
+                challenger = driver._pick_challenger()
+                if protocol.simulator.chain.next_timestamp() >= deadline:
+                    # The window already closed under us (adversarial
+                    # stalling): the false proposal stands and will
+                    # finalize — disputing now would only revert.
+                    driver.missed_window = True
+                    challenger = None
+            if challenger is None:
+                yield WaitUntil(deadline)
+                closer = protocol.participants[-1]
+                [__] = yield [TxIntent(
+                    sender=closer.account, to=protocol.onchain.address,
+                    data=driver.encode_onchain("finalizeResult"),
+                    gas_limit=FINALIZE_GAS, stage=Stage.PROPOSED.value,
+                    label="finalizeResult", actor=closer.name,
+                )]
+                protocol.stage = Stage.SETTLED
+                return
+
+        yield from driver.dispute_steps(challenger)
+
+
+class NettedSettlement(SettlementPolicy):
+    """Batched Merkle settlement through a :class:`SettlementBatcher`.
+
+    The session enlists its signed final state and parks until the
+    engine flushes a batch; the batcher's commit/open/finalize rounds
+    (including dispute-via-opening for contested leaves) run inside
+    the engine's ``_settle_batch``.
+    """
+
+    name = "netted"
+
+    def __init__(self, batcher: SettlementBatcher) -> None:
+        self.batcher = batcher
+
+    def settle(self, driver: Any):
+        """Enlist with the batcher and park until the batch settles."""
+        from repro.core.engine import WaitForBatch
+
+        yield from self._agree(driver)
+        rep = driver.representative
+        if rep.strategy is Strategy.REFUSES_TO_SETTLE:
+            # Nothing to net: the representative hands the batcher no
+            # signed state, so an honest participant escalates
+            # straight to Dispute/Resolve on the session contract
+            # (Table I's SIGNED -> RESOLVED edge, as in direct mode).
+            challenger = driver._pick_challenger()
+            yield from driver.dispute_steps(challenger)
+            return
+        claim = rep.claimed_result(driver.truth)
+        pending = self.batcher.enlist(
+            driver.protocol, claim, session_id=driver.session_id,
+            signer=rep)
+        yield WaitForBatch(pending)
+
+
+def build_policy(settlement: str, simulator: EthereumSimulator,
+                 challenge_period: int = DEFAULT_BATCH_WINDOW,
+                 ) -> SettlementPolicy:
+    """Construct the policy named by a ``settlement`` config knob."""
+    if settlement == "direct":
+        return DirectSettlement()
+    if settlement == "netted":
+        return NettedSettlement(SettlementBatcher(
+            simulator, challenge_period=challenge_period))
+    raise SettlementError(
+        f"unknown settlement mode {settlement!r}; "
+        f"choose from {SETTLEMENTS}")
+
+
+__all__ = [
+    "AGGREGATOR_NAME",
+    "AGGREGATOR_DEPLOY_GAS",
+    "BATCH_STAGE",
+    "BatchCommitment",
+    "BatchPlan",
+    "COMMIT_GAS",
+    "DEFAULT_BATCH_WINDOW",
+    "DirectSettlement",
+    "EMPTY_LEAF",
+    "FINALIZE_BATCH_GAS",
+    "MAX_BATCH_SIZE",
+    "MerkleTree",
+    "NettedSettlement",
+    "OPEN_GAS",
+    "PendingLeaf",
+    "SETTLEMENTS",
+    "SettlementBatch",
+    "SettlementBatcher",
+    "SettlementPolicy",
+    "SignedState",
+    "build_policy",
+    "encode_result",
+    "sign_final_state",
+    "state_digest",
+]

@@ -34,6 +34,8 @@ _REEXPORTS = {
     "InvalidTransaction": "repro.chain.processor",
     "TransactionFailed": "repro.chain.simulator",
     "CallFailed": "repro.chain.simulator",
+    "SimulatorConfigError": "repro.chain.simulator",
+    "SettlementConfigError": "repro.chain.simulator",
     "AbiLookupError": "repro.chain.contract",
     # protocol family
     "ProtocolError": "repro.core.exceptions",
@@ -42,6 +44,7 @@ _REEXPORTS = {
     "StageError": "repro.core.exceptions",
     "DisputeError": "repro.core.exceptions",
     "AgreementError": "repro.core.exceptions",
+    "SettlementError": "repro.core.exceptions",
     "EngineError": "repro.core.exceptions",
     # compiler family
     "SolisError": "repro.lang.errors",

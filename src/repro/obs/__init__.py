@@ -77,6 +77,7 @@ class ObsError(ReproError, RuntimeError):
 
 #: Fixed histogram bucket boundaries, part of the telemetry contract.
 BLOCK_TX_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 BLOCK_GAS_BUCKETS = (50_000, 100_000, 250_000, 500_000, 1_000_000,
                      2_000_000, 4_000_000, 8_000_000)
 WINDOW_MARGIN_BUCKETS = (60, 300, 900, 1_800, 3_600, 7_200, 14_400)
@@ -126,6 +127,17 @@ def _declare_instruments(registry: MetricsRegistry) -> None:
                      help="adversarial actions rejected")
     registry.counter(names.METRIC_ADVERSARY_FORFEITS,
                      help="deposits forfeited in adversary scenarios")
+    registry.counter(names.METRIC_SETTLEMENT_BATCHES,
+                     help="netted batches committed on-chain")
+    registry.counter(names.METRIC_SETTLEMENT_BATCHED_SESSIONS,
+                     help="sessions settled through netted batches")
+    registry.histogram(names.METRIC_SETTLEMENT_BATCH_SIZE,
+                       buckets=BATCH_SIZE_BUCKETS,
+                       help="sessions per committed batch")
+    registry.counter(names.METRIC_SETTLEMENT_BATCH_GAS,
+                     help="batch-level gas (deploy+commit+finalize)")
+    registry.counter(names.METRIC_SETTLEMENT_OPENINGS,
+                     help="contested leaves opened on aggregators")
     registry.counter(names.METRIC_ENGINE_SESSIONS,
                      help="sessions driven to completion")
     registry.counter(names.METRIC_ENGINE_DISPUTES,

@@ -50,6 +50,13 @@ SPAN_ENGINE_MINE_ROUND = "engine.mine_round"
 #: One driver-generator resumption (labelled with the session id).
 SPAN_ENGINE_SESSION_STEP = "engine.session_step"
 
+#: One netted batch commitment (aggregator deploy + ``commitBatch``).
+SPAN_SETTLEMENT_COMMIT = "settlement.commit"
+#: One leaf opening on the aggregator (dispute-via-opening entry).
+SPAN_SETTLEMENT_OPEN = "settlement.open"
+#: One batch finalization after its challenge window closed.
+SPAN_SETTLEMENT_FINALIZE = "settlement.finalize"
+
 #: One state-changing contract transaction (web3-style ``transact``).
 SPAN_CHAIN_TX = "chain.tx"
 #: One contract deployment through the simulator facade.
@@ -77,6 +84,9 @@ ALL_SPANS: tuple[str, ...] = (
     SPAN_ENGINE_RUN,
     SPAN_ENGINE_MINE_ROUND,
     SPAN_ENGINE_SESSION_STEP,
+    SPAN_SETTLEMENT_COMMIT,
+    SPAN_SETTLEMENT_OPEN,
+    SPAN_SETTLEMENT_FINALIZE,
     SPAN_CHAIN_TX,
     SPAN_CHAIN_DEPLOY,
     SPAN_CHAIN_CALL,
@@ -182,6 +192,20 @@ METRIC_ADVERSARY_REJECTED = "adversary.rejected_actions"
 #: adversary scenarios (the §IV monetary penalty firing).
 METRIC_ADVERSARY_FORFEITS = "adversary.deposit_forfeits"
 
+#: counter — netted batches committed on-chain.
+METRIC_SETTLEMENT_BATCHES = "settlement.batches"
+#: counter — sessions settled through a netted batch commitment.
+METRIC_SETTLEMENT_BATCHED_SESSIONS = "settlement.batched_sessions"
+#: histogram — sessions per committed batch.
+METRIC_SETTLEMENT_BATCH_SIZE = "settlement.batch.size"
+#: counter — batch-level on-chain gas the batcher paid (aggregator
+#: deploy + ``commitBatch`` + ``finalizeBatch``); amortized over the
+#: batch, never billed to a single session's ledger.
+METRIC_SETTLEMENT_BATCH_GAS = "settlement.batch.gas"
+#: counter — leaves opened on an aggregator (contested sessions
+#: entering the dispute-via-opening path).
+METRIC_SETTLEMENT_OPENINGS = "settlement.leaf_openings"
+
 #: counter — sessions a :class:`SessionEngine` drove to completion.
 METRIC_ENGINE_SESSIONS = "engine.sessions"
 #: counter — sessions that settled through Dispute/Resolve.
@@ -222,6 +246,11 @@ ALL_METRICS: tuple[str, ...] = (
     METRIC_ADVERSARY_SCENARIOS,
     METRIC_ADVERSARY_REJECTED,
     METRIC_ADVERSARY_FORFEITS,
+    METRIC_SETTLEMENT_BATCHES,
+    METRIC_SETTLEMENT_BATCHED_SESSIONS,
+    METRIC_SETTLEMENT_BATCH_SIZE,
+    METRIC_SETTLEMENT_BATCH_GAS,
+    METRIC_SETTLEMENT_OPENINGS,
     METRIC_ENGINE_SESSIONS,
     METRIC_ENGINE_DISPUTES,
     METRIC_ENGINE_BLOCKS,

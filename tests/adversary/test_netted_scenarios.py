@@ -1,0 +1,92 @@
+"""The Byzantine sweep replayed under netted batch settlement.
+
+Every adversary profile runs against the netted policy: sessions
+settle through a batch commitment, and deviations escalate by opening
+the session's leaf on the aggregator before the existing
+Dispute/Resolve machinery takes over.  The PR 4 invariants
+(honest-no-worse-off, Table I stage DAG extended with the netted
+lane, dispute-gas pinning) must hold in every cell.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.adversary import (
+    PROFILES,
+    AdversaryError,
+    ScenarioHarness,
+    check_invariants,
+    honest_no_worse_off,
+    reference_baseline,
+)
+from repro.core.protocol import Stage
+
+APPS = ("betting", "escrow", "tender")
+STRATEGIES = tuple(sorted(PROFILES))
+
+
+@lru_cache(maxsize=None)
+def _run(strategy: str, app: str):
+    """Each netted cell is staged once per test session."""
+    return ScenarioHarness(app=app, settlement="netted").run(strategy)
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_all_invariants_hold_netted(strategy, app):
+    """The headline sweep under netting: no invariant breaks."""
+    result = _run(strategy, app)
+    assert result.settlement == "netted"
+    violations = check_invariants(result)
+    assert not violations, [str(v) for v in violations]
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_honest_no_worse_off_netted(strategy, app):
+    """Rational adherence against the netted-honest baseline."""
+    result = _run(strategy, app)
+    baseline = reference_baseline(app, settlement="netted")
+    assert not honest_no_worse_off(result, baseline)
+
+
+def test_netted_honest_trajectory():
+    """An undisputed netted session never leaves the batch lane."""
+    result = ScenarioHarness(app="betting",
+                             settlement="netted").baseline()
+    assert tuple(result.stages) == (Stage.GENERATED, Stage.DEPLOYED,
+                                    Stage.SIGNED, Stage.COMMITTED,
+                                    Stage.SETTLED)
+    assert result.outcome is not None and result.outcome.via == "netted"
+
+
+def test_netted_disputed_trajectory():
+    """A contested leaf is opened, then resolved by Dispute/Resolve."""
+    result = _run("false-result", "betting")
+    assert result.disputed
+    assert tuple(result.stages)[-3:] == (Stage.COMMITTED, Stage.OPENED,
+                                         Stage.RESOLVED)
+    assert result.outcome is not None and result.outcome.via == "dispute"
+
+
+def test_netted_late_dispute_rejected_twice():
+    """Both the off-chain clock and the aggregator refuse a late
+    opening — the PR 4 challenge-window semantics, netted."""
+    result = _run("late-dispute", "betting")
+    assert len(result.rejected_actions) == 2
+    assert not result.disputed
+    assert result.outcome is not None and result.outcome.via == "netted"
+
+
+def test_deposits_require_direct_settlement():
+    """The §IV deposit variant settles per session; netting it is a
+    configuration error, not a silent downgrade."""
+    with pytest.raises(AdversaryError):
+        ScenarioHarness(app="betting", deposits=True,
+                        settlement="netted")
+
+
+def test_unknown_settlement_mode_rejected():
+    with pytest.raises(AdversaryError):
+        ScenarioHarness(app="betting", settlement="batched")

@@ -1,0 +1,382 @@
+"""Netted batch settlement: unit, on-chain, and engine coverage.
+
+Covers the Settlement API seam (policies, batcher, signed states),
+the rendered aggregator's require-matrix, the config validation, and
+the engine's netted scheduling — including dispute-via-opening with
+the PR 4 challenge-window semantics intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.aggregator import (
+    MAX_AGGREGATOR_DEPTH,
+    compile_aggregator,
+    render_aggregator_contract,
+)
+from repro.chain.simulator import (
+    EthereumSimulator,
+    SettlementConfigError,
+    SimulatorConfig,
+)
+from repro.core.engine import SessionEngine, spawn_fleet
+from repro.core.exceptions import (
+    ChallengeWindowClosed,
+    EngineError,
+    SettlementError,
+    StageError,
+)
+from repro.core.protocol import Stage
+from repro.core.settlement import (
+    DirectSettlement,
+    MerkleTree,
+    NettedSettlement,
+    SettlementBatcher,
+    build_policy,
+    encode_result,
+    sign_final_state,
+)
+from repro.crypto.keccak import keccak256
+
+
+# --- encoding and signing ------------------------------------------------
+
+def test_encode_result_canonical_forms():
+    assert encode_result(True) == (1).to_bytes(32, "big")
+    assert encode_result(False) == bytes(32)
+    assert encode_result(7) == (7).to_bytes(32, "big")
+    assert encode_result(b"\x01\x02") == b"\x01\x02".rjust(32, b"\x00")
+    long = bytes(64)
+    assert encode_result(long) == keccak256(long)
+    with pytest.raises(SettlementError):
+        encode_result(-1)
+    with pytest.raises(SettlementError):
+        encode_result(1.5)
+
+
+def test_signed_state_verifies_only_its_signer():
+    sim = EthereumSimulator()
+    from repro.core.participants import Participant
+
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    state = sign_final_state(alice, 3, True, keccak256(b"bytecode"))
+    assert state.verify(alice.address)
+    assert not state.verify(bob.address)
+    assert len(state.leaf) == 32
+    assert state.signed_bytes == state.state_bytes \
+        + state.signature.to_bytes()
+
+
+def test_enlist_requires_collected_signatures():
+    from repro.apps.betting import make_betting_protocol
+    from repro.core.participants import Participant
+
+    sim = EthereumSimulator()
+    alice = Participant(account=sim.accounts[0], name="alice")
+    bob = Participant(account=sim.accounts[1], name="bob")
+    protocol = make_betting_protocol(sim, alice, bob)
+    batcher = SettlementBatcher(sim)
+    with pytest.raises(StageError):
+        batcher.enlist(protocol, True)
+
+
+# --- policy construction -------------------------------------------------
+
+def test_build_policy_modes():
+    sim = EthereumSimulator()
+    assert isinstance(build_policy("direct", sim), DirectSettlement)
+    netted = build_policy("netted", sim, challenge_period=120)
+    assert isinstance(netted, NettedSettlement)
+    assert netted.batcher.challenge_period == 120
+    with pytest.raises(SettlementError):
+        build_policy("nope", sim)
+    with pytest.raises(SettlementError):
+        SettlementBatcher(sim, challenge_period=0)
+
+
+def test_simulator_config_validates_settlement_knobs():
+    with pytest.raises(SettlementConfigError):
+        SimulatorConfig(batch_size=0)
+    with pytest.raises(SettlementConfigError):
+        SimulatorConfig(settlement="direct", batch_size=8)
+    with pytest.raises(SettlementConfigError):
+        SimulatorConfig(settlement="netted", batch_size=512)
+    with pytest.raises(SettlementConfigError):
+        SimulatorConfig(settlement="netted",
+                        settlement_challenge_period=0)
+    with pytest.raises(SettlementConfigError):
+        SimulatorConfig(settlement="batched")
+    config = SimulatorConfig(settlement="netted", batch_size=100)
+    assert config.batch_size == 100
+
+
+def test_engine_rejects_bad_batch_size():
+    sim = EthereumSimulator()
+    with pytest.raises(EngineError):
+        SessionEngine(sim, settlement="netted", batch_size=0)
+    with pytest.raises(EngineError):
+        SessionEngine(sim, settlement="netted", batch_size=1000)
+
+
+# --- the rendered aggregator --------------------------------------------
+
+def test_render_aggregator_validates_parameters():
+    with pytest.raises(ValueError):
+        render_aggregator_contract(-1, 3600)
+    with pytest.raises(ValueError):
+        render_aggregator_contract(MAX_AGGREGATOR_DEPTH + 1, 3600)
+    with pytest.raises(ValueError):
+        render_aggregator_contract(2, 0)
+    source = render_aggregator_contract(2, 3600)
+    assert "openLeaf" in source and "commitBatch" in source
+
+
+def _deploy_aggregator(sim, depth, period, batcher):
+    compiled = compile_aggregator(depth, period)
+    return sim.deploy(batcher, compiled.init_code, compiled.abi,
+                      constructor_args=[batcher.address])
+
+
+def test_aggregator_require_matrix():
+    """Every guard of the rendered contract, exercised live."""
+    sim = EthereumSimulator()
+    batcher, outsider = sim.accounts[0], sim.accounts[1]
+    leaves = [keccak256(b"leaf:%d" % i) for i in range(3)]
+    tree = MerkleTree(leaves)
+    agg = _deploy_aggregator(sim, tree.depth, 3600, batcher)
+
+    # commitBatch: batcher-only, size > 0, exactly once.
+    r = agg.transact("commitBatch", tree.root, 0, sender=batcher,
+                     require_success=False)
+    assert not r.status
+    r = agg.transact("commitBatch", tree.root, tree.size,
+                     sender=outsider, require_success=False)
+    assert not r.status
+    # openLeaf before any commit is refused.
+    r = agg.transact("openLeaf", leaves[0], 0, *tree.proof(0),
+                     sender=outsider, require_success=False)
+    assert not r.status
+    agg.transact("commitBatch", tree.root, tree.size, sender=batcher)
+    assert agg.call("committed")
+    assert bytes(agg.call("batchRoot")) == tree.root
+    r = agg.transact("commitBatch", tree.root, tree.size,
+                     sender=batcher, require_success=False)
+    assert not r.status
+
+    # openLeaf: bad proofs, foreign leaves and padding refused.
+    r = agg.transact("openLeaf", keccak256(b"forged"), 0,
+                     *tree.proof(0), sender=outsider,
+                     require_success=False)
+    assert not r.status
+    r = agg.transact("openLeaf", leaves[1], 0, *tree.proof(0),
+                     sender=outsider, require_success=False)
+    assert not r.status
+    # The padding slot (index 3 of a 3-leaf batch) is >= batchSize.
+    r = agg.transact("openLeaf", tree.levels[0][3], 3, *tree.proof(2),
+                     sender=outsider, require_success=False)
+    assert not r.status
+
+    # A valid opening works exactly once per index.
+    agg.transact("openLeaf", leaves[1], 1, *tree.proof(1),
+                 sender=outsider)
+    assert agg.call("openedLeaf", 1)
+    assert agg.call("openedCount") == 1
+    r = agg.transact("openLeaf", leaves[1], 1, *tree.proof(1),
+                     sender=outsider, require_success=False)
+    assert not r.status
+
+    # finalizeBatch: not early, batcher-only, then terminal.
+    r = agg.transact("finalizeBatch", sender=batcher,
+                     require_success=False)
+    assert not r.status
+    sim.advance_time_to(agg.call("challengeDeadline"))
+    r = agg.transact("finalizeBatch", sender=outsider,
+                     require_success=False)
+    assert not r.status
+    agg.transact("finalizeBatch", sender=batcher)
+    assert agg.call("finalized")
+    # Post-finalize (and post-deadline) openings are refused.
+    r = agg.transact("openLeaf", leaves[2], 2, *tree.proof(2),
+                     sender=outsider, require_success=False)
+    assert not r.status
+
+
+def test_aggregator_depth_zero_single_leaf():
+    """A batch of one: the leaf IS the root, no proof words at all."""
+    sim = EthereumSimulator()
+    batcher = sim.accounts[0]
+    leaf = keccak256(b"only")
+    tree = MerkleTree([leaf])
+    assert tree.depth == 0 and tree.root == leaf
+    agg = _deploy_aggregator(sim, 0, 3600, batcher)
+    agg.transact("commitBatch", tree.root, 1, sender=batcher)
+    agg.transact("openLeaf", leaf, 0, sender=batcher)
+    assert agg.call("openedLeaf", 0)
+
+
+# --- the batcher (sync path) --------------------------------------------
+
+def _signed_pair(sim, index=0):
+    from repro.apps.betting import deploy_betting, make_betting_protocol
+    from repro.core.participants import Participant
+
+    alice = Participant(
+        account=sim.create_account(f"net-a{index}", name=f"a{index}"),
+        name=f"a{index}")
+    bob = Participant(
+        account=sim.create_account(f"net-b{index}", name=f"b{index}"),
+        name=f"b{index}")
+    protocol = make_betting_protocol(sim, alice, bob)
+    deploy_betting(protocol, alice)
+    protocol.collect_signatures()
+    return protocol, alice
+
+
+def test_batcher_commits_opens_and_finalizes():
+    sim = EthereumSimulator()
+    batcher = SettlementBatcher(sim, challenge_period=600)
+    protocols = []
+    for index in range(3):
+        protocol, rep = _signed_pair(sim, index)
+        batcher.enlist(protocol, True, session_id=index, signer=rep)
+        protocols.append((protocol, rep))
+    batch = batcher.commit()
+    assert batch.size == 3
+    for protocol, __ in protocols:
+        assert protocol.stage is Stage.COMMITTED
+        assert protocol.batch_commitment is not None
+        assert protocol.challenge_deadline() == batch.challenge_deadline
+
+    # One member opens inside the window, escalating its leaf.
+    contested, challenger = protocols[1]
+    result = contested.open_leaf(contested.participants[1])
+    assert contested.stage is Stage.OPENED
+    assert contested.batch_commitment.opened
+    assert batch.aggregator.call("openedCount") == 1
+
+    batcher.finalize(batch)
+    assert batch.finalized
+    for index, (protocol, __) in enumerate(protocols):
+        expected = Stage.OPENED if index == 1 else Stage.SETTLED
+        assert protocol.stage is expected
+    # Unopened members settle through the batch commitment.
+    outcome = protocols[0][0].outcome()
+    assert outcome.resolved and outcome.via == "netted"
+    assert outcome.outcome is True
+    assert batcher.sessions_settled == 3
+    assert batcher.amortized_gas_per_session() > 0
+    with pytest.raises(SettlementError):
+        batcher.finalize(batch)
+
+
+def test_opening_respects_the_batch_challenge_window():
+    """PR 4 semantics carry over: a late opening is refused off-chain
+    by the chain clock and on-chain by the aggregator's require."""
+    sim = EthereumSimulator()
+    batcher = SettlementBatcher(sim, challenge_period=300)
+    protocol, rep = _signed_pair(sim)
+    batcher.enlist(protocol, True, signer=rep)
+    batch = batcher.commit()
+    sim.advance_time_to(batch.challenge_deadline + 1)
+    with pytest.raises(ChallengeWindowClosed):
+        protocol.open_leaf(protocol.participants[1])
+    commitment = protocol.batch_commitment
+    receipt = batch.aggregator.transact(
+        "openLeaf", commitment.leaf, commitment.index,
+        *commitment.proof, sender=protocol.participants[1].account,
+        require_success=False)
+    assert not receipt.status
+
+
+def test_commit_batch_stage_guards():
+    sim = EthereumSimulator()
+    batcher = SettlementBatcher(sim)
+    protocol, rep = _signed_pair(sim)
+    batcher.enlist(protocol, True, signer=rep)
+    batcher.commit()
+    with pytest.raises(StageError):
+        protocol.commit_batch(protocol.batch_commitment)
+    with pytest.raises(StageError):
+        protocol.settle_batch_commitment()  # batch not finalized yet
+
+
+# --- the engine ----------------------------------------------------------
+
+def test_engine_netted_honest_fleet_settles_in_batches():
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False, settlement="netted",
+        batch_size=4))
+    drivers = spawn_fleet(sim, 8, app="betting")
+    engine = SessionEngine(sim, drivers)
+    metrics = engine.run()
+    assert engine.settlement.name == "netted"
+    assert all(d.settled and not d.disputed for d in drivers)
+    assert all(d.protocol.stage is Stage.SETTLED for d in drivers)
+    assert len(engine.batcher.batches) == 2
+    assert engine.batcher.sessions_settled == 8
+    # Batch-level gas is accounted once, in the fleet total.
+    ledgers = sum(d.protocol.ledger.total() for d in drivers)
+    assert metrics.total_gas == ledgers + engine.batcher.total_gas()
+    outcome = drivers[0].protocol.outcome()
+    assert outcome.resolved and outcome.via == "netted"
+
+
+def test_engine_netted_disputes_resolve_to_truth():
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False, settlement="netted",
+        batch_size=6))
+    drivers = spawn_fleet(sim, 6, app="betting", dishonest_fraction=0.5)
+    SessionEngine(sim, drivers).run()
+    liars = [d for d in drivers if d.disputed]
+    assert len(liars) == 3
+    for driver in drivers:
+        assert driver.settled
+        outcome = driver.protocol.outcome()
+        assert outcome.resolved
+        assert outcome.outcome == driver.truth
+    for liar in liars:
+        assert liar.protocol.batch_commitment.opened
+        assert liar.protocol.outcome().via == "dispute"
+    batch = drivers[0].settlement.batcher.batches[0]
+    assert batch.opened == {d.protocol.batch_commitment.index
+                           for d in liars}
+
+
+def test_engine_netted_refusal_to_settle_escalates_directly():
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False, settlement="netted",
+        batch_size=2))
+    drivers = spawn_fleet(sim, 2, app="betting", dishonest_fraction=0.5,
+                          dishonest_strategy="refuses-to-settle")
+    SessionEngine(sim, drivers).run()
+    refuser = drivers[0]
+    assert refuser.disputed
+    assert refuser.protocol.batch_commitment is None
+    assert refuser.protocol.outcome().outcome == refuser.truth
+
+
+def test_engine_netted_partial_tail_batch():
+    """A fleet smaller than batch_size still flushes (tail flush)."""
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False, settlement="netted",
+        batch_size=64))
+    drivers = spawn_fleet(sim, 3, app="tender")
+    engine = SessionEngine(sim, drivers)
+    engine.run()
+    assert all(d.settled for d in drivers)
+    assert len(engine.batcher.batches) == 1
+    assert engine.batcher.batches[0].size == 3
+
+
+def test_engine_direct_mode_has_no_batcher():
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False))
+    drivers = spawn_fleet(sim, 2, app="betting")
+    engine = SessionEngine(sim, drivers)
+    metrics = engine.run()
+    assert engine.batcher is None
+    assert engine.settlement.name == "direct"
+    assert metrics.total_gas == sum(d.protocol.ledger.total()
+                                    for d in drivers)

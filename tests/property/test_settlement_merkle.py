@@ -1,0 +1,110 @@
+"""Property tests for the netted-settlement Merkle layer.
+
+Hypothesis drives the batch tree over its whole supported range
+(1..256 leaves): every member leaf must open with a verifying proof,
+and no forged leaf, shifted index, or tampered proof may verify.  A
+third property pins the policy equivalence the API redesign promises:
+a netted batch of size 1 settles a disputed session to exactly the
+same outcome as direct settlement.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.settlement import EMPTY_LEAF, MAX_BATCH_SIZE, MerkleTree
+from repro.crypto.keccak import keccak256
+
+
+def _leaves(count: int, salt: int) -> list[bytes]:
+    return [keccak256(b"leaf:%d:%d" % (salt, index))
+            for index in range(count)]
+
+
+@given(size=st.integers(min_value=1, max_value=MAX_BATCH_SIZE),
+       salt=st.integers(min_value=0, max_value=2 ** 16),
+       data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_every_leaf_opens_with_a_verifying_proof(size, salt, data):
+    """Any leaf of any batch in 1..256 verifies against the root."""
+    leaves = _leaves(size, salt)
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(min_value=0, max_value=size - 1))
+    proof = tree.proof(index)
+    assert len(proof) == tree.depth
+    assert MerkleTree.verify(leaves[index], index, proof, tree.root)
+
+
+@given(size=st.integers(min_value=1, max_value=64),
+       salt=st.integers(min_value=0, max_value=2 ** 16),
+       data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_wrong_leaf_index_or_proof_fails(size, salt, data):
+    """Forged leaves, shifted indices and tampered proofs all fail."""
+    tree = MerkleTree(_leaves(size, salt))
+    index = data.draw(st.integers(min_value=0, max_value=size - 1))
+    proof = tree.proof(index)
+    leaf = tree.leaves[index]
+
+    forged = keccak256(b"forged:%d" % salt)
+    if forged != leaf:
+        assert not MerkleTree.verify(forged, index, proof, tree.root)
+    if size > 1:
+        other = (index + 1) % size
+        # A valid leaf under another member's index must not verify.
+        assert not MerkleTree.verify(tree.leaves[other], index, proof,
+                                     tree.root)
+    if proof:
+        level = data.draw(st.integers(min_value=0,
+                                      max_value=len(proof) - 1))
+        tampered = list(proof)
+        tampered[level] = keccak256(tampered[level])
+        assert not MerkleTree.verify(leaf, index, tampered, tree.root)
+
+
+@given(size=st.integers(min_value=2, max_value=64),
+       salt=st.integers(min_value=0, max_value=2 ** 16),
+       data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_duplicate_leaves_rejected(size, salt, data):
+    """A batch may not contain the same signed state twice."""
+    leaves = _leaves(size, salt)
+    dup = data.draw(st.integers(min_value=0, max_value=size - 2))
+    leaves[dup + 1] = leaves[dup]
+    try:
+        MerkleTree(leaves)
+    except Exception as exc:
+        assert "duplicate" in str(exc)
+    else:
+        raise AssertionError("duplicate leaf accepted")
+
+
+def test_empty_and_reserved_leaves_rejected():
+    """The padding leaf and the empty batch are both refused."""
+    import pytest
+
+    from repro.exceptions import SettlementError
+
+    with pytest.raises(SettlementError):
+        MerkleTree([])
+    with pytest.raises(SettlementError):
+        MerkleTree([EMPTY_LEAF])
+    with pytest.raises(SettlementError):
+        MerkleTree([b"short"])
+    with pytest.raises(SettlementError):
+        MerkleTree(_leaves(MAX_BATCH_SIZE + 1, 0))
+
+
+def test_netted_batch_of_one_matches_direct_dispute_outcome():
+    """Size-1 netting settles a disputed session like direct mode."""
+    from repro.adversary.harness import ScenarioHarness
+
+    direct = ScenarioHarness(app="betting").run("false-result")
+    netted = ScenarioHarness(app="betting",
+                             settlement="netted").run("false-result")
+    assert direct.disputed and netted.disputed
+    assert direct.outcome is not None and netted.outcome is not None
+    assert direct.outcome.resolved and netted.outcome.resolved
+    assert direct.outcome.outcome == netted.outcome.outcome
+    assert direct.outcome.via == netted.outcome.via == "dispute"

@@ -356,6 +356,153 @@ def bench_adversarial_dispute(cfg, repeats, warmup):
     }
 
 
+#: The repo's pinned Table II reproduction figures (the cp=0 betting
+#: dispute; same workload as ``bench_table2``).  The paper's absolute
+#: numbers (225,082 / 37,745) are asserted approximately by
+#: ``benchmarks/bench_table2_dispute_gas.py``; what this runner pins
+#: is bit-stability: the direct dispute path must burn EXACTLY these
+#: amounts while netting exists as an opt-in policy.
+TABLE2_DEPLOY_VERIFIED_INSTANCE = 347_930
+TABLE2_RETURN_DISPUTE_RESOLUTION = 57_560
+
+#: Amortization floor the netted policy must clear at full batch size.
+NETTING_MIN_AMORTIZATION = 8.0
+
+
+def bench_netting(cfg, repeats, warmup):
+    """Netted batch settlement vs per-session direct settlement.
+
+    Runs the same honest betting fleet twice — once under the legacy
+    ``DirectSettlement`` policy (one submit+finalize pair on chain per
+    session) and once under ``NettedSettlement`` (one aggregator
+    deploy + commitBatch + finalizeBatch per batch) — and reports the
+    amortized on-chain settlement gas per session for each.
+
+    Two hard gates, both exit status 2:
+
+    1. **Table II bit-identity with netting off** — the direct-mode
+       dispute path must still burn exactly the paper's gas
+       (deployVerifiedInstance / returnDisputeResolution).  Enforced
+       on every run, smoke included: netting must never perturb the
+       legacy path.
+    2. **Amortization floor** — at the full batch size the netted
+       settlement gas per session must be at least
+       ``NETTING_MIN_AMORTIZATION``× lower than direct.  Enforced on
+       full runs only; a smoke-sized batch cannot amortize the
+       aggregator deploy that far.
+    """
+    from repro.chain import EthereumSimulator, SimulatorConfig
+    from repro.core import SessionEngine, spawn_fleet
+    from repro.core.protocol import Stage
+
+    sessions = cfg["netting_sessions"]
+    batch = cfg["netting_batch"]
+    smoke = cfg.get("smoke", False)
+
+    def run(mode):
+        config = SimulatorConfig(
+            num_accounts=2, auto_mine=False, settlement=mode,
+            batch_size=batch if mode == "netted" else 1)
+        sim = EthereumSimulator(config=config)
+        drivers = spawn_fleet(sim, sessions, app="betting")
+        engine = SessionEngine(sim, drivers, mining="batch")
+        engine.run()
+        return engine, drivers
+
+    best_direct, (__, direct_drivers) = _best_of(
+        lambda: run("direct"), repeats=repeats, warmup=warmup)
+    best_netted, (netted_engine, netted_drivers) = _best_of(
+        lambda: run("netted"), repeats=repeats, warmup=warmup)
+    assert all(d.settled for d in direct_drivers + netted_drivers)
+
+    # Direct mode settles on chain in the propose and settle stages
+    # (submitResult + finalize); everything before that — deploy,
+    # deposits — is common to both policies and excluded.
+    settle_stages = (Stage.PROPOSED.value, Stage.SETTLED.value)
+    direct_settle_gas = sum(
+        gas for d in direct_drivers
+        for stage, gas in d.protocol.ledger.by_stage().items()
+        if stage in settle_stages)
+    direct_per_session = direct_settle_gas / sessions
+    batcher = netted_engine.batcher
+    netted_per_session = batcher.amortized_gas_per_session()
+    amortization = direct_per_session / netted_per_session
+
+    # Gate 1: with netting disabled, Table II is bit-identical.
+    outcome, __ = _run_dispute()
+    deploy_gas = outcome.deploy_receipt.gas_used
+    resolve_gas = outcome.resolve_receipt.gas_used
+    if (deploy_gas != TABLE2_DEPLOY_VERIFIED_INSTANCE
+            or resolve_gas != TABLE2_RETURN_DISPUTE_RESOLUTION):
+        print("FATAL: direct-mode Table II gas diverged from the "
+              "pinned reproduction figures:")
+        print(json.dumps({
+            "deployVerifiedInstance": {
+                "pinned": TABLE2_DEPLOY_VERIFIED_INSTANCE,
+                "measured": deploy_gas},
+            "returnDisputeResolution": {
+                "pinned": TABLE2_RETURN_DISPUTE_RESOLUTION,
+                "measured": resolve_gas},
+        }, indent=2))
+        raise SystemExit(2)
+
+    # Gate 2: the amortization floor, full runs only.
+    if not smoke and amortization < NETTING_MIN_AMORTIZATION:
+        print(f"FATAL: netted settlement amortizes only "
+              f"{amortization:.2f}x (< {NETTING_MIN_AMORTIZATION}x) "
+              f"at batch={batch}")
+        raise SystemExit(2)
+
+    return {
+        "netting_direct_settle_gas": {
+            "value": direct_settle_gas,
+            "unit": "gas",
+            "sessions": sessions,
+            "note": "direct policy: submitResult+finalize on chain "
+                    "for every session",
+        },
+        "netting_batch_gas": {
+            "value": batcher.total_gas(),
+            "unit": "gas",
+            "sessions": sessions,
+            "batches": len(batcher.batches),
+            "note": f"netted policy: aggregator deploy + commitBatch "
+                    f"+ finalizeBatch per batch of {batch}",
+        },
+        "netting_amortization": {
+            "value": round(amortization, 2),
+            "unit": "x",
+            "sessions": sessions,
+            "direct_gas_per_session": round(direct_per_session, 1),
+            "netted_gas_per_session": round(netted_per_session, 1),
+            "note": f"direct / netted on-chain settlement gas per "
+                    f"session; full runs gate >= "
+                    f"{NETTING_MIN_AMORTIZATION}x (exit 2)",
+        },
+        "netting_table2_deploy_gas": {
+            "value": deploy_gas,
+            "unit": "gas",
+            "note": "deployVerifiedInstance with netting off; gated "
+                    "bit-identical to Table II (exit 2)",
+        },
+        "netting_table2_resolve_gas": {
+            "value": resolve_gas,
+            "unit": "gas",
+            "note": "returnDisputeResolution with netting off; gated "
+                    "bit-identical to Table II (exit 2)",
+        },
+        "netting_fleet_wall": {
+            "value": sessions / best_netted,
+            "unit": "sessions/s",
+            "wall_s": best_netted,
+            "sessions": sessions,
+            "direct_wall_s": best_direct,
+            "note": f"{sessions} honest betting sessions settled in "
+                    f"netted batches of {batch}",
+        },
+    }
+
+
 def bench_parallel_block(cfg, repeats, warmup):
     """Sequential vs parallel apply of a disjoint-session block stream.
 
@@ -577,6 +724,8 @@ FULL_CONFIG = {
     "parallel_sessions": 100,
     "parallel_rounds": 3,
     "parallel_workers": 4,
+    "netting_sessions": 100,
+    "netting_batch": 100,
 }
 
 SMOKE_CONFIG = {
@@ -587,13 +736,15 @@ SMOKE_CONFIG = {
     "parallel_sessions": 8,
     "parallel_rounds": 2,
     "parallel_workers": 4,
+    "netting_sessions": 8,
+    "netting_batch": 8,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the benchmark battery and gate regressions")
-    parser.add_argument("--label", default="pr5",
+    parser.add_argument("--label", default="pr6",
                         help="run label; default output is "
                              "BENCH_<label>.json at the repo root")
     parser.add_argument("--out", help="output JSON path")
@@ -613,6 +764,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     cfg = dict(SMOKE_CONFIG if args.smoke else FULL_CONFIG)
+    cfg["smoke"] = args.smoke
     repeats = 1 if args.smoke else args.repeats
     warmup = 0 if args.smoke else args.warmup
     out_path = Path(args.out) if args.out else \
@@ -624,7 +776,7 @@ def main(argv: list[str] | None = None) -> int:
     results: dict = {}
     for bench in (bench_keccak, bench_ecdsa, bench_evm, bench_table2,
                   bench_adversarial_dispute, bench_multi_session,
-                  bench_parallel_block):
+                  bench_netting, bench_parallel_block):
         produced = bench(cfg, repeats, warmup)
         for name, entry in produced.items():
             results[name] = entry
