@@ -7,6 +7,11 @@ rational-adherence invariant checker that makes every scenario a
 falsifiable claim about the paper's incentive design.
 """
 
+from repro.adversary.crash import (
+    CrashRecoveryReport,
+    SessionSnapshot,
+    run_kill_restart,
+)
 from repro.adversary.harness import (
     DISPUTE_GAS_LIMIT,
     SECURITY_DEPOSIT,
@@ -33,6 +38,7 @@ from repro.adversary.strategies import (
 __all__ = [
     "AdversaryError",
     "AdversaryProfile",
+    "CrashRecoveryReport",
     "DISPUTE_GAS_LIMIT",
     "InvariantViolation",
     "PROFILES",
@@ -45,6 +51,8 @@ __all__ = [
     "profile",
     "reference_baseline",
     "reference_dispute_gas",
+    "run_kill_restart",
     "run_scenario",
+    "SessionSnapshot",
     "stage_transitions_valid",
 ]

@@ -1,0 +1,244 @@
+"""Real process-death crash/recovery harness.
+
+The in-protocol ``crash-restart`` scenario
+(:meth:`~repro.adversary.harness.ScenarioHarness` — a participant
+loses its signed copy and reassembles it from the Whisper backlog)
+models an *application* crash.  This module graduates the strategy to
+actual process death: it launches ``repro engine --store=PATH`` as a
+child process, SIGKILLs it mid-Submit/Challenge (the engine's
+``REPRO_STORE_KILL_AFTER_COMMITS`` knob dies right after the N-th WAL
+commit, optionally flushing a torn uncommitted tail first), resumes
+the run with ``repro engine --store=PATH --resume`` in a second child,
+and then verifies — against an uninterrupted in-process reference run
+with identical flags — that every session's gas ledger and final state
+came out bit-identical.
+
+Both children are real ``python -m repro`` processes, so the recovery
+path exercised here is exactly the operator one: a store directory
+written by one process, killed without any cleanup, reopened by
+another.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import repro
+from repro.adversary.strategies import AdversaryError
+
+#: Default commit count after which the child is killed.  Commit 1 is
+#: the spawn bootstrap; each subsequent commit seals one mined round,
+#: so 3 lands mid-Submit/Challenge for every stock app.
+DEFAULT_KILL_AFTER = 3
+
+_CHILD_TIMEOUT = 300  # seconds per child process
+
+
+@dataclass
+class SessionSnapshot:
+    """One session's comparable terminal state."""
+
+    session_id: int
+    stage: str
+    aborted: bool
+    missed_window: bool
+    truth: Any
+    fingerprint: tuple
+
+
+@dataclass
+class CrashRecoveryReport:
+    """What the kill-and-restart harness observed."""
+
+    kill_after_commits: int
+    kill_mode: str
+    crash_returncode: int
+    resume_returncode: int
+    reference: list[SessionSnapshot] = field(default_factory=list)
+    recovered: list[SessionSnapshot] = field(default_factory=list)
+    blocks_match: bool = False
+    txs_match: bool = False
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def killed(self) -> bool:
+        """True when the child actually died by SIGKILL."""
+        return self.crash_returncode == -signal.SIGKILL
+
+    @property
+    def identical(self) -> bool:
+        """True when recovery reproduced the uninterrupted run."""
+        return (self.killed and self.resume_returncode == 0
+                and not self.mismatches
+                and self.blocks_match and self.txs_match)
+
+
+def _engine_args(sessions: int, app: str, mining: str, dishonest: float,
+                 settlement: str, batch_size: int,
+                 store: Path, resume: bool) -> list[str]:
+    args = [
+        sys.executable, "-m", "repro", "engine",
+        "--sessions", str(sessions), "--app", app,
+        "--mining", mining, "--dishonest", str(dishonest),
+        "--settlement", settlement, "--batch-size", str(batch_size),
+        "--store", str(store),
+    ]
+    if resume:
+        args.append("--resume")
+    return args
+
+
+def _child_env(extra: Optional[dict[str, str]] = None) -> dict[str, str]:
+    """Child environment with this repro source tree importable."""
+    env = os.environ.copy()
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    env.pop("REPRO_STORE_KILL_AFTER_COMMITS", None)
+    env.pop("REPRO_STORE_KILL_MODE", None)
+    env.update(extra or {})
+    return env
+
+
+def _snapshot_driver(driver) -> SessionSnapshot:
+    return SessionSnapshot(
+        session_id=driver.session_id,
+        stage=driver.protocol.stage.value,
+        aborted=driver.aborted,
+        missed_window=driver.missed_window,
+        truth=driver.truth,
+        fingerprint=driver.protocol.ledger.fingerprint(),
+    )
+
+
+def _snapshot_summary(session_id: int, summary) -> SessionSnapshot:
+    return SessionSnapshot(
+        session_id=session_id,
+        stage=summary.stage_value,
+        aborted=summary.aborted,
+        missed_window=summary.missed_window,
+        truth=summary.truth,
+        fingerprint=tuple((e.stage, e.label, e.gas, e.actor)
+                          for e in summary.ledger),
+    )
+
+
+def run_kill_restart(workdir: str | Path, *, sessions: int = 3,
+                     app: str = "betting", mining: str = "batch",
+                     dishonest: float = 0.34,
+                     settlement: str = "direct", batch_size: int = 1,
+                     kill_after_commits: int = DEFAULT_KILL_AFTER,
+                     kill_mode: str = "kill",
+                     timeout: int = _CHILD_TIMEOUT
+                     ) -> CrashRecoveryReport:
+    """Kill a child engine mid-run, resume it, compare to a clean run.
+
+    ``kill_mode="torn"`` additionally makes the dying child flush
+    garbage WAL records without a commit marker, so recovery must also
+    discard a torn tail.  Raises :class:`AdversaryError` when the
+    child fails to die or the resume child fails; state mismatches are
+    reported (not raised) via ``report.identical`` / ``mismatches``.
+    """
+    from repro.cli import _run_fleet
+    from repro.core.recovery import RunStore
+
+    workdir = Path(workdir)
+    store_dir = workdir / "crash-store"
+    if store_dir.exists() and any(store_dir.iterdir()):
+        raise AdversaryError(
+            f"refusing to reuse non-empty store directory {store_dir}")
+
+    # Uninterrupted reference, same flags, in-process (no store).
+    metrics, drivers, __, ___ = _run_fleet(
+        sessions, app, mining, dishonest,
+        settlement=settlement, batch_size=batch_size)
+    reference = [_snapshot_driver(driver) for driver in drivers]
+
+    args = _engine_args(sessions, app, mining, dishonest, settlement,
+                        batch_size, store_dir, resume=False)
+    crash = subprocess.run(
+        args, env=_child_env({
+            "REPRO_STORE_KILL_AFTER_COMMITS": str(kill_after_commits),
+            "REPRO_STORE_KILL_MODE": kill_mode,
+        }),
+        capture_output=True, text=True, timeout=timeout)
+    if crash.returncode != -signal.SIGKILL:
+        raise AdversaryError(
+            f"the child engine did not die by SIGKILL after "
+            f"{kill_after_commits} commits (exit {crash.returncode}); "
+            f"stderr: {crash.stderr.strip()[-500:]}")
+
+    resume_args = _engine_args(sessions, app, mining, dishonest,
+                               settlement, batch_size, store_dir,
+                               resume=True)
+    resumed = subprocess.run(
+        resume_args, env=_child_env(),
+        capture_output=True, text=True, timeout=timeout)
+    if resumed.returncode != 0:
+        raise AdversaryError(
+            f"--resume failed (exit {resumed.returncode}); stderr: "
+            f"{resumed.stderr.strip()[-500:]}")
+
+    report = CrashRecoveryReport(
+        kill_after_commits=kill_after_commits, kill_mode=kill_mode,
+        crash_returncode=crash.returncode,
+        resume_returncode=resumed.returncode,
+        reference=reference)
+
+    # Read the resumed run's terminal summaries and counters straight
+    # from the store the children shared.
+    store = RunStore(store_dir)
+    try:
+        if store.status.get() != b"complete":
+            report.mismatches.append(
+                f"store status is {store.status.get()!r}, expected "
+                f"b'complete'")
+        for snap in reference:
+            summary = store.load_summary(snap.session_id)
+            if summary is None:
+                report.mismatches.append(
+                    f"session {snap.session_id}: no terminal summary "
+                    "after resume")
+                continue
+            report.recovered.append(
+                _snapshot_summary(snap.session_id, summary))
+        counters = dict(store.load_counters())
+        from repro import obs
+        report.blocks_match = (
+            counters.get(obs.names.METRIC_ENGINE_BLOCKS)
+            == metrics.blocks_mined)
+        report.txs_match = (
+            counters.get(obs.names.METRIC_ENGINE_TXS)
+            == metrics.transactions)
+        if not report.blocks_match:
+            report.mismatches.append(
+                f"blocks: recovered "
+                f"{counters.get(obs.names.METRIC_ENGINE_BLOCKS)} vs "
+                f"reference {metrics.blocks_mined}")
+        if not report.txs_match:
+            report.mismatches.append(
+                f"transactions: recovered "
+                f"{counters.get(obs.names.METRIC_ENGINE_TXS)} vs "
+                f"reference {metrics.transactions}")
+    finally:
+        store.close()
+
+    recovered = {snap.session_id: snap for snap in report.recovered}
+    for ref in reference:
+        got = recovered.get(ref.session_id)
+        if got is None:
+            continue
+        for field_name in ("stage", "aborted", "missed_window",
+                           "truth", "fingerprint"):
+            want, have = getattr(ref, field_name), getattr(got, field_name)
+            if want != have:
+                report.mismatches.append(
+                    f"session {ref.session_id} {field_name}: "
+                    f"recovered {have!r} vs reference {want!r}")
+    return report

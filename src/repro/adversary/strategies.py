@@ -77,7 +77,10 @@ CRASH_RESTART = AdversaryProfile(
     strategy=None,
     summary="an honest participant crashes after signing, loses its "
             "copy, recovers it from the Whisper backlog and still "
-            "wins the dispute",
+            "wins the dispute; `repro adversary crash-restart` "
+            "additionally SIGKILLs a child engine mid-run and "
+            "verifies --store/--resume recovery is bit-identical "
+            "(repro.adversary.crash)",
     disputes=True,
 )
 

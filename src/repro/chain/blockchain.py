@@ -57,6 +57,7 @@ class Blockchain:
         self.parallel_stats = BlockApplyStats()
         self._receipts: dict[bytes, Receipt] = {}
         self._dropped: dict[bytes, str] = {}
+        self._store = None
         genesis_header = BlockHeader(
             number=0,
             parent_hash=_GENESIS_PARENT,
@@ -69,6 +70,46 @@ class Blockchain:
         )
         self.blocks: list[Block] = [Block(header=genesis_header)]
         self._time_offset = 0
+
+    # -- durable store ------------------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Wire a :class:`~repro.chain.store.ChainStore` through the
+        chain: world state persists at block boundaries, every mined
+        block/receipt is staged, and the mempool journals admission
+        events.  Staged writes become durable when the *caller* (the
+        engine) commits the store — the chain itself never commits, so
+        one round's blocks, receipts and state land atomically.
+        """
+        self._store = store
+        self.state.attach_store(store)
+        self.mempool.journal = store.journal_mempool
+
+    def persist_bootstrap(self) -> None:
+        """Stage the full current chain into a freshly attached store."""
+        store = self._store
+        for block in self.blocks:
+            store.stage_block(block)
+        for tx_hash, reason in self._dropped.items():
+            store.dropped[tx_hash] = reason
+        store.time_offset.set(self._time_offset)
+        self.state.persist_all()
+
+    def restore_from_store(self) -> None:
+        """Reset chain, receipts, clock and state to the store's
+        committed contents (crash recovery)."""
+        store = self._store
+        self.blocks = store.load_blocks()
+        if not self.blocks:
+            raise ChainError("the store holds no blocks — nothing to "
+                             "restore (was the run ever bootstrapped?)")
+        self._receipts = store.load_receipts()
+        self._dropped = store.load_dropped()
+        self._time_offset = store.time_offset.get(0)
+        # Every store commit happens with an empty pool (each round
+        # mines everything it queued), so recovery starts empty.
+        self.mempool.clear()
+        self.state.restore_from_store()
 
     # -- time ---------------------------------------------------------------
 
@@ -201,6 +242,7 @@ class Blockchain:
                 executed = self._apply_sequential(context, transactions)
             receipts: list[Receipt] = []
             included: list[Transaction] = []
+            dropped_now: list[tuple[bytes, str]] = []
             cumulative_gas = 0
             for index, (tx, outcome, reason) in enumerate(executed):
                 if outcome is None:
@@ -208,6 +250,7 @@ class Blockchain:
                     # record.  The index gap it leaves matches the
                     # sequential executor's receipts exactly.
                     self._dropped[tx.hash] = reason
+                    dropped_now.append((tx.hash, reason))
                     continue
                 cumulative_gas += outcome.gas_used
                 receipt = Receipt(
@@ -250,6 +293,13 @@ class Blockchain:
             receipts=tuple(receipts),
         )
         self.blocks.append(block)
+        if self._store is not None:
+            # Stage (not commit): the header's state_root was just
+            # computed, so every dirty account's digest is fresh and
+            # persists alongside its body.
+            self._store.stage_block(block, dropped=dropped_now)
+            self._store.time_offset.set(self._time_offset)
+            self.state.persist_dirty()
         return block
 
     # -- queries ----------------------------------------------------------------

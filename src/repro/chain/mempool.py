@@ -48,6 +48,12 @@ class Mempool:
         self._hashes: set[bytes] = set()
         self._slots: dict[tuple[bytes, int], _PoolEntry] = {}
         self._counter = itertools.count()
+        #: Optional ``(event: bytes, tx_hash: bytes)`` callback staging
+        #: admission/eviction/selection events into a durable audit
+        #: journal (``ChainStore.journal_mempool``).  Audit-only: the
+        #: engine commits at empty-pool boundaries, so recovery never
+        #: replays these events.
+        self.journal: Optional[Callable[[bytes, bytes], None]] = None
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -92,6 +98,8 @@ class Mempool:
         )
         self._hashes.add(transaction.hash)
         self._slots[slot] = entry
+        if self.journal is not None:
+            self.journal(b"add", transaction.hash)
         if obs.enabled():
             obs.set_gauge(obs.names.METRIC_MEMPOOL_DEPTH,
                           len(self._slots))
@@ -146,6 +154,8 @@ class Mempool:
         ]
         for entry in stale:
             self._remove(entry)
+            if self.journal is not None:
+                self.journal(b"evict", entry.transaction.hash)
         return [entry.transaction for entry in stale]
 
     def pop_batch(self, gas_limit: int,
@@ -192,6 +202,9 @@ class Mempool:
             del self._slots[(sender, tx.nonce)]
             if queue and queue[-1].transaction.nonce == tx.nonce + 1:
                 heapq.heappush(heads, (queue[-1].sort_key, sender))
+        if self.journal is not None:
+            for tx in chosen:
+                self.journal(b"pop", tx.hash)
         if obs.enabled():
             obs.observe(obs.names.METRIC_MEMPOOL_BATCH_TXS, len(chosen))
             obs.set_gauge(obs.names.METRIC_MEMPOOL_DEPTH,
@@ -200,6 +213,8 @@ class Mempool:
 
     def clear(self) -> None:
         """Drop every pending transaction."""
+        if self.journal is not None and self._slots:
+            self.journal(b"clear", b"")
         self._hashes.clear()
         self._slots.clear()
 

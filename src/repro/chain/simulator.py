@@ -267,8 +267,15 @@ class EthereumSimulator:
 
         Reverting restores world state, blocks, receipts and the clock
         — the ganache ``evm_snapshot`` idiom tests use to explore
-        alternative futures from a common setup.
+        alternative futures from a common setup.  Unsupported once a
+        durable store is attached: reverting in memory would silently
+        diverge from the committed WAL (``docs/persistence.md``).
         """
+        if self.chain._store is not None:
+            raise ChainError(
+                "snapshot/revert is unsupported on a chain backed by a "
+                "durable store — an in-memory revert cannot rewind the "
+                "committed WAL")
         if not hasattr(self, "_snapshots"):
             self._snapshots: dict[int, tuple] = {}
             self._snapshot_counter = 0

@@ -19,10 +19,16 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.crypto import rlp
 from repro.crypto.keccak import keccak256
 from repro.crypto.keys import Address
 from repro.chain.account import Account
+
+#: Hot-account cache size once a durable store is attached: accounts
+#: beyond this are evicted (clean, digest kept) after each persist and
+#: fault back in from the store on demand.
+DEFAULT_HOT_ACCOUNTS = 1_024
 
 # Journal entry tags (shared by WorldState and RecordingView journals;
 # the first three double as read/write-set key namespaces).
@@ -50,18 +56,66 @@ class WorldState:
         # code itself changes).
         self._digests: dict[bytes, bytes] = {}
         self._code_hashes: dict[bytes, bytes] = {}
+        # Durable-store plumbing (inert until attach_store): mutated
+        # accounts awaiting persistence and an LRU of hot accounts
+        # (dict insertion order is the recency order).
+        self._store = None
+        self._dirty: set[bytes] = set()
+        self._hot: dict[bytes, None] = {}
+        self._hot_limit = DEFAULT_HOT_ACCOUNTS
+
+    # -- durable store ---------------------------------------------------
+
+    def attach_store(self, store,
+                     hot_limit: int = DEFAULT_HOT_ACCOUNTS) -> None:
+        """Back this state with a :class:`~repro.chain.store.ChainStore`.
+
+        Writes stage into the store at :meth:`persist_dirty` /
+        :meth:`persist_all` time (the chain calls them at block
+        boundaries); reads fault evicted accounts back in on demand.
+        """
+        self._store = store
+        self._hot_limit = max(1, hot_limit)
+
+    def _note_dirty(self, raw: bytes) -> None:
+        if self._store is not None:
+            self._dirty.add(raw)
+
+    def _touch(self, raw: bytes) -> None:
+        self._hot.pop(raw, None)
+        self._hot[raw] = None
+
+    def _fault_in(self, raw: bytes) -> Account | None:
+        """Load an evicted account back from the durable store."""
+        account = self._store.accounts.get(raw)
+        if account is None:
+            return None
+        self._accounts[raw] = account
+        if obs.enabled():
+            obs.inc(obs.names.METRIC_STORAGE_ACCOUNTS_FAULTED)
+        return account
 
     # -- account access -------------------------------------------------
 
     def _get(self, address: Address) -> Account | None:
-        return self._accounts.get(address.value)
+        account = self._accounts.get(address.value)
+        if self._store is None:
+            return account
+        if account is None:
+            account = self._fault_in(address.value)
+        if account is not None:
+            self._touch(address.value)
+        return account
 
     def _get_or_create(self, address: Address) -> Account:
-        account = self._accounts.get(address.value)
+        account = self._get(address)
         if account is None:
             account = Account()
             self._accounts[address.value] = account
             self._journal.append((_CREATE, address.value))
+            if self._store is not None:
+                self._note_dirty(address.value)
+                self._touch(address.value)
         return account
 
     def account_exists(self, address: Address) -> bool:
@@ -85,6 +139,7 @@ class WorldState:
         account = self._get_or_create(address)
         self._journal.append((_BALANCE, address.value, account.balance))
         self._digests.pop(address.value, None)
+        self._note_dirty(address.value)
         account.balance = value
 
     def add_balance(self, address: Address, delta: int) -> None:
@@ -101,6 +156,7 @@ class WorldState:
         account = self._get_or_create(address)
         self._journal.append((_NONCE, address.value, account.nonce))
         self._digests.pop(address.value, None)
+        self._note_dirty(address.value)
         account.nonce += 1
 
     def set_nonce(self, address: Address, value: int) -> None:
@@ -111,6 +167,7 @@ class WorldState:
         account = self._get_or_create(address)
         self._journal.append((_NONCE, address.value, account.nonce))
         self._digests.pop(address.value, None)
+        self._note_dirty(address.value)
         account.nonce = value
 
     def get_code(self, address: Address) -> bytes:
@@ -124,6 +181,7 @@ class WorldState:
         self._journal.append((_CODE, address.value, account.code))
         self._digests.pop(address.value, None)
         self._code_hashes.pop(address.value, None)
+        self._note_dirty(address.value)
         account.code = code
 
     def get_storage(self, address: Address, key: int) -> int:
@@ -139,6 +197,7 @@ class WorldState:
         old = account.storage.get(key, 0)
         self._journal.append((_STORAGE, address.value, key, old))
         self._digests.pop(address.value, None)
+        self._note_dirty(address.value)
         if value == 0:
             account.storage.pop(key, None)
         else:
@@ -220,13 +279,97 @@ class WorldState:
         for the Merkle-Patricia state root with the same commitment
         property.  Only accounts mutated since the previous call are
         re-hashed, so mining a block costs O(touched accounts), not
-        O(world size).
+        O(world size).  Under a durable store the commitment spans the
+        union of resident accounts and cached digests: an evicted
+        account contributes its (by construction fresh) cached digest
+        without being faulted back in.
         """
-        items = [
-            [raw, self._leaf_digest(raw, self._accounts[raw])]
-            for raw in sorted(self._accounts)
-        ]
+        keys = set(self._accounts) | set(self._digests)
+        items = []
+        for raw in sorted(keys):
+            digest = self._digests.get(raw)
+            if digest is None:
+                digest = self._leaf_digest(raw, self._accounts[raw])
+            items.append([raw, digest])
         return keccak256(rlp.encode(items))
+
+    # -- persistence -----------------------------------------------------
+
+    def persist_all(self) -> None:
+        """Stage every resident account (and its digest) to the store.
+
+        The bootstrap write when a fresh store is attached to an
+        already-populated state (genesis accounts, fleet funding):
+        after this, :meth:`persist_dirty` incrementality is sound
+        because nothing pre-dates the store.
+        """
+        store = self._store
+        for raw, account in self._accounts.items():
+            store.accounts[raw] = account
+            store.digests[raw] = self._leaf_digest(raw, account)
+            self._touch(raw)
+        self._dirty.clear()
+
+    def persist_dirty(self) -> None:
+        """Stage accounts mutated since the last persist, then evict.
+
+        Called at block boundaries, *after* :meth:`state_root` — so
+        every dirty account's leaf digest is freshly cached and is
+        persisted alongside the account (recovery loads all digests and
+        faults account bodies lazily).  Clean accounts beyond the hot
+        limit are then evicted, oldest-touched first; their digests
+        stay resident to keep :meth:`state_root` exact.
+        """
+        store = self._store
+        for raw in sorted(self._dirty):
+            account = self._accounts.get(raw)
+            if account is None:
+                continue  # creation reverted before the block closed
+            store.accounts[raw] = account
+            store.digests[raw] = self._leaf_digest(raw, account)
+        self._dirty.clear()
+        self._evict_cold()
+
+    def _evict_cold(self) -> None:
+        """Drop oldest-touched accounts beyond the hot limit."""
+        if self._journal:
+            # Undo records reference resident accounts by identity;
+            # never evict under an open journal frame.
+            return
+        excess = len(self._accounts) - self._hot_limit
+        if excess <= 0:
+            return
+        evicted = 0
+        for raw in list(self._hot):
+            if evicted >= excess:
+                break
+            account = self._accounts.get(raw)
+            if account is None:
+                self._hot.pop(raw, None)
+                continue
+            # Digest must outlive the account for state_root().
+            self._leaf_digest(raw, account)
+            del self._accounts[raw]
+            self._hot.pop(raw, None)
+            evicted += 1
+        if evicted and obs.enabled():
+            obs.inc(obs.names.METRIC_STORAGE_ACCOUNTS_EVICTED, evicted)
+
+    def restore_from_store(self) -> None:
+        """Reset to the store's committed state (crash recovery).
+
+        Loads every persisted leaf digest — the full state commitment —
+        and faults account bodies in lazily on first access.
+        """
+        store = self._store
+        self._accounts.clear()
+        self._journal.clear()
+        self._digests.clear()
+        self._code_hashes.clear()
+        self._dirty.clear()
+        self._hot.clear()
+        for raw, digest in store.digests.items():
+            self._digests[raw] = digest
 
     def copy(self) -> "WorldState":
         """Deep copy (used for read-only eth_call-style execution).
@@ -243,6 +386,11 @@ class WorldState:
         clone._digests = dict(self._digests)
         clone._code_hashes = dict(self._code_hashes)
         clone._journal.clear()
+        # The clone may *read* through the store (fault-in) but is
+        # never persisted: persist_dirty/persist_all only run on the
+        # canonical chain state via the block-boundary hook.
+        clone._store = self._store
+        clone._hot_limit = self._hot_limit
         return clone
 
 

@@ -1,0 +1,132 @@
+"""Chain-facing persistence: namespaces over one durable KVStore.
+
+:class:`ChainStore` is the seam between the chain objects and the
+WAL-backed :class:`~repro.storage.kv.KVStore`: it owns one
+:class:`~repro.storage.storable.StorableDict` per chain namespace
+(accounts, leaf digests, blocks, receipts, dropped transactions, chain
+metadata, mempool journal) with the RLP codecs bound in.  Writes stage
+into the store's open WAL transaction; the *engine* decides when a
+transaction commits (after its spawn bootstrap, after every mined
+round, after every settled batch), so the chain never half-persists a
+block.
+
+The mempool journal is an append-only audit trail of admission,
+eviction and selection events.  It is never replayed: the engine only
+commits at points where the pool is provably empty (every queued
+transaction of a round is mined in that same round), so recovery
+rebuilds the pool as empty and the journal exists for post-mortem
+inspection — see ``docs/persistence.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.receipt import Receipt
+from repro.crypto import rlp
+from repro.storage.codec import (
+    decode_account,
+    decode_block,
+    decode_receipt,
+    encode_account,
+    encode_block,
+    encode_receipt,
+)
+from repro.storage.kv import KVStore
+from repro.storage.storable import StorableDict, StorableValue
+
+#: One namespace per chain concern.  Namespaces are part of the store
+#: format — renaming one invalidates existing stores.
+NS_ACCOUNT = b"acct"
+NS_DIGEST = b"dig"
+NS_BLOCK = b"blk"
+NS_RECEIPT = b"rcpt"
+NS_DROP = b"drop"
+NS_META = b"chainmeta"
+NS_MEMPOOL = b"mpool"
+
+#: Mempool journal event tags.
+MEMPOOL_ADD = b"add"
+MEMPOOL_EVICT = b"evict"
+MEMPOOL_POP = b"pop"
+MEMPOOL_CLEAR = b"clear"
+
+
+def block_key(number: int) -> bytes:
+    """Fixed-width big-endian key so lexicographic = numeric order."""
+    return number.to_bytes(8, "big")
+
+
+def _encode_int(value: int) -> bytes:
+    return value.to_bytes(8, "big")
+
+
+def _decode_int(raw: bytes) -> int:
+    return int.from_bytes(raw, "big")
+
+
+def _encode_text(value: str) -> bytes:
+    return value.encode("utf-8")
+
+
+def _decode_text(raw: bytes) -> str:
+    return raw.decode("utf-8")
+
+
+class ChainStore:
+    """Typed namespace views the chain persists itself through."""
+
+    def __init__(self, kv: KVStore) -> None:
+        self.kv = kv
+        self.accounts = StorableDict(
+            kv, NS_ACCOUNT, encode=encode_account, decode=decode_account)
+        self.digests = StorableDict(kv, NS_DIGEST)
+        self.blocks = StorableDict(
+            kv, NS_BLOCK, encode=encode_block, decode=decode_block)
+        self.receipts = StorableDict(
+            kv, NS_RECEIPT, encode=encode_receipt, decode=decode_receipt)
+        self.dropped = StorableDict(
+            kv, NS_DROP, encode=_encode_text, decode=_decode_text)
+        self.latest_block = StorableValue(
+            kv, NS_META, b"latest",
+            encode=_encode_int, decode=_decode_int)
+        self.time_offset = StorableValue(
+            kv, NS_META, b"time_offset",
+            encode=_encode_int, decode=_decode_int)
+        self._mempool_seq = kv.count(NS_MEMPOOL)
+
+    # -- blocks --------------------------------------------------------
+
+    def stage_block(self, block, dropped: Optional[list] = None) -> None:
+        """Stage one mined block, its receipts and its drop records."""
+        self.blocks[block_key(block.number)] = block
+        for receipt in block.receipts:
+            self.receipts[receipt.transaction_hash] = receipt
+        for tx_hash, reason in (dropped or []):
+            self.dropped[tx_hash] = reason
+        self.latest_block.set(block.number)
+
+    def load_blocks(self) -> list:
+        """Every persisted block, in chain order."""
+        return [block for __, block in self.blocks.items()]
+
+    def load_receipts(self) -> dict[bytes, Receipt]:
+        """tx hash -> receipt for every persisted receipt."""
+        return dict(self.receipts.items())
+
+    def load_dropped(self) -> dict[bytes, str]:
+        """tx hash -> drop reason for every dropped transaction."""
+        return dict(self.dropped.items())
+
+    # -- mempool audit journal -----------------------------------------
+
+    def journal_mempool(self, event: bytes, tx_hash: bytes) -> None:
+        """Append one admission/eviction/selection event (audit only)."""
+        key = self._mempool_seq.to_bytes(8, "big")
+        self._mempool_seq += 1
+        self.kv.put(NS_MEMPOOL, key, rlp.encode([event, tx_hash]))
+
+    def mempool_events(self) -> list[tuple[bytes, bytes]]:
+        """The journal as (event, tx_hash) pairs, oldest first."""
+        return [tuple(rlp.decode(raw))
+                for __, raw in self.kv.items(NS_MEMPOOL)]

@@ -12,7 +12,7 @@ Usage (also via ``python -m repro``):
                    [--emit-telemetry PATH]
     repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
                    [--dishonest FRACTION] [--workers N] [--compare] \\
-                   [--emit-telemetry PATH]
+                   [--store PATH] [--resume] [--emit-telemetry PATH]
     repro adversary {strategy,all} [--app NAME|all] [--deposits]
 
 ``split`` is the Split/Generate stage as a tool: it writes the
@@ -258,7 +258,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def _run_fleet(sessions: int, app: str, mining: str,
                dishonest: float, workers: int = 1,
-               settlement: str = "direct", batch_size: int = 1):
+               settlement: str = "direct", batch_size: int = 1,
+               store: str | None = None, resume: bool = False):
     from repro.chain import EthereumSimulator, SimulatorConfig
     from repro.core import SessionEngine, spawn_fleet
 
@@ -268,8 +269,22 @@ def _run_fleet(sessions: int, app: str, mining: str,
                                batch_size=batch_size))
     drivers = spawn_fleet(sim, sessions, app=app,
                           dishonest_fraction=dishonest)
-    engine = SessionEngine(sim, drivers, mining=mining)
-    metrics = engine.run()
+    run_store = None
+    if store is not None:
+        from repro.core.recovery import RunStore
+
+        run_store = RunStore(store)
+        # Fleet-shaping flags the engine cannot see are bound into the
+        # store's config record, so a --resume with different flags is
+        # rejected instead of silently diverging.
+        run_store.extra_config["dishonest"] = str(dishonest)
+    engine = SessionEngine(sim, drivers, mining=mining,
+                           store=run_store, resume=resume)
+    try:
+        metrics = engine.run()
+    finally:
+        if run_store is not None:
+            run_store.close()
     return metrics, drivers, sim, engine
 
 
@@ -305,6 +320,12 @@ def cmd_engine(args: argparse.Namespace) -> int:
     elif args.settlement == "direct" and args.batch_size != 1:
         raise SystemExit(
             "error: --batch-size needs --settlement=netted")
+    if args.resume and not args.store:
+        raise SystemExit("error: --resume requires --store")
+    if args.store and args.compare:
+        raise SystemExit(
+            "error: --compare runs two fleets; a store holds exactly "
+            "one run — drop --store or --compare")
     scope = (obs.telemetry(JsonlExporter(args.emit_telemetry))
              if args.emit_telemetry else nullcontext())
     modes = (["batch", "per-tx"] if args.compare else [args.mining])
@@ -316,7 +337,8 @@ def cmd_engine(args: argparse.Namespace) -> int:
             metrics, drivers, sim, engine = _run_fleet(
                 args.sessions, args.app, mode, args.dishonest,
                 workers=args.workers, settlement=args.settlement,
-                batch_size=args.batch_size)
+                batch_size=args.batch_size, store=args.store,
+                resume=args.resume)
             unsettled = [d.session_id for d in drivers if not d.settled]
             if unsettled:
                 raise SystemExit(
@@ -328,6 +350,13 @@ def cmd_engine(args: argparse.Namespace) -> int:
                       f"({batcher.sessions_settled} sessions, "
                       f"{batcher.amortized_gas_per_session():,.0f} "
                       f"batch gas per session)")
+            if args.store:
+                kv_stats = engine.store.kv.stats()
+                print(f"  durable store    : {args.store} "
+                      f"({kv_stats['wal_commits']} commits, "
+                      f"{kv_stats['wal_records']} WAL records, "
+                      f"{kv_stats['compactions']} compactions"
+                      f"{', resumed' if args.resume else ''})")
             stats = sim.chain.parallel_stats
             if stats.lanes:
                 print(f"  parallel lanes   : {stats.lanes} "
@@ -399,6 +428,29 @@ def cmd_adversary(args: argparse.Namespace) -> int:
             for violation in violations:
                 print(f"  VIOLATION: {violation}")
             failures += len(violations)
+
+    # Explicitly selecting crash-restart also graduates the crash to
+    # real process death: SIGKILL a child `repro engine --store` run
+    # mid-Submit/Challenge and verify --resume recovers bit-identically
+    # ("all" sticks to the fast in-protocol scenarios).
+    if args.strategy == "crash-restart":
+        import tempfile
+
+        from repro.adversary import run_kill_restart
+
+        with tempfile.TemporaryDirectory(prefix="repro-crash-") as tmp:
+            report = run_kill_restart(
+                tmp, settlement=args.settlement, kill_mode="torn")
+        verdict = ("bit-identical to the uninterrupted run"
+                   if report.identical else "DIVERGED")
+        print(f"kill-restart: child SIGKILLed after "
+              f"{report.kill_after_commits} commits (torn WAL tail); "
+              f"recovery {verdict}")
+        for mismatch in report.mismatches:
+            print(f"  VIOLATION: {mismatch}")
+        if not report.identical:
+            failures += max(1, len(report.mismatches))
+
     if failures:
         print(f"{failures} invariant violation(s)")
         return 1
@@ -483,6 +535,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument("--batch-size", type=int, default=None,
                           help="sessions per netted batch "
                                "(default: the whole fleet, capped)")
+    p_engine.add_argument("--store", metavar="PATH",
+                          help="persist the run (WAL + snapshots) "
+                               "under this directory; see "
+                               "docs/persistence.md")
+    p_engine.add_argument("--resume", action="store_true",
+                          help="recover and finish the run held in "
+                               "--store (flags must match the "
+                               "original run)")
     p_engine.add_argument("--compare", action="store_true",
                           help="run both mining modes and compare")
     p_engine.add_argument("--emit-telemetry", metavar="PATH",

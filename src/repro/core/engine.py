@@ -33,6 +33,8 @@ have isolated storage; only block numbers differ), which
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Generator, Iterable, Optional, Union
@@ -372,7 +374,8 @@ class SessionEngine:
                  block_gas_limit: Optional[int] = None,
                  workers: Optional[int] = None,
                  settlement: Union[SettlementPolicy, str, None] = None,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 store=None, resume: bool = False) -> None:
         if mining not in ("batch", "per-tx"):
             raise EngineError(
                 f"unknown mining mode {mining!r}; use 'batch' or 'per-tx'")
@@ -417,6 +420,30 @@ class SessionEngine:
                      obs.names.METRIC_ENGINE_ROUNDS):
             self.registry.counter(name)
         self.registry.gauge(obs.names.METRIC_ENGINE_WALL_SECONDS)
+        #: Durable run store (``--store=PATH``).  The engine owns the
+        #: commit cadence: one WAL transaction per scheduling step, and
+        #: the mempool is provably empty at every commit point.
+        self.store = store
+        self.resume = bool(resume)
+        self._commits = 0
+        # Crash-harness knobs: SIGKILL this process right after the
+        # N-th store commit; "torn" additionally flushes garbage WAL
+        # records without a commit marker first, manufacturing the
+        # torn-tail shape recovery must discard.
+        self._kill_after = int(
+            os.environ.get("REPRO_STORE_KILL_AFTER_COMMITS") or 0)
+        self._kill_mode = os.environ.get("REPRO_STORE_KILL_MODE", "kill")
+        if store is not None:
+            if self.resume and not store.bootstrapped():
+                raise EngineError(
+                    "cannot --resume: the store was never bootstrapped")
+            if not self.resume and store.bootstrapped():
+                raise EngineError(
+                    "the store already holds a run; pass --resume to "
+                    "recover it or point --store at a fresh directory")
+            simulator.chain.attach_store(store.chain)
+        elif self.resume:
+            raise EngineError("--resume requires --store")
 
     def add(self, driver: ProtocolDriver) -> None:
         """Register one more session before :meth:`run`."""
@@ -451,12 +478,29 @@ class SessionEngine:
                       settlement=self.settlement.name):
             for driver in self.drivers:
                 driver.settlement = self.settlement
-            sessions = [
-                _SessionState(driver=driver, generator=driver.steps())
-                for driver in self.drivers
-            ]
-            for session in sessions:
-                self._resume(session, None)
+            if self.store is not None and self.resume:
+                from repro.core.recovery import recover_sessions
+
+                with obs.span(obs.names.SPAN_STORAGE_RECOVER,
+                              sessions=len(self.drivers)):
+                    self.store.verify_config(self._config_record())
+                    sessions = recover_sessions(self)
+                self._checkpoint()
+            else:
+                sessions = [
+                    _SessionState(driver=driver,
+                                  generator=driver.steps())
+                    for driver in self.drivers
+                ]
+                for session in sessions:
+                    self._resume(session, None)
+                if self.store is not None:
+                    # Bootstrap: the spawn-time chain (funded fleet
+                    # accounts, genesis) plus the run config become the
+                    # store's first committed transaction.
+                    self.store.stage_config(self._config_record())
+                    self.simulator.chain.persist_bootstrap()
+                    self._checkpoint()
 
             while True:
                 tx_sessions = [
@@ -465,6 +509,7 @@ class SessionEngine:
                 ]
                 if tx_sessions:
                     self._mine_round(tx_sessions)
+                    self._checkpoint()
                     continue
                 parked = [
                     s for s in sessions
@@ -481,6 +526,7 @@ class SessionEngine:
                 if parked and (len(parked) >= self.batch_size
                                or not waiting):
                     self._settle_batch(parked)
+                    self._checkpoint()
                     continue
                 if not waiting:
                     break
@@ -492,6 +538,10 @@ class SessionEngine:
                 for session in resumable:
                     self._resume(session, None)
 
+        if self.store is not None:
+            failed = any(s.error is not None for s in sessions)
+            self.store.status.set(b"error" if failed else b"complete")
+            self._checkpoint()
         errors = [s for s in sessions if s.error is not None]
         if errors:
             raise EngineError(
@@ -499,6 +549,44 @@ class SessionEngine:
                 f"first: {errors[0].error!r}"
             ) from errors[0].error
         return self._metrics(started)
+
+    # -- durable checkpoints -------------------------------------------
+
+    def _config_record(self) -> dict[str, str]:
+        """The flags a store is bound to; ``--resume`` must match."""
+        apps = sorted({getattr(d, "app", type(d).__name__)
+                       for d in self.drivers})
+        return {
+            "sessions": str(len(self.drivers)),
+            "mining": self.mining,
+            "settlement": self.settlement.name,
+            "batch_size": str(self.batch_size),
+            "apps": ",".join(apps),
+        }
+
+    def _checkpoint(self) -> None:
+        """Commit one WAL transaction covering the last scheduling
+        step (blocks, state, session journals, counters)."""
+        if self.store is None:
+            return
+        self.store.stage_engine_meta(self)
+        self.store.kv.commit()
+        self._commits += 1
+        if self._kill_after and self._commits >= self._kill_after:
+            # Crash harness: die without cleanup, right here.
+            if self._kill_mode == "torn":
+                self.store.kv.put(b"__crash", b"torn", b"\xde\xad")
+                self.store.kv.flush_uncommitted()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def _note_session(self, session: _SessionState) -> None:
+        """Stage a terminal summary or a batcher-park journal entry."""
+        if self.store is None:
+            return
+        if session.done:
+            self.store.stage_summary(session)
+        elif isinstance(session.pending, WaitForBatch):
+            self.store.stage_park(session.driver.session_id)
 
     def _resume(self, session: _SessionState, value: Any) -> None:
         """Advance one generator to its next yield (or completion)."""
@@ -512,14 +600,17 @@ class SessionEngine:
         except StopIteration:
             session.done = True
             session.pending = None
+            self._note_session(session)
             return
         except Exception as exc:  # session died; surface after the run
             session.done = True
             session.pending = None
             session.error = exc
+            self._note_session(session)
             return
         if isinstance(step, (WaitUntil, WaitForBatch)):
             session.pending = step
+            self._note_session(session)
         elif isinstance(step, list) and step and \
                 all(isinstance(i, TxIntent) for i in step):
             session.pending = step
@@ -531,6 +622,7 @@ class SessionEngine:
                 f"{step!r}; expected a non-empty list of TxIntent, "
                 "WaitUntil or WaitForBatch"
             )
+            self._note_session(session)
 
     def _mine_round(self, tx_sessions: list[_SessionState]) -> None:
         """Queue every runnable session's batch, mine, hand back
@@ -575,6 +667,7 @@ class SessionEngine:
                             f"{intent.label or 'transaction'} reverted: "
                             f"{receipt.error or 'no reason'}"
                         )
+                        self._note_session(session)
                         break
                     session.driver.protocol.ledger.record(
                         intent.stage, intent.label, receipt, intent.actor)
@@ -586,6 +679,15 @@ class SessionEngine:
                 else:
                     self._count(obs.names.METRIC_ENGINE_TXS,
                                 len(receipts))
+                    if self.store is not None:
+                        # Journal the round before resuming: the
+                        # summary a terminal resume stages must land
+                        # in the same transaction as its last round.
+                        self.store.stage_round(
+                            session.driver.session_id,
+                            [(i.stage, i.label, i.actor, h)
+                             for i, h in zip(session.intents,
+                                             session.tx_hashes)])
                     self._resume(session, receipts)
 
     def _queue(self, intent: TxIntent) -> bytes:

@@ -138,6 +138,18 @@ def _declare_instruments(registry: MetricsRegistry) -> None:
                      help="batch-level gas (deploy+commit+finalize)")
     registry.counter(names.METRIC_SETTLEMENT_OPENINGS,
                      help="contested leaves opened on aggregators")
+    registry.counter(names.METRIC_STORAGE_WAL_COMMITS,
+                     help="WAL transactions durably committed")
+    registry.counter(names.METRIC_STORAGE_WAL_RECORDS,
+                     help="data records in committed WAL transactions")
+    registry.counter(names.METRIC_STORAGE_COMPACTIONS,
+                     help="snapshot compactions")
+    registry.counter(names.METRIC_STORAGE_ACCOUNTS_EVICTED,
+                     help="clean accounts evicted from the hot LRU")
+    registry.counter(names.METRIC_STORAGE_ACCOUNTS_FAULTED,
+                     help="accounts faulted in from the durable store")
+    registry.counter(names.METRIC_STORAGE_SESSIONS_REPLAYED,
+                     help="mid-flight sessions replayed on --resume")
     registry.counter(names.METRIC_ENGINE_SESSIONS,
                      help="sessions driven to completion")
     registry.counter(names.METRIC_ENGINE_DISPUTES,

@@ -57,6 +57,13 @@ SPAN_SETTLEMENT_OPEN = "settlement.open"
 #: One batch finalization after its challenge window closed.
 SPAN_SETTLEMENT_FINALIZE = "settlement.finalize"
 
+#: One durable WAL transaction commit (storage layer).
+SPAN_STORAGE_COMMIT = "storage.commit"
+#: One snapshot compaction (WAL folded into ``snapshot.bin``).
+SPAN_STORAGE_COMPACT = "storage.compact"
+#: One engine recovery pass over a reopened ``--store`` directory.
+SPAN_STORAGE_RECOVER = "storage.recover"
+
 #: One state-changing contract transaction (web3-style ``transact``).
 SPAN_CHAIN_TX = "chain.tx"
 #: One contract deployment through the simulator facade.
@@ -87,6 +94,9 @@ ALL_SPANS: tuple[str, ...] = (
     SPAN_SETTLEMENT_COMMIT,
     SPAN_SETTLEMENT_OPEN,
     SPAN_SETTLEMENT_FINALIZE,
+    SPAN_STORAGE_COMMIT,
+    SPAN_STORAGE_COMPACT,
+    SPAN_STORAGE_RECOVER,
     SPAN_CHAIN_TX,
     SPAN_CHAIN_DEPLOY,
     SPAN_CHAIN_CALL,
@@ -206,6 +216,22 @@ METRIC_SETTLEMENT_BATCH_GAS = "settlement.batch.gas"
 #: entering the dispute-via-opening path).
 METRIC_SETTLEMENT_OPENINGS = "settlement.leaf_openings"
 
+#: counter — WAL transactions durably committed.
+METRIC_STORAGE_WAL_COMMITS = "storage.wal.commits"
+#: counter — data records written into committed WAL transactions.
+METRIC_STORAGE_WAL_RECORDS = "storage.wal.records"
+#: counter — snapshot compactions (WAL folded and truncated).
+METRIC_STORAGE_COMPACTIONS = "storage.compactions"
+#: counter — clean hot accounts evicted from the in-memory LRU after
+#: their state leaf digest was cached.
+METRIC_STORAGE_ACCOUNTS_EVICTED = "storage.accounts.evicted"
+#: counter — accounts faulted back in from the durable store.
+METRIC_STORAGE_ACCOUNTS_FAULTED = "storage.accounts.faulted"
+#: counter — sessions replayed live from their WAL journals during an
+#: engine ``--resume`` (terminal sessions restore from summaries and
+#: are not counted here).
+METRIC_STORAGE_SESSIONS_REPLAYED = "storage.recover.sessions_replayed"
+
 #: counter — sessions a :class:`SessionEngine` drove to completion.
 METRIC_ENGINE_SESSIONS = "engine.sessions"
 #: counter — sessions that settled through Dispute/Resolve.
@@ -251,6 +277,12 @@ ALL_METRICS: tuple[str, ...] = (
     METRIC_SETTLEMENT_BATCH_SIZE,
     METRIC_SETTLEMENT_BATCH_GAS,
     METRIC_SETTLEMENT_OPENINGS,
+    METRIC_STORAGE_WAL_COMMITS,
+    METRIC_STORAGE_WAL_RECORDS,
+    METRIC_STORAGE_COMPACTIONS,
+    METRIC_STORAGE_ACCOUNTS_EVICTED,
+    METRIC_STORAGE_ACCOUNTS_FAULTED,
+    METRIC_STORAGE_SESSIONS_REPLAYED,
     METRIC_ENGINE_SESSIONS,
     METRIC_ENGINE_DISPUTES,
     METRIC_ENGINE_BLOCKS,

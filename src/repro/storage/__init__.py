@@ -1,0 +1,44 @@
+"""Durable storage: WAL-backed key-value store and chain persistence.
+
+ROADMAP item 2.  The package layers as::
+
+    WriteAheadLog      CRC-framed append-only log, transactional commits
+        KVStore        namespaced bytes->bytes maps, snapshot compaction
+            StorableDict / StorableValue   Diem-reference-style wrappers
+            codec       RLP codecs for Account / Receipt / Block
+
+``KVStore`` is a *durability* layer, not an out-of-core database: every
+namespace lives in memory and committed writes additionally survive
+process death.  The engine-facing recovery logic (what gets persisted
+when, and how a ``repro engine --store=... --resume`` run is
+reconstructed) lives in :mod:`repro.core.recovery`; the full design is
+documented in ``docs/persistence.md``.
+"""
+
+from repro.storage.codec import (
+    decode_account,
+    decode_block,
+    decode_receipt,
+    encode_account,
+    encode_block,
+    encode_receipt,
+)
+from repro.storage.kv import DEFAULT_COMPACT_BYTES, KVStore
+from repro.storage.storable import StorableDict, StorableValue
+from repro.storage.wal import MAX_RECORD_BYTES, StorageError, WriteAheadLog
+
+__all__ = [
+    "DEFAULT_COMPACT_BYTES",
+    "KVStore",
+    "MAX_RECORD_BYTES",
+    "StorableDict",
+    "StorableValue",
+    "StorageError",
+    "WriteAheadLog",
+    "decode_account",
+    "decode_block",
+    "decode_receipt",
+    "encode_account",
+    "encode_block",
+    "encode_receipt",
+]

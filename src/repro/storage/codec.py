@@ -1,0 +1,147 @@
+"""RLP codecs for the chain objects the durable store persists.
+
+Transactions already carry their canonical wire form
+(:meth:`~repro.chain.transaction.Transaction.encode`); this module adds
+the symmetric encoders for :class:`~repro.chain.account.Account`,
+:class:`~repro.chain.receipt.Receipt` (logs included) and
+:class:`~repro.chain.block.Block`.  Every codec is a pure function of
+its value — round-tripping is exercised property-style in
+``tests/storage/``.
+
+Optional :class:`~repro.crypto.keys.Address` fields are encoded as the
+empty string (a real address is always exactly 20 bytes); the optional
+``error`` string carries a presence byte so an empty revert reason
+stays distinguishable from "no error".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.account import Account
+from repro.chain.block import Block, BlockHeader
+from repro.chain.receipt import Receipt
+from repro.chain.transaction import Transaction
+from repro.crypto import rlp
+from repro.crypto.keys import Address
+from repro.evm.vm import Log
+
+
+def _encode_address(address: Optional[Address]) -> bytes:
+    return address.value if address is not None else b""
+
+
+def _decode_address(raw: bytes) -> Optional[Address]:
+    return Address(raw) if raw else None
+
+
+def encode_account(account: Account) -> bytes:
+    """RLP: ``[nonce, balance, code, [[slot, value], ...]]``."""
+    return rlp.encode([
+        account.nonce,
+        account.balance,
+        account.code,
+        [[slot, value] for slot, value in sorted(account.storage.items())],
+    ])
+
+
+def decode_account(raw: bytes) -> Account:
+    """Inverse of :func:`encode_account`."""
+    nonce, balance, code, storage = rlp.decode(raw)
+    return Account(
+        nonce=rlp.decode_int(nonce),
+        balance=rlp.decode_int(balance),
+        code=code,
+        storage={rlp.decode_int(slot): rlp.decode_int(value)
+                 for slot, value in storage},
+    )
+
+
+def _encode_log(log: Log) -> list:
+    return [log.address.value, list(log.topics), log.data]
+
+
+def _decode_log(item: list) -> Log:
+    address, topics, data = item
+    return Log(address=Address(address),
+               topics=tuple(rlp.decode_int(topic) for topic in topics),
+               data=data)
+
+
+def encode_receipt(receipt: Receipt) -> bytes:
+    """RLP-encode a receipt, logs and optional fields included."""
+    error = (b"" if receipt.error is None
+             else b"\x01" + receipt.error.encode("utf-8"))
+    return rlp.encode([
+        receipt.transaction_hash,
+        receipt.transaction_index,
+        receipt.block_number,
+        receipt.sender.value,
+        _encode_address(receipt.to),
+        int(receipt.status),
+        receipt.gas_used,
+        receipt.cumulative_gas_used,
+        _encode_address(receipt.contract_address),
+        [_encode_log(log) for log in receipt.logs],
+        error,
+    ])
+
+
+def decode_receipt(raw: bytes) -> Receipt:
+    """Inverse of :func:`encode_receipt`."""
+    (tx_hash, index, number, sender, to, status, gas_used,
+     cumulative, contract, logs, error) = rlp.decode(raw)
+    return Receipt(
+        transaction_hash=tx_hash,
+        transaction_index=rlp.decode_int(index),
+        block_number=rlp.decode_int(number),
+        sender=Address(sender),
+        to=_decode_address(to),
+        status=bool(rlp.decode_int(status)),
+        gas_used=rlp.decode_int(gas_used),
+        cumulative_gas_used=rlp.decode_int(cumulative),
+        contract_address=_decode_address(contract),
+        logs=tuple(_decode_log(item) for item in logs),
+        error=None if not error else error[1:].decode("utf-8"),
+    )
+
+
+def encode_block(block: Block) -> bytes:
+    """RLP: ``[header fields, [tx...], [receipt...]]``."""
+    header = block.header
+    return rlp.encode([
+        [
+            header.number,
+            header.parent_hash,
+            header.state_root,
+            header.timestamp,
+            header.miner.value,
+            header.gas_limit,
+            header.gas_used,
+            header.transactions_root,
+        ],
+        [tx.encode() for tx in block.transactions],
+        [encode_receipt(receipt) for receipt in block.receipts],
+    ])
+
+
+def decode_block(raw: bytes) -> Block:
+    """Inverse of :func:`encode_block`."""
+    header_fields, transactions, receipts = rlp.decode(raw)
+    (number, parent_hash, state_root, timestamp, miner,
+     gas_limit, gas_used, transactions_root) = header_fields
+    header = BlockHeader(
+        number=rlp.decode_int(number),
+        parent_hash=parent_hash,
+        state_root=state_root,
+        timestamp=rlp.decode_int(timestamp),
+        miner=Address(miner),
+        gas_limit=rlp.decode_int(gas_limit),
+        gas_used=rlp.decode_int(gas_used),
+        transactions_root=transactions_root,
+    )
+    return Block(
+        header=header,
+        transactions=tuple(Transaction.decode(tx) for tx in transactions),
+        receipts=tuple(decode_receipt(item) for item in receipts),
+    )

@@ -1,0 +1,208 @@
+"""Durable namespaced key-value store over a WAL + snapshot pair.
+
+A :class:`KVStore` keeps every namespace as an ordinary in-memory
+``dict[bytes, bytes]`` — this layer buys *durability* (any committed
+write survives process death), not out-of-core capacity; the full key
+set must still fit in RAM.  Two files under the store directory carry
+the persistent state:
+
+``snapshot.bin``
+    A CRC-checked RLP dump of every namespace, rewritten atomically
+    (write-temp, fsync, rename) by :meth:`compact`.
+``wal.bin``
+    The :class:`~repro.storage.wal.WriteAheadLog` of put/delete
+    operations since the snapshot, grouped into transactions.
+
+Writes stage into the open WAL transaction and apply to the in-memory
+maps immediately; :meth:`commit` makes the transaction durable.  A
+crash between commits loses exactly the uncommitted tail — reopening
+the directory yields the state as of the last ``commit()``.  Replay of
+WAL operations over a snapshot is idempotent (put/delete are upserts),
+which is what makes the compaction rename→truncate window crash-safe.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from repro import obs
+from repro.crypto import rlp
+from repro.storage.wal import MAX_RECORD_BYTES, StorageError, WriteAheadLog
+
+SNAPSHOT_MAGIC = b"REPROSNP"
+_FRAME = struct.Struct("<II")
+_OP_PUT = b"P"
+_OP_DELETE = b"D"
+
+#: Default WAL size that triggers auto-compaction at the next commit.
+DEFAULT_COMPACT_BYTES = 16 * 1024 * 1024
+
+
+class KVStore:
+    """Namespaced bytes→bytes store with WAL durability + snapshots."""
+
+    def __init__(self, directory: str | Path, *, fsync_batch: int = 1,
+                 compact_bytes: int = DEFAULT_COMPACT_BYTES,
+                 auto_compact: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.directory / "snapshot.bin"
+        self.wal_path = self.directory / "wal.bin"
+        self.compact_bytes = compact_bytes
+        self.auto_compact = auto_compact
+        self.compactions = 0
+        self.replayed_ops = 0
+        self._maps: dict[bytes, dict[bytes, bytes]] = {}
+        self._load_snapshot()
+        self.wal = WriteAheadLog(self.wal_path, fsync_batch=fsync_batch)
+        for transaction in self.wal.committed_transactions():
+            for op in transaction:
+                self._apply(op)
+                self.replayed_ops += 1
+
+    # -- recovery ----------------------------------------------------------
+
+    def _load_snapshot(self) -> None:
+        if not self.snapshot_path.exists():
+            return
+        raw = self.snapshot_path.read_bytes()
+        head = len(SNAPSHOT_MAGIC) + _FRAME.size
+        if len(raw) < head or raw[:len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+            raise StorageError(f"{self.snapshot_path} is not a snapshot")
+        length, crc = _FRAME.unpack(raw[len(SNAPSHOT_MAGIC):head])
+        payload = raw[head:head + length]
+        # Snapshots are written atomically (temp + fsync + rename), so
+        # unlike the WAL tail a damaged snapshot is genuine corruption.
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            raise StorageError(f"{self.snapshot_path} failed its CRC check")
+        for namespace, pairs in rlp.decode(payload):
+            self._maps[namespace] = {key: value for key, value in pairs}
+
+    def _apply(self, op: bytes) -> None:
+        kind, namespace, key, value = rlp.decode(op)
+        table = self._maps.setdefault(namespace, {})
+        if kind == _OP_PUT:
+            table[key] = value
+        elif kind == _OP_DELETE:
+            table.pop(key, None)
+        else:
+            raise StorageError(f"unknown WAL operation {kind!r}")
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, namespace: bytes, key: bytes,
+            default: bytes | None = None) -> bytes | None:
+        """The value under ``namespace``/``key``, or ``default``."""
+        return self._maps.get(namespace, {}).get(key, default)
+
+    def __contains__(self, pair: tuple[bytes, bytes]) -> bool:
+        namespace, key = pair
+        return key in self._maps.get(namespace, {})
+
+    def items(self, namespace: bytes) -> list[tuple[bytes, bytes]]:
+        """All (key, value) pairs of one namespace, key-sorted."""
+        return sorted(self._maps.get(namespace, {}).items())
+
+    def keys(self, namespace: bytes) -> list[bytes]:
+        """All keys of one namespace, sorted."""
+        return sorted(self._maps.get(namespace, {}))
+
+    def count(self, namespace: bytes) -> int:
+        """Number of keys in one namespace."""
+        return len(self._maps.get(namespace, {}))
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, namespace: bytes, key: bytes, value: bytes) -> None:
+        """Stage an upsert into the open transaction."""
+        if len(value) >= MAX_RECORD_BYTES:
+            raise StorageError("value exceeds the WAL record limit")
+        self.wal.append(rlp.encode([_OP_PUT, namespace, key, value]))
+        self._maps.setdefault(namespace, {})[key] = value
+
+    def delete(self, namespace: bytes, key: bytes) -> None:
+        """Stage a delete into the open transaction."""
+        self.wal.append(rlp.encode([_OP_DELETE, namespace, key, b""]))
+        self._maps.get(namespace, {}).pop(key, None)
+
+    def commit(self) -> None:
+        """Durably seal the staged operations (no-op when none)."""
+        if self.wal.pending_records == 0:
+            return
+        with obs.span(obs.names.SPAN_STORAGE_COMMIT,
+                      records=self.wal.pending_records):
+            staged = self.wal.pending_records
+            self.wal.commit()
+            if obs.enabled():
+                obs.inc(obs.names.METRIC_STORAGE_WAL_COMMITS)
+                obs.inc(obs.names.METRIC_STORAGE_WAL_RECORDS, staged)
+        if self.auto_compact and self.wal.size() > self.compact_bytes:
+            self.compact()
+
+    def flush_uncommitted(self) -> None:
+        """Push staged records to the OS *without* a commit marker.
+
+        Only the crash harness uses this: it manufactures the torn-tail
+        shape that recovery must discard.
+        """
+        self.wal.flush()
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self) -> None:
+        """Fold the WAL into a fresh snapshot and truncate the log.
+
+        Crash-safe: the snapshot is written to a temp file, fsync'd and
+        renamed over the old one before the WAL is truncated.  A crash
+        between rename and truncate merely replays (idempotent) WAL
+        operations over the already-updated snapshot.
+        """
+        if self.wal.pending_records:
+            raise StorageError("commit the open transaction before compact()")
+        with obs.span(obs.names.SPAN_STORAGE_COMPACT):
+            payload = rlp.encode([
+                [namespace, [[key, value]
+                             for key, value in sorted(table.items())]]
+                for namespace, table in sorted(self._maps.items())
+            ])
+            frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+            temp = self.snapshot_path.with_suffix(".tmp")
+            with open(temp, "wb") as fh:
+                fh.write(SNAPSHOT_MAGIC + frame + payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(temp, self.snapshot_path)
+            self._fsync_directory()
+            self.wal.truncate()
+            self.compactions += 1
+            if obs.enabled():
+                obs.inc(obs.names.METRIC_STORAGE_COMPACTIONS)
+
+    def _fsync_directory(self) -> None:
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Operational counters for benchmarks and the CLI."""
+        return {
+            "wal_records": self.wal.records_written,
+            "wal_commits": self.wal.commits,
+            "wal_fsyncs": self.wal.fsyncs,
+            "wal_bytes": self.wal.bytes_written,
+            "replayed_ops": self.replayed_ops,
+            "compactions": self.compactions,
+            "namespaces": len(self._maps),
+            "keys": sum(len(t) for t in self._maps.values()),
+        }
+
+    def close(self) -> None:
+        """Flush and close the underlying WAL."""
+        self.wal.close()

@@ -1,0 +1,96 @@
+"""Diem-style ``StorableDict`` / ``StorableValue`` wrappers.
+
+The off-chain reference implementations keep their durable session
+state behind two small abstractions: a dict whose writes go straight
+through to a write-ahead-logged backend, and a single named value with
+``get``/``set``.  These are the same shapes, bound to one
+:class:`~repro.storage.kv.KVStore` namespace each, with pluggable
+``encode``/``decode`` codecs (identity on ``bytes`` by default).
+
+Writes stage into the store's open WAL transaction; they become
+durable at the store's next ``commit()``.  Reads always see the staged
+(in-memory) state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.storage.kv import KVStore
+
+_IDENTITY = lambda value: value  # noqa: E731 - the default bytes codec
+
+
+class StorableDict:
+    """A dict-like view over one :class:`KVStore` namespace."""
+
+    def __init__(self, store: KVStore, namespace: bytes, *,
+                 encode: Callable[[Any], bytes] = _IDENTITY,
+                 decode: Callable[[bytes], Any] = _IDENTITY) -> None:
+        self.store = store
+        self.namespace = namespace
+        self._encode = encode
+        self._decode = decode
+
+    def __setitem__(self, key: bytes, value: Any) -> None:
+        self.store.put(self.namespace, key, self._encode(value))
+
+    def __getitem__(self, key: bytes) -> Any:
+        raw = self.store.get(self.namespace, key)
+        if raw is None:
+            raise KeyError(key)
+        return self._decode(raw)
+
+    def __delitem__(self, key: bytes) -> None:
+        if (self.namespace, key) not in self.store:
+            raise KeyError(key)
+        self.store.delete(self.namespace, key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return (self.namespace, key) in self.store
+
+    def __len__(self) -> int:
+        return self.store.count(self.namespace)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self.store.keys(self.namespace))
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        """The decoded value under ``key``, or ``default``."""
+        raw = self.store.get(self.namespace, key)
+        return default if raw is None else self._decode(raw)
+
+    def items(self) -> list[tuple[bytes, Any]]:
+        """All (key, decoded value) pairs, key-sorted."""
+        return [(key, self._decode(raw))
+                for key, raw in self.store.items(self.namespace)]
+
+    def keys(self) -> list[bytes]:
+        """All keys, sorted."""
+        return self.store.keys(self.namespace)
+
+
+class StorableValue:
+    """One named durable value inside a :class:`KVStore` namespace."""
+
+    def __init__(self, store: KVStore, namespace: bytes, key: bytes, *,
+                 encode: Callable[[Any], bytes] = _IDENTITY,
+                 decode: Callable[[bytes], Any] = _IDENTITY) -> None:
+        self.store = store
+        self.namespace = namespace
+        self.key = key
+        self._encode = encode
+        self._decode = decode
+
+    def exists(self) -> bool:
+        """True when the value has ever been set."""
+        return (self.namespace, self.key) in self.store
+
+    def get(self, default: Any = None) -> Any:
+        """The decoded value, or ``default`` when never set."""
+        raw = self.store.get(self.namespace, self.key)
+        return default if raw is None else self._decode(raw)
+
+    def set(self, value: Any) -> None:
+        """Stage a new value into the store's open transaction."""
+        self.store.put(self.namespace, self.key, self._encode(value))

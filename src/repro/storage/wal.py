@@ -1,0 +1,198 @@
+"""Append-only write-ahead log with CRC-framed binary records.
+
+The WAL is the durability primitive under :class:`~repro.storage.kv.KVStore`.
+Records are grouped into **transactions**: every :meth:`append` buffers a
+data record and :meth:`commit` seals the group with a commit-marker
+record, flushes it to the OS and (subject to fsync batching) forces it
+to stable media.  Recovery replays only complete, committed
+transactions: a tail torn anywhere — half a frame, a corrupt CRC, data
+records with no trailing marker — is discarded and physically truncated
+away, so a process SIGKILLed at any byte offset leaves a log that
+reopens cleanly.
+
+Frame layout (little-endian)::
+
+    +----------+-----------+----------------------+
+    | length:4 | crc32:4   | payload (length B)   |
+    +----------+-----------+----------------------+
+
+where ``payload[0]`` is the record kind (``D`` data / ``C`` commit) and
+``payload[1:]`` is the caller's opaque body.  The file starts with the
+8-byte magic ``REPROWAL``.
+
+Durability contract (documented in ``docs/persistence.md``): after
+``commit()`` returns, the transaction survives process death (the data
+reached the OS page cache); it additionally survives power loss once
+the batched ``fsync`` has run — every ``fsync_batch`` commits, and
+always on :meth:`sync`/:meth:`close`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+MAGIC = b"REPROWAL"
+_FRAME = struct.Struct("<II")
+_KIND_DATA = b"D"
+_KIND_COMMIT = b"C"
+
+#: Upper bound on one record's payload; anything larger in a frame
+#: header is treated as tail corruption rather than allocated blindly.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+class StorageError(ReproError, RuntimeError):
+    """Raised for storage-layer misuse or unrecoverable corruption."""
+
+
+class WriteAheadLog:
+    """One append-only CRC-checked log file with transactional commits."""
+
+    def __init__(self, path: str | Path, *, fsync_batch: int = 1) -> None:
+        if fsync_batch < 1:
+            raise StorageError("fsync_batch must be >= 1")
+        self.path = Path(path)
+        self.fsync_batch = fsync_batch
+        self.records_written = 0
+        self.commits = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self._unsynced_commits = 0
+        self._pending_records = 0
+        committed, valid_end = self._scan()
+        self._committed = committed
+        self._open_for_append(valid_end)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _scan(self) -> tuple[list[list[bytes]], int]:
+        """Read committed transactions; return them + last valid offset.
+
+        Stops at the first short frame, oversized length, or CRC
+        mismatch: everything from the last commit marker onward is an
+        uncommitted (or torn) tail and is ignored.
+        """
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return [], len(MAGIC)
+        transactions: list[list[bytes]] = []
+        current: list[bytes] = []
+        with open(self.path, "rb") as fh:
+            if fh.read(len(MAGIC)) != MAGIC:
+                raise StorageError(f"{self.path} is not a repro WAL")
+            valid_end = fh.tell()
+            while True:
+                head = fh.read(_FRAME.size)
+                if len(head) < _FRAME.size:
+                    break
+                length, crc = _FRAME.unpack(head)
+                if length < 1 or length > MAX_RECORD_BYTES:
+                    break
+                payload = fh.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    break
+                kind, body = payload[:1], payload[1:]
+                if kind == _KIND_COMMIT:
+                    transactions.append(current)
+                    current = []
+                    valid_end = fh.tell()
+                elif kind == _KIND_DATA:
+                    current.append(body)
+                else:  # unknown kind: same treatment as corruption
+                    break
+        return transactions, valid_end
+
+    def _open_for_append(self, valid_end: int) -> None:
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        if not fresh and self.path.stat().st_size > valid_end:
+            # Physically drop the torn/uncommitted tail so new records
+            # never land after garbage.
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+        self._fh = open(self.path, "ab")
+        if fresh:
+            self._fh.write(MAGIC)
+            self._fh.flush()
+            self._fsync()
+
+    def committed_transactions(self) -> list[list[bytes]]:
+        """The committed transactions found when the log was opened."""
+        return [list(txn) for txn in self._committed]
+
+    # -- writing -----------------------------------------------------------
+
+    def _write_record(self, kind: bytes, body: bytes) -> None:
+        payload = kind + body
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        self._fh.write(frame + payload)
+        self.bytes_written += len(frame) + len(payload)
+
+    def append(self, body: bytes) -> None:
+        """Buffer one data record into the open transaction."""
+        self._write_record(_KIND_DATA, body)
+        self.records_written += 1
+        self._pending_records += 1
+
+    def commit(self) -> None:
+        """Seal the open transaction: marker + flush + batched fsync."""
+        self._write_record(_KIND_COMMIT, b"")
+        self._fh.flush()
+        self.commits += 1
+        self._pending_records = 0
+        self._unsynced_commits += 1
+        if self._unsynced_commits >= self.fsync_batch:
+            self._fsync()
+
+    def flush(self) -> None:
+        """Push buffered bytes to the OS without sealing a transaction.
+
+        Used by the crash harness to stage a deliberately torn tail:
+        the flushed-but-uncommitted records must be discarded on the
+        next open.
+        """
+        self._fh.flush()
+
+    def sync(self) -> None:
+        """Force an fsync regardless of the batching schedule."""
+        self._fh.flush()
+        self._fsync()
+
+    def _fsync(self) -> None:
+        os.fsync(self._fh.fileno())
+        self.fsyncs += 1
+        self._unsynced_commits = 0
+
+    @property
+    def pending_records(self) -> int:
+        """Data records appended since the last commit marker."""
+        return self._pending_records
+
+    def size(self) -> int:
+        """Current on-disk size in bytes (buffered bytes included)."""
+        self._fh.flush()
+        return self.path.stat().st_size
+
+    def truncate(self) -> None:
+        """Reset the log to empty (called after snapshot compaction)."""
+        self._fh.close()
+        with open(self.path, "wb") as fh:
+            fh.write(MAGIC)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.fsyncs += 1
+        self._committed = []
+        self._pending_records = 0
+        self._unsynced_commits = 0
+        self._fh = open(self.path, "ab")
+
+    def close(self) -> None:
+        """Flush, fsync and close the file handle."""
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        self._fsync()
+        self._fh.close()

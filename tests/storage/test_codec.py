@@ -1,0 +1,78 @@
+"""RLP codecs for chain objects and session values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import EthereumSimulator
+from repro.chain.account import Account
+from repro.chain.receipt import Receipt
+from repro.core.recovery import RecoveryError, decode_value, encode_value
+from repro.crypto.keys import Address
+from repro.storage.codec import (
+    decode_account,
+    decode_block,
+    decode_receipt,
+    encode_account,
+    encode_block,
+    encode_receipt,
+)
+
+
+def test_account_roundtrip():
+    account = Account(nonce=7, balance=10**18, code=b"\x60\x00",
+                      storage={3: 9, 1: 2**255})
+    decoded = decode_account(encode_account(account))
+    assert decoded.nonce == account.nonce
+    assert decoded.balance == account.balance
+    assert decoded.code == account.code
+    assert decoded.storage == account.storage
+
+
+def test_receipt_roundtrip_with_and_without_optionals():
+    full = Receipt(
+        transaction_hash=b"\x11" * 32, transaction_index=2,
+        block_number=9, sender=Address(b"\x01" * 20),
+        to=None, status=False, gas_used=21_000,
+        cumulative_gas_used=42_000,
+        contract_address=Address(b"\x02" * 20),
+        logs=(), error="out of gas")
+    decoded = decode_receipt(encode_receipt(full))
+    assert decoded == full
+
+    minimal = Receipt(
+        transaction_hash=b"\x22" * 32, transaction_index=0,
+        block_number=1, sender=Address(b"\x03" * 20),
+        to=Address(b"\x04" * 20), status=True, gas_used=1,
+        cumulative_gas_used=1, contract_address=None,
+        logs=(), error=None)
+    assert decode_receipt(encode_receipt(minimal)) == minimal
+
+
+def test_block_roundtrip_through_a_real_chain():
+    sim = EthereumSimulator()
+    sim.transfer(sim.accounts[0], sim.accounts[1].address, 1_000)
+    for block in sim.chain.blocks:
+        decoded = decode_block(encode_block(block))
+        assert decoded.header == block.header
+        assert decoded.transactions == block.transactions
+        assert decoded.receipts == block.receipts
+        assert decoded.hash == block.hash
+
+
+@pytest.mark.parametrize("value", [
+    None, True, False, 0, 1, 2**256 - 1, -17,
+    b"", b"\x00\xff", "truth", "",
+])
+def test_session_value_codec_roundtrip(value):
+    from repro.crypto import rlp
+
+    wire = rlp.decode(rlp.encode(encode_value(value)))
+    decoded = decode_value(wire)
+    assert decoded == value
+    assert type(decoded) is type(value)
+
+
+def test_session_value_codec_rejects_unknown_types():
+    with pytest.raises(RecoveryError):
+        encode_value(object())

@@ -1,0 +1,148 @@
+"""KVStore: durability, compaction equivalence, storable wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.kv import KVStore, StorageError
+from repro.storage.storable import StorableDict, StorableValue
+
+NS = b"test"
+
+
+def _dump(store: KVStore) -> dict:
+    return {ns: dict(store.items(ns))
+            for ns in (NS, b"other") if store.count(ns)}
+
+
+def test_committed_writes_survive_reopen(tmp_path):
+    store = KVStore(tmp_path)
+    store.put(NS, b"k1", b"v1")
+    store.put(b"other", b"k2", b"v2")
+    store.delete(NS, b"missing")  # deleting nothing is fine
+    store.commit()
+    store.close()
+
+    reopened = KVStore(tmp_path)
+    assert reopened.get(NS, b"k1") == b"v1"
+    assert reopened.get(b"other", b"k2") == b"v2"
+    reopened.close()
+
+
+def test_uncommitted_writes_do_not_survive(tmp_path):
+    store = KVStore(tmp_path)
+    store.put(NS, b"durable", b"1")
+    store.commit()
+    store.put(NS, b"lost", b"2")
+    store.flush_uncommitted()  # on disk, but no commit marker
+    store.close()
+
+    reopened = KVStore(tmp_path)
+    assert reopened.get(NS, b"durable") == b"1"
+    assert reopened.get(NS, b"lost") is None
+    reopened.close()
+
+
+def test_compaction_preserves_contents_and_truncates_wal(tmp_path):
+    store = KVStore(tmp_path, auto_compact=False)
+    for i in range(50):
+        store.put(NS, f"k{i}".encode(), f"v{i}".encode())
+    store.delete(NS, b"k7")
+    store.put(NS, b"k9", b"rewritten")
+    store.commit()
+    before = _dump(store)
+    wal_before = store.wal.size()
+    store.compact()
+    assert store.wal.size() < wal_before
+    assert _dump(store) == before
+    store.close()
+
+    reopened = KVStore(tmp_path)
+    assert _dump(reopened) == before
+    assert reopened.replayed_ops == 0  # everything lives in the snapshot
+    reopened.close()
+
+
+def test_auto_compaction_triggers_on_wal_growth(tmp_path):
+    store = KVStore(tmp_path, compact_bytes=512, auto_compact=True)
+    for i in range(20):
+        store.put(NS, f"k{i}".encode(), b"x" * 64)
+        store.commit()
+    assert store.compactions >= 1
+    store.close()
+
+
+def test_compact_refuses_open_transaction(tmp_path):
+    store = KVStore(tmp_path)
+    store.put(NS, b"k", b"v")
+    with pytest.raises(StorageError):
+        store.compact()
+    store.close()
+
+
+def test_corrupt_snapshot_is_a_hard_error(tmp_path):
+    store = KVStore(tmp_path)
+    store.put(NS, b"k", b"v")
+    store.commit()
+    store.compact()
+    store.close()
+    raw = bytearray((tmp_path / "snapshot.bin").read_bytes())
+    raw[-1] ^= 0xFF
+    (tmp_path / "snapshot.bin").write_bytes(raw)
+    with pytest.raises(StorageError):
+        KVStore(tmp_path)
+
+
+def test_storable_dict_roundtrip(tmp_path):
+    store = KVStore(tmp_path)
+    scores = StorableDict(
+        store, b"scores",
+        encode=lambda v: str(v).encode(),
+        decode=lambda raw: int(raw))
+    scores[b"alice"] = 3
+    scores[b"bob"] = 7
+    del scores[b"alice"]
+    assert b"alice" not in scores
+    assert scores[b"bob"] == 7
+    assert scores.get(b"alice", -1) == -1
+    assert len(scores) == 1
+    assert list(scores) == [b"bob"]
+    assert scores.items() == [(b"bob", 7)]
+    with pytest.raises(KeyError):
+        scores[b"alice"]
+    with pytest.raises(KeyError):
+        del scores[b"alice"]
+    store.commit()
+    store.close()
+
+    reopened = KVStore(tmp_path)
+    scores = StorableDict(
+        reopened, b"scores",
+        encode=lambda v: str(v).encode(),
+        decode=lambda raw: int(raw))
+    assert scores.items() == [(b"bob", 7)]
+    reopened.close()
+
+
+def test_storable_value_roundtrip(tmp_path):
+    store = KVStore(tmp_path)
+    height = StorableValue(
+        store, b"meta", b"height",
+        encode=lambda v: v.to_bytes(8, "big"),
+        decode=lambda raw: int.from_bytes(raw, "big"))
+    assert not height.exists()
+    assert height.get(0) == 0
+    height.set(41)
+    height.set(42)
+    assert height.exists()
+    assert height.get() == 42
+    store.commit()
+    store.close()
+
+    reopened = KVStore(tmp_path)
+    height = StorableValue(
+        reopened, b"meta", b"height",
+        encode=lambda v: v.to_bytes(8, "big"),
+        decode=lambda raw: int.from_bytes(raw, "big"))
+    assert height.get() == 42
+    reopened.close()

@@ -1,0 +1,142 @@
+"""Engine checkpointing and in-process resume semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import EthereumSimulator, SimulatorConfig
+from repro.chain.simulator import ChainError
+from repro.core import SessionEngine, spawn_fleet
+from repro.core.exceptions import EngineError
+from repro.core.recovery import RecoveryError, RunStore
+
+
+def _sim(settlement: str = "direct", batch_size: int = 1):
+    return EthereumSimulator(
+        config=SimulatorConfig(num_accounts=2, auto_mine=False,
+                               settlement=settlement,
+                               batch_size=batch_size))
+
+
+def _snapshot(drivers):
+    return [
+        (d.session_id, d.protocol.stage.value, d.aborted,
+         d.missed_window, d.truth, d.protocol.ledger.fingerprint())
+        for d in drivers
+    ]
+
+
+def _run(store=None, resume=False, settlement="direct", batch_size=1,
+         sessions=3, dishonest=0.34):
+    sim = _sim(settlement, batch_size)
+    drivers = spawn_fleet(sim, sessions, app="betting",
+                          dishonest_fraction=dishonest)
+    engine = SessionEngine(sim, drivers, store=store, resume=resume)
+    metrics = engine.run()
+    return metrics, drivers, engine
+
+
+@pytest.mark.parametrize("settlement,batch_size",
+                         [("direct", 1), ("netted", 3)])
+def test_stored_run_is_bit_identical_to_in_memory(tmp_path, settlement,
+                                                  batch_size):
+    reference, ref_drivers, __ = _run(settlement=settlement,
+                                      batch_size=batch_size)
+    store = RunStore(tmp_path / "run")
+    try:
+        stored, drivers, ___ = _run(store=store, settlement=settlement,
+                                    batch_size=batch_size)
+    finally:
+        store.close()
+    assert _snapshot(drivers) == _snapshot(ref_drivers)
+    assert stored.blocks_mined == reference.blocks_mined
+    assert stored.transactions == reference.transactions
+    assert stored.total_gas == reference.total_gas
+
+
+def test_resume_of_a_completed_store_is_idempotent(tmp_path):
+    store = RunStore(tmp_path / "run")
+    first, first_drivers, __ = _run(store=store)
+    store.close()
+
+    resumed_store = RunStore(tmp_path / "run")
+    try:
+        second, second_drivers, ___ = _run(store=resumed_store,
+                                           resume=True)
+    finally:
+        resumed_store.close()
+    assert _snapshot(second_drivers) == _snapshot(first_drivers)
+    assert second.blocks_mined == first.blocks_mined
+    assert second.transactions == first.transactions
+    assert second.total_gas == first.total_gas
+
+
+def test_resume_requires_a_bootstrapped_store(tmp_path):
+    store = RunStore(tmp_path / "fresh")
+    try:
+        sim = _sim()
+        drivers = spawn_fleet(sim, 1, app="betting")
+        with pytest.raises(EngineError, match="never bootstrapped"):
+            SessionEngine(sim, drivers, store=store, resume=True)
+    finally:
+        store.close()
+
+
+def test_fresh_run_refuses_a_used_store(tmp_path):
+    store = RunStore(tmp_path / "run")
+    _run(store=store, sessions=1, dishonest=0.0)
+    store.close()
+
+    reopened = RunStore(tmp_path / "run")
+    try:
+        sim = _sim()
+        drivers = spawn_fleet(sim, 1, app="betting")
+        with pytest.raises(EngineError, match="already holds a run"):
+            SessionEngine(sim, drivers, store=reopened, resume=False)
+    finally:
+        reopened.close()
+
+
+def test_resume_with_different_flags_is_rejected(tmp_path):
+    store = RunStore(tmp_path / "run")
+    _run(store=store, sessions=2, dishonest=0.0)
+    store.close()
+
+    reopened = RunStore(tmp_path / "run")
+    try:
+        with pytest.raises(RecoveryError, match="configuration"):
+            _run(store=reopened, resume=True, sessions=3,
+                 dishonest=0.0)
+    finally:
+        reopened.close()
+
+
+def test_chain_snapshots_are_refused_under_a_store(tmp_path):
+    store = RunStore(tmp_path / "run")
+    try:
+        sim = _sim()
+        sim.chain.attach_store(store.chain)
+        with pytest.raises(ChainError, match="durable store"):
+            sim.snapshot()
+    finally:
+        store.close()
+
+
+def test_store_records_terminal_summaries_and_status(tmp_path):
+    store = RunStore(tmp_path / "run")
+    __, drivers, ___ = _run(store=store, sessions=2, dishonest=0.5)
+    try:
+        assert store.status.get() == b"complete"
+        for driver in drivers:
+            summary = store.load_summary(driver.session_id)
+            assert summary is not None
+            assert summary.status == b"done"
+            assert summary.stage_value == driver.protocol.stage.value
+            assert summary.truth == driver.truth
+            fingerprint = tuple(
+                (e.stage, e.label, e.gas, e.actor)
+                for e in summary.ledger)
+            assert fingerprint == driver.protocol.ledger.fingerprint()
+        assert store.load_summary(99) is None
+    finally:
+        store.close()

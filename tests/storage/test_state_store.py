@@ -1,0 +1,158 @@
+"""WorldState × ChainStore: fault-in, eviction, and the digest cache.
+
+The regression that matters most: the PR 1 state-root digest cache
+must stay correct when snapshot/revert (the EVM's transaction
+journal) interleaves with store persistence and WAL-replay restores —
+a stale digest would silently fork the recovered chain's state roots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.state import DEFAULT_HOT_ACCOUNTS, WorldState
+from repro.chain.store import ChainStore
+from repro.crypto.keys import Address
+from repro.storage.kv import KVStore
+
+
+def _addr(i: int) -> Address:
+    return Address.from_int(i + 1)
+
+
+@pytest.fixture
+def kv(tmp_path):
+    store = KVStore(tmp_path)
+    yield store
+    store.close()
+
+
+def _fault_all(state: WorldState, kv: KVStore) -> None:
+    """Fault every persisted account body back into residency.
+
+    ``iter_accounts`` walks *resident* accounts only — by design, since
+    no product code enumerates the world — so a helper that recomputes
+    the root from scratch must first page everything in.
+    """
+    for raw in ChainStore(kv).accounts.keys():
+        state.get_balance(Address(raw))
+
+
+def _fresh_root(state: WorldState) -> bytes:
+    """The state root recomputed with no digest cache at all."""
+    bare = WorldState()
+    for address, account in state.iter_accounts():
+        bare.set_balance(address, account.balance)
+        bare.set_nonce(address, account.nonce)
+        if account.code:
+            bare.set_code(address, account.code)
+        for slot, value in account.storage.items():
+            bare.set_storage(address, slot, value)
+    bare.clear_journal()
+    return bare.state_root()
+
+
+def test_restore_matches_persisted_state_root(kv):
+    state = WorldState()
+    state.attach_store(ChainStore(kv))
+    for i in range(10):
+        state.set_balance(_addr(i), 1_000 + i)
+        state.set_storage(_addr(i), 1, i)
+    state.clear_journal()
+    root = state.state_root()
+    state.persist_dirty()
+    kv.commit()
+
+    restored = WorldState()
+    restored.attach_store(ChainStore(kv))
+    restored.restore_from_store()
+    assert restored.state_root() == root
+    # Reads fault accounts in lazily without disturbing the root.
+    assert restored.get_balance(_addr(3)) == 1_003
+    assert restored.state_root() == root
+
+
+def test_snapshot_revert_interleaved_with_replay_keeps_digests(kv):
+    """snapshot/revert × WAL replay must not leave stale digests."""
+    state = WorldState()
+    state.attach_store(ChainStore(kv))
+    for i in range(4):
+        state.set_balance(_addr(i), 100)
+    state.clear_journal()
+    state.persist_all()
+    kv.commit()
+    state.state_root()  # warm the digest cache
+
+    # An EVM-style transaction: mutate, snapshot, mutate more, revert
+    # half-way, then commit the block boundary persistence.
+    snap = state.snapshot()
+    state.set_balance(_addr(0), 555)
+    state.set_storage(_addr(1), 7, 42)
+    inner = state.snapshot()
+    state.set_balance(_addr(2), 777)  # will be reverted away
+    state.revert_to(inner)
+    state.discard_snapshot(snap)
+    state.clear_journal()
+    root = state.state_root()
+    state.persist_dirty()
+    kv.commit()
+
+    # The reverted account kept its old value everywhere.
+    assert state.get_balance(_addr(2)) == 100
+    assert root == _fresh_root(state)
+
+    # Crash: reopen the directory, replay the WAL, restore.
+    kv.close()
+    reopened = KVStore(kv.directory)
+    try:
+        restored = WorldState()
+        restored.attach_store(ChainStore(reopened))
+        restored.restore_from_store()
+        assert restored.state_root() == root
+        assert restored.get_balance(_addr(0)) == 555
+        assert restored.get_storage(_addr(1), 7) == 42
+        assert restored.get_balance(_addr(2)) == 100
+        # Mutating after restore re-derives digests correctly.
+        restored.set_balance(_addr(2), 999)
+        restored.clear_journal()
+        _fault_all(restored, reopened)
+        assert restored.state_root() == _fresh_root(restored)
+    finally:
+        reopened.close()
+
+
+def test_revert_of_created_account_is_never_persisted(kv):
+    state = WorldState()
+    state.attach_store(ChainStore(kv))
+    state.set_balance(_addr(0), 1)
+    state.clear_journal()
+    snap = state.snapshot()
+    state.set_balance(_addr(9), 123)  # new account, then rolled back
+    state.revert_to(snap)
+    state.clear_journal()
+    state.persist_dirty()
+    kv.commit()
+    store = ChainStore(kv)
+    assert _addr(9).value not in store.accounts
+    assert state.state_root() == _fresh_root(state)
+
+
+def test_cold_accounts_evict_and_fault_back_in(kv):
+    state = WorldState()
+    state.attach_store(ChainStore(kv), hot_limit=8)
+    for i in range(32):
+        state.set_balance(_addr(i), 10 + i)
+    state.clear_journal()
+    root = state.state_root()
+    state.persist_dirty()  # evicts beyond the hot limit
+    kv.commit()
+    assert len(state._accounts) <= 8
+    # Roots stay exact across evictions (digests are kept), and cold
+    # reads transparently fault the account body back in.
+    assert state.state_root() == root
+    assert state.get_balance(_addr(0)) == 10
+    assert state.state_root() == root
+
+
+def test_hot_limit_defaults_are_sane():
+    assert DEFAULT_HOT_ACCOUNTS >= 64

@@ -1,0 +1,103 @@
+"""Write-ahead log: framing, commit boundaries, damage tolerance."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.storage.wal import MAGIC, StorageError, WriteAheadLog
+
+
+def _wal(tmp_path, **kwargs):
+    return WriteAheadLog(tmp_path / "wal.bin", **kwargs)
+
+
+def test_committed_transactions_roundtrip(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append(b"one")
+    wal.append(b"two")
+    wal.commit()
+    wal.append(b"three")
+    wal.commit()
+    wal.close()
+
+    reopened = _wal(tmp_path)
+    assert reopened.committed_transactions() == [[b"one", b"two"],
+                                                 [b"three"]]
+    reopened.close()
+
+
+def test_uncommitted_tail_is_discarded(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append(b"durable")
+    wal.commit()
+    wal.append(b"staged but never committed")
+    wal.flush()  # reaches the OS, but no commit marker follows
+    wal.close()
+
+    reopened = _wal(tmp_path)
+    assert reopened.committed_transactions() == [[b"durable"]]
+    reopened.close()
+
+
+def test_torn_tail_is_truncated_physically(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append(b"kept")
+    wal.commit()
+    wal.close()
+    path = tmp_path / "wal.bin"
+    good_size = path.stat().st_size
+    with open(path, "ab") as fh:
+        # Half a frame: a length prefix promising bytes that never
+        # made it to disk (the classic torn write).
+        fh.write(struct.pack("<II", 1000, 0) + b"\x01\x02")
+
+    reopened = _wal(tmp_path)
+    assert reopened.committed_transactions() == [[b"kept"]]
+    reopened.close()
+    assert path.stat().st_size == good_size
+
+
+def test_corrupt_crc_cuts_the_log_at_the_damage(tmp_path):
+    wal = _wal(tmp_path)
+    wal.append(b"first")
+    wal.commit()
+    wal.append(b"second")
+    wal.commit()
+    wal.close()
+    path = tmp_path / "wal.bin"
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF  # flip a payload byte of the last record
+    path.write_bytes(raw)
+
+    reopened = _wal(tmp_path)
+    # Everything from the damaged record on is dropped; the earlier
+    # committed transaction survives untouched.
+    assert reopened.committed_transactions() == [[b"first"]]
+    reopened.close()
+
+
+def test_not_a_wal_file_is_rejected(tmp_path):
+    path = tmp_path / "wal.bin"
+    path.write_bytes(b"definitely not " + MAGIC)
+    with pytest.raises(StorageError):
+        WriteAheadLog(path)
+
+
+def test_fsync_batching_coalesces_syncs(tmp_path):
+    def run(fsync_batch):
+        wal = WriteAheadLog(tmp_path / f"wal-{fsync_batch}.bin",
+                            fsync_batch=fsync_batch)
+        for i in range(6):
+            wal.append(bytes([i]))
+            wal.commit()
+        count = wal.fsyncs
+        wal.close()
+        return count
+
+    eager, batched = run(1), run(3)
+    # Identical workloads: batching must strictly coalesce syncs.
+    # (Both include the one open-time fsync, which cancels out.)
+    assert batched < eager
+    assert batched - 1 <= 2  # 6 commits at batch=3 → 2 commit fsyncs

@@ -503,6 +503,122 @@ def bench_netting(cfg, repeats, warmup):
     }
 
 
+def bench_storage(cfg, repeats, warmup):
+    """Persisted (WAL + snapshot) vs in-memory fleet throughput.
+
+    Runs the same dishonest betting fleet twice — once purely in
+    memory and once checkpointing every scheduler round into a
+    ``RunStore`` (``repro engine --store``) — and reports both
+    throughputs plus the durability overhead ratio (informational:
+    it is fsync-bound, so it tracks the host's disk, not the code).
+
+    One hard gate, exit status 2, enforced on every run including
+    smoke: a child engine SIGKILLed mid-run with a torn WAL tail and
+    finished by a second ``--resume`` child must produce gas ledgers,
+    final stages and engine counters **bit-identical** to an
+    uninterrupted reference run (``repro.adversary.crash``).
+    """
+    import tempfile
+
+    from repro.adversary.crash import run_kill_restart
+    from repro.chain import EthereumSimulator, SimulatorConfig
+    from repro.core import SessionEngine, spawn_fleet
+    from repro.core.recovery import RunStore
+
+    sessions = cfg["storage_sessions"]
+
+    def run(store=None):
+        config = SimulatorConfig(num_accounts=2, auto_mine=False)
+        sim = EthereumSimulator(config=config)
+        drivers = spawn_fleet(sim, sessions, app="betting",
+                              dishonest_fraction=0.25)
+        SessionEngine(sim, drivers, mining="batch", store=store).run()
+        return drivers
+
+    store_stats: dict = {}
+
+    def run_persisted():
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-store-") as tmp:
+            store = RunStore(Path(tmp) / "run")
+            try:
+                drivers = run(store)
+            finally:
+                store.close()
+            store_stats.clear()
+            store_stats.update(store.kv.stats())
+            return drivers
+
+    best_memory, memory_drivers = _best_of(
+        run, repeats=repeats, warmup=warmup)
+    best_persisted, persisted_drivers = _best_of(
+        run_persisted, repeats=repeats, warmup=warmup)
+
+    # Same fleet either way: persistence must be semantically free.
+    memory_prints = [d.protocol.ledger.fingerprint()
+                     for d in memory_drivers]
+    persisted_prints = [d.protocol.ledger.fingerprint()
+                        for d in persisted_drivers]
+    if memory_prints != persisted_prints:
+        print("FATAL: persisted fleet gas ledgers diverged from the "
+              "in-memory run")
+        raise SystemExit(2)
+
+    # Gate: SIGKILL + torn tail + --resume is bit-identical.
+    with tempfile.TemporaryDirectory(
+            prefix="repro-bench-crash-") as tmp:
+        report = run_kill_restart(
+            Path(tmp), sessions=3, dishonest=0.34,
+            kill_after_commits=3, kill_mode="torn")
+    if not report.identical:
+        print("FATAL: SIGKILLed run recovered by --resume is not "
+              "bit-identical to the uninterrupted reference:")
+        print(json.dumps({
+            "killed": report.killed,
+            "resume_returncode": report.resume_returncode,
+            "blocks_match": report.blocks_match,
+            "txs_match": report.txs_match,
+            "mismatches": report.mismatches,
+        }, indent=2))
+        raise SystemExit(2)
+
+    return {
+        "storage_memory_fleet": {
+            "value": sessions / best_memory,
+            "unit": "sessions/s",
+            "wall_s": best_memory,
+            "sessions": sessions,
+            "note": "reference fleet, no store attached",
+        },
+        "storage_persisted_fleet": {
+            "value": sessions / best_persisted,
+            "unit": "sessions/s",
+            "wall_s": best_persisted,
+            "sessions": sessions,
+            "wal_commits": store_stats.get("wal_commits"),
+            "wal_records": store_stats.get("wal_records"),
+            "wal_fsyncs": store_stats.get("wal_fsyncs"),
+            "note": "same fleet checkpointed to a RunStore every "
+                    "scheduler round (WAL + fsync per commit)",
+        },
+        "storage_overhead": {
+            "value": round(best_persisted / best_memory, 3),
+            "unit": "x",
+            "sessions": sessions,
+            "note": "persisted / in-memory wall time; fsync-bound, "
+                    "informational only",
+        },
+        "storage_crash_recovery": {
+            "value": int(report.identical),
+            "unit": "fraction",
+            "kill_after_commits": report.kill_after_commits,
+            "kill_mode": report.kill_mode,
+            "note": "1 = SIGKILL+torn-tail resume bit-identical to "
+                    "the uninterrupted run (gated, exit 2)",
+        },
+    }
+
+
 def bench_parallel_block(cfg, repeats, warmup):
     """Sequential vs parallel apply of a disjoint-session block stream.
 
@@ -726,6 +842,7 @@ FULL_CONFIG = {
     "parallel_workers": 4,
     "netting_sessions": 100,
     "netting_batch": 100,
+    "storage_sessions": 40,
 }
 
 SMOKE_CONFIG = {
@@ -738,13 +855,14 @@ SMOKE_CONFIG = {
     "parallel_workers": 4,
     "netting_sessions": 8,
     "netting_batch": 8,
+    "storage_sessions": 4,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the benchmark battery and gate regressions")
-    parser.add_argument("--label", default="pr6",
+    parser.add_argument("--label", default="pr7",
                         help="run label; default output is "
                              "BENCH_<label>.json at the repo root")
     parser.add_argument("--out", help="output JSON path")
@@ -776,7 +894,7 @@ def main(argv: list[str] | None = None) -> int:
     results: dict = {}
     for bench in (bench_keccak, bench_ecdsa, bench_evm, bench_table2,
                   bench_adversarial_dispute, bench_multi_session,
-                  bench_netting, bench_parallel_block):
+                  bench_netting, bench_parallel_block, bench_storage):
         produced = bench(cfg, repeats, warmup)
         for name, entry in produced.items():
             results[name] = entry

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation gate for CI (no third-party dependencies).
 
-Three checks, all fatal:
+Four checks, all fatal:
 
 1. **Markdown links** — every intra-repo link in every tracked ``*.md``
    file must resolve to an existing file (external ``http(s)``/
@@ -10,7 +10,13 @@ Three checks, all fatal:
    declared in ``repro.obs.names`` must appear verbatim in
    ``docs/observability.md`` (the names are API; the doc is the
    contract).
-3. **Docstrings** — the pydocstyle ``D1`` subset (D100–D104) over
+3. **CLI flag contract** — every ``--flag`` the ``repro`` argument
+   parser defines must be mentioned in at least one tracked markdown
+   file, and every ``--flag`` appearing on a ``repro`` command line in
+   the docs must exist in ``src/repro/cli.py``.  Drift here exits 2
+   (distinct from the generic failure exit 1) so CI can tell a stale
+   doc from a broken one.
+4. **Docstrings** — the pydocstyle ``D1`` subset (D100–D104) over
    ``src/repro``: every public module, package, class, function and
    method needs a docstring.  Magic methods (D105) and ``__init__``
    (D107) are exempt, mirroring the ruff configuration in
@@ -93,6 +99,88 @@ def check_telemetry_contract() -> list[str]:
     ]
 
 
+_FLAG = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+_INLINE_CODE = re.compile(r"`([^`\n]+)`")
+_REPRO_COMMAND = re.compile(r"\brepro\s")
+
+
+def _parser_flags() -> set[str]:
+    """Every ``--flag`` string handed to ``add_argument`` in cli.py."""
+    tree = ast.parse((SRC / "repro" / "cli.py").read_text(
+        encoding="utf-8"))
+    flags = {"--help"}  # argparse defines it implicitly
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"):
+            for arg in node.args:
+                if (isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        and arg.value.startswith("--")):
+                    flags.add(arg.value)
+    return flags
+
+
+def _repro_segments(text: str):
+    """Yield code segments that invoke ``repro`` (fences + inline).
+
+    Prose is excluded so a ``--flag`` belonging to another tool on the
+    same line as the word "repro" is not misattributed; only fenced
+    command lines and inline code spans count as repro invocations.
+    """
+    fenced = False
+    for line in text.replace("\\\n", " ").splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if fenced:
+            if _REPRO_COMMAND.search(line):
+                yield line
+        else:
+            for span in _INLINE_CODE.findall(line):
+                if _REPRO_COMMAND.search(span):
+                    yield span
+
+
+def _documented_flag_usage() -> tuple[set[str], dict[str, list[str]]]:
+    """Flags mentioned anywhere, and flags used in repro commands.
+
+    Returns ``(mentioned, used)`` where ``mentioned`` is every
+    ``--flag`` token in any tracked markdown file (prose or code) and
+    ``used`` maps each flag appearing inside a code segment that
+    invokes ``repro`` to the docs using it.
+    """
+    mentioned: set[str] = set()
+    used: dict[str, list[str]] = {}
+    for md in _markdown_files():
+        text = md.read_text(encoding="utf-8")
+        mentioned.update(_FLAG.findall(text))
+        where = str(md.relative_to(REPO))
+        for segment in _repro_segments(text):
+            for flag in _FLAG.findall(segment):
+                spots = used.setdefault(flag, [])
+                if where not in spots:
+                    spots.append(where)
+    return mentioned, used
+
+
+def check_cli_flags() -> list[str]:
+    """cli.py flags and documented repro flags must agree both ways."""
+    parser_flags = _parser_flags()
+    mentioned, used = _documented_flag_usage()
+    errors = []
+    for flag in sorted(parser_flags - mentioned):
+        errors.append(
+            f"src/repro/cli.py: flag {flag} is undocumented "
+            f"(not mentioned in any tracked *.md file)")
+    for flag in sorted(set(used) - parser_flags):
+        for where in used[flag]:
+            errors.append(
+                f"{where}: repro command uses unknown flag {flag} "
+                f"(not defined in src/repro/cli.py)")
+    return errors
+
+
 def _is_public(name: str) -> bool:
     return not name.startswith("_")
 
@@ -140,23 +228,29 @@ def check_docstrings() -> list[str]:
 
 
 def main() -> int:
-    """Run all three checks; non-zero exit when anything fails."""
+    """Run all four checks; non-zero exit when anything fails.
+
+    CLI-flag drift exits 2; any other failure exits 1.
+    """
     failures = []
+    cli_drift = False
     for title, check in [
         ("markdown links", check_markdown_links),
         ("telemetry contract", check_telemetry_contract),
+        ("cli flag contract", check_cli_flags),
         ("docstrings (D1)", check_docstrings),
     ]:
-        errors = check(
-        )
+        errors = check()
         status = "ok" if not errors else f"{len(errors)} problem(s)"
         print(f"check {title:<24}: {status}")
+        if errors and check is check_cli_flags:
+            cli_drift = True
         failures.extend(errors)
     if failures:
         print()
         for error in failures:
             print(f"  {error}")
-        return 1
+        return 2 if cli_drift else 1
     return 0
 
 
