@@ -7,8 +7,10 @@ with the fixed-base comb).  A fleet submitting hundreds of
 transactions per round serialises all of that on one core.
 
 :class:`BatchSenderRecovery` fans the recoveries out over a
-``ProcessPoolExecutor`` and seeds each transaction's ``sender`` cache
-with the worker's answer (see :meth:`Transaction.seed_sender`), so the
+:class:`~repro.chain.workers.PersistentWorkerPool` — forked once, kept
+warm across batches so the per-batch cost is message passing, not
+``fork()`` — and seeds each transaction's ``sender`` cache with the
+worker's answer (see :meth:`Transaction.seed_sender`), so the
 subsequent ``Mempool.add`` finds the address precomputed.  The
 semantics are bit-for-bit those of sequential admission: the worker
 runs the same EIP-2 low-s check and the same recovery code, and any
@@ -21,13 +23,12 @@ inline — the sequential fallback required by the batch-verifier seam.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Optional
 
 from repro import obs
 from repro.chain.transaction import Transaction, TransactionError
+from repro.chain.workers import PersistentWorkerPool
 
 
 def _recover_sender(tx: Transaction) -> tuple[bool, object]:
@@ -60,17 +61,15 @@ class BatchSenderRecovery:
         if use_processes is None:
             use_processes = self.workers > 1 and hasattr(os, "fork")
         self.use_processes = bool(use_processes)
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool: Optional[PersistentWorkerPool] = None
 
-    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+    def _ensure_pool(self) -> Optional[PersistentWorkerPool]:
         if not self.use_processes:
             return None
         if self._pool is None:
             try:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=multiprocessing.get_context("fork"),
-                )
+                self._pool = PersistentWorkerPool(
+                    self.workers, _recover_sender)
             except Exception:
                 self.use_processes = False
                 return None
@@ -90,7 +89,7 @@ class BatchSenderRecovery:
         verdicts: dict[int, tuple[bool, object]] = {}
         if pool is not None:
             try:
-                results = list(pool.map(_recover_sender, pending))
+                results = pool.run_tasks(pending)
             except Exception:
                 # A broken pool (killed worker, pickling trouble)
                 # must not lose the batch: recover inline instead.
@@ -125,5 +124,5 @@ class BatchSenderRecovery:
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.close()
             self._pool = None

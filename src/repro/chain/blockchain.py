@@ -40,7 +40,8 @@ class Blockchain:
                  block_gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT,
                  block_interval: int = DEFAULT_BLOCK_INTERVAL,
                  workers: int = 1,
-                 parallel_processes: Optional[bool] = None) -> None:
+                 parallel_processes: Optional[bool] = None,
+                 evm_jit: Optional[bool] = None) -> None:
         self.state = WorldState()
         self.mempool = Mempool()
         self.coinbase = coinbase or Address.from_int(0xC0FFEE)
@@ -51,6 +52,9 @@ class Blockchain:
         #: in-process lane fallback (tests) or process pools.
         self.workers = max(1, int(workers))
         self._parallel_processes = parallel_processes
+        #: Tri-state EVM JIT override threaded into every execution
+        #: (None = the module-level default, see ``repro.evm.jit``).
+        self.evm_jit = evm_jit
         self._executor: Optional[ParallelBlockExecutor] = None
         self._admission: Optional[BatchSenderRecovery] = None
         #: Aggregate speculation counters over every parallel block.
@@ -109,6 +113,10 @@ class Blockchain:
         # Every store commit happens with an empty pool (each round
         # mines everything it queued), so recovery starts empty.
         self.mempool.clear()
+        # The store rewrites world state wholesale, bypassing the
+        # journaled setters the worker replicas sync through — any
+        # live pool would silently diverge, so drop it first.
+        self.close_workers()
         self.state.restore_from_store()
 
     # -- time ---------------------------------------------------------------
@@ -181,7 +189,8 @@ class Blockchain:
         executed: list[tuple] = []
         for tx in transactions:
             try:
-                outcome = apply_transaction(self.state, context, tx)
+                outcome = apply_transaction(self.state, context, tx,
+                                            jit=self.evm_jit)
             except InvalidTransaction as exc:
                 executed.append((tx, None, str(exc)))
                 continue
@@ -195,12 +204,14 @@ class Blockchain:
             self._executor = ParallelBlockExecutor(
                 workers=self.workers,
                 use_processes=self._parallel_processes,
+                evm_jit=self.evm_jit,
             )
         with obs.span(obs.names.SPAN_CHAIN_PARALLEL_APPLY,
                       workers=self._executor.workers,
                       txs=len(transactions)) as apply_span:
             result = self._executor.apply_block(
-                self.state, context, transactions)
+                self.state, context, transactions,
+                block_hashes=[block.hash for block in self.blocks])
             stats = result.stats
             apply_span.set_label(
                 conflicts=stats.conflicts,
@@ -301,6 +312,24 @@ class Blockchain:
             self._store.time_offset.set(self._time_offset)
             self.state.persist_dirty()
         return block
+
+    # -- worker lifecycle --------------------------------------------------------
+
+    def close_workers(self) -> None:
+        """Shut down the persistent execution/admission worker pools.
+
+        Idempotent and safe on a ``workers=1`` chain.  Pools are
+        re-created lazily on the next parallel block (or batch
+        admission), so this is a checkpoint, not a mode change —
+        benches and tests call it to release the forked children
+        deterministically instead of leaning on daemon-process
+        cleanup at interpreter exit.
+        """
+        if self._executor is not None:
+            self._executor.close()
+        if self._admission is not None:
+            self._admission.close()
+            self._admission = None
 
     # -- queries ----------------------------------------------------------------
 

@@ -22,20 +22,26 @@ Commit order equals block order, so receipts, per-session gas ledgers
 and state roots are bit-identical to the sequential executor — the
 invariant ``tools/bench_runner.py`` gates on.
 
-Speculation runs in forked worker processes when the platform allows
-(each child inherits the pre-block state copy-on-write; only the small
-:class:`LaneResult` records cross back), and falls back to in-process
-lanes — same semantics, no concurrency — when processes are
-unavailable.  Telemetry stays exact in both modes: lanes carry their
-own :class:`~repro.obs.gasprof.TxGasCollector` and the committer
-settles it only for the execution that actually went into the block.
+Speculation runs on a **persistent** forked worker pool when the
+platform allows (see :mod:`repro.chain.workers`): the workers fork
+once, inheriting the pre-block state copy-on-write as their replica,
+and every subsequent block broadcasts an incremental
+:class:`~repro.chain.state.StateDiff` (dirty accounts/slots plus new
+block hashes) before its lanes are dispatched — the fork-per-block
+cost that made PR 5's executor lose to sequential is gone.  Only the
+small :class:`LaneResult` records cross back.  When processes are
+unavailable the executor falls back to in-process lanes — same
+semantics, no concurrency.  Telemetry stays exact in both modes: lanes
+carry their own :class:`~repro.obs.gasprof.TxGasCollector` and the
+committer settles it only for the execution that actually went into
+the block (the per-block broadcast carries the parent's telemetry
+flag, so a pool forked before ``telemetry()`` was activated still
+collects).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -43,6 +49,7 @@ from repro import obs
 from repro.chain.processor import InvalidTransaction, run_transaction
 from repro.chain.state import Overlay, RecordingView, WorldState
 from repro.chain.transaction import Transaction
+from repro.chain.workers import PersistentWorkerPool
 from repro.evm.vm import BlockContext
 
 
@@ -109,17 +116,25 @@ class BlockApplyResult:
 
 
 def _execute_lane(base: WorldState, context: BlockContext,
-                  tx: Transaction, index: int) -> LaneResult:
-    """Run one transaction speculatively against a recording view."""
+                  tx: Transaction, index: int,
+                  collect: Optional[bool] = None,
+                  jit: Optional[bool] = None) -> LaneResult:
+    """Run one transaction speculatively against a recording view.
+
+    ``collect`` forces the telemetry decision (persistent workers get
+    the parent's flag over the broadcast channel — their own global
+    telemetry state is frozen at fork time and may be stale);
+    in-process lanes default to the live ``obs.enabled()``.
+    """
     view = RecordingView(base, coinbase=context.coinbase)
     collector = None
-    if obs.enabled():
+    if obs.enabled() if collect is None else collect:
         from repro.obs.gasprof import TxGasCollector
 
         collector = TxGasCollector()
     try:
         outcome, profile = run_transaction(view, context, tx,
-                                           collector=collector)
+                                           collector=collector, jit=jit)
     except InvalidTransaction as exc:
         # Possibly a phantom: the lane validated against the pre-block
         # state, but an earlier transaction may fix the nonce/balance.
@@ -142,18 +157,46 @@ def _execute_lane(base: WorldState, context: BlockContext,
     )
 
 
-# Fork-inherited lane environment.  The parent sets these immediately
-# before creating the per-block worker pool; children receive them via
-# the fork's copy-on-write address space, so neither the world state
-# nor the block context is ever pickled.
-_LANE_STATE: Optional[WorldState] = None
-_LANE_CONTEXT: Optional[BlockContext] = None
+# Fork-inherited replica environment.  The parent sets ``_W_STATE``
+# immediately before forking the persistent pool (with diff tracking
+# armed on that exact state), so every worker inherits — copy-on-write,
+# nothing pickled — a replica that is bit-identical to the parent's
+# state at fork time.  Per-block ``_pool_broadcast`` messages then keep
+# the replica current.
+_W_STATE: Optional[WorldState] = None
+_W_HASHES: list = []
+_W_CONTEXT: Optional[BlockContext] = None
+_W_COLLECT = False
+_W_JIT: Optional[bool] = None
 
 
-def _lane_task(args: tuple) -> LaneResult:
-    """Worker-side entry point: execute one lane from fork globals."""
-    index, tx = args
-    return _execute_lane(_LANE_STATE, _LANE_CONTEXT, tx, index)
+def _w_block_hash(number: int) -> bytes:
+    """Worker-side BLOCKHASH source, mirroring
+    ``Blockchain._block_hash`` over the broadcast hash list (the
+    chain's own ``block_hash_fn`` is a bound closure that cannot cross
+    the fork boundary for post-fork blocks)."""
+    if 0 <= number < len(_W_HASHES):
+        return _W_HASHES[number]
+    return b"\x00" * 32
+
+
+def _pool_broadcast(payload: tuple) -> None:
+    """Apply one block's prologue to this worker's replica."""
+    global _W_CONTEXT, _W_COLLECT, _W_JIT
+    diff, fields, new_hashes, collect, jit = payload
+    if diff is not None:
+        diff.apply_to(_W_STATE)
+    _W_HASHES.extend(new_hashes)
+    _W_CONTEXT = BlockContext(block_hash_fn=_w_block_hash, **fields)
+    _W_COLLECT = collect
+    _W_JIT = jit
+
+
+def _pool_lane(payload: tuple) -> LaneResult:
+    """Worker-side task entry point: execute one lane on the replica."""
+    index, tx = payload
+    return _execute_lane(_W_STATE, _W_CONTEXT, tx, index,
+                         collect=_W_COLLECT, jit=_W_JIT)
 
 
 class ParallelBlockExecutor:
@@ -162,63 +205,116 @@ class ParallelBlockExecutor:
     processes are unavailable."""
 
     def __init__(self, workers: int = 1,
-                 use_processes: Optional[bool] = None) -> None:
+                 use_processes: Optional[bool] = None,
+                 evm_jit: Optional[bool] = None) -> None:
         self.workers = max(1, int(workers))
         if use_processes is None:
             use_processes = self.workers > 1 and hasattr(os, "fork")
         self.use_processes = bool(use_processes)
+        #: Tri-state EVM JIT override threaded into every lane and
+        #: re-execution (None = the module-level default).
+        self.evm_jit = evm_jit
+        self._pool: Optional[PersistentWorkerPool] = None
+        self._tracked_state: Optional[WorldState] = None
+        self._hashes_shipped = 0
 
     # -- speculation -----------------------------------------------------
 
     def _speculate(self, state: WorldState, context: BlockContext,
-                   transactions: list[Transaction]) -> list[LaneResult]:
+                   transactions: list[Transaction],
+                   block_hashes: Optional[list] = None
+                   ) -> list[LaneResult]:
         """Execute every transaction against the frozen pre-block
-        state, in worker processes when possible."""
+        state, on the persistent worker pool when possible."""
         if self.use_processes:
             try:
                 return self._speculate_processes(state, context,
-                                                 transactions)
+                                                 transactions,
+                                                 block_hashes)
             except Exception:
-                # Pool creation or IPC failed (sandboxes, pickling,
-                # resource limits): degrade to in-process lanes for
-                # this and every later block.
+                # Pool creation, IPC or a worker failed (sandboxes,
+                # pickling, resource limits, poisoned replica): drop
+                # the pool and degrade to in-process lanes for this
+                # and every later block.
+                self.close()
                 self.use_processes = False
         return [
-            _execute_lane(state, context, tx, index)
+            _execute_lane(state, context, tx, index, jit=self.evm_jit)
             for index, tx in enumerate(transactions)
         ]
 
     def _speculate_processes(self, state: WorldState,
                              context: BlockContext,
-                             transactions: list[Transaction]
+                             transactions: list[Transaction],
+                             block_hashes: Optional[list]
                              ) -> list[LaneResult]:
-        """Fan lanes out over a per-block forked worker pool."""
-        global _LANE_STATE, _LANE_CONTEXT
-        mp_context = multiprocessing.get_context("fork")
-        _LANE_STATE, _LANE_CONTEXT = state, context
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(transactions)),
-                mp_context=mp_context,
-            ) as pool:
-                return list(pool.map(
-                    _lane_task,
-                    [(i, tx) for i, tx in enumerate(transactions)],
-                ))
-        finally:
-            _LANE_STATE = _LANE_CONTEXT = None
+        """Fan lanes out over the persistent forked worker pool."""
+        global _W_STATE, _W_HASHES
+        if self._pool is None or state is not self._tracked_state:
+            self.close()
+            # Arm diff tracking *before* forking: every parent-side
+            # mutation from here on is captured, so the forked replica
+            # plus the drained diffs always equals the parent's
+            # pre-block state.
+            state.begin_diff_tracking()
+            self._tracked_state = state
+            self._hashes_shipped = 0
+            _W_STATE, _W_HASHES = state, []
+            try:
+                self._pool = PersistentWorkerPool(
+                    self.workers, _pool_lane, _pool_broadcast)
+            finally:
+                # The children hold their copy-on-write references;
+                # the parent's globals are only a fork vehicle.
+                _W_STATE, _W_HASHES = None, []
+        diff = state.drain_state_diff()
+        new_hashes = ([] if block_hashes is None
+                      else list(block_hashes[self._hashes_shipped:]))
+        fields = {
+            "coinbase": context.coinbase,
+            "timestamp": context.timestamp,
+            "number": context.number,
+            "difficulty": context.difficulty,
+            "gas_limit": context.gas_limit,
+        }
+        self._pool.broadcast(
+            (diff, fields, new_hashes, obs.enabled(), self.evm_jit))
+        self._hashes_shipped += len(new_hashes)
+        return self._pool.run_tasks(
+            [(index, tx) for index, tx in enumerate(transactions)])
+
+    def close(self) -> None:
+        """Release the persistent pool and stop diff tracking on the
+        state it replicated.  Idempotent; the executor lazily creates
+        a fresh pool on the next parallel block."""
+        if self._pool is not None:
+            try:
+                self._pool.close()
+            except Exception:
+                pass
+            self._pool = None
+        if self._tracked_state is not None:
+            self._tracked_state.end_diff_tracking()
+            self._tracked_state = None
+        self._hashes_shipped = 0
 
     # -- ordered commit --------------------------------------------------
 
     def apply_block(self, state: WorldState, context: BlockContext,
-                    transactions: list[Transaction]) -> BlockApplyResult:
+                    transactions: list[Transaction],
+                    block_hashes: Optional[list] = None
+                    ) -> BlockApplyResult:
         """Speculate over ``transactions`` and commit in block order.
 
         Mutates ``state`` exactly as the sequential executor would;
         the returned results list is ordered and complete (dropped
         transactions carry their reason instead of an outcome).
+        ``block_hashes`` is the chain's current block-hash list — the
+        process path ships its unseen tail to the worker replicas so
+        BLOCKHASH resolves identically there.
         """
-        lanes = self._speculate(state, context, transactions)
+        lanes = self._speculate(state, context, transactions,
+                                block_hashes)
         stats = BlockApplyStats(lanes=len(lanes), blocks=1)
         result = BlockApplyResult(stats=stats)
         committed_writes: set[tuple] = set()
@@ -249,7 +345,8 @@ class ParallelBlockExecutor:
             collector = obs.begin_transaction()
             try:
                 outcome, profile = run_transaction(view, context, tx,
-                                                   collector=collector)
+                                                   collector=collector,
+                                                   jit=self.evm_jit)
             except InvalidTransaction as exc:
                 result.results.append((tx, None, str(exc)))
                 continue

@@ -80,7 +80,8 @@ def validate_transaction(state: WorldState, tx: Transaction) -> None:
 
 
 def run_transaction(state, block: BlockContext, tx: Transaction,
-                    collector=None) -> tuple[TransactionOutcome, dict]:
+                    collector=None, jit: Optional[bool] = None
+                    ) -> tuple[TransactionOutcome, dict]:
     """The pure state-transition function over any state backend.
 
     ``state`` is anything implementing the :class:`WorldState` surface
@@ -120,7 +121,7 @@ def run_transaction(state, block: BlockContext, tx: Transaction,
         origin=sender,
         gas_price=tx.gas_price,
     )
-    evm = EVM(state, block, tracer=collector)
+    evm = EVM(state, block, tracer=collector, jit=jit)
     result: ExecutionResult = evm.execute(message)
 
     gas_used = intrinsic + result.gas_used
@@ -157,13 +158,14 @@ def run_transaction(state, block: BlockContext, tx: Transaction,
 
 
 def apply_transaction(state: WorldState, block: BlockContext,
-                      tx: Transaction) -> TransactionOutcome:
+                      tx: Transaction,
+                      jit: Optional[bool] = None) -> TransactionOutcome:
     """Execute ``tx`` against ``state``, committing all side effects."""
     # When telemetry is active, the EVM reports every outer-frame step
     # into a per-transaction opcode-gas collector (see repro.obs).
     collector = obs.begin_transaction()
     outcome, profile = run_transaction(state, block, tx,
-                                       collector=collector)
+                                       collector=collector, jit=jit)
     if collector is not None:
         obs.end_transaction(collector, **profile)
     state.clear_journal()

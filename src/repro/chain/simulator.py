@@ -93,6 +93,10 @@ class SimulatorConfig:
     #: Force (True) or forbid (False) process-pool speculation; None
     #: picks processes whenever ``os.fork`` exists and ``workers > 1``.
     parallel_processes: Optional[bool] = None
+    #: Force (True) or forbid (False) the EVM bytecode-to-Python JIT
+    #: for this simulator's executions; None keeps the module default
+    #: (enabled, honouring ``REPRO_EVM_JIT``).  See ``repro.evm.jit``.
+    evm_jit: Optional[bool] = None
     #: How engine-driven sessions settle: ``"direct"`` (one on-chain
     #: submit/finalize pair per session) or ``"netted"`` (one
     #: ``commitBatch`` transaction per batch of sessions).
@@ -192,6 +196,7 @@ class EthereumSimulator:
             block_interval=config.block_interval,
             workers=config.workers,
             parallel_processes=config.parallel_processes,
+            evm_jit=config.evm_jit,
         )
         self.auto_mine = config.auto_mine
         self.accounts: list[SimAccount] = []
@@ -425,7 +430,8 @@ class EthereumSimulator:
             sender=caller, to=to, value=value, data=data,
             gas=gas_limit, origin=caller,
         )
-        evm = EVM(state_copy, self.chain.block_context())
+        evm = EVM(state_copy, self.chain.block_context(),
+                  jit=self.chain.evm_jit)
         with obs.span(obs.names.SPAN_CHAIN_CALL):
             result = evm.execute(message)
         if not result.success:
@@ -480,7 +486,8 @@ class EthereumSimulator:
             gas=self.chain.block_gas_limit - intrinsic,
             origin=sender.address,
         )
-        evm = EVM(state_copy, self.chain.block_context())
+        evm = EVM(state_copy, self.chain.block_context(),
+                  jit=self.chain.evm_jit)
         result = evm.execute(message)
         if not result.success:
             raise CallFailed(f"estimate reverted: {result.error or 'no reason'}")

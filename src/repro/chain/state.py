@@ -63,6 +63,15 @@ class WorldState:
         self._dirty: set[bytes] = set()
         self._hot: dict[bytes, None] = {}
         self._hot_limit = DEFAULT_HOT_ACCOUNTS
+        # Diff tracking (inert until begin_diff_tracking): key-grained
+        # record of every account/slot mutated since the last drain,
+        # used to ship incremental replica updates to persistent
+        # worker pools.  Reverted mutations stay marked — the drain
+        # reads *current* values, so a superset of keys is only
+        # redundant, never wrong.
+        self._diff_tracking = False
+        self._diff_accounts: set[bytes] = set()
+        self._diff_slots: set[tuple[bytes, int]] = set()
 
     # -- durable store ---------------------------------------------------
 
@@ -113,6 +122,8 @@ class WorldState:
             account = Account()
             self._accounts[address.value] = account
             self._journal.append((_CREATE, address.value))
+            if self._diff_tracking:
+                self._diff_accounts.add(address.value)
             if self._store is not None:
                 self._note_dirty(address.value)
                 self._touch(address.value)
@@ -140,6 +151,8 @@ class WorldState:
         self._journal.append((_BALANCE, address.value, account.balance))
         self._digests.pop(address.value, None)
         self._note_dirty(address.value)
+        if self._diff_tracking:
+            self._diff_accounts.add(address.value)
         account.balance = value
 
     def add_balance(self, address: Address, delta: int) -> None:
@@ -157,6 +170,8 @@ class WorldState:
         self._journal.append((_NONCE, address.value, account.nonce))
         self._digests.pop(address.value, None)
         self._note_dirty(address.value)
+        if self._diff_tracking:
+            self._diff_accounts.add(address.value)
         account.nonce += 1
 
     def set_nonce(self, address: Address, value: int) -> None:
@@ -168,6 +183,8 @@ class WorldState:
         self._journal.append((_NONCE, address.value, account.nonce))
         self._digests.pop(address.value, None)
         self._note_dirty(address.value)
+        if self._diff_tracking:
+            self._diff_accounts.add(address.value)
         account.nonce = value
 
     def get_code(self, address: Address) -> bytes:
@@ -182,6 +199,8 @@ class WorldState:
         self._digests.pop(address.value, None)
         self._code_hashes.pop(address.value, None)
         self._note_dirty(address.value)
+        if self._diff_tracking:
+            self._diff_accounts.add(address.value)
         account.code = code
 
     def get_storage(self, address: Address, key: int) -> int:
@@ -198,6 +217,8 @@ class WorldState:
         self._journal.append((_STORAGE, address.value, key, old))
         self._digests.pop(address.value, None)
         self._note_dirty(address.value)
+        if self._diff_tracking:
+            self._diff_slots.add((address.value, key))
         if value == 0:
             account.storage.pop(key, None)
         else:
@@ -241,6 +262,50 @@ class WorldState:
     def clear_journal(self) -> None:
         """Drop undo history — call once per committed transaction."""
         self._journal.clear()
+
+    # -- replica diff shipping -------------------------------------------
+
+    def begin_diff_tracking(self) -> None:
+        """Start recording mutated account/slot keys for replica sync.
+
+        The persistent parallel pool calls this immediately before
+        forking its workers: the children's replicas equal this state
+        at that instant, and every later mutation is captured here so
+        :meth:`drain_state_diff` can ship exactly what changed.
+        """
+        self._diff_tracking = True
+        self._diff_accounts.clear()
+        self._diff_slots.clear()
+
+    def end_diff_tracking(self) -> None:
+        """Stop recording and drop any pending keys."""
+        self._diff_tracking = False
+        self._diff_accounts.clear()
+        self._diff_slots.clear()
+
+    def drain_state_diff(self) -> Optional["StateDiff"]:
+        """Current values of everything mutated since the last drain.
+
+        Values are read *now* (not at mutation time), so interleaved
+        snapshot/revert cycles collapse to their net effect, and an
+        account whose creation was reverted ships as a deletion
+        record.  Returns None when nothing changed.
+        """
+        if not (self._diff_accounts or self._diff_slots):
+            return None
+        accounts: dict[bytes, Optional[tuple]] = {}
+        for raw in self._diff_accounts:
+            account = self._get(Address(raw))
+            accounts[raw] = (
+                None if account is None
+                else (account.balance, account.nonce, account.code)
+            )
+        slots: dict[tuple[bytes, int], int] = {}
+        for raw, key in self._diff_slots:
+            slots[(raw, key)] = self.get_storage(Address(raw), key)
+        self._diff_accounts.clear()
+        self._diff_slots.clear()
+        return StateDiff(accounts=accounts, slots=slots)
 
     # -- inspection ----------------------------------------------------------
 
@@ -392,6 +457,66 @@ class WorldState:
         clone._store = self._store
         clone._hot_limit = self._hot_limit
         return clone
+
+
+class StateDiff:
+    """Incremental replica update: absolute values, not deltas.
+
+    ``accounts`` maps raw addresses to ``(balance, nonce, code)``
+    tuples — or None for accounts that no longer exist (a creation
+    that was reverted after the replica last synced).  ``slots`` maps
+    ``(raw_address, key)`` to the slot's current value (0 = absent).
+    Applying the same diff twice is idempotent by construction.
+    """
+
+    __slots__ = ("accounts", "slots")
+
+    def __init__(self, accounts: dict, slots: dict) -> None:
+        self.accounts = accounts
+        self.slots = slots
+
+    def __getstate__(self) -> tuple:
+        return (self.accounts, self.slots)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.accounts, self.slots = state
+
+    def apply_to(self, state: WorldState) -> None:
+        """Bring a replica up to the drained state (worker side).
+
+        Mutates account records directly — the replica never reverts
+        across a sync point, so no journal entries are needed — and
+        keeps the digest caches coherent for good measure.
+        """
+        for raw, fields in self.accounts.items():
+            if fields is None:
+                state._accounts.pop(raw, None)
+                state._digests.pop(raw, None)
+                state._code_hashes.pop(raw, None)
+                continue
+            account = state._accounts.get(raw)
+            if account is None:
+                account = Account()
+                state._accounts[raw] = account
+            balance, nonce, code = fields
+            if account.code != code:
+                state._code_hashes.pop(raw, None)
+            account.balance = balance
+            account.nonce = nonce
+            account.code = code
+            state._digests.pop(raw, None)
+        for (raw, key), value in self.slots.items():
+            account = state._accounts.get(raw)
+            if account is None:
+                if value == 0:
+                    continue  # deleted account's stale slot key
+                account = Account()
+                state._accounts[raw] = account
+            if value == 0:
+                account.storage.pop(key, None)
+            else:
+                account.storage[key] = value
+            state._digests.pop(raw, None)
 
 
 class RecordingView:

@@ -8,11 +8,12 @@ Usage (also via ``python -m repro``):
                    --result FN --settle FN [--out DIR] \\
                    [--challenge-period SECONDS] [--security-deposit WEI]
     repro demo     {betting,tender,escrow} [--dispute]
-    repro trace    {betting,tender,escrow} [--dispute] \\
+    repro trace    {betting,tender,escrow} [--dispute] [--no-jit] \\
                    [--emit-telemetry PATH]
     repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
-                   [--dishonest FRACTION] [--workers N] [--compare] \\
-                   [--store PATH] [--resume] [--emit-telemetry PATH]
+                   [--dishonest FRACTION] [--workers N] [--no-jit] \\
+                   [--compare] [--store PATH] [--resume] \\
+                   [--emit-telemetry PATH]
     repro adversary {strategy,all} [--app NAME|all] [--deposits]
 
 ``split`` is the Split/Generate stage as a tool: it writes the
@@ -137,7 +138,8 @@ def cmd_split(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_scenario(app: str, dispute: bool):
+def _run_scenario(app: str, dispute: bool,
+                  evm_jit: bool | None = None):
     """Drive one end-to-end scenario; returns (protocol, challenge).
 
     This is the shared body behind ``repro demo`` and ``repro trace``:
@@ -145,10 +147,10 @@ def _run_scenario(app: str, dispute: bool):
     Deploy/Sign → Submit/Challenge and either finalize or (when the
     representative lies) escalate through Dispute/Resolve.
     """
-    from repro.chain import EthereumSimulator
+    from repro.chain import EthereumSimulator, SimulatorConfig
     from repro.core import Participant, Strategy
 
-    sim = EthereumSimulator()
+    sim = EthereumSimulator(config=SimulatorConfig(evm_jit=evm_jit))
     first = Participant(
         account=sim.accounts[0], name="p0",
         strategy=(Strategy.LIES_ABOUT_RESULT if dispute
@@ -228,7 +230,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     with obs.telemetry(*exporters) as telemetry:
         with obs.span(obs.names.SPAN_SCENARIO, scenario=args.app,
                       dispute=args.dispute):
-            protocol, challenge = _run_scenario(args.app, args.dispute)
+            protocol, challenge = _run_scenario(
+                args.app, args.dispute,
+                evm_jit=False if args.no_jit else None)
 
         print(f"trace: {args.app} "
               f"({'disputed' if challenge.disputed else 'honest'} path)")
@@ -259,14 +263,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def _run_fleet(sessions: int, app: str, mining: str,
                dishonest: float, workers: int = 1,
                settlement: str = "direct", batch_size: int = 1,
-               store: str | None = None, resume: bool = False):
+               store: str | None = None, resume: bool = False,
+               evm_jit: bool | None = None):
     from repro.chain import EthereumSimulator, SimulatorConfig
     from repro.core import SessionEngine, spawn_fleet
 
     sim = EthereumSimulator(
         config=SimulatorConfig(num_accounts=2, auto_mine=False,
                                workers=workers, settlement=settlement,
-                               batch_size=batch_size))
+                               batch_size=batch_size, evm_jit=evm_jit))
     drivers = spawn_fleet(sim, sessions, app=app,
                           dishonest_fraction=dishonest)
     run_store = None
@@ -338,7 +343,8 @@ def cmd_engine(args: argparse.Namespace) -> int:
                 args.sessions, args.app, mode, args.dishonest,
                 workers=args.workers, settlement=args.settlement,
                 batch_size=args.batch_size, store=args.store,
-                resume=args.resume)
+                resume=args.resume,
+                evm_jit=False if args.no_jit else None)
             unsettled = [d.session_id for d in drivers if not d.settled]
             if unsettled:
                 raise SystemExit(
@@ -509,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--top-slow", action="store_true",
                          help="also report wall time per opcode and "
                               "per opcode category")
+    p_trace.add_argument("--no-jit", action="store_true",
+                         help="force the interpreter for every EVM "
+                              "execution (the traced path itself "
+                              "always interprets)")
     p_trace.add_argument("--emit-telemetry", metavar="PATH",
                          help="also stream spans + metrics snapshot "
                               "to PATH as JSONL")
@@ -528,6 +538,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument("--workers", type=int, default=1,
                           help="speculative execution lanes per mined "
                                "block (1 = sequential apply)")
+    p_engine.add_argument("--no-jit", action="store_true",
+                          help="force the interpreter for every EVM "
+                               "execution (disable the bytecode-to-"
+                               "Python JIT)")
     p_engine.add_argument("--settlement", default="direct",
                           choices=["direct", "netted"],
                           help="settle per session (direct) or per "

@@ -104,6 +104,11 @@ def _keccak256_small(data: bytes) -> bytes:
     return _keccak256_raw(data)
 
 
+def keccak_cache_info():
+    """LRU statistics of the small-input memo (``evm.cache.*``)."""
+    return _keccak256_small.cache_info()
+
+
 def _keccak256_raw(data: bytes) -> bytes:
     """The actual sponge computation, uncached."""
     state = [0] * _LANES

@@ -170,6 +170,11 @@ def recover_address(message_hash: bytes, signature: Signature) -> Address:
     return _recover_address_cached(message_hash, signature.v, signature.r, signature.s)
 
 
+def recover_cache_info():
+    """LRU statistics of the ecrecover memo (``evm.cache.*``)."""
+    return _recover_address_cached.cache_info()
+
+
 def clear_recover_cache() -> None:
     """Drop the ``recover_address`` memo (benchmarks measure cold paths)."""
     _recover_address_cached.cache_clear()

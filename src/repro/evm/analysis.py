@@ -24,20 +24,30 @@ _PUSH32 = opcodes.PUSH32
 
 
 class CodeAnalysis:
-    """Immutable static facts about one bytecode blob.
+    """Static facts about one bytecode blob, plus its JIT residency.
 
     ``jump_dests`` is the set of program counters holding a JUMPDEST
     that is *not* inside PUSH immediate data.  ``push_info`` maps the
     pc of every PUSH instruction to its decoded ``(value, next_pc)``
     pair so the interpreter never slices code on the hot path.
+
+    The two mutable slots belong to :mod:`repro.evm.jit`:
+    ``exec_count`` counts untraced executions toward the compile
+    warm-up threshold, and ``jit_program`` caches the compiled
+    :class:`~repro.evm.jit.CompiledProgram` (or the module's failure
+    sentinel) once the blob goes hot.  Keeping them here means the
+    transpiler cache shares this LRU's content-keyed identity and
+    eviction policy for free.
     """
 
-    __slots__ = ("jump_dests", "push_info")
+    __slots__ = ("jump_dests", "push_info", "exec_count", "jit_program")
 
     def __init__(self, jump_dests: frozenset[int],
                  push_info: dict[int, tuple[int, int]]) -> None:
         self.jump_dests = jump_dests
         self.push_info = push_info
+        self.exec_count = 0
+        self.jit_program = None
 
 
 @lru_cache(maxsize=512)

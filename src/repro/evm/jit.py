@@ -1,0 +1,534 @@
+"""Bytecode→Python transpiler: basic blocks compiled to closures.
+
+The PR 3 dispatch table still pays one indexed load, one tuple unpack,
+one gas compare and one Python call per executed opcode.  For hot
+contract code (Submit/Challenge replay, dispute re-execution, batch
+settlement) most of those opcodes are straight-line stack traffic whose
+gas cost is a compile-time constant.  This module decomposes a bytecode
+blob into **basic blocks** (boundaries at every valid JUMPDEST and
+after every control-transfer/halt instruction), then compiles each
+block into one Python function — a "superinstruction" that
+
+* inlines the stack/arithmetic/jump handlers as straight-line Python
+  over the frame's raw stack list (no per-op dispatch, no per-op
+  function call),
+* batches the *static* base-gas charges of each inlined run into a
+  single compare/subtract, and
+* bridges every stateful or dynamically-priced opcode (SLOAD, SSTORE,
+  memory ops, SHA3, CALL/CREATE, LOGn, GAS, EXP, …) back to the PR 3
+  dispatch handler it would have used anyway, with the gas counter
+  synced across the bridge.
+
+Gas identity is exact, not approximate: when a batched charge fails,
+:func:`_out_of_gas` replays the per-opcode charges of the segment so
+the fault surfaces at the same opcode, with the same ``needed N gas``
+message and the same (zeroed) ``gas_remaining`` the interpreter
+produces.  Stack faults inside a batched segment may observe a gas
+counter that is ahead of the interpreter's, but every ``VMError``
+consumes the frame's entire gas budget at the catch site, so the
+resulting :class:`~repro.evm.vm.ExecutionResult` is bit-identical.
+
+Blocks ending in a JUMP/JUMPI whose target is their own (JUMPDEST)
+head compile into a ``while True``/``continue`` loop, removing even the
+driver's dict lookup from tight loops.
+
+Compiled programs are cached on the content-keyed
+:class:`~repro.evm.analysis.CodeAnalysis` entry, behind a configurable
+warm-up threshold (compile after N executions — init code that runs
+once stays interpreted).  Any compile failure marks the blob as
+uncompilable and the interpreter — which remains the oracle for the
+differential property tests — serves it forever.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.evm import opcodes
+from repro.evm.analysis import CodeAnalysis
+from repro.evm.exceptions import (
+    InvalidJump,
+    OutOfGas,
+    StackOverflow,
+    StackUnderflow,
+)
+from repro.evm.stack import STACK_LIMIT, UINT256_MAX
+
+#: Sentinel pc returned by compiled blocks to signal a clean halt.
+HALT_PC = -1
+
+_FAILED = object()  # marks a CodeAnalysis whose compile attempt failed
+
+# ----------------------------------------------------------------------
+# Configuration (process-wide defaults; per-EVM override via EVM(jit=))
+# ----------------------------------------------------------------------
+
+#: Compile a blob once it has executed this many times on the untraced
+#: path; the (N+1)-th execution runs compiled.  Overridable through the
+#: ``REPRO_EVM_JIT_WARMUP`` environment variable (CI's jit-smoke job
+#: sets it to 0 so every test execution exercises compiled code).
+DEFAULT_WARMUP = 2
+
+_enabled = os.environ.get("REPRO_EVM_JIT", "1") != "0"
+_warmup = int(os.environ.get("REPRO_EVM_JIT_WARMUP", DEFAULT_WARMUP))
+
+
+def configure(enabled: Optional[bool] = None,
+              warmup: Optional[int] = None) -> None:
+    """Adjust the process-wide JIT switches (``--no-jit`` plumbing)."""
+    global _enabled, _warmup
+    if enabled is not None:
+        _enabled = bool(enabled)
+    if warmup is not None:
+        if warmup < 0:
+            raise ValueError("warm-up threshold cannot be negative")
+        _warmup = int(warmup)
+
+
+def enabled() -> bool:
+    """Whether frames without an explicit override may run compiled."""
+    return _enabled
+
+
+def warmup_threshold() -> int:
+    """Executions a blob must accumulate before it is compiled."""
+    return _warmup
+
+
+# ----------------------------------------------------------------------
+# Statistics (the evm.cache.* transpiler series)
+# ----------------------------------------------------------------------
+
+class JitStats:
+    """Counters for the transpiler cache and its execution split."""
+
+    __slots__ = ("programs", "blocks", "failures", "compiled_runs",
+                 "interpreted_runs", "bailouts")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (bench isolation)."""
+        self.programs = 0          # blobs successfully compiled
+        self.blocks = 0            # basic blocks compiled in total
+        self.failures = 0          # blobs that failed to compile
+        self.compiled_runs = 0     # frame runs served by compiled code
+        self.interpreted_runs = 0  # untraced frame runs interpreted
+        self.bailouts = 0          # mid-run falls back to the interpreter
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for telemetry and tests."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+STATS = JitStats()
+
+
+def reset_stats() -> None:
+    """Reset the module counters (benchmarks measure cold paths)."""
+    STATS.reset()
+
+
+# ----------------------------------------------------------------------
+# Basic-block decomposition
+# ----------------------------------------------------------------------
+
+# Instructions that end a basic block by transferring control away.
+_TERMINATORS = frozenset((
+    opcodes.STOP, opcodes.JUMP, opcodes.JUMPI, opcodes.RETURN,
+    opcodes.REVERT, opcodes.SELFDESTRUCT, opcodes.INVALID,
+))
+
+_PUSH1, _PUSH32 = opcodes.PUSH1, opcodes.PUSH32
+_DUP1, _DUP16 = opcodes.DUP1, opcodes.DUP16
+_SWAP1, _SWAP16 = opcodes.SWAP1, opcodes.SWAP16
+
+
+def split_blocks(code: bytes, analysis: CodeAnalysis) -> list[tuple]:
+    """Decompose ``code`` into ``(start_pc, [(pc, op, next_pc), …])``.
+
+    Boundaries follow the interpreter's reachability rules: a block
+    starts at pc 0, at every valid JUMPDEST (the only dynamic-jump
+    landing sites), and at the fallthrough pc after a terminator; it
+    ends at a terminator, just before the next JUMPDEST, or at the end
+    of the code.  PUSH immediates are skipped exactly as the linear
+    JUMPDEST-validity scan skips them, so both views agree on what is
+    an instruction.
+    """
+    length = len(code)
+    push_info = analysis.push_info
+    jump_dests = analysis.jump_dests
+    blocks: list[tuple] = []
+    start = 0
+    instrs: list[tuple[int, int, int]] = []
+    pc = 0
+    while pc < length:
+        if pc in jump_dests and pc != start:
+            blocks.append((start, instrs))
+            start, instrs = pc, []
+        op = code[pc]
+        next_pc = push_info[pc][1] if _PUSH1 <= op <= _PUSH32 else pc + 1
+        instrs.append((pc, op, next_pc))
+        if op in _TERMINATORS or op not in opcodes.OPCODES:
+            blocks.append((start, instrs))
+            start, instrs = next_pc, []
+        pc = next_pc
+    if instrs or start == 0:
+        blocks.append((start, instrs))
+    return [block for block in blocks if block[1]]
+
+
+# ----------------------------------------------------------------------
+# Code generation
+# ----------------------------------------------------------------------
+
+def _out_of_gas(frame, gas: int, costs: tuple[int, ...]) -> None:
+    """Replay a batched segment's per-opcode charges to fault exactly.
+
+    Called only when ``gas`` cannot cover ``sum(costs)``, so one charge
+    is guaranteed to fail — at the same opcode, with the same message
+    and the same zeroed ``gas_remaining`` as the interpreter.
+    """
+    for cost in costs:
+        if cost > gas:
+            frame.gas_remaining = 0
+            raise OutOfGas(f"needed {cost} gas")
+        gas -= cost
+    raise AssertionError("segment replay did not fault")
+
+
+class CompiledProgram:
+    """One blob's compiled blocks, keyed by their start pc."""
+
+    __slots__ = ("blocks", "code_length")
+
+    def __init__(self, blocks: dict, code_length: int) -> None:
+        self.blocks = blocks
+        self.code_length = code_length
+
+
+# Inline templates for the pure stack/arithmetic handlers.  ``{pop2}``
+# style fragments are assembled below; each template is a list of
+# source lines at loop-body indentation with `s` bound to the frame's
+# raw stack list and the gas charge already batched.
+_POP2 = [
+    "try:",
+    "    a = s.pop(); b = s.pop()",
+    "except IndexError:",
+    "    raise _SU('pop from empty stack') from None",
+]
+_POP3 = [
+    "try:",
+    "    a = s.pop(); b = s.pop(); c = s.pop()",
+    "except IndexError:",
+    "    raise _SU('pop from empty stack') from None",
+]
+_SIGNED_AB = [
+    "sa = a - T if a & SB else a",
+    "sb = b - T if b & SB else b",
+]
+
+_BINOPS = {
+    opcodes.ADD: _POP2 + ["s.append((a + b) & M)"],
+    opcodes.MUL: _POP2 + ["s.append((a * b) & M)"],
+    opcodes.SUB: _POP2 + ["s.append((a - b) & M)"],
+    opcodes.DIV: _POP2 + ["s.append(a // b if b else 0)"],
+    opcodes.MOD: _POP2 + ["s.append(a % b if b else 0)"],
+    opcodes.LT: _POP2 + ["s.append(1 if a < b else 0)"],
+    opcodes.GT: _POP2 + ["s.append(1 if a > b else 0)"],
+    opcodes.EQ: _POP2 + ["s.append(1 if a == b else 0)"],
+    opcodes.AND: _POP2 + ["s.append(a & b)"],
+    opcodes.OR: _POP2 + ["s.append(a | b)"],
+    opcodes.XOR: _POP2 + ["s.append(a ^ b)"],
+    opcodes.BYTE: _POP2 + [
+        "s.append((b >> (8 * (31 - a))) & 0xFF if a < 32 else 0)",
+    ],
+    opcodes.SHL: _POP2 + ["s.append((b << a) & M if a < 256 else 0)"],
+    opcodes.SHR: _POP2 + ["s.append(b >> a if a < 256 else 0)"],
+    opcodes.SAR: _POP2 + [
+        "sb = b - T if b & SB else b",
+        "s.append((sb >> (a if a < 255 else 255)) & M)",
+    ],
+    opcodes.SDIV: _POP2 + [
+        "if b:",
+    ] + ["    " + line for line in _SIGNED_AB] + [
+        "    q = abs(sa) // abs(sb)",
+        "    s.append((q if (sa < 0) == (sb < 0) else -q) & M)",
+        "else:",
+        "    s.append(0)",
+    ],
+    opcodes.SMOD: _POP2 + [
+        "if b:",
+    ] + ["    " + line for line in _SIGNED_AB] + [
+        "    r = abs(sa) % abs(sb)",
+        "    s.append((r if sa >= 0 else -r) & M)",
+        "else:",
+        "    s.append(0)",
+    ],
+    opcodes.SLT: _POP2 + _SIGNED_AB + ["s.append(1 if sa < sb else 0)"],
+    opcodes.SGT: _POP2 + _SIGNED_AB + ["s.append(1 if sa > sb else 0)"],
+    opcodes.ADDMOD: _POP3 + ["s.append((a + b) % c if c else 0)"],
+    opcodes.MULMOD: _POP3 + ["s.append((a * b) % c if c else 0)"],
+    opcodes.ISZERO: [
+        "if not s:",
+        "    raise _SU('pop from empty stack')",
+        "s[-1] = 1 if s[-1] == 0 else 0",
+    ],
+    opcodes.NOT: [
+        "if not s:",
+        "    raise _SU('pop from empty stack')",
+        "s[-1] = ~s[-1] & M",
+    ],
+    opcodes.POP: [
+        "try:",
+        "    s.pop()",
+        "except IndexError:",
+        "    raise _SU('pop from empty stack') from None",
+    ],
+    opcodes.SIGNEXTEND: _POP2 + [
+        "if a < 31:",
+        "    bit = (a + 1) * 8 - 1",
+        "    if b & (1 << bit):",
+        "        b |= M ^ ((1 << (bit + 1)) - 1)",
+        "    else:",
+        "        b &= (1 << (bit + 1)) - 1",
+        "s.append(b)",
+    ],
+}
+
+_OVERFLOW_CHECK = [
+    f"if len(s) >= {STACK_LIMIT}:",
+    f"    raise _SO('stack limit of {STACK_LIMIT} exceeded')",
+]
+
+
+def _emit_inline(pc: int, op: int, push_info: dict) -> Optional[list[str]]:
+    """Source lines for one inlinable opcode, or None to bridge it."""
+    lines = _BINOPS.get(op)
+    if lines is not None:
+        return list(lines)
+    if _PUSH1 <= op <= _PUSH32:
+        value = push_info[pc][0]
+        return _OVERFLOW_CHECK + [f"s.append({value})"]
+    if _DUP1 <= op <= _DUP16:
+        position = op - _DUP1 + 1
+        return [
+            "n = len(s)",
+            f"if {position} > n:",
+            f"    raise _SU('DUP{position} on stack of %d' % n)",
+        ] + _OVERFLOW_CHECK + [f"s.append(s[-{position}])"]
+    if _SWAP1 <= op <= _SWAP16:
+        position = op - _SWAP1 + 1
+        return [
+            "n = len(s)",
+            f"if {position} >= n:",
+            f"    raise _SU('SWAP{position} on stack of %d' % n)",
+            f"s[-1], s[-{position + 1}] = s[-{position + 1}], s[-1]",
+        ]
+    if op == opcodes.PC:
+        return _OVERFLOW_CHECK + [f"s.append({pc})"]
+    if op == opcodes.JUMPDEST:
+        return []
+    return None
+
+
+def _emit_jump(op: int, start: int, next_pc: int, code_length: int,
+               self_loop: bool) -> list[str]:
+    """Terminator code for JUMP/JUMPI (base gas already batched)."""
+    take = [
+        "if dest in d:",
+        "    frame.gas_remaining = gas",
+        "    return dest",
+        "raise _IJ('jump to %d' % dest)",
+    ]
+    if self_loop:
+        take = [f"if dest == {start}:", "    continue"] + take
+    if op == opcodes.JUMP:
+        return [
+            "try:",
+            "    dest = s.pop()",
+            "except IndexError:",
+            "    raise _SU('pop from empty stack') from None",
+        ] + take
+    fall = (["frame.gas_remaining = gas", f"return {next_pc}"]
+            if next_pc < code_length
+            else ["frame.gas_remaining = gas", f"return {HALT_PC}"])
+    return [
+        "try:",
+        "    dest = s.pop(); cond = s.pop()",
+        "except IndexError:",
+        "    raise _SU('pop from empty stack') from None",
+        "if cond:",
+    ] + ["    " + line for line in take] + fall
+
+
+def _compile_block(start: int, instrs: list, analysis: CodeAnalysis,
+                   code_length: int, name: str,
+                   namespace: dict) -> list[str]:
+    """Emit the source of one block function into ``namespace`` terms.
+
+    Returns the function's source lines.  Consecutive inlinable
+    opcodes form a *segment* whose static base gas is charged with one
+    compare; bridged opcodes charge individually and sync the local
+    gas counter around the handler call.
+    """
+    from repro.evm import vm as _vm
+
+    dispatch = _vm._DISPATCH
+    push_info = analysis.push_info
+    body: list[str] = []
+
+    # Segment accumulator: (cost tuple, lines) flushed before any
+    # bridged opcode and at block end.
+    seg_costs: list[int] = []
+    seg_lines: list[str] = []
+
+    def flush_segment() -> None:
+        """Emit the pending inlined segment with one batched gas check."""
+        if not seg_costs and not seg_lines:
+            return
+        total = sum(seg_costs)
+        if total:
+            costs_name = f"_c{len(namespace)}"
+            namespace[costs_name] = tuple(seg_costs)
+            body.append(f"if gas < {total}:")
+            body.append(f"    _oog(frame, gas, {costs_name})")
+            body.append(f"gas -= {total}")
+        body.extend(seg_lines)
+        seg_costs.clear()
+        seg_lines.clear()
+
+    last_pc = instrs[-1][0]
+    self_loop = start in analysis.jump_dests
+
+    for pc, op, next_pc in instrs:
+        base_gas, handler = dispatch[op]
+        is_last = pc == last_pc
+        if op in (opcodes.JUMP, opcodes.JUMPI) and is_last:
+            seg_costs.append(base_gas)
+            seg_lines.extend(
+                _emit_jump(op, start, next_pc, code_length, self_loop))
+            flush_segment()
+            break
+        if op == opcodes.STOP:
+            seg_lines.extend([
+                "frame.output = b''",
+                "frame.gas_remaining = gas",
+                f"return {HALT_PC}",
+            ])
+            flush_segment()
+            break
+        inline = _emit_inline(pc, op, push_info)
+        if inline is not None:
+            seg_costs.append(base_gas)
+            seg_lines.extend(inline)
+            if is_last:
+                # Fallthrough boundary (next pc is a JUMPDEST) or the
+                # code simply ends (implicit STOP).
+                seg_lines.append("frame.gas_remaining = gas")
+                target = next_pc if next_pc < code_length else HALT_PC
+                seg_lines.append(f"return {target}")
+                flush_segment()
+            continue
+        # Bridged opcode: individual charge, sync, call the PR 3
+        # handler, resync.  Terminator handlers halt or raise.
+        flush_segment()
+        handler_name = f"_h{op:02x}"
+        namespace[handler_name] = handler
+        if base_gas:
+            body.append(f"if gas < {base_gas}:")
+            body.append("    frame.gas_remaining = 0")
+            body.append(f"    raise _OOG('needed {base_gas} gas')")
+            body.append(f"gas -= {base_gas}")
+        body.append("frame.gas_remaining = gas")
+        body.append(f"frame.pc = {pc}")
+        body.append(f"{handler_name}(vm, frame, {op})")
+        if op in _TERMINATORS or op not in opcodes.OPCODES:
+            body.append(f"return {HALT_PC}")
+            break
+        body.append("gas = frame.gas_remaining")
+        if is_last:
+            target = next_pc if next_pc < code_length else HALT_PC
+            body.append("frame.gas_remaining = gas")
+            body.append(f"return {target}")
+    flush_segment()
+
+    lines = [f"def {name}(vm, frame, s):",
+             "    gas = frame.gas_remaining",
+             "    while True:"]
+    lines.extend("        " + line for line in body)
+    return lines
+
+
+def compile_program(code: bytes,
+                    analysis: CodeAnalysis) -> Optional[CompiledProgram]:
+    """Compile every basic block of ``code``; None on failure.
+
+    The result (or the failure) is memoised on ``analysis``, which
+    lives in the content-keyed ``analyze_code`` LRU — recompilation
+    only ever happens after a cache eviction.
+    """
+    try:
+        blocks = split_blocks(code, analysis)
+        namespace: dict = {
+            "M": UINT256_MAX,
+            "T": 1 << 256,
+            "SB": 1 << 255,
+            "d": analysis.jump_dests,
+            "_SU": StackUnderflow,
+            "_SO": StackOverflow,
+            "_IJ": InvalidJump,
+            "_OOG": OutOfGas,
+            "_oog": _out_of_gas,
+        }
+        source: list[str] = []
+        names: list[tuple[int, str]] = []
+        for index, (start, instrs) in enumerate(blocks):
+            name = f"_b{index}"
+            source.extend(_compile_block(start, instrs, analysis,
+                                         len(code), name, namespace))
+            names.append((start, name))
+        exec("\n".join(source), namespace)  # noqa: S102 — generated here
+        program = CompiledProgram(
+            blocks={start: namespace[name] for start, name in names},
+            code_length=len(code),
+        )
+    except Exception:
+        analysis.jit_program = _FAILED
+        STATS.failures += 1
+        return None
+    analysis.jit_program = program
+    STATS.programs += 1
+    STATS.blocks += len(program.blocks)
+    return program
+
+
+def acquire_program(code: bytes,
+                    analysis: CodeAnalysis) -> Optional[CompiledProgram]:
+    """Per-run entry point: count the execution, compile when warm.
+
+    Returns the compiled program to run, or None when the frame should
+    stay on the interpreter (cold blob or failed compile).
+    """
+    program = analysis.jit_program
+    if program is None:
+        analysis.exec_count += 1
+        if analysis.exec_count <= _warmup:
+            STATS.interpreted_runs += 1
+            return None
+        program = compile_program(code, analysis)
+        if program is None:
+            STATS.interpreted_runs += 1
+            return None
+    elif program is _FAILED:
+        STATS.interpreted_runs += 1
+        return None
+    STATS.compiled_runs += 1
+    return program
+
+
+def cache_info() -> dict:
+    """Transpiler cache statistics for the ``evm.cache.*`` metrics."""
+    return STATS.snapshot()

@@ -145,7 +145,7 @@ class _Frame:
     __slots__ = (
         "message", "code", "pc", "stack", "memory", "gas_remaining",
         "return_data", "logs", "refund", "output", "valid_jump_dests",
-        "push_info", "storage_address",
+        "push_info", "storage_address", "analysis",
     )
 
     def __init__(self, message: Message, code: bytes) -> None:
@@ -160,6 +160,7 @@ class _Frame:
         self.refund = 0
         self.output = b""
         analysis = analyze_code(code)
+        self.analysis = analysis
         self.valid_jump_dests = analysis.jump_dests
         self.push_info = analysis.push_info
         self.storage_address = (
@@ -209,10 +210,14 @@ class EVM:
     """
 
     def __init__(self, state: StateBackend, block: BlockContext,
-                 tracer=None) -> None:
+                 tracer=None, jit: Optional[bool] = None) -> None:
         self.state = state
         self.block = block
         self.tracer = tracer
+        #: Tri-state compile switch: None defers to the process-wide
+        #: :func:`repro.evm.jit.enabled` default, True/False force it
+        #: for this EVM instance (``SimulatorConfig(evm_jit=...)``).
+        self.jit = jit
 
     # ------------------------------------------------------------------
     # Message processing
@@ -371,11 +376,44 @@ class EVM:
     # ------------------------------------------------------------------
 
     def _run(self, frame: _Frame) -> None:
-        """Interpret ``frame`` to completion (dispatch-table fast path)."""
+        """Run ``frame`` to completion — compiled when hot, else the
+        dispatch-table interpreter.
+
+        The traced loop never runs compiled code: tracers observe every
+        step, and the telemetry-on/telemetry-off gas-invariance gate in
+        the bench harness doubles as a standing interpreter-vs-JIT
+        differential check because of exactly this split.
+        """
         if self.tracer is not None:
             self._run_traced(frame)
-        else:
-            self._run_fast(frame)
+            return
+        use_jit = self.jit if self.jit is not None else jit.enabled()
+        if use_jit:
+            program = jit.acquire_program(frame.code, frame.analysis)
+            if program is not None and self._run_compiled(frame, program):
+                return
+        self._run_fast(frame)
+
+    def _run_compiled(self, frame: _Frame, program) -> bool:
+        """Drive a compiled program block-to-block.
+
+        Returns True when the frame halted under compiled code; False
+        after a bailout (``frame.pc`` is left pointing at the
+        uncompiled region so ``_run_fast`` resumes exactly there).
+        """
+        blocks = program.blocks
+        stack_items = frame.stack._items
+        pc = frame.pc
+        while pc >= 0:
+            block_fn = blocks.get(pc)
+            if block_fn is None:
+                if pc >= program.code_length:
+                    return True  # ran off the end: implicit STOP
+                frame.pc = pc
+                jit.STATS.bailouts += 1
+                return False
+            pc = block_fn(self, frame, stack_items)
+        return True
 
     def _run_fast(self, frame: _Frame) -> None:
         """The untraced interpreter loop.
@@ -1089,3 +1127,8 @@ def _build_dispatch() -> list:
 
 
 _DISPATCH = _build_dispatch()
+
+# Imported last: the transpiler inlines/bridges the handlers above, so
+# it needs this module fully initialised (and this module needs only
+# the small jit API surface in _run).
+from repro.evm import jit  # noqa: E402

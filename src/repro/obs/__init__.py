@@ -162,6 +162,20 @@ def _declare_instruments(registry: MetricsRegistry) -> None:
                      help="queue-mine-resume scheduler rounds")
     registry.gauge(names.METRIC_ENGINE_WALL_SECONDS,
                    help="wall-clock seconds of the last engine run")
+    registry.gauge(names.METRIC_EVM_CACHE_HITS,
+                   help="cumulative hits per EVM-side memo cache")
+    registry.gauge(names.METRIC_EVM_CACHE_MISSES,
+                   help="cumulative misses per EVM-side memo cache")
+    registry.gauge(names.METRIC_EVM_CACHE_SIZE,
+                   help="current entries per EVM-side memo cache")
+    registry.gauge(names.METRIC_EVM_JIT_PROGRAMS,
+                   help="bytecodes compiled by the EVM JIT")
+    registry.gauge(names.METRIC_EVM_JIT_BLOCKS,
+                   help="basic blocks compiled by the EVM JIT")
+    registry.gauge(names.METRIC_EVM_JIT_FAILURES,
+                   help="bytecodes the EVM JIT fell back on")
+    registry.gauge(names.METRIC_EVM_JIT_RUNS,
+                   help="untraced EVM frame executions by run mode")
 
 
 class Telemetry:
@@ -186,12 +200,53 @@ class Telemetry:
         if self._closed:
             return
         self._closed = True
+        _publish_cache_stats(self.metrics)
         snapshot = self.metrics.snapshot()
         for exporter in self.exporters:
             on_metrics = getattr(exporter, "on_metrics", None)
             if on_metrics is not None:
                 on_metrics(snapshot)
             exporter.close()
+
+
+def _publish_cache_stats(registry: MetricsRegistry) -> None:
+    """Refresh the ``evm.cache.*`` gauges from the live caches."""
+    from repro.crypto.keccak import keccak_cache_info
+    from repro.crypto.keys import recover_cache_info
+    from repro.evm.analysis import analysis_cache_info
+    from repro.evm.jit import cache_info as jit_cache_info
+
+    lru_sources = {
+        "analysis": analysis_cache_info(),
+        "ecrecover": recover_cache_info(),
+        "keccak": keccak_cache_info(),
+    }
+    hits = registry.get(names.METRIC_EVM_CACHE_HITS)
+    misses = registry.get(names.METRIC_EVM_CACHE_MISSES)
+    size = registry.get(names.METRIC_EVM_CACHE_SIZE)
+    for cache, info in lru_sources.items():
+        hits.set(info.hits, cache=cache)
+        misses.set(info.misses, cache=cache)
+        size.set(info.currsize, cache=cache)
+    jit = jit_cache_info()
+    registry.get(names.METRIC_EVM_JIT_PROGRAMS).set(jit["programs"])
+    registry.get(names.METRIC_EVM_JIT_BLOCKS).set(jit["blocks"])
+    registry.get(names.METRIC_EVM_JIT_FAILURES).set(jit["failures"])
+    runs = registry.get(names.METRIC_EVM_JIT_RUNS)
+    runs.set(jit["compiled_runs"], mode="compiled")
+    runs.set(jit["interpreted_runs"], mode="interpreted")
+    runs.set(jit["bailouts"], mode="bailout")
+
+
+def publish_cache_stats() -> None:
+    """Refresh the active telemetry's ``evm.cache.*`` gauges.
+
+    No-op while telemetry is inactive.  :meth:`Telemetry.close` calls
+    this automatically, so exported final snapshots always carry the
+    cache statistics; call it mid-run for fresher readings.
+    """
+    if _ACTIVE is not None:
+        _publish_cache_stats(_ACTIVE.metrics)
 
 
 _ACTIVE: Optional[Telemetry] = None

@@ -141,6 +141,29 @@ METRIC_EVM_TIME_BY_OPCODE = "evm.time.by_opcode"
 #: into the coarse tracer categories.
 METRIC_EVM_TIME_BY_CATEGORY = "evm.time.by_category"
 
+#: gauge, label ``cache`` — cumulative hits of the EVM-side memo
+#: caches (``analysis`` = the content-keyed ``CodeAnalysis`` LRU,
+#: ``ecrecover`` = the signature-recovery LRU, ``keccak`` = the
+#: small-input keccak256 memo).  Snapshot-style: refreshed by
+#: ``obs.publish_cache_stats`` (telemetry close does this
+#: automatically), so the exported value is a point-in-time reading
+#: of each process-wide cache, not a delta.
+METRIC_EVM_CACHE_HITS = "evm.cache.hits"
+#: gauge, label ``cache`` — cumulative misses of the same caches.
+METRIC_EVM_CACHE_MISSES = "evm.cache.misses"
+#: gauge, label ``cache`` — current entry count of the same caches.
+METRIC_EVM_CACHE_SIZE = "evm.cache.size"
+#: gauge — bytecodes the JIT transpiler compiled to Python programs.
+METRIC_EVM_JIT_PROGRAMS = "evm.cache.jit.programs"
+#: gauge — basic blocks compiled across all JIT programs.
+METRIC_EVM_JIT_BLOCKS = "evm.cache.jit.blocks"
+#: gauge — bytecodes the transpiler gave up on (interpreter fallback).
+METRIC_EVM_JIT_FAILURES = "evm.cache.jit.failures"
+#: gauge, label ``mode`` — untraced EVM frame executions by how they
+#: ran: ``compiled`` (JIT program), ``interpreted`` (warm-up or
+#: disabled), ``bailout`` (a compiled run that fell back mid-frame).
+METRIC_EVM_JIT_RUNS = "evm.cache.jit.runs"
+
 #: counter — mined transactions.
 METRIC_CHAIN_TXS = "chain.txs"
 #: counter — mined blocks.
@@ -252,6 +275,13 @@ ALL_METRICS: tuple[str, ...] = (
     METRIC_EVM_GAS_TOTAL,
     METRIC_EVM_TIME_BY_OPCODE,
     METRIC_EVM_TIME_BY_CATEGORY,
+    METRIC_EVM_CACHE_HITS,
+    METRIC_EVM_CACHE_MISSES,
+    METRIC_EVM_CACHE_SIZE,
+    METRIC_EVM_JIT_PROGRAMS,
+    METRIC_EVM_JIT_BLOCKS,
+    METRIC_EVM_JIT_FAILURES,
+    METRIC_EVM_JIT_RUNS,
     METRIC_CHAIN_TXS,
     METRIC_CHAIN_BLOCKS,
     METRIC_CHAIN_BLOCK_TXS,

@@ -227,6 +227,62 @@ def test_forked_worker_mode_is_also_identical():
     assert par.chain.parallel_stats.lanes == 5
 
 
+#: Stores BLOCKHASH(number - 1) into slot 0 — the replicas only know
+#: post-fork block hashes through the per-block broadcasts.
+_BLOCKHASH_RUNTIME = assemble("""
+PUSH1 0x01
+NUMBER
+SUB
+BLOCKHASH
+PUSH1 0x00
+SSTORE
+STOP
+""")
+
+
+def test_forked_mode_multi_block_identity():
+    """Persistent workers stay bit-identical across many blocks.
+
+    Each round mixes disjoint transfers (speculative commits), a
+    storage-slot collision (conflict + replay) and a BLOCKHASH probe
+    (depends on hashes mined *after* the workers forked), so the
+    diff + hash broadcasts are all load-bearing.
+    """
+    def build(sim):
+        probe = _deploy_runtime(sim, _BLOCKHASH_RUNTIME)
+        counter = _deploy_runtime(sim, _INCREMENT_RUNTIME,
+                                  sender_index=8)
+        for _ in range(3):
+            sim.send_transaction(sim.accounts[0],
+                                 sim.accounts[1].address,
+                                 value=1 * ETHER, gas_limit=50_000)
+            sim.send_transaction(sim.accounts[4], probe,
+                                 gas_limit=100_000)
+            sim.send_transaction(sim.accounts[5], counter,
+                                 gas_limit=100_000)
+            sim.send_transaction(sim.accounts[6], counter,
+                                 gas_limit=100_000)
+            sim.mine()
+        assert sim.chain.state.get_storage(counter, 0) == 6
+        assert sim.chain.state.get_storage(probe, 0) != 0
+
+    _, par = _run_both(build, processes=True)
+    # The forked path survived every block (no inline degradation).
+    assert par.chain._executor.use_processes
+
+
+def test_persistent_pool_survives_across_blocks():
+    par = _mk(2, processes=True)
+    _transfer_block(par, [(0, 1), (4, 5)])
+    executor = par.chain._executor
+    first_pool = executor._pool
+    assert first_pool is not None
+    _transfer_block(par, [(2, 3), (6, 7)])
+    assert executor._pool is first_pool  # no per-block fork
+    par.chain.close_workers()
+    assert executor._pool is None
+
+
 def test_parallel_stats_accumulate_across_blocks():
     sim = _mk(4)
     _transfer_block(sim, [(0, 1), (2, 3)])

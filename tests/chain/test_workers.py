@@ -1,0 +1,248 @@
+"""PersistentWorkerPool mechanics and StateDiff replica shipping.
+
+Two layers of guarantees:
+
+* pool plumbing — input-ordered results, broadcast-before-task
+  ordering over the per-worker pipes, worker exceptions surfacing as
+  :class:`WorkerPoolError`, poisoned broadcasts failing later tasks,
+  idempotent close;
+* replica sync — ``begin_diff_tracking``/``drain_state_diff`` must
+  capture the *net* effect of arbitrary snapshot/revert interleavings
+  so that applying the drained diff to a fork-point replica always
+  reproduces the parent's state root, including through a real forked
+  worker holding the replica.
+"""
+
+import pytest
+
+from repro.chain.state import StateDiff, WorldState
+from repro.chain.workers import PersistentWorkerPool, WorkerPoolError
+from repro.crypto.keys import Address
+
+_A = Address.from_int(0xA1)
+_B = Address.from_int(0xB2)
+_C = Address.from_int(0xC3)
+
+
+# -- worker-side callables (fork-inherited; module-level for clarity) ------
+
+_BASELINE = 0
+_REPLICA: WorldState | None = None
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _add_baseline(payload):
+    return _BASELINE + payload
+
+
+def _set_baseline(payload):
+    global _BASELINE
+    _BASELINE = payload
+
+
+def _raise_on_negative(payload):
+    if payload < 0:
+        raise ValueError(f"bad payload {payload}")
+    return payload
+
+
+def _broadcast_boom(payload):
+    raise RuntimeError("replica sync failed")
+
+
+def _apply_diff(diff):
+    if diff is not None:
+        diff.apply_to(_REPLICA)
+
+
+def _replica_root(_payload):
+    return _REPLICA.state_root()
+
+
+@pytest.fixture
+def pool_factory():
+    pools = []
+
+    def make(workers, on_task, on_broadcast=None, **kwargs):
+        pool = PersistentWorkerPool(workers, on_task, on_broadcast,
+                                    **kwargs)
+        pools.append(pool)
+        return pool
+
+    yield make
+    for pool in pools:
+        pool.close()
+
+
+# -- pool mechanics --------------------------------------------------------
+
+
+def test_results_come_back_in_input_order(pool_factory):
+    pool = pool_factory(3, _square)
+    payloads = list(range(17))
+    assert pool.run_tasks(payloads) == [n * n for n in payloads]
+
+
+def test_empty_batch_is_a_noop(pool_factory):
+    pool = pool_factory(2, _square)
+    assert pool.run_tasks([]) == []
+
+
+def test_worker_count_clamped_to_at_least_one(pool_factory):
+    pool = pool_factory(0, _square)
+    assert pool.workers == 1
+    assert pool.run_tasks([5]) == [25]
+
+
+def test_broadcast_applies_before_later_tasks(pool_factory):
+    # Pipes are FIFO per worker: a broadcast enqueued before a batch
+    # must be visible to every task of that batch, round after round.
+    pool = pool_factory(2, _add_baseline, _set_baseline)
+    assert pool.run_tasks([1, 2, 3]) == [1, 2, 3]
+    pool.broadcast(100)
+    assert pool.run_tasks([1, 2, 3]) == [101, 102, 103]
+    pool.broadcast(-7)
+    assert pool.run_tasks([0, 0]) == [-7, -7]
+
+
+def test_worker_exception_surfaces_as_pool_error(pool_factory):
+    pool = pool_factory(2, _raise_on_negative)
+    assert pool.run_tasks([3, 4]) == [3, 4]
+    with pytest.raises(WorkerPoolError, match="ValueError"):
+        pool.run_tasks([1, -1, 2])
+
+
+def test_poisoned_broadcast_fails_subsequent_tasks(pool_factory):
+    pool = pool_factory(1, _square, _broadcast_boom)
+    pool.broadcast("anything")
+    with pytest.raises(WorkerPoolError, match="poisoned"):
+        pool.run_tasks([2])
+
+
+def test_close_is_idempotent_and_fails_later_calls():
+    pool = PersistentWorkerPool(2, _square)
+    pool.close()
+    pool.close()
+    with pytest.raises(WorkerPoolError, match="closed"):
+        pool.run_tasks([1])
+    with pytest.raises(WorkerPoolError, match="closed"):
+        pool.broadcast("x")
+
+
+# -- StateDiff: net effect across snapshot/revert interleavings ------------
+
+
+def _populated_state() -> WorldState:
+    state = WorldState()
+    state.add_balance(_A, 1_000)
+    state.set_nonce(_A, 7)
+    state.set_code(_B, b"\x60\x01")
+    state.set_storage(_B, 1, 11)
+    state.set_storage(_B, 2, 22)
+    state.clear_journal()
+    return state
+
+
+def test_diff_reproduces_root_after_snapshot_revert_interleaving():
+    state = _populated_state()
+    replica = state.copy()  # the fork-point image
+    state.begin_diff_tracking()
+
+    state.set_balance(_A, 2_000)
+    snap = state.snapshot()
+    state.set_balance(_A, 9_999)          # will be reverted
+    state.set_storage(_B, 2, 0)           # will be reverted
+    state.create_account(_C)
+    state.set_balance(_C, 555)            # creation reverted below
+    state.revert_to(snap)
+    state.set_storage(_B, 3, 33)          # survives
+    state.set_nonce(_A, 8)                # survives
+    state.clear_journal()
+
+    diff = state.drain_state_diff()
+    assert diff is not None
+    diff.apply_to(replica)
+    assert replica.state_root() == state.state_root()
+    # The reverted creation ships as a deletion record, not a value.
+    assert diff.accounts.get(_C.value, "absent") is None
+
+
+def test_drain_is_incremental_and_empty_when_quiet():
+    state = _populated_state()
+    state.begin_diff_tracking()
+    state.set_balance(_A, 1)
+    assert state.drain_state_diff() is not None
+    # Nothing mutated since the drain: nothing to ship.
+    assert state.drain_state_diff() is None
+    state.set_storage(_B, 9, 99)
+    second = state.drain_state_diff()
+    assert set(second.slots) == {(_B.value, 9)}
+    assert not second.accounts
+
+
+def test_diff_application_is_idempotent():
+    state = _populated_state()
+    replica = state.copy()
+    state.begin_diff_tracking()
+    state.set_balance(_A, 4_242)
+    state.set_storage(_B, 1, 0)  # slot deletion ships as value 0
+    diff = state.drain_state_diff()
+    diff.apply_to(replica)
+    first_root = replica.state_root()
+    diff.apply_to(replica)
+    assert replica.state_root() == first_root == state.state_root()
+
+
+def test_unchanged_state_needs_no_diff_for_identity():
+    state = _populated_state()
+    replica = state.copy()
+    state.begin_diff_tracking()
+    snap = state.snapshot()
+    state.set_balance(_A, 123_456)
+    state.revert_to(snap)
+    diff = state.drain_state_diff()
+    # The revert restored the original value; the diff (which reads
+    # current values) must be harmless to apply.
+    if diff is not None:
+        diff.apply_to(replica)
+    assert replica.state_root() == state.state_root()
+
+
+# -- forked-worker replica identity ---------------------------------------
+
+
+def test_forked_replica_tracks_parent_through_diff_broadcasts():
+    """End-to-end: replica crosses the fork, diffs keep it identical.
+
+    Mirrors the parallel executor's life cycle — arm diff tracking,
+    fork workers that inherit the state copy-on-write, then for each
+    round mutate the parent (with snapshot/revert noise), drain, and
+    broadcast; the worker reports its replica's state root.
+    """
+    global _REPLICA
+    state = _populated_state()
+    state.begin_diff_tracking()
+    _REPLICA = state
+    try:
+        pool = PersistentWorkerPool(2, _replica_root, _apply_diff)
+    finally:
+        _REPLICA = None
+    try:
+        for round_no in range(3):
+            state.set_balance(_A, 10_000 + round_no)
+            snap = state.snapshot()
+            state.set_storage(_B, 4, 0xDEAD)      # reverted
+            state.create_account(_C)
+            state.revert_to(snap)
+            state.set_storage(_B, round_no + 5, round_no)  # survives
+            state.clear_journal()
+
+            pool.broadcast(state.drain_state_diff())
+            roots = pool.run_tasks([0, 1])
+            assert roots[0] == roots[1] == state.state_root()
+    finally:
+        pool.close()
+        state.end_diff_tracking()
