@@ -80,6 +80,9 @@ class ScenarioResult:
     dispute_gas: dict[str, int] = field(default_factory=dict)
     forfeited: tuple[str, ...] = ()
     settlement: str = "direct"
+    #: Ordered (stage, label, gas, actor) ledger fingerprint — what
+    #: the lossy-transport scenario compares bit-for-bit.
+    ledger_fingerprint: tuple = ()
 
     def net_modulo_gas(self, name: str) -> int:
         """Balance change with the participant's own gas added back.
@@ -460,6 +463,71 @@ class ScenarioHarness:
             adversaries={participants[0].name}, aborted=False,
             dispute=dispute, forfeited=forfeited)
 
+    def _run_lossy_transport(self, prof) -> ScenarioResult:
+        """False-result over a faulty wire: the deviation is *under*
+        the protocol.  Every Whisper exchange crosses a channel that
+        drops, duplicates, delays and reorders frames (the ``LOSSY``
+        schedule); the client's retransmission and the server's
+        idempotent dedup window must absorb all of it, leaving the
+        dispute outcome and the gas ledger bit-identical to the clean
+        false-result run of the same app."""
+        from repro.crypto.keys import PrivateKey
+        from repro.net import (
+            ChannelClient,
+            ChannelServer,
+            FaultPolicy,
+            NodeService,
+            RemoteWhisperTransport,
+        )
+        from repro.net.faults import LOSSY
+
+        clean = self._run_false_result(get_profile("false-result"))
+
+        service = NodeService()  # only its bus is used here
+        handle = ChannelServer(service.dispatch).start_in_thread()
+        client = ChannelClient(
+            "127.0.0.1", handle.port,
+            PrivateKey.from_seed("adversary-lossy-client"),
+            timeout=0.25, faults=FaultPolicy(**LOSSY))
+        try:
+            sim, participants, protocol = self._build(
+                {0: Strategy.LIES_ABOUT_RESULT})
+            # The chain stays local; only the off-chain bus crosses
+            # the faulty wire (swapped in before any bus traffic).
+            protocol.bus = RemoteWhisperTransport(client)
+            books = _Books(sim, participants, protocol)
+            self._deploy_and_sign(protocol, participants, books)
+            self._fund_and_ready(protocol, participants)
+            self._propose(protocol, participants[0])  # falsified
+            books.mark(protocol)
+            challenge = self._police(protocol, books)
+            books.mark(protocol)
+            if not challenge.disputed:
+                raise AdversaryError(
+                    "the false result went undisputed over the lossy "
+                    "transport")
+            faults_absorbed = client.retries
+            if not faults_absorbed:
+                raise AdversaryError(
+                    "the lossy schedule never fired — the scenario "
+                    "exercised a clean wire")
+            forfeited = self._settle_deposits(protocol)
+            if protocol.ledger.fingerprint() != clean.ledger_fingerprint:
+                raise AdversaryError(
+                    "drop/duplicate/reorder faults changed the gas "
+                    "ledger relative to the clean run")
+            books.reject(
+                f"transport faults absorbed by {faults_absorbed} "
+                "retransmission(s) + idempotent redelivery; gas "
+                "ledger bit-identical to the clean run")
+        finally:
+            client.close()
+            handle.stop()
+        return self._result(
+            prof.name, protocol, participants, books,
+            adversaries={participants[0].name}, aborted=False,
+            dispute=challenge.value, forfeited=forfeited)
+
     # -- shared plumbing -----------------------------------------------
 
     def _build(self, strategies: dict[int, Strategy]):
@@ -632,6 +700,7 @@ class ScenarioHarness:
             gas_paid=gas_paid,
             dispute_gas=dispute_gas,
             forfeited=forfeited,
+            ledger_fingerprint=protocol.ledger.fingerprint(),
         )
 
     @staticmethod

@@ -93,10 +93,22 @@ CENSOR_MEMPOOL = AdversaryProfile(
     disputes=True,
 )
 
+LOSSY_TRANSPORT = AdversaryProfile(
+    name="lossy-transport",
+    strategy=None,
+    summary="the network under the Whisper bus drops, duplicates, "
+            "delays and reorders deliveries (repro.net.faults.LOSSY); "
+            "retransmission plus idempotent redelivery must keep the "
+            "outcome and the gas ledger bit-identical to the clean "
+            "false-result run",
+    disputes=True,
+)
+
 PROFILES: dict[str, AdversaryProfile] = {
     p.name: p for p in (
         WITHHOLD_SIGNATURE, FALSE_RESULT, LATE_DISPUTE,
         REPLAY_COPY, CRASH_RESTART, CENSOR_MEMPOOL,
+        LOSSY_TRANSPORT,
     )
 }
 

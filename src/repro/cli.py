@@ -13,7 +13,11 @@ Usage (also via ``python -m repro``):
     repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
                    [--dishonest FRACTION] [--workers N] [--no-jit] \\
                    [--compare] [--store PATH] [--resume] \\
-                   [--emit-telemetry PATH]
+                   [--transport {inproc,net}] [--peer HOST:PORT] \\
+                   [--remote-role ROLE] [--emit-telemetry PATH]
+    repro node     [--listen HOST:PORT]
+    repro participant --peer HOST:PORT --role ROLE \\
+                   [--app NAME] [--sessions N] [--idle-timeout S]
     repro adversary {strategy,all} [--app NAME|all] [--deposits]
 
 ``split`` is the Split/Generate stage as a tool: it writes the
@@ -260,20 +264,51 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if opcode_total == ledger_total else 1
 
 
+def _parse_hostport(value: str, flag: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` CLI value; exits with a clear error."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"error: {flag} expects HOST:PORT, "
+                         f"got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
 def _run_fleet(sessions: int, app: str, mining: str,
                dishonest: float, workers: int = 1,
                settlement: str = "direct", batch_size: int = 1,
                store: str | None = None, resume: bool = False,
-               evm_jit: bool | None = None):
+               evm_jit: bool | None = None,
+               peer: tuple[str, int] | None = None,
+               remote_roles: tuple[str, ...] = ()):
     from repro.chain import EthereumSimulator, SimulatorConfig
     from repro.core import SessionEngine, spawn_fleet
 
-    sim = EthereumSimulator(
-        config=SimulatorConfig(num_accounts=2, auto_mine=False,
-                               workers=workers, settlement=settlement,
-                               batch_size=batch_size, evm_jit=evm_jit))
+    config = SimulatorConfig(num_accounts=2, auto_mine=False,
+                             workers=workers, settlement=settlement,
+                             batch_size=batch_size, evm_jit=evm_jit)
+    if peer is not None:
+        # Net transport: the chain lives in a `repro node` process;
+        # this process keeps only keys and protocol state, and every
+        # driver shares one Whisper transport over the same channel.
+        from repro.crypto.keys import PrivateKey
+        from repro.net import (
+            ChannelClient,
+            RemoteSimulator,
+            RemoteWhisperTransport,
+        )
+
+        client = ChannelClient(peer[0], peer[1],
+                               PrivateKey.from_seed("engine-client"))
+        sim = RemoteSimulator(client, config=config)
+    else:
+        sim = EthereumSimulator(config=config)
     drivers = spawn_fleet(sim, sessions, app=app,
-                          dishonest_fraction=dishonest)
+                          dishonest_fraction=dishonest,
+                          remote_roles=remote_roles)
+    if peer is not None:
+        bus = RemoteWhisperTransport(sim.client)
+        for driver in drivers:
+            driver.protocol.bus = bus
     run_store = None
     if store is not None:
         from repro.core.recovery import RunStore
@@ -331,6 +366,20 @@ def cmd_engine(args: argparse.Namespace) -> int:
         raise SystemExit(
             "error: --compare runs two fleets; a store holds exactly "
             "one run — drop --store or --compare")
+    peer = None
+    if args.transport == "net":
+        if not args.peer:
+            raise SystemExit(
+                "error: --transport=net requires --peer HOST:PORT "
+                "(start one with `repro node`)")
+        if args.store or args.resume:
+            raise SystemExit(
+                "error: --store/--resume are in-process features; the "
+                "net transport's chain state lives in the node")
+        peer = _parse_hostport(args.peer, "--peer")
+    elif args.peer or args.remote_role:
+        raise SystemExit(
+            "error: --peer/--remote-role need --transport=net")
     scope = (obs.telemetry(JsonlExporter(args.emit_telemetry))
              if args.emit_telemetry else nullcontext())
     modes = (["batch", "per-tx"] if args.compare else [args.mining])
@@ -344,12 +393,29 @@ def cmd_engine(args: argparse.Namespace) -> int:
                 workers=args.workers, settlement=args.settlement,
                 batch_size=args.batch_size, store=args.store,
                 resume=args.resume,
-                evm_jit=False if args.no_jit else None)
+                evm_jit=False if args.no_jit else None,
+                peer=peer, remote_roles=tuple(args.remote_role))
             unsettled = [d.session_id for d in drivers if not d.settled]
             if unsettled:
                 raise SystemExit(
                     f"error: sessions did not settle: {unsettled}")
             _print_metrics(metrics)
+            from repro.core import fleet_fingerprint
+
+            print(f"  fleet fingerprint: "
+                  f"{fleet_fingerprint(drivers)}")
+            if peer is not None:
+                client = sim.client
+                rtts = sorted(client.rtts)
+                if rtts:
+                    p50 = rtts[len(rtts) // 2]
+                    p99 = rtts[min(len(rtts) - 1,
+                                   (len(rtts) * 99) // 100)]
+                    print(f"  net transport    : {client.requests} "
+                          f"requests, {client.retries} retries, "
+                          f"rtt p50 {p50 * 1000:.2f}ms / "
+                          f"p99 {p99 * 1000:.2f}ms")
+                client.close()
             if engine.batcher is not None:
                 batcher = engine.batcher
                 print(f"  netted batches   : {len(batcher.batches)} "
@@ -383,6 +449,56 @@ def cmd_engine(args: argparse.Namespace) -> int:
         print(f"batch mining used {ratio:.1f}x fewer blocks; "
               f"per-session gas ledgers "
               f"{'identical' if same_ledgers else 'DIVERGED'}")
+    return 0
+
+
+def cmd_node(args: argparse.Namespace) -> int:
+    """Run the shared chain-plus-bus node process.
+
+    Binds the asyncio channel server and serves ``chain.*`` and
+    ``bus.*`` commands until a client sends ``node.shutdown`` (or the
+    process is interrupted).  Port 0 asks the OS for a free port; the
+    bound address is printed as the first output line so parent
+    processes can scrape it.
+    """
+    from repro.net import run_node
+
+    host, port = _parse_hostport(args.listen, "--listen")
+    try:
+        run_node(host=host, port=port)
+    except KeyboardInterrupt:
+        print("repro-node interrupted", flush=True)
+    return 0
+
+
+def cmd_participant(args: argparse.Namespace) -> int:
+    """Run a remote signer process for one or more fleet roles.
+
+    Connects to a ``repro node``, derives the deterministic keys for
+    ``--role`` across ``--sessions`` sessions of ``--app``, and serves
+    Deploy/Sign signature requests from the node's shared bus until
+    every expected signature is posted (``--expect`` overrides the
+    default of one per session per role).
+    """
+    from repro.crypto.keys import PrivateKey
+    from repro.net import ChannelClient, ParticipantNode
+
+    if args.sessions < 1:
+        raise SystemExit("error: --sessions must be at least 1")
+    host, port = _parse_hostport(args.peer, "--peer")
+    client = ChannelClient(host, port,
+                           PrivateKey.from_seed("participant-client"))
+    node = ParticipantNode(client, app=args.app,
+                           sessions=args.sessions, roles=args.role)
+    expect = (args.expect if args.expect is not None
+              else args.sessions * len(args.role))
+    print(f"{node.name} serving {expect} signature(s) for "
+          f"{args.app} x {args.sessions}", flush=True)
+    try:
+        signed = node.serve(expect, idle_timeout=args.idle_timeout)
+    finally:
+        client.close()
+    print(f"{node.name} signed {signed} request(s)")
     return 0
 
 
@@ -559,10 +675,57 @@ def build_parser() -> argparse.ArgumentParser:
                                "original run)")
     p_engine.add_argument("--compare", action="store_true",
                           help="run both mining modes and compare")
+    p_engine.add_argument("--transport", default="inproc",
+                          choices=["inproc", "net"],
+                          help="run the chain in-process or against a "
+                               "`repro node` over the wire protocol")
+    p_engine.add_argument("--peer", metavar="HOST:PORT",
+                          help="the chain node to connect to "
+                               "(requires --transport=net)")
+    p_engine.add_argument("--remote-role", action="append",
+                          default=[], metavar="ROLE",
+                          help="fleet role whose Deploy/Sign "
+                               "signature comes from a separate "
+                               "`repro participant` process "
+                               "(repeatable; requires --transport=net)")
     p_engine.add_argument("--emit-telemetry", metavar="PATH",
                           help="stream spans + metrics snapshot "
                                "to PATH as JSONL")
     p_engine.set_defaults(func=cmd_engine)
+
+    p_node = sub.add_parser(
+        "node",
+        help="run the shared chain + Whisper-bus node process")
+    p_node.add_argument("--listen", default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="bind address (port 0 picks a free port; "
+                             "the bound address is printed first)")
+    p_node.set_defaults(func=cmd_node)
+
+    p_participant = sub.add_parser(
+        "participant",
+        help="run a remote Deploy/Sign signer for fleet roles")
+    p_participant.add_argument("--peer", required=True,
+                               metavar="HOST:PORT",
+                               help="the `repro node` to connect to")
+    p_participant.add_argument("--role", action="append", required=True,
+                               metavar="ROLE",
+                               help="fleet role to sign for "
+                                    "(repeatable)")
+    p_participant.add_argument("--app", default="betting",
+                               choices=["betting", "tender", "escrow"])
+    p_participant.add_argument("--sessions", type=int, default=10,
+                               help="fleet size (must match the "
+                                    "engine's --sessions)")
+    p_participant.add_argument("--expect", type=int, default=None,
+                               help="signatures to serve before "
+                                    "exiting (default: sessions x "
+                                    "roles)")
+    p_participant.add_argument("--idle-timeout", type=float,
+                               default=30.0,
+                               help="seconds without progress before "
+                                    "this process fails loudly")
+    p_participant.set_defaults(func=cmd_participant)
 
     p_adversary = sub.add_parser(
         "adversary",
@@ -572,7 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
         "strategy",
         choices=["all", "withhold-signature", "false-result",
                  "late-dispute", "replay-copy", "crash-restart",
-                 "censor-mempool"])
+                 "censor-mempool", "lossy-transport"])
     p_adversary.add_argument(
         "--app", default="betting",
         choices=["betting", "tender", "escrow", "all"])

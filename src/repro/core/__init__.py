@@ -12,6 +12,7 @@ from repro.core.analytics import (
     GasLedger,
     ModelComparison,
     PrivacyReport,
+    fleet_fingerprint,
     privacy_report_all_on_chain,
     privacy_report_hybrid,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "GasLedger",
     "ModelComparison",
     "PrivacyReport",
+    "fleet_fingerprint",
     "privacy_report_all_on_chain",
     "privacy_report_hybrid",
     "SplitSpec",

@@ -209,6 +209,27 @@ class EngineMetrics:
         return self.disputes / self.sessions
 
 
+def fleet_fingerprint(drivers: Iterable) -> str:
+    """One hex digest over a whole fleet's settlement evidence.
+
+    Folds every session's terminal stage and ordered
+    :meth:`GasLedger.fingerprint` into a single keccak digest, sorted
+    by session id so scheduling order cannot matter.  Two fleet runs —
+    in-process or across processes over the net transport — are
+    equivalent exactly when their fleet fingerprints match; the
+    networked identity gates (CI's ``network-smoke``, the
+    ``bench_network`` exit-2 gate) compare this value.
+    """
+    from repro.crypto import keccak256
+
+    parts = [
+        f"{driver.session_id}:{driver.protocol.stage.value}:"
+        f"{driver.protocol.ledger.fingerprint()}"
+        for driver in sorted(drivers, key=lambda d: d.session_id)
+    ]
+    return keccak256("\n".join(parts).encode("utf-8")).hex()
+
+
 @dataclass(frozen=True)
 class ModelComparison:
     """Fig. 1: miner gas under both execution models."""

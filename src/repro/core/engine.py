@@ -37,7 +37,7 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Any, Generator, Iterable, Optional, Union
+from typing import Any, Generator, Iterable, Optional, Sequence, Union
 
 from repro import obs
 from repro.chain.simulator import EthereumSimulator, SimAccount
@@ -928,6 +928,7 @@ def spawn_fleet(simulator: EthereumSimulator, count: int,
                 funding: Optional[int] = None,
                 dishonest_strategy: Strategy | str =
                 Strategy.LIES_ABOUT_RESULT,
+                remote_roles: Sequence[str] = (),
                 **app_kwargs: Any) -> list[ProtocolDriver]:
     """Create ``count`` independent sessions of one app on one chain.
 
@@ -939,6 +940,12 @@ def spawn_fleet(simulator: EthereumSimulator, count: int,
     seam the adversary subsystem plugs into: any
     :class:`~repro.core.participants.Strategy` (or its string value,
     e.g. ``"refuses-to-sign"``) can be injected here.
+
+    ``remote_roles`` names roles (e.g. ``("bob",)``) whose Deploy/Sign
+    signature comes from a separate participant process over the bus
+    instead of being produced locally — the networked deployment's
+    fleet shape.  Their accounts still use the same deterministic
+    seeds, so the participant process derives identical keys.
     """
     if app not in _DRIVER_BY_APP:
         raise EngineError(
@@ -965,7 +972,8 @@ def spawn_fleet(simulator: EthereumSimulator, count: int,
                 f"fleet-{app}-{index}-{role}", funding=funding,
                 name=f"s{index}-{role}")
             return Participant(account=account, name=f"s{index}-{role}",
-                               strategy=member_strategy)
+                               strategy=member_strategy,
+                               remote=role in remote_roles)
 
         if app == "betting":
             from repro.apps.betting import make_betting_protocol

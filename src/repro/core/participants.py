@@ -34,6 +34,11 @@ class Participant:
     account: SimAccount
     name: str = ""
     strategy: Strategy = Strategy.HONEST
+    #: A remote participant's Deploy/Sign signature is produced by a
+    #: separate :class:`~repro.net.participant.ParticipantNode`
+    #: process: the protocol posts a sign-request to the bus and waits
+    #: instead of signing locally.
+    remote: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -21,6 +21,7 @@ which the benchmarks consume.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Optional
@@ -40,7 +41,7 @@ from repro.core.exceptions import (
 )
 from repro.core.participants import Participant
 from repro.core.splitter import SplitContracts, split_contract
-from repro.crypto import rlp
+from repro.crypto import keccak256, rlp
 from repro.crypto.ecdsa import Signature
 from repro.crypto.keys import Address
 from repro.lang.compiler import CompilationResult, compile_source
@@ -51,6 +52,16 @@ from repro.offchain.signing import (
     sign_bytecode,
 )
 from repro.offchain.whisper import WhisperBus
+
+#: Bus topic where protocols ask remote
+#: :class:`~repro.net.participant.ParticipantNode` processes for
+#: Deploy/Sign signatures.  Lives here (not in ``repro.net``) so the
+#: net layer depends on the core and never the other way around.
+SIGN_REQUEST_TOPIC = "sign-request"
+
+#: Wall-clock seconds a protocol waits for remote signatures before
+#: declaring the signature exchange failed.
+REMOTE_SIGN_TIMEOUT = 30.0
 
 
 class Stage(Enum):
@@ -322,7 +333,15 @@ class OnOffChainProtocol:
 
     @property
     def _signing_topic(self) -> str:
-        return f"signed-copy:{self.contract_name}"
+        # Suffixed with a digest of the participant set so concurrent
+        # sessions of the same contract on a *shared* bus (the
+        # networked deployment) keep their signature exchanges apart.
+        # Deterministic in the participants alone, so the in-process
+        # and networked topologies compute the same topic.
+        member_digest = keccak256(
+            b"".join(p.address.value for p in self.participants))
+        return (f"signed-copy:{self.contract_name}:"
+                f"{member_digest[:4].hex()}")
 
     def collect_signatures(self) -> StageResult:
         """Run the signature exchange over Whisper (Deploy/Sign stage).
@@ -341,10 +360,12 @@ class OnOffChainProtocol:
         with obs.span(obs.names.SPAN_STAGE_SIGN,
                       contract=self.contract_name,
                       participants=len(self.participants)):
-            refusers = [p.name for p in self.participants
-                        if not p.will_sign]
+            local = [p for p in self.participants if not p.remote]
+            remote = [p for p in self.participants if p.remote]
+            refusers = [p.name for p in local if not p.will_sign]
             for participant in self.participants:
                 self.bus.subscribe(participant.name, topic)
+            for participant in local:
                 if not participant.will_sign:
                     continue
                 signature = sign_bytecode(
@@ -357,22 +378,49 @@ class OnOffChainProtocol:
                     f"participants refused to sign: {refusers}; abort "
                     "before any deposit (rule 1 of Table I)"
                 )
-            collected: dict[Address, Signature] = {}
-            for envelope in self.bus.peek_all(topic):
-                address_raw, sig_raw = rlp.decode(envelope.payload)
-                collected[Address(address_raw)] = \
-                    Signature.from_bytes(sig_raw)
             addresses = [p.address for p in self.participants]
+            if remote:
+                # Ask the participant processes holding those keys to
+                # sign, then wait (wall clock, not bus clock) for
+                # their signatures to land on the session topic.
+                request = rlp.encode(
+                    [topic.encode("utf-8"), self.offchain_bytecode]
+                    + [p.address.value for p in remote])
+                self.bus.post(SIGN_REQUEST_TOPIC, request,
+                              sender=self.contract_name)
+                deadline = time.monotonic() + REMOTE_SIGN_TIMEOUT
+                while not self._signatures_complete(topic, addresses):
+                    if time.monotonic() > deadline:
+                        missing = sorted(
+                            p.name for p in remote
+                            if p.address not in
+                            self._collect_posted(topic))
+                        raise SigningError(
+                            "remote participants never signed within "
+                            f"{REMOTE_SIGN_TIMEOUT:.0f}s: {missing}")
+                    time.sleep(0.01)
             copy = assemble_signed_copy(
-                self.offchain_bytecode, collected, addresses)
+                self.offchain_bytecode,
+                self._collect_posted(topic), addresses)
             for participant in self.participants:
                 self.signed_copies[participant.name] = copy
         self.stage = Stage.SIGNED
         return StageResult(stage=self.stage, value=copy)
 
-    # ------------------------------------------------------------------
-    # Security deposits (§IV: compensation for dispute costs)
-    # ------------------------------------------------------------------
+    def _collect_posted(self, topic: str) -> dict[Address, Signature]:
+        """Signatures currently posted on the session's sign topic."""
+        collected: dict[Address, Signature] = {}
+        for envelope in self.bus.peek_all(topic):
+            address_raw, sig_raw = rlp.decode(envelope.payload)
+            collected[Address(address_raw)] = \
+                Signature.from_bytes(sig_raw)
+        return collected
+
+    def _signatures_complete(self, topic: str,
+                             addresses: list[Address]) -> bool:
+        """True once every participant's signature is on the topic."""
+        collected = self._collect_posted(topic)
+        return all(address in collected for address in addresses)
 
     def pay_security_deposits(self) -> StageResult:
         """Every participant escrows the agreed security deposit.

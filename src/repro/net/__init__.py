@@ -1,0 +1,48 @@
+"""The networked off-chain layer: protocol commands over asyncio.
+
+This package promotes the in-process :class:`~repro.offchain.whisper.
+WhisperBus` + :class:`~repro.core.engine.SessionEngine` pairing into
+real participant *nodes*: a length-prefixed JSON wire protocol
+(:mod:`repro.net.wire`) carrying ECDSA-signed commands with
+per-channel monotonic sequence numbers (:mod:`repro.net.channel`),
+exponential-backoff retries with idempotent redelivery
+(:mod:`repro.net.client` / :mod:`repro.net.server`), and the service
+layer that lets betting/escrow/tender fleets run as separate OS
+processes against one shared chain node (:mod:`repro.net.node`,
+:mod:`repro.net.remote`, :mod:`repro.net.participant`).
+
+The design follows the two-party channel shape of the Diem off-chain
+API (``CommandProcessor``/``VASPPairChannel``): every command names a
+channel, carries the channel's next sequence number, and is signed by
+its sender; the receiving side executes a sequence number exactly
+once, caching the response so a retransmission is *acked, not
+re-executed*.
+"""
+
+from repro.net.wire import Command, NetError, MAX_FRAME
+from repro.net.channel import SequenceGate
+from repro.net.faults import FaultPolicy
+from repro.net.server import ChannelServer, ServerHandle
+from repro.net.client import ChannelClient
+from repro.net.node import NodeService, run_node
+from repro.net.remote import (
+    RemoteSimulator,
+    RemoteWhisperTransport,
+)
+from repro.net.participant import ParticipantNode
+
+__all__ = [
+    "Command",
+    "NetError",
+    "MAX_FRAME",
+    "SequenceGate",
+    "FaultPolicy",
+    "ChannelServer",
+    "ServerHandle",
+    "ChannelClient",
+    "NodeService",
+    "run_node",
+    "RemoteSimulator",
+    "RemoteWhisperTransport",
+    "ParticipantNode",
+]

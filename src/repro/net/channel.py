@@ -1,0 +1,79 @@
+"""Per-channel command sequencing with an idempotency dedup window.
+
+Each client channel numbers its commands with a monotonic ``seq``.
+The server-side :class:`SequenceGate` executes each ``(channel, seq)``
+pair exactly once and remembers the response it produced: a retried
+command (same pair, delivered again because an ack was lost or the
+wire duplicated the frame) is answered from the window — *acked, not
+re-executed*.  This is what makes at-least-once delivery safe for
+non-idempotent commands like ``chain.send_raw`` or ``bus.post``.
+
+The window is bounded (:data:`DEDUP_WINDOW`): responses older than the
+window are forgotten, and a delivery that far behind the channel's
+cursor is rejected as unrecoverably stale rather than re-executed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.net.wire import Command, NetError
+
+#: Cached responses kept per gate; retries land long before a client
+#: can issue this many newer commands on the same channel.
+DEDUP_WINDOW = 1024
+
+
+class SequenceGate:
+    """Exactly-once execution over at-least-once delivery.
+
+    ``execute`` is the operation to guard: it receives the command and
+    returns the JSON-native result object.  The gate decides whether
+    to call it (first delivery), replay the cached response
+    (redelivery), or reject (stale beyond the window / seq regression
+    for a never-seen number).
+    """
+
+    def __init__(self, window: int = DEDUP_WINDOW) -> None:
+        self._window = window
+        self._expected: dict[str, int] = {}
+        self._responses: OrderedDict[tuple[str, int],
+                                     dict[str, Any]] = OrderedDict()
+        self.commands = 0
+        self.redeliveries = 0
+
+    def admit(self, command: Command,
+              execute: Callable[[Command], dict[str, Any]],
+              ) -> dict[str, Any]:
+        """Run a delivered command through the gate.
+
+        Returns the result object to send back — freshly computed for
+        a first delivery, replayed from the window for a retry.
+        Raises :class:`NetError` for sequence numbers that can neither
+        be executed nor answered from the window.
+        """
+        key = (command.channel, command.seq)
+        cached = self._responses.get(key)
+        if cached is not None:
+            self.redeliveries += 1
+            return cached
+        expected = self._expected.get(command.channel, 0)
+        if command.seq < expected:
+            # Seen before but already evicted from the window: the
+            # client must have moved on long ago; re-executing now
+            # would double-apply the command.
+            raise NetError(
+                f"stale seq {command.seq} on {command.channel!r} "
+                f"(expected >= {expected}, beyond dedup window)")
+        result = execute(command)
+        self.commands += 1
+        self._expected[command.channel] = command.seq + 1
+        self._responses[key] = result
+        while len(self._responses) > self._window:
+            self._responses.popitem(last=False)
+        return result
+
+    def expected(self, channel: str) -> int:
+        """The next sequence number this gate will execute fresh."""
+        return self._expected.get(channel, 0)

@@ -1,0 +1,227 @@
+"""The synchronous channel client: retries, backoff, idempotent seqs.
+
+:class:`ChannelClient` gives blocking callers (the protocol, the
+engine, participant loops) a plain ``call(kind, payload) -> dict``
+over the wire.  Internally it owns a private event loop on a daemon
+thread; each call allocates the channel's next sequence number, signs
+the command, and retransmits it with exponential backoff until a
+matching response arrives — the *same* sequence number every time, so
+the server's dedup window turns retries into acks instead of
+double-executions.
+
+A :class:`~repro.net.faults.FaultPolicy` can be installed to corrupt
+the delivery schedule on purpose (drop/duplicate/delay/reorder); the
+retry loop must absorb every fault with latency only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Optional
+
+from repro import obs
+from repro.crypto.keys import PrivateKey
+from repro.net.faults import FaultPolicy
+from repro.net.wire import (
+    Command,
+    NetError,
+    encode_frame,
+    read_frame,
+)
+
+#: First backoff sleep; doubles per retry up to :data:`BACKOFF_CAP`.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+#: Per-attempt response timeout (seconds).
+DEFAULT_TIMEOUT = 2.0
+#: Retransmissions before a request is abandoned.
+DEFAULT_MAX_RETRIES = 10
+
+_CHANNEL_LOCK = threading.Lock()
+_CHANNEL_COUNTER = 0
+
+
+def _next_channel_id() -> int:
+    global _CHANNEL_COUNTER
+    with _CHANNEL_LOCK:
+        _CHANNEL_COUNTER += 1
+        return _CHANNEL_COUNTER
+
+
+class _ResponseDropped(Exception):
+    """Internal: the fault policy discarded an arrived response."""
+
+
+class ChannelClient:
+    """A signed, sequenced, retrying connection to one server."""
+
+    def __init__(self, host: str, port: int, key: PrivateKey,
+                 channel: str = "",
+                 timeout: float = DEFAULT_TIMEOUT,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 faults: Optional[FaultPolicy] = None) -> None:
+        self._host = host
+        self._port = port
+        self._key = key
+        self._channel = channel or (
+            f"{key.address.hex}/{_next_channel_id()}")
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._faults = faults
+        self._seq = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self.retries = 0
+        self.requests = 0
+        #: Round-trip seconds per completed request (for percentiles).
+        self.rtts: list[float] = []
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, daemon=True,
+            name=f"repro-net-client-{self._channel}")
+        self._thread.start()
+
+    @property
+    def channel(self) -> str:
+        """This client's channel name (its sequence-number space)."""
+        return self._channel
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+        self._loop.close()
+
+    def call(self, kind: str, payload: dict[str, Any] | None = None,
+             ) -> dict[str, Any]:
+        """Send one command and block for its result.
+
+        Retries transparently on timeout or disconnect, re-sending
+        the same sequence number; raises :class:`NetError` when the
+        server reports an error or retries are exhausted.
+        """
+        command = Command(channel=self._channel, seq=self._seq,
+                          kind=kind,
+                          payload=payload or {}).signed(self._key)
+        self._seq += 1
+        started = time.monotonic()
+        retries_before = self.retries
+        with obs.span(obs.names.SPAN_NET_REQUEST, kind=kind):
+            future = asyncio.run_coroutine_threadsafe(
+                self._request(command), self._loop)
+            result = future.result()
+        elapsed = time.monotonic() - started
+        self.requests += 1
+        self.rtts.append(elapsed)
+        obs.inc(obs.names.METRIC_NET_REQUESTS)
+        retried = self.retries - retries_before
+        if retried:
+            obs.inc(obs.names.METRIC_NET_RETRIES, retried)
+        obs.observe(obs.names.METRIC_NET_RTT, elapsed)
+        return result
+
+    def close(self) -> None:
+        """Tear down the connection and stop the loop thread."""
+        async def _close() -> None:
+            await self._drop_connection()
+
+        future = asyncio.run_coroutine_threadsafe(_close(),
+                                                  self._loop)
+        try:
+            future.result(timeout=5.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Loop-thread internals
+    # ------------------------------------------------------------------
+
+    async def _request(self, command: Command) -> dict[str, Any]:
+        frame = encode_frame(command.to_wire())
+        delay = BACKOFF_BASE
+        last_error: Exception | None = None
+        for attempt in range(self._max_retries + 1):
+            if attempt:
+                self.retries += 1
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, BACKOFF_CAP)
+            try:
+                await self._send_frame(frame)
+                response = await self._await_response(command)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError, OSError,
+                    _ResponseDropped) as exc:
+                last_error = exc
+                if not isinstance(exc, (_ResponseDropped,
+                                        asyncio.TimeoutError)):
+                    await self._drop_connection()
+                continue
+            if response.get("ok"):
+                return response.get("result", {})
+            raise NetError(response.get("error", "unknown error"))
+        raise NetError(
+            f"request {command.kind!r} seq={command.seq} abandoned "
+            f"after {self._max_retries} retries "
+            f"(last error: {last_error!r})")
+
+    async def _send_frame(self, frame: bytes) -> None:
+        writer = await self._ensure_connection()
+        faults = self._faults
+        if faults is not None and faults.should_drop_request():
+            return  # simulated loss: nothing hits the wire
+        writer.write(frame)
+        if faults is not None and faults.should_duplicate_request():
+            if faults.should_delay_duplicate():
+                # Reordering: the duplicate lands after newer traffic.
+                self._loop.call_later(
+                    faults.delay_seconds, self._write_late, writer,
+                    frame)
+            else:
+                writer.write(frame)
+        await writer.drain()
+
+    def _write_late(self, writer: asyncio.StreamWriter,
+                    frame: bytes) -> None:
+        try:
+            if not writer.is_closing():
+                writer.write(frame)
+        except (ConnectionError, OSError):
+            pass  # the stale duplicate is allowed to die with the pipe
+
+    async def _await_response(self,
+                              command: Command) -> dict[str, Any]:
+        assert self._reader is not None
+        deadline = self._loop.time() + self._timeout
+        while True:
+            remaining = deadline - self._loop.time()
+            if remaining <= 0:
+                raise asyncio.TimeoutError()
+            response = await asyncio.wait_for(
+                read_frame(self._reader), timeout=remaining)
+            if (response.get("channel") == command.channel
+                    and response.get("seq") == command.seq):
+                faults = self._faults
+                if (faults is not None
+                        and faults.should_drop_response()):
+                    # Lost ack: force a retransmission of this seq.
+                    raise _ResponseDropped()
+                return response
+            # A response to an earlier seq (e.g. from a delayed
+            # duplicate) — stale, discard and keep reading.
+
+    async def _ensure_connection(self) -> asyncio.StreamWriter:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port)
+        return self._writer
+
+    async def _drop_connection(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,72 @@
+"""Deterministic fault injection for the wire layer.
+
+A :class:`FaultPolicy` sits inside the client's send/receive path and
+misbehaves on purpose: dropping request frames before they are sent,
+duplicating them (immediately or after a delay, which reorders them
+behind newer traffic), and discarding responses after they arrive
+(simulating a lost ack).  Every decision comes from a seeded
+``random.Random``, so a lossy run is exactly reproducible.
+
+The point of the exercise: under any of these faults the retry loop
+plus the server's :class:`~repro.net.channel.SequenceGate` must leave
+session outcomes and gas ledgers bit-identical to a clean run — the
+faults cost latency, never correctness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FaultPolicy:
+    """Seeded fault probabilities applied per request attempt."""
+
+    #: Probability a request frame is silently dropped before writing.
+    drop_request: float = 0.0
+    #: Probability a request frame is written twice back-to-back.
+    duplicate_request: float = 0.0
+    #: Probability the duplicate is *delayed* instead of immediate, so
+    #: it arrives after newer commands (wire reordering; exercises the
+    #: gate's behind-the-cursor redelivery path).
+    delay_duplicate: float = 0.0
+    #: Seconds a delayed duplicate waits before being written.
+    delay_seconds: float = 0.02
+    #: Probability an arrived response is discarded (lost ack: the
+    #: client times out and retransmits the same ``seq``).
+    drop_response: float = 0.0
+    #: RNG seed — same seed, same fault schedule.
+    seed: int = 0
+
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def should_drop_request(self) -> bool:
+        """Decide whether to swallow the outgoing frame."""
+        return self._roll(self.drop_request)
+
+    def should_duplicate_request(self) -> bool:
+        """Decide whether to send the frame twice."""
+        return self._roll(self.duplicate_request)
+
+    def should_delay_duplicate(self) -> bool:
+        """Decide whether the duplicate is delayed (reordered)."""
+        return self._roll(self.delay_duplicate)
+
+    def should_drop_response(self) -> bool:
+        """Decide whether to discard the received response."""
+        return self._roll(self.drop_response)
+
+    def _roll(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        return self._rng.random() < probability
+
+
+#: The default lossy profile used by tests and the adversary sweep:
+#: every fault class enabled hard enough to fire many times per fleet.
+LOSSY = dict(drop_request=0.15, duplicate_request=0.2,
+             delay_duplicate=0.5, drop_response=0.1, seed=1_337)

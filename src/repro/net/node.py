@@ -1,0 +1,260 @@
+"""The shared chain node: one simulator + bus served over the wire.
+
+:class:`NodeService` owns the process-wide :class:`EthereumSimulator`
+and :class:`WhisperBus` and maps wire command kinds onto them —
+``bus.*`` for the Whisper surface, ``chain.*`` for the chain surface
+(funding, raw-transaction admission, mining, receipts, time and
+``eth_call``), ``node.*`` for liveness and stats.  Because the
+:class:`~repro.net.server.ChannelServer` serializes every command
+through one event loop, the simulator needs no locking: the node *is*
+the total order of the deployment.
+
+Keys never reach the node.  Clients derive their own accounts and
+sign their own transactions; the node only ever sees addresses, raw
+signed transactions, and signed wire commands.
+
+``run_node`` is the process entry point behind ``repro node``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro import obs
+from repro.chain.receipt import Receipt
+from repro.chain.simulator import EthereumSimulator, SimulatorConfig
+from repro.chain.transaction import Transaction
+from repro.crypto.keys import Address
+from repro.evm.vm import Log
+from repro.exceptions import ReproError
+from repro.net.server import ChannelServer
+from repro.net.wire import NetError, from_hex, to_hex
+from repro.offchain.whisper import WhisperBus
+
+
+def _encode_envelope(envelope: Any) -> dict[str, Any]:
+    return {
+        "topic": envelope.topic,
+        "payload": to_hex(envelope.payload),
+        "sender": envelope.sender,
+        "posted_at": envelope.posted_at,
+        "ttl": envelope.ttl,
+    }
+
+
+def _encode_receipt(receipt: Receipt) -> dict[str, Any]:
+    return {
+        "transaction_hash": to_hex(receipt.transaction_hash),
+        "transaction_index": receipt.transaction_index,
+        "block_number": receipt.block_number,
+        "sender": receipt.sender.hex,
+        "to": receipt.to.hex if receipt.to is not None else None,
+        "status": receipt.status,
+        "gas_used": receipt.gas_used,
+        "cumulative_gas_used": receipt.cumulative_gas_used,
+        "contract_address": (receipt.contract_address.hex
+                             if receipt.contract_address is not None
+                             else None),
+        "logs": [
+            {"address": log.address.hex,
+             "topics": [hex(topic) for topic in log.topics],
+             "data": to_hex(log.data)}
+            for log in receipt.logs
+        ],
+        "error": receipt.error,
+    }
+
+
+def decode_receipt(obj: dict[str, Any]) -> Receipt:
+    """Rebuild a :class:`Receipt` from its wire encoding."""
+    return Receipt(
+        transaction_hash=from_hex(obj["transaction_hash"]),
+        transaction_index=obj["transaction_index"],
+        block_number=obj["block_number"],
+        sender=Address.from_hex(obj["sender"]),
+        to=(Address.from_hex(obj["to"])
+            if obj["to"] is not None else None),
+        status=obj["status"],
+        gas_used=obj["gas_used"],
+        cumulative_gas_used=obj["cumulative_gas_used"],
+        contract_address=(Address.from_hex(obj["contract_address"])
+                          if obj["contract_address"] is not None
+                          else None),
+        logs=tuple(
+            Log(address=Address.from_hex(log["address"]),
+                topics=tuple(int(topic, 16)
+                             for topic in log["topics"]),
+                data=from_hex(log["data"]))
+            for log in obj["logs"]
+        ),
+        error=obj["error"],
+    )
+
+
+class NodeService:
+    """Dispatch wire commands onto one simulator + Whisper bus."""
+
+    def __init__(self, simulator: Optional[EthereumSimulator] = None,
+                 bus: Optional[WhisperBus] = None) -> None:
+        self.simulator = simulator or EthereumSimulator(
+            config=SimulatorConfig(num_accounts=2, auto_mine=False))
+        self.bus = bus or WhisperBus()
+        self.shutdown_requested = asyncio.Event()
+
+    def dispatch(self, kind: str, payload: dict[str, Any],
+                 sender: str) -> dict[str, Any]:
+        """Execute one verified command; the server's handler."""
+        method = getattr(self, "_op_" + kind.replace(".", "_"), None)
+        if method is None:
+            raise NetError(f"unknown command kind {kind!r}")
+        with obs.span(obs.names.SPAN_NET_NODE_SERVE, kind=kind):
+            obs.inc(obs.names.METRIC_NET_COMMANDS)
+            return method(payload)
+
+    # -- bus.* ------------------------------------------------------------
+
+    def _op_bus_post(self, p: dict[str, Any]) -> dict[str, Any]:
+        envelope = self.bus.post(
+            p["topic"], from_hex(p["payload"]),
+            sender=p.get("sender", ""), ttl=p.get("ttl", 3_600))
+        return {"posted_at": envelope.posted_at}
+
+    def _op_bus_subscribe(self, p: dict[str, Any]) -> dict[str, Any]:
+        self.bus.subscribe(p["subscriber"], p["topic"],
+                           resubscribe=p.get("resubscribe", False))
+        return {}
+
+    def _op_bus_poll(self, p: dict[str, Any]) -> dict[str, Any]:
+        envelopes = self.bus.poll(p["subscriber"], p["topic"])
+        return {"envelopes": [_encode_envelope(env)
+                              for env in envelopes]}
+
+    def _op_bus_peek(self, p: dict[str, Any]) -> dict[str, Any]:
+        envelopes = self.bus.peek_all(p["topic"])
+        return {"envelopes": [_encode_envelope(env)
+                              for env in envelopes]}
+
+    def _op_bus_advance(self, p: dict[str, Any]) -> dict[str, Any]:
+        self.bus.advance_time(p["seconds"])
+        return {"now": self.bus.now}
+
+    def _op_bus_now(self, p: dict[str, Any]) -> dict[str, Any]:
+        return {"now": self.bus.now}
+
+    def _op_bus_stats(self, p: dict[str, Any]) -> dict[str, Any]:
+        return {"bytes_transferred": self.bus.bytes_transferred}
+
+    # -- chain.* ----------------------------------------------------------
+
+    def _op_chain_fund(self, p: dict[str, Any]) -> dict[str, Any]:
+        state = self.simulator.chain.state
+        state.add_balance(Address.from_hex(p["address"]), p["amount"])
+        state.clear_journal()
+        return {}
+
+    def _op_chain_next_nonce(self,
+                             p: dict[str, Any]) -> dict[str, Any]:
+        address = Address.from_hex(p["address"])
+        pending_same_sender = sum(
+            1 for tx in self.simulator.chain.mempool.pending()
+            if tx.sender == address)
+        return {"nonce": (self.simulator.get_nonce(address)
+                          + pending_same_sender)}
+
+    def _op_chain_send_raw(self, p: dict[str, Any]) -> dict[str, Any]:
+        transaction = Transaction.decode(from_hex(p["tx"]))
+        tx_hash = self.simulator.chain.send_transaction(transaction)
+        return {"hash": to_hex(tx_hash)}
+
+    def _op_chain_mine(self, p: dict[str, Any]) -> dict[str, Any]:
+        gas_limit = p.get("gas_limit")
+        block = self.simulator.chain.mine_block(gas_limit=gas_limit)
+        return {
+            "number": block.number,
+            "timestamp": block.timestamp,
+            "tx_hashes": [to_hex(tx.hash)
+                          for tx in block.transactions],
+        }
+
+    def _op_chain_pending(self, p: dict[str, Any]) -> dict[str, Any]:
+        pending = self.simulator.pending()
+        return {"count": len(pending)}
+
+    def _op_chain_receipt(self, p: dict[str, Any]) -> dict[str, Any]:
+        receipt = self.simulator.get_receipt(from_hex(p["hash"]))
+        return {"receipt": _encode_receipt(receipt)}
+
+    def _op_chain_latest(self, p: dict[str, Any]) -> dict[str, Any]:
+        block = self.simulator.chain.latest_block
+        return {"number": block.number, "timestamp": block.timestamp}
+
+    def _op_chain_next_timestamp(self,
+                                 p: dict[str, Any]) -> dict[str, Any]:
+        return {"timestamp": self.simulator.chain.next_timestamp()}
+
+    def _op_chain_advance_time_to(self,
+                                  p: dict[str, Any]) -> dict[str, Any]:
+        self.simulator.advance_time_to(p["timestamp"])
+        return {}
+
+    def _op_chain_call(self, p: dict[str, Any]) -> dict[str, Any]:
+        data = self.simulator.call(
+            Address.from_hex(p["to"]), from_hex(p.get("data", "")),
+            value=p.get("value", 0))
+        return {"data": to_hex(data)}
+
+    def _op_chain_balance(self, p: dict[str, Any]) -> dict[str, Any]:
+        return {"balance": self.simulator.get_balance(
+            Address.from_hex(p["address"]))}
+
+    def _op_chain_nonce(self, p: dict[str, Any]) -> dict[str, Any]:
+        return {"nonce": self.simulator.get_nonce(
+            Address.from_hex(p["address"]))}
+
+    # -- node.* -----------------------------------------------------------
+
+    def _op_node_ping(self, p: dict[str, Any]) -> dict[str, Any]:
+        return {"pong": True}
+
+    def _op_node_shutdown(self, p: dict[str, Any]) -> dict[str, Any]:
+        self.shutdown_requested.set()
+        return {}
+
+
+async def _serve(service: NodeService, host: str, port: int) -> int:
+    server = ChannelServer(service.dispatch, host=host, port=port)
+    await server.start()
+    # The flush makes the port line immediately visible to a parent
+    # process parsing our stdout to discover where we bound.
+    print(f"repro-node listening on {host}:{server.port}",
+          flush=True)
+    serve_task = asyncio.ensure_future(server.serve_forever())
+    await service.shutdown_requested.wait()
+    serve_task.cancel()
+    try:
+        await serve_task
+    except asyncio.CancelledError:
+        pass
+    await server.stop()
+    print(f"repro-node served {server.commands} commands "
+          f"({server.redeliveries} redeliveries)", flush=True)
+    return 0
+
+
+def run_node(host: str = "127.0.0.1", port: int = 0,
+             service: Optional[NodeService] = None) -> int:
+    """Run a chain node until a ``node.shutdown`` command arrives.
+
+    The event loop runs on the calling thread, so every command —
+    including telemetry emitted inside handlers — executes on the
+    main thread of the node process.
+    """
+    service = service or NodeService()
+    try:
+        return asyncio.run(_serve(service, host, port))
+    except KeyboardInterrupt:
+        return 0
+    except ReproError as exc:
+        print(f"repro-node error: {exc}", flush=True)
+        return 1

@@ -1,0 +1,96 @@
+"""The remote participant process: keys here, signatures over the bus.
+
+A :class:`ParticipantNode` owns the private keys for one or more fleet
+*roles* (e.g. every session's ``bob``) and serves the Deploy/Sign
+stage over the node's shared Whisper bus: the engine-side protocol
+posts a sign-request naming the session topic, the off-chain bytecode
+and the addresses it is waiting on; this process signs with the keys
+it holds and posts each ``(address ‖ signature)`` back to the session
+topic.  Keys are derived from the same deterministic fleet seeds the
+engine uses (``fleet-{app}-{index}-{role}``), so both sides agree on
+the addresses without ever moving a key across the wire.
+
+Requests are read with ``peek_all`` and deduplicated by envelope
+hash, so a crash-restarted participant resumes cleanly from the
+still-unexpired backlog — the bootstrap path the bus API documents.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.protocol import SIGN_REQUEST_TOPIC
+from repro.crypto import rlp
+from repro.crypto.keys import PrivateKey
+from repro.net.client import ChannelClient
+from repro.net.remote import RemoteWhisperTransport
+from repro.net.wire import NetError
+from repro.offchain.signing import sign_bytecode
+
+
+class ParticipantNode:
+    """Serve one or more roles' signatures for a networked fleet."""
+
+    def __init__(self, client: ChannelClient, app: str,
+                 sessions: int, roles: list[str]) -> None:
+        self._bus = RemoteWhisperTransport(client)
+        self.roles = list(roles)
+        self.name = f"participant:{'+'.join(self.roles)}"
+        #: address bytes -> signing key, for every session x role.
+        self._keys: dict[bytes, PrivateKey] = {}
+        for role in self.roles:
+            for index in range(sessions):
+                key = PrivateKey.from_seed(
+                    f"fleet-{app}-{index}-{role}")
+                self._keys[key.address.value] = key
+        self.signed = 0
+        self._handled: set[bytes] = set()
+
+    def serve(self, expect: int, idle_timeout: float = 30.0,
+              poll_interval: float = 0.01) -> int:
+        """Sign until ``expect`` signatures are posted; returns count.
+
+        ``idle_timeout`` bounds the wait for the *next* request —
+        progress resets it — so a wedged engine fails this process
+        loudly instead of hanging it forever.
+        """
+        deadline = time.monotonic() + idle_timeout
+        while self.signed < expect:
+            if self._drain() > 0:
+                deadline = time.monotonic() + idle_timeout
+                continue
+            if time.monotonic() > deadline:
+                raise NetError(
+                    f"{self.name} idle for {idle_timeout:.0f}s with "
+                    f"{self.signed}/{expect} signatures served")
+            time.sleep(poll_interval)
+        return self.signed
+
+    def _drain(self) -> int:
+        """Handle every unseen sign-request once; returns new posts."""
+        posted = 0
+        for envelope in self._bus.peek_all(SIGN_REQUEST_TOPIC):
+            marker = envelope.envelope_hash
+            if marker in self._handled:
+                continue
+            self._handled.add(marker)
+            posted += self._answer(envelope.payload)
+        return posted
+
+    def _answer(self, request: bytes) -> int:
+        """Sign one request for every address we hold a key for."""
+        decoded = rlp.decode(request)
+        topic = decoded[0].decode("utf-8")
+        bytecode = decoded[1]
+        posted = 0
+        for address_raw in decoded[2:]:
+            key = self._keys.get(bytes(address_raw))
+            if key is None:
+                continue  # another participant process's role
+            signature = sign_bytecode(key, bytecode)
+            payload = rlp.encode(
+                [key.address.value, signature.to_bytes()])
+            self._bus.post(topic, payload, sender=self.name)
+            self.signed += 1
+            posted += 1
+        return posted

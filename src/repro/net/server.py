@@ -1,0 +1,186 @@
+"""The asyncio channel server: signed commands in, one response each.
+
+:class:`ChannelServer` listens with ``asyncio.start_server``, reads
+length-prefixed JSON frames, verifies each command's ECDSA signature,
+and pushes it through a :class:`~repro.net.channel.SequenceGate` so
+every ``(channel, seq)`` executes exactly once no matter how many
+times the wire delivers it.  The supplied handler is a plain
+synchronous callable ``(kind, payload, sender) -> dict``; because all
+connections share one event loop, handler calls are naturally
+serialized — the simulator behind it needs no locking.
+
+:func:`ChannelServer.start_in_thread` runs the loop in a daemon
+thread and returns a :class:`ServerHandle` for synchronous callers
+(tests, the in-process side of a mixed deployment); a dedicated node
+process instead drives :meth:`serve_forever` on its main thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Optional
+
+from repro import obs
+from repro.net.channel import SequenceGate
+from repro.net.wire import (
+    Command,
+    NetError,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+)
+
+Handler = Callable[[str, dict[str, Any], str], dict[str, Any]]
+
+
+class ChannelServer:
+    """Serve signed protocol commands over localhost TCP."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0,
+                 require_signature: bool = True) -> None:
+        self._handler = handler
+        self._host = host
+        self._requested_port = port
+        self._require_signature = require_signature
+        self._gate = SequenceGate()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: int = 0
+
+    @property
+    def commands(self) -> int:
+        """Commands executed fresh (first deliveries)."""
+        return self._gate.commands
+
+    @property
+    def redeliveries(self) -> int:
+        """Duplicate deliveries answered from the dedup window."""
+        return self._gate.redeliveries
+
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` holds the bound port."""
+        self._server = await asyncio.start_server(
+            self._serve_client, self._host, self._requested_port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the listener (open connections drop on loop exit)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except (asyncio.IncompleteReadError,
+                        ConnectionResetError):
+                    break
+                response = self._handle_frame(frame)
+                writer.write(encode_frame(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    def _handle_frame(self, frame: dict[str, Any]) -> dict[str, Any]:
+        try:
+            command = Command.from_wire(frame)
+        except NetError as exc:
+            return error_response("", -1, f"NetError: {exc}")
+        try:
+            if self._require_signature:
+                command.verify()
+            replayed = self._gate.redeliveries
+            result = self._gate.admit(command, self._execute)
+            if self._gate.redeliveries > replayed:
+                obs.inc(obs.names.METRIC_NET_REDELIVERIES)
+        except Exception as exc:  # noqa: BLE001 - becomes a wire error
+            return error_response(
+                command.channel, command.seq,
+                f"{type(exc).__name__}: {exc}")
+        return ok_response(command.channel, command.seq, result)
+
+    def _execute(self, command: Command) -> dict[str, Any]:
+        return self._handler(command.kind, command.payload,
+                             command.sender)
+
+    def start_in_thread(self) -> "ServerHandle":
+        """Run this server on a fresh loop in a daemon thread.
+
+        Blocks until the listener is bound, then returns a
+        :class:`ServerHandle` exposing the port and a ``stop()``.
+        """
+        loop = asyncio.new_event_loop()
+        bound = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self.start())
+            bound.set()
+            loop.run_forever()
+            # Drain cancelled tasks so the loop closes quietly.
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        thread = threading.Thread(target=_run, daemon=True,
+                                  name="repro-net-server")
+        thread.start()
+        if not bound.wait(timeout=10.0):
+            raise NetError("server failed to bind within 10s")
+        return ServerHandle(server=self, loop=loop, thread=thread)
+
+
+class ServerHandle:
+    """A running threaded server: its port, stats and shutdown."""
+
+    def __init__(self, server: ChannelServer,
+                 loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self._server.port
+
+    @property
+    def commands(self) -> int:
+        """Commands executed fresh by the underlying server."""
+        return self._server.commands
+
+    @property
+    def redeliveries(self) -> int:
+        """Duplicates answered from the dedup window."""
+        return self._server.redeliveries
+
+    def stop(self) -> None:
+        """Close the listener and stop the loop thread."""
+        async def _shutdown() -> None:
+            await self._server.stop()
+
+        future = asyncio.run_coroutine_threadsafe(_shutdown(),
+                                                  self._loop)
+        try:
+            future.result(timeout=5.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)

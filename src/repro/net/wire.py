@@ -1,0 +1,192 @@
+"""Frame and command encoding for the off-chain wire protocol.
+
+The wire format is deliberately simple: every frame is a 4-byte
+big-endian length prefix followed by that many bytes of UTF-8 JSON.
+A frame carries either a :class:`Command` (request direction) or a
+response object ``{"channel", "seq", "ok", "result" | "error"}``.
+
+Commands are *signed*: the sender keccak-hashes the canonical JSON
+encoding of ``[channel, seq, kind, payload, sender]`` and attaches a
+recoverable ECDSA signature.  The receiver recovers the signing
+address and rejects commands whose recovered address does not match
+the claimed ``sender`` — transport-level authentication with the same
+primitives the protocol already uses for signed contract copies.
+
+Binary values (bytecode, RLP blobs, transaction encodings) travel as
+hex strings inside ``payload``; helpers :func:`to_hex` / :func:`from_hex`
+keep call sites terse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto import keccak256
+from repro.crypto.ecdsa import Signature
+from repro.crypto.keys import Address, PrivateKey, recover_address
+from repro.exceptions import ReproError
+
+#: Upper bound on a single frame; anything larger is a protocol error
+#: (the largest legitimate frame is a contract deployment, well under
+#: this).
+MAX_FRAME = 4 * 1024 * 1024
+
+_LENGTH_BYTES = 4
+
+
+class NetError(ReproError, RuntimeError):
+    """Raised for wire-protocol violations and exhausted retries."""
+
+
+def to_hex(data: bytes) -> str:
+    """Encode bytes for transport inside a JSON payload."""
+    return data.hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Decode a payload hex string back into bytes."""
+    return bytes.fromhex(text)
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """Serialize one JSON object into a length-prefixed frame."""
+    body = json.dumps(obj, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise NetError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    return len(body).to_bytes(_LENGTH_BYTES, "big") + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any]:
+    """Read one length-prefixed JSON frame from a stream.
+
+    Raises :class:`asyncio.IncompleteReadError` on EOF mid-frame and
+    :class:`NetError` on an oversized or malformed frame.
+    """
+    header = await reader.readexactly(_LENGTH_BYTES)
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise NetError(
+            f"incoming frame of {length} bytes exceeds "
+            f"MAX_FRAME={MAX_FRAME}")
+    body = await reader.readexactly(length)
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise NetError(f"malformed frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise NetError("frame payload must be a JSON object")
+    return obj
+
+
+@dataclass(frozen=True)
+class Command:
+    """One signed protocol command addressed to a channel.
+
+    ``channel`` scopes the sequence-number space (one logical sender
+    connection); ``seq`` is that channel's monotonic counter; ``kind``
+    names the operation (``bus.post``, ``chain.send_raw``, ...);
+    ``payload`` carries JSON-native arguments.  ``sender`` and
+    ``signature`` authenticate the command.
+    """
+
+    channel: str
+    seq: int
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    sender: str = ""
+    signature: str = ""
+
+    def signing_digest(self) -> bytes:
+        """The keccak digest the sender signs (signature excluded)."""
+        canonical = json.dumps(
+            [self.channel, self.seq, self.kind, self.payload,
+             self.sender],
+            separators=(",", ":"), sort_keys=True,
+        ).encode("utf-8")
+        return keccak256(canonical)
+
+    def signed(self, key: PrivateKey) -> "Command":
+        """A copy of this command signed by ``key``.
+
+        The claimed ``sender`` is set to the key's address, so the
+        receiver's recover-and-compare check binds the two.
+        """
+        base = Command(channel=self.channel, seq=self.seq,
+                       kind=self.kind, payload=self.payload,
+                       sender=key.address.hex)
+        signature = key.sign(base.signing_digest())
+        return Command(channel=base.channel, seq=base.seq,
+                       kind=base.kind, payload=base.payload,
+                       sender=base.sender,
+                       signature=to_hex(signature.to_bytes()))
+
+    def verify(self) -> Address:
+        """Recover and check the signer; returns the sender address.
+
+        Raises :class:`NetError` when the signature is absent,
+        unparseable, or recovers to a different address than the
+        claimed ``sender``.
+        """
+        if not self.signature:
+            raise NetError(
+                f"unsigned command {self.kind!r} on {self.channel!r}")
+        try:
+            signature = Signature.from_bytes(from_hex(self.signature))
+            recovered = recover_address(self.signing_digest(),
+                                        signature)
+        except (ReproError, ValueError) as exc:
+            raise NetError(f"unverifiable signature: {exc}") from exc
+        if recovered.hex != self.sender:
+            raise NetError(
+                f"command signer {recovered.hex} does not match "
+                f"claimed sender {self.sender}")
+        return recovered
+
+    def to_wire(self) -> dict[str, Any]:
+        """The JSON object sent on the wire."""
+        return {
+            "channel": self.channel,
+            "seq": self.seq,
+            "kind": self.kind,
+            "payload": self.payload,
+            "sender": self.sender,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, obj: dict[str, Any]) -> "Command":
+        """Parse a wire object; raises :class:`NetError` when malformed."""
+        try:
+            channel = obj["channel"]
+            seq = obj["seq"]
+            kind = obj["kind"]
+            payload = obj.get("payload", {})
+            sender = obj.get("sender", "")
+            signature = obj.get("signature", "")
+        except (KeyError, TypeError) as exc:
+            raise NetError(f"malformed command object: {exc}") from exc
+        if (not isinstance(channel, str) or not isinstance(seq, int)
+                or not isinstance(kind, str)
+                or not isinstance(payload, dict)):
+            raise NetError("malformed command field types")
+        return cls(channel=channel, seq=seq, kind=kind,
+                   payload=payload, sender=sender, signature=signature)
+
+
+def ok_response(channel: str, seq: int,
+                result: dict[str, Any]) -> dict[str, Any]:
+    """Build a success response frame object."""
+    return {"channel": channel, "seq": seq, "ok": True,
+            "result": result}
+
+
+def error_response(channel: str, seq: int,
+                   message: str) -> dict[str, Any]:
+    """Build an error response frame object."""
+    return {"channel": channel, "seq": seq, "ok": False,
+            "error": message}

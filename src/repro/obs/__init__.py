@@ -81,6 +81,8 @@ BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 BLOCK_GAS_BUCKETS = (50_000, 100_000, 250_000, 500_000, 1_000_000,
                      2_000_000, 4_000_000, 8_000_000)
 WINDOW_MARGIN_BUCKETS = (60, 300, 900, 1_800, 3_600, 7_200, 14_400)
+NET_RTT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                   0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
 
 
 def _declare_instruments(registry: MetricsRegistry) -> None:
@@ -150,6 +152,17 @@ def _declare_instruments(registry: MetricsRegistry) -> None:
                      help="accounts faulted in from the durable store")
     registry.counter(names.METRIC_STORAGE_SESSIONS_REPLAYED,
                      help="mid-flight sessions replayed on --resume")
+    registry.counter(names.METRIC_NET_REQUESTS,
+                     help="wire requests completed by clients")
+    registry.counter(names.METRIC_NET_RETRIES,
+                     help="retransmissions after timeout/disconnect")
+    registry.histogram(names.METRIC_NET_RTT,
+                       buckets=NET_RTT_BUCKETS,
+                       help="round-trip seconds per wire request")
+    registry.counter(names.METRIC_NET_COMMANDS,
+                     help="commands executed by channel servers")
+    registry.counter(names.METRIC_NET_REDELIVERIES,
+                     help="duplicates answered from the dedup window")
     registry.counter(names.METRIC_ENGINE_SESSIONS,
                      help="sessions driven to completion")
     registry.counter(names.METRIC_ENGINE_DISPUTES,

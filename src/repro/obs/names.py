@@ -64,6 +64,11 @@ SPAN_STORAGE_COMPACT = "storage.compact"
 #: One engine recovery pass over a reopened ``--store`` directory.
 SPAN_STORAGE_RECOVER = "storage.recover"
 
+#: One synchronous wire request (sign, send, retry loop, response).
+SPAN_NET_REQUEST = "net.client.request"
+#: One command handled by a :class:`ChannelServer` (verify + execute).
+SPAN_NET_NODE_SERVE = "net.node.serve"
+
 #: One state-changing contract transaction (web3-style ``transact``).
 SPAN_CHAIN_TX = "chain.tx"
 #: One contract deployment through the simulator facade.
@@ -97,6 +102,8 @@ ALL_SPANS: tuple[str, ...] = (
     SPAN_STORAGE_COMMIT,
     SPAN_STORAGE_COMPACT,
     SPAN_STORAGE_RECOVER,
+    SPAN_NET_REQUEST,
+    SPAN_NET_NODE_SERVE,
     SPAN_CHAIN_TX,
     SPAN_CHAIN_DEPLOY,
     SPAN_CHAIN_CALL,
@@ -255,6 +262,21 @@ METRIC_STORAGE_ACCOUNTS_FAULTED = "storage.accounts.faulted"
 #: are not counted here).
 METRIC_STORAGE_SESSIONS_REPLAYED = "storage.recover.sessions_replayed"
 
+#: counter — wire requests a :class:`ChannelClient` completed
+#: (one per command, however many retries it took).
+METRIC_NET_REQUESTS = "net.client.requests"
+#: counter — retransmissions after a timeout or connection error (a
+#: request that succeeds first try contributes zero).
+METRIC_NET_RETRIES = "net.client.retries"
+#: histogram — wall-clock round-trip seconds per completed request.
+METRIC_NET_RTT = "net.client.rtt_seconds"
+#: counter — commands a :class:`ChannelServer` executed (first
+#: deliveries only; redeliveries are counted separately).
+METRIC_NET_COMMANDS = "net.server.commands"
+#: counter — duplicate deliveries answered from the dedup window
+#: instead of being re-executed (the idempotency contract firing).
+METRIC_NET_REDELIVERIES = "net.server.redeliveries"
+
 #: counter — sessions a :class:`SessionEngine` drove to completion.
 METRIC_ENGINE_SESSIONS = "engine.sessions"
 #: counter — sessions that settled through Dispute/Resolve.
@@ -313,6 +335,11 @@ ALL_METRICS: tuple[str, ...] = (
     METRIC_STORAGE_ACCOUNTS_EVICTED,
     METRIC_STORAGE_ACCOUNTS_FAULTED,
     METRIC_STORAGE_SESSIONS_REPLAYED,
+    METRIC_NET_REQUESTS,
+    METRIC_NET_RETRIES,
+    METRIC_NET_RTT,
+    METRIC_NET_COMMANDS,
+    METRIC_NET_REDELIVERIES,
     METRIC_ENGINE_SESSIONS,
     METRIC_ENGINE_DISPUTES,
     METRIC_ENGINE_BLOCKS,

@@ -38,12 +38,17 @@ class WhisperBus:
         self.bytes_transferred = 0
 
     def advance_time(self, seconds: int) -> None:
-        """Move the bus clock; expired envelopes are pruned lazily."""
+        """Move the bus clock; expired envelopes are pruned lazily.
+
+        A clock tick is O(1): nothing is scanned here.  Each topic
+        drops its expired envelopes the next time it is touched
+        (:meth:`post`, :meth:`poll` or :meth:`peek_all`), so a bus
+        carrying many idle topics never pays for all of them on every
+        tick.
+        """
         if seconds < 0:
             raise WhisperError("time can only move forward")
         self._clock += seconds
-        for topic in list(self._messages):
-            self._prune(topic)
 
     @property
     def now(self) -> int:
@@ -83,9 +88,19 @@ class WhisperBus:
 
     def post(self, topic: str, payload: bytes, sender: str = "",
              ttl: int = 3_600) -> Envelope:
-        """Publish a payload under a topic."""
+        """Publish a payload under a topic.
+
+        ``ttl`` must be positive: an envelope with ``ttl <= 0`` would
+        be expired at birth (``expires_at <= posted_at``) — it could
+        never be polled yet would still count toward
+        ``bytes_transferred``, so it is rejected outright.
+        """
         if not topic:
             raise WhisperError("topic must be non-empty")
+        if ttl <= 0:
+            raise WhisperError(
+                f"ttl must be positive, got {ttl}: a non-positive TTL "
+                "mints an envelope already expired at birth")
         self._prune(topic)
         envelope = Envelope(
             topic=topic, payload=payload, sender=sender,
@@ -95,7 +110,8 @@ class WhisperBus:
         self.bytes_transferred += envelope.padded_size
         return envelope
 
-    def subscribe(self, subscriber: str, topic: str) -> None:
+    def subscribe(self, subscriber: str, topic: str,
+                  resubscribe: bool = False) -> None:
         """Register a subscriber cursor starting at the current head.
 
         Real Whisper delivers a topic's traffic from the moment of
@@ -103,22 +119,37 @@ class WhisperBus:
         Use :meth:`peek_all` for the bootstrap pattern that *does*
         need the still-unexpired backlog (e.g. a crash-restarted
         participant recovering its signed copy).
+
+        Subscribing again under the same ``(subscriber, topic)`` key
+        keeps the existing cursor by default: a crash-restarted
+        participant that re-subscribes resumes exactly where it left
+        off instead of silently skipping the messages posted while it
+        was down.  Pass ``resubscribe=True`` to explicitly reset the
+        cursor to the current head (drop-history semantics, as if
+        subscribing for the first time now).
         """
         key = (subscriber, topic)
-        if key not in self._subscriptions:
+        if resubscribe or key not in self._subscriptions:
             self._subscriptions[key] = _Subscription(
                 subscriber=subscriber, topic=topic,
                 cursor=len(self._messages.get(topic, [])),
             )
 
     def poll(self, subscriber: str, topic: str) -> list[Envelope]:
-        """Fetch unseen, unexpired envelopes for a subscriber."""
+        """Fetch unseen, unexpired envelopes for a subscriber.
+
+        Pruning happens here (access time): expired envelopes are
+        dropped and the cursor is shifted with them, so the freshness
+        filter below and the backlog agree on the boundary — an
+        envelope with ``expires_at == now`` is already expired.
+        """
         key = (subscriber, topic)
         subscription = self._subscriptions.get(key)
         if subscription is None:
             raise WhisperError(
                 f"{subscriber!r} is not subscribed to {topic!r}"
             )
+        self._prune(topic)
         messages = self._messages.get(topic, [])
         fresh = [
             env for env in messages[subscription.cursor:]
@@ -128,7 +159,13 @@ class WhisperBus:
         return fresh
 
     def peek_all(self, topic: str) -> list[Envelope]:
-        """All unexpired envelopes on a topic (no cursor movement)."""
+        """All unexpired envelopes on a topic (no cursor movement).
+
+        Like :meth:`poll` this is an access point, so the topic is
+        pruned first; the survivors are exactly the envelopes with
+        ``expires_at > now``.
+        """
+        self._prune(topic)
         return [
             env for env in self._messages.get(topic, [])
             if env.expires_at > self._clock

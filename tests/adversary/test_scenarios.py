@@ -133,6 +133,7 @@ def test_rejected_actions_recorded(strategy):
         "replay-copy": 2,          # copy verification + on-chain revert
         "crash-restart": 1,        # dispute without a copy refused
         "censor-mempool": 2,       # censored batch + underpriced re-add
+        "lossy-transport": 1,      # faults absorbed, ledger identical
     }
     result = _run(strategy, "betting")
     assert len(result.rejected_actions) == expected_rejections[strategy]

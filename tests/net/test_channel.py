@@ -1,0 +1,68 @@
+"""SequenceGate unit tests: exactly-once over at-least-once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Command, NetError, SequenceGate
+
+
+def _command(seq: int, channel: str = "c") -> Command:
+    return Command(channel=channel, seq=seq, kind="op", payload={})
+
+
+def test_first_delivery_executes():
+    gate = SequenceGate()
+    calls = []
+    result = gate.admit(_command(0),
+                        lambda c: calls.append(c.seq) or {"n": c.seq})
+    assert result == {"n": 0}
+    assert calls == [0]
+    assert (gate.commands, gate.redeliveries) == (1, 0)
+
+
+def test_redelivery_replays_cached_response_without_reexecuting():
+    gate = SequenceGate()
+    calls = []
+
+    def execute(command):
+        calls.append(command.seq)
+        return {"n": command.seq}
+
+    first = gate.admit(_command(5), execute)
+    again = gate.admit(_command(5), execute)
+    assert first == again == {"n": 5}
+    assert calls == [5]  # executed exactly once
+    assert gate.redeliveries == 1
+
+
+def test_channels_have_independent_sequence_spaces():
+    gate = SequenceGate()
+    gate.admit(_command(0, "a"), lambda c: {})
+    gate.admit(_command(0, "b"), lambda c: {})
+    assert gate.expected("a") == gate.expected("b") == 1
+    assert gate.commands == 2
+
+
+def test_stale_seq_beyond_window_is_rejected_not_reexecuted():
+    gate = SequenceGate(window=2)
+    for seq in range(4):
+        gate.admit(_command(seq), lambda c: {"n": c.seq})
+    # seqs 0 and 1 have been evicted from the two-slot window.
+    with pytest.raises(NetError, match="stale seq 0"):
+        gate.admit(_command(0), lambda c: {"n": -1})
+    # ...while the still-cached tail replays fine.
+    assert gate.admit(_command(3), lambda c: {"n": -1}) == {"n": 3}
+    assert gate.commands == 4
+
+
+def test_execute_failure_is_not_cached():
+    gate = SequenceGate()
+
+    def boom(command):
+        raise RuntimeError("transient")
+
+    with pytest.raises(RuntimeError):
+        gate.admit(_command(0), boom)
+    # The failed attempt cached nothing: a retry executes for real.
+    assert gate.admit(_command(0), lambda c: {"ok": 1}) == {"ok": 1}

@@ -1,0 +1,126 @@
+"""Client/server integration: retries, faults, idempotent redelivery."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.net import ChannelClient, ChannelServer, FaultPolicy, NetError
+from repro.net.faults import LOSSY
+
+
+class _CountingHandler:
+    """Echo handler that counts true executions per (kind, payload)."""
+
+    def __init__(self) -> None:
+        self.executions: list[dict] = []
+        self.lock = threading.Lock()
+
+    def __call__(self, kind: str, payload: dict, sender: str) -> dict:
+        with self.lock:
+            self.executions.append(payload)
+        if kind == "test.fail":
+            raise ValueError("requested failure")
+        return {"echo": payload, "kind": kind}
+
+
+@pytest.fixture
+def server():
+    handler = _CountingHandler()
+    handle = ChannelServer(handler).start_in_thread()
+    yield handler, handle
+    handle.stop()
+
+
+def _client(handle, **kwargs) -> ChannelClient:
+    return ChannelClient("127.0.0.1", handle.port,
+                         PrivateKey.from_seed("net-test-client"),
+                         **kwargs)
+
+
+def test_clean_calls_roundtrip(server):
+    handler, handle = server
+    client = _client(handle)
+    try:
+        for n in range(5):
+            result = client.call("test.echo", {"n": n})
+            assert result == {"echo": {"n": n}, "kind": "test.echo"}
+    finally:
+        client.close()
+    assert handler.executions == [{"n": n} for n in range(5)]
+    assert client.retries == 0
+    assert handle.redeliveries == 0
+
+
+def test_handler_errors_become_net_errors(server):
+    handler, handle = server
+    client = _client(handle)
+    try:
+        with pytest.raises(NetError, match="requested failure"):
+            client.call("test.fail", {})
+        # The channel survives an application error.
+        assert client.call("test.echo", {"after": 1})["echo"] == {
+            "after": 1}
+    finally:
+        client.close()
+
+
+def test_unsigned_commands_are_rejected(server):
+    handler, handle = server
+    # A client whose faults/verification we bypass by sending a frame
+    # with a corrupted signature: simplest is a signed client against
+    # a server that demands signatures, with the key swapped mid-wire
+    # being impractical here — instead assert the server-side check
+    # via a command signed by one key claiming another's address.
+    import asyncio
+
+    from repro.net.wire import Command, encode_frame, read_frame
+
+    async def send_raw() -> dict:
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", handle.port)
+        key = PrivateKey.from_seed("net-test-client")
+        wire = Command(channel="x", seq=0, kind="test.echo",
+                       payload={}).signed(key).to_wire()
+        wire["sender"] = PrivateKey.from_seed("other").address.hex
+        writer.write(encode_frame(wire))
+        await writer.drain()
+        response = await read_frame(reader)
+        writer.close()
+        return response
+
+    response = asyncio.run(send_raw())
+    assert not response["ok"]
+    assert "does not match" in response["error"]
+    assert handler.executions == []  # never reached the handler
+
+
+def test_lossy_wire_executes_every_command_exactly_once(server):
+    handler, handle = server
+    client = _client(handle, timeout=0.25,
+                     faults=FaultPolicy(**LOSSY))
+    try:
+        for n in range(30):
+            result = client.call("test.echo", {"n": n})
+            assert result["echo"] == {"n": n}
+    finally:
+        client.close()
+    # Retries happened (the schedule is seeded, so deterministically
+    # so), yet the handler saw each payload exactly once, in order.
+    assert client.retries > 0
+    assert handle.redeliveries > 0
+    assert handler.executions == [{"n": n} for n in range(30)]
+
+
+def test_retries_exhausted_raises(server):
+    handler, handle = server
+    client = _client(handle, timeout=0.05, max_retries=1,
+                     faults=FaultPolicy(drop_request=1.0))
+    try:
+        with pytest.raises(NetError, match="abandoned"):
+            client.call("test.echo", {})
+    finally:
+        client.close()
+    assert handler.executions == []

@@ -1,0 +1,111 @@
+"""Wire-format unit tests: framing, signing, validation."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.net import MAX_FRAME, Command, NetError
+from repro.net.wire import (
+    encode_frame,
+    error_response,
+    from_hex,
+    ok_response,
+    read_frame,
+    to_hex,
+)
+
+
+class _BytesReader:
+    """Minimal async reader over a bytes buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._stream = io.BytesIO(data)
+
+    async def readexactly(self, n: int) -> bytes:
+        data = self._stream.read(n)
+        if len(data) != n:
+            raise asyncio.IncompleteReadError(data, n)
+        return data
+
+
+def _read(data: bytes) -> dict:
+    return asyncio.run(read_frame(_BytesReader(data)))
+
+
+def test_frame_roundtrip():
+    obj = {"kind": "bus.post", "payload": {"x": 1}, "seq": 7}
+    assert _read(encode_frame(obj)) == obj
+
+
+def test_frame_length_prefix_is_big_endian():
+    frame = encode_frame({})
+    assert frame[:4] == (len(frame) - 4).to_bytes(4, "big")
+
+
+def test_oversized_frame_rejected_without_reading_body():
+    huge = (MAX_FRAME + 1).to_bytes(4, "big")
+    with pytest.raises(NetError, match="exceeds"):
+        _read(huge)
+
+
+def test_hex_helpers_roundtrip():
+    assert from_hex(to_hex(b"\x00\xffhello")) == b"\x00\xffhello"
+    assert from_hex(to_hex(b"")) == b""
+
+
+def test_command_sign_verify_roundtrip():
+    key = PrivateKey.from_seed("wire-test")
+    command = Command(channel="c", seq=3, kind="node.ping",
+                      payload={"a": 1}).signed(key)
+    assert command.sender == key.address.hex
+    command.verify()
+    rebuilt = Command.from_wire(command.to_wire())
+    rebuilt.verify()
+    assert rebuilt == command
+
+
+@pytest.mark.parametrize("field,value", [
+    ("seq", 99),
+    ("kind", "node.shutdown"),
+    ("payload", {"a": 2}),
+    ("channel", "other"),
+])
+def test_tampered_command_fails_verification(field, value):
+    key = PrivateKey.from_seed("wire-test")
+    signed = Command(channel="c", seq=3, kind="node.ping",
+                     payload={"a": 1}).signed(key)
+    wire = signed.to_wire()
+    wire[field] = value
+    with pytest.raises(NetError):
+        Command.from_wire(wire).verify()
+
+
+def test_claimed_sender_must_match_recovered_signer():
+    key = PrivateKey.from_seed("wire-test")
+    imposter = PrivateKey.from_seed("imposter")
+    wire = Command(channel="c", seq=0, kind="node.ping",
+                   payload={}).signed(key).to_wire()
+    wire["sender"] = imposter.address.hex
+    with pytest.raises(NetError, match="sender"):
+        Command.from_wire(wire).verify()
+
+
+def test_from_wire_validates_shape():
+    with pytest.raises(NetError):
+        Command.from_wire({"channel": "c"})
+    with pytest.raises(NetError):
+        Command.from_wire({"channel": "c", "seq": "not-int",
+                           "kind": "k", "payload": {},
+                           "sender": "", "signature": ""})
+
+
+def test_response_helpers():
+    ok = ok_response("c", 1, {"value": 2})
+    assert ok["ok"] and ok["result"] == {"value": 2}
+    err = error_response("c", 1, "boom")
+    assert not err["ok"] and err["error"] == "boom"
+    assert (ok["channel"], ok["seq"]) == ("c", 1)

@@ -80,17 +80,37 @@ def test_time_cannot_rewind():
 
 def test_expired_envelopes_pruned_from_backlog():
     """TTL expiry actually frees the backlog instead of filtering the
-    same dead envelopes on every read."""
+    same dead envelopes on every read — lazily, at access time."""
     bus = WhisperBus()
     bus.subscribe("alice", "t")
     for index in range(5):
         bus.post("t", bytes([index]), ttl=100)
     bus.advance_time(101)
+    # The clock tick itself touches nothing; the next access does.
+    assert len(bus._messages["t"]) == 5
+    assert bus.peek_all("t") == []
     assert bus._messages["t"] == []
     bus.post("t", b"fresh", ttl=100)
     assert len(bus._messages["t"]) == 1
     # Cursors were shifted with the prune: alice only sees the new one.
     assert [e.payload for e in bus.poll("alice", "t")] == [b"fresh"]
+
+
+def test_advance_time_prunes_lazily_per_topic():
+    """A clock tick never scans topics: an untouched topic keeps its
+    dead envelopes until it is next accessed, and only the accessed
+    topic pays for its own pruning."""
+    bus = WhisperBus()
+    bus.post("hot", b"a", ttl=10)
+    bus.post("cold", b"b", ttl=10)
+    bus.advance_time(100)
+    assert len(bus._messages["hot"]) == 1
+    assert len(bus._messages["cold"]) == 1
+    bus.post("hot", b"c", ttl=10)  # posting prunes the posted topic
+    assert [e.payload for e in bus._messages["hot"]] == [b"c"]
+    assert len(bus._messages["cold"]) == 1  # still untouched
+    assert bus.peek_all("cold") == []
+    assert bus._messages["cold"] == []
 
 
 def test_prune_preserves_unread_messages():
@@ -116,9 +136,98 @@ def test_bytes_transferred_is_cumulative_across_pruning():
     bus = WhisperBus()
     bus.post("t", b"x", ttl=10)
     assert bus.bytes_transferred == 256
-    bus.advance_time(1_000)  # prunes the envelope
-    assert bus.peek_all("t") == []
+    bus.advance_time(1_000)
+    assert bus.peek_all("t") == []  # the read prunes the envelope
+    assert bus._messages["t"] == []
     assert bus.bytes_transferred == 256
+
+
+def test_non_positive_ttl_rejected():
+    """ttl <= 0 would mint a born-expired envelope that counts toward
+    bytes_transferred but can never be polled — rejected outright."""
+    bus = WhisperBus()
+    for ttl in (0, -1, -3_600):
+        with pytest.raises(WhisperError):
+            bus.post("t", b"x", ttl=ttl)
+    assert bus.bytes_transferred == 0
+    assert bus.peek_all("t") == []
+
+
+def test_expiry_boundary_is_consistent_everywhere():
+    """expires_at == clock means expired, identically in poll,
+    peek_all and the prune that backs them."""
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    envelope = bus.post("t", b"x", ttl=100)
+    bus.advance_time(100)  # clock == expires_at exactly
+    assert envelope.expires_at == bus.now
+    assert bus.peek_all("t") == []
+    assert bus.poll("alice", "t") == []
+    assert bus._messages["t"] == []  # pruned, not merely filtered
+
+
+def test_interleaved_post_expire_poll_keeps_cursors_straight():
+    """Regression for cursor correctness across interleaved
+    post/expire/poll: lazily pruned envelopes below a cursor shift it
+    down, so a subscriber neither re-reads old traffic nor skips new
+    traffic."""
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    bus.post("t", b"short-1", ttl=10)
+    bus.post("t", b"keep-1", ttl=1_000)
+    assert [e.payload for e in bus.poll("alice", "t")] == [
+        b"short-1", b"keep-1"]
+    bus.advance_time(50)  # expires short-1; nothing touched yet
+    bus.post("t", b"short-2", ttl=10)  # post prunes short-1
+    bus.post("t", b"keep-2", ttl=1_000)
+    # alice's cursor sat at 2 (past short-1): the prune shifted it to
+    # 1, so she sees exactly the two new envelopes and nothing twice.
+    assert [e.payload for e in bus.poll("alice", "t")] == [
+        b"short-2", b"keep-2"]
+    bus.advance_time(50)  # expires short-2 under alice's cursor
+    bus.post("t", b"keep-3", ttl=1_000)
+    assert [e.payload for e in bus.poll("alice", "t")] == [b"keep-3"]
+    assert bus.poll("alice", "t") == []
+
+
+def test_resubscribe_keeps_cursor_by_default():
+    """Re-subscribing under the same key is a no-op by default (the
+    crash-restart case resumes where it left off); resubscribe=True
+    explicitly resets to the head."""
+    bus = WhisperBus()
+    bus.subscribe("alice", "t")
+    bus.post("t", b"while-down")
+    bus.subscribe("alice", "t")  # crash-restart default: keep cursor
+    assert [e.payload for e in bus.poll("alice", "t")] == [
+        b"while-down"]
+    bus.post("t", b"newer")
+    bus.subscribe("alice", "t", resubscribe=True)  # explicit reset
+    assert bus.poll("alice", "t") == []
+    bus.post("t", b"newest")
+    assert [e.payload for e in bus.poll("alice", "t")] == [b"newest"]
+
+
+def test_crash_restart_bootstrap_peek_then_resubscribe():
+    """The crash-restarted participant bootstrap path: recover the
+    still-unexpired backlog with peek_all, then re-subscribe and keep
+    receiving live traffic without duplicates."""
+    bus = WhisperBus()
+    bus.subscribe("alice", "signed-copy")
+    bus.post("signed-copy", b"copy-for-alice")
+    assert len(bus.poll("alice", "signed-copy")) == 1
+    bus.post("signed-copy", b"posted-while-down")
+    # -- alice crashes, loses local state, restarts --
+    backlog = bus.peek_all("signed-copy")
+    assert [e.payload for e in backlog] == [
+        b"copy-for-alice", b"posted-while-down"]
+    # Default re-subscribe keeps the old cursor: the envelope posted
+    # while she was down is still delivered exactly once.
+    bus.subscribe("alice", "signed-copy")
+    assert [e.payload for e in bus.poll("alice", "signed-copy")] == [
+        b"posted-while-down"]
+    bus.post("signed-copy", b"live")
+    assert [e.payload for e in bus.poll("alice", "signed-copy")] == [
+        b"live"]
 
 
 def test_envelope_padding_hides_exact_length():

@@ -5,8 +5,11 @@ Runs a fixed battery of substrate and end-to-end benchmarks — the same
 workloads as ``benchmarks/bench_*.py`` (EVM interpreter ops/s, Keccak,
 ECDSA sign/recover, the Table II dispute path, the 100-session fleet)
 — plus the adversarial dispute-path scenario (dispute gas under
-Byzantine load) — under explicit warmup/repeat controls, and writes a
-schema-versioned ``BENCH_<label>.json`` at the repository root.
+Byzantine load) and the networked multi-process fleet (``repro node``
++ ``repro participant`` + engine over the wire protocol, reporting
+sessions/s and RTT p50/p99) — under explicit warmup/repeat controls,
+and writes a schema-versioned ``BENCH_<label>.json`` at the
+repository root.
 
 Beyond raw numbers the runner enforces two invariants:
 
@@ -61,6 +64,9 @@ _UNIT_KIND = {
     # speedup and conflict rate depend on host core count, not code.
     "x": "info",
     "fraction": "info",
+    # Latency percentiles: lower is better, so the throughput gate
+    # would read an improvement as a regression — informational only.
+    "seconds": "info",
 }
 
 
@@ -810,6 +816,170 @@ def bench_parallel_block(cfg, repeats, warmup):
     }
 
 
+def bench_network(cfg, repeats, warmup):
+    """The networked off-chain layer: throughput, latency, identity.
+
+    Spawns a real ``repro node`` chain process and a ``repro
+    participant`` remote-signer process, drives a betting fleet
+    against them through :class:`RemoteSimulator` over the wire
+    protocol, and reports sessions/s plus request-RTT p50/p99.  Each
+    topology runs once (subprocess spawn cost dwarfs best-of noise;
+    ``repeats``/``warmup`` are ignored).
+
+    Two hard gates, both exit status 2, enforced on every run
+    including smoke:
+
+    1. **Topology identity** — the multi-process fleet's fingerprint
+       (per-session gas ledgers + terminal stages) must equal the
+       in-process run's, bit for bit.
+    2. **Fault-schedule identity** — the same fleet driven through the
+       ``LOSSY`` schedule (dropped, duplicated, delayed, reordered
+       frames) must retransmit (retries > 0) and still land on the
+       identical fingerprint.
+    """
+    import os
+    import re
+    import subprocess
+
+    from repro.chain import EthereumSimulator, SimulatorConfig
+    from repro.core import SessionEngine, fleet_fingerprint, spawn_fleet
+    from repro.crypto.keys import PrivateKey
+    from repro.net import (
+        ChannelClient,
+        FaultPolicy,
+        RemoteSimulator,
+        RemoteWhisperTransport,
+    )
+    from repro.net.faults import LOSSY
+
+    sessions = cfg["network_sessions"]
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+    def inproc():
+        sim = EthereumSimulator(
+            config=SimulatorConfig(num_accounts=2, auto_mine=False))
+        drivers = spawn_fleet(sim, sessions, app="betting")
+        SessionEngine(sim, drivers, mining="batch").run()
+        return fleet_fingerprint(drivers)
+
+    def spawn_node():
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "node"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        line = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if not match:
+            proc.kill()
+            raise SystemExit(f"error: repro node failed to start: "
+                             f"{line!r}")
+        return proc, match.group(1), int(match.group(2))
+
+    def networked(faults=None, timeout=2.0, remote_signer=True):
+        node, host, port = spawn_node()
+        participant = None
+        try:
+            if remote_signer:
+                participant = subprocess.Popen(
+                    [sys.executable, "-m", "repro", "participant",
+                     "--peer", f"{host}:{port}", "--role", "bob",
+                     "--app", "betting", "--sessions", str(sessions)],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.STDOUT, env=env)
+            client = ChannelClient(
+                host, port, PrivateKey.from_seed("engine-client"),
+                timeout=timeout, faults=faults)
+            try:
+                sim = RemoteSimulator(client, config=SimulatorConfig(
+                    num_accounts=2, auto_mine=False))
+                drivers = spawn_fleet(
+                    sim, sessions, app="betting",
+                    remote_roles=("bob",) if remote_signer else ())
+                bus = RemoteWhisperTransport(client)
+                for driver in drivers:
+                    driver.protocol.bus = bus
+                start = time.perf_counter()
+                SessionEngine(sim, drivers, mining="batch").run()
+                wall = time.perf_counter() - start
+                record = {
+                    "fingerprint": fleet_fingerprint(drivers),
+                    "wall": wall,
+                    "rtts": sorted(client.rtts),
+                    "requests": client.requests,
+                    "retries": client.retries,
+                }
+            finally:
+                client.close()
+            if participant is not None:
+                if participant.wait(timeout=30) != 0:
+                    raise SystemExit(
+                        "error: the participant process failed")
+        finally:
+            if participant is not None and participant.poll() is None:
+                participant.kill()
+            node.terminate()
+            node.wait(timeout=10)
+        return record
+
+    baseline = inproc()
+    clean = networked()
+    lossy = networked(faults=FaultPolicy(**LOSSY), timeout=0.25,
+                      remote_signer=False)
+
+    drift = {
+        name: record["fingerprint"]
+        for name, record in (("clean", clean), ("lossy", lossy))
+        if record["fingerprint"] != baseline
+    }
+    if drift:
+        print("FATAL: networked fleet fingerprints diverged from the "
+              "in-process run:")
+        print(json.dumps({"inproc": baseline, **drift}, indent=2))
+        raise SystemExit(2)
+    if lossy["retries"] == 0:
+        print("FATAL: the LOSSY schedule produced no retransmissions "
+              "— the fault path went unexercised")
+        raise SystemExit(2)
+
+    def percentile(rtts, q):
+        return rtts[min(len(rtts) - 1, (len(rtts) * q) // 100)]
+
+    return {
+        "network_fleet": {
+            "value": sessions / clean["wall"],
+            "unit": "sessions/s",
+            "wall_s": clean["wall"],
+            "sessions": sessions,
+            "requests": clean["requests"],
+            "note": f"{sessions} betting sessions over the wire "
+                    "protocol: separate node + remote-signer "
+                    "processes, fingerprint gated bit-identical "
+                    "(exit 2)",
+        },
+        "network_rtt_p50": {
+            "value": percentile(clean["rtts"], 50),
+            "unit": "seconds",
+            "note": "median request round-trip over localhost TCP",
+        },
+        "network_rtt_p99": {
+            "value": percentile(clean["rtts"], 99),
+            "unit": "seconds",
+            "note": "p99 request round-trip over localhost TCP",
+        },
+        "network_lossy_fleet": {
+            "value": sessions / lossy["wall"],
+            "unit": "sessions/s",
+            "wall_s": lossy["wall"],
+            "sessions": sessions,
+            "requests": lossy["requests"],
+            "retries": lossy["retries"],
+            "note": "same fleet under the LOSSY drop/duplicate/"
+                    "delay/reorder schedule; fingerprint gated "
+                    "bit-identical (exit 2)",
+        },
+    }
+
+
 def check_telemetry_invariance():
     """Dispute gas with telemetry off vs on; must be byte-identical.
 
@@ -913,6 +1083,7 @@ FULL_CONFIG = {
     "netting_sessions": 100,
     "netting_batch": 100,
     "storage_sessions": 40,
+    "network_sessions": 12,
 }
 
 SMOKE_CONFIG = {
@@ -926,13 +1097,14 @@ SMOKE_CONFIG = {
     "netting_sessions": 8,
     "netting_batch": 8,
     "storage_sessions": 4,
+    "network_sessions": 3,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="run the benchmark battery and gate regressions")
-    parser.add_argument("--label", default="pr8",
+    parser.add_argument("--label", default="pr9",
                         help="run label; default output is "
                              "BENCH_<label>.json at the repo root")
     parser.add_argument("--out", help="output JSON path")
@@ -964,17 +1136,21 @@ def main(argv: list[str] | None = None) -> int:
     results: dict = {}
     for bench in (bench_keccak, bench_ecdsa, bench_evm, bench_table2,
                   bench_adversarial_dispute, bench_multi_session,
-                  bench_netting, bench_parallel_block, bench_storage):
+                  bench_netting, bench_parallel_block, bench_storage,
+                  bench_network):
         produced = bench(cfg, repeats, warmup)
         for name, entry in produced.items():
             results[name] = entry
+            unit = entry["unit"]
             if entry["value"] is None:
                 shown = f"skipped ({entry['skip_reason']})"
-            elif entry["unit"] == "gas":
+            elif unit == "gas":
                 shown = f"{entry['value']:,}"
+            elif unit == "seconds":
+                shown, unit = f"{entry['value'] * 1000:,.2f}", "ms"
             else:
                 shown = f"{entry['value']:,.0f}"
-            print(f"  {name:<40} {shown:>16} {entry['unit']}")
+            print(f"  {name:<40} {shown:>16} {unit}")
 
     print("  checking telemetry on/off gas invariance ...")
     invariance = check_telemetry_invariance()
