@@ -44,6 +44,46 @@ def _recover_sender(tx: Transaction) -> tuple[bool, object]:
         return False, str(exc)
 
 
+def _recover_sender_chunk(txs: list) -> list:
+    """Worker-side BATCH recovery: one verdict list per chunk.
+
+    All low-s transactions in the chunk share one
+    :func:`repro.crypto.keys.recover_address_batch` pass (Montgomery
+    batch inversions + one shared affine normalisation); anything the
+    batch cannot recover — and any non-canonical signature — re-runs
+    the single-shot :attr:`Transaction.sender` path so the error
+    message is byte-identical to sequential admission's.
+    """
+    from repro.crypto.keys import recover_address_batch
+
+    verdicts: list = [None] * len(txs)
+    batch_indices = []
+    batch_items = []
+    for index, tx in enumerate(txs):
+        signature = tx.signature
+        if not signature.is_low_s:
+            # The cheap EIP-2 rejection; take the single path for the
+            # exact TransactionError message.
+            verdicts[index] = _recover_sender(tx)
+            continue
+        digest = tx.signing_hash(
+            tx.nonce, tx.gas_price, tx.gas_limit,
+            tx.to, tx.value, tx.data,
+        )
+        batch_indices.append(index)
+        batch_items.append((digest, signature))
+    if batch_items:
+        addresses = recover_address_batch(batch_items)
+        for index, address in zip(batch_indices, addresses):
+            if address is not None:
+                verdicts[index] = (True, address.value)
+            else:
+                # Rare: unrecoverable signature.  Re-run single-shot
+                # for the exact error string.
+                verdicts[index] = _recover_sender(txs[index])
+    return verdicts
+
+
 class BatchSenderRecovery:
     """Recovers transaction senders in parallel, seeding their caches.
 
@@ -69,7 +109,7 @@ class BatchSenderRecovery:
         if self._pool is None:
             try:
                 self._pool = PersistentWorkerPool(
-                    self.workers, _recover_sender)
+                    self.workers, _recover_sender_chunk)
             except Exception:
                 self.use_processes = False
                 return None
@@ -88,18 +128,31 @@ class BatchSenderRecovery:
         pool = self._ensure_pool() if len(pending) > 1 else None
         verdicts: dict[int, tuple[bool, object]] = {}
         if pool is not None:
+            # One strided chunk per worker: the pool's unit of work is
+            # a whole sub-batch, so each worker amortises its modular
+            # inversions across len(chunk) signatures instead of
+            # paying them per signature.
+            chunk_count = min(self.workers, len(pending))
+            chunks = [pending[start::chunk_count]
+                      for start in range(chunk_count)]
             try:
-                results = pool.run_tasks(pending)
+                chunk_results = pool.run_tasks(chunks)
             except Exception:
                 # A broken pool (killed worker, pickling trouble)
                 # must not lose the batch: recover inline instead.
                 self.use_processes = False
                 self.close()
-                results = [_recover_sender(tx) for tx in pending]
+                chunks = [pending]
+                chunk_results = [_recover_sender_chunk(pending)]
         else:
-            results = [_recover_sender(tx) for tx in pending]
-        for tx, verdict in zip(pending, results):
-            verdicts[id(tx)] = verdict
+            chunks = [pending] if pending else []
+            chunk_results = [_recover_sender_chunk(pending)] if pending else []
+        if obs.enabled():
+            for chunk in chunks:
+                obs.observe(obs.names.METRIC_CRYPTO_BATCH_SIZE, len(chunk))
+        for chunk, results in zip(chunks, chunk_results):
+            for tx, verdict in zip(chunk, results):
+                verdicts[id(tx)] = verdict
 
         from repro.crypto.keys import Address
 

@@ -341,6 +341,15 @@ class EthereumSimulator:
         )
         return self.chain.send_transaction(tx)
 
+    def send_signed_transaction(self, transaction: Transaction) -> bytes:
+        """Queue one pre-signed transaction; returns its hash.
+
+        The engine's pipelined rounds sign in worker processes and
+        submit here — admission (including the sender-recovery check)
+        is identical to :meth:`send_transaction`'s.
+        """
+        return self.chain.send_transaction(transaction)
+
     def send_raw_transactions(self, transactions: list[Transaction]
                               ) -> list[bytes]:
         """Queue pre-signed transactions in one admission batch.

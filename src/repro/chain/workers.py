@@ -52,6 +52,21 @@ class WorkerPoolError(ReproError, RuntimeError):
     """The pool (or one of its workers) failed; close and degrade."""
 
 
+class TaskHandle:
+    """An in-flight batch submitted with :meth:`submit_tasks`.
+
+    Opaque to callers: hold it and pass it back to :meth:`collect`.
+    Handles of one pool may be collected in any order — results that
+    arrive for a not-yet-collected handle are stashed, not lost.
+    """
+
+    __slots__ = ("start", "count")
+
+    def __init__(self, start: int, count: int) -> None:
+        self.start = start
+        self.count = count
+
+
 def _worker_loop(conn, result_queue, on_task: Callable,
                  on_broadcast: Optional[Callable]) -> None:
     """Worker-side message loop (runs in the forked child)."""
@@ -99,6 +114,12 @@ class PersistentWorkerPool:
         self._conns = []
         self._procs = []
         self._closed = False
+        # Overlapping-batch bookkeeping: sequence numbers are global
+        # across the pool's lifetime so two in-flight batches can share
+        # the one result queue; results arriving for a handle other
+        # than the one being collected wait in the stash.
+        self._next_seq = 0
+        self._stash: dict[int, object] = {}
         try:
             for _ in range(self.workers):
                 read_end, write_end = context.Pipe(duplex=False)
@@ -133,17 +154,42 @@ class PersistentWorkerPool:
         timeout — the caller must then close the pool (later results
         of the failed batch may still sit in the shared queue).
         """
+        return self.collect(self.submit_tasks(payloads))
+
+    def submit_tasks(self, payloads: list) -> TaskHandle:
+        """Dispatch a batch WITHOUT waiting; returns a handle.
+
+        The asynchronous half of :meth:`run_tasks`: the caller keeps
+        the parent process productive (mining, settling) while the
+        workers chew, then claims the results with :meth:`collect`.
+        Several handles may be in flight at once.
+        """
         self._ensure_open()
-        total = len(payloads)
+        start = self._next_seq
         try:
-            for seq, payload in enumerate(payloads):
+            for offset, payload in enumerate(payloads):
+                seq = start + offset
                 self._conns[seq % self.workers].send(("task", seq, payload))
         except Exception as exc:
             raise WorkerPoolError(f"task dispatch failed: {exc}") from exc
-        results: list = [None] * total
+        self._next_seq = start + len(payloads)
+        return TaskHandle(start, len(payloads))
+
+    def collect(self, handle: TaskHandle) -> list:
+        """Wait for one submitted batch; results in submit order.
+
+        Results tagged for *other* in-flight handles are stashed for
+        their own ``collect`` call, so collection order is free.
+        """
+        self._ensure_open()
+        results: list = [None] * handle.count
         received = 0
+        for seq in range(handle.start, handle.start + handle.count):
+            if seq in self._stash:
+                results[seq - handle.start] = self._stash.pop(seq)
+                received += 1
         deadline = time.monotonic() + self._task_timeout
-        while received < total:
+        while received < handle.count:
             try:
                 seq, ok, value = self._results.get(timeout=1.0)
             except queue.Empty:
@@ -154,8 +200,11 @@ class PersistentWorkerPool:
                 continue
             if not ok:
                 raise WorkerPoolError(value)
-            results[seq] = value
-            received += 1
+            if handle.start <= seq < handle.start + handle.count:
+                results[seq - handle.start] = value
+                received += 1
+            else:
+                self._stash[seq] = value
         return results
 
     def _ensure_open(self) -> None:

@@ -12,9 +12,10 @@ Usage (also via ``python -m repro``):
                    [--emit-telemetry PATH]
     repro engine   [--sessions N] [--app NAME] [--mining MODE] \\
                    [--dishonest FRACTION] [--workers N] [--no-jit] \\
-                   [--compare] [--store PATH] [--resume] \\
-                   [--transport {inproc,net}] [--peer HOST:PORT] \\
-                   [--remote-role ROLE] [--emit-telemetry PATH]
+                   [--pipeline] [--compare] [--store PATH] \\
+                   [--resume] [--transport {inproc,net}] \\
+                   [--peer HOST:PORT] [--remote-role ROLE] \\
+                   [--emit-telemetry PATH]
     repro node     [--listen HOST:PORT]
     repro participant --peer HOST:PORT --role ROLE \\
                    [--app NAME] [--sessions N] [--idle-timeout S]
@@ -279,7 +280,8 @@ def _run_fleet(sessions: int, app: str, mining: str,
                store: str | None = None, resume: bool = False,
                evm_jit: bool | None = None,
                peer: tuple[str, int] | None = None,
-               remote_roles: tuple[str, ...] = ()):
+               remote_roles: tuple[str, ...] = (),
+               pipeline: bool = False):
     from repro.chain import EthereumSimulator, SimulatorConfig
     from repro.core import SessionEngine, spawn_fleet
 
@@ -319,7 +321,8 @@ def _run_fleet(sessions: int, app: str, mining: str,
         # rejected instead of silently diverging.
         run_store.extra_config["dishonest"] = str(dishonest)
     engine = SessionEngine(sim, drivers, mining=mining,
-                           store=run_store, resume=resume)
+                           store=run_store, resume=resume,
+                           pipeline=pipeline)
     try:
         metrics = engine.run()
     finally:
@@ -394,7 +397,8 @@ def cmd_engine(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size, store=args.store,
                 resume=args.resume,
                 evm_jit=False if args.no_jit else None,
-                peer=peer, remote_roles=tuple(args.remote_role))
+                peer=peer, remote_roles=tuple(args.remote_role),
+                pipeline=args.pipeline)
             unsettled = [d.session_id for d in drivers if not d.settled]
             if unsettled:
                 raise SystemExit(
@@ -654,6 +658,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_engine.add_argument("--workers", type=int, default=1,
                           help="speculative execution lanes per mined "
                                "block (1 = sequential apply)")
+    p_engine.add_argument(
+        "--pipeline", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="overlap round k+1's signing/recovery with round k's "
+             "mining on background workers (--no-pipeline to force "
+             "the serial rounds; fingerprints are identical either "
+             "way)")
     p_engine.add_argument("--no-jit", action="store_true",
                           help="force the interpreter for every EVM "
                                "execution (disable the bytecode-to-"

@@ -1,0 +1,168 @@
+"""Two-stage pipelined round preparation for the session engine.
+
+A ``_mine_round`` spends its wall clock in two very different places:
+pure-CPU cryptography (RFC-6979 signing plus ECDSA sender recovery,
+~2 ms per transaction even after the GLV kernels) and the strictly
+serial chain work (mempool admission, block execution, receipts).
+The serial path interleaves them — sign tx, admit tx, ... then mine —
+so the cores idle during mining and the miner idles during signing.
+
+:class:`RoundPipeline` splits the round into chunks of sessions and
+overlaps the stages: while the engine admits and mines chunk *k*, a
+:class:`~repro.chain.workers.PersistentWorkerPool` signs and
+sender-recovers chunk *k+1* in the background (via the pool's
+``submit_tasks``/``collect`` pair).  Determinism is preserved by
+construction:
+
+* RFC-6979 signatures are deterministic, so a worker-signed
+  transaction is byte-identical to the one the serial path builds;
+* nonces are allocated by the *engine* at round start with per-sender
+  running counters — exactly the values the serial pool-aware
+  allocation would hand out, because a sender's transactions never
+  span chunks out of order;
+* sender recovery runs through the same batched
+  :func:`~repro.crypto.keys.recover_address_batch` kernel admission
+  uses, and an unrecoverable signature falls back to the serial
+  single-shot path for the identical error.
+
+When no worker pool can be created (no ``fork``, or the pool died)
+preparation simply runs inline in :meth:`submit` — same functions,
+same results, no overlap.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.chain.transaction import Transaction
+from repro.chain.workers import PersistentWorkerPool, WorkerPoolError
+from repro.crypto import ecdsa
+from repro.crypto.keys import Address, recover_address_batch
+
+#: A planned transaction, pickled to the signing workers:
+#: ``(secret, nonce, gas_price, gas_limit, to_bytes_or_None, value,
+#: data)``.
+TxPlan = tuple
+
+#: How many chunks a round is cut into — the pipeline's overlap
+#: granularity.  More chunks shrink the un-overlapped head (chunk 0's
+#: preparation) and tail (the last chunk's mining) but add per-chunk
+#: mining passes; four keeps both ends under a quarter of the round.
+ROUND_CHUNKS = 4
+
+
+def prepare_transactions(plans: Sequence[TxPlan]) -> list:
+    """Sign and sender-recover one chunk of planned transactions.
+
+    Runs in a forked worker (or inline as the fallback).  Returns one
+    ``(v, r, s, sender_bytes_or_None)`` tuple per plan; ``None`` marks
+    a signature the batch kernel could not recover — the engine then
+    leaves the transaction's sender cache cold so admission raises the
+    exact serial-path error.
+    """
+    signatures = []
+    digests = []
+    for secret, nonce, gas_price, gas_limit, to, value, data in plans:
+        digest = Transaction.signing_hash(
+            nonce, gas_price, gas_limit,
+            Address(to) if to is not None else None, value, data)
+        signatures.append(ecdsa.sign(digest, secret))
+        digests.append(digest)
+    addresses = recover_address_batch(list(zip(digests, signatures)))
+    return [
+        (signature.v, signature.r, signature.s,
+         address.value if address is not None else None)
+        for signature, address in zip(signatures, addresses)
+    ]
+
+
+class _InlineHandle:
+    """A chunk prepared synchronously (the no-pool fallback)."""
+
+    __slots__ = ("results",)
+
+    def __init__(self, results: list) -> None:
+        self.results = results
+
+
+class _PoolHandle:
+    """A chunk in flight on the worker pool."""
+
+    __slots__ = ("handle", "stride", "plans")
+
+    def __init__(self, handle, stride: int, plans: list) -> None:
+        self.handle = handle
+        self.stride = stride
+        #: Kept so a pool failure mid-flight can re-prepare inline —
+        #: RFC-6979 determinism makes the redo byte-identical.
+        self.plans = plans
+
+
+class RoundPipeline:
+    """Asynchronous sign-and-recover ahead of the engine's miner.
+
+    ``submit`` fans a chunk's plans out over the pool (strided, one
+    sub-payload per worker so each amortises its batch inversions) and
+    returns immediately; ``collect`` blocks for the results.  Any pool
+    trouble permanently degrades to inline preparation — never an
+    error, never different bytes.
+    """
+
+    def __init__(self, workers: int = 0) -> None:
+        if workers <= 0:
+            workers = min(4, os.cpu_count() or 1)
+        self.workers = max(1, int(workers))
+        self.use_processes = hasattr(os, "fork")
+        self._pool: Optional[PersistentWorkerPool] = None
+
+    def _ensure_pool(self) -> Optional[PersistentWorkerPool]:
+        if not self.use_processes:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = PersistentWorkerPool(
+                    self.workers, prepare_transactions)
+            except Exception:
+                self.use_processes = False
+                return None
+        return self._pool
+
+    def _degrade(self) -> None:
+        """Drop to inline preparation for the rest of the run."""
+        self.use_processes = False
+        self.close()
+
+    def submit(self, plans: list):
+        """Start preparing one chunk; returns an opaque handle."""
+        pool = self._ensure_pool()
+        if pool is None or not plans:
+            return _InlineHandle(prepare_transactions(plans))
+        stride = min(self.workers, len(plans))
+        payloads = [plans[lane::stride] for lane in range(stride)]
+        try:
+            handle = pool.submit_tasks(payloads)
+        except WorkerPoolError:
+            self._degrade()
+            return _InlineHandle(prepare_transactions(plans))
+        return _PoolHandle(handle, stride, plans)
+
+    def collect(self, handle) -> list:
+        """Results for one submitted chunk, in plan order."""
+        if isinstance(handle, _InlineHandle):
+            return handle.results
+        try:
+            lanes = self._pool.collect(handle.handle)
+        except WorkerPoolError:
+            self._degrade()
+            return prepare_transactions(handle.plans)
+        results: list = [None] * len(handle.plans)
+        for lane, lane_results in enumerate(lanes):
+            results[lane::handle.stride] = lane_results
+        return results
+
+    def close(self) -> None:
+        """Shut the signing pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None

@@ -186,3 +186,44 @@ def recover_public_key(message_hash: bytes, signature: Signature):
     if candidate is None:
         raise SignatureError("recovered the point at infinity")
     return candidate
+
+
+def recover_batch(items):
+    """Recover public keys for many ``(message_hash, signature)`` pairs.
+
+    Semantically identical to calling :func:`recover_public_key` per
+    item, but amortised: the ``r``-scalar inversions mod N are shared
+    through one Montgomery batch-inversion pass, and every recovered
+    point stays in Jacobian form until a single shared field inversion
+    normalises the whole batch to affine.  Items whose signature cannot
+    be recovered yield ``None`` in their slot instead of raising (the
+    batch must keep positional alignment for the admission layer).
+    """
+    count = len(items)
+    results = [None] * count
+    # (index, z, s, point_r) for items that survive the cheap checks.
+    live = []
+    for index, (message_hash, signature) in enumerate(items):
+        if len(message_hash) != 32:
+            continue
+        r = signature.r
+        if r >= P:
+            continue
+        point_r = secp256k1.lift_x(r, signature.recovery_id)
+        if point_r is None:
+            continue
+        live.append((index, int.from_bytes(message_hash, "big"),
+                     signature.s, r, point_r))
+    if not live:
+        return results
+
+    r_inverses = secp256k1.batch_inverse([entry[3] for entry in live], N)
+    jacobians = []
+    for (index, z, s, __, point_r), r_inv in zip(live, r_inverses):
+        u1 = (-z * r_inv) % N
+        u2 = s * r_inv % N
+        jacobians.append(secp256k1.double_scalar_mult_base_j(u1, u2, point_r))
+    normalized = secp256k1.batch_normalize(jacobians)
+    for (index, *__), candidate in zip(live, normalized):
+        results[index] = candidate  # None slot == point at infinity
+    return results

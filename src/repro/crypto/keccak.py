@@ -5,6 +5,21 @@ domain byte) rather than the NIST SHA-3 padding (``0x06``), so
 ``hashlib.sha3_256`` cannot be used.  This module implements the full
 Keccak-f[1600] permutation and the sponge construction from scratch.
 
+Two permutations coexist (the same pattern the EVM keeps its
+interpreter next to the JIT):
+
+* :func:`_keccak_f1600_reference` — the original loop-based
+  θ/ρ/π/χ/ι rounds, retained verbatim as the differential-test oracle;
+* the production permutation — a **generated** function (built as
+  Python source and ``exec``-compiled once at import, exactly like the
+  EVM bytecode JIT builds block closures) with all 24 rounds unrolled,
+  every lane a local variable, rotation offsets and round constants
+  inlined as literals, and χ's complement folded into a mask XOR.
+  No per-round list allocation, no inner loops, no function calls.
+
+The sponge absorbs full-rate blocks through ``struct.unpack`` (17
+lanes at a time) instead of per-lane ``int.from_bytes``.
+
 The implementation is verified against the canonical Ethereum test
 vectors, e.g.::
 
@@ -14,9 +29,11 @@ vectors, e.g.::
 
 from __future__ import annotations
 
+import struct
 from functools import lru_cache
 
 _RATE_BYTES = 136  # 1088-bit rate for Keccak-256
+_RATE_LANES = _RATE_BYTES // 8
 _MEMO_MAX_LEN = 128  # memoise digests of inputs up to this many bytes
 _LANES = 25
 _MASK64 = (1 << 64) - 1
@@ -50,8 +67,13 @@ def _rotl64(value: int, shift: int) -> int:
     return ((value << shift) | (value >> (64 - shift))) & _MASK64
 
 
-def _keccak_f1600(state: list[int]) -> None:
-    """Apply the 24-round Keccak-f[1600] permutation in place."""
+def _keccak_f1600_reference(state: list[int]) -> None:
+    """Apply the 24-round Keccak-f[1600] permutation in place.
+
+    The loop-based reference implementation, kept as the oracle the
+    property tests (and ``bench_hotpath``'s speedup gate) compare the
+    generated permutation against.
+    """
     for round_constant in _ROUND_CONSTANTS:
         # theta
         c = [
@@ -82,6 +104,91 @@ def _keccak_f1600(state: list[int]) -> None:
         state[0] ^= round_constant
 
 
+# Backwards-compatible alias: external callers and old tests referred
+# to the permutation by this name before the generated fast path.
+_keccak_f1600 = _keccak_f1600_reference
+
+
+# ---------------------------------------------------------------------------
+# Generated permutation (exec-compiled, fully unrolled)
+# ---------------------------------------------------------------------------
+
+def _rot_expr(value: str, shift: int) -> str:
+    """Source for ``rotl64(value, shift)`` with the shift inlined."""
+    if shift == 0:
+        return value
+    return (f"(({value} << {shift}) & 0x{_MASK64:X}"
+            f" | {value} >> {64 - shift})")
+
+
+def _generate_permutation_source(name: str, absorb: bool) -> str:
+    """Build the unrolled 24-round permutation as Python source.
+
+    One function, 25 lane parameters ``a0..a24``, all rounds unrolled:
+    θ's column parities become five locals, ρ/π lane moves and χ's
+    non-linear mix are emitted as straight-line assignments with the
+    rotation offsets baked in, and ι XORs the literal round constant.
+    ``~b & c`` is emitted as ``(b ^ MASK) & c`` so every intermediate
+    stays an unsigned 64-bit int (no Python negative-int detour).
+
+    With ``absorb=True`` the function takes 17 extra rate-lane
+    parameters ``l0..l16`` and XORs them into the state up front — the
+    sponge's absorb step fused into the permutation call, so absorbing
+    a block costs zero Python-level loop iterations.
+    """
+    params = [f"a{i}" for i in range(25)]
+    if absorb:
+        params += [f"l{i}" for i in range(_RATE_LANES)]
+    lines = [f"def {name}(" + ", ".join(params) + "):"]
+    emit = lines.append
+    if absorb:
+        for i in range(_RATE_LANES):
+            emit(f"    a{i} ^= l{i}")
+    for round_constant in _ROUND_CONSTANTS:
+        # theta: column parities and the d-mask per column.
+        for x in range(5):
+            emit(f"    c{x} = a{x} ^ a{x + 5} ^ a{x + 10}"
+                 f" ^ a{x + 15} ^ a{x + 20}")
+        for x in range(5):
+            rot = _rot_expr(f"c{(x + 1) % 5}", 1)
+            emit(f"    d{x} = c{(x - 1) % 5} ^ {rot}")
+        # rho + pi fused with the theta column xor: lane (x, y) lands
+        # at (y, 2x + 3y), rotated by its offset.
+        for x in range(5):
+            for y in range(5):
+                source = x + 5 * y
+                target = y + 5 * ((2 * x + 3 * y) % 5)
+                rot = _rot_expr(f"(a{source} ^ d{x})", _ROTATIONS[source])
+                emit(f"    b{target} = {rot}")
+        # chi: a[x] = b[x] ^ (~b[x+1] & b[x+2]) per row; iota folds the
+        # round constant into lane 0 in the same assignment.
+        for y in range(0, 25, 5):
+            for x in range(5):
+                b0 = f"b{y + x}"
+                b1 = f"b{y + (x + 1) % 5}"
+                b2 = f"b{y + (x + 2) % 5}"
+                expr = f"{b0} ^ (({b1} ^ 0x{_MASK64:X}) & {b2})"
+                if y == 0 and x == 0:
+                    expr = f"({expr}) ^ 0x{round_constant:X}"
+                emit(f"    a{y + x} = {expr}")
+    emit("    return (" + ", ".join(f"a{i}" for i in range(25)) + ")")
+    return "\n".join(lines)
+
+
+def _compile_permutation(name: str, absorb: bool):
+    namespace: dict = {}
+    exec(compile(_generate_permutation_source(name, absorb),  # noqa: S102
+                 f"<keccak-f1600:{name}>", "exec"), namespace)
+    return namespace[name]
+
+
+_permute = _compile_permutation("_permute", absorb=False)
+_permute_absorb = _compile_permutation("_permute_absorb", absorb=True)
+
+_UNPACK_RATE = struct.Struct(f"<{_RATE_LANES}Q").unpack_from
+_PACK_DIGEST = struct.Struct("<4Q").pack
+
+
 def keccak256(data: bytes) -> bytes:
     """Return the 32-byte Keccak-256 digest of ``data``.
 
@@ -110,17 +217,18 @@ def keccak_cache_info():
 
 
 def _keccak256_raw(data: bytes) -> bytes:
-    """The actual sponge computation, uncached."""
-    state = [0] * _LANES
+    """The actual sponge computation, uncached (generated permutation)."""
+    state = (0,) * _LANES
+    permute_absorb = _permute_absorb
+    unpack_rate = _UNPACK_RATE
 
-    # Absorb full rate-sized blocks.
+    # Absorb full rate-sized blocks: 17 lanes per unpack, one
+    # fully-unrolled permutation call per block with the rate-lane XOR
+    # fused in (no Python-level per-lane loop).
     offset = 0
     length = len(data)
     while length - offset >= _RATE_BYTES:
-        block = data[offset:offset + _RATE_BYTES]
-        for lane in range(_RATE_BYTES // 8):
-            state[lane] ^= int.from_bytes(block[lane * 8:lane * 8 + 8], "little")
-        _keccak_f1600(state)
+        state = permute_absorb(*state, *unpack_rate(data, offset))
         offset += _RATE_BYTES
 
     # Pad the final block: Keccak pad10*1 with the 0x01 domain byte.
@@ -128,11 +236,36 @@ def _keccak256_raw(data: bytes) -> bytes:
     final.append(0x01)
     final.extend(b"\x00" * (_RATE_BYTES - len(final)))
     final[-1] |= 0x80
-    for lane in range(_RATE_BYTES // 8):
-        state[lane] ^= int.from_bytes(final[lane * 8:lane * 8 + 8], "little")
-    _keccak_f1600(state)
+    state = permute_absorb(*state, *unpack_rate(final, 0))
 
     # Squeeze: 32 bytes fit in the first four lanes.
+    return _PACK_DIGEST(state[0], state[1], state[2], state[3])
+
+
+def _keccak256_reference(data: bytes) -> bytes:
+    """Reference sponge over the loop-based permutation (oracle only).
+
+    Byte-identical to :func:`keccak256` on every input by construction;
+    the property tests and the ``bench_hotpath`` keccak speedup gate
+    hold the production path to that.
+    """
+    state = [0] * _LANES
+    offset = 0
+    length = len(data)
+    data = bytes(data)
+    while length - offset >= _RATE_BYTES:
+        block = data[offset:offset + _RATE_BYTES]
+        for lane in range(_RATE_LANES):
+            state[lane] ^= int.from_bytes(block[lane * 8:lane * 8 + 8], "little")
+        _keccak_f1600_reference(state)
+        offset += _RATE_BYTES
+    final = bytearray(data[offset:])
+    final.append(0x01)
+    final.extend(b"\x00" * (_RATE_BYTES - len(final)))
+    final[-1] |= 0x80
+    for lane in range(_RATE_LANES):
+        state[lane] ^= int.from_bytes(final[lane * 8:lane * 8 + 8], "little")
+    _keccak_f1600_reference(state)
     return b"".join(state[lane].to_bytes(8, "little") for lane in range(4))
 
 

@@ -10,8 +10,8 @@ signing and EIP-55 checksum formatting.
 from __future__ import annotations
 
 import secrets
+from collections import namedtuple
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 from repro.crypto import ecdsa, secp256k1
 from repro.crypto.ecdsa import Signature
@@ -153,28 +153,95 @@ class PrivateKey:
         return self.secret.to_bytes(32, "big")
 
 
-@lru_cache(maxsize=1024)
-def _recover_address_cached(message_hash: bytes, v: int, r: int, s: int) -> Address:
-    """Memoised ecrecover core, keyed by ``(digest, v, r, s)``.
+# Memoised ecrecover results, keyed by ``(digest, v, r, s)``.  The
+# same signed transaction is recovered at least twice per life cycle —
+# mempool admission and block processing — so a bounded LRU collapses
+# every recovery after the first into a dict lookup.  A hand-rolled
+# LRU (dict preserves insertion order; move-to-end on hit) instead of
+# ``functools.lru_cache`` so :func:`recover_address_batch` can consult
+# AND prime the same memo the single-shot path uses.
+_RECOVER_MEMO_MAX = 1024
+_recover_memo: dict = {}
+_recover_hits = 0
+_recover_misses = 0
 
-    The same signed transaction is recovered at least twice per life
-    cycle — mempool admission and block processing — so a bounded LRU
-    collapses every recovery after the first into a dict lookup.
-    """
-    point = ecdsa.recover_public_key(message_hash, Signature(v=v, r=r, s=s))
-    return PublicKey(point).address
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+
+def _memo_get(key):
+    global _recover_hits, _recover_misses
+    memo = _recover_memo
+    cached = memo.get(key)
+    if cached is not None:
+        _recover_hits += 1
+        del memo[key]  # move-to-end: re-insert as most recent
+        memo[key] = cached
+        return cached
+    _recover_misses += 1
+    return None
+
+
+def _memo_put(key, address: Address) -> None:
+    memo = _recover_memo
+    if key not in memo and len(memo) >= _RECOVER_MEMO_MAX:
+        del memo[next(iter(memo))]  # evict least-recently used
+    memo[key] = address
 
 
 def recover_address(message_hash: bytes, signature: Signature) -> Address:
     """Recover the signer's address — the behaviour of ``ecrecover``."""
-    return _recover_address_cached(message_hash, signature.v, signature.r, signature.s)
+    key = (message_hash, signature.v, signature.r, signature.s)
+    cached = _memo_get(key)
+    if cached is not None:
+        return cached
+    point = ecdsa.recover_public_key(message_hash, signature)
+    address = PublicKey(point).address
+    _memo_put(key, address)
+    return address
 
 
-def recover_cache_info():
+def recover_address_batch(items) -> list:
+    """Recover addresses for many ``(digest, Signature)`` pairs at once.
+
+    Memo hits are served without touching the curve; all misses share
+    one :func:`repro.crypto.ecdsa.recover_batch` pass (batched modular
+    inversions), and their results prime the memo for later single-shot
+    lookups.  Unrecoverable items yield ``None`` in their slot — the
+    caller decides whether (and how) that is an error.
+    """
+    results: list = [None] * len(items)
+    miss_indices = []
+    miss_items = []
+    for index, (message_hash, signature) in enumerate(items):
+        key = (message_hash, signature.v, signature.r, signature.s)
+        cached = _memo_get(key)
+        if cached is not None:
+            results[index] = cached
+        else:
+            miss_indices.append(index)
+            miss_items.append((message_hash, signature))
+    if miss_items:
+        points = ecdsa.recover_batch(miss_items)
+        for index, item, point in zip(miss_indices, miss_items, points):
+            if point is None:
+                continue
+            address = PublicKey(point).address
+            message_hash, signature = item
+            _memo_put((message_hash, signature.v, signature.r, signature.s),
+                      address)
+            results[index] = address
+    return results
+
+
+def recover_cache_info() -> CacheInfo:
     """LRU statistics of the ecrecover memo (``evm.cache.*``)."""
-    return _recover_address_cached.cache_info()
+    return CacheInfo(_recover_hits, _recover_misses,
+                     _RECOVER_MEMO_MAX, len(_recover_memo))
 
 
 def clear_recover_cache() -> None:
     """Drop the ``recover_address`` memo (benchmarks measure cold paths)."""
-    _recover_address_cached.cache_clear()
+    global _recover_hits, _recover_misses
+    _recover_memo.clear()
+    _recover_hits = 0
+    _recover_misses = 0

@@ -5,20 +5,28 @@ and Ethereum.  Points are represented as affine ``(x, y)`` tuples with
 ``None`` denoting the point at infinity; scalar multiplication uses
 Jacobian coordinates internally for speed.
 
-Two scalar-multiplication strategies coexist:
+Three scalar-multiplication strategies coexist:
 
 * :func:`scalar_mult_naive` — the reference binary double-and-add
   ladder, kept as the oracle for the fast-path property tests;
-* the fast paths behind :func:`scalar_mult` and
-  :func:`double_scalar_mult_base` — a windowed fixed-base comb for the
-  generator (a lazily built table of ``j * 16^i * G`` multiples, so
-  ``k*G`` costs ~64 mixed additions and zero doublings) and a width-4
-  windowed ladder for arbitrary points whose per-point table is
-  normalised to affine with one shared field inversion (Montgomery's
-  trick).  ``u1*G + u2*Q`` — the shape of both ECDSA verification and
-  public-key recovery — combines the two in the Straus/Shamir style:
-  the variable-base part pays the doublings, the fixed-base part rides
-  along for additions only.
+* the pre-GLV fast path — a windowed fixed-base comb for the generator
+  plus a width-4 windowed ladder for arbitrary points, retained as
+  :func:`_double_scalar_mult_base_reference` (the in-process speedup
+  baseline for ``bench_hotpath`` and the fallback for off-curve
+  inputs, where the endomorphism identity does not hold);
+* the production path — GLV endomorphism decomposition.  secp256k1
+  has an efficiently computable endomorphism ``φ(x, y) = (β·x, y)``
+  with ``φ(Q) = λ·Q``, so any scalar ``k`` splits into
+  ``k ≡ k1 + k2·λ (mod N)`` with ``|k1|, |k2| ≈ √N``.  ``k·Q`` then
+  runs a Straus/Shamir ladder over the two ~128-bit halves (sharing
+  doublings) with width-4 wNAF digit recoding over a shared
+  odd-multiple table — the φ half's table is the base table with each
+  x-coordinate scaled by β, eight field multiplications total.  The
+  generator half of ``u1*G + u2*Q`` (the ECDSA verify/recover shape)
+  still rides the fixed-base comb for additions only, and
+  :func:`batch_inverse` / :func:`batch_normalize` expose Montgomery's
+  shared-inversion trick so batch callers (``recover_batch``) pay one
+  field inversion per *batch* instead of per point.
 
 Field inversions use ``pow(x, -1, P)`` (extended-gcd under the hood),
 which is markedly faster than the Fermat ``pow(x, P - 2, P)`` ladder.
@@ -232,7 +240,11 @@ def _base_table() -> list:
 
 
 def _base_mult_j(k: int) -> _JacobianPoint:
-    """``k * G`` in Jacobian form via the fixed-base comb (k in [1, N))."""
+    """``k * G`` in Jacobian form via the 4-bit fixed-base comb.
+
+    The pre-GLV comb, retained for the reference path; production code
+    uses the wider :func:`_base_mult8_j`.
+    """
     table = _base_table()
     accumulator = _INFINITY_J
     window = 0
@@ -242,6 +254,54 @@ def _base_mult_j(k: int) -> _JacobianPoint:
             accumulator = _jacobian_add_affine(
                 accumulator, table[window][digit - 1])
         k >>= _WINDOW_BITS
+        window += 1
+    return accumulator
+
+
+# 8-bit fixed-base comb: ``_BASE_TABLE8[i][j-1] == j * 256^i * G``, so
+# ``k*G`` costs at most 32 mixed additions (half the 4-bit comb's 64).
+# 32 windows x 255 entries = 8160 affine points, built lazily in ~tens
+# of milliseconds with one shared inversion and ~0.6 MB retained.
+_BASE8_WINDOWS = 256 // 8
+_BASE8_MASK = 255
+_BASE_TABLE8: Optional[list] = None
+
+
+def _build_base_table8() -> list:
+    jacobian_rows = []
+    window_base: _JacobianPoint = (GX, GY, 1)
+    for __ in range(_BASE8_WINDOWS):
+        row = []
+        current = window_base
+        for __ in range(_BASE8_MASK):
+            row.append(current)
+            current = _jacobian_add(current, window_base)
+        jacobian_rows.append(row)
+        window_base = current  # == 256 * previous window base
+    flat = [entry for row in jacobian_rows for entry in row]
+    affine = _batch_normalize(flat)
+    return [affine[index * _BASE8_MASK:(index + 1) * _BASE8_MASK]
+            for index in range(_BASE8_WINDOWS)]
+
+
+def _base_table8() -> list:
+    global _BASE_TABLE8
+    if _BASE_TABLE8 is None:
+        _BASE_TABLE8 = _build_base_table8()
+    return _BASE_TABLE8
+
+
+def _base_mult8_j(k: int) -> _JacobianPoint:
+    """``k * G`` in Jacobian form via the 8-bit fixed-base comb."""
+    table = _base_table8()
+    accumulator = _INFINITY_J
+    window = 0
+    add_affine = _jacobian_add_affine
+    while k:
+        digit = k & _BASE8_MASK
+        if digit:
+            accumulator = add_affine(accumulator, table[window][digit - 1])
+        k >>= 8
         window += 1
     return accumulator
 
@@ -269,18 +329,161 @@ def _windowed_mult_j(k: int, point: Tuple[int, int]) -> _JacobianPoint:
     return accumulator
 
 
+# ---------------------------------------------------------------------------
+# GLV endomorphism decomposition
+# ---------------------------------------------------------------------------
+
+#: λ: the eigenvalue of the secp256k1 endomorphism — λ³ ≡ 1 (mod N) and
+#: λ·(x, y) == (β·x, y) for every curve point.
+GLV_LAMBDA = 0x5363AD4CC05C30E0A5261C028812645A122E22EA20816678DF02967C1B23BD72
+#: β: the matching cube root of unity in the base field (β³ ≡ 1 mod P).
+GLV_BETA = 0x7AE96A2B657C07106E64479EAC3434E99CF0497512F58995C1396C28719501EE
+
+# Lattice basis for the scalar split (libsecp256k1's constants):
+# k ≡ k1 + k2·λ (mod N) with |k1|, |k2| ≈ √N ≈ 2^128.
+_GLV_A1 = 0x3086D221A7D46BCDE86C90E49284EB15
+_GLV_B1 = 0xE4437ED6010E88286F547FA90ABFE4C3  # == -b1 of the basis
+_GLV_A2 = 0x114CA50F7A8E2F3F657C1108D9D44CFD8
+_GLV_B2 = _GLV_A1
+_N_HALF = N // 2
+
+#: Process-wide count of GLV decompositions, exported by the telemetry
+#: layer as ``crypto.glv.splits`` (this module stays obs-free to avoid
+#: an import cycle — obs pulls the counter, crypto never pushes).
+_GLV_SPLITS = 0
+
+
+def glv_split_count() -> int:
+    """Cumulative GLV scalar decompositions in this process."""
+    return _GLV_SPLITS
+
+
+def glv_decompose(k: int) -> Tuple[int, int]:
+    """Split ``k`` (mod N) into ``(k1, k2)`` with ``k ≡ k1 + k2·λ``.
+
+    Both halves are signed and roughly 128 bits, so a double-scalar
+    ladder over them shares half the doublings a 256-bit ladder pays.
+    """
+    global _GLV_SPLITS
+    _GLV_SPLITS += 1
+    k %= N
+    c1 = (_GLV_B2 * k + _N_HALF) // N
+    c2 = (_GLV_B1 * k + _N_HALF) // N
+    k1 = k - c1 * _GLV_A1 - c2 * _GLV_A2
+    k2 = c1 * _GLV_B1 - c2 * _GLV_B2
+    return k1, k2
+
+
+def _wnaf(k: int, width: int = 4) -> list:
+    """Width-``w`` non-adjacent form of ``k >= 0``, least significant first.
+
+    Digits are zero or odd in ``(-2^w, 2^w)``; at most one of any
+    ``width`` consecutive digits is non-zero, so ~k.bit_length()/(w+1)
+    additions are paid during the ladder.
+    """
+    digits = []
+    window = 1 << width
+    half = window >> 1
+    mask = window - 1
+    while k:
+        if k & 1:
+            digit = k & mask
+            if digit >= half:
+                digit -= window
+            k -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        k >>= 1
+    return digits
+
+
+def _glv_mult_j(k: int, point: Tuple[int, int]) -> _JacobianPoint:
+    """``k * point`` in Jacobian form via GLV + interleaved wNAF.
+
+    ``point`` must be an on-curve affine point and ``k`` in [1, N).
+    Builds one shared odd-multiple table {1P, 3P, .., 15P} (normalised
+    to affine with a single inversion), derives the φ-half's table by
+    scaling x-coordinates with β, then runs the two ~128-bit wNAF
+    ladders interleaved so doublings are shared.
+    """
+    k1, k2 = glv_decompose(k)
+
+    base: _JacobianPoint = (point[0], point[1], 1)
+    twice = _jacobian_double(base)
+    multiples = [base]
+    for __ in range(7):
+        multiples.append(_jacobian_add(multiples[-1], twice))
+    table1 = _batch_normalize(multiples)  # ValueError on degenerate input
+    beta = GLV_BETA
+    table2 = [(x * beta % P, y) for x, y in table1]
+    if k1 < 0:
+        k1 = -k1
+        table1 = [(x, P - y) for x, y in table1]
+    if k2 < 0:
+        k2 = -k2
+        table2 = [(x, P - y) for x, y in table2]
+
+    naf1 = _wnaf(k1)
+    naf2 = _wnaf(k2)
+    length = max(len(naf1), len(naf2))
+    if len(naf1) < length:
+        naf1 += [0] * (length - len(naf1))
+    if len(naf2) < length:
+        naf2 += [0] * (length - len(naf2))
+
+    # Flat interleaved ladder: accumulator kept in locals, the doubling
+    # inlined (no tuple churn on the ~130 shared doublings).
+    x = y = 0
+    z = 0
+    add_affine = _jacobian_add_affine
+    modulus = P
+    for index in range(length - 1, -1, -1):
+        if z:
+            if y == 0:
+                x, y, z = 0, 1, 0
+            else:
+                ysq = y * y % modulus
+                s = 4 * x * ysq % modulus
+                m = 3 * x * x % modulus
+                nx = (m * m - 2 * s) % modulus
+                nz = 2 * y * z % modulus
+                y = (m * (s - nx) - 8 * ysq * ysq) % modulus
+                x = nx
+                z = nz
+        digit = naf1[index]
+        if digit:
+            if digit > 0:
+                x, y, z = add_affine((x, y, z), table1[digit >> 1])
+            else:
+                px, py = table1[(-digit) >> 1]
+                x, y, z = add_affine((x, y, z), (px, modulus - py))
+        digit = naf2[index]
+        if digit:
+            if digit > 0:
+                x, y, z = add_affine((x, y, z), table2[digit >> 1])
+            else:
+                px, py = table2[(-digit) >> 1]
+                x, y, z = add_affine((x, y, z), (px, modulus - py))
+    return (x, y, z)
+
+
 def scalar_mult(k: int, point: AffinePoint = G) -> AffinePoint:
     """Return ``k * point``.
 
-    Dispatches to the fixed-base comb when ``point`` is the generator
-    and to the width-4 windowed ladder otherwise; both agree with
-    :func:`scalar_mult_naive` on every input (property-tested).
+    Dispatches to the fixed-base comb when ``point`` is the generator,
+    the GLV/wNAF ladder for on-curve points, and the width-4 windowed
+    ladder for off-curve inputs (the endomorphism identity only holds
+    on the curve); all agree with :func:`scalar_mult_naive` on every
+    input (property-tested).
     """
     k %= N
     if k == 0 or point is None:
         return None
     if point is G or point == G:
-        return _from_jacobian(_base_mult_j(k))
+        return _from_jacobian(_base_mult8_j(k))
+    if is_on_curve(point):
+        return _from_jacobian(_glv_mult_j(k, point))
     try:
         return _from_jacobian(_windowed_mult_j(k, point))
     except ValueError:
@@ -290,13 +493,46 @@ def scalar_mult(k: int, point: AffinePoint = G) -> AffinePoint:
         return scalar_mult_naive(k, point)
 
 
+def double_scalar_mult_base_j(u1: int, u2: int,
+                              point: AffinePoint) -> _JacobianPoint:
+    """``u1*G + u2*point`` in Jacobian form (no affine conversion).
+
+    Batch callers (:func:`repro.crypto.ecdsa.recover_batch`) use this
+    to defer the affine conversion into one shared
+    :func:`batch_normalize` inversion across the whole batch.
+    ``point`` must be on-curve or None.
+    """
+    u1 %= N
+    u2 %= N
+    accumulator = _base_mult8_j(u1) if u1 else _INFINITY_J
+    if u2 and point is not None:
+        variable = _glv_mult_j(u2, point)
+        accumulator = _jacobian_add(accumulator, variable)
+    return accumulator
+
+
 def double_scalar_mult_base(u1: int, u2: int,
                             point: AffinePoint) -> AffinePoint:
     """Return ``u1*G + u2*point`` (the ECDSA verify/recover shape).
 
     The generator half comes from the fixed-base comb (additions only),
-    the variable half from the windowed ladder; one Jacobian addition
+    the variable half from the GLV/wNAF ladder; one Jacobian addition
     joins them, and only the final result pays an affine conversion.
+    Off-curve points fall back to the retained pre-GLV reference path.
+    """
+    if point is not None and not is_on_curve(point):
+        return _double_scalar_mult_base_reference(u1, u2, point)
+    return _from_jacobian(double_scalar_mult_base_j(u1, u2, point))
+
+
+def _double_scalar_mult_base_reference(u1: int, u2: int,
+                                       point: AffinePoint) -> AffinePoint:
+    """The pre-GLV comb + width-4 window path, retained verbatim.
+
+    Serves three roles: the differential-test oracle for the GLV path,
+    the in-process speedup baseline for ``bench_hotpath``'s
+    ``ecdsa_recover`` gate, and the dispatch target for off-curve
+    points where the endomorphism does not apply.
     """
     u1 %= N
     u2 %= N
@@ -308,6 +544,43 @@ def double_scalar_mult_base(u1: int, u2: int,
             variable = _to_jacobian(scalar_mult_naive(u2, point))
         accumulator = _jacobian_add(accumulator, variable)
     return _from_jacobian(accumulator)
+
+
+def batch_inverse(values: list, modulus: int = P) -> list:
+    """Invert every element of ``values`` with ONE modular inversion.
+
+    Montgomery's trick over an arbitrary modulus; raises ``ValueError``
+    if any value is zero (mirroring ``pow(0, -1, m)``).
+    """
+    count = len(values)
+    prefix = [1] * count
+    running = 1
+    for index in range(count):
+        prefix[index] = running
+        running = running * values[index] % modulus
+    inv_running = pow(running, -1, modulus)
+    inverses = [0] * count
+    for index in range(count - 1, -1, -1):
+        inverses[index] = inv_running * prefix[index] % modulus
+        inv_running = inv_running * values[index] % modulus
+    return inverses
+
+
+def batch_normalize(points: list) -> list:
+    """Jacobian → affine for many points, one shared field inversion.
+
+    Unlike the internal :func:`_batch_normalize`, points at infinity
+    are tolerated and map to ``None`` (batch recovery uses this for
+    invalid-signature slots).
+    """
+    finite = [(index, point) for index, point in enumerate(points)
+              if point[2] != 0]
+    affine: list = [None] * len(points)
+    if finite:
+        normalized = _batch_normalize([point for __, point in finite])
+        for (index, __), result in zip(finite, normalized):
+            affine[index] = result
+    return affine
 
 
 def lift_x(x: int, y_parity: int) -> AffinePoint:

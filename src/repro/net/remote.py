@@ -175,6 +175,17 @@ class RemoteSimulator:
             "chain.send_raw", {"tx": to_hex(transaction.encode())})
         return from_hex(result["hash"])
 
+    def send_signed_transaction(self, transaction: Transaction) -> bytes:
+        """Queue one pre-signed transaction on the node.
+
+        The engine's pipelined rounds allocate nonces locally and sign
+        in worker processes; the node's admission (sender recovery and
+        all) is the same as for :meth:`send_transaction`.
+        """
+        result = self.client.call(
+            "chain.send_raw", {"tx": to_hex(transaction.encode())})
+        return from_hex(result["hash"])
+
     def mine(self, blocks: int = 1,
              gas_limit: Optional[int] = None) -> list[RemoteBlock]:
         """Mine on the node; returns header-level block views."""

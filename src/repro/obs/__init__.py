@@ -114,6 +114,11 @@ def _declare_instruments(registry: MetricsRegistry) -> None:
                    help="re-execution fraction of last parallel block")
     registry.counter(names.METRIC_PARALLEL_ADMISSIONS,
                      help="senders recovered by the admission pool")
+    registry.histogram(names.METRIC_CRYPTO_BATCH_SIZE,
+                       buckets=BATCH_SIZE_BUCKETS,
+                       help="signatures per batched recovery chunk")
+    registry.gauge(names.METRIC_CRYPTO_GLV_SPLITS,
+                   help="GLV scalar decompositions (process-wide)")
     registry.counter(names.METRIC_PROTOCOL_STAGE_GAS,
                      help="GasLedger records per protocol stage")
     registry.counter(names.METRIC_OFFCHAIN_GAS,
@@ -226,6 +231,7 @@ def _publish_cache_stats(registry: MetricsRegistry) -> None:
     """Refresh the ``evm.cache.*`` gauges from the live caches."""
     from repro.crypto.keccak import keccak_cache_info
     from repro.crypto.keys import recover_cache_info
+    from repro.crypto.secp256k1 import glv_split_count
     from repro.evm.analysis import analysis_cache_info
     from repro.evm.jit import cache_info as jit_cache_info
 
@@ -234,6 +240,7 @@ def _publish_cache_stats(registry: MetricsRegistry) -> None:
         "ecrecover": recover_cache_info(),
         "keccak": keccak_cache_info(),
     }
+    registry.get(names.METRIC_CRYPTO_GLV_SPLITS).set(glv_split_count())
     hits = registry.get(names.METRIC_EVM_CACHE_HITS)
     misses = registry.get(names.METRIC_EVM_CACHE_MISSES)
     size = registry.get(names.METRIC_EVM_CACHE_SIZE)

@@ -205,6 +205,15 @@ METRIC_PARALLEL_CONFLICT_RATE = "chain.parallel.conflict_rate"
 #: (parallel ECDSA recovery at ``send_transactions`` time).
 METRIC_PARALLEL_ADMISSIONS = "chain.parallel.admission_recoveries"
 
+#: histogram — signatures per batched ``recover_address_batch`` chunk
+#: submitted to the admission pool (or run inline); how well the
+#: Montgomery batch-inversion amortisation is being fed.
+METRIC_CRYPTO_BATCH_SIZE = "crypto.recover.batch_size"
+#: gauge — cumulative GLV endomorphism scalar decompositions performed
+#: by the secp256k1 kernels in this process (one per variable-base
+#: scalar multiplication on the fast path).
+METRIC_CRYPTO_GLV_SPLITS = "crypto.glv.splits"
+
 #: counter, label ``stage`` — every ``GasLedger`` record, keyed by the
 #: protocol stage it was recorded under.  Always equals
 #: ``GasLedger.total()`` summed over the ledgers that recorded while
@@ -317,6 +326,8 @@ ALL_METRICS: tuple[str, ...] = (
     METRIC_PARALLEL_REEXECUTIONS,
     METRIC_PARALLEL_CONFLICT_RATE,
     METRIC_PARALLEL_ADMISSIONS,
+    METRIC_CRYPTO_BATCH_SIZE,
+    METRIC_CRYPTO_GLV_SPLITS,
     METRIC_PROTOCOL_STAGE_GAS,
     METRIC_OFFCHAIN_GAS,
     METRIC_CHALLENGE_LATE_DISPUTES,

@@ -132,6 +132,40 @@ def test_close_is_idempotent_and_fails_later_calls():
         pool.broadcast("x")
 
 
+# -- asynchronous submit/collect (the engine pipeline's API) ---------------
+
+
+def test_submit_then_collect_matches_run_tasks(pool_factory):
+    pool = pool_factory(2, _square)
+    handle = pool.submit_tasks([4, 5, 6])
+    assert pool.collect(handle) == [16, 25, 36]
+
+
+def test_overlapping_handles_collect_in_any_order(pool_factory):
+    # Two batches in flight at once; collecting the second first must
+    # stash (not lose) the first batch's results.
+    pool = pool_factory(2, _square)
+    first = pool.submit_tasks([1, 2, 3])
+    second = pool.submit_tasks([10, 11])
+    assert pool.collect(second) == [100, 121]
+    assert pool.collect(first) == [1, 4, 9]
+
+
+def test_submit_collect_interleaves_with_run_tasks(pool_factory):
+    pool = pool_factory(2, _square)
+    handle = pool.submit_tasks([7, 8])
+    assert pool.run_tasks([2]) == [4]
+    assert pool.collect(handle) == [49, 64]
+    assert pool.run_tasks([3]) == [9]
+
+
+def test_collect_surfaces_worker_exception(pool_factory):
+    pool = pool_factory(2, _raise_on_negative)
+    handle = pool.submit_tasks([1, -5, 2])
+    with pytest.raises(WorkerPoolError, match="ValueError"):
+        pool.collect(handle)
+
+
 # -- StateDiff: net effect across snapshot/revert interleavings ------------
 
 

@@ -1,0 +1,113 @@
+"""Pipelined engine rounds: bit-identical fleets, faster schedules.
+
+The pipeline's contract is purely about *where* signing and sender
+recovery run (background workers, one chunk ahead of the miner), never
+about *what* gets signed: RFC-6979 signatures and engine-allocated
+nonces make every pipelined transaction byte-identical to its serial
+twin, so the fleet fingerprint (terminal stages + ordered gas ledgers)
+must not move across ``pipeline=True/False`` under any mining mode,
+settlement policy or dishonesty mix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import EthereumSimulator, SimulatorConfig
+from repro.core import SessionEngine, fleet_fingerprint, spawn_fleet
+from repro.core.pipeline import RoundPipeline, prepare_transactions
+from repro.chain.transaction import Transaction
+from repro.crypto.keys import Address, PrivateKey
+
+SESSIONS = 5
+
+
+def _run(pipeline: bool, mining: str = "batch",
+         settlement: str = "direct", batch_size: int = 1,
+         dishonest: float = 0.0, app: str = "betting"):
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False, settlement=settlement,
+        batch_size=batch_size))
+    drivers = spawn_fleet(sim, SESSIONS, app=app,
+                          dishonest_fraction=dishonest)
+    try:
+        metrics = SessionEngine(sim, drivers, mining=mining,
+                                pipeline=pipeline).run()
+    finally:
+        sim.chain.close_workers()
+    return fleet_fingerprint(drivers), metrics
+
+
+@pytest.mark.parametrize("kwargs", [
+    {},
+    {"dishonest": 0.4},
+    {"mining": "per-tx"},
+    {"settlement": "netted", "batch_size": SESSIONS},
+    {"app": "escrow"},
+], ids=["direct", "disputes", "per-tx", "netted", "escrow"])
+def test_pipelined_fleet_fingerprint_is_bit_identical(kwargs):
+    serial, _ = _run(False, **kwargs)
+    pipelined, _ = _run(True, **kwargs)
+    assert pipelined == serial
+
+
+def test_pipelined_rounds_drive_every_session_to_settlement():
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False))
+    drivers = spawn_fleet(sim, SESSIONS, app="betting",
+                          dishonest_fraction=0.4)
+    try:
+        metrics = SessionEngine(sim, drivers, pipeline=True).run()
+    finally:
+        sim.chain.close_workers()
+    assert all(d.settled for d in drivers)
+    assert metrics.sessions == SESSIONS
+    assert metrics.disputes == 2  # 0.4 of 5 sessions lied
+
+
+def test_inline_fallback_produces_identical_fleet(monkeypatch):
+    # A host without fork() (or a dead pool) degrades to inline
+    # preparation inside submit() — same bytes, no overlap.
+    serial, _ = _run(False)
+    monkeypatch.setattr(RoundPipeline, "_ensure_pool",
+                        lambda self: None)
+    pipelined, _ = _run(True)
+    assert pipelined == serial
+
+
+def test_prepare_transactions_matches_serial_signing():
+    # The worker-side kernel must reproduce create_signed + recovery
+    # exactly: RFC-6979 leaves no room for signature drift.
+    key = PrivateKey.from_seed("pipeline-prepare")
+    to = Address.from_int(0xBEEF)
+    plans = [
+        (key.secret, nonce, 1, 21_000, to.value, nonce * 7, b"\x01\x02")
+        for nonce in range(4)
+    ]
+    prepared = prepare_transactions(plans)
+    for (_, nonce, gas_price, gas_limit, _, value, data), \
+            (v, r, s, sender) in zip(plans, prepared):
+        twin = Transaction.create_signed(
+            private_key=key, nonce=nonce, to=to, value=value,
+            data=data, gas_limit=gas_limit, gas_price=gas_price)
+        assert (v, r, s) == (twin.v, twin.r, twin.s)
+        assert sender == key.address.value == twin.sender.value
+
+
+def test_engine_closes_its_pipeline_after_the_run():
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False))
+    drivers = spawn_fleet(sim, 2, app="betting")
+    engine = SessionEngine(sim, drivers, pipeline=True)
+    try:
+        engine.run()
+    finally:
+        sim.chain.close_workers()
+    assert engine._pipeline is None
+
+
+def test_pipeline_flag_defaults_off():
+    sim = EthereumSimulator(config=SimulatorConfig(
+        num_accounts=2, auto_mine=False))
+    assert SessionEngine(sim).pipeline is False
+    assert SessionEngine(sim, pipeline=True).pipeline is True

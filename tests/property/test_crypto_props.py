@@ -1,13 +1,18 @@
 """Property-based tests for the cryptographic substrate."""
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
+from repro.crypto import ecdsa, secp256k1
 from repro.crypto import rlp
 from repro.crypto import abi as abi_codec
-from repro.crypto.keccak import keccak256
+from repro.crypto.keccak import (
+    _keccak256_raw,
+    _keccak256_reference,
+    keccak256,
+)
 from repro.crypto.keys import PrivateKey, recover_address
-from repro.crypto.secp256k1 import N
+from repro.crypto.secp256k1 import GLV_LAMBDA, N
 
 # Signing is ~10ms; keep example counts moderate.
 _FAST = settings(max_examples=25, deadline=None)
@@ -107,3 +112,86 @@ def test_abi_bytes_padding_is_canonical(payload):
     encoded = abi_codec.encode_arguments(["bytes"], [payload])
     assert len(encoded) % 32 == 0
     assert abi_codec.decode_arguments(["bytes"], encoded) == [payload]
+
+
+# -- hot-path kernels vs their retained reference oracles ------------------
+#
+# The optimised kernels (GLV/wNAF scalar multiplication, the
+# exec-compiled keccak permutation, batched recovery) all keep their
+# pre-optimisation implementations in-tree as oracles; these
+# properties pin the equivalence on adversarial inputs Hypothesis
+# would not stumble on by chance (the explicit @example scalars) as
+# well as on random ones.
+
+# Edge scalars for the GLV split: 0 and 1 (degenerate decompositions),
+# N-1 (negation wraparound), and λ itself (k1=0, k2=1 — the split's
+# own eigenvalue).
+_glv_scalars = st.integers(min_value=0, max_value=N - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_glv_scalars)
+@example(0)
+@example(1)
+@example(N - 1)
+@example(GLV_LAMBDA)
+@example((GLV_LAMBDA + 1) % N)
+def test_glv_scalar_mult_matches_naive(k):
+    point = PrivateKey.from_seed("glv-prop-base").public_key.point
+    fast = secp256k1.scalar_mult(k, point)
+    naive = secp256k1.scalar_mult_naive(k % N, point)
+    assert fast == naive
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=N - 1),
+       st.integers(min_value=0, max_value=N - 1))
+@example(0, GLV_LAMBDA)
+@example(GLV_LAMBDA, 0)
+@example(N - 1, N - 1)
+def test_double_scalar_mult_matches_reference(u1, u2):
+    point = PrivateKey.from_seed("glv-prop-double").public_key.point
+    fast = secp256k1.double_scalar_mult_base(u1, u2, point)
+    ref = secp256k1._double_scalar_mult_base_reference(u1, u2, point)
+    assert fast == ref
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=1, max_value=N - 1),
+              st.binary(min_size=0, max_size=40),
+              st.booleans()),
+    min_size=0, max_size=6,
+))
+def test_recover_batch_matches_per_item(rows):
+    # Mixed batches: valid signatures interleaved with corrupted ones
+    # (signature transplanted onto a different digest).  The batch
+    # path must keep positional alignment and agree with the
+    # single-shot recovery slot by slot.
+    items = []
+    for secret, message, corrupt in rows:
+        digest = keccak256(message)
+        signature = PrivateKey(secret).sign(digest)
+        if corrupt:
+            digest = keccak256(digest)  # signature no longer matches
+        items.append((digest, signature))
+
+    batch = ecdsa.recover_batch(items)
+    assert len(batch) == len(items)
+    for (digest, signature), point in zip(items, batch):
+        try:
+            expected = ecdsa.recover_public_key(digest, signature)
+        except ecdsa.SignatureError:
+            expected = None
+        assert point == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(max_size=400))
+@example(b"")
+@example(b"\x00" * 135)   # one byte short of the rate
+@example(b"\x00" * 136)   # exactly the sponge rate
+@example(b"\x00" * 137)   # one byte past the rate
+@example(b"\xff" * 272)   # two full absorb blocks
+def test_keccak_kernel_matches_reference(data):
+    assert _keccak256_raw(data) == _keccak256_reference(data)
